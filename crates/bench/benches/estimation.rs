@@ -1,0 +1,93 @@
+//! Cost-estimation overhead. The paper argues that estimating store
+//! combinations is "a negligible overhead" because the adjustment functions
+//! are simple; these benches quantify that claim for our implementation:
+//! single-query estimation, whole-workload estimation, and the advisor's
+//! full store-combination search.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hsd_catalog::{ColumnStats, TableStats};
+use hsd_core::advisor::build_ctx;
+use hsd_core::estimator::{estimate_query, estimate_workload};
+use hsd_core::{AdjustmentFn, CostModel, StorageAdvisor};
+use hsd_query::{AggFunc, AggregateQuery, MixedWorkloadConfig, Query, TableSpec, WorkloadGenerator};
+use hsd_storage::StoreKind;
+use hsd_types::{TableSchema, Value};
+
+fn model() -> CostModel {
+    let mut m = CostModel::neutral();
+    m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
+    m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+    m.row.f_compression = AdjustmentFn::Piecewise {
+        points: vec![(0.0, 1.1), (0.5, 1.0), (0.95, 0.9)],
+    };
+    m.column.f_compression = AdjustmentFn::Piecewise {
+        points: vec![(0.0, 1.4), (0.5, 1.0), (0.95, 0.7)],
+    };
+    m.row.ins_row = AdjustmentFn::Linear { slope: 1e-9, intercept: 0.001 };
+    m.column.ins_row = AdjustmentFn::Linear { slope: 1e-9, intercept: 0.005 };
+    m.row.sel_point_ms = 0.002;
+    m.column.sel_point_ms = 0.01;
+    m.row.upd_row_ms = 0.002;
+    m.column.upd_row_ms = 0.01;
+    m
+}
+
+fn spec() -> TableSpec {
+    TableSpec::paper_wide("w", 1_000_000, 5)
+}
+
+fn schema_and_stats(s: &TableSpec) -> (Vec<Arc<TableSchema>>, BTreeMap<String, TableStats>) {
+    let schema = Arc::new(s.schema().unwrap());
+    let stats = TableStats {
+        row_count: s.rows,
+        columns: (0..schema.arity())
+            .map(|c| ColumnStats {
+                distinct: if c == 0 { s.rows } else { 1000 },
+                min: Some(Value::BigInt(0)),
+                max: Some(Value::BigInt(s.rows as i64)),
+                compression_rate: 0.9,
+            })
+            .collect(),
+    };
+    let mut map = BTreeMap::new();
+    map.insert("w".to_string(), stats);
+    (vec![schema], map)
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let m = model();
+    let s = spec();
+    let (schemas, stats) = schema_and_stats(&s);
+    let ctx = build_ctx(&schemas, &stats);
+    let assignment: BTreeMap<String, StoreKind> =
+        [("w".to_string(), StoreKind::Column)].into_iter().collect();
+    let q = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
+
+    let mut group = c.benchmark_group("estimation");
+    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    group.bench_function("single_query", |b| {
+        b.iter(|| estimate_query(&m, &ctx, &assignment, &q))
+    });
+
+    let workload = WorkloadGenerator::single_table(
+        &s,
+        &MixedWorkloadConfig { queries: 500, olap_fraction: 0.05, ..Default::default() },
+    );
+    group.bench_function("workload_500_queries", |b| {
+        b.iter(|| estimate_workload(&m, &ctx, &assignment, &workload))
+    });
+
+    let advisor = StorageAdvisor::new(m.clone());
+    group.bench_function("advisor_recommend_offline", |b| {
+        b.iter(|| advisor.recommend_offline(&schemas, &stats, &workload, true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Micro-benchmarks of the primitive operations whose asymmetry the whole
+//! paper rests on: aggregation scans, inserts, point queries, updates, range
+//! selections, and joins, on both stores.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hsd_bench::wide_spec;
+use hsd_engine::HybridDatabase;
+use hsd_query::{
+    AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, SelectQuery, TableSpec,
+    UpdateQuery,
+};
+use hsd_storage::{ColRange, StoreKind};
+use hsd_types::Value;
+
+const ROWS: usize = 100_000;
+
+fn db_with(store: StoreKind) -> (HybridDatabase, TableSpec) {
+    let spec = wide_spec("t", ROWS, 0xBE);
+    let mut db = HybridDatabase::new();
+    db.create_single(spec.schema().unwrap(), store).unwrap();
+    db.bulk_load("t", spec.rows()).unwrap();
+    (db, spec)
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_sum");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for store in StoreKind::BOTH {
+        let (mut db, spec) = db_with(store);
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, spec.kf_col(0)));
+        group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
+            b.iter(|| db.execute(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_group_by");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for store in StoreKind::BOTH {
+        let (mut db, spec) = db_with(store);
+        let q = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates: vec![Aggregate { func: AggFunc::Sum, column: spec.kf_col(0) }],
+            group_by: Some(spec.grp_col(0)),
+            filter: vec![],
+            join: None,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
+            b.iter(|| db.execute(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_row");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for store in StoreKind::BOTH {
+        let (mut db, spec) = db_with(store);
+        let mut next = ROWS as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
+            b.iter(|| {
+                let q = Query::Insert(InsertQuery { table: "t".into(), rows: vec![spec.row(next)] });
+                next += 1;
+                db.execute(&q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_select");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for store in StoreKind::BOTH {
+        let (mut db, _) = db_with(store);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
+            b.iter(|| {
+                let q = Query::Select(SelectQuery::point(
+                    "t",
+                    0,
+                    Value::BigInt((i * 7919 % ROWS as u64) as i64),
+                ));
+                i += 1;
+                db.execute(&q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_update");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for store in StoreKind::BOTH {
+        let (mut db, spec) = db_with(store);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
+            b.iter(|| {
+                let q = Query::Update(UpdateQuery {
+                    table: "t".into(),
+                    sets: vec![(spec.st_col(0), Value::Int((i % 8) as i32))],
+                    filter: vec![ColRange::eq(0, Value::BigInt((i * 6151 % ROWS as u64) as i64))],
+                });
+                i += 1;
+                db.execute(&q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_select_1pct");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for store in StoreKind::BOTH {
+        let (mut db, spec) = db_with(store);
+        let q = Query::Select(SelectQuery {
+            table: "t".into(),
+            columns: Some(vec![0, spec.kf_col(0)]),
+            filter: vec![ColRange::between(spec.flt_col(0), Value::Int(0), Value::Int(99))],
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
+            b.iter(|| db.execute(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_aggregate");
+    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    let fact_spec = TableSpec {
+        name: "fact".into(),
+        rows: ROWS,
+        fk_attrs: 1,
+        fk_cardinality: 1000,
+        keyfigures: 2,
+        group_attrs: 0,
+        filter_attrs: 1,
+        status_attrs: 1,
+        group_cardinality: 1,
+        status_cardinality: 8,
+        kf_distinct: (ROWS / 20) as u32,
+        seed: 0xFA,
+    };
+    let dim_spec = TableSpec {
+        name: "dim".into(),
+        rows: 1000,
+        fk_attrs: 0,
+        fk_cardinality: 1,
+        keyfigures: 0,
+        group_attrs: 2,
+        filter_attrs: 1,
+        status_attrs: 0,
+        group_cardinality: 20,
+        status_cardinality: 1,
+        kf_distinct: 64,
+        seed: 0xDB,
+    };
+    for fact_store in StoreKind::BOTH {
+        for dim_store in StoreKind::BOTH {
+            let mut db = HybridDatabase::new();
+            db.create_single(fact_spec.schema().unwrap(), fact_store).unwrap();
+            db.create_single(dim_spec.schema().unwrap(), dim_store).unwrap();
+            db.bulk_load("fact", fact_spec.rows()).unwrap();
+            db.bulk_load("dim", dim_spec.rows()).unwrap();
+            let q = Query::Aggregate(AggregateQuery {
+                table: "fact".into(),
+                aggregates: vec![Aggregate { func: AggFunc::Sum, column: fact_spec.kf_col(0) }],
+                group_by: None,
+                filter: vec![],
+                join: Some(JoinSpec {
+                    dim_table: "dim".into(),
+                    fact_fk: fact_spec.fk_col(0),
+                    dim_pk: 0,
+                    group_by_dim: Some(dim_spec.grp_col(0)),
+                }),
+            });
+            let label = format!("fact={fact_store},dim={dim_store}");
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| db.execute(&q).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregate,
+    bench_grouped_aggregate,
+    bench_insert,
+    bench_point_select,
+    bench_point_update,
+    bench_range_select,
+    bench_join
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Figure 10: **combination and comparison** on the TPC-H scenario.
+//!
+//! Four configurations run the same 5000-query, ~1 %-OLAP mixed workload:
+//! (i) all tables in the row store, (ii) all tables in the column store,
+//! (iii) the advisor's table-level layout, (iv) the advisor's layout with
+//! horizontal and vertical partitioning. Paper result: Table ≈ −40 % and
+//! Partitioned ≈ −65 % vs. the single-store baselines.
+
+use std::collections::BTreeMap;
+
+use hsd_bench::{calibrated_model, fmt_s, print_series, scale};
+use hsd_catalog::StorageLayout;
+use hsd_core::{report, StorageAdvisor};
+use hsd_engine::{mover, HybridDatabase, WorkloadRunner};
+use hsd_storage::StoreKind;
+use hsd_tpch::{generate_workload, TpchGenerator, TpchWorkloadConfig};
+use hsd_types::Result;
+
+fn load_with_layout(
+    g: &TpchGenerator,
+    layout: Option<&StorageLayout>,
+) -> Result<HybridDatabase> {
+    // Load uniformly into the row store first, then let the mover rebuild
+    // whatever the layout demands (this splits horizontal partitions
+    // correctly instead of routing the bulk load to the hot partition).
+    let mut db = HybridDatabase::new();
+    g.load_uniform(&mut db, StoreKind::Row)?;
+    if let Some(layout) = layout {
+        mover::apply_layout(&mut db, layout)?;
+    }
+    Ok(db)
+}
+
+/// Median-of-repeats runs on freshly loaded databases (the paper averages
+/// "over several runs"; a fresh load per run keeps mutations comparable).
+fn run_repeated(
+    runner: &WorkloadRunner,
+    workload: &hsd_query::Workload,
+    mut fresh: impl FnMut() -> Result<HybridDatabase>,
+) -> Result<Vec<f64>> {
+    let repeats: usize = std::env::var("HSD_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut secs = Vec::with_capacity(repeats);
+    for _ in 0..repeats.max(1) {
+        let mut db = fresh()?;
+        secs.push(runner.run(&mut db, workload)?.total.as_secs_f64());
+    }
+    Ok(secs)
+}
+
+fn main() -> Result<()> {
+    let sf = scale();
+    let model = calibrated_model()?;
+    let g = TpchGenerator::new(sf, 0x7C);
+    let cfg = TpchWorkloadConfig { queries: 5_000, olap_fraction: 0.01, ..Default::default() };
+    let workload = generate_workload(&g, &cfg);
+    let runner = WorkloadRunner::new();
+    println!(
+        "TPC-H scale factor {sf} (orders={}, lineitem={}), {} queries, {:.1}% OLAP",
+        g.orders(),
+        g.lineitems(),
+        workload.len(),
+        workload.olap_fraction() * 100.0
+    );
+
+    // Baselines.
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut stats_snapshot: Option<BTreeMap<String, hsd_catalog::TableStats>> = None;
+    for (name, store) in [("RS only", StoreKind::Row), ("CS only", StoreKind::Column)] {
+        let mut db = HybridDatabase::new();
+        g.load_uniform(&mut db, store)?;
+        if stats_snapshot.is_none() {
+            stats_snapshot = Some(
+                db.catalog()
+                    .entries()
+                    .iter()
+                    .map(|e| (e.schema.name.clone(), e.stats.clone()))
+                    .collect(),
+            );
+        }
+        let mut secs = run_repeated(&runner, &workload, || {
+            let mut db = HybridDatabase::new();
+            g.load_uniform(&mut db, store)?;
+            Ok(db)
+        })?;
+        secs.insert(0, runner.run(&mut db, &workload)?.total.as_secs_f64());
+        secs.sort_by(f64::total_cmp);
+        results.push((name.to_string(), secs[secs.len() / 2]));
+    }
+    let stats = stats_snapshot.expect("captured from first load");
+    let schemas: Vec<_> = hsd_tpch::schema::all()?
+        .into_iter()
+        .map(std::sync::Arc::new)
+        .collect();
+    let advisor = StorageAdvisor::new(model);
+
+    // (iii) table-level recommendation.
+    let rec_table = advisor.recommend_offline(&schemas, &stats, &workload, false)?;
+    println!("\n--- table-level recommendation ---");
+    print!("{}", report::render(&rec_table));
+    let mut secs = run_repeated(&runner, &workload, || load_with_layout(&g, Some(&rec_table.layout)))?;
+    secs.sort_by(f64::total_cmp);
+    results.push(("Table".to_string(), secs[secs.len() / 2]));
+
+    // (iv) partitioned recommendation.
+    let rec_part = advisor.recommend_offline(&schemas, &stats, &workload, true)?;
+    println!("\n--- partitioned recommendation ---");
+    print!("{}", report::render(&rec_part));
+    let mut secs = run_repeated(&runner, &workload, || load_with_layout(&g, Some(&rec_part.layout)))?;
+    secs.sort_by(f64::total_cmp);
+    results.push(("Partitioned".to_string(), secs[secs.len() / 2]));
+
+    let rows_out: Vec<Vec<String>> =
+        results.iter().map(|(n, s)| vec![n.clone(), fmt_s(*s)]).collect();
+    print_series(
+        "Figure 10: comparison of decisions on different levels (TPC-H mixed workload)",
+        &["configuration", "runtime (s)"],
+        &rows_out,
+    );
+    let rs = results[0].1;
+    let cs = results[1].1;
+    let table = results[2].1;
+    let part = results[3].1;
+    println!("Table vs best single store : {:+.1} %", 100.0 * (table - rs.min(cs)) / rs.min(cs));
+    println!("Partitioned vs Table       : {:+.1} %", 100.0 * (part - table) / table);
+    println!("Partitioned vs CS only     : {:+.1} %", 100.0 * (part - cs) / cs);
+    Ok(())
+}

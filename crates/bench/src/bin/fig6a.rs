@@ -1,0 +1,48 @@
+//! Figure 6(a): accuracy of the runtime estimation vs. **data scale**.
+//!
+//! Paper setup: a 30-attribute table at 2m–20m tuples, one constant
+//! aggregation query; plotted are row-/column-store estimates vs. actual
+//! runtimes, both trending linearly.
+
+use std::collections::BTreeMap;
+
+use hsd_bench::{build_db, calibrated_model, ctx_of, fmt_ms, print_series, scaled_rows, wide_spec};
+use hsd_core::estimator::estimate_query;
+use hsd_engine::WorkloadRunner;
+use hsd_query::{AggFunc, AggregateQuery, Query};
+use hsd_storage::StoreKind;
+
+fn main() -> hsd_types::Result<()> {
+    let model = calibrated_model()?;
+    let runner = WorkloadRunner::new();
+    let mut rows_out = Vec::new();
+    let mut errs: BTreeMap<StoreKind, Vec<f64>> = BTreeMap::new();
+    for millions in [2usize, 6, 10, 14, 20] {
+        let n = scaled_rows(millions * 1_000_000);
+        let spec = wide_spec("t", n, 0xF16A);
+        let query = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, spec.kf_col(0)));
+        let mut line = vec![n.to_string()];
+        for store in StoreKind::BOTH {
+            let mut db = build_db(&spec, store)?;
+            let ctx = ctx_of(&db);
+            let assignment: BTreeMap<String, StoreKind> =
+                [("t".to_string(), store)].into_iter().collect();
+            let est = estimate_query(&model, &ctx, &assignment, &query);
+            let run = runner.time_query(&mut db, &query, 3)?.as_secs_f64() * 1e3;
+            errs.entry(store).or_default().push((est - run).abs() / run);
+            line.push(fmt_ms(est));
+            line.push(fmt_ms(run));
+        }
+        rows_out.push(line);
+    }
+    print_series(
+        "Figure 6(a): estimation accuracy vs data scale (SUM over one Double attribute)",
+        &["tuples", "RS est (ms)", "RS run (ms)", "CS est (ms)", "CS run (ms)"],
+        &rows_out,
+    );
+    for (store, e) in errs {
+        let mean = e.iter().sum::<f64>() / e.len() as f64;
+        println!("mean relative estimation error [{store}]: {:.1} %", mean * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Figure 6(b): accuracy of the runtime estimation vs. **number of
+//! aggregates** (1–5) on a fixed 10m-tuple table.
+
+use std::collections::BTreeMap;
+
+use hsd_bench::{build_db, calibrated_model, ctx_of, fmt_ms, print_series, scaled_rows, wide_spec};
+use hsd_core::estimator::estimate_query;
+use hsd_engine::WorkloadRunner;
+use hsd_query::{AggFunc, Aggregate, AggregateQuery, Query};
+use hsd_storage::StoreKind;
+
+fn main() -> hsd_types::Result<()> {
+    let model = calibrated_model()?;
+    let runner = WorkloadRunner::new();
+    let n = scaled_rows(10_000_000);
+    let spec = wide_spec("t", n, 0xF16B);
+    let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Sum, AggFunc::Min];
+    let mut dbs: Vec<_> = Vec::new();
+    for store in StoreKind::BOTH {
+        dbs.push((store, build_db(&spec, store)?));
+    }
+    let mut rows_out = Vec::new();
+    let mut errs: BTreeMap<StoreKind, Vec<f64>> = BTreeMap::new();
+    for k in 1..=5usize {
+        let aggregates: Vec<Aggregate> = (0..k)
+            .map(|i| Aggregate { func: funcs[i], column: spec.kf_col(i) })
+            .collect();
+        let query = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates,
+            group_by: None,
+            filter: vec![],
+            join: None,
+        });
+        let mut line = vec![k.to_string()];
+        for (store, db) in dbs.iter_mut() {
+            let ctx = ctx_of(db);
+            let assignment: BTreeMap<String, StoreKind> =
+                [("t".to_string(), *store)].into_iter().collect();
+            let est = estimate_query(&model, &ctx, &assignment, &query);
+            let run = runner.time_query(db, &query, 3)?.as_secs_f64() * 1e3;
+            errs.entry(*store).or_default().push((est - run).abs() / run);
+            line.push(fmt_ms(est));
+            line.push(fmt_ms(run));
+        }
+        rows_out.push(line);
+    }
+    print_series(
+        &format!("Figure 6(b): estimation accuracy vs number of aggregates ({n} tuples)"),
+        &["#aggregates", "RS est (ms)", "RS run (ms)", "CS est (ms)", "CS run (ms)"],
+        &rows_out,
+    );
+    for (store, e) in errs {
+        let mean = e.iter().sum::<f64>() / e.len() as f64;
+        println!("mean relative estimation error [{store}]: {:.1} %", mean * 100.0);
+    }
+    Ok(())
+}

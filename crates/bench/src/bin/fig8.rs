@@ -1,0 +1,95 @@
+//! Figure 8: workload runtime for different **horizontal partitionings**.
+//!
+//! Paper setup: 500-query mixed workload, 5 % OLAP, update queries
+//! addressing the top 10 % of the data (the "OLTP data"). The row-store
+//! partition size is swept from 0 % to 20 %; the minimum must sit at the
+//! recommended 10 %.
+
+use std::sync::Arc;
+
+use hsd_bench::{build_db, calibrated_model, fmt_s, print_series, scaled_rows, wide_spec};
+use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement};
+use hsd_core::StorageAdvisor;
+use hsd_engine::{mover, WorkloadRunner};
+use hsd_query::{MixedWorkloadConfig, WorkloadGenerator};
+use hsd_storage::StoreKind;
+use hsd_types::Value;
+
+fn main() -> hsd_types::Result<()> {
+    let model = calibrated_model()?;
+    let runner = WorkloadRunner::new();
+    let n = scaled_rows(10_000_000);
+    let queries = 500; // paper count; only the data scales
+    let spec = wide_spec("t", n, 0xF18);
+    let cfg = MixedWorkloadConfig {
+        queries,
+        olap_fraction: 0.05,
+        oltp_insert_share: 0.0,
+        oltp_update_share: 1.0,
+        whole_tuple_update_prob: 0.5,
+        hot_fraction: Some(0.10),
+        // Each update addresses a contiguous slice (0.1 % of the table)
+        // inside the OLTP region, as in the paper's "updates addressing
+        // 10% of the data".
+        update_range_rows: Some((n / 1000).max(50)),
+        seed: 0xF18,
+        ..Default::default()
+    };
+    let workload = WorkloadGenerator::single_table(&spec, &cfg);
+
+    let mut rows_out = Vec::new();
+    let mut best = (f64::INFINITY, 0.0);
+    for percent in [0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0] {
+        let mut db = build_db(&spec, StoreKind::Column)?;
+        if percent > 0.0 {
+            let split = (n as f64 * (1.0 - percent / 100.0)) as i64;
+            let placement = TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: spec.id_col(),
+                    split_value: Value::BigInt(split),
+                }),
+                vertical: None,
+            });
+            mover::move_table(&mut db, "t", &placement)?;
+        }
+        let report = runner.run(&mut db, &workload)?;
+        let secs = report.total.as_secs_f64();
+        if secs < best.0 {
+            best = (secs, percent);
+        }
+        rows_out.push(vec![format!("{percent:.1}%"), fmt_s(secs)]);
+    }
+    print_series(
+        &format!(
+            "Figure 8: runtime vs horizontal partitioning ({n} tuples, {queries} queries, \
+             5% OLAP, updates on top 10%)"
+        ),
+        &["RS fraction", "runtime (s)"],
+        &rows_out,
+    );
+    println!("measured minimum at {:.1}% row-store data", best.1);
+
+    // What does the advisor itself recommend? (Heuristic over the recorded
+    // update envelopes.)
+    let schema = Arc::new(spec.schema()?);
+    let stats_db = build_db(&spec, StoreKind::Column)?;
+    let mut stats = std::collections::BTreeMap::new();
+    stats.insert("t".to_string(), stats_db.catalog().entry_by_name("t")?.stats.clone());
+    let advisor = StorageAdvisor::new(model);
+    let rec = advisor.recommend_offline(&[schema], &stats, &workload, true)?;
+    match rec.layout.placement("t") {
+        TablePlacement::Partitioned(p) => match p.horizontal {
+            Some(h) => {
+                let split = h.split_value.as_i64().unwrap_or(0);
+                let frac = 100.0 * (n as f64 - split as f64) / n as f64;
+                println!(
+                    "advisor recommends a hot row-store partition of {frac:.1}% \
+                     (split at id >= {split})"
+                );
+            }
+            None => println!("advisor recommends vertical partitioning only"),
+        },
+        other => println!("advisor recommends {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Figure 9(a): vertical partitioning, **OLAP setting** — 10 keyfigures,
+//! 8 group-by attributes, and only 2 attributes used for selections or
+//! updates.
+
+use hsd_bench::{fig9, scaled_rows};
+use hsd_query::TableSpec;
+
+fn main() -> hsd_types::Result<()> {
+    let rows = scaled_rows(10_000_000);
+    let spec = TableSpec {
+        name: "t".into(),
+        rows,
+        fk_attrs: 0,
+        fk_cardinality: 1,
+        keyfigures: 10,
+        group_attrs: 8,
+        filter_attrs: 0,
+        status_attrs: 2,
+        group_cardinality: 100,
+        status_cardinality: 1000,
+        kf_distinct: (rows / 20).max(64) as u32,
+        seed: 0xF19A,
+    };
+    fig9::run_setting(
+        &format!("Figure 9(a): vertical partitioning, OLAP setting ({rows} tuples)"),
+        &spec,
+    )
+}

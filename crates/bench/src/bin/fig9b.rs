@@ -1,0 +1,28 @@
+//! Figure 9(b): vertical partitioning, **OLTP setting** — 18 attributes
+//! used for selections and updates, only 1 keyfigure and 1 group-by
+//! attribute.
+
+use hsd_bench::{fig9, scaled_rows};
+use hsd_query::TableSpec;
+
+fn main() -> hsd_types::Result<()> {
+    let rows = scaled_rows(10_000_000);
+    let spec = TableSpec {
+        name: "t".into(),
+        rows,
+        fk_attrs: 0,
+        fk_cardinality: 1,
+        keyfigures: 1,
+        group_attrs: 1,
+        filter_attrs: 0,
+        status_attrs: 18,
+        group_cardinality: 100,
+        status_cardinality: 1000,
+        kf_distinct: (rows / 20).max(64) as u32,
+        seed: 0xF19B,
+    };
+    fig9::run_setting(
+        &format!("Figure 9(b): vertical partitioning, OLTP setting ({rows} tuples)"),
+        &spec,
+    )
+}

@@ -1,0 +1,75 @@
+//! Shared harness for Figures 9(a)/9(b): the benefit of **vertical
+//! partitioning** under growing OLAP fractions.
+//!
+//! The workload's OLTP part selects and updates only the status attributes;
+//! the advisor's vertical split therefore places exactly those in the
+//! row-store fragment and everything analytical in the column-store
+//! fragment. Each setting is run on a row-store table, a column-store
+//! table, and the vertically partitioned table.
+
+use hsd_catalog::{PartitionSpec, TablePlacement, VerticalSpec};
+use hsd_engine::{HybridDatabase, WorkloadRunner};
+use hsd_query::{MixedWorkloadConfig, TableSpec, Workload, WorkloadGenerator};
+use hsd_storage::StoreKind;
+use hsd_types::Result;
+
+use crate::{fmt_s, print_series};
+
+/// One OLAP-fraction sweep of a vertical-partitioning setting.
+pub fn run_setting(title: &str, spec: &TableSpec) -> Result<()> {
+    let runner = WorkloadRunner::new();
+    let queries = 500; // paper count; only the data scales
+    let fractions = [0.0, 0.00625, 0.0125, 0.01875, 0.025];
+    let vertical = TablePlacement::Partitioned(PartitionSpec {
+        horizontal: None,
+        vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+    });
+    let mut rows_out = Vec::new();
+    for frac in fractions {
+        let cfg = MixedWorkloadConfig {
+            queries,
+            olap_fraction: frac,
+            oltp_insert_share: 0.0,
+            oltp_update_share: 0.5,
+            update_status_only: true,
+            whole_tuple_update_prob: 0.0,
+            seed: 0xF19 + (frac * 1e5) as u64,
+            ..Default::default()
+        };
+        let workload = WorkloadGenerator::single_table(spec, &cfg);
+        let rs = run_once(spec, &TablePlacement::Single(StoreKind::Row), &workload, &runner)?;
+        let cs = run_once(spec, &TablePlacement::Single(StoreKind::Column), &workload, &runner)?;
+        let vp = run_once(spec, &vertical, &workload, &runner)?;
+        rows_out.push(vec![
+            format!("{:.3}%", frac * 100.0),
+            fmt_s(rs),
+            fmt_s(cs),
+            fmt_s(vp),
+        ]);
+    }
+    print_series(
+        title,
+        &["OLAP frac", "RS only (s)", "CS only (s)", "vertical (s)"],
+        &rows_out,
+    );
+    Ok(())
+}
+
+fn run_once(
+    spec: &TableSpec,
+    placement: &TablePlacement,
+    workload: &Workload,
+    runner: &WorkloadRunner,
+) -> Result<f64> {
+    let mut db = HybridDatabase::new();
+    db.create_table(spec.schema()?, placement.clone())?;
+    db.bulk_load(&spec.name, spec.rows())?;
+    // The selection attributes carry row-store secondary indexes (the
+    // paper's `f_selectivity` "if an index is available" case); on the
+    // column store the dictionary is the implicit index (no-op).
+    for col in spec.st_cols() {
+        db.create_index(&spec.name, col)?;
+    }
+    let report = runner.run(&mut db, workload)?;
+    Ok(report.total.as_secs_f64())
+}

@@ -1,0 +1,214 @@
+//! Storage layouts: the advisor's output and the engine's partitioning
+//! annotation.
+//!
+//! A layout assigns every table either a single store or a partition
+//! specification with up to two horizontal and up to two vertical partitions
+//! — the exact search space of the paper's heuristic (Section 3.2:
+//! *"For each table, we consider (up to) two horizontal and (up to) two
+//! vertical partitions"*).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use hsd_storage::StoreKind;
+use hsd_types::{ColumnIdx, Value};
+
+/// Horizontal split: rows with `split_column >= split_value` form the *hot*
+/// partition (kept in the row store for fast inserts and whole-tuple
+/// updates); the remaining *historic* rows form the cold partition.
+/// Inserts are routed to the hot partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizontalSpec {
+    /// Column the split predicate applies to.
+    pub split_column: ColumnIdx,
+    /// Rows with `split_column >= split_value` are hot.
+    pub split_value: Value,
+}
+
+/// Vertical split of a table (or of its cold horizontal partition): the
+/// listed non-key columns live in a row-store fragment, every other non-key
+/// column lives in a column-store fragment, and both fragments carry the
+/// primary key (the paper: "the partitions are not disjoint but all contain
+/// the primary key attributes").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerticalSpec {
+    /// Non-key columns placed in the row-store fragment (the "OLTP
+    /// attributes").
+    pub row_cols: Vec<ColumnIdx>,
+}
+
+/// Partitioning of one table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Optional horizontal hot/cold split.
+    pub horizontal: Option<HorizontalSpec>,
+    /// Optional vertical split (applies to the cold partition when a
+    /// horizontal split is present, else to the whole table).
+    pub vertical: Option<VerticalSpec>,
+}
+
+impl PartitionSpec {
+    /// Whether the spec actually partitions anything.
+    pub fn is_trivial(&self) -> bool {
+        self.horizontal.is_none() && self.vertical.is_none()
+    }
+}
+
+/// Where one table's data lives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TablePlacement {
+    /// The whole table resides in one store.
+    Single(StoreKind),
+    /// The table is partitioned across stores.
+    Partitioned(PartitionSpec),
+}
+
+impl TablePlacement {
+    /// Short human-readable description, used in recommendation reports.
+    pub fn describe(&self) -> String {
+        match self {
+            TablePlacement::Single(s) => format!("single ({s})"),
+            TablePlacement::Partitioned(spec) => {
+                let mut parts = Vec::new();
+                if let Some(h) = &spec.horizontal {
+                    parts.push(format!(
+                        "horizontal split at col#{} >= {}",
+                        h.split_column, h.split_value
+                    ));
+                }
+                if let Some(v) = &spec.vertical {
+                    parts.push(format!("vertical split, RS cols {:?}", v.row_cols));
+                }
+                if parts.is_empty() {
+                    "partitioned (trivial)".to_string()
+                } else {
+                    format!("partitioned ({})", parts.join("; "))
+                }
+            }
+        }
+    }
+}
+
+/// A complete storage layout: table name → placement.
+///
+/// Keyed by name (not id) so layouts can be serialized, diffed, and applied
+/// to a freshly loaded database.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StorageLayout {
+    /// Per-table placements.
+    pub placements: BTreeMap<String, TablePlacement>,
+}
+
+impl StorageLayout {
+    /// Empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Layout placing every listed table in the same store (the paper's
+    /// "RS only" / "CS only" baselines).
+    pub fn uniform<'a>(tables: impl IntoIterator<Item = &'a str>, store: StoreKind) -> Self {
+        let placements = tables
+            .into_iter()
+            .map(|t| (t.to_string(), TablePlacement::Single(store)))
+            .collect();
+        StorageLayout { placements }
+    }
+
+    /// Set a table's placement.
+    pub fn set(&mut self, table: impl Into<String>, placement: TablePlacement) {
+        self.placements.insert(table.into(), placement);
+    }
+
+    /// Look up a table's placement (default: row store, HANA's default for
+    /// newly created tables).
+    pub fn placement(&self, table: &str) -> TablePlacement {
+        self.placements
+            .get(table)
+            .cloned()
+            .unwrap_or(TablePlacement::Single(StoreKind::Row))
+    }
+
+    /// Tables whose placement differs from `other` — the "adaptation
+    /// recommendations" of the online mode.
+    pub fn diff<'a>(&'a self, other: &'a StorageLayout) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        for (name, placement) in &self.placements {
+            if other.placements.get(name) != Some(placement) {
+                out.push(name.as_str());
+            }
+        }
+        for name in other.placements.keys() {
+            if !self.placements.contains_key(name) {
+                out.push(name.as_str());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_layout() {
+        let l = StorageLayout::uniform(["a", "b"], StoreKind::Column);
+        assert_eq!(l.placement("a"), TablePlacement::Single(StoreKind::Column));
+        assert_eq!(l.placement("b"), TablePlacement::Single(StoreKind::Column));
+        // unknown tables default to row store
+        assert_eq!(l.placement("zzz"), TablePlacement::Single(StoreKind::Row));
+    }
+
+    #[test]
+    fn trivial_spec_detection() {
+        assert!(PartitionSpec::default().is_trivial());
+        let spec = PartitionSpec {
+            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::Int(5) }),
+            vertical: None,
+        };
+        assert!(!spec.is_trivial());
+    }
+
+    #[test]
+    fn describe_placements() {
+        let single = TablePlacement::Single(StoreKind::Row);
+        assert_eq!(single.describe(), "single (RS)");
+        let part = TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec { split_column: 2, split_value: Value::Int(9) }),
+            vertical: Some(VerticalSpec { row_cols: vec![1, 3] }),
+        });
+        let d = part.describe();
+        assert!(d.contains("col#2 >= 9"), "{d}");
+        assert!(d.contains("[1, 3]"), "{d}");
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let mut a = StorageLayout::uniform(["x", "y"], StoreKind::Row);
+        let b = a.clone();
+        assert!(a.diff(&b).is_empty());
+        a.set("y", TablePlacement::Single(StoreKind::Column));
+        a.set("z", TablePlacement::Single(StoreKind::Row));
+        let d = a.diff(&b);
+        assert_eq!(d, vec!["y", "z"]);
+    }
+
+    #[test]
+    fn layout_serializes() {
+        let mut l = StorageLayout::new();
+        l.set(
+            "orders",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::Int(100) }),
+                vertical: Some(VerticalSpec { row_cols: vec![2] }),
+            }),
+        );
+        let json = serde_json::to_string(&l).unwrap();
+        let back: StorageLayout = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}

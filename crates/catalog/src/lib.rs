@@ -1,0 +1,29 @@
+//! System catalog for the hybrid-store database.
+//!
+//! The catalog carries everything the storage advisor consumes besides the
+//! workload itself (Figure 4 of the paper):
+//!
+//! * the **data schema** — table definitions with primary keys;
+//! * **data characteristics** — basic per-table statistics
+//!   ([`stats::TableStats`]): row counts, per-column distinct counts,
+//!   min/max, and the compression rate the paper's `f_compression`
+//!   adjustment depends on;
+//! * **extended workload statistics** ([`workload_stats::ExtendedStats`]) —
+//!   the online mode's inputs: "the number of inserts per table, the number
+//!   of updates and aggregates per attribute or the number of joins between
+//!   tables";
+//! * the current **storage layout** ([`layout`]) including partition
+//!   annotations, which the engine's rewriter evaluates "for incoming
+//!   queries" exactly as Section 4 describes.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod layout;
+pub mod stats;
+pub mod workload_stats;
+
+pub use catalog::{Catalog, TableEntry};
+pub use layout::{HorizontalSpec, PartitionSpec, StorageLayout, TablePlacement, VerticalSpec};
+pub use stats::{ColumnStats, TableStats};
+pub use workload_stats::{ColumnActivity, ExtendedStats, RangeEnvelope, TableActivity};

@@ -1,0 +1,216 @@
+//! Basic table statistics ("data characteristics" in the paper).
+
+use serde::{Deserialize, Serialize};
+
+use hsd_storage::{RowSel, Table};
+use hsd_types::Value;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Smallest non-null value, if the column is non-empty.
+    pub min: Option<Value>,
+    /// Largest value, if the column is non-empty.
+    pub max: Option<Value>,
+    /// Dictionary compression rate in `[0, 1]`: the fraction of value
+    /// entries saved by dictionary encoding (`1 - distinct/rows`). The
+    /// paper's `f_compression` adjustment consumes exactly this quantity
+    /// (e.g. "the compression rate be 0.7").
+    pub compression_rate: f64,
+}
+
+/// Basic statistics for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of rows at collection time.
+    pub row_count: usize,
+    /// Per-column statistics, schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Empty statistics for an `arity`-column table (all zero).
+    pub fn empty(arity: usize) -> Self {
+        TableStats {
+            row_count: 0,
+            columns: vec![
+                ColumnStats { distinct: 0, min: None, max: None, compression_rate: 0.0 };
+                arity
+            ],
+        }
+    }
+
+    /// Scan `table` and collect fresh statistics.
+    ///
+    /// For column-store tables the dictionary answers distinct counts and
+    /// min/max directly; row-store tables are scanned.
+    pub fn collect(table: &Table) -> Self {
+        let rows = table.row_count();
+        let arity = table.schema().arity();
+        let mut columns = Vec::with_capacity(arity);
+        for col in 0..arity {
+            let distinct = table.distinct_count(col);
+            let (mut min, mut max): (Option<Value>, Option<Value>) = match table {
+                Table::Column(ct) => ct.column(col).min_max(),
+                Table::Row(_) => (None, None),
+            };
+            if min.is_none() && max.is_none() {
+                table.for_each_value(col, RowSel::All, |v| {
+                    if v.is_null() {
+                        return;
+                    }
+                    match &min {
+                        None => min = Some(v.clone()),
+                        Some(m) if v < m => min = Some(v.clone()),
+                        _ => {}
+                    }
+                    match &max {
+                        None => max = Some(v.clone()),
+                        Some(m) if v > m => max = Some(v.clone()),
+                        _ => {}
+                    }
+                });
+            }
+            let compression_rate = if rows == 0 {
+                0.0
+            } else {
+                (1.0 - distinct as f64 / rows as f64).max(0.0)
+            };
+            columns.push(ColumnStats { distinct, min, max, compression_rate });
+        }
+        TableStats { row_count: rows, columns }
+    }
+
+    /// Mean compression rate over all columns — the table-level value the
+    /// cost model uses when a query touches the table as a whole.
+    pub fn avg_compression_rate(&self) -> f64 {
+        if self.columns.is_empty() {
+            return 0.0;
+        }
+        self.columns.iter().map(|c| c.compression_rate).sum::<f64>() / self.columns.len() as f64
+    }
+
+    /// Estimate the selectivity (fraction of rows) of a closed range
+    /// `[lo, hi]` on `col`, assuming a uniform distribution between the
+    /// column's min and max — the standard textbook estimate used when no
+    /// histogram is available.
+    pub fn estimate_range_selectivity(&self, col: usize, lo: &Value, hi: &Value) -> f64 {
+        let stats = match self.columns.get(col) {
+            Some(s) => s,
+            None => return 1.0,
+        };
+        let (min, max) = match (&stats.min, &stats.max) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return 1.0,
+        };
+        let (min_f, max_f) = match (min.as_numeric_key(), max.as_numeric_key()) {
+            (Some(a), Some(b)) if b > a => (a, b),
+            // Degenerate or non-numeric domain: fall back to equality logic.
+            _ => {
+                return if stats.distinct > 0 { 1.0 / stats.distinct as f64 } else { 1.0 };
+            }
+        };
+        let lo_f = lo.as_numeric_key().unwrap_or(min_f).max(min_f);
+        let hi_f = hi.as_numeric_key().unwrap_or(max_f).min(max_f);
+        if hi_f < lo_f {
+            return 0.0;
+        }
+        if lo == hi {
+            // Point predicate: 1/distinct is sharper than width-based.
+            return if stats.distinct > 0 { 1.0 / stats.distinct as f64 } else { 0.0 };
+        }
+        ((hi_f - lo_f) / (max_f - min_f)).clamp(0.0, 1.0)
+    }
+}
+
+/// Numeric ordering key for selectivity estimation (dates and booleans are
+/// orderable numerics here, unlike in aggregation).
+trait NumericKey {
+    fn as_numeric_key(&self) -> Option<f64>;
+}
+
+impl NumericKey for Value {
+    fn as_numeric_key(&self) -> Option<f64> {
+        match self {
+            Value::Date(d) => Some(*d as f64),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            other => other.as_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_storage::StoreKind;
+    use hsd_types::{ColumnDef, ColumnType, TableSchema};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let schema = Arc::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Integer),
+                    ColumnDef::new("grp", ColumnType::Integer),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        );
+        Table::from_rows(
+            schema,
+            StoreKind::Column,
+            (0..100).map(|i| vec![Value::Int(i), Value::Int(i % 5)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collect_basic_stats() {
+        let stats = TableStats::collect(&table());
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.columns[0].distinct, 100);
+        assert_eq!(stats.columns[1].distinct, 5);
+        assert_eq!(stats.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(stats.columns[0].max, Some(Value::Int(99)));
+        assert!((stats.columns[1].compression_rate - 0.95).abs() < 1e-9);
+        assert!(stats.columns[0].compression_rate.abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_compression() {
+        let stats = TableStats::collect(&table());
+        let expect = (0.0 + 0.95) / 2.0;
+        assert!((stats.avg_compression_rate() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let stats = TableStats::collect(&table());
+        let sel = stats.estimate_range_selectivity(0, &Value::Int(0), &Value::Int(49));
+        assert!((sel - 49.0 / 99.0).abs() < 1e-9);
+        // point predicate uses distinct counts
+        let sel = stats.estimate_range_selectivity(1, &Value::Int(3), &Value::Int(3));
+        assert!((sel - 0.2).abs() < 1e-9);
+        // out-of-domain range
+        let sel = stats.estimate_range_selectivity(0, &Value::Int(200), &Value::Int(300));
+        assert_eq!(sel, 0.0);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = TableStats::empty(3);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.columns.len(), 3);
+        assert_eq!(stats.avg_compression_rate(), 0.0);
+    }
+
+    #[test]
+    fn selectivity_of_unknown_column_is_one() {
+        let stats = TableStats::empty(1);
+        assert_eq!(stats.estimate_range_selectivity(9, &Value::Int(0), &Value::Int(1)), 1.0);
+    }
+}

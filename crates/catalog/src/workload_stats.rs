@@ -1,0 +1,268 @@
+//! Extended workload statistics — the online mode's inputs.
+//!
+//! The paper (Section 4): *"Examples for extended workload statistics are
+//! information about the number of inserts per table, the number of updates
+//! and aggregates per attribute or the number of joins between tables."*
+//! This module holds exactly those counters, plus the update-predicate
+//! envelopes the partition advisor uses to locate "tuples that are
+//! frequently updated as a whole".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use hsd_types::{ColumnIdx, Value};
+
+/// Accumulated envelope of predicate ranges observed on one column.
+///
+/// The envelope widens to cover every observed range; together with basic
+/// table statistics it lets the advisor estimate *which* tuples OLTP
+/// activity concentrates on (e.g. "updates touch ids ≥ 0.9·n").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RangeEnvelope {
+    /// Smallest observed lower bound (None until first observation).
+    pub lo: Option<Value>,
+    /// Largest observed upper bound.
+    pub hi: Option<Value>,
+    /// Number of observed ranges.
+    pub count: u64,
+}
+
+impl RangeEnvelope {
+    /// Widen the envelope with an observed closed range.
+    pub fn observe(&mut self, lo: &Value, hi: &Value) {
+        match &self.lo {
+            None => self.lo = Some(lo.clone()),
+            Some(cur) if lo < cur => self.lo = Some(lo.clone()),
+            _ => {}
+        }
+        match &self.hi {
+            None => self.hi = Some(hi.clone()),
+            Some(cur) if hi > cur => self.hi = Some(hi.clone()),
+            _ => {}
+        }
+        self.count += 1;
+    }
+}
+
+/// Per-column activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColumnActivity {
+    /// Times the column appeared as an aggregate input.
+    pub aggregates: u64,
+    /// Times the column was a GROUP BY key.
+    pub group_bys: u64,
+    /// Times the column was assigned by an UPDATE (SET target).
+    pub update_sets: u64,
+    /// Times the column appeared in an UPDATE's predicate.
+    pub update_preds: u64,
+    /// Times the column appeared in a SELECT's predicate.
+    pub select_preds: u64,
+    /// Times the column was projected by a SELECT.
+    pub select_projs: u64,
+}
+
+impl ColumnActivity {
+    /// OLTP-leaning uses of this column (updates + point/range accesses).
+    pub fn oltp_score(&self) -> u64 {
+        self.update_sets + self.update_preds + self.select_preds + self.select_projs
+    }
+
+    /// OLAP-leaning uses of this column (aggregates + grouping).
+    pub fn olap_score(&self) -> u64 {
+        self.aggregates + self.group_bys
+    }
+}
+
+/// Per-table activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableActivity {
+    /// Number of INSERT statements (not rows) against the table.
+    pub inserts: u64,
+    /// Number of UPDATE statements.
+    pub updates: u64,
+    /// Updates that assigned at least half of the non-key attributes —
+    /// the paper's "updated as a whole" signal for horizontal partitioning.
+    pub whole_tuple_updates: u64,
+    /// Number of SELECT (point/range) statements.
+    pub selects: u64,
+    /// Number of aggregation queries touching the table.
+    pub aggregations: u64,
+    /// Per-column counters.
+    pub columns: Vec<ColumnActivity>,
+    /// Envelopes of UPDATE predicates per column.
+    pub update_envelopes: BTreeMap<ColumnIdx, RangeEnvelope>,
+    /// Join partner counts, keyed by the partner table's name.
+    pub join_partners: BTreeMap<String, u64>,
+}
+
+impl TableActivity {
+    /// Fresh counters for an `arity`-column table.
+    pub fn new(arity: usize) -> Self {
+        TableActivity { columns: vec![ColumnActivity::default(); arity], ..Default::default() }
+    }
+
+    /// Total statements recorded against this table.
+    pub fn total_statements(&self) -> u64 {
+        self.inserts + self.updates + self.selects + self.aggregations
+    }
+
+    /// Fraction of recorded statements that are inserts (drives the
+    /// horizontal-partitioning heuristic's first test).
+    pub fn insert_fraction(&self) -> f64 {
+        let total = self.total_statements();
+        if total == 0 {
+            0.0
+        } else {
+            self.inserts as f64 / total as f64
+        }
+    }
+}
+
+/// Extended workload statistics across all tables, keyed by table name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedStats {
+    /// Per-table activity.
+    pub tables: BTreeMap<String, TableActivity>,
+    /// Total statements recorded.
+    pub total_statements: u64,
+}
+
+impl ExtendedStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the activity entry for a table.
+    pub fn table_mut(&mut self, name: &str, arity: usize) -> &mut TableActivity {
+        self.tables
+            .entry(name.to_string())
+            .or_insert_with(|| TableActivity::new(arity))
+    }
+
+    /// Read-only accessor.
+    pub fn table(&self, name: &str) -> Option<&TableActivity> {
+        self.tables.get(name)
+    }
+
+    /// Merge another batch of statistics into this one (used when several
+    /// recorders feed one advisor).
+    pub fn merge(&mut self, other: &ExtendedStats) {
+        self.total_statements += other.total_statements;
+        for (name, theirs) in &other.tables {
+            let arity = theirs.columns.len();
+            let ours = self.table_mut(name, arity);
+            ours.inserts += theirs.inserts;
+            ours.updates += theirs.updates;
+            ours.whole_tuple_updates += theirs.whole_tuple_updates;
+            ours.selects += theirs.selects;
+            ours.aggregations += theirs.aggregations;
+            if ours.columns.len() < arity {
+                ours.columns.resize(arity, ColumnActivity::default());
+            }
+            for (o, t) in ours.columns.iter_mut().zip(&theirs.columns) {
+                o.aggregates += t.aggregates;
+                o.group_bys += t.group_bys;
+                o.update_sets += t.update_sets;
+                o.update_preds += t.update_preds;
+                o.select_preds += t.select_preds;
+                o.select_projs += t.select_projs;
+            }
+            for (col, env) in &theirs.update_envelopes {
+                let entry = ours.update_envelopes.entry(*col).or_default();
+                if let (Some(lo), Some(hi)) = (&env.lo, &env.hi) {
+                    entry.observe(lo, hi);
+                    entry.count += env.count - 1;
+                }
+            }
+            for (partner, n) in &theirs.join_partners {
+                *ours.join_partners.entry(partner.clone()).or_insert(0) += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_widens() {
+        let mut env = RangeEnvelope::default();
+        env.observe(&Value::Int(10), &Value::Int(20));
+        env.observe(&Value::Int(5), &Value::Int(15));
+        env.observe(&Value::Int(12), &Value::Int(30));
+        assert_eq!(env.lo, Some(Value::Int(5)));
+        assert_eq!(env.hi, Some(Value::Int(30)));
+        assert_eq!(env.count, 3);
+    }
+
+    #[test]
+    fn activity_scores() {
+        let mut a = ColumnActivity::default();
+        a.aggregates = 5;
+        a.group_bys = 2;
+        a.update_sets = 1;
+        assert_eq!(a.olap_score(), 7);
+        assert_eq!(a.oltp_score(), 1);
+    }
+
+    #[test]
+    fn insert_fraction() {
+        let mut t = TableActivity::new(2);
+        assert_eq!(t.insert_fraction(), 0.0);
+        t.inserts = 30;
+        t.updates = 50;
+        t.selects = 10;
+        t.aggregations = 10;
+        assert!((t.insert_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_mut_creates_entries() {
+        let mut s = ExtendedStats::new();
+        s.table_mut("orders", 4).inserts += 1;
+        s.table_mut("orders", 4).inserts += 1;
+        assert_eq!(s.table("orders").unwrap().inserts, 2);
+        assert!(s.table("missing").is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExtendedStats::new();
+        a.total_statements = 10;
+        {
+            let t = a.table_mut("t", 2);
+            t.inserts = 3;
+            t.columns[0].aggregates = 4;
+            t.update_envelopes
+                .entry(0)
+                .or_default()
+                .observe(&Value::Int(0), &Value::Int(10));
+            *t.join_partners.entry("dim".into()).or_insert(0) += 2;
+        }
+        let mut b = ExtendedStats::new();
+        b.total_statements = 5;
+        {
+            let t = b.table_mut("t", 2);
+            t.inserts = 2;
+            t.columns[0].aggregates = 1;
+            t.update_envelopes
+                .entry(0)
+                .or_default()
+                .observe(&Value::Int(5), &Value::Int(20));
+            *t.join_partners.entry("dim".into()).or_insert(0) += 1;
+        }
+        a.merge(&b);
+        assert_eq!(a.total_statements, 15);
+        let t = a.table("t").unwrap();
+        assert_eq!(t.inserts, 5);
+        assert_eq!(t.columns[0].aggregates, 5);
+        let env = &t.update_envelopes[&0];
+        assert_eq!(env.lo, Some(Value::Int(0)));
+        assert_eq!(env.hi, Some(Value::Int(20)));
+        assert_eq!(env.count, 2);
+        assert_eq!(t.join_partners["dim"], 3);
+    }
+}

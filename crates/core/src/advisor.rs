@@ -1,0 +1,568 @@
+//! The storage advisor: table-level store recommendation plus store-aware
+//! partitioning, bundled into offline/online entry points.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hsd_catalog::{ExtendedStats, StorageLayout, TablePlacement, TableStats};
+use hsd_engine::{HybridDatabase, StatisticsRecorder};
+use hsd_query::{Query, Workload};
+use hsd_storage::StoreKind;
+use hsd_types::{Result, TableSchema};
+
+use crate::cost::CostModel;
+use crate::estimator::{
+    estimate_query, estimate_workload, estimate_workload_layout, EstimationCtx, TableCtx,
+};
+use crate::partition::{recommend_partition, PartitionAdvisorConfig};
+
+/// Per-table outcome of a recommendation.
+#[derive(Debug, Clone)]
+pub struct TableRecommendation {
+    /// Table name.
+    pub table: String,
+    /// Estimated workload share on the row store (ms).
+    pub cost_row_ms: f64,
+    /// Estimated workload share on the column store (ms).
+    pub cost_column_ms: f64,
+    /// Recommended placement.
+    pub placement: TablePlacement,
+}
+
+/// A complete recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The recommended layout.
+    pub layout: StorageLayout,
+    /// Estimated workload runtime under the recommended layout (ms).
+    pub estimated_ms: f64,
+    /// Estimated runtime with every table in the row store (ms).
+    pub rs_only_ms: f64,
+    /// Estimated runtime with every table in the column store (ms).
+    pub cs_only_ms: f64,
+    /// Per-table details.
+    pub tables: Vec<TableRecommendation>,
+    /// Data-movement statements implementing the layout.
+    pub statements: Vec<String>,
+}
+
+/// The advisor: a calibrated cost model plus heuristic thresholds.
+#[derive(Debug, Clone)]
+pub struct StorageAdvisor {
+    /// Calibrated cost model.
+    pub model: CostModel,
+    /// Partitioning thresholds.
+    pub partition_cfg: PartitionAdvisorConfig,
+    /// Maximum table count for exhaustive store-combination search; larger
+    /// schemas fall back to greedy local search.
+    pub exact_search_limit: usize,
+}
+
+impl StorageAdvisor {
+    /// Advisor with default heuristics.
+    pub fn new(model: CostModel) -> Self {
+        StorageAdvisor {
+            model,
+            partition_cfg: PartitionAdvisorConfig::default(),
+            exact_search_limit: 12,
+        }
+    }
+
+    /// **Offline mode**: recommend a layout from schema, basic statistics,
+    /// and a recorded or expected workload. Workload characteristics are
+    /// derived by static analysis (no execution).
+    pub fn recommend_offline(
+        &self,
+        schemas: &[Arc<TableSchema>],
+        stats: &BTreeMap<String, TableStats>,
+        workload: &Workload,
+        enable_partitioning: bool,
+    ) -> Result<Recommendation> {
+        let ctx = build_ctx(schemas, stats);
+        let activity = analyze_workload(schemas, workload)?;
+        self.recommend_inner(schemas, &ctx, &activity, workload, enable_partitioning)
+    }
+
+    /// **Online mode** evaluation step: recommend from live catalog
+    /// statistics plus the recorded extended workload statistics and the
+    /// recent query window.
+    pub fn recommend_online(
+        &self,
+        db: &HybridDatabase,
+        recorded: &ExtendedStats,
+        window: &Workload,
+        enable_partitioning: bool,
+    ) -> Result<Recommendation> {
+        let schemas: Vec<Arc<TableSchema>> =
+            db.catalog().entries().iter().map(|e| e.schema.clone()).collect();
+        let stats: BTreeMap<String, TableStats> = db
+            .catalog()
+            .entries()
+            .iter()
+            .map(|e| (e.schema.name.clone(), e.stats.clone()))
+            .collect();
+        let mut ctx = build_ctx(&schemas, &stats);
+        for entry in db.catalog().entries() {
+            if let Some(t) = ctx.tables.get_mut(&entry.schema.name) {
+                t.indexed = entry.indexed_columns.clone();
+            }
+        }
+        self.recommend_inner(&schemas, &ctx, recorded, window, enable_partitioning)
+    }
+
+    fn recommend_inner(
+        &self,
+        schemas: &[Arc<TableSchema>],
+        ctx: &EstimationCtx,
+        activity: &ExtendedStats,
+        workload: &Workload,
+        enable_partitioning: bool,
+    ) -> Result<Recommendation> {
+        // --- table level -------------------------------------------------
+        let search = TableLevelSearch::new(&self.model, ctx, workload);
+        let assignment = search.solve(self.exact_search_limit);
+        // --- baselines ---------------------------------------------------
+        let names: Vec<&str> = ctx.tables.keys().map(String::as_str).collect();
+        let rs_only: BTreeMap<String, StoreKind> =
+            names.iter().map(|n| (n.to_string(), StoreKind::Row)).collect();
+        let cs_only: BTreeMap<String, StoreKind> =
+            names.iter().map(|n| (n.to_string(), StoreKind::Column)).collect();
+        let rs_only_ms = estimate_workload(&self.model, ctx, &rs_only, workload);
+        let cs_only_ms = estimate_workload(&self.model, ctx, &cs_only, workload);
+        // --- partitioning ------------------------------------------------
+        let mut layout = StorageLayout::new();
+        let mut tables = Vec::new();
+        for schema in schemas {
+            let name = schema.name.clone();
+            let store = assignment.get(&name).copied().unwrap_or(StoreKind::Row);
+            let mut placement = TablePlacement::Single(store);
+            if enable_partitioning {
+                if let (Some(tctx), Some(act)) =
+                    (ctx.tables.get(&name), activity.tables.get(&name))
+                {
+                    if let Some(spec) =
+                        recommend_partition(schema, &tctx.stats, act, &self.partition_cfg)
+                    {
+                        placement = TablePlacement::Partitioned(spec);
+                    }
+                }
+            }
+            let (cost_row_ms, cost_column_ms) = search.per_table_costs(&name);
+            layout.set(name.clone(), placement.clone());
+            tables.push(TableRecommendation { table: name, cost_row_ms, cost_column_ms, placement });
+        }
+        let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload);
+        let statements = migration_statements(schemas, &layout);
+        Ok(Recommendation { layout, estimated_ms, rs_only_ms, cs_only_ms, tables, statements })
+    }
+}
+
+/// Build the estimation context from schemas + stats.
+pub fn build_ctx(
+    schemas: &[Arc<TableSchema>],
+    stats: &BTreeMap<String, TableStats>,
+) -> EstimationCtx {
+    let mut ctx = EstimationCtx::new();
+    for schema in schemas {
+        let s = stats
+            .get(&schema.name)
+            .cloned()
+            .unwrap_or_else(|| TableStats::empty(schema.arity()));
+        ctx.insert(
+            schema.name.clone(),
+            TableCtx {
+                stats: s,
+                indexed: Vec::new(),
+                column_types: schema.columns.iter().map(|c| c.ty).collect(),
+                pk_columns: schema.primary_key.clone(),
+            },
+        );
+    }
+    ctx
+}
+
+/// Statically derive extended workload statistics from a workload (the
+/// offline mode's workload analysis — no queries are executed).
+pub fn analyze_workload(
+    schemas: &[Arc<TableSchema>],
+    workload: &Workload,
+) -> Result<ExtendedStats> {
+    // A schema-only database gives the recorder its arity lookups.
+    let mut db = HybridDatabase::new();
+    for schema in schemas {
+        db.create_single((**schema).clone(), StoreKind::Row)?;
+    }
+    let mut recorder = StatisticsRecorder::new();
+    for q in &workload.queries {
+        recorder.record(&db, q);
+    }
+    Ok(recorder.into_stats())
+}
+
+// ---------------------------------------------------------------------------
+// Table-level search
+
+/// Decomposed workload costs: per-table single-store sums plus per-join-pair
+/// combination sums, enabling fast evaluation of any store assignment.
+struct TableLevelSearch {
+    tables: Vec<String>,
+    /// `single[t][s]`: cost of all single-table queries on table `t` under
+    /// store `s`.
+    single: Vec<[f64; 2]>,
+    /// Join query costs: `(fact_idx, dim_idx, cost[fact_store][dim_store])`.
+    joins: Vec<(usize, usize, [[f64; 2]; 2])>,
+}
+
+impl TableLevelSearch {
+    fn new(model: &CostModel, ctx: &EstimationCtx, workload: &Workload) -> Self {
+        let tables: Vec<String> = ctx.tables.keys().cloned().collect();
+        let index: BTreeMap<&str, usize> =
+            tables.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let mut single = vec![[0.0f64; 2]; tables.len()];
+        let mut join_map: BTreeMap<(usize, usize), [[f64; 2]; 2]> = BTreeMap::new();
+        for q in &workload.queries {
+            match q {
+                Query::Aggregate(a) if a.join.is_some() => {
+                    let join = a.join.as_ref().expect("checked");
+                    let (Some(&f), Some(&d)) =
+                        (index.get(a.table.as_str()), index.get(join.dim_table.as_str()))
+                    else {
+                        continue;
+                    };
+                    let entry = join_map.entry((f, d)).or_insert([[0.0; 2]; 2]);
+                    for (fi, fs) in StoreKind::BOTH.iter().enumerate() {
+                        for (di, ds) in StoreKind::BOTH.iter().enumerate() {
+                            let mut assign = BTreeMap::new();
+                            assign.insert(a.table.clone(), *fs);
+                            assign.insert(join.dim_table.clone(), *ds);
+                            entry[fi][di] += estimate_query(model, ctx, &assign, q);
+                        }
+                    }
+                }
+                other => {
+                    let table = other.table();
+                    let Some(&t) = index.get(table) else { continue };
+                    for (si, s) in StoreKind::BOTH.iter().enumerate() {
+                        let mut assign = BTreeMap::new();
+                        assign.insert(table.to_string(), *s);
+                        single[t][si] += estimate_query(model, ctx, &assign, other);
+                    }
+                }
+            }
+        }
+        let joins = join_map.into_iter().map(|((f, d), c)| (f, d, c)).collect();
+        TableLevelSearch { tables, single, joins }
+    }
+
+    fn cost_of(&self, stores: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for (t, s) in stores.iter().enumerate() {
+            total += self.single[t][*s];
+        }
+        for (f, d, costs) in &self.joins {
+            total += costs[stores[*f]][stores[*d]];
+        }
+        total
+    }
+
+    /// Exhaustive store-combination search for small schemas ("for the join
+    /// of two tables this means four estimates ... a negligible overhead"),
+    /// greedy local search beyond `exact_limit` tables.
+    fn solve(&self, exact_limit: usize) -> BTreeMap<String, StoreKind> {
+        let n = self.tables.len();
+        let mut best: Vec<usize> = (0..n)
+            .map(|t| if self.single[t][0] <= self.single[t][1] { 0 } else { 1 })
+            .collect();
+        if n == 0 {
+            return BTreeMap::new();
+        }
+        if n <= exact_limit {
+            let mut best_cost = f64::INFINITY;
+            let mut best_assign = best.clone();
+            for mask in 0u64..(1u64 << n) {
+                let stores: Vec<usize> = (0..n).map(|t| ((mask >> t) & 1) as usize).collect();
+                let cost = self.cost_of(&stores);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_assign = stores;
+                }
+            }
+            best = best_assign;
+        } else {
+            // Greedy local search: flip single tables while it helps.
+            let mut cost = self.cost_of(&best);
+            loop {
+                let mut improved = false;
+                for t in 0..n {
+                    best[t] ^= 1;
+                    let c = self.cost_of(&best);
+                    if c + 1e-12 < cost {
+                        cost = c;
+                        improved = true;
+                    } else {
+                        best[t] ^= 1;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        self.tables
+            .iter()
+            .zip(&best)
+            .map(|(name, &s)| {
+                (name.clone(), if s == 0 { StoreKind::Row } else { StoreKind::Column })
+            })
+            .collect()
+    }
+
+    /// Single-table cost split for reporting (join costs are attributed to
+    /// the fact table, at the dimension's cheaper store).
+    fn per_table_costs(&self, table: &str) -> (f64, f64) {
+        let Some(t) = self.tables.iter().position(|n| n == table) else {
+            return (0.0, 0.0);
+        };
+        let mut rs = self.single[t][0];
+        let mut cs = self.single[t][1];
+        for (f, _, costs) in &self.joins {
+            if *f == t {
+                rs += costs[0][0].min(costs[0][1]);
+                cs += costs[1][0].min(costs[1][1]);
+            }
+        }
+        (rs, cs)
+    }
+}
+
+/// Render the data-movement statements for a layout (the "respective
+/// statements to move the data into the recommended store").
+fn migration_statements(schemas: &[Arc<TableSchema>], layout: &StorageLayout) -> Vec<String> {
+    let mut out = Vec::new();
+    for schema in schemas {
+        let name = &schema.name;
+        match layout.placement(name) {
+            TablePlacement::Single(StoreKind::Row) => {
+                out.push(format!("ALTER TABLE {name} MOVE TO ROW STORE;"));
+            }
+            TablePlacement::Single(StoreKind::Column) => {
+                out.push(format!("ALTER TABLE {name} MOVE TO COLUMN STORE;"));
+            }
+            TablePlacement::Partitioned(spec) => {
+                if let Some(h) = &spec.horizontal {
+                    let col = &schema.columns[h.split_column].name;
+                    out.push(format!(
+                        "ALTER TABLE {name} PARTITION HORIZONTALLY WHERE {col} >= {} \
+                         (HOT -> ROW STORE, HISTORIC -> COLUMN STORE);",
+                        h.split_value
+                    ));
+                }
+                if let Some(v) = &spec.vertical {
+                    let cols: Vec<&str> =
+                        v.row_cols.iter().map(|&c| schema.columns[c].name.as_str()).collect();
+                    out.push(format!(
+                        "ALTER TABLE {name} PARTITION VERTICALLY ({}) -> ROW STORE \
+                         (REMAINING ATTRIBUTES -> COLUMN STORE, PRIMARY KEY IN BOTH);",
+                        cols.join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AdjustmentFn;
+    use hsd_catalog::ColumnStats;
+    use hsd_query::{AggFunc, AggregateQuery, InsertQuery, MixedWorkloadConfig, TableSpec, WorkloadGenerator};
+    use hsd_types::{ColumnDef, ColumnType, Value};
+
+    /// A hand-built model with the canonical asymmetries: CS 10× faster at
+    /// aggregation, RS 5× faster at OLTP.
+    fn model() -> CostModel {
+        let mut m = CostModel::neutral();
+        m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
+        m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+        m.row.ins_row = AdjustmentFn::Constant(0.002);
+        m.column.ins_row = AdjustmentFn::Constant(0.01);
+        m.row.sel_point_ms = 0.002;
+        m.column.sel_point_ms = 0.01;
+        m.row.upd_row_ms = 0.002;
+        m.column.upd_row_ms = 0.01;
+        m.row.sel_per_row_scan = 1e-4;
+        m.column.sel_per_row_scan = 1e-5;
+        m
+    }
+
+    fn spec() -> TableSpec {
+        TableSpec::paper_wide("w", 20_000, 3)
+    }
+
+    fn schema_stats() -> (Vec<Arc<TableSchema>>, BTreeMap<String, TableStats>) {
+        let s = spec();
+        let schema = Arc::new(s.schema().unwrap());
+        let mut stats = TableStats::empty(schema.arity());
+        stats.row_count = s.rows;
+        stats.columns = (0..schema.arity())
+            .map(|c| ColumnStats {
+                distinct: if c == 0 { s.rows } else { 100 },
+                min: Some(Value::BigInt(0)),
+                max: Some(Value::BigInt(s.rows as i64 - 1)),
+                compression_rate: 0.5,
+            })
+            .collect();
+        let mut map = BTreeMap::new();
+        map.insert("w".to_string(), stats);
+        (vec![schema], map)
+    }
+
+    fn workload(olap_fraction: f64) -> Workload {
+        WorkloadGenerator::single_table(
+            &spec(),
+            &MixedWorkloadConfig {
+                queries: 200,
+                olap_fraction,
+                hot_fraction: Some(0.1),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn pure_oltp_prefers_row_store() {
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.0), false).unwrap();
+        assert_eq!(rec.layout.placement("w"), TablePlacement::Single(StoreKind::Row));
+        assert!(rec.rs_only_ms <= rec.cs_only_ms);
+        assert!(rec.estimated_ms <= rec.rs_only_ms + 1e-9);
+    }
+
+    #[test]
+    fn olap_heavy_prefers_column_store() {
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.3), false).unwrap();
+        assert_eq!(rec.layout.placement("w"), TablePlacement::Single(StoreKind::Column));
+        assert!(rec.cs_only_ms < rec.rs_only_ms);
+    }
+
+    #[test]
+    fn advisor_picks_argmin_of_its_own_estimates() {
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        for frac in [0.0, 0.01, 0.05, 0.2] {
+            let rec = advisor.recommend_offline(&schemas, &stats, &workload(frac), false).unwrap();
+            let best = rec.rs_only_ms.min(rec.cs_only_ms);
+            assert!(
+                rec.estimated_ms <= best + 1e-9,
+                "frac {frac}: estimated {} > best single {}",
+                rec.estimated_ms,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn partitioning_recommended_for_mixed_workload() {
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.05), true).unwrap();
+        match rec.layout.placement("w") {
+            TablePlacement::Partitioned(spec) => {
+                assert!(spec.horizontal.is_some() || spec.vertical.is_some());
+            }
+            other => panic!("expected partitioned placement, got {other:?}"),
+        }
+        assert!(!rec.statements.is_empty());
+    }
+
+    #[test]
+    fn join_coupling_can_move_dimension() {
+        // Two tables; the workload only joins them. With a punitive
+        // cross-store join factor the advisor must co-locate.
+        let mut m = model();
+        m.join_factor = [[1.0, 10.0], [10.0, 1.0]];
+        let advisor = StorageAdvisor::new(m);
+        let fact = Arc::new(
+            TableSchema::new(
+                "fact",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("fk", ColumnType::BigInt),
+                    ColumnDef::new("kf", ColumnType::Double),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        );
+        let dim = Arc::new(
+            TableSchema::new(
+                "dim",
+                vec![
+                    ColumnDef::new("dk", ColumnType::BigInt),
+                    ColumnDef::new("g", ColumnType::Integer),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        );
+        let mut stats = BTreeMap::new();
+        let mut fs = TableStats::empty(3);
+        fs.row_count = 100_000;
+        stats.insert("fact".into(), fs);
+        let mut ds = TableStats::empty(2);
+        ds.row_count = 100;
+        stats.insert("dim".into(), ds);
+        let mut q = AggregateQuery::simple("fact", AggFunc::Sum, 2);
+        q.join = Some(hsd_query::JoinSpec {
+            dim_table: "dim".into(),
+            fact_fk: 1,
+            dim_pk: 0,
+            group_by_dim: Some(1),
+        });
+        let w = Workload::from_queries(vec![Query::Aggregate(q); 10]);
+        let rec = advisor.recommend_offline(&[fact, dim], &stats, &w, false).unwrap();
+        let f = rec.layout.placement("fact");
+        let d = rec.layout.placement("dim");
+        assert_eq!(f, d, "punitive cross-store joins must co-locate: {f:?} vs {d:?}");
+        assert_eq!(f, TablePlacement::Single(StoreKind::Column), "OLAP-only workload");
+    }
+
+    #[test]
+    fn statements_cover_all_tables() {
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.02), false).unwrap();
+        assert_eq!(rec.statements.len(), 1);
+        assert!(rec.statements[0].contains("ALTER TABLE w MOVE TO"));
+    }
+
+    #[test]
+    fn analyze_workload_counts_statically() {
+        let (schemas, _) = schema_stats();
+        let w = Workload::from_queries(vec![
+            Query::Insert(InsertQuery { table: "w".into(), rows: vec![] }),
+            Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, 1)),
+        ]);
+        let stats = analyze_workload(&schemas, &w).unwrap();
+        let t = stats.table("w").unwrap();
+        assert_eq!(t.inserts, 1);
+        assert_eq!(t.aggregations, 1);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_instance() {
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        let w = workload(0.05);
+        let exact = advisor.recommend_offline(&schemas, &stats, &w, false).unwrap();
+        let mut greedy_advisor = StorageAdvisor::new(model());
+        greedy_advisor.exact_search_limit = 0; // force greedy
+        let greedy = greedy_advisor.recommend_offline(&schemas, &stats, &w, false).unwrap();
+        assert_eq!(exact.layout, greedy.layout);
+    }
+}

@@ -1,0 +1,377 @@
+//! The cost model: store-specific base costs and adjustment functions.
+//!
+//! All costs are in **milliseconds** of estimated runtime. Multiplicative
+//! adjustments are unitless factors normalized to `1.0` at the calibration
+//! reference setting, exactly as in the paper's examples
+//! (`Costs = BaseSUMCosts^RS · c^RS_NoGroupBy · c^RS_Double ·
+//! f^RS_#rows(1000) · f^RS_compression(0.7)`).
+
+use serde::{Deserialize, Serialize};
+
+use hsd_query::AggFunc;
+use hsd_storage::StoreKind;
+use hsd_types::ColumnType;
+
+/// An adjustment function `f` of the cost model. The paper observes that
+/// "most of these functions are simple linear functions (e.g., `f_#rows`),
+/// piecewise linear functions (e.g., `f_compression`) or even constants
+/// (e.g., `c_dataType`)" — these are exactly the three variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdjustmentFn {
+    /// Constant factor, independent of the characteristic.
+    Constant(f64),
+    /// `slope * x + intercept`.
+    Linear {
+        /// Per-unit coefficient.
+        slope: f64,
+        /// Offset at `x = 0`.
+        intercept: f64,
+    },
+    /// Piecewise-linear interpolation through `(x, y)` control points
+    /// (sorted by `x`; clamped outside the covered range).
+    Piecewise {
+        /// Control points.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl AdjustmentFn {
+    /// Evaluate the function at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        match self {
+            AdjustmentFn::Constant(c) => *c,
+            AdjustmentFn::Linear { slope, intercept } => slope * x + intercept,
+            AdjustmentFn::Piecewise { points } => {
+                if points.is_empty() {
+                    return 1.0;
+                }
+                if x <= points[0].0 {
+                    return points[0].1;
+                }
+                if x >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for w in points.windows(2) {
+                    let (x0, y0) = w[0];
+                    let (x1, y1) = w[1];
+                    if x <= x1 {
+                        if (x1 - x0).abs() < f64::EPSILON {
+                            return y1;
+                        }
+                        let t = (x - x0) / (x1 - x0);
+                        return y0 + t * (y1 - y0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// Least-squares linear fit through `(x, y)` samples. Falls back to a
+    /// constant when fewer than two distinct x-values are given.
+    pub fn fit_linear(samples: &[(f64, f64)]) -> Self {
+        if samples.is_empty() {
+            return AdjustmentFn::Constant(0.0);
+        }
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|(x, _)| x).sum();
+        let sy: f64 = samples.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = samples.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = samples.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return AdjustmentFn::Constant(sy / n);
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        AdjustmentFn::Linear { slope, intercept }
+    }
+
+    /// Piecewise-linear function through the given samples (sorted, deduped
+    /// by x; averaged on duplicate x).
+    pub fn fit_piecewise(mut samples: Vec<(f64, f64)>) -> Self {
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(samples.len());
+        for (x, y) in samples {
+            match points.last_mut() {
+                Some((px, py)) if (*px - x).abs() < 1e-12 => *py = (*py + y) / 2.0,
+                _ => points.push((x, y)),
+            }
+        }
+        AdjustmentFn::Piecewise { points }
+    }
+}
+
+fn agg_index(f: AggFunc) -> usize {
+    match f {
+        AggFunc::Sum => 0,
+        AggFunc::Avg => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Count => 4,
+    }
+}
+
+fn type_index(t: ColumnType) -> usize {
+    ColumnType::ALL.iter().position(|x| *x == t).expect("type in ALL")
+}
+
+/// Calibrated cost parameters for one store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreModel {
+    // --- aggregation -----------------------------------------------------
+    /// Unitless multiplier per aggregation function (SUM = 1 reference).
+    pub base_agg: [f64; 5],
+    /// Multiplier applied when the query has a GROUP BY (`c_groupBy`).
+    pub c_group_by: f64,
+    /// Multiplier per aggregated data type (`c_dataType`, Double = 1).
+    pub c_data_type: [f64; 7],
+    /// Milliseconds for the reference aggregation as a function of the row
+    /// count (`f_#rows`).
+    pub f_rows: AdjustmentFn,
+    /// Multiplier as a function of the aggregated attribute's compression
+    /// rate (`f_compression`), normalized to 1 at the reference rate.
+    pub f_compression: AdjustmentFn,
+    // --- point/range selection -------------------------------------------
+    /// Milliseconds for a primary-key point lookup (including one-tuple
+    /// reconstruction).
+    pub sel_point_ms: f64,
+    /// Per-table-row milliseconds when the predicate is evaluated without a
+    /// (secondary) index — the paper's "a table scan is executed". For the
+    /// column store this is the cheap packed-code scan of the implicit
+    /// dictionary index.
+    pub sel_per_row_scan: f64,
+    /// Per-table-row milliseconds when a secondary index serves the
+    /// predicate (≈ 0 for the row store's B-tree range probe).
+    pub sel_per_row_indexed: f64,
+    /// Milliseconds per matched (emitted) row.
+    pub sel_per_match: f64,
+    /// Multiplier by the number of selected columns
+    /// (`f_#selectedColumns`): tuple-reconstruction cost, constant for the
+    /// row store, increasing for the column store.
+    pub f_selected_columns: AdjustmentFn,
+    // --- insert ------------------------------------------------------------
+    /// Milliseconds per inserted row as a function of the table's current
+    /// row count (uniqueness verification grows with the table).
+    pub ins_row: AdjustmentFn,
+    // --- update ------------------------------------------------------------
+    /// Milliseconds per updated row (single attribute).
+    pub upd_row_ms: f64,
+    /// Multiplier by the number of assigned columns (`f_#affectedColumns`).
+    pub f_affected_columns: AdjustmentFn,
+}
+
+impl StoreModel {
+    /// A neutral model (all factors 1, all costs 0) — useful as a building
+    /// block in tests.
+    pub fn neutral() -> Self {
+        StoreModel {
+            base_agg: [1.0; 5],
+            c_group_by: 1.0,
+            c_data_type: [1.0; 7],
+            f_rows: AdjustmentFn::Constant(0.0),
+            f_compression: AdjustmentFn::Constant(1.0),
+            sel_point_ms: 0.0,
+            sel_per_row_scan: 0.0,
+            sel_per_row_indexed: 0.0,
+            sel_per_match: 0.0,
+            f_selected_columns: AdjustmentFn::Constant(1.0),
+            ins_row: AdjustmentFn::Constant(0.0),
+            upd_row_ms: 0.0,
+            f_affected_columns: AdjustmentFn::Constant(1.0),
+        }
+    }
+
+    /// Base-cost multiplier for an aggregation function.
+    pub fn base_agg_of(&self, f: AggFunc) -> f64 {
+        self.base_agg[agg_index(f)]
+    }
+
+    /// Set the base-cost multiplier for an aggregation function.
+    pub fn set_base_agg(&mut self, f: AggFunc, v: f64) {
+        self.base_agg[agg_index(f)] = v;
+    }
+
+    /// `c_dataType` for a column type.
+    pub fn c_type_of(&self, t: ColumnType) -> f64 {
+        self.c_data_type[type_index(t)]
+    }
+
+    /// Set `c_dataType` for a column type.
+    pub fn set_c_type(&mut self, t: ColumnType, v: f64) {
+        self.c_data_type[type_index(t)] = v;
+    }
+}
+
+/// Metadata recorded at calibration time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CalibrationMeta {
+    /// Base row count of the calibration tables.
+    pub base_rows: usize,
+    /// Compression rate of the reference aggregation attribute.
+    pub reference_compression: f64,
+    /// Arity of the calibration table (the reference for
+    /// `f_selected_columns`).
+    pub table_arity: usize,
+    /// Timing repeats per micro-benchmark.
+    pub repeats: usize,
+}
+
+/// The complete calibrated cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Row-store parameters.
+    pub row: StoreModel,
+    /// Column-store parameters.
+    pub column: StoreModel,
+    /// Join overhead multiplier indexed by `[fact_store][dim_store]`
+    /// (0 = row, 1 = column): the paper's store-combination base costs
+    /// (`BaseSUMCosts^{RS,CS}`), normalized against the fact-side
+    /// aggregation.
+    pub join_factor: [[f64; 2]; 2],
+    /// Dimension-side hash-build milliseconds vs. dimension rows, per dim
+    /// store.
+    pub dim_build: [AdjustmentFn; 2],
+    /// Fixed overhead per additional partition in a horizontal union
+    /// (partial-aggregate merging).
+    pub union_overhead_ms: f64,
+    /// Calibration provenance.
+    pub meta: CalibrationMeta,
+}
+
+/// Index into the per-store arrays of [`CostModel`].
+pub fn store_index(s: StoreKind) -> usize {
+    match s {
+        StoreKind::Row => 0,
+        StoreKind::Column => 1,
+    }
+}
+
+impl CostModel {
+    /// Neutral model for tests.
+    pub fn neutral() -> Self {
+        CostModel {
+            row: StoreModel::neutral(),
+            column: StoreModel::neutral(),
+            join_factor: [[1.0; 2]; 2],
+            dim_build: [AdjustmentFn::Constant(0.0), AdjustmentFn::Constant(0.0)],
+            union_overhead_ms: 0.0,
+            meta: CalibrationMeta::default(),
+        }
+    }
+
+    /// Parameters of one store.
+    pub fn store(&self, s: StoreKind) -> &StoreModel {
+        match s {
+            StoreKind::Row => &self.row,
+            StoreKind::Column => &self.column,
+        }
+    }
+
+    /// Mutable parameters of one store.
+    pub fn store_mut(&mut self, s: StoreKind) -> &mut StoreModel {
+        match s {
+            StoreKind::Row => &mut self.row,
+            StoreKind::Column => &mut self.column,
+        }
+    }
+
+    /// Join factor for a store combination.
+    pub fn join_factor_of(&self, fact: StoreKind, dim: StoreKind) -> f64 {
+        self.join_factor[store_index(fact)][store_index(dim)]
+    }
+
+    /// Serialize to JSON (the "system-specific cost model" artifact the
+    /// offline mode produces).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("cost model serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_eval() {
+        assert_eq!(AdjustmentFn::Constant(2.5).eval(100.0), 2.5);
+    }
+
+    #[test]
+    fn linear_eval_and_fit() {
+        let f = AdjustmentFn::Linear { slope: 2.0, intercept: 1.0 };
+        assert_eq!(f.eval(3.0), 7.0);
+        // perfect fit recovery
+        let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 5.0)).collect();
+        let fit = AdjustmentFn::fit_linear(&samples);
+        match fit {
+            AdjustmentFn::Linear { slope, intercept } => {
+                assert!((slope - 3.0).abs() < 1e-9);
+                assert!((intercept - 5.0).abs() < 1e-9);
+            }
+            other => panic!("expected linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_linear_fit_is_constant() {
+        let fit = AdjustmentFn::fit_linear(&[(2.0, 5.0), (2.0, 7.0)]);
+        assert_eq!(fit, AdjustmentFn::Constant(6.0));
+        assert_eq!(AdjustmentFn::fit_linear(&[]), AdjustmentFn::Constant(0.0));
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_clamps() {
+        let f = AdjustmentFn::fit_piecewise(vec![(1.0, 10.0), (0.0, 0.0), (2.0, 40.0)]);
+        assert_eq!(f.eval(0.5), 5.0);
+        assert_eq!(f.eval(1.5), 25.0);
+        assert_eq!(f.eval(-1.0), 0.0); // clamped left
+        assert_eq!(f.eval(9.0), 40.0); // clamped right
+        assert_eq!(f.eval(1.0), 10.0); // exact point
+    }
+
+    #[test]
+    fn piecewise_duplicate_x_averages() {
+        let f = AdjustmentFn::fit_piecewise(vec![(1.0, 10.0), (1.0, 20.0)]);
+        assert_eq!(f.eval(1.0), 15.0);
+    }
+
+    #[test]
+    fn empty_piecewise_is_identity_factor() {
+        assert_eq!(AdjustmentFn::fit_piecewise(vec![]).eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn store_model_accessors() {
+        let mut m = StoreModel::neutral();
+        m.set_base_agg(AggFunc::Avg, 1.4);
+        assert_eq!(m.base_agg_of(AggFunc::Avg), 1.4);
+        assert_eq!(m.base_agg_of(AggFunc::Sum), 1.0);
+        m.set_c_type(ColumnType::Integer, 0.8);
+        assert_eq!(m.c_type_of(ColumnType::Integer), 0.8);
+        assert_eq!(m.c_type_of(ColumnType::Double), 1.0);
+    }
+
+    #[test]
+    fn cost_model_json_round_trip() {
+        let mut m = CostModel::neutral();
+        m.row.f_rows = AdjustmentFn::Linear { slope: 0.001, intercept: 0.2 };
+        m.join_factor[0][1] = 1.7;
+        let json = m.to_json();
+        let back = CostModel::from_json(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn store_lookup() {
+        let m = CostModel::neutral();
+        assert_eq!(m.store(StoreKind::Row), &m.row);
+        assert_eq!(m.store(StoreKind::Column), &m.column);
+        assert_eq!(m.join_factor_of(StoreKind::Row, StoreKind::Column), 1.0);
+    }
+}

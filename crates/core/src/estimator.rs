@@ -1,0 +1,601 @@
+//! Query- and workload-cost estimation against hypothetical store
+//! assignments and layouts.
+//!
+//! This is the evaluation half of Section 3: given the calibrated model,
+//! "the storage advisor can estimate and compare the workload runtimes for
+//! managing the tables in the row store and in the column store".
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use hsd_catalog::{StorageLayout, TablePlacement, TableStats};
+use hsd_query::{AggregateQuery, Query, SelectQuery, UpdateQuery, Workload};
+use hsd_storage::{ColRange, StoreKind};
+use hsd_types::{ColumnIdx, ColumnType, Value};
+
+use crate::cost::{store_index, CostModel, StoreModel};
+
+/// Per-table estimation inputs: basic statistics plus index annotations —
+/// exactly the catalog contents of Figure 4.
+#[derive(Debug, Clone)]
+pub struct TableCtx {
+    /// Basic table statistics.
+    pub stats: TableStats,
+    /// Columns carrying a row-store secondary index.
+    pub indexed: Vec<ColumnIdx>,
+    /// Column types (schema order).
+    pub column_types: Vec<ColumnType>,
+    /// Primary-key column indexes (point-query detection).
+    pub pk_columns: Vec<ColumnIdx>,
+}
+
+/// Estimation context: statistics for every table the workload touches.
+#[derive(Debug, Clone, Default)]
+pub struct EstimationCtx {
+    /// Per-table inputs, keyed by table name.
+    pub tables: BTreeMap<String, TableCtx>,
+}
+
+impl EstimationCtx {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table.
+    pub fn insert(&mut self, name: impl Into<String>, ctx: TableCtx) {
+        self.tables.insert(name.into(), ctx);
+    }
+
+    fn table(&self, name: &str) -> Option<&TableCtx> {
+        self.tables.get(name)
+    }
+}
+
+/// Estimated selectivity (matched-row count) of a conjunctive filter.
+fn estimate_matches(ctx: &TableCtx, filter: &[ColRange]) -> f64 {
+    let n = ctx.stats.row_count as f64;
+    let mut sel = 1.0;
+    for r in filter {
+        let (lo, hi) = range_bounds(ctx, r);
+        sel *= ctx.stats.estimate_range_selectivity(r.column, &lo, &hi);
+    }
+    (sel * n).max(0.0)
+}
+
+fn range_bounds(ctx: &TableCtx, r: &ColRange) -> (Value, Value) {
+    let col = r.column;
+    let min = ctx.stats.columns.get(col).and_then(|c| c.min.clone()).unwrap_or(Value::Null);
+    let max = ctx.stats.columns.get(col).and_then(|c| c.max.clone()).unwrap_or(Value::Null);
+    let lo = match &r.lo {
+        Bound::Included(v) | Bound::Excluded(v) => v.clone(),
+        Bound::Unbounded => min,
+    };
+    let hi = match &r.hi {
+        Bound::Included(v) | Bound::Excluded(v) => v.clone(),
+        Bound::Unbounded => max,
+    };
+    (lo, hi)
+}
+
+/// Whether the filter is a point predicate on the table's full primary key.
+fn is_pk_point(ctx: &TableCtx, filter: &[ColRange]) -> bool {
+    let pk: &[ColumnIdx] =
+        if ctx.pk_columns.is_empty() { &[0] } else { &ctx.pk_columns };
+    filter.len() == pk.len()
+        && pk.iter().all(|col| {
+            filter.iter().any(|r| r.column == *col && r.as_eq().is_some())
+        })
+}
+
+/// Estimate one query's runtime (ms) under a per-table store assignment.
+///
+/// `assignment` maps table name → store; unlisted tables default to the row
+/// store (matching [`StorageLayout::placement`] semantics).
+pub fn estimate_query(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    assignment: &BTreeMap<String, StoreKind>,
+    query: &Query,
+) -> f64 {
+    let store_of =
+        |t: &str| -> StoreKind { assignment.get(t).copied().unwrap_or(StoreKind::Row) };
+    match query {
+        Query::Aggregate(q) => match &q.join {
+            None => estimate_aggregate(model, ctx, store_of(&q.table), q, None),
+            Some(join) => {
+                let fact_store = store_of(&q.table);
+                let dim_store = store_of(&join.dim_table);
+                let dim_rows = ctx
+                    .table(&join.dim_table)
+                    .map_or(0.0, |t| t.stats.row_count as f64);
+                let agg = estimate_aggregate(model, ctx, fact_store, q, Some(dim_store));
+                let build = model.dim_build[store_index(dim_store)].eval(dim_rows);
+                agg * model.join_factor_of(fact_store, dim_store) + build.max(0.0)
+            }
+        },
+        Query::Select(q) => estimate_select(model, ctx, store_of(&q.table), q),
+        Query::Insert(q) => {
+            let store = store_of(&q.table);
+            let n = ctx.table(&q.table).map_or(0.0, |t| t.stats.row_count as f64);
+            let per_row = model.store(store).ins_row.eval(n).max(0.0);
+            per_row * q.rows.len() as f64
+        }
+        Query::Update(q) => estimate_update(model, ctx, store_of(&q.table), q),
+    }
+}
+
+/// Aggregation estimate. For join queries (`dim_store` set) the group-by is
+/// on the dimension side; the join factor is applied by the caller.
+fn estimate_aggregate(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    store: StoreKind,
+    q: &AggregateQuery,
+    dim_store: Option<StoreKind>,
+) -> f64 {
+    let m = model.store(store);
+    let Some(tctx) = ctx.table(&q.table) else { return 0.0 };
+    let n = tctx.stats.row_count as f64;
+    // Σ over aggregates of (base-cost multiplier · data-type constant) —
+    // "the additional aggregate adds another base cost term including its
+    // adjustment to the data type".
+    let mut agg_terms = 0.0;
+    let mut comp_sum = 0.0;
+    for a in &q.aggregates {
+        let ty = tctx.column_types.get(a.column).copied().unwrap_or(ColumnType::Double);
+        agg_terms += m.base_agg_of(a.func) * m.c_type_of(ty);
+        comp_sum += tctx
+            .stats
+            .columns
+            .get(a.column)
+            .map_or(0.0, |c| c.compression_rate);
+    }
+    let compression = if q.aggregates.is_empty() {
+        tctx.stats.avg_compression_rate()
+    } else {
+        comp_sum / q.aggregates.len() as f64
+    };
+    let grouped = q.group_by.is_some()
+        || dim_store.is_some() && q.join.as_ref().is_some_and(|j| j.group_by_dim.is_some());
+    let c_group = if grouped { m.c_group_by } else { 1.0 };
+    if q.filter.is_empty() {
+        agg_terms * c_group * m.f_rows.eval(n).max(0.0) * m.f_compression.eval(compression)
+    } else {
+        // Filtered aggregation: pay the selection to locate rows, then
+        // aggregate over the matched subset.
+        let matched = estimate_matches(tctx, &q.filter);
+        let locate = locate_cost(m, tctx, &q.filter, store);
+        locate
+            + agg_terms
+                * c_group
+                * m.f_rows.eval(matched).max(0.0)
+                * m.f_compression.eval(compression)
+    }
+}
+
+/// Cost of locating the rows matching `filter` (shared by selects, updates,
+/// and filtered aggregates).
+fn locate_cost(
+    m: &StoreModel,
+    tctx: &TableCtx,
+    filter: &[ColRange],
+    store: StoreKind,
+) -> f64 {
+    if is_pk_point(tctx, filter) {
+        return m.sel_point_ms;
+    }
+    let n = tctx.stats.row_count as f64;
+    let matched = estimate_matches(tctx, filter);
+    let indexed = match store {
+        // The column store's dictionary provides the implicit index.
+        StoreKind::Column => true,
+        StoreKind::Row => filter.iter().any(|r| tctx.indexed.contains(&r.column)),
+    };
+    let per_row = if indexed && store == StoreKind::Row {
+        m.sel_per_row_indexed
+    } else {
+        m.sel_per_row_scan
+    };
+    per_row * n + m.sel_per_match * matched
+}
+
+fn estimate_select(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    store: StoreKind,
+    q: &SelectQuery,
+) -> f64 {
+    let m = model.store(store);
+    let Some(tctx) = ctx.table(&q.table) else { return 0.0 };
+    let arity = tctx.column_types.len().max(1);
+    let k = q.columns.as_ref().map_or(arity, Vec::len) as f64;
+    let col_factor = m.f_selected_columns.eval(k).max(0.0);
+    if is_pk_point(tctx, &q.filter) {
+        return m.sel_point_ms * col_factor;
+    }
+    let matched = estimate_matches(tctx, &q.filter);
+    let locate = locate_cost(m, tctx, &q.filter, store);
+    // Emission: per matched row, scaled by tuple-reconstruction width.
+    locate + m.sel_per_match * matched * (col_factor - 1.0).max(0.0)
+}
+
+fn estimate_update(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    store: StoreKind,
+    q: &UpdateQuery,
+) -> f64 {
+    let m = model.store(store);
+    let Some(tctx) = ctx.table(&q.table) else { return 0.0 };
+    let matched = if is_pk_point(tctx, &q.filter) {
+        1.0
+    } else {
+        estimate_matches(tctx, &q.filter)
+    };
+    let locate = locate_cost(m, tctx, &q.filter, store);
+    let k = q.sets.len().max(1) as f64;
+    locate + m.upd_row_ms * matched * m.f_affected_columns.eval(k).max(0.0)
+}
+
+/// Estimate a whole workload (ms) under a per-table store assignment.
+pub fn estimate_workload(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    assignment: &BTreeMap<String, StoreKind>,
+    workload: &Workload,
+) -> f64 {
+    workload.queries.iter().map(|q| estimate_query(model, ctx, assignment, q)).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Layout-aware estimation (partitioned placements)
+
+/// Estimate one query under a full [`StorageLayout`], approximating
+/// partitioned tables by their hot/cold row fractions.
+pub fn estimate_query_layout(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    layout: &StorageLayout,
+    query: &Query,
+) -> f64 {
+    // Single-store view of the layout for tables that are not partitioned.
+    let mut single: BTreeMap<String, StoreKind> = BTreeMap::new();
+    for name in ctx.tables.keys() {
+        if let TablePlacement::Single(s) = layout.placement(name) {
+            single.insert(name.clone(), s);
+        }
+    }
+    let table = query.table();
+    match layout.placement(table) {
+        TablePlacement::Single(_) => estimate_query(model, ctx, &single, query),
+        TablePlacement::Partitioned(spec) => {
+            let Some(tctx) = ctx.table(table) else { return 0.0 };
+            let hot_fraction = match &spec.horizontal {
+                None => 0.0,
+                Some(h) => {
+                    let max = tctx
+                        .stats
+                        .columns
+                        .get(h.split_column)
+                        .and_then(|c| c.max.clone())
+                        .unwrap_or(Value::Null);
+                    tctx.stats
+                        .estimate_range_selectivity(h.split_column, &h.split_value, &max)
+                        .clamp(0.0, 1.0)
+                }
+            };
+            estimate_partitioned(model, ctx, &single, query, tctx, &spec, hot_fraction)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn estimate_partitioned(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    single: &BTreeMap<String, StoreKind>,
+    query: &Query,
+    tctx: &TableCtx,
+    spec: &hsd_catalog::PartitionSpec,
+    hot_fraction: f64,
+) -> f64 {
+    let table = query.table().to_string();
+    let n = tctx.stats.row_count as f64;
+    // Build scaled contexts for the hot and cold parts.
+    let scaled = |fraction: f64| -> EstimationCtx {
+        let mut c = ctx.clone();
+        if let Some(t) = c.tables.get_mut(&table) {
+            t.stats.row_count = (n * fraction).round() as usize;
+        }
+        c
+    };
+    let with_store = |s: StoreKind| -> BTreeMap<String, StoreKind> {
+        let mut a = single.clone();
+        a.insert(table.clone(), s);
+        a
+    };
+    match query {
+        Query::Insert(_) => {
+            // Inserts go to the hot row-store partition when present.
+            let store =
+                if spec.horizontal.is_some() { StoreKind::Row } else { StoreKind::Column };
+            estimate_query(model, &scaled(hot_fraction.max(0.01)), &with_store(store), query)
+        }
+        Query::Update(q) => {
+            // Vertical split: updates touching only row-fragment columns run
+            // at row-store cost; otherwise column cost dominates.
+            let store = update_store(spec, q);
+            let hot = estimate_query(model, &scaled(hot_fraction), &with_store(StoreKind::Row), query);
+            let cold = estimate_query(
+                model,
+                &scaled(1.0 - hot_fraction),
+                &with_store(store),
+                query,
+            );
+            // A point update hits exactly one partition; weight by fraction.
+            hot * hot_fraction + cold * (1.0 - hot_fraction)
+        }
+        Query::Select(q) => {
+            let store = select_store(spec, q);
+            let hot = estimate_query(model, &scaled(hot_fraction), &with_store(StoreKind::Row), query);
+            let cold = estimate_query(
+                model,
+                &scaled(1.0 - hot_fraction),
+                &with_store(store),
+                query,
+            );
+            if is_pk_point(tctx, &q.filter) {
+                hot * hot_fraction + cold * (1.0 - hot_fraction)
+            } else {
+                hot + cold + model.union_overhead_ms
+            }
+        }
+        Query::Aggregate(_) => {
+            // Aggregation unions both partitions: row-store scan over the
+            // hot rows plus column-store scan over the cold rows.
+            let hot = if hot_fraction > 0.0 {
+                estimate_query(model, &scaled(hot_fraction), &with_store(StoreKind::Row), query)
+            } else {
+                0.0
+            };
+            let cold = estimate_query(
+                model,
+                &scaled(1.0 - hot_fraction),
+                &with_store(StoreKind::Column),
+                query,
+            );
+            hot + cold + if spec.horizontal.is_some() { model.union_overhead_ms } else { 0.0 }
+        }
+    }
+}
+
+fn update_store(spec: &hsd_catalog::PartitionSpec, q: &UpdateQuery) -> StoreKind {
+    match &spec.vertical {
+        Some(v) if q.sets.iter().all(|(c, _)| v.row_cols.contains(c)) => StoreKind::Row,
+        Some(_) | None => StoreKind::Column,
+    }
+}
+
+fn select_store(spec: &hsd_catalog::PartitionSpec, q: &SelectQuery) -> StoreKind {
+    match (&spec.vertical, &q.columns) {
+        (Some(v), Some(cols)) if cols.iter().all(|c| *c == 0 || v.row_cols.contains(c)) => {
+            StoreKind::Row
+        }
+        _ => StoreKind::Column,
+    }
+}
+
+/// Estimate a whole workload under a full layout.
+pub fn estimate_workload_layout(
+    model: &CostModel,
+    ctx: &EstimationCtx,
+    layout: &StorageLayout,
+    workload: &Workload,
+) -> f64 {
+    workload.queries.iter().map(|q| estimate_query_layout(model, ctx, layout, q)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AdjustmentFn;
+    use hsd_catalog::ColumnStats;
+    use hsd_query::{AggFunc, AggregateQuery, InsertQuery};
+
+    fn tctx(rows: usize) -> TableCtx {
+        TableCtx {
+            stats: TableStats {
+                row_count: rows,
+                columns: vec![
+                    ColumnStats {
+                        distinct: rows,
+                        min: Some(Value::BigInt(0)),
+                        max: Some(Value::BigInt(rows as i64 - 1)),
+                        compression_rate: 0.0,
+                    },
+                    ColumnStats {
+                        distinct: 100,
+                        min: Some(Value::Double(0.0)),
+                        max: Some(Value::Double(100.0)),
+                        compression_rate: 0.7,
+                    },
+                ],
+            },
+            indexed: vec![],
+            column_types: vec![ColumnType::BigInt, ColumnType::Double],
+            pk_columns: vec![0],
+        }
+    }
+
+    fn model() -> CostModel {
+        let mut m = CostModel::neutral();
+        // RS aggregation: 1 µs/row; CS: 0.1 µs/row
+        m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.1 };
+        m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.2 };
+        // inserts: RS cheap, CS 5x
+        m.row.ins_row = AdjustmentFn::Constant(0.001);
+        m.column.ins_row = AdjustmentFn::Constant(0.005);
+        m.row.sel_point_ms = 0.002;
+        m.column.sel_point_ms = 0.01;
+        m.row.upd_row_ms = 0.002;
+        m.column.upd_row_ms = 0.01;
+        m
+    }
+
+    fn ctx() -> EstimationCtx {
+        let mut c = EstimationCtx::new();
+        c.insert("t", tctx(10_000));
+        c
+    }
+
+    fn assign(s: StoreKind) -> BTreeMap<String, StoreKind> {
+        let mut a = BTreeMap::new();
+        a.insert("t".to_string(), s);
+        a
+    }
+
+    #[test]
+    fn aggregation_prefers_column_store() {
+        let m = model();
+        let c = ctx();
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let rs = estimate_query(&m, &c, &assign(StoreKind::Row), &q);
+        let cs = estimate_query(&m, &c, &assign(StoreKind::Column), &q);
+        assert!(rs > cs, "rs={rs} cs={cs}");
+        // linear in rows: doubling rows roughly doubles cost
+        let mut big = EstimationCtx::new();
+        big.insert("t", tctx(20_000));
+        let rs2 = estimate_query(&m, &big, &assign(StoreKind::Row), &q);
+        assert!(rs2 > rs * 1.8 && rs2 < rs * 2.2);
+    }
+
+    #[test]
+    fn multiple_aggregates_add_base_terms() {
+        let m = model();
+        let c = ctx();
+        let one = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let mut two_q = AggregateQuery::simple("t", AggFunc::Sum, 1);
+        two_q.aggregates.push(hsd_query::Aggregate { func: AggFunc::Avg, column: 1 });
+        let two = Query::Aggregate(two_q);
+        let c1 = estimate_query(&m, &c, &assign(StoreKind::Column), &one);
+        let c2 = estimate_query(&m, &c, &assign(StoreKind::Column), &two);
+        assert!((c2 / c1 - 2.0).abs() < 1e-6, "two aggregates cost twice the base term");
+    }
+
+    #[test]
+    fn group_by_applies_constant() {
+        let mut m = model();
+        m.column.c_group_by = 3.0;
+        let c = ctx();
+        let mut q = AggregateQuery::simple("t", AggFunc::Sum, 1);
+        let without = estimate_query(&m, &c, &assign(StoreKind::Column), &Query::Aggregate(q.clone()));
+        q.group_by = Some(1);
+        let with = estimate_query(&m, &c, &assign(StoreKind::Column), &Query::Aggregate(q));
+        assert!((with / without - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inserts_prefer_row_store() {
+        let m = model();
+        let c = ctx();
+        let q = Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![vec![Value::BigInt(1), Value::Double(0.0)]; 10],
+        });
+        let rs = estimate_query(&m, &c, &assign(StoreKind::Row), &q);
+        let cs = estimate_query(&m, &c, &assign(StoreKind::Column), &q);
+        assert!(cs > rs);
+        assert!((rs - 0.01).abs() < 1e-9); // 10 rows × 0.001
+    }
+
+    #[test]
+    fn point_queries_hit_point_path() {
+        let m = model();
+        let c = ctx();
+        let q = Query::Select(SelectQuery::point("t", 0, Value::BigInt(5)));
+        let rs = estimate_query(&m, &c, &assign(StoreKind::Row), &q);
+        assert!((rs - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_cost_scales_with_affected_rows() {
+        let mut m = model();
+        m.row.sel_per_row_scan = 1e-5;
+        let c = ctx();
+        let point = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(0.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(3))],
+        });
+        let range = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(0.0))],
+            filter: vec![ColRange::between(0, Value::BigInt(0), Value::BigInt(4999))],
+        });
+        let p = estimate_query(&m, &c, &assign(StoreKind::Row), &point);
+        let r = estimate_query(&m, &c, &assign(StoreKind::Row), &range);
+        assert!(r > p * 100.0, "range update much dearer than point update");
+    }
+
+    #[test]
+    fn workload_estimate_sums_queries() {
+        let m = model();
+        let c = ctx();
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let w = Workload::from_queries(vec![q.clone(), q.clone()]);
+        let single = estimate_query(&m, &c, &assign(StoreKind::Column), &w.queries[0]);
+        let total = estimate_workload(&m, &c, &assign(StoreKind::Column), &w);
+        assert!((total - 2.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layout_estimation_partitioned_aggregate() {
+        let m = model();
+        let c = ctx();
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        // 10% hot horizontal partition
+        let mut layout = StorageLayout::new();
+        layout.set(
+            "t",
+            TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
+                horizontal: Some(hsd_catalog::HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(9000),
+                }),
+                vertical: None,
+            }),
+        );
+        let partitioned = estimate_query_layout(&m, &c, &layout, &q);
+        let mut cs_layout = StorageLayout::new();
+        cs_layout.set("t", TablePlacement::Single(StoreKind::Column));
+        let cs = estimate_query_layout(&m, &c, &cs_layout, &q);
+        let mut rs_layout = StorageLayout::new();
+        rs_layout.set("t", TablePlacement::Single(StoreKind::Row));
+        let rs = estimate_query_layout(&m, &c, &rs_layout, &q);
+        assert!(partitioned > cs, "partition pays RS scan on the hot 10%");
+        assert!(partitioned < rs, "but stays far below full row store");
+    }
+
+    #[test]
+    fn join_estimation_uses_combo_factor() {
+        let mut m = model();
+        m.join_factor = [[2.0, 4.0], [1.2, 1.5]];
+        let mut c = ctx();
+        c.insert("dim", tctx(100));
+        let mut q = AggregateQuery::simple("t", AggFunc::Sum, 1);
+        q.join = Some(hsd_query::JoinSpec {
+            dim_table: "dim".into(),
+            fact_fk: 0,
+            dim_pk: 0,
+            group_by_dim: Some(1),
+        });
+        let q = Query::Aggregate(q);
+        let mut a = assign(StoreKind::Row);
+        a.insert("dim".into(), StoreKind::Row);
+        let rr = estimate_query(&m, &c, &a, &q);
+        a.insert("dim".into(), StoreKind::Column);
+        let rc = estimate_query(&m, &c, &a, &q);
+        assert!(rc > rr, "factor 4 vs 2 for dim in CS");
+    }
+}

@@ -1,0 +1,41 @@
+//! The storage advisor — the paper's primary contribution.
+//!
+//! The advisor answers the hybrid-store question *"which data should be
+//! managed in which store?"* in three stages:
+//!
+//! 1. **Cost model** ([`cost`]): store-specific base costs per query type
+//!    composed with multiplicative adjustment functions for the query and
+//!    data characteristics (`Costs = BaseCosts · QueryAdjustment ·
+//!    DataAdjustment`, Section 3 of the paper). The adjustment functions are
+//!    constants, linear, or piecewise-linear ([`cost::AdjustmentFn`]).
+//! 2. **Calibration** ([`calibration`]): "based on some representative tests
+//!    the base costs and the adjustment functions are set to reflect the
+//!    current system's hardware settings" — micro-benchmarks run against a
+//!    live [`hsd_engine::HybridDatabase`] and the functions are fitted by
+//!    least squares / interpolation.
+//! 3. **Recommendation** ([`advisor`], [`partition`]): the table-level
+//!    advisor estimates workload runtime for every store assignment (join
+//!    queries couple tables, so store *combinations* are searched), and the
+//!    partition advisor applies the paper's heuristic for up-to-two
+//!    horizontal and up-to-two vertical partitions per table.
+//!
+//! [`online`] implements the online working mode: consume recorded extended
+//! statistics, re-evaluate periodically, and emit adaptation
+//! recommendations.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod calibration;
+pub mod cost;
+pub mod estimator;
+pub mod online;
+pub mod partition;
+pub mod report;
+
+pub use advisor::{Recommendation, StorageAdvisor, TableRecommendation};
+pub use calibration::{calibrate, CalibrationConfig};
+pub use cost::{AdjustmentFn, CostModel, StoreModel};
+pub use estimator::{EstimationCtx, TableCtx};
+pub use online::{AdaptationRecommendation, OnlineAdvisor, OnlineConfig};
+pub use partition::PartitionAdvisorConfig;

@@ -1,0 +1,253 @@
+//! The online working mode: record, re-evaluate, adapt.
+//!
+//! Figure 5 of the paper: after the offline mode produced the initial
+//! layout, the system "records extended workload and table statistics and,
+//! in certain time intervals, ... re-evaluates the storage layout based on
+//! the current workload statistics and recommends adaptations if required".
+
+use hsd_engine::{mover, HybridDatabase, StatisticsRecorder};
+use hsd_query::{Query, Workload};
+use hsd_types::Result;
+
+use crate::advisor::{Recommendation, StorageAdvisor};
+
+/// Settings of the online advisor.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Re-evaluate after this many recorded statements.
+    pub evaluation_interval: usize,
+    /// Required relative improvement before an adaptation is recommended
+    /// (changing a layout costs downtime, so small wins are ignored).
+    pub min_improvement: f64,
+    /// Maximum number of recent queries kept as the estimation window.
+    pub window_capacity: usize,
+    /// Whether partitioning recommendations are enabled.
+    pub enable_partitioning: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            evaluation_interval: 500,
+            min_improvement: 0.10,
+            window_capacity: 2_000,
+            enable_partitioning: true,
+        }
+    }
+}
+
+/// An adaptation the online advisor wants to apply.
+#[derive(Debug, Clone)]
+pub struct AdaptationRecommendation {
+    /// The full recommendation (layout, estimates, statements).
+    pub recommendation: Recommendation,
+    /// Estimated runtime of the window under the *current* layout (ms).
+    pub current_ms: f64,
+    /// Estimated relative improvement (`0.25` = 25 % faster).
+    pub improvement: f64,
+    /// Tables whose placement changes.
+    pub changed_tables: Vec<String>,
+}
+
+/// Online advisor: wraps a [`StorageAdvisor`] with statistics recording and
+/// interval-based re-evaluation.
+#[derive(Debug)]
+pub struct OnlineAdvisor {
+    advisor: StorageAdvisor,
+    cfg: OnlineConfig,
+    recorder: StatisticsRecorder,
+    window: Vec<Query>,
+    since_last_eval: usize,
+}
+
+impl OnlineAdvisor {
+    /// New online advisor around a calibrated storage advisor.
+    pub fn new(advisor: StorageAdvisor, cfg: OnlineConfig) -> Self {
+        OnlineAdvisor {
+            advisor,
+            cfg,
+            recorder: StatisticsRecorder::new(),
+            window: Vec::new(),
+            since_last_eval: 0,
+        }
+    }
+
+    /// Observe one query (recording statistics and the estimation window)
+    /// and — at interval boundaries — re-evaluate the layout. Returns an
+    /// adaptation recommendation when a sufficiently better layout exists.
+    pub fn observe(
+        &mut self,
+        db: &HybridDatabase,
+        query: &Query,
+    ) -> Result<Option<AdaptationRecommendation>> {
+        self.recorder.record(db, query);
+        if self.window.len() == self.cfg.window_capacity {
+            self.window.remove(0);
+        }
+        self.window.push(query.clone());
+        self.since_last_eval += 1;
+        if self.since_last_eval < self.cfg.evaluation_interval {
+            return Ok(None);
+        }
+        self.since_last_eval = 0;
+        self.evaluate(db)
+    }
+
+    /// Force a re-evaluation of the current layout.
+    pub fn evaluate(&self, db: &HybridDatabase) -> Result<Option<AdaptationRecommendation>> {
+        if self.window.is_empty() {
+            return Ok(None);
+        }
+        let window = Workload::from_queries(self.window.clone());
+        let rec = self.advisor.recommend_online(
+            db,
+            self.recorder.stats(),
+            &window,
+            self.cfg.enable_partitioning,
+        )?;
+        // Cost of the window under the database's *current* layout.
+        let schemas: Vec<_> = db.catalog().entries().iter().map(|e| e.schema.clone()).collect();
+        let stats = db
+            .catalog()
+            .entries()
+            .iter()
+            .map(|e| (e.schema.name.clone(), e.stats.clone()))
+            .collect();
+        let ctx = crate::advisor::build_ctx(&schemas, &stats);
+        let current_layout = db.current_layout();
+        let current_ms = crate::estimator::estimate_workload_layout(
+            &self.advisor.model,
+            &ctx,
+            &current_layout,
+            &window,
+        );
+        if current_ms <= 0.0 {
+            return Ok(None);
+        }
+        let improvement = (current_ms - rec.estimated_ms) / current_ms;
+        if improvement < self.cfg.min_improvement {
+            return Ok(None);
+        }
+        let changed: Vec<String> = rec
+            .layout
+            .diff(&current_layout)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        if changed.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(AdaptationRecommendation {
+            recommendation: rec,
+            current_ms,
+            improvement,
+            changed_tables: changed,
+        }))
+    }
+
+    /// Apply an adaptation (the "directly applied to the database system"
+    /// path; the paper notes this "should be applied with care").
+    pub fn apply(
+        &mut self,
+        db: &mut HybridDatabase,
+        adaptation: &AdaptationRecommendation,
+    ) -> Result<Vec<String>> {
+        let moved = mover::apply_layout(db, &adaptation.recommendation.layout)?;
+        // A layout change invalidates the recorded interval.
+        self.recorder.reset();
+        self.window.clear();
+        self.since_last_eval = 0;
+        Ok(moved)
+    }
+
+    /// Recorded statements since the last reset.
+    pub fn recorded_statements(&self) -> u64 {
+        self.recorder.stats().total_statements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AdjustmentFn, CostModel};
+    use hsd_catalog::TablePlacement;
+    use hsd_query::{MixedWorkloadConfig, TableSpec, WorkloadGenerator};
+    use hsd_storage::StoreKind;
+
+    fn model() -> CostModel {
+        let mut m = CostModel::neutral();
+        m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
+        m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+        m.row.ins_row = AdjustmentFn::Constant(0.002);
+        m.column.ins_row = AdjustmentFn::Constant(0.01);
+        m.row.sel_point_ms = 0.002;
+        m.column.sel_point_ms = 0.01;
+        m.row.upd_row_ms = 0.002;
+        m.column.upd_row_ms = 0.01;
+        m
+    }
+
+    fn spec() -> TableSpec {
+        TableSpec::paper_wide("w", 2_000, 9)
+    }
+
+    #[test]
+    fn online_advisor_detects_workload_shift() {
+        let s = spec();
+        let mut db = HybridDatabase::new();
+        db.create_single(s.schema().unwrap(), StoreKind::Row).unwrap();
+        db.bulk_load("w", s.rows()).unwrap();
+
+        let cfg = OnlineConfig {
+            evaluation_interval: 100,
+            min_improvement: 0.05,
+            enable_partitioning: false,
+            ..Default::default()
+        };
+        let mut online = OnlineAdvisor::new(StorageAdvisor::new(model()), cfg);
+
+        // Phase 1: OLTP-only — the current row-store layout should hold.
+        let oltp = WorkloadGenerator::single_table(
+            &s,
+            &MixedWorkloadConfig { queries: 100, olap_fraction: 0.0, ..Default::default() },
+        );
+        let mut adaptations = 0;
+        for q in &oltp.queries {
+            db.execute(q).unwrap();
+            if online.observe(&db, q).unwrap().is_some() {
+                adaptations += 1;
+            }
+        }
+        assert_eq!(adaptations, 0, "row store is already optimal for OLTP");
+
+        // Phase 2: the workload turns analytical — an adaptation to the
+        // column store must be recommended. The phase-2 generator allocates
+        // insert ids beyond everything phase 1 could have inserted.
+        let s2 = TableSpec { rows: 10_000, ..spec() };
+        let olap = WorkloadGenerator::single_table(
+            &s2,
+            &MixedWorkloadConfig { queries: 100, olap_fraction: 0.8, ..Default::default() },
+        );
+        let mut adaptation = None;
+        for q in &olap.queries {
+            db.execute(q).unwrap();
+            if let Some(a) = online.observe(&db, q).unwrap() {
+                adaptation = Some(a);
+                break;
+            }
+        }
+        let adaptation = adaptation.expect("workload shift must trigger adaptation");
+        assert!(adaptation.improvement >= 0.05);
+        assert_eq!(adaptation.changed_tables, vec!["w".to_string()]);
+        assert_eq!(
+            adaptation.recommendation.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Column)
+        );
+
+        // Apply it and verify the database moved.
+        let moved = online.apply(&mut db, &adaptation).unwrap();
+        assert_eq!(moved, vec!["w".to_string()]);
+        assert_eq!(db.catalog().single_store_of("w").unwrap(), StoreKind::Column);
+        assert_eq!(online.recorded_statements(), 0, "interval resets after adaptation");
+    }
+}

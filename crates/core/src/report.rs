@@ -1,0 +1,68 @@
+//! Human-readable recommendation reports for the database administrator.
+
+use std::fmt::Write as _;
+
+use crate::advisor::Recommendation;
+
+/// Render a recommendation as the report shown to the DBA.
+pub fn render(rec: &Recommendation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Storage Advisor Recommendation ===");
+    let _ = writeln!(out, "estimated workload runtime:");
+    let _ = writeln!(out, "  all tables in row store   : {:>12.3} ms", rec.rs_only_ms);
+    let _ = writeln!(out, "  all tables in column store: {:>12.3} ms", rec.cs_only_ms);
+    let _ = writeln!(out, "  recommended layout        : {:>12.3} ms", rec.estimated_ms);
+    let baseline = rec.rs_only_ms.min(rec.cs_only_ms);
+    if baseline > 0.0 {
+        let gain = 100.0 * (baseline - rec.estimated_ms) / baseline;
+        let _ = writeln!(out, "  improvement vs best single-store baseline: {gain:.1} %");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "per-table decisions:");
+    for t in &rec.tables {
+        let _ = writeln!(
+            out,
+            "  {:<16} RS {:>10.3} ms | CS {:>10.3} ms -> {}",
+            t.table,
+            t.cost_row_ms,
+            t.cost_column_ms,
+            t.placement.describe()
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "migration statements:");
+    for s in &rec.statements {
+        let _ = writeln!(out, "  {s}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::TableRecommendation;
+    use hsd_catalog::{StorageLayout, TablePlacement};
+    use hsd_storage::StoreKind;
+
+    #[test]
+    fn report_contains_key_facts() {
+        let rec = Recommendation {
+            layout: StorageLayout::uniform(["t"], StoreKind::Column),
+            estimated_ms: 10.0,
+            rs_only_ms: 40.0,
+            cs_only_ms: 15.0,
+            tables: vec![TableRecommendation {
+                table: "t".into(),
+                cost_row_ms: 40.0,
+                cost_column_ms: 15.0,
+                placement: TablePlacement::Single(StoreKind::Column),
+            }],
+            statements: vec!["ALTER TABLE t MOVE TO COLUMN STORE;".into()],
+        };
+        let text = render(&rec);
+        assert!(text.contains("row store   :"));
+        assert!(text.contains("ALTER TABLE t MOVE TO COLUMN STORE;"));
+        assert!(text.contains("single (CS)"));
+        assert!(text.contains("improvement"));
+    }
+}

@@ -1,0 +1,1247 @@
+//! Query execution over arbitrary storage layouts.
+//!
+//! Partitioned tables are processed by *rewriting* (Section 4 of the paper):
+//! horizontal partitions are unioned with partial-aggregate merging,
+//! vertical fragments are recombined positionally over the shared primary
+//! key. Store-specific fast paths mirror what real engines do: the column
+//! store groups and joins on dictionary codes; the row store works
+//! tuple-at-a-time.
+
+use std::collections::HashMap;
+
+use hsd_catalog::TableStats;
+use hsd_query::{AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, SelectQuery, UpdateQuery};
+use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable, Table};
+use hsd_types::{ColumnIdx, Error, Result, Value};
+
+use crate::database::HybridDatabase;
+use crate::partition::{ColdPart, Loc, TableData, VerticalPair};
+
+/// One output row of an aggregation: optional group key plus one numeric
+/// result per aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Group key (`None` for ungrouped queries).
+    pub key: Option<Value>,
+    /// Finalized aggregate values, in query order.
+    pub values: Vec<f64>,
+}
+
+/// Result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Aggregation results, sorted by group key.
+    Aggregates(Vec<GroupRow>),
+    /// Selected rows.
+    Rows(Vec<Vec<Value>>),
+    /// Rows affected by an insert or update.
+    Affected(usize),
+}
+
+impl QueryOutput {
+    /// Convenience accessor for aggregation results.
+    pub fn aggregates(&self) -> Option<&[GroupRow]> {
+        match self {
+            QueryOutput::Aggregates(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for selected rows.
+    pub fn rows(&self) -> Option<&[Vec<Value>]> {
+        match self {
+            QueryOutput::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Execute any query against the database's current layout.
+pub fn execute(db: &mut HybridDatabase, query: &Query) -> Result<QueryOutput> {
+    match query {
+        Query::Insert(q) => exec_insert(db, q),
+        Query::Update(q) => exec_update(db, q),
+        Query::Select(q) => exec_select(db, q),
+        Query::Aggregate(q) => match &q.join {
+            None => exec_aggregate(db, q),
+            Some(join) => exec_join_aggregate(db, q, join),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation accumulators
+
+#[derive(Debug, Clone, Copy)]
+struct Acc {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    #[inline]
+    fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Count a non-null, non-numeric value (only COUNT observes it).
+    #[inline]
+    fn add_non_numeric(&mut self) {
+        self.count += 1;
+    }
+
+    fn finalize(&self, func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as f64,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggFunc::Min => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.min
+                }
+            }
+            AggFunc::Max => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.max
+                }
+            }
+        }
+    }
+}
+
+type Groups = HashMap<Option<Value>, Vec<Acc>>;
+
+fn finalize_groups(groups: Groups, aggregates: &[Aggregate]) -> Vec<GroupRow> {
+    let mut out: Vec<GroupRow> = groups
+        .into_iter()
+        .map(|(key, accs)| GroupRow {
+            key,
+            values: accs.iter().zip(aggregates).map(|(a, agg)| a.finalize(agg.func)).collect(),
+        })
+        .collect();
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parts
+
+/// A read view over one physical partition.
+enum Part<'a> {
+    Whole(&'a Table),
+    Pair(&'a VerticalPair),
+}
+
+fn parts_of(data: &TableData) -> Vec<Part<'_>> {
+    parts_of_pruned(data, &[])
+}
+
+/// Partition elimination: when the filter constrains the horizontal split
+/// column, partitions whose domain cannot overlap are skipped. The cold
+/// partition holds only rows below the split value by construction; the hot
+/// partition is prunable only while it stays "pure" (see
+/// [`TableData::hot_is_pure`]).
+fn parts_of_pruned<'a>(data: &'a TableData, filter: &[ColRange]) -> Vec<Part<'a>> {
+    match data {
+        TableData::Single(t) => vec![Part::Whole(t)],
+        TableData::Partitioned { hot, cold, .. } => {
+            let (use_cold, use_hot) = pruning(data, filter);
+            let mut parts = Vec::with_capacity(2);
+            if use_cold {
+                match cold {
+                    ColdPart::Single(t) => parts.push(Part::Whole(t)),
+                    ColdPart::Vertical(p) => parts.push(Part::Pair(p)),
+                }
+            }
+            if use_hot {
+                if let Some(h) = hot {
+                    parts.push(Part::Whole(h));
+                }
+            }
+            parts
+        }
+    }
+}
+
+fn range_overlaps_hot(r: &ColRange, split: &Value) -> bool {
+    match r.hi_ref() {
+        std::ops::Bound::Unbounded => true,
+        std::ops::Bound::Included(v) => v >= split,
+        std::ops::Bound::Excluded(v) => v > split,
+    }
+}
+
+fn range_overlaps_cold(r: &ColRange, split: &Value) -> bool {
+    match r.lo_ref() {
+        std::ops::Bound::Unbounded => true,
+        // Conservative for Excluded: only prune when provably disjoint.
+        std::ops::Bound::Included(v) | std::ops::Bound::Excluded(v) => v < split,
+    }
+}
+
+fn pruning(data: &TableData, filter: &[ColRange]) -> (bool, bool) {
+    let Some(h) = data.horizontal_spec() else {
+        return (true, true);
+    };
+    let mut use_cold = true;
+    let mut use_hot = true;
+    for r in filter.iter().filter(|r| r.column == h.split_column) {
+        if !range_overlaps_cold(r, &h.split_value) {
+            use_cold = false;
+        }
+        if data.hot_is_pure() && !range_overlaps_hot(r, &h.split_value) {
+            use_hot = false;
+        }
+    }
+    (use_cold, use_hot)
+}
+
+impl Part<'_> {
+    fn row_count(&self) -> usize {
+        match self {
+            Part::Whole(t) => t.row_count(),
+            Part::Pair(p) => p.row_count(),
+        }
+    }
+
+    fn filter_rows(&self, ranges: &[ColRange]) -> Vec<u32> {
+        match self {
+            Part::Whole(t) => t.filter_rows(ranges),
+            Part::Pair(p) => p.filter_rows(ranges),
+        }
+    }
+
+    fn point_lookup(&self, key: &[Value]) -> Option<u32> {
+        match self {
+            Part::Whole(t) => t.point_lookup(key),
+            Part::Pair(p) => p.point_lookup(key),
+        }
+    }
+
+    fn value_at(&self, idx: u32, col: ColumnIdx) -> &Value {
+        match self {
+            Part::Whole(t) => t.value_at(idx, col),
+            Part::Pair(p) => p.value_at(idx, col),
+        }
+    }
+
+    fn collect_rows(&self, rows: &[u32], cols: Option<&[ColumnIdx]>) -> Vec<Vec<Value>> {
+        match self {
+            Part::Whole(t) => t.collect_rows(RowSel::Subset(rows), cols),
+            Part::Pair(p) => p.collect_rows(rows, cols),
+        }
+    }
+
+    fn for_each_value(&self, col: ColumnIdx, sel: RowSel<'_>, f: impl FnMut(&Value)) {
+        match self {
+            Part::Whole(t) => t.for_each_value(col, sel, f),
+            Part::Pair(p) => p.for_each_value(col, sel, f),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inserts
+
+fn exec_insert(db: &mut HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> {
+    let data = db.table_data_mut(&q.table)?;
+    for row in &q.rows {
+        data.insert(row)?;
+    }
+    maybe_auto_merge(data);
+    Ok(QueryOutput::Affected(q.rows.len()))
+}
+
+/// Delta-merge policy: once a column-store table's dictionary tails exceed
+/// a fraction of its row count, fold them back in (HANA's delta merge).
+/// This is the structural reason sustained OLTP traffic on column-store
+/// data costs more than its per-statement work alone.
+fn auto_merge_threshold(rows: usize) -> usize {
+    (rows / 32).max(4096)
+}
+
+fn maybe_auto_merge(data: &mut TableData) {
+    match data {
+        TableData::Single(Table::Column(ct)) => {
+            if ct.tail_total() > auto_merge_threshold(ct.row_count()) {
+                ct.compact();
+            }
+        }
+        TableData::Single(Table::Row(_)) => {}
+        TableData::Partitioned { cold, .. } => match cold {
+            ColdPart::Single(Table::Column(ct)) => {
+                if ct.tail_total() > auto_merge_threshold(ct.row_count()) {
+                    ct.compact();
+                }
+            }
+            ColdPart::Vertical(p) => {
+                let (tail, rows) = match p.col_fragment() {
+                    Table::Column(ct) => (ct.tail_total(), ct.row_count()),
+                    Table::Row(_) => (0, 0),
+                };
+                if tail > auto_merge_threshold(rows) {
+                    p.compact_column_fragment();
+                }
+            }
+            _ => {}
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+
+fn exec_update(db: &mut HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
+    let data = db.table_data_mut(&q.table)?;
+    // Point-update fast path over the PK index.
+    if let Some(key) = pk_point_key(data, &q.filter) {
+        let affected = update_point(data, &key, &q.sets)?;
+        maybe_auto_merge(data);
+        return Ok(QueryOutput::Affected(affected));
+    }
+    let mut affected = 0;
+    let (use_cold, use_hot) = pruning(data, &q.filter);
+    match data {
+        TableData::Single(t) => {
+            let rows = t.filter_rows(&q.filter);
+            affected += t.update_rows(&rows, &q.sets)?;
+        }
+        TableData::Partitioned { hot, cold, .. } => {
+            if use_cold {
+                match cold {
+                    ColdPart::Single(t) => {
+                        let rows = t.filter_rows(&q.filter);
+                        affected += t.update_rows(&rows, &q.sets)?;
+                    }
+                    ColdPart::Vertical(p) => {
+                        let rows = p.filter_rows(&q.filter);
+                        affected += p.update_rows(&rows, &q.sets)?;
+                    }
+                }
+            }
+            if use_hot {
+                if let Some(h) = hot {
+                    let rows = h.filter_rows(&q.filter);
+                    affected += h.update_rows(&rows, &q.sets)?;
+                }
+            }
+        }
+    }
+    maybe_auto_merge(data);
+    Ok(QueryOutput::Affected(affected))
+}
+
+/// If the filter is exactly an equality on every primary-key column (and
+/// nothing else), return the key in PK order.
+fn pk_point_key(data: &TableData, filter: &[ColRange]) -> Option<Vec<Value>> {
+    let schema = data.schema();
+    let pk = &schema.primary_key;
+    if filter.len() != pk.len() {
+        return None;
+    }
+    let mut key = Vec::with_capacity(pk.len());
+    for col in pk {
+        let range = filter.iter().find(|r| r.column == *col)?;
+        key.push(range.as_eq()?.clone());
+    }
+    Some(key)
+}
+
+fn update_point(data: &mut TableData, key: &[Value], sets: &[(ColumnIdx, Value)]) -> Result<usize> {
+    match data {
+        TableData::Single(t) => match t.point_lookup(key) {
+            Some(idx) => t.update_rows(&[idx], sets),
+            None => Ok(0),
+        },
+        TableData::Partitioned { hot, cold, .. } => {
+            if let Some(h) = hot {
+                if let Some(idx) = h.point_lookup(key) {
+                    return h.update_rows(&[idx], sets);
+                }
+            }
+            match cold {
+                ColdPart::Single(t) => match t.point_lookup(key) {
+                    Some(idx) => t.update_rows(&[idx], sets),
+                    None => Ok(0),
+                },
+                ColdPart::Vertical(p) => match p.point_lookup(key) {
+                    Some(idx) => p.update_rows(&[idx], sets),
+                    None => Ok(0),
+                },
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selects
+
+fn exec_select(db: &mut HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> {
+    let data = db.table_data(&q.table)?;
+    let cols = q.columns.as_deref();
+    // Point-select fast path.
+    if let Some(key) = pk_point_key(data, &q.filter) {
+        for part in parts_of(data) {
+            if let Some(idx) = part.point_lookup(&key) {
+                return Ok(QueryOutput::Rows(part.collect_rows(&[idx], cols)));
+            }
+        }
+        return Ok(QueryOutput::Rows(Vec::new()));
+    }
+    let mut out = Vec::new();
+    for part in parts_of_pruned(data, &q.filter) {
+        let rows = part.filter_rows(&q.filter);
+        out.extend(part.collect_rows(&rows, cols));
+    }
+    Ok(QueryOutput::Rows(out))
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation (single table)
+
+fn exec_aggregate(db: &mut HybridDatabase, q: &AggregateQuery) -> Result<QueryOutput> {
+    let data = db.table_data(&q.table)?;
+    validate_agg_columns(data, q)?;
+    let mut groups: Groups = HashMap::new();
+    for part in parts_of_pruned(data, &q.filter) {
+        let selection = if q.filter.is_empty() { None } else { Some(part.filter_rows(&q.filter)) };
+        aggregate_part(&part, selection.as_deref(), &q.aggregates, q.group_by, &mut groups);
+    }
+    Ok(QueryOutput::Aggregates(finalize_groups(groups, &q.aggregates)))
+}
+
+fn validate_agg_columns(data: &TableData, q: &AggregateQuery) -> Result<()> {
+    let arity = data.schema().arity();
+    for a in &q.aggregates {
+        if a.column >= arity {
+            return Err(Error::UnknownColumn(format!("{}[{}]", q.table, a.column)));
+        }
+    }
+    if let Some(g) = q.group_by {
+        if g >= arity {
+            return Err(Error::UnknownColumn(format!("{}[{}]", q.table, g)));
+        }
+    }
+    Ok(())
+}
+
+fn sel_of(selection: Option<&[u32]>) -> RowSel<'_> {
+    match selection {
+        None => RowSel::All,
+        Some(rows) => RowSel::Subset(rows),
+    }
+}
+
+fn aggregate_part(
+    part: &Part<'_>,
+    selection: Option<&[u32]>,
+    aggregates: &[Aggregate],
+    group_by: Option<ColumnIdx>,
+    groups: &mut Groups,
+) {
+    match group_by {
+        None => aggregate_part_ungrouped(part, selection, aggregates, groups),
+        Some(g) => match part {
+            Part::Whole(Table::Column(ct)) => {
+                aggregate_column_grouped(ct, selection, aggregates, g, groups)
+            }
+            Part::Whole(Table::Row(rt)) => {
+                aggregate_row_grouped(rt, selection, aggregates, g, groups)
+            }
+            Part::Pair(p) => aggregate_pair_grouped(p, selection, aggregates, g, groups),
+        },
+    }
+}
+
+fn aggregate_part_ungrouped(
+    part: &Part<'_>,
+    selection: Option<&[u32]>,
+    aggregates: &[Aggregate],
+    groups: &mut Groups,
+) {
+    let accs = groups.entry(None).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+    for (k, agg) in aggregates.iter().enumerate() {
+        let acc = &mut accs[k];
+        let numeric = is_numeric_col(part, agg.column);
+        if numeric || agg.func != AggFunc::Count {
+            match part {
+                Part::Whole(t) => t.for_each_numeric(agg.column, sel_of(selection), |v| acc.add(v)),
+                Part::Pair(p) => p.for_each_numeric(agg.column, sel_of(selection), |v| acc.add(v)),
+            }
+        } else {
+            // COUNT over a non-numeric column counts non-null values.
+            part.for_each_value(agg.column, sel_of(selection), |v| {
+                if !v.is_null() {
+                    acc.add_non_numeric();
+                }
+            });
+        }
+    }
+}
+
+fn is_numeric_col(part: &Part<'_>, col: ColumnIdx) -> bool {
+    let schema = match part {
+        Part::Whole(t) => t.schema().clone(),
+        Part::Pair(p) => {
+            return match p.loc(col) {
+                Loc::Row(i) => p.row_fragment().schema().columns[i].ty.is_numeric(),
+                Loc::Col(i) => p.col_fragment().schema().columns[i].ty.is_numeric(),
+            }
+        }
+    };
+    schema.columns[col].ty.is_numeric()
+}
+
+/// Column-store grouped aggregation: group on dictionary codes, decode keys
+/// once at the end.
+fn aggregate_column_grouped(
+    ct: &ColumnTable,
+    selection: Option<&[u32]>,
+    aggregates: &[Aggregate],
+    group_col: ColumnIdx,
+    groups: &mut Groups,
+) {
+    let gcol = ct.column(group_col);
+    let luts: Vec<Vec<Option<f64>>> =
+        aggregates.iter().map(|a| ct.column(a.column).numeric_lut()).collect();
+    let agg_cols: Vec<&hsd_storage::ColumnData> =
+        aggregates.iter().map(|a| ct.column(a.column)).collect();
+    let mut code_groups: HashMap<u32, Vec<Acc>> = HashMap::new();
+    let mut visit = |i: usize| {
+        let gcode = gcol.code_at(i);
+        let accs = code_groups.entry(gcode).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+        for (k, col) in agg_cols.iter().enumerate() {
+            if let Some(v) = luts[k][col.code_at(i) as usize] {
+                accs[k].add(v);
+            } else if aggregates[k].func == AggFunc::Count && !col.value_at(i).is_null() {
+                accs[k].add_non_numeric();
+            }
+        }
+    };
+    match selection {
+        None => {
+            for i in 0..ct.row_count() {
+                visit(i);
+            }
+        }
+        Some(rows) => {
+            for &i in rows {
+                visit(i as usize);
+            }
+        }
+    }
+    for (code, accs) in code_groups {
+        let key = Some(gcol.dictionary().decode(code).clone());
+        merge_accs(groups.entry(key).or_insert_with(|| vec![Acc::new(); aggregates.len()]), &accs);
+    }
+}
+
+/// Row-store grouped aggregation: tuple-at-a-time over row slices.
+fn aggregate_row_grouped(
+    rt: &RowTable,
+    selection: Option<&[u32]>,
+    aggregates: &[Aggregate],
+    group_col: ColumnIdx,
+    groups: &mut Groups,
+) {
+    let mut visit = |idx: u32| {
+        let row = rt.row(idx);
+        let key = Some(row[group_col].clone());
+        let accs = groups.entry(key).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+        for (k, agg) in aggregates.iter().enumerate() {
+            match row[agg.column].as_f64() {
+                Some(v) => accs[k].add(v),
+                None => {
+                    if agg.func == AggFunc::Count && !row[agg.column].is_null() {
+                        accs[k].add_non_numeric();
+                    }
+                }
+            }
+        }
+    };
+    match selection {
+        None => {
+            for idx in 0..rt.row_count() as u32 {
+                visit(idx);
+            }
+        }
+        Some(rows) => {
+            for &idx in rows {
+                visit(idx);
+            }
+        }
+    }
+}
+
+/// Vertical pair grouped aggregation. When every referenced column lives in
+/// one fragment, delegate to that fragment's fast path; otherwise stitch
+/// row-at-a-time.
+fn aggregate_pair_grouped(
+    p: &VerticalPair,
+    selection: Option<&[u32]>,
+    aggregates: &[Aggregate],
+    group_col: ColumnIdx,
+    groups: &mut Groups,
+) {
+    let all_in_col = std::iter::once(group_col)
+        .chain(aggregates.iter().map(|a| a.column))
+        .all(|c| matches!(p.loc(c), Loc::Col(_)));
+    let all_in_row = std::iter::once(group_col)
+        .chain(aggregates.iter().map(|a| a.column))
+        .all(|c| matches!(p.loc(c), Loc::Row(_)));
+    if all_in_col || all_in_row {
+        let translate = |c: ColumnIdx| match p.loc(c) {
+            Loc::Row(i) | Loc::Col(i) => i,
+        };
+        let t_aggs: Vec<Aggregate> = aggregates
+            .iter()
+            .map(|a| Aggregate { func: a.func, column: translate(a.column) })
+            .collect();
+        let frag = if all_in_col { p.col_fragment() } else { p.row_fragment() };
+        aggregate_part(&Part::Whole(frag), selection, &t_aggs, Some(translate(group_col)), groups);
+        return;
+    }
+    // Mixed fragments: generic stitched path.
+    let mut visit = |idx: u32| {
+        let key = Some(p.value_at(idx, group_col).clone());
+        let accs = groups.entry(key).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+        for (k, agg) in aggregates.iter().enumerate() {
+            let v = p.value_at(idx, agg.column);
+            match v.as_f64() {
+                Some(x) => accs[k].add(x),
+                None => {
+                    if agg.func == AggFunc::Count && !v.is_null() {
+                        accs[k].add_non_numeric();
+                    }
+                }
+            }
+        }
+    };
+    match selection {
+        None => {
+            for idx in 0..p.row_count() as u32 {
+                visit(idx);
+            }
+        }
+        Some(rows) => {
+            for &idx in rows {
+                visit(idx);
+            }
+        }
+    }
+}
+
+fn merge_accs(into: &mut [Acc], from: &[Acc]) {
+    for (a, b) in into.iter_mut().zip(from) {
+        a.sum += b.sum;
+        a.count += b.count;
+        if b.min < a.min {
+            a.min = b.min;
+        }
+        if b.max > a.max {
+            a.max = b.max;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join aggregation (fact ⋈ dim)
+
+fn exec_join_aggregate(
+    db: &mut HybridDatabase,
+    q: &AggregateQuery,
+    join: &JoinSpec,
+) -> Result<QueryOutput> {
+    let dim = db.table_data(&join.dim_table)?;
+    // Build the dim-side hash table: join key -> dense group index. Group
+    // keys are interned once so the probe loop never hashes or clones
+    // `Value`s for grouping.
+    let mut group_index: HashMap<Option<Value>, u32> = HashMap::new();
+    let mut group_keys: Vec<Option<Value>> = Vec::new();
+    let mut dim_map: HashMap<Value, u32> = HashMap::new();
+    for part in parts_of(dim) {
+        for idx in 0..part.row_count() as u32 {
+            let key = part.value_at(idx, join.dim_pk).clone();
+            let group = join.group_by_dim.map(|g| part.value_at(idx, g).clone());
+            let gi = match group_index.get(&group) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = group_keys.len() as u32;
+                    group_keys.push(group.clone());
+                    group_index.insert(group, gi);
+                    gi
+                }
+            };
+            dim_map.insert(key, gi);
+        }
+    }
+    let fact = db.table_data(&q.table)?;
+    validate_agg_columns(fact, q)?;
+    // Dense accumulators per group index, merged into value-keyed groups at
+    // the end: the per-row hot loop never hashes a `Value`.
+    let mut accs: Vec<Vec<Acc>> = vec![vec![Acc::new(); q.aggregates.len()]; group_keys.len()];
+    for part in parts_of_pruned(fact, &q.filter) {
+        let selection = if q.filter.is_empty() { None } else { Some(part.filter_rows(&q.filter)) };
+        match part {
+            Part::Whole(Table::Column(ct)) => {
+                join_aggregate_column(ct, selection.as_deref(), q, join, &dim_map, &mut accs)
+            }
+            Part::Pair(p) => {
+                // When the join key and every aggregate resolve in the
+                // column fragment (PKs live in both fragments), run the
+                // dictionary-join fast path against the fragment; row
+                // indexes are positionally aligned across fragments.
+                let fk = p.col_fragment_position(join.fact_fk);
+                let agg_pos: Option<Vec<usize>> =
+                    q.aggregates.iter().map(|a| p.col_fragment_position(a.column)).collect();
+                match (fk, agg_pos, p.col_fragment()) {
+                    (Some(fk), Some(agg_cols), Table::Column(ct)) => {
+                        let tq = AggregateQuery {
+                            aggregates: q
+                                .aggregates
+                                .iter()
+                                .zip(&agg_cols)
+                                .map(|(a, &c)| hsd_query::Aggregate { func: a.func, column: c })
+                                .collect(),
+                            ..q.clone()
+                        };
+                        let tjoin = JoinSpec { fact_fk: fk, ..join.clone() };
+                        join_aggregate_column(
+                            ct,
+                            selection.as_deref(),
+                            &tq,
+                            &tjoin,
+                            &dim_map,
+                            &mut accs,
+                        )
+                    }
+                    _ => join_aggregate_generic(
+                        &Part::Pair(p),
+                        selection.as_deref(),
+                        q,
+                        join,
+                        &dim_map,
+                        &mut accs,
+                    ),
+                }
+            }
+            other => {
+                join_aggregate_generic(&other, selection.as_deref(), q, join, &dim_map, &mut accs)
+            }
+        }
+    }
+    let mut groups: Groups = HashMap::new();
+    for (key, acc) in group_keys.into_iter().zip(accs) {
+        // Inner join: groups no fact row matched stay absent.
+        if acc.iter().any(|a| a.count > 0) {
+            groups.insert(key, acc);
+        }
+    }
+    Ok(QueryOutput::Aggregates(finalize_groups(groups, &q.aggregates)))
+}
+
+/// Column-store fact side: translate the foreign-key dictionary to group
+/// indexes once (dictionary join), then the hot loop is code lookups only.
+fn join_aggregate_column(
+    ct: &ColumnTable,
+    selection: Option<&[u32]>,
+    q: &AggregateQuery,
+    join: &JoinSpec,
+    dim_map: &HashMap<Value, u32>,
+    accs: &mut [Vec<Acc>],
+) {
+    const UNMATCHED: u32 = u32::MAX;
+    let fk = ct.column(join.fact_fk);
+    // fk code -> group index (UNMATCHED for dangling foreign keys).
+    let fk_lut: Vec<u32> = fk
+        .dictionary()
+        .values()
+        .map(|v| dim_map.get(v).copied().unwrap_or(UNMATCHED))
+        .collect();
+    let luts: Vec<Vec<Option<f64>>> =
+        q.aggregates.iter().map(|a| ct.column(a.column).numeric_lut()).collect();
+    let agg_cols: Vec<&hsd_storage::ColumnData> =
+        q.aggregates.iter().map(|a| ct.column(a.column)).collect();
+    let mut visit = |i: usize| {
+        let gi = fk_lut[fk.code_at(i) as usize];
+        if gi == UNMATCHED {
+            return; // inner join: dangling foreign keys drop out
+        }
+        let acc = &mut accs[gi as usize];
+        for (k, col) in agg_cols.iter().enumerate() {
+            if let Some(v) = luts[k][col.code_at(i) as usize] {
+                acc[k].add(v);
+            } else if q.aggregates[k].func == AggFunc::Count && !col.value_at(i).is_null() {
+                acc[k].add_non_numeric();
+            }
+        }
+    };
+    match selection {
+        None => {
+            for i in 0..ct.row_count() {
+                visit(i);
+            }
+        }
+        Some(rows) => {
+            for &i in rows {
+                visit(i as usize);
+            }
+        }
+    }
+}
+
+/// Generic fact side (row store or vertical pair): hash probe per tuple.
+fn join_aggregate_generic(
+    part: &Part<'_>,
+    selection: Option<&[u32]>,
+    q: &AggregateQuery,
+    join: &JoinSpec,
+    dim_map: &HashMap<Value, u32>,
+    accs: &mut [Vec<Acc>],
+) {
+    let mut visit = |idx: u32| {
+        let fk_value = part.value_at(idx, join.fact_fk);
+        let Some(&gi) = dim_map.get(fk_value) else {
+            return; // inner join: dangling foreign keys drop out
+        };
+        let acc = &mut accs[gi as usize];
+        for (k, agg) in q.aggregates.iter().enumerate() {
+            let v = part.value_at(idx, agg.column);
+            match v.as_f64() {
+                Some(x) => acc[k].add(x),
+                None => {
+                    if agg.func == AggFunc::Count && !v.is_null() {
+                        acc[k].add_non_numeric();
+                    }
+                }
+            }
+        }
+    };
+    match selection {
+        None => {
+            for idx in 0..part.row_count() as u32 {
+                visit(idx);
+            }
+        }
+        Some(rows) => {
+            for &idx in rows {
+                visit(idx);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition-aware maintenance helpers used by the database facade
+
+/// Collect logical statistics over a partitioned table. Distinct counts are
+/// approximated by the per-part maximum (exact union counting would require
+/// materializing cross-part value sets).
+pub(crate) fn collect_logical_stats(data: &TableData) -> TableStats {
+    let arity = data.schema().arity();
+    let rows = data.row_count();
+    let mut stats = TableStats::empty(arity);
+    stats.row_count = rows;
+    for part in parts_of(data) {
+        let (part_stats, map): (TableStats, Vec<Option<(usize, usize)>>) = match &part {
+            Part::Whole(t) => {
+                (TableStats::collect(t), (0..arity).map(|c| Some((0, c))).collect())
+            }
+            Part::Pair(p) => {
+                let row_stats = TableStats::collect(p.row_fragment());
+                let col_stats = TableStats::collect(p.col_fragment());
+                let map: Vec<Option<(usize, usize)>> = (0..arity)
+                    .map(|c| match p.loc(c) {
+                        Loc::Row(i) => Some((1usize, i)),
+                        Loc::Col(i) => Some((2usize, i)),
+                    })
+                    .collect();
+                // stash both fragment stats: encode via a merged vec below
+                let mut merged = TableStats::empty(0);
+                merged.row_count = row_stats.row_count;
+                merged.columns = row_stats.columns;
+                merged.columns.extend(col_stats.columns);
+                // map indexes: frag 1 -> offset 0, frag 2 -> offset row_arity
+                let row_arity = p.row_fragment().schema().arity();
+                let map: Vec<Option<(usize, usize)>> = map
+                    .into_iter()
+                    .map(|m| {
+                        m.map(|(frag, i)| if frag == 1 { (0, i) } else { (0, row_arity + i) })
+                    })
+                    .collect();
+                (merged, map)
+            }
+        };
+        for (c, m) in map.iter().enumerate() {
+            if let Some((_, i)) = m {
+                let src = &part_stats.columns[*i];
+                let dst = &mut stats.columns[c];
+                dst.distinct = dst.distinct.max(src.distinct);
+                match (&dst.min, &src.min) {
+                    (None, Some(v)) => dst.min = Some(v.clone()),
+                    (Some(a), Some(v)) if v < a => dst.min = Some(v.clone()),
+                    _ => {}
+                }
+                match (&dst.max, &src.max) {
+                    (None, Some(v)) => dst.max = Some(v.clone()),
+                    (Some(a), Some(v)) if v > a => dst.max = Some(v.clone()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for col in &mut stats.columns {
+        col.compression_rate = if rows == 0 {
+            0.0
+        } else {
+            (1.0 - col.distinct as f64 / rows as f64).max(0.0)
+        };
+    }
+    stats
+}
+
+/// Run the delta merge on every column-store partition.
+pub(crate) fn compact_partitioned(data: &mut TableData) {
+    if let TableData::Partitioned { cold, .. } = data {
+        match cold {
+            ColdPart::Single(Table::Column(ct)) => ct.compact(),
+            ColdPart::Vertical(p) => p.compact_column_fragment(),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement, VerticalSpec};
+    use hsd_query::{AggregateQuery, SelectQuery};
+    use hsd_storage::StoreKind;
+    use hsd_types::{ColumnDef, ColumnType, TableSchema};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::BigInt),
+                ColumnDef::new("kf", ColumnType::Double),
+                ColumnDef::new("grp", ColumnType::Integer),
+                ColumnDef::new("st", ColumnType::Integer),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::BigInt(i),
+                    Value::Double(i as f64),
+                    Value::Int((i % 3) as i32),
+                    Value::Int((i % 2) as i32),
+                ]
+            })
+            .collect()
+    }
+
+    fn db_with(placement: TablePlacement) -> HybridDatabase {
+        let mut db = HybridDatabase::new();
+        db.create_table(schema(), placement).unwrap();
+        db.bulk_load("t", rows(30)).unwrap();
+        db
+    }
+
+    fn partitioned_placement() -> TablePlacement {
+        TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::BigInt(1000) }),
+            vertical: Some(VerticalSpec { row_cols: vec![3] }),
+        })
+    }
+
+    fn all_placements() -> Vec<TablePlacement> {
+        vec![
+            TablePlacement::Single(StoreKind::Row),
+            TablePlacement::Single(StoreKind::Column),
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(20),
+                }),
+                vertical: None,
+            }),
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: None,
+                vertical: Some(VerticalSpec { row_cols: vec![3] }),
+            }),
+            partitioned_placement(),
+        ]
+    }
+
+    #[test]
+    fn sum_agrees_across_all_layouts() {
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let expect: f64 = (0..30).map(|i| i as f64).sum();
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            let out = db.execute(&q).unwrap();
+            let aggs = out.aggregates().unwrap();
+            assert_eq!(aggs.len(), 1, "{placement:?}");
+            assert!((aggs[0].values[0] - expect).abs() < 1e-9, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_aggregates_agree_across_layouts() {
+        let q = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates: vec![
+                Aggregate { func: AggFunc::Sum, column: 1 },
+                Aggregate { func: AggFunc::Count, column: 1 },
+                Aggregate { func: AggFunc::Max, column: 1 },
+            ],
+            group_by: Some(2),
+            filter: vec![],
+            join: None,
+        });
+        let reference = {
+            let mut db = db_with(TablePlacement::Single(StoreKind::Row));
+            db.execute(&q).unwrap()
+        };
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            let out = db.execute(&q).unwrap();
+            assert_eq!(out, reference, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn filtered_aggregation() {
+        let q = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates: vec![Aggregate { func: AggFunc::Count, column: 0 }],
+            group_by: None,
+            filter: vec![ColRange::ge(1, Value::Double(20.0))],
+            join: None,
+        });
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            let out = db.execute(&q).unwrap();
+            assert_eq!(out.aggregates().unwrap()[0].values[0], 10.0, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn avg_and_min_finalize() {
+        let q = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates: vec![
+                Aggregate { func: AggFunc::Avg, column: 1 },
+                Aggregate { func: AggFunc::Min, column: 1 },
+            ],
+            group_by: None,
+            filter: vec![],
+            join: None,
+        });
+        let mut db = db_with(TablePlacement::Single(StoreKind::Column));
+        let out = db.execute(&q).unwrap();
+        let row = &out.aggregates().unwrap()[0];
+        assert!((row.values[0] - 14.5).abs() < 1e-9);
+        assert_eq!(row.values[1], 0.0);
+    }
+
+    #[test]
+    fn point_select_finds_row_in_any_partition() {
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            // insert lands in hot partition when horizontal split exists
+            db.execute(&Query::Insert(InsertQuery {
+                table: "t".into(),
+                rows: vec![vec![
+                    Value::BigInt(5000),
+                    Value::Double(1.0),
+                    Value::Int(0),
+                    Value::Int(0),
+                ]],
+            }))
+            .unwrap();
+            let out = db
+                .execute(&Query::Select(SelectQuery::point("t", 0, Value::BigInt(5000))))
+                .unwrap();
+            assert_eq!(out.rows().unwrap().len(), 1, "{placement:?}");
+            let out = db
+                .execute(&Query::Select(SelectQuery::point("t", 0, Value::BigInt(7))))
+                .unwrap();
+            assert_eq!(out.rows().unwrap()[0][1], Value::Double(7.0), "{placement:?}");
+            let out = db
+                .execute(&Query::Select(SelectQuery::point("t", 0, Value::BigInt(99999))))
+                .unwrap();
+            assert!(out.rows().unwrap().is_empty(), "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn range_select_unions_partitions() {
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            let out = db
+                .execute(&Query::Select(SelectQuery {
+                    table: "t".into(),
+                    columns: Some(vec![0]),
+                    filter: vec![ColRange::between(1, Value::Double(10.0), Value::Double(12.0))],
+                }))
+                .unwrap();
+            let mut ids: Vec<i64> =
+                out.rows().unwrap().iter().map(|r| r[0].as_i64().unwrap()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![10, 11, 12], "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn updates_apply_across_layouts() {
+        let upd = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(3, Value::Int(9))],
+            filter: vec![ColRange::eq(0, Value::BigInt(4))],
+        });
+        let check = Query::Select(SelectQuery::point("t", 0, Value::BigInt(4)));
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            let out = db.execute(&upd).unwrap();
+            assert_eq!(out, QueryOutput::Affected(1), "{placement:?}");
+            let rows = db.execute(&check).unwrap();
+            assert_eq!(rows.rows().unwrap()[0][3], Value::Int(9), "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn range_update_affects_all_partitions() {
+        let upd = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(-1.0))],
+            filter: vec![ColRange::ge(0, Value::BigInt(25))],
+        });
+        for placement in all_placements() {
+            let mut db = db_with(placement.clone());
+            let out = db.execute(&upd).unwrap();
+            assert_eq!(out, QueryOutput::Affected(5), "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn join_aggregation_matches_reference() {
+        // dk shares the fact fk column's type (Integer): cross-type values
+        // never join.
+        let dim_schema = TableSchema::new(
+            "dim",
+            vec![
+                ColumnDef::new("dk", ColumnType::Integer),
+                ColumnDef::new("region", ColumnType::Integer),
+            ],
+            vec![0],
+        )
+        .unwrap();
+        let fact_fk_rows: Vec<Vec<Value>> = (0..40)
+            .map(|i| {
+                vec![
+                    Value::BigInt(i),
+                    Value::Double(i as f64),
+                    Value::Int((i % 4) as i32), // fk into dim (grp column doubles as fk)
+                    Value::Int(0),
+                ]
+            })
+            .collect();
+        let q = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates: vec![Aggregate { func: AggFunc::Sum, column: 1 }],
+            group_by: None,
+            filter: vec![],
+            join: Some(JoinSpec {
+                dim_table: "dim".into(),
+                fact_fk: 2,
+                dim_pk: 0,
+                group_by_dim: Some(1),
+            }),
+        });
+        let mut reference: Option<QueryOutput> = None;
+        for fact_store in StoreKind::BOTH {
+            for dim_store in StoreKind::BOTH {
+                let mut db = HybridDatabase::new();
+                db.create_single(schema(), fact_store).unwrap();
+                db.create_single(dim_schema.clone(), dim_store).unwrap();
+                db.bulk_load("t", fact_fk_rows.clone()).unwrap();
+                db.bulk_load(
+                    "dim",
+                    // fk domain is 0..4 but dim holds only 0..3: one dangling key
+                    (0..3).map(|i| vec![Value::Int(i), Value::Int(i % 2)]),
+                )
+                .unwrap();
+                let out = db.execute(&q).unwrap();
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => assert_eq!(&out, r, "{fact_store:?} x {dim_store:?}"),
+                }
+            }
+        }
+        // sanity: two region groups, and dangling fk==3 rows are dropped
+        let r = reference.unwrap();
+        let groups = r.aggregates().unwrap().to_vec();
+        assert_eq!(groups.len(), 2);
+        let total: f64 = groups.iter().map(|g| g.values[0]).sum();
+        let expect: f64 = (0..40).filter(|i| i % 4 != 3).map(|i| i as f64).sum();
+        assert!((total - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_on_unknown_column_errors() {
+        let mut db = db_with(TablePlacement::Single(StoreKind::Row));
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 99));
+        assert!(db.execute(&q).is_err());
+    }
+
+    #[test]
+    fn logical_stats_cover_partitions() {
+        let mut db = db_with(partitioned_placement());
+        // put rows into the hot partition too
+        db.execute(&Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![vec![
+                Value::BigInt(2000),
+                Value::Double(123.0),
+                Value::Int(7),
+                Value::Int(1),
+            ]],
+        }))
+        .unwrap();
+        db.refresh_stats("t").unwrap();
+        let stats = &db.catalog().entry_by_name("t").unwrap().stats;
+        assert_eq!(stats.row_count, 31);
+        assert_eq!(stats.columns[0].max, Some(Value::BigInt(2000)));
+        assert_eq!(stats.columns[1].max, Some(Value::Double(123.0)));
+    }
+}

@@ -1,0 +1,33 @@
+//! The hybrid-store execution engine.
+//!
+//! [`database::HybridDatabase`] holds the catalog plus the physical data of
+//! every table, where a table is either a single [`hsd_storage::Table`] or a
+//! [`partition::TableData`] combination of a row-store *hot* partition and a
+//! (possibly vertically split) *cold* partition — the storage layouts the
+//! advisor recommends.
+//!
+//! The [`executor`] runs every query type of the paper's workloads against
+//! whatever layout a table currently has; partitioned tables are rewritten
+//! transparently (horizontal union with partial-aggregate merging, vertical
+//! recombination over the shared primary key), mirroring Section 4's
+//! "query rewriting must be realized automatically and transparently".
+//!
+//! The [`recorder`] accumulates the extended workload statistics of the
+//! online mode, [`mover`] physically applies a recommended layout, and
+//! [`runner`] measures workload runtimes (the quantity every figure of the
+//! paper reports).
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod executor;
+pub mod mover;
+pub mod partition;
+pub mod recorder;
+pub mod runner;
+
+pub use database::HybridDatabase;
+pub use executor::{GroupRow, QueryOutput};
+pub use partition::{TableData, VerticalPair};
+pub use recorder::StatisticsRecorder;
+pub use runner::{RunReport, WorkloadRunner};

@@ -1,0 +1,277 @@
+//! The data mover: physically applies a recommended storage layout.
+//!
+//! The paper presents recommendations "including the respective statements
+//! to move the data into the recommended store"; this module is the engine
+//! half of that — given a [`StorageLayout`], it rebuilds each table whose
+//! placement changed, preserving every logical row.
+
+use hsd_catalog::{StorageLayout, TablePlacement};
+use hsd_storage::Table;
+use hsd_types::{Result, Value};
+
+use crate::database::HybridDatabase;
+use crate::partition::{ColdPart, TableData};
+
+/// Apply `layout` to the database. Tables whose placement already matches
+/// are left untouched. Returns the names of the tables that were rebuilt.
+pub fn apply_layout(db: &mut HybridDatabase, layout: &StorageLayout) -> Result<Vec<String>> {
+    let mut moved = Vec::new();
+    let names = db.table_names();
+    for name in names {
+        let target = layout.placement(&name);
+        let current = db.catalog().entry_by_name(&name)?.placement.clone();
+        if current == target {
+            continue;
+        }
+        move_table(db, &name, &target)?;
+        moved.push(name);
+    }
+    Ok(moved)
+}
+
+/// Rebuild one table under a new placement, preserving all rows.
+pub fn move_table(db: &mut HybridDatabase, table: &str, target: &TablePlacement) -> Result<()> {
+    let schema = db.catalog().entry_by_name(table)?.schema.clone();
+    // Drain the existing physical data.
+    let old = std::mem::replace(
+        db.table_data_mut(table)?,
+        TableData::Single(Table::new(schema.clone(), hsd_storage::StoreKind::Row)),
+    );
+    let rows = old.into_rows();
+    let mut fresh = TableData::new(schema, target)?;
+    load_partition_aware(&mut fresh, target, rows)?;
+    compact_after_load(&mut fresh);
+    db.replace_table(table, fresh, target.clone())?;
+    Ok(())
+}
+
+/// Load rows respecting a horizontal split: historic rows (below the split
+/// value) go to the cold partition, hot rows to the hot partition. Without
+/// a horizontal split, everything goes through the normal insert path.
+fn load_partition_aware(
+    data: &mut TableData,
+    target: &TablePlacement,
+    rows: Vec<Vec<Value>>,
+) -> Result<()> {
+    match (data, target) {
+        (
+            TableData::Partitioned { hot: Some(hot), cold, spec, .. },
+            TablePlacement::Partitioned(_),
+        ) => {
+            let h = spec.horizontal.clone().expect("hot partition implies horizontal spec");
+            for row in rows {
+                if row[h.split_column] >= h.split_value {
+                    hot.insert(&row)?;
+                } else {
+                    cold.insert(&row)?;
+                }
+            }
+            Ok(())
+        }
+        (data, _) => {
+            for row in rows {
+                data.insert(&row)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn compact_after_load(data: &mut TableData) {
+    match data {
+        TableData::Single(Table::Column(ct)) => ct.compact(),
+        TableData::Single(Table::Row(_)) => {}
+        TableData::Partitioned { cold, .. } => match cold {
+            ColdPart::Single(Table::Column(ct)) => ct.compact(),
+            ColdPart::Vertical(p) => p.compact_column_fragment(),
+            _ => {}
+        },
+    }
+}
+
+/// Move rows that have aged out of the hot partition into the cold
+/// partition ("in certain intervals, data is moved from the row-store
+/// partition to the column-store partition"). Rows still satisfying the
+/// hot predicate stay. Returns how many rows were moved.
+pub fn rebalance_horizontal(
+    db: &mut HybridDatabase,
+    table: &str,
+    new_split_value: &Value,
+) -> Result<usize> {
+    let data = db.table_data_mut(table)?;
+    let TableData::Partitioned { hot: Some(hot), cold, spec, schema, hot_pure } = data else {
+        return Err(hsd_types::Error::InvalidOperation(format!(
+            "table {table} has no hot partition to rebalance"
+        )));
+    };
+    let Some(h) = spec.horizontal.as_mut() else {
+        return Err(hsd_types::Error::InvalidOperation(format!(
+            "table {table} has no horizontal spec"
+        )));
+    };
+    // Drain the hot partition and re-split under the new boundary.
+    let drained = std::mem::replace(
+        hot,
+        Table::new(schema.clone(), hsd_storage::StoreKind::Row),
+    );
+    let mut moved = 0;
+    for row in drained.into_rows() {
+        if row[h.split_column] >= *new_split_value {
+            hot.insert(&row)?;
+        } else {
+            cold.insert(&row)?;
+            moved += 1;
+        }
+    }
+    h.split_value = new_split_value.clone();
+    // The re-split is strict, so the hot partition is pure again.
+    *hot_pure = true;
+    if let ColdPart::Single(Table::Column(ct)) = cold {
+        ct.compact();
+    } else if let ColdPart::Vertical(p) = cold {
+        p.compact_column_fragment();
+    }
+    // Keep the catalog annotation in sync.
+    let spec = spec.clone();
+    let id = db.catalog().id_of(table)?;
+    db.catalog_mut().set_placement(id, TablePlacement::Partitioned(spec))?;
+    db.refresh_stats(table)?;
+    Ok(moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_catalog::{HorizontalSpec, PartitionSpec, VerticalSpec};
+    use hsd_storage::StoreKind;
+    use hsd_types::{ColumnDef, ColumnType, TableSchema};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::BigInt),
+                ColumnDef::new("v", ColumnType::Double),
+                ColumnDef::new("st", ColumnType::Integer),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn loaded_db() -> HybridDatabase {
+        let mut db = HybridDatabase::new();
+        db.create_single(schema(), StoreKind::Row).unwrap();
+        db.bulk_load(
+            "t",
+            (0..100).map(|i| vec![Value::BigInt(i), Value::Double(i as f64), Value::Int(0)]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn checksum(db: &mut HybridDatabase) -> f64 {
+        use hsd_query::{AggFunc, AggregateQuery, Query};
+        let out = db
+            .execute(&Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)))
+            .unwrap();
+        out.aggregates().unwrap()[0].values[0]
+    }
+
+    #[test]
+    fn move_single_to_single() {
+        let mut db = loaded_db();
+        let before = checksum(&mut db);
+        let mut layout = StorageLayout::new();
+        layout.set("t", TablePlacement::Single(StoreKind::Column));
+        let moved = apply_layout(&mut db, &layout).unwrap();
+        assert_eq!(moved, vec!["t".to_string()]);
+        assert_eq!(db.catalog().single_store_of("t").unwrap(), StoreKind::Column);
+        assert_eq!(checksum(&mut db), before);
+        assert_eq!(db.row_count("t").unwrap(), 100);
+        // applying again is a no-op
+        assert!(apply_layout(&mut db, &layout).unwrap().is_empty());
+    }
+
+    #[test]
+    fn move_to_partitioned_splits_rows() {
+        let mut db = loaded_db();
+        let before = checksum(&mut db);
+        let placement = TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::BigInt(90) }),
+            vertical: Some(VerticalSpec { row_cols: vec![2] }),
+        });
+        let mut layout = StorageLayout::new();
+        layout.set("t", placement);
+        apply_layout(&mut db, &layout).unwrap();
+        assert_eq!(checksum(&mut db), before);
+        match db.table_data("t").unwrap() {
+            TableData::Partitioned { hot: Some(h), cold, .. } => {
+                assert_eq!(h.row_count(), 10);
+                assert_eq!(cold.row_count(), 90);
+                match cold {
+                    ColdPart::Vertical(p) => p.check_alignment().unwrap(),
+                    other => panic!("expected vertical cold partition, got {other:?}"),
+                }
+            }
+            other => panic!("expected partitioned table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn move_back_to_single_restores_all_rows() {
+        let mut db = loaded_db();
+        let before = checksum(&mut db);
+        let mut layout = StorageLayout::new();
+        layout.set(
+            "t",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(50),
+                }),
+                vertical: None,
+            }),
+        );
+        apply_layout(&mut db, &layout).unwrap();
+        let mut back = StorageLayout::new();
+        back.set("t", TablePlacement::Single(StoreKind::Row));
+        apply_layout(&mut db, &back).unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 100);
+        assert_eq!(checksum(&mut db), before);
+    }
+
+    #[test]
+    fn rebalance_moves_aged_rows() {
+        let mut db = loaded_db();
+        let mut layout = StorageLayout::new();
+        layout.set(
+            "t",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(80),
+                }),
+                vertical: None,
+            }),
+        );
+        apply_layout(&mut db, &layout).unwrap();
+        // age the boundary: only ids >= 95 stay hot
+        let moved = rebalance_horizontal(&mut db, "t", &Value::BigInt(95)).unwrap();
+        assert_eq!(moved, 15);
+        match db.table_data("t").unwrap() {
+            TableData::Partitioned { hot: Some(h), cold, .. } => {
+                assert_eq!(h.row_count(), 5);
+                assert_eq!(cold.row_count(), 95);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(db.row_count("t").unwrap(), 100);
+    }
+
+    #[test]
+    fn rebalance_rejects_unpartitioned() {
+        let mut db = loaded_db();
+        assert!(rebalance_horizontal(&mut db, "t", &Value::BigInt(5)).is_err());
+    }
+}

@@ -1,0 +1,629 @@
+//! Physical layout of one table: single store, or hot/cold partitions with
+//! an optional vertical split of the cold region.
+
+use std::sync::Arc;
+
+use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement, VerticalSpec};
+use hsd_storage::{ColRange, RowSel, StoreKind, Table};
+use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
+
+/// Where a logical column lives inside a [`VerticalPair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// In the row-store fragment, at this physical index.
+    Row(usize),
+    /// In the column-store fragment, at this physical index.
+    Col(usize),
+}
+
+/// A vertically split table (or cold partition): a row-store fragment
+/// holding the OLTP attributes and a column-store fragment holding the
+/// analytical attributes. Both fragments carry the primary key, and rows are
+/// positionally aligned (the engine never deletes or reorders), so
+/// recombination is a positional stitch verified against the shared key.
+#[derive(Debug, Clone)]
+pub struct VerticalPair {
+    row_frag: Table,
+    col_frag: Table,
+    /// Logical column -> fragment location. Primary-key columns resolve to
+    /// the row fragment (cheapest point access).
+    locate: Vec<Loc>,
+}
+
+impl VerticalPair {
+    /// Build an empty pair for `schema` with the given vertical spec.
+    pub fn new(schema: &Arc<TableSchema>, spec: &VerticalSpec) -> Result<Self> {
+        let row_cols: Vec<ColumnIdx> = spec
+            .row_cols
+            .iter()
+            .copied()
+            .filter(|c| !schema.is_pk_column(*c))
+            .collect();
+        let col_cols: Vec<ColumnIdx> = (0..schema.arity())
+            .filter(|c| !schema.is_pk_column(*c) && !row_cols.contains(c))
+            .collect();
+        let (row_schema, row_map) = schema.project("rs", &row_cols)?;
+        let (col_schema, col_map) = schema.project("cs", &col_cols)?;
+        let mut locate = vec![Loc::Row(0); schema.arity()];
+        for (logical, slot) in locate.iter_mut().enumerate() {
+            if let Some(pos) = row_map.iter().position(|&o| o == logical) {
+                *slot = Loc::Row(pos);
+            } else if let Some(pos) = col_map.iter().position(|&o| o == logical) {
+                *slot = Loc::Col(pos);
+            } else {
+                return Err(Error::InvalidSchema(format!(
+                    "column {logical} of {} not covered by vertical split",
+                    schema.name
+                )));
+            }
+        }
+        Ok(VerticalPair {
+            row_frag: Table::new(Arc::new(row_schema), StoreKind::Row),
+            col_frag: Table::new(Arc::new(col_schema), StoreKind::Column),
+            locate,
+        })
+    }
+
+    /// Location of a logical column.
+    pub fn loc(&self, col: ColumnIdx) -> Loc {
+        self.locate[col]
+    }
+
+    /// Position of a logical column within the *column-store* fragment, if
+    /// it exists there. Primary-key columns live in both fragments (locate
+    /// points them at the row fragment for point access), so scans and
+    /// joins can still read them columnar via this resolver.
+    pub fn col_fragment_position(&self, logical: ColumnIdx) -> Option<usize> {
+        match self.locate[logical] {
+            Loc::Col(p) => Some(p),
+            Loc::Row(_) => {
+                let logical_pks = self.logical_pk_columns();
+                let pk_pos = logical_pks.iter().position(|&l| l == logical)?;
+                Some(self.col_frag.schema().primary_key[pk_pos])
+            }
+        }
+    }
+
+    /// The row-store fragment.
+    pub fn row_fragment(&self) -> &Table {
+        &self.row_frag
+    }
+
+    /// The column-store fragment.
+    pub fn col_fragment(&self) -> &Table {
+        &self.col_frag
+    }
+
+    /// Number of (logical) rows.
+    pub fn row_count(&self) -> usize {
+        self.row_frag.row_count()
+    }
+
+    /// Insert a logical row (appends to both fragments).
+    pub fn insert(&mut self, row: &[Value]) -> Result<u32> {
+        let split = self.split_row(row);
+        let idx = self.row_frag.insert(&split.0)?;
+        // A failure here would desynchronize the fragments; the only
+        // possible cause is a duplicate key, which the first insert already
+        // rejected, so propagate any residual error loudly.
+        let idx2 = self.col_frag.insert(&split.1)?;
+        debug_assert_eq!(idx, idx2, "vertical fragments must stay aligned");
+        Ok(idx)
+    }
+
+    fn split_row(&self, row: &[Value]) -> (Vec<Value>, Vec<Value>) {
+        let row_arity = self.row_frag.schema().arity();
+        let col_arity = self.col_frag.schema().arity();
+        let mut r = vec![Value::Null; row_arity];
+        let mut c = vec![Value::Null; col_arity];
+        // PK columns appear in both fragments; non-key columns in exactly one.
+        for (logical, value) in row.iter().enumerate() {
+            match self.locate[logical] {
+                Loc::Row(p) => r[p] = value.clone(),
+                Loc::Col(p) => c[p] = value.clone(),
+            }
+        }
+        // Fill the column fragment's PK slots (locate points PKs at the row
+        // fragment; mirror them here).
+        let logical_pks = self.logical_pk_columns();
+        for (pk_pos, &frag_pos) in self.col_frag.schema().primary_key.iter().enumerate() {
+            c[frag_pos] = row[logical_pks[pk_pos]].clone();
+        }
+        (r, c)
+    }
+
+    fn logical_pk_columns(&self) -> Vec<ColumnIdx> {
+        // The row fragment's PK order equals the logical PK order by
+        // construction of `TableSchema::project`.
+        self.locate
+            .iter()
+            .enumerate()
+            .filter_map(|(logical, loc)| match loc {
+                Loc::Row(p) if self.row_frag.schema().is_pk_column(*p) => Some((*p, logical)),
+                _ => None,
+            })
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .into_values()
+            .collect()
+    }
+
+    /// Borrow a logical attribute.
+    #[inline]
+    pub fn value_at(&self, idx: u32, col: ColumnIdx) -> &Value {
+        match self.locate[col] {
+            Loc::Row(p) => self.row_frag.value_at(idx, p),
+            Loc::Col(p) => self.col_frag.value_at(idx, p),
+        }
+    }
+
+    /// Find a row by primary key (probes the row fragment's PK index).
+    pub fn point_lookup(&self, key: &[Value]) -> Option<u32> {
+        self.row_frag.point_lookup(key)
+    }
+
+    /// Logical filter: split the conjunction by fragment, evaluate each
+    /// side, and intersect positionally.
+    pub fn filter_rows(&self, ranges: &[ColRange]) -> Vec<u32> {
+        let mut row_ranges = Vec::new();
+        let mut col_ranges = Vec::new();
+        for r in ranges {
+            match self.locate[r.column] {
+                Loc::Row(p) => row_ranges.push(ColRange { column: p, ..r.clone() }),
+                Loc::Col(p) => col_ranges.push(ColRange { column: p, ..r.clone() }),
+            }
+        }
+        match (row_ranges.is_empty(), col_ranges.is_empty()) {
+            (true, true) => (0..self.row_count() as u32).collect(),
+            (false, true) => self.row_frag.filter_rows(&row_ranges),
+            (true, false) => self.col_frag.filter_rows(&col_ranges),
+            (false, false) => {
+                let a = self.row_frag.filter_rows(&row_ranges);
+                let b = self.col_frag.filter_rows(&col_ranges);
+                intersect_sorted(&a, &b)
+            }
+        }
+    }
+
+    /// Update logical rows; assignments are routed to their fragments.
+    pub fn update_rows(&mut self, rows: &[u32], sets: &[(ColumnIdx, Value)]) -> Result<usize> {
+        let mut row_sets = Vec::new();
+        let mut col_sets = Vec::new();
+        for (col, v) in sets {
+            match self.locate[*col] {
+                Loc::Row(p) => row_sets.push((p, v.clone())),
+                Loc::Col(p) => col_sets.push((p, v.clone())),
+            }
+        }
+        if !row_sets.is_empty() {
+            self.row_frag.update_rows(rows, &row_sets)?;
+        }
+        if !col_sets.is_empty() {
+            self.col_frag.update_rows(rows, &col_sets)?;
+        }
+        Ok(rows.len())
+    }
+
+    /// Visit numeric values of a logical column.
+    pub fn for_each_numeric(&self, col: ColumnIdx, sel: RowSel<'_>, f: impl FnMut(f64)) {
+        match self.locate[col] {
+            Loc::Row(p) => self.row_frag.for_each_numeric(p, sel, f),
+            Loc::Col(p) => self.col_frag.for_each_numeric(p, sel, f),
+        }
+    }
+
+    /// Visit values of a logical column.
+    pub fn for_each_value(&self, col: ColumnIdx, sel: RowSel<'_>, f: impl FnMut(&Value)) {
+        match self.locate[col] {
+            Loc::Row(p) => self.row_frag.for_each_value(p, sel, f),
+            Loc::Col(p) => self.col_frag.for_each_value(p, sel, f),
+        }
+    }
+
+    /// Materialize logical rows (stitching both fragments back together —
+    /// "for queries addressing all the data of the table, the partitions
+    /// have to be joined").
+    pub fn collect_rows(&self, rows: &[u32], cols: Option<&[ColumnIdx]>) -> Vec<Vec<Value>> {
+        let logical_cols: Vec<ColumnIdx> = match cols {
+            Some(c) => c.to_vec(),
+            None => (0..self.locate.len()).collect(),
+        };
+        rows.iter()
+            .map(|&r| logical_cols.iter().map(|&c| self.value_at(r, c).clone()).collect())
+            .collect()
+    }
+
+    /// Drain into logical rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        let n = self.row_count() as u32;
+        (0..n)
+            .map(|r| (0..self.locate.len()).map(|c| self.value_at(r, c).clone()).collect())
+            .collect()
+    }
+
+    /// Verify the positional-alignment invariant: both fragments agree on
+    /// every primary key. O(n); used by tests and debug assertions.
+    pub fn check_alignment(&self) -> Result<()> {
+        if self.row_frag.row_count() != self.col_frag.row_count() {
+            return Err(Error::InvalidOperation(format!(
+                "fragment row counts diverge: {} vs {}",
+                self.row_frag.row_count(),
+                self.col_frag.row_count()
+            )));
+        }
+        let row_pk = self.row_frag.schema().primary_key.clone();
+        let col_pk = self.col_frag.schema().primary_key.clone();
+        for idx in 0..self.row_frag.row_count() as u32 {
+            for (a, b) in row_pk.iter().zip(&col_pk) {
+                if self.row_frag.value_at(idx, *a) != self.col_frag.value_at(idx, *b) {
+                    return Err(Error::InvalidOperation(format!(
+                        "fragments disagree on key of row {idx}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap bytes of both fragments.
+    pub fn memory_bytes(&self) -> usize {
+        self.row_frag.memory_bytes() + self.col_frag.memory_bytes()
+    }
+
+    /// Run the delta merge on the column-store fragment.
+    pub fn compact_column_fragment(&mut self) {
+        if let Table::Column(ct) = &mut self.col_frag {
+            ct.compact();
+        }
+    }
+
+    /// Create a secondary index on a logical column that lives in the
+    /// row-store fragment. Columns in the column-store fragment rely on the
+    /// dictionary's implicit index and are a no-op.
+    pub fn create_row_index(&mut self, logical: ColumnIdx) -> Result<()> {
+        match self.locate[logical] {
+            Loc::Row(p) => match &mut self.row_frag {
+                Table::Row(rt) => rt.create_index(p),
+                Table::Column(_) => Ok(()),
+            },
+            Loc::Col(_) => Ok(()),
+        }
+    }
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The cold region of a partitioned table.
+#[derive(Debug, Clone)]
+pub enum ColdPart {
+    /// Unsplit cold partition (typically column store).
+    Single(Table),
+    /// Vertically split cold partition.
+    Vertical(VerticalPair),
+}
+
+impl ColdPart {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        match self {
+            ColdPart::Single(t) => t.row_count(),
+            ColdPart::Vertical(p) => p.row_count(),
+        }
+    }
+
+    /// Insert a logical row.
+    pub fn insert(&mut self, row: &[Value]) -> Result<u32> {
+        match self {
+            ColdPart::Single(t) => t.insert(row),
+            ColdPart::Vertical(p) => p.insert(row),
+        }
+    }
+}
+
+/// Physical data of one logical table.
+#[derive(Debug, Clone)]
+pub enum TableData {
+    /// Entire table in one store.
+    Single(Table),
+    /// Hot/cold layout: optional row-store hot partition receiving all
+    /// inserts, and a cold partition (optionally vertically split).
+    Partitioned {
+        /// Logical schema of the table.
+        schema: Arc<TableSchema>,
+        /// The partition annotation that produced this layout.
+        spec: PartitionSpec,
+        /// Hot partition (present iff the spec has a horizontal split).
+        hot: Option<Table>,
+        /// Cold partition.
+        cold: ColdPart,
+        /// Whether every hot row still satisfies the split predicate
+        /// (`split_column >= split_value`). Inserts of "old" rows clear
+        /// this, disabling hot-partition pruning; the cold partition always
+        /// satisfies the complement by construction.
+        hot_pure: bool,
+    },
+}
+
+impl TableData {
+    /// Build an empty `TableData` for a placement.
+    pub fn new(schema: Arc<TableSchema>, placement: &TablePlacement) -> Result<Self> {
+        match placement {
+            TablePlacement::Single(store) => Ok(TableData::Single(Table::new(schema, *store))),
+            TablePlacement::Partitioned(spec) => {
+                let hot = spec
+                    .horizontal
+                    .as_ref()
+                    .map(|_| Table::new(schema.clone(), StoreKind::Row));
+                let cold = match &spec.vertical {
+                    None => ColdPart::Single(Table::new(schema.clone(), StoreKind::Column)),
+                    Some(v) => ColdPart::Vertical(VerticalPair::new(&schema, v)?),
+                };
+                Ok(TableData::Partitioned {
+                    schema,
+                    spec: spec.clone(),
+                    hot,
+                    cold,
+                    hot_pure: true,
+                })
+            }
+        }
+    }
+
+    /// Logical schema.
+    pub fn schema(&self) -> &Arc<TableSchema> {
+        match self {
+            TableData::Single(t) => t.schema(),
+            TableData::Partitioned { schema, .. } => schema,
+        }
+    }
+
+    /// Total logical rows.
+    pub fn row_count(&self) -> usize {
+        match self {
+            TableData::Single(t) => t.row_count(),
+            TableData::Partitioned { hot, cold, .. } => {
+                hot.as_ref().map_or(0, Table::row_count) + cold.row_count()
+            }
+        }
+    }
+
+    /// Insert a row. With a horizontal split, *all* inserts go to the hot
+    /// row-store partition ("newly arriving tuples are stored in the
+    /// row-store partition, which allows for faster inserts").
+    pub fn insert(&mut self, row: &[Value]) -> Result<u32> {
+        match self {
+            TableData::Single(t) => t.insert(row),
+            TableData::Partitioned { hot: Some(h), spec, hot_pure, .. } => {
+                if let Some(hs) = &spec.horizontal {
+                    if row[hs.split_column] < hs.split_value {
+                        *hot_pure = false;
+                    }
+                }
+                h.insert(row)
+            }
+            TableData::Partitioned { cold, .. } => cold.insert(row),
+        }
+    }
+
+    /// Whether hot-partition pruning is allowed (every hot row satisfies the
+    /// split predicate).
+    pub fn hot_is_pure(&self) -> bool {
+        match self {
+            TableData::Single(_) => true,
+            TableData::Partitioned { hot_pure, .. } => *hot_pure,
+        }
+    }
+
+    /// The horizontal split spec, if any.
+    pub fn horizontal_spec(&self) -> Option<&HorizontalSpec> {
+        match self {
+            TableData::Partitioned { spec, .. } => spec.horizontal.as_ref(),
+            TableData::Single(_) => None,
+        }
+    }
+
+    /// Collect every logical row (cold first, then hot), draining `self`.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        match self {
+            TableData::Single(t) => t.into_rows(),
+            TableData::Partitioned { hot, cold, .. } => {
+                let mut rows = match cold {
+                    ColdPart::Single(t) => t.into_rows(),
+                    ColdPart::Vertical(p) => p.into_rows(),
+                };
+                if let Some(h) = hot {
+                    rows.extend(h.into_rows());
+                }
+                rows
+            }
+        }
+    }
+
+    /// Approximate heap bytes across partitions.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            TableData::Single(t) => t.memory_bytes(),
+            TableData::Partitioned { hot, cold, .. } => {
+                let h = hot.as_ref().map_or(0, Table::memory_bytes);
+                let c = match cold {
+                    ColdPart::Single(t) => t.memory_bytes(),
+                    ColdPart::Vertical(p) => p.memory_bytes(),
+                };
+                h + c
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_types::{ColumnDef, ColumnType};
+
+    fn schema() -> Arc<TableSchema> {
+        Arc::new(
+            TableSchema::new(
+                "orders",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("amount", ColumnType::Double),
+                    ColumnDef::new("qty", ColumnType::Integer),
+                    ColumnDef::new("status", ColumnType::Integer),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn pair() -> VerticalPair {
+        // status -> row fragment; amount, qty -> column fragment
+        let mut p = VerticalPair::new(&schema(), &VerticalSpec { row_cols: vec![3] }).unwrap();
+        for i in 0..20 {
+            p.insert(&[
+                Value::BigInt(i),
+                Value::Double(i as f64 * 2.0),
+                Value::Int((i % 4) as i32),
+                Value::Int((i % 3) as i32),
+            ])
+            .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn pair_locates_columns() {
+        let p = pair();
+        assert_eq!(p.loc(0), Loc::Row(0)); // pk reads from row fragment
+        assert_eq!(p.loc(3), Loc::Row(1));
+        assert_eq!(p.loc(1), Loc::Col(1));
+        assert_eq!(p.loc(2), Loc::Col(2));
+        assert_eq!(p.row_fragment().store_kind(), StoreKind::Row);
+        assert_eq!(p.col_fragment().store_kind(), StoreKind::Column);
+    }
+
+    #[test]
+    fn pair_round_trips_values() {
+        let p = pair();
+        assert_eq!(p.row_count(), 20);
+        assert_eq!(p.value_at(5, 0), &Value::BigInt(5));
+        assert_eq!(p.value_at(5, 1), &Value::Double(10.0));
+        assert_eq!(p.value_at(5, 3), &Value::Int(2));
+        p.check_alignment().unwrap();
+    }
+
+    #[test]
+    fn pair_filters_across_fragments() {
+        let p = pair();
+        // status == 0 (row fragment) AND qty == 0 (column fragment)
+        let hits = p.filter_rows(&[
+            ColRange::eq(3, Value::Int(0)),
+            ColRange::eq(2, Value::Int(0)),
+        ]);
+        let expect: Vec<u32> = (0..20u32).filter(|i| i % 3 == 0 && i % 4 == 0).collect();
+        assert_eq!(hits, expect);
+    }
+
+    #[test]
+    fn pair_filter_single_sides() {
+        let p = pair();
+        let row_side = p.filter_rows(&[ColRange::eq(3, Value::Int(1))]);
+        let expect: Vec<u32> = (0..20u32).filter(|i| i % 3 == 1).collect();
+        assert_eq!(row_side, expect);
+        let col_side = p.filter_rows(&[ColRange::eq(2, Value::Int(1))]);
+        let expect: Vec<u32> = (0..20u32).filter(|i| i % 4 == 1).collect();
+        assert_eq!(col_side, expect);
+        assert_eq!(p.filter_rows(&[]).len(), 20);
+    }
+
+    #[test]
+    fn pair_updates_route_to_fragments() {
+        let mut p = pair();
+        p.update_rows(&[2, 4], &[(3, Value::Int(7)), (1, Value::Double(99.0))]).unwrap();
+        assert_eq!(p.value_at(2, 3), &Value::Int(7));
+        assert_eq!(p.value_at(4, 1), &Value::Double(99.0));
+        p.check_alignment().unwrap();
+    }
+
+    #[test]
+    fn pair_point_lookup_and_collect() {
+        let p = pair();
+        let idx = p.point_lookup(&[Value::BigInt(9)]).unwrap();
+        assert_eq!(idx, 9);
+        let rows = p.collect_rows(&[idx], None);
+        assert_eq!(
+            rows[0],
+            vec![Value::BigInt(9), Value::Double(18.0), Value::Int(1), Value::Int(0)]
+        );
+        let projected = p.collect_rows(&[idx], Some(&[3, 0]));
+        assert_eq!(projected[0], vec![Value::Int(0), Value::BigInt(9)]);
+    }
+
+    #[test]
+    fn pair_into_rows_preserves_logical_order() {
+        let p = pair();
+        let rows = p.into_rows();
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows[7][0], Value::BigInt(7));
+        assert_eq!(rows[7][2], Value::Int(3));
+    }
+
+    #[test]
+    fn table_data_partitioned_roundtrip() {
+        let spec = PartitionSpec {
+            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::BigInt(100) }),
+            vertical: Some(VerticalSpec { row_cols: vec![3] }),
+        };
+        let mut td =
+            TableData::new(schema(), &TablePlacement::Partitioned(spec)).unwrap();
+        // cold rows loaded directly into the cold partition would need the
+        // mover; inserts always land in the hot partition:
+        for i in 0..10 {
+            td.insert(&[
+                Value::BigInt(i),
+                Value::Double(1.0),
+                Value::Int(0),
+                Value::Int(0),
+            ])
+            .unwrap();
+        }
+        assert_eq!(td.row_count(), 10);
+        match &td {
+            TableData::Partitioned { hot: Some(h), cold, .. } => {
+                assert_eq!(h.row_count(), 10);
+                assert_eq!(cold.row_count(), 0);
+            }
+            other => panic!("unexpected layout {other:?}"),
+        }
+        let rows = td.into_rows();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn table_data_single() {
+        let td = TableData::new(schema(), &TablePlacement::Single(StoreKind::Column)).unwrap();
+        assert_eq!(td.row_count(), 0);
+        assert!(td.horizontal_spec().is_none());
+        assert_eq!(td.schema().name, "orders");
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 6, 7, 9]), vec![3, 7]);
+        assert!(intersect_sorted(&[], &[1]).is_empty());
+    }
+}

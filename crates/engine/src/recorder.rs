@@ -1,0 +1,292 @@
+//! Statistics recorder: accumulates the online mode's extended workload
+//! statistics as queries execute.
+
+use hsd_catalog::ExtendedStats;
+use hsd_query::{Query, SelectQuery, UpdateQuery};
+use hsd_types::TableSchema;
+
+use crate::database::HybridDatabase;
+
+/// Records per-table / per-attribute activity ("Record extended statistics"
+/// in Figure 5 of the paper).
+#[derive(Debug, Default)]
+pub struct StatisticsRecorder {
+    stats: ExtendedStats,
+}
+
+impl StatisticsRecorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &ExtendedStats {
+        &self.stats
+    }
+
+    /// Consume the recorder, yielding its statistics.
+    pub fn into_stats(self) -> ExtendedStats {
+        self.stats
+    }
+
+    /// Reset all counters (a new observation interval).
+    pub fn reset(&mut self) {
+        self.stats = ExtendedStats::new();
+    }
+
+    /// Record one query. The database is only consulted for schema arity.
+    pub fn record(&mut self, db: &HybridDatabase, query: &Query) {
+        self.stats.total_statements += 1;
+        match query {
+            Query::Insert(q) => {
+                let arity = arity_of(db, &q.table);
+                let t = self.stats.table_mut(&q.table, arity);
+                t.inserts += 1;
+            }
+            Query::Update(q) => self.record_update(db, q),
+            Query::Select(q) => self.record_select(db, q),
+            Query::Aggregate(q) => {
+                let arity = arity_of(db, &q.table);
+                let t = self.stats.table_mut(&q.table, arity);
+                t.aggregations += 1;
+                for a in &q.aggregates {
+                    if a.column < t.columns.len() {
+                        t.columns[a.column].aggregates += 1;
+                    }
+                }
+                if let Some(g) = q.group_by {
+                    if g < t.columns.len() {
+                        t.columns[g].group_bys += 1;
+                    }
+                }
+                for r in &q.filter {
+                    if r.column < t.columns.len() {
+                        t.columns[r.column].select_preds += 1;
+                    }
+                }
+                if let Some(join) = &q.join {
+                    *t.join_partners.entry(join.dim_table.clone()).or_insert(0) += 1;
+                    let dim_arity = arity_of(db, &join.dim_table);
+                    let d = self.stats.table_mut(&join.dim_table, dim_arity);
+                    *d.join_partners.entry(q.table.clone()).or_insert(0) += 1;
+                    if let Some(g) = join.group_by_dim {
+                        if g < d.columns.len() {
+                            d.columns[g].group_bys += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_update(&mut self, db: &HybridDatabase, q: &UpdateQuery) {
+        let schema = schema_of(db, &q.table);
+        let arity = schema.as_ref().map_or(q.sets.len() + 1, |s| s.arity());
+        let non_key = schema.as_ref().map_or(arity, |s| s.arity() - s.primary_key.len());
+        let t = self.stats.table_mut(&q.table, arity);
+        t.updates += 1;
+        // "updates that are addressing many attributes": a strict majority
+        // of the non-key attributes assigned.
+        if q.sets.len() * 2 > non_key.max(1) {
+            t.whole_tuple_updates += 1;
+        }
+        for (col, _) in &q.sets {
+            if *col < t.columns.len() {
+                t.columns[*col].update_sets += 1;
+            }
+        }
+        for r in &q.filter {
+            if r.column < t.columns.len() {
+                t.columns[r.column].update_preds += 1;
+            }
+            // Envelope of updated key ranges, for the hot-region heuristic.
+            let lo = match &r.lo {
+                std::ops::Bound::Included(v) | std::ops::Bound::Excluded(v) => Some(v),
+                std::ops::Bound::Unbounded => None,
+            };
+            let hi = match &r.hi {
+                std::ops::Bound::Included(v) | std::ops::Bound::Excluded(v) => Some(v),
+                std::ops::Bound::Unbounded => None,
+            };
+            if let (Some(lo), Some(hi)) = (lo, hi) {
+                t.update_envelopes.entry(r.column).or_default().observe(lo, hi);
+            }
+        }
+    }
+
+    fn record_select(&mut self, db: &HybridDatabase, q: &SelectQuery) {
+        let arity = arity_of(db, &q.table);
+        let t = self.stats.table_mut(&q.table, arity);
+        t.selects += 1;
+        for r in &q.filter {
+            if r.column < t.columns.len() {
+                t.columns[r.column].select_preds += 1;
+            }
+        }
+        match &q.columns {
+            Some(cols) => {
+                for &c in cols {
+                    if c < t.columns.len() {
+                        t.columns[c].select_projs += 1;
+                    }
+                }
+            }
+            None => {
+                // SELECT *: every column is projected.
+                for c in &mut t.columns {
+                    c.select_projs += 1;
+                }
+            }
+        }
+    }
+}
+
+fn arity_of(db: &HybridDatabase, table: &str) -> usize {
+    schema_of(db, table).map_or(0, |s| s.arity())
+}
+
+fn schema_of(db: &HybridDatabase, table: &str) -> Option<std::sync::Arc<TableSchema>> {
+    db.catalog().entry_by_name(table).ok().map(|e| e.schema.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_query::{AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec};
+    use hsd_storage::{ColRange, StoreKind};
+    use hsd_types::{ColumnDef, ColumnType, Value};
+
+    fn db() -> HybridDatabase {
+        let mut db = HybridDatabase::new();
+        db.create_single(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("kf", ColumnType::Double),
+                    ColumnDef::new("st", ColumnType::Integer),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+            StoreKind::Row,
+        )
+        .unwrap();
+        db.create_single(
+            TableSchema::new(
+                "dim",
+                vec![
+                    ColumnDef::new("dk", ColumnType::BigInt),
+                    ColumnDef::new("region", ColumnType::Integer),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+            StoreKind::Row,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn records_inserts_updates_selects() {
+        let db = db();
+        let mut rec = StatisticsRecorder::new();
+        rec.record(&db, &Query::Insert(InsertQuery { table: "t".into(), rows: vec![] }));
+        rec.record(
+            &db,
+            &Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(2, Value::Int(1))],
+                filter: vec![ColRange::eq(0, Value::BigInt(7))],
+            }),
+        );
+        rec.record(
+            &db,
+            &Query::Select(SelectQuery {
+                table: "t".into(),
+                columns: Some(vec![2]),
+                filter: vec![ColRange::eq(0, Value::BigInt(7))],
+            }),
+        );
+        let t = rec.stats().table("t").unwrap();
+        assert_eq!(t.inserts, 1);
+        assert_eq!(t.updates, 1);
+        assert_eq!(t.selects, 1);
+        assert_eq!(t.columns[2].update_sets, 1);
+        assert_eq!(t.columns[2].select_projs, 1);
+        assert_eq!(t.columns[0].update_preds, 1);
+        assert_eq!(t.columns[0].select_preds, 1);
+        let env = &t.update_envelopes[&0];
+        assert_eq!(env.lo, Some(Value::BigInt(7)));
+        assert_eq!(env.hi, Some(Value::BigInt(7)));
+        assert_eq!(rec.stats().total_statements, 3);
+    }
+
+    #[test]
+    fn whole_tuple_update_detection() {
+        let db = db();
+        let mut rec = StatisticsRecorder::new();
+        // schema has 2 non-key columns; assigning both is a whole-tuple update
+        rec.record(
+            &db,
+            &Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(1, Value::Double(0.0)), (2, Value::Int(1))],
+                filter: vec![ColRange::eq(0, Value::BigInt(3))],
+            }),
+        );
+        // single-column update is not
+        rec.record(
+            &db,
+            &Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(2, Value::Int(1))],
+                filter: vec![ColRange::eq(0, Value::BigInt(3))],
+            }),
+        );
+        let t = rec.stats().table("t").unwrap();
+        assert_eq!(t.updates, 2);
+        assert_eq!(t.whole_tuple_updates, 1);
+    }
+
+    #[test]
+    fn records_aggregations_and_joins() {
+        let db = db();
+        let mut rec = StatisticsRecorder::new();
+        rec.record(
+            &db,
+            &Query::Aggregate(AggregateQuery {
+                table: "t".into(),
+                aggregates: vec![Aggregate { func: AggFunc::Sum, column: 1 }],
+                group_by: Some(2),
+                filter: vec![],
+                join: Some(JoinSpec {
+                    dim_table: "dim".into(),
+                    fact_fk: 2,
+                    dim_pk: 0,
+                    group_by_dim: Some(1),
+                }),
+            }),
+        );
+        let t = rec.stats().table("t").unwrap();
+        assert_eq!(t.aggregations, 1);
+        assert_eq!(t.columns[1].aggregates, 1);
+        assert_eq!(t.columns[2].group_bys, 1);
+        assert_eq!(t.join_partners["dim"], 1);
+        let d = rec.stats().table("dim").unwrap();
+        assert_eq!(d.join_partners["t"], 1);
+        assert_eq!(d.columns[1].group_bys, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let db = db();
+        let mut rec = StatisticsRecorder::new();
+        rec.record(&db, &Query::Insert(InsertQuery { table: "t".into(), rows: vec![] }));
+        rec.reset();
+        assert_eq!(rec.stats().total_statements, 0);
+        assert!(rec.stats().table("t").is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Timed workload execution — the measurement harness behind every figure.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use hsd_query::{Query, QueryKind, Workload};
+use hsd_types::Result;
+
+use crate::database::HybridDatabase;
+use crate::recorder::StatisticsRecorder;
+
+/// Outcome of running a workload.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total wall time.
+    pub total: Duration,
+    /// Wall time per query kind.
+    pub by_kind: BTreeMap<&'static str, Duration>,
+    /// Number of executed queries.
+    pub queries: usize,
+    /// Per-query durations (in execution order) when requested.
+    pub per_query: Option<Vec<Duration>>,
+}
+
+impl RunReport {
+    /// Total runtime in fractional milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total.as_secs_f64() * 1e3
+    }
+}
+
+/// Executes workloads with timing, optionally recording extended statistics.
+#[derive(Debug, Default)]
+pub struct WorkloadRunner {
+    /// Collect per-query durations (needed by the estimation-accuracy
+    /// experiments; slight overhead).
+    pub collect_per_query: bool,
+}
+
+impl WorkloadRunner {
+    /// Runner with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run every query, returning the timing report.
+    pub fn run(&self, db: &mut HybridDatabase, workload: &Workload) -> Result<RunReport> {
+        self.run_inner(db, workload, None)
+    }
+
+    /// Run every query while feeding the statistics recorder (the online
+    /// mode's combined execute-and-observe loop).
+    pub fn run_recorded(
+        &self,
+        db: &mut HybridDatabase,
+        workload: &Workload,
+        recorder: &mut StatisticsRecorder,
+    ) -> Result<RunReport> {
+        self.run_inner(db, workload, Some(recorder))
+    }
+
+    fn run_inner(
+        &self,
+        db: &mut HybridDatabase,
+        workload: &Workload,
+        mut recorder: Option<&mut StatisticsRecorder>,
+    ) -> Result<RunReport> {
+        let mut by_kind: BTreeMap<&'static str, Duration> = BTreeMap::new();
+        let mut per_query = self.collect_per_query.then(|| Vec::with_capacity(workload.len()));
+        let started = Instant::now();
+        for query in &workload.queries {
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(db, query);
+            }
+            let q_start = Instant::now();
+            db.execute(query)?;
+            let elapsed = q_start.elapsed();
+            *by_kind.entry(kind_name(query)).or_insert(Duration::ZERO) += elapsed;
+            if let Some(v) = per_query.as_mut() {
+                v.push(elapsed);
+            }
+        }
+        Ok(RunReport {
+            total: started.elapsed(),
+            by_kind,
+            queries: workload.len(),
+            per_query,
+        })
+    }
+
+    /// Time a single query (median over `repeats` runs; read-only queries
+    /// only, since repetition re-executes).
+    pub fn time_query(
+        &self,
+        db: &mut HybridDatabase,
+        query: &Query,
+        repeats: usize,
+    ) -> Result<Duration> {
+        let mut samples = Vec::with_capacity(repeats.max(1));
+        for _ in 0..repeats.max(1) {
+            let start = Instant::now();
+            db.execute(query)?;
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        Ok(samples[samples.len() / 2])
+    }
+}
+
+fn kind_name(q: &Query) -> &'static str {
+    match q.kind() {
+        QueryKind::Aggregation => "aggregation",
+        QueryKind::AggregationJoin => "aggregation+join",
+        QueryKind::Select => "select",
+        QueryKind::Insert => "insert",
+        QueryKind::Update => "update",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_query::{AggFunc, AggregateQuery, InsertQuery};
+    use hsd_storage::StoreKind;
+    use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
+
+    fn db() -> HybridDatabase {
+        let mut db = HybridDatabase::new();
+        db.create_single(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("v", ColumnType::Double),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+            StoreKind::Column,
+        )
+        .unwrap();
+        db.bulk_load("t", (0..100).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]))
+            .unwrap();
+        db
+    }
+
+    fn workload() -> Workload {
+        let mut w = Workload::new();
+        w.push(Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)));
+        w.push(Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![vec![Value::BigInt(1000), Value::Double(0.0)]],
+        }));
+        w
+    }
+
+    #[test]
+    fn run_reports_totals() {
+        let mut db = db();
+        let report = WorkloadRunner::new().run(&mut db, &workload()).unwrap();
+        assert_eq!(report.queries, 2);
+        assert!(report.total > Duration::ZERO);
+        assert!(report.by_kind.contains_key("aggregation"));
+        assert!(report.by_kind.contains_key("insert"));
+        assert!(report.per_query.is_none());
+        assert!(report.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn per_query_durations() {
+        let mut db = db();
+        let runner = WorkloadRunner { collect_per_query: true };
+        let report = runner.run(&mut db, &workload()).unwrap();
+        assert_eq!(report.per_query.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn recorded_run_populates_stats() {
+        let mut db = db();
+        let mut rec = StatisticsRecorder::new();
+        WorkloadRunner::new().run_recorded(&mut db, &workload(), &mut rec).unwrap();
+        assert_eq!(rec.stats().total_statements, 2);
+        assert_eq!(rec.stats().table("t").unwrap().inserts, 1);
+        assert_eq!(rec.stats().table("t").unwrap().aggregations, 1);
+    }
+
+    #[test]
+    fn time_query_returns_median() {
+        let mut db = db();
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let d = WorkloadRunner::new().time_query(&mut db, &q, 5).unwrap();
+        assert!(d > Duration::ZERO);
+    }
+}

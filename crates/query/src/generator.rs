@@ -1,0 +1,650 @@
+//! Deterministic synthetic tables and mixed workloads.
+//!
+//! The paper's evaluation tables are "ID and several keyfigures, filter
+//! attributes, and group-by attributes" (Section 5.2); [`TableSpec`]
+//! reproduces that layout and generates rows *functionally* — `row(i)` is a
+//! pure function of `(seed, i)` — so multi-million-row tables stream into
+//! either store without a materialized intermediate.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use hsd_storage::ColRange;
+use hsd_types::{ColumnDef, ColumnIdx, ColumnType, Result, TableSchema, Value};
+
+use crate::ast::{
+    AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, SelectQuery, UpdateQuery,
+};
+use crate::workload::Workload;
+
+/// SplitMix64 — the deterministic value function behind row generation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Layout of a synthetic table: `id` (BigInt primary key), then foreign-key,
+/// keyfigure, group-by, filter, and status attributes, in that order.
+///
+/// * keyfigures (`Double`) are the aggregation targets;
+/// * group-by attributes (`Integer`) have low cardinality;
+/// * filter attributes (`Integer`) have mid cardinality;
+/// * status attributes (`Integer`) are the "often modified" OLTP columns of
+///   the paper's vertical-partitioning scenarios.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: String,
+    /// Initial row count.
+    pub rows: usize,
+    /// Number of foreign-key columns (values in `[0, fk_cardinality)`).
+    pub fk_attrs: usize,
+    /// Cardinality of foreign-key columns (= dimension table size).
+    pub fk_cardinality: u32,
+    /// Number of keyfigure (Double) columns.
+    pub keyfigures: usize,
+    /// Number of group-by (Integer) columns.
+    pub group_attrs: usize,
+    /// Number of filter (Integer) columns.
+    pub filter_attrs: usize,
+    /// Number of status (Integer) columns.
+    pub status_attrs: usize,
+    /// Cardinality of group-by columns.
+    pub group_cardinality: u32,
+    /// Cardinality of status columns.
+    pub status_cardinality: u32,
+    /// Number of distinct keyfigure values (controls the compression rate
+    /// of the aggregated attribute — the calibration sweep for
+    /// `f_compression` varies exactly this).
+    pub kf_distinct: u32,
+    /// Seed for the deterministic value function.
+    pub seed: u64,
+}
+
+impl TableSpec {
+    /// The paper's 30-attribute evaluation table: ID plus 10 keyfigures,
+    /// 8 group-by, 8 filter, and 3 status attributes. The keyfigure
+    /// dictionary scales with the row count, keeping the compression rate
+    /// of the aggregated attributes at ≈ 0.95 independent of table size.
+    pub fn paper_wide(name: impl Into<String>, rows: usize, seed: u64) -> Self {
+        TableSpec {
+            name: name.into(),
+            rows,
+            fk_attrs: 0,
+            fk_cardinality: 1,
+            keyfigures: 10,
+            group_attrs: 8,
+            filter_attrs: 8,
+            status_attrs: 3,
+            group_cardinality: 100,
+            status_cardinality: 8,
+            kf_distinct: (rows / 20).max(64) as u32,
+            seed,
+        }
+    }
+
+    /// Total number of columns.
+    pub fn arity(&self) -> usize {
+        1 + self.fk_attrs + self.keyfigures + self.group_attrs + self.filter_attrs + self.status_attrs
+    }
+
+    /// The primary-key (`id`) column.
+    pub fn id_col(&self) -> ColumnIdx {
+        0
+    }
+
+    /// Index of foreign-key column `j`.
+    pub fn fk_col(&self, j: usize) -> ColumnIdx {
+        debug_assert!(j < self.fk_attrs);
+        1 + j
+    }
+
+    /// Index of keyfigure column `j`.
+    pub fn kf_col(&self, j: usize) -> ColumnIdx {
+        debug_assert!(j < self.keyfigures);
+        1 + self.fk_attrs + j
+    }
+
+    /// Index of group-by column `j`.
+    pub fn grp_col(&self, j: usize) -> ColumnIdx {
+        debug_assert!(j < self.group_attrs);
+        1 + self.fk_attrs + self.keyfigures + j
+    }
+
+    /// Index of filter column `j`.
+    pub fn flt_col(&self, j: usize) -> ColumnIdx {
+        debug_assert!(j < self.filter_attrs);
+        1 + self.fk_attrs + self.keyfigures + self.group_attrs + j
+    }
+
+    /// Index of status column `j`.
+    pub fn st_col(&self, j: usize) -> ColumnIdx {
+        debug_assert!(j < self.status_attrs);
+        1 + self.fk_attrs + self.keyfigures + self.group_attrs + self.filter_attrs + j
+    }
+
+    /// All keyfigure column indexes.
+    pub fn kf_cols(&self) -> Vec<ColumnIdx> {
+        (0..self.keyfigures).map(|j| self.kf_col(j)).collect()
+    }
+
+    /// All group-by column indexes.
+    pub fn grp_cols(&self) -> Vec<ColumnIdx> {
+        (0..self.group_attrs).map(|j| self.grp_col(j)).collect()
+    }
+
+    /// All status column indexes.
+    pub fn st_cols(&self) -> Vec<ColumnIdx> {
+        (0..self.status_attrs).map(|j| self.st_col(j)).collect()
+    }
+
+    /// Build the schema.
+    pub fn schema(&self) -> Result<TableSchema> {
+        let mut cols = Vec::with_capacity(self.arity());
+        cols.push(ColumnDef::new("id", ColumnType::BigInt));
+        for j in 0..self.fk_attrs {
+            cols.push(ColumnDef::new(format!("fk{j}"), ColumnType::BigInt));
+        }
+        for j in 0..self.keyfigures {
+            cols.push(ColumnDef::new(format!("kf{j}"), ColumnType::Double));
+        }
+        for j in 0..self.group_attrs {
+            cols.push(ColumnDef::new(format!("grp{j}"), ColumnType::Integer));
+        }
+        for j in 0..self.filter_attrs {
+            cols.push(ColumnDef::new(format!("flt{j}"), ColumnType::Integer));
+        }
+        for j in 0..self.status_attrs {
+            cols.push(ColumnDef::new(format!("st{j}"), ColumnType::Integer));
+        }
+        TableSchema::new(self.name.clone(), cols, vec![0])
+    }
+
+    /// Deterministic value of column `col` in row `i`.
+    pub fn value(&self, i: u64, col: ColumnIdx) -> Value {
+        let h = splitmix64(self.seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407) ^ (col as u64) << 17);
+        if col == 0 {
+            Value::BigInt(i as i64)
+        } else if col < 1 + self.fk_attrs {
+            Value::BigInt((h % self.fk_cardinality.max(1) as u64) as i64)
+        } else if col < 1 + self.fk_attrs + self.keyfigures {
+            // two-decimal doubles: kf_distinct distinct values
+            Value::Double((h % self.kf_distinct.max(1) as u64) as f64 / 100.0)
+        } else if col < 1 + self.fk_attrs + self.keyfigures + self.group_attrs {
+            Value::Int((h % self.group_cardinality.max(1) as u64) as i32)
+        } else if col < 1 + self.fk_attrs + self.keyfigures + self.group_attrs + self.filter_attrs {
+            Value::Int((h % 10_000) as i32)
+        } else {
+            Value::Int((h % self.status_cardinality.max(1) as u64) as i32)
+        }
+    }
+
+    /// Deterministic full row `i`.
+    pub fn row(&self, i: u64) -> Vec<Value> {
+        (0..self.arity()).map(|c| self.value(i, c)).collect()
+    }
+
+    /// Iterator over the initial rows.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows as u64).map(|i| self.row(i))
+    }
+}
+
+/// Configuration of a mixed OLAP/OLTP workload.
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadConfig {
+    /// Total number of queries.
+    pub queries: usize,
+    /// Fraction of aggregation (OLAP) queries.
+    pub olap_fraction: f64,
+    /// Share of OLTP queries that are inserts.
+    pub oltp_insert_share: f64,
+    /// Share of OLTP queries that are updates (remainder: point selects).
+    pub oltp_update_share: f64,
+    /// Probability that an OLAP query has a GROUP BY.
+    pub group_by_prob: f64,
+    /// Maximum number of aggregates per OLAP query.
+    pub max_aggregates: usize,
+    /// Probability that an update assigns (almost) every non-key attribute
+    /// — the paper's "updated as a whole" tuples.
+    pub whole_tuple_update_prob: f64,
+    /// When set, updates and point selects target the top `hot` fraction of
+    /// the id range (the OLTP region of Figure 8).
+    pub hot_fraction: Option<f64>,
+    /// When set, each update addresses a contiguous id *range* of this many
+    /// rows (within the hot region) instead of a single tuple — the
+    /// "update queries addressing 10% of the data" workloads of Figure 8.
+    pub update_range_rows: Option<usize>,
+    /// Whether updates assign only status attributes (the vertical
+    /// partitioning scenarios) instead of arbitrary non-key attributes.
+    /// Selects then filter on a status attribute (projecting the key and
+    /// that attribute) instead of probing the primary key.
+    pub update_status_only: bool,
+    /// Rows per insert statement.
+    pub rows_per_insert: usize,
+    /// RNG seed (query mix and parameters).
+    pub seed: u64,
+}
+
+impl Default for MixedWorkloadConfig {
+    fn default() -> Self {
+        MixedWorkloadConfig {
+            queries: 500,
+            olap_fraction: 0.025,
+            oltp_insert_share: 0.4,
+            oltp_update_share: 0.4,
+            group_by_prob: 0.5,
+            max_aggregates: 3,
+            whole_tuple_update_prob: 0.1,
+            hot_fraction: None,
+            update_range_rows: None,
+            update_status_only: false,
+            rows_per_insert: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates mixed workloads against [`TableSpec`] tables.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: SmallRng,
+    next_id: u64,
+}
+
+impl WorkloadGenerator {
+    /// New generator; `next_id` continues after the table's initial rows.
+    pub fn new(spec: &TableSpec, seed: u64) -> Self {
+        WorkloadGenerator { rng: SmallRng::seed_from_u64(seed), next_id: spec.rows as u64 }
+    }
+
+    /// Mixed workload against a single table (Figure 7(a) and the
+    /// partitioning experiments).
+    pub fn single_table(spec: &TableSpec, cfg: &MixedWorkloadConfig) -> Workload {
+        let mut gen = WorkloadGenerator::new(spec, cfg.seed);
+        let slots = gen.olap_slots(cfg);
+        let queries = slots
+            .into_iter()
+            .map(|is_olap| {
+                if is_olap {
+                    gen.olap_query(spec, cfg, None)
+                } else {
+                    gen.oltp_query(spec, cfg)
+                }
+            })
+            .collect();
+        Workload::from_queries(queries)
+    }
+
+    /// Mixed workload against a star schema: OLAP queries join the fact
+    /// table with the dimension table and group by dimension attributes;
+    /// OLTP queries insert into / update the fact table (Figure 7(b)).
+    pub fn star(
+        fact: &TableSpec,
+        dim: &TableSpec,
+        fact_fk: ColumnIdx,
+        cfg: &MixedWorkloadConfig,
+    ) -> Workload {
+        let mut gen = WorkloadGenerator::new(fact, cfg.seed);
+        let slots = gen.olap_slots(cfg);
+        let queries = slots
+            .into_iter()
+            .map(|is_olap| {
+                if is_olap {
+                    gen.olap_query(fact, cfg, Some((dim, fact_fk)))
+                } else {
+                    gen.oltp_query(fact, cfg)
+                }
+            })
+            .collect();
+        Workload::from_queries(queries)
+    }
+
+    fn olap_slots(&mut self, cfg: &MixedWorkloadConfig) -> Vec<bool> {
+        let olap = ((cfg.queries as f64) * cfg.olap_fraction).round() as usize;
+        let mut slots = vec![false; cfg.queries];
+        for s in slots.iter_mut().take(olap.min(cfg.queries)) {
+            *s = true;
+        }
+        slots.shuffle(&mut self.rng);
+        slots
+    }
+
+    fn olap_query(
+        &mut self,
+        spec: &TableSpec,
+        cfg: &MixedWorkloadConfig,
+        join: Option<(&TableSpec, ColumnIdx)>,
+    ) -> Query {
+        let n_aggs = self.rng.gen_range(1..=cfg.max_aggregates.max(1));
+        let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+        let aggregates: Vec<Aggregate> = (0..n_aggs)
+            .map(|_| Aggregate {
+                func: funcs[self.rng.gen_range(0..funcs.len())],
+                column: spec.kf_col(self.rng.gen_range(0..spec.keyfigures.max(1))),
+            })
+            .collect();
+        match join {
+            None => {
+                let group_by = if spec.group_attrs > 0 && self.rng.gen_bool(cfg.group_by_prob) {
+                    Some(spec.grp_col(self.rng.gen_range(0..spec.group_attrs)))
+                } else {
+                    None
+                };
+                Query::Aggregate(AggregateQuery {
+                    table: spec.name.clone(),
+                    aggregates,
+                    group_by,
+                    filter: Vec::new(),
+                    join: None,
+                })
+            }
+            Some((dim, fact_fk)) => {
+                let group_by_dim = if dim.group_attrs > 0 && self.rng.gen_bool(cfg.group_by_prob) {
+                    Some(dim.grp_col(self.rng.gen_range(0..dim.group_attrs)))
+                } else {
+                    None
+                };
+                Query::Aggregate(AggregateQuery {
+                    table: spec.name.clone(),
+                    aggregates,
+                    group_by: None,
+                    filter: Vec::new(),
+                    join: Some(JoinSpec {
+                        dim_table: dim.name.clone(),
+                        fact_fk,
+                        dim_pk: dim.id_col(),
+                        group_by_dim,
+                    }),
+                })
+            }
+        }
+    }
+
+    fn oltp_query(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> Query {
+        let r: f64 = self.rng.gen();
+        if r < cfg.oltp_insert_share {
+            self.insert_query(spec, cfg)
+        } else if r < cfg.oltp_insert_share + cfg.oltp_update_share {
+            self.update_query(spec, cfg)
+        } else {
+            self.point_select(spec, cfg)
+        }
+    }
+
+    fn insert_query(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> Query {
+        let rows: Vec<Vec<Value>> = (0..cfg.rows_per_insert.max(1))
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                spec.row(id)
+            })
+            .collect();
+        Query::Insert(InsertQuery { table: spec.name.clone(), rows })
+    }
+
+    fn target_id(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> i64 {
+        let n = spec.rows as f64;
+        match cfg.hot_fraction {
+            Some(hot) => {
+                let lo = (n * (1.0 - hot.clamp(0.0, 1.0))) as i64;
+                self.rng.gen_range(lo..spec.rows as i64)
+            }
+            None => self.rng.gen_range(0..spec.rows as i64),
+        }
+    }
+
+    fn update_query(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> Query {
+        let id = self.target_id(spec, cfg);
+        let whole = self.rng.gen_bool(cfg.whole_tuple_update_prob);
+        let candidate_cols: Vec<ColumnIdx> = if whole {
+            // Everything except the key and foreign keys.
+            (1 + spec.fk_attrs..spec.arity()).collect()
+        } else if cfg.update_status_only && spec.status_attrs > 0 {
+            vec![spec.st_col(self.rng.gen_range(0..spec.status_attrs))]
+        } else {
+            // One arbitrary non-key, non-fk attribute.
+            let lo = 1 + spec.fk_attrs;
+            vec![self.rng.gen_range(lo..spec.arity())]
+        };
+        let sets: Vec<(ColumnIdx, Value)> = candidate_cols
+            .into_iter()
+            .map(|c| {
+                let salt = self.rng.gen::<u32>() as u64 % spec.rows.max(1) as u64;
+                match spec.value(salt, c) {
+                    // Keyfigure updates write genuinely new values (a fresh
+                    // price/quantity), growing the column store's dictionary
+                    // tail — the delta pressure real updates create.
+                    Value::Double(_) => {
+                        (c, Value::Double(self.rng.gen::<u32>() as f64 / 977.0))
+                    }
+                    // Flag-like integer attributes stay within their domain.
+                    v => (c, v),
+                }
+            })
+            .collect();
+        let filter = match cfg.update_range_rows {
+            None => vec![ColRange::eq(spec.id_col(), Value::BigInt(id))],
+            Some(k) => {
+                // Contiguous range of k ids, clamped to the table.
+                let k = k.max(1) as i64;
+                let lo = id.min(spec.rows as i64 - k).max(0);
+                vec![ColRange::between(
+                    spec.id_col(),
+                    Value::BigInt(lo),
+                    Value::BigInt(lo + k - 1),
+                )]
+            }
+        };
+        Query::Update(UpdateQuery { table: spec.name.clone(), sets, filter })
+    }
+
+    fn point_select(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> Query {
+        if cfg.update_status_only && spec.status_attrs > 0 {
+            // The vertical-partitioning scenarios: selections filter on a
+            // status attribute and project the key plus that attribute.
+            let col = spec.st_col(self.rng.gen_range(0..spec.status_attrs));
+            let v = self.rng.gen_range(0..spec.status_cardinality.max(1)) as i32;
+            return Query::Select(SelectQuery {
+                table: spec.name.clone(),
+                columns: Some(vec![spec.id_col(), col]),
+                filter: vec![ColRange::eq(col, Value::Int(v))],
+            });
+        }
+        let id = self.target_id(spec, cfg);
+        Query::Select(SelectQuery {
+            table: spec.name.clone(),
+            columns: None,
+            filter: vec![ColRange::eq(spec.id_col(), Value::BigInt(id))],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryKind;
+
+    fn spec() -> TableSpec {
+        TableSpec::paper_wide("w", 1000, 7)
+    }
+
+    #[test]
+    fn paper_wide_has_30_attributes() {
+        let s = spec();
+        assert_eq!(s.arity(), 30);
+        let schema = s.schema().unwrap();
+        assert_eq!(schema.arity(), 30);
+        assert_eq!(schema.primary_key, vec![0]);
+        assert_eq!(schema.columns[s.kf_col(0)].ty, ColumnType::Double);
+        assert_eq!(schema.columns[s.grp_col(0)].ty, ColumnType::Integer);
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let s = spec();
+        assert_eq!(s.row(5), s.row(5));
+        assert_ne!(s.row(5), s.row(6));
+        let other = TableSpec { seed: 8, ..spec() };
+        assert_ne!(s.row(5)[s.kf_col(0)], other.row(5)[other.kf_col(0)]);
+        // ids are stable regardless of seed
+        assert_eq!(s.row(5)[0], Value::BigInt(5));
+    }
+
+    #[test]
+    fn value_domains() {
+        let s = spec();
+        for i in 0..200u64 {
+            match s.value(i, s.grp_col(0)) {
+                Value::Int(v) => assert!((0..100).contains(&v)),
+                other => panic!("unexpected {other:?}"),
+            }
+            match s.value(i, s.st_col(0)) {
+                Value::Int(v) => assert!((0..8).contains(&v)),
+                other => panic!("unexpected {other:?}"),
+            }
+            match s.value(i, s.kf_col(3)) {
+                Value::Double(v) => assert!((0.0..1000.0).contains(&v)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_olap_fraction_matches_config() {
+        let s = spec();
+        let cfg = MixedWorkloadConfig { queries: 200, olap_fraction: 0.05, ..Default::default() };
+        let w = WorkloadGenerator::single_table(&s, &cfg);
+        assert_eq!(w.len(), 200);
+        assert!((w.olap_fraction() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_is_seed_deterministic() {
+        let s = spec();
+        let cfg = MixedWorkloadConfig { queries: 100, ..Default::default() };
+        let a = WorkloadGenerator::single_table(&s, &cfg);
+        let b = WorkloadGenerator::single_table(&s, &cfg);
+        assert_eq!(a, b);
+        let c = WorkloadGenerator::single_table(&s, &MixedWorkloadConfig { seed: 43, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inserts_use_fresh_ids() {
+        let s = spec();
+        let cfg = MixedWorkloadConfig {
+            queries: 50,
+            olap_fraction: 0.0,
+            oltp_insert_share: 1.0,
+            oltp_update_share: 0.0,
+            ..Default::default()
+        };
+        let w = WorkloadGenerator::single_table(&s, &cfg);
+        let mut ids = Vec::new();
+        for q in &w.queries {
+            if let Query::Insert(ins) = q {
+                for row in &ins.rows {
+                    ids.push(row[0].as_i64().unwrap());
+                }
+            }
+        }
+        assert_eq!(ids.len(), 50);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "ids must be unique");
+        assert!(ids.iter().all(|&i| i >= 1000), "ids continue after initial rows");
+    }
+
+    #[test]
+    fn hot_fraction_confines_updates() {
+        let s = spec();
+        let cfg = MixedWorkloadConfig {
+            queries: 100,
+            olap_fraction: 0.0,
+            oltp_insert_share: 0.0,
+            oltp_update_share: 1.0,
+            hot_fraction: Some(0.1),
+            whole_tuple_update_prob: 0.0,
+            ..Default::default()
+        };
+        let w = WorkloadGenerator::single_table(&s, &cfg);
+        for q in &w.queries {
+            if let Query::Update(u) = q {
+                let id = u.filter[0].as_eq().unwrap().as_i64().unwrap();
+                assert!(id >= 900, "update id {id} outside hot region");
+            }
+        }
+    }
+
+    #[test]
+    fn star_workload_contains_joins() {
+        let fact = TableSpec {
+            name: "fact".into(),
+            rows: 1000,
+            fk_attrs: 1,
+            fk_cardinality: 100,
+            keyfigures: 4,
+            group_attrs: 0,
+            filter_attrs: 3,
+            status_attrs: 1,
+            group_cardinality: 10,
+            status_cardinality: 5,
+            kf_distinct: 100_000,
+            seed: 1,
+        };
+        let dim = TableSpec {
+            name: "dim".into(),
+            rows: 100,
+            fk_attrs: 0,
+            fk_cardinality: 1,
+            keyfigures: 0,
+            group_attrs: 3,
+            filter_attrs: 2,
+            status_attrs: 0,
+            group_cardinality: 10,
+            status_cardinality: 1,
+            kf_distinct: 100_000,
+            seed: 2,
+        };
+        let cfg = MixedWorkloadConfig { queries: 100, olap_fraction: 0.2, ..Default::default() };
+        let w = WorkloadGenerator::star(&fact, &dim, fact.fk_col(0), &cfg);
+        let joins = w.queries.iter().filter(|q| q.kind() == QueryKind::AggregationJoin).count();
+        assert_eq!(joins, 20);
+        for q in &w.queries {
+            if let Query::Aggregate(a) = q {
+                let j = a.join.as_ref().expect("star OLAP queries join");
+                assert_eq!(j.dim_table, "dim");
+                assert_eq!(j.fact_fk, fact.fk_col(0));
+            }
+        }
+    }
+
+    #[test]
+    fn status_only_updates_touch_status_columns() {
+        let s = spec();
+        let cfg = MixedWorkloadConfig {
+            queries: 60,
+            olap_fraction: 0.0,
+            oltp_insert_share: 0.0,
+            oltp_update_share: 1.0,
+            whole_tuple_update_prob: 0.0,
+            update_status_only: true,
+            ..Default::default()
+        };
+        let w = WorkloadGenerator::single_table(&s, &cfg);
+        let st: Vec<ColumnIdx> = s.st_cols();
+        for q in &w.queries {
+            if let Query::Update(u) = q {
+                for (col, _) in &u.sets {
+                    assert!(st.contains(col), "column {col} is not a status attribute");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Query representation and workload generation.
+//!
+//! The advisor consumes query *characteristics* — query type, number of
+//! aggregates and their functions, grouping, selectivity, number of selected
+//! or affected columns and rows — so the AST here carries exactly those,
+//! already resolved to column indexes.
+//!
+//! [`generator`] builds the synthetic tables and mixed OLAP/OLTP workloads
+//! of the paper's evaluation ("we carefully generated different data sets
+//! and workloads to analyze the impact of different data and query
+//! characteristics"), fully deterministic under a seed.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod generator;
+pub mod workload;
+
+pub use ast::{
+    AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, QueryKind, SelectQuery,
+    UpdateQuery,
+};
+pub use generator::{MixedWorkloadConfig, TableSpec, WorkloadGenerator};
+pub use workload::{Workload, WorkloadSummary};

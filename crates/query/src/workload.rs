@@ -1,0 +1,137 @@
+//! Workloads: ordered sequences of queries with summary statistics.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Query, QueryKind};
+
+/// An ordered workload, as recorded or generated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    /// The queries, in execution order.
+    pub queries: Vec<Query>,
+}
+
+/// Aggregate facts about a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Total number of queries.
+    pub total: usize,
+    /// Queries per kind.
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Fraction of OLAP (aggregation) queries.
+    pub olap_fraction: f64,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Workload from a query list.
+    pub fn from_queries(queries: Vec<Query>) -> Self {
+        Workload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Append a query.
+    pub fn push(&mut self, q: Query) {
+        self.queries.push(q);
+    }
+
+    /// Fraction of OLAP queries.
+    pub fn olap_fraction(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let olap = self.queries.iter().filter(|q| q.is_olap()).count();
+        olap as f64 / self.queries.len() as f64
+    }
+
+    /// Names of all tables the workload touches, sorted and deduplicated.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.queries.iter().flat_map(|q| q.tables()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Summarize the workload.
+    pub fn summary(&self) -> WorkloadSummary {
+        let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for q in &self.queries {
+            let key = match q.kind() {
+                QueryKind::Aggregation => "aggregation",
+                QueryKind::AggregationJoin => "aggregation+join",
+                QueryKind::Select => "select",
+                QueryKind::Insert => "insert",
+                QueryKind::Update => "update",
+            };
+            *by_kind.entry(key).or_insert(0) += 1;
+        }
+        WorkloadSummary {
+            total: self.queries.len(),
+            by_kind,
+            olap_fraction: self.olap_fraction(),
+        }
+    }
+}
+
+impl FromIterator<Query> for Workload {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        Workload { queries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, AggregateQuery, InsertQuery, SelectQuery};
+    use hsd_types::Value;
+
+    fn mixed() -> Workload {
+        let mut w = Workload::new();
+        w.push(Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)));
+        w.push(Query::Select(SelectQuery::point("t", 0, Value::Int(1))));
+        w.push(Query::Insert(InsertQuery { table: "u".into(), rows: vec![] }));
+        w.push(Query::Insert(InsertQuery { table: "u".into(), rows: vec![] }));
+        w
+    }
+
+    #[test]
+    fn olap_fraction_counts_aggregates() {
+        let w = mixed();
+        assert!((w.olap_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(Workload::new().olap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn summary_by_kind() {
+        let s = mixed().summary();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.by_kind["aggregation"], 1);
+        assert_eq!(s.by_kind["insert"], 2);
+        assert_eq!(s.by_kind["select"], 1);
+    }
+
+    #[test]
+    fn tables_deduplicated() {
+        assert_eq!(mixed().tables(), vec!["t", "u"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let w: Workload =
+            vec![Query::Insert(InsertQuery { table: "x".into(), rows: vec![] })].into_iter().collect();
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Bit-packed vectors of dictionary codes.
+//!
+//! Column-store code vectors hold small integers (dictionary codes), so
+//! storing them in `ceil(log2(dict_size))` bits instead of full 32-bit words
+//! is the classic column-store compression the paper's `f_compression`
+//! adjustment reacts to. The width grows on demand: when a push would not
+//! fit, the vector repacks itself at a wider width (amortized O(1) per push).
+
+/// A growable vector of `u32` values stored at a fixed bit width.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitPackedVec {
+    words: Vec<u64>,
+    /// Bits per entry, 0..=32. Width 0 is valid and means "all values are 0".
+    width: u8,
+    len: usize,
+}
+
+/// Number of bits needed to represent `max_value`.
+pub fn bits_for(max_value: u32) -> u8 {
+    (32 - max_value.leading_zeros()) as u8
+}
+
+impl BitPackedVec {
+    /// Empty vector with zero width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty vector pre-sized for `capacity` entries of `width` bits.
+    pub fn with_capacity(width: u8, capacity: usize) -> Self {
+        assert!(width <= 32, "code width above 32 bits");
+        let words = (capacity * width as usize).div_ceil(64);
+        BitPackedVec { words: Vec::with_capacity(words), width, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current bits-per-entry.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Heap bytes occupied by the packed representation.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    fn mask(width: u8) -> u64 {
+        if width == 0 {
+            0
+        } else if width == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Append a value, widening the representation if required.
+    pub fn push(&mut self, value: u32) {
+        let needed = bits_for(value);
+        if needed > self.width {
+            self.repack(needed);
+        }
+        if self.width == 0 {
+            // All stored values are zero; nothing to write.
+            self.len += 1;
+            return;
+        }
+        let bit = self.len * self.width as usize;
+        let word = bit / 64;
+        let shift = bit % 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= (value as u64) << shift;
+        let spill = shift + self.width as usize;
+        if spill > 64 {
+            self.words.push((value as u64) >> (64 - shift));
+        }
+        self.len += 1;
+    }
+
+    /// Read the entry at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        assert!(idx < self.len, "BitPackedVec index {idx} out of bounds (len {})", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        let bit = idx * self.width as usize;
+        let word = bit / 64;
+        let shift = bit % 64;
+        let mut v = self.words[word] >> shift;
+        let spill = shift + self.width as usize;
+        if spill > 64 {
+            v |= self.words[word + 1] << (64 - shift);
+        }
+        (v & Self::mask(self.width)) as u32
+    }
+
+    /// Overwrite the entry at `idx`, widening if required.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize, value: u32) {
+        assert!(idx < self.len, "BitPackedVec index {idx} out of bounds (len {})", self.len);
+        let needed = bits_for(value);
+        if needed > self.width {
+            self.repack(needed);
+        }
+        if self.width == 0 {
+            return; // value must be 0 to have width 0 after repack
+        }
+        let bit = idx * self.width as usize;
+        let word = bit / 64;
+        let shift = bit % 64;
+        let mask = Self::mask(self.width);
+        self.words[word] &= !(mask << shift);
+        self.words[word] |= (value as u64) << shift;
+        let spill = shift + self.width as usize;
+        if spill > 64 {
+            let hi_bits = spill - 64;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= (value as u64) >> (64 - shift);
+        }
+    }
+
+    /// Re-encode every entry at `new_width` bits. O(len).
+    pub fn repack(&mut self, new_width: u8) {
+        assert!(new_width <= 32, "code width above 32 bits");
+        assert!(new_width >= self.width, "repack must not narrow the width");
+        if new_width == self.width {
+            return;
+        }
+        let mut wider = BitPackedVec::with_capacity(new_width, self.len);
+        wider.width = new_width;
+        for i in 0..self.len {
+            let v = self.get(i);
+            // Inline push without the widen check: new_width is sufficient.
+            let bit = wider.len * new_width as usize;
+            let word = bit / 64;
+            let shift = bit % 64;
+            if word >= wider.words.len() {
+                wider.words.push(0);
+            }
+            wider.words[word] |= (v as u64) << shift;
+            if shift + new_width as usize > 64 {
+                wider.words.push((v as u64) >> (64 - shift));
+            }
+            wider.len += 1;
+        }
+        *self = wider;
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl FromIterator<u32> for BitPackedVec {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut v = BitPackedVec::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u32::MAX), 32);
+    }
+
+    #[test]
+    fn push_get_round_trip() {
+        let vals = [0u32, 1, 7, 3, 200, 5, 65_535, 12];
+        let v: BitPackedVec = vals.iter().copied().collect();
+        assert_eq!(v.len(), vals.len());
+        for (i, &x) in vals.iter().enumerate() {
+            assert_eq!(v.get(i), x, "index {i}");
+        }
+    }
+
+    #[test]
+    fn zero_width_stores_zeros() {
+        let mut v = BitPackedVec::new();
+        for _ in 0..100 {
+            v.push(0);
+        }
+        assert_eq!(v.width(), 0);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.get(99), 0);
+        assert!(v.heap_bytes() == 0);
+    }
+
+    #[test]
+    fn widening_preserves_existing_entries() {
+        let mut v = BitPackedVec::new();
+        for i in 0..50u32 {
+            v.push(i % 4);
+        }
+        assert_eq!(v.width(), 2);
+        v.push(1_000_000);
+        assert_eq!(v.width(), bits_for(1_000_000));
+        for i in 0..50usize {
+            assert_eq!(v.get(i), (i % 4) as u32);
+        }
+        assert_eq!(v.get(50), 1_000_000);
+    }
+
+    #[test]
+    fn set_updates_in_place() {
+        let mut v: BitPackedVec = (0..100u32).collect();
+        v.set(3, 42);
+        assert_eq!(v.get(3), 42);
+        assert_eq!(v.get(2), 2);
+        assert_eq!(v.get(4), 4);
+        // widening set
+        v.set(10, u32::MAX);
+        assert_eq!(v.get(10), u32::MAX);
+        assert_eq!(v.get(9), 9);
+        assert_eq!(v.get(11), 11);
+    }
+
+    #[test]
+    fn entries_spanning_word_boundaries() {
+        // width 7 entries straddle 64-bit boundaries regularly.
+        let vals: Vec<u32> = (0..200).map(|i| (i * 13) % 128).collect();
+        let v: BitPackedVec = vals.iter().copied().collect();
+        assert_eq!(v.width(), 7);
+        for (i, &x) in vals.iter().enumerate() {
+            assert_eq!(v.get(i), x, "index {i}");
+        }
+        let mut w = v.clone();
+        for (i, &x) in vals.iter().enumerate().rev() {
+            w.set(i, 127 - x);
+        }
+        for (i, &x) in vals.iter().enumerate() {
+            assert_eq!(w.get(i), 127 - x, "index {i}");
+        }
+    }
+
+    #[test]
+    fn width_32_round_trip() {
+        let vals = [u32::MAX, 0, 123_456_789, u32::MAX - 1];
+        let v: BitPackedVec = vals.iter().copied().collect();
+        for (i, &x) in vals.iter().enumerate() {
+            assert_eq!(v.get(i), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v: BitPackedVec = [1u32, 2].iter().copied().collect();
+        v.get(2);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let vals: Vec<u32> = (0..77).map(|i| i * 3 % 23).collect();
+        let v: BitPackedVec = vals.iter().copied().collect();
+        let collected: Vec<u32> = v.iter().collect();
+        assert_eq!(collected, vals);
+    }
+}

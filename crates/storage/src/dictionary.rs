@@ -1,0 +1,313 @@
+//! Order-preserving dictionaries with an unsorted tail.
+//!
+//! A column's dictionary has two regions:
+//!
+//! * a **sorted region** (codes `0..sorted_len`): value order equals code
+//!   order, so range predicates compress to a code interval — the "implicit
+//!   index" the paper attributes to the column store's data dictionary;
+//! * an **unsorted tail** (codes `sorted_len..len`): values that arrived
+//!   after the last [`Dictionary::rebuild`]. Lookups in the tail go through a
+//!   hash map, and range predicates must inspect tail entries one by one.
+//!
+//! The tail is what makes column-store inserts and updates cheap enough to be
+//! usable while still more expensive than row-store ones; a rebuild (the
+//! delta merge of HANA-style stores) folds the tail back into the sorted
+//! region and yields a code remapping that the owning column applies to its
+//! code vector.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use hsd_types::Value;
+
+/// An order-preserving dictionary with an unsorted tail region.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    sorted: Vec<Value>,
+    tail: Vec<Value>,
+    tail_lookup: HashMap<Value, u32>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a fully sorted dictionary from a set of distinct values.
+    pub fn from_distinct(mut values: Vec<Value>) -> Self {
+        values.sort();
+        values.dedup();
+        Dictionary { sorted: values, tail: Vec::new(), tail_lookup: HashMap::new() }
+    }
+
+    /// Total number of distinct values (sorted + tail).
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.tail.len()
+    }
+
+    /// Whether the dictionary holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of values in the sorted region.
+    pub fn sorted_len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Number of values in the unsorted tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Look up the code of `value`, if present.
+    pub fn code_for(&self, value: &Value) -> Option<u32> {
+        match self.sorted.binary_search(value) {
+            Ok(pos) => Some(pos as u32),
+            Err(_) => self.tail_lookup.get(value).copied(),
+        }
+    }
+
+    /// Look up or insert `value`, returning its code. New values go to the
+    /// tail.
+    pub fn intern(&mut self, value: &Value) -> u32 {
+        if let Some(code) = self.code_for(value) {
+            return code;
+        }
+        let code = self.len() as u32;
+        self.tail.push(value.clone());
+        self.tail_lookup.insert(value.clone(), code);
+        code
+    }
+
+    /// Decode a code back to its value.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range.
+    #[inline]
+    pub fn decode(&self, code: u32) -> &Value {
+        let idx = code as usize;
+        if idx < self.sorted.len() {
+            &self.sorted[idx]
+        } else {
+            &self.tail[idx - self.sorted.len()]
+        }
+    }
+
+    /// The half-open code interval `[start, end)` of *sorted-region* codes
+    /// whose values fall within the given bounds.
+    ///
+    /// An unbounded lower end excludes `NULL` (which, when present, is always
+    /// the first sorted entry): SQL comparisons never match NULL. To select
+    /// NULLs explicitly, pass `Included(Value::Null)` bounds.
+    pub fn sorted_code_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> (u32, u32) {
+        let start = match lo {
+            Bound::Unbounded => {
+                // Skip a leading NULL if present.
+                usize::from(self.sorted.first().is_some_and(Value::is_null))
+            }
+            Bound::Included(v) => self.sorted.partition_point(|x| x < v),
+            Bound::Excluded(v) => self.sorted.partition_point(|x| x <= v),
+        };
+        let end = match hi {
+            Bound::Unbounded => self.sorted.len(),
+            Bound::Included(v) => self.sorted.partition_point(|x| x <= v),
+            Bound::Excluded(v) => self.sorted.partition_point(|x| x < v),
+        };
+        (start as u32, end.max(start) as u32)
+    }
+
+    /// Codes of *tail* values that fall within the given bounds.
+    ///
+    /// The tail is unsorted, so this is a linear pass — which is precisely
+    /// why a large tail degrades selection performance until the next merge.
+    pub fn tail_codes_in_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<u32> {
+        let base = self.sorted.len() as u32;
+        self.tail
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| value_in_range(v, lo, hi))
+            .map(|(i, _)| base + i as u32)
+            .collect()
+    }
+
+    /// Fold the tail into the sorted region.
+    ///
+    /// Returns the remapping `old_code -> new_code` that the owning column
+    /// must apply to its code vector, or `None` if the tail was empty (no
+    /// remap needed).
+    pub fn rebuild(&mut self) -> Option<Vec<u32>> {
+        if self.tail.is_empty() {
+            return None;
+        }
+        let old_len = self.len();
+        let mut all: Vec<Value> = Vec::with_capacity(old_len);
+        all.extend(self.sorted.iter().cloned());
+        all.extend(self.tail.iter().cloned());
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        let remap: Vec<u32> = all
+            .iter()
+            .map(|v| sorted.binary_search(v).expect("value present after sort") as u32)
+            .collect();
+        self.sorted = sorted;
+        self.tail.clear();
+        self.tail_lookup.clear();
+        Some(remap)
+    }
+
+    /// Iterate over all values in code order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.sorted.iter().chain(self.tail.iter())
+    }
+
+    /// Smallest and largest non-null value. O(tail) — the sorted region
+    /// answers in O(1), only tail entries need inspection.
+    pub fn min_max(&self) -> (Option<Value>, Option<Value>) {
+        let mut min: Option<&Value> = self.sorted.iter().find(|v| !v.is_null());
+        let mut max: Option<&Value> = self.sorted.last().filter(|v| !v.is_null());
+        for v in &self.tail {
+            if v.is_null() {
+                continue;
+            }
+            if min.is_none_or(|m| v < m) {
+                min = Some(v);
+            }
+            if max.is_none_or(|m| v > m) {
+                max = Some(v);
+            }
+        }
+        (min.cloned(), max.cloned())
+    }
+
+    /// Approximate heap bytes (dictionary entries + tail lookup).
+    pub fn heap_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Value>();
+        (self.sorted.capacity() + self.tail.capacity()) * entry
+            + self.tail_lookup.capacity() * (entry + std::mem::size_of::<u32>())
+    }
+}
+
+/// Check a single value against a pair of bounds, with SQL NULL semantics
+/// for unbounded lower ends (see [`Dictionary::sorted_code_range`]).
+pub(crate) fn value_in_range(v: &Value, lo: Bound<&Value>, hi: Bound<&Value>) -> bool {
+    if v.is_null() && !matches!(lo, Bound::Included(Value::Null)) {
+        return false;
+    }
+    let lo_ok = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(l) => v >= l,
+        Bound::Excluded(l) => v > l,
+    };
+    let hi_ok = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(h) => v <= h,
+        Bound::Excluded(h) => v < h,
+    };
+    lo_ok && hi_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict_of(ints: &[i32]) -> Dictionary {
+        Dictionary::from_distinct(ints.iter().map(|&i| Value::Int(i)).collect())
+    }
+
+    #[test]
+    fn from_distinct_sorts_and_dedups() {
+        let d = dict_of(&[5, 1, 3, 3, 1]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.sorted_len(), 3);
+        assert_eq!(d.decode(0), &Value::Int(1));
+        assert_eq!(d.decode(2), &Value::Int(5));
+    }
+
+    #[test]
+    fn intern_existing_returns_same_code() {
+        let mut d = dict_of(&[1, 2, 3]);
+        assert_eq!(d.intern(&Value::Int(2)), 1);
+        assert_eq!(d.tail_len(), 0);
+    }
+
+    #[test]
+    fn intern_new_goes_to_tail() {
+        let mut d = dict_of(&[10, 20]);
+        let c = d.intern(&Value::Int(15));
+        assert_eq!(c, 2);
+        assert_eq!(d.tail_len(), 1);
+        assert_eq!(d.decode(2), &Value::Int(15));
+        assert_eq!(d.code_for(&Value::Int(15)), Some(2));
+        // interning again reuses the tail code
+        assert_eq!(d.intern(&Value::Int(15)), 2);
+        assert_eq!(d.tail_len(), 1);
+    }
+
+    #[test]
+    fn sorted_code_range_bounds() {
+        let d = dict_of(&[10, 20, 30, 40]);
+        use Bound::*;
+        assert_eq!(d.sorted_code_range(Unbounded, Unbounded), (0, 4));
+        assert_eq!(d.sorted_code_range(Included(&Value::Int(20)), Included(&Value::Int(30))), (1, 3));
+        assert_eq!(d.sorted_code_range(Excluded(&Value::Int(20)), Unbounded), (2, 4));
+        assert_eq!(d.sorted_code_range(Unbounded, Excluded(&Value::Int(20))), (0, 1));
+        // range for an absent value collapses correctly
+        assert_eq!(d.sorted_code_range(Included(&Value::Int(25)), Included(&Value::Int(25))), (2, 2));
+        // inverted range yields empty interval
+        assert_eq!(d.sorted_code_range(Included(&Value::Int(40)), Included(&Value::Int(10))), (3, 3));
+    }
+
+    #[test]
+    fn unbounded_lower_skips_null() {
+        let d = Dictionary::from_distinct(vec![Value::Null, Value::Int(1), Value::Int(2)]);
+        use Bound::*;
+        assert_eq!(d.sorted_code_range(Unbounded, Unbounded), (1, 3));
+        // explicit NULL selection
+        assert_eq!(d.sorted_code_range(Included(&Value::Null), Included(&Value::Null)), (0, 1));
+    }
+
+    #[test]
+    fn tail_codes_in_range_scans_tail() {
+        let mut d = dict_of(&[10, 20]);
+        d.intern(&Value::Int(15));
+        d.intern(&Value::Int(99));
+        use Bound::*;
+        let hits = d.tail_codes_in_range(Included(&Value::Int(12)), Included(&Value::Int(50)));
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn rebuild_returns_remap_and_sorts() {
+        let mut d = dict_of(&[10, 30]);
+        d.intern(&Value::Int(20)); // code 2 in tail
+        let remap = d.rebuild().expect("tail was non-empty");
+        // old codes: 0->10, 1->30, 2->20; new sorted: 10,20,30
+        assert_eq!(remap, vec![0, 2, 1]);
+        assert_eq!(d.tail_len(), 0);
+        assert_eq!(d.sorted_len(), 3);
+        assert_eq!(d.decode(1), &Value::Int(20));
+        assert!(d.rebuild().is_none(), "second rebuild is a no-op");
+    }
+
+    #[test]
+    fn value_in_range_null_semantics() {
+        use Bound::*;
+        assert!(!value_in_range(&Value::Null, Unbounded, Unbounded));
+        assert!(value_in_range(&Value::Null, Included(&Value::Null), Included(&Value::Null)));
+        assert!(value_in_range(&Value::Int(5), Included(&Value::Int(5)), Unbounded));
+        assert!(!value_in_range(&Value::Int(5), Excluded(&Value::Int(5)), Unbounded));
+    }
+
+    #[test]
+    fn decode_across_regions() {
+        let mut d = dict_of(&[1]);
+        d.intern(&Value::Int(7));
+        assert_eq!(d.decode(0), &Value::Int(1));
+        assert_eq!(d.decode(1), &Value::Int(7));
+        let all: Vec<&Value> = d.values().collect();
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! In-memory hybrid storage: a row store and a dictionary-compressed column
+//! store.
+//!
+//! This crate is the physical substrate the storage advisor reasons about.
+//! It deliberately reproduces the asymmetries the paper's cost model is built
+//! on (Section 2 of the paper):
+//!
+//! * **Row store** ([`row_store::RowTable`]): rows live contiguously in a
+//!   fixed-width arena. Retrieving or updating a whole tuple touches one
+//!   small memory region; appending is cheap. Scanning a *single attribute*
+//!   strides across full tuples, so analytical scans are slow. A hash index
+//!   on the primary key serves point queries; optional ordered secondary
+//!   indexes accelerate range predicates ("if an index is available" in the
+//!   paper's `f_selectivity`).
+//! * **Column store** ([`column_store::ColumnTable`]): every column is
+//!   dictionary-encoded — an order-preserving *sorted* dictionary plus an
+//!   unsorted *tail* that absorbs newly arriving values (the delta of
+//!   HANA-style stores), and a bit-packed code vector. Scans over one
+//!   attribute read only that column's tightly packed codes, so aggregation
+//!   is fast; the sorted dictionary acts as the "implicit index" the paper
+//!   mentions for selections. Inserts must consult every column's dictionary
+//!   and tuple reconstruction must gather one code per column, which is what
+//!   makes OLTP work comparatively expensive.
+//!
+//! The [`table::Table`] enum gives the engine a store-agnostic interface, so
+//! the same query executor runs against either store — exactly the situation
+//! in which "where should this table live?" becomes the advisor's question.
+
+#![warn(missing_docs)]
+
+pub mod bitpack;
+pub mod column_store;
+pub mod dictionary;
+pub mod predicate;
+pub mod row_store;
+pub mod table;
+
+pub use bitpack::BitPackedVec;
+pub use column_store::{ColumnData, ColumnTable};
+pub use dictionary::Dictionary;
+pub use predicate::{ColRange, RowSel};
+pub use row_store::RowTable;
+pub use table::{PkKey, StoreKind, Table};

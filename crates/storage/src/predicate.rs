@@ -1,0 +1,141 @@
+//! Storage-level predicates.
+//!
+//! The query layer compiles its predicates down to conjunctions of
+//! per-column range constraints ([`ColRange`]); point predicates are
+//! degenerate ranges. Keeping the storage interface this narrow lets both
+//! stores pick their own evaluation strategy (code-interval matching for the
+//! column store, index probes or tuple scans for the row store).
+
+use std::ops::Bound;
+
+use hsd_types::{ColumnIdx, Value};
+
+use crate::dictionary::value_in_range;
+
+/// A range constraint on a single column: `lo <= col <= hi` with
+/// configurable bound openness. Equality is `[v, v]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRange {
+    /// Column the constraint applies to.
+    pub column: ColumnIdx,
+    /// Lower bound.
+    pub lo: Bound<Value>,
+    /// Upper bound.
+    pub hi: Bound<Value>,
+}
+
+impl ColRange {
+    /// Equality constraint `col = v`.
+    pub fn eq(column: ColumnIdx, v: Value) -> Self {
+        ColRange { column, lo: Bound::Included(v.clone()), hi: Bound::Included(v) }
+    }
+
+    /// Closed range `lo <= col <= hi`.
+    pub fn between(column: ColumnIdx, lo: Value, hi: Value) -> Self {
+        ColRange { column, lo: Bound::Included(lo), hi: Bound::Included(hi) }
+    }
+
+    /// Constraint `col < v`.
+    pub fn lt(column: ColumnIdx, v: Value) -> Self {
+        ColRange { column, lo: Bound::Unbounded, hi: Bound::Excluded(v) }
+    }
+
+    /// Constraint `col >= v`.
+    pub fn ge(column: ColumnIdx, v: Value) -> Self {
+        ColRange { column, lo: Bound::Included(v), hi: Bound::Unbounded }
+    }
+
+    /// Borrowed lower bound.
+    pub fn lo_ref(&self) -> Bound<&Value> {
+        bound_ref(&self.lo)
+    }
+
+    /// Borrowed upper bound.
+    pub fn hi_ref(&self) -> Bound<&Value> {
+        bound_ref(&self.hi)
+    }
+
+    /// Whether `v` satisfies this constraint.
+    pub fn matches(&self, v: &Value) -> bool {
+        value_in_range(v, self.lo_ref(), self.hi_ref())
+    }
+
+    /// Whether this is an equality constraint, and on which value.
+    pub fn as_eq(&self) -> Option<&Value> {
+        match (&self.lo, &self.hi) {
+            (Bound::Included(a), Bound::Included(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+    }
+}
+
+/// Row selection passed to scan-style operations: either every row or an
+/// explicit, sorted list of row indexes.
+#[derive(Debug, Clone, Copy)]
+pub enum RowSel<'a> {
+    /// Visit every row.
+    All,
+    /// Visit exactly these row indexes.
+    Subset(&'a [u32]),
+}
+
+impl RowSel<'_> {
+    /// Number of selected rows given the table's total row count.
+    pub fn count(&self, total: usize) -> usize {
+        match self {
+            RowSel::All => total,
+            RowSel::Subset(s) => s.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches_only_value() {
+        let r = ColRange::eq(0, Value::Int(5));
+        assert!(r.matches(&Value::Int(5)));
+        assert!(!r.matches(&Value::Int(6)));
+        assert_eq!(r.as_eq(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let r = ColRange::between(1, Value::Int(2), Value::Int(4));
+        assert!(r.matches(&Value::Int(2)));
+        assert!(r.matches(&Value::Int(4)));
+        assert!(!r.matches(&Value::Int(5)));
+        assert!(r.as_eq().is_none());
+    }
+
+    #[test]
+    fn open_ranges() {
+        assert!(ColRange::lt(0, Value::Int(3)).matches(&Value::Int(2)));
+        assert!(!ColRange::lt(0, Value::Int(3)).matches(&Value::Int(3)));
+        assert!(ColRange::ge(0, Value::Int(3)).matches(&Value::Int(3)));
+    }
+
+    #[test]
+    fn null_never_matches_ordinary_ranges() {
+        assert!(!ColRange::between(0, Value::Int(0), Value::Int(10)).matches(&Value::Null));
+        assert!(!ColRange::lt(0, Value::Int(3)).matches(&Value::Null));
+        // but an explicit NULL equality does match
+        assert!(ColRange::eq(0, Value::Null).matches(&Value::Null));
+    }
+
+    #[test]
+    fn rowsel_count() {
+        assert_eq!(RowSel::All.count(10), 10);
+        assert_eq!(RowSel::Subset(&[1, 2, 3]).count(10), 3);
+    }
+}

@@ -1,0 +1,456 @@
+//! The row store: fixed-width tuple arena with a primary-key hash index and
+//! optional ordered secondary indexes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
+
+use crate::predicate::{ColRange, RowSel};
+use crate::table::{pk_key_of, PkKey};
+
+/// A row-oriented table.
+///
+/// All tuples live back-to-back in one `Vec<Value>` arena (`width` slots per
+/// row), so whole-tuple operations (insert, point read, update) touch one
+/// contiguous region, while single-attribute scans must stride across entire
+/// tuples — the access-pattern asymmetry of Figure 1 in the paper.
+#[derive(Debug, Clone)]
+pub struct RowTable {
+    schema: Arc<TableSchema>,
+    width: usize,
+    data: Vec<Value>,
+    pk: HashMap<PkKey, u32>,
+    secondary: HashMap<ColumnIdx, BTreeMap<Value, Vec<u32>>>,
+}
+
+impl RowTable {
+    /// Empty table for `schema`.
+    pub fn new(schema: Arc<TableSchema>) -> Self {
+        let width = schema.arity();
+        RowTable { schema, width, data: Vec::new(), pk: HashMap::new(), secondary: HashMap::new() }
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Arc<TableSchema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        if self.width == 0 {
+            0
+        } else {
+            self.data.len() / self.width
+        }
+    }
+
+    /// Insert a row; enforces schema validity and primary-key uniqueness.
+    ///
+    /// The uniqueness check is why the paper's insert cost model carries an
+    /// `f_#rows` adjustment: verification work depends on the table size.
+    pub fn insert(&mut self, row: &[Value]) -> Result<u32> {
+        self.schema.validate_row(row)?;
+        let key = pk_key_of(&self.schema, row);
+        let idx = self.row_count() as u32;
+        match self.pk.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                return Err(Error::DuplicateKey(format!(
+                    "{}: {:?}",
+                    self.schema.name,
+                    e.key()
+                )));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(idx);
+            }
+        }
+        self.data.extend_from_slice(row);
+        for (&col, index) in &mut self.secondary {
+            index.entry(row[col].clone()).or_default().push(idx);
+        }
+        Ok(idx)
+    }
+
+    /// Borrow the row at `idx` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn row(&self, idx: u32) -> &[Value] {
+        let start = idx as usize * self.width;
+        &self.data[start..start + self.width]
+    }
+
+    /// Borrow a single attribute of a row.
+    #[inline]
+    pub fn value_at(&self, idx: u32, col: ColumnIdx) -> &Value {
+        &self.data[idx as usize * self.width + col]
+    }
+
+    /// Find the row index for a primary key, if present.
+    pub fn point_lookup(&self, key: &[Value]) -> Option<u32> {
+        self.pk.get(key).copied()
+    }
+
+    /// Create an ordered secondary index on `col` (idempotent).
+    pub fn create_index(&mut self, col: ColumnIdx) -> Result<()> {
+        self.schema.column(col)?;
+        if self.secondary.contains_key(&col) {
+            return Ok(());
+        }
+        let mut index: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+        for idx in 0..self.row_count() as u32 {
+            index.entry(self.value_at(idx, col).clone()).or_default().push(idx);
+        }
+        self.secondary.insert(col, index);
+        Ok(())
+    }
+
+    /// Whether `col` has a secondary index.
+    pub fn has_index(&self, col: ColumnIdx) -> bool {
+        self.secondary.contains_key(&col)
+    }
+
+    /// Drop the secondary index on `col`, if any.
+    pub fn drop_index(&mut self, col: ColumnIdx) {
+        self.secondary.remove(&col);
+    }
+
+    /// Row indexes matching *all* of `ranges` (conjunction), ascending.
+    ///
+    /// If a secondary index exists for one of the ranges, that index drives
+    /// the scan and the remaining ranges are verified per candidate — the
+    /// paper's "linear in selectivity if an index is available". Otherwise a
+    /// full table scan verifies every range on every row ("constant:
+    /// a table scan is executed").
+    pub fn filter_rows(&self, ranges: &[ColRange]) -> Vec<u32> {
+        if ranges.is_empty() {
+            return (0..self.row_count() as u32).collect();
+        }
+        // Prefer an indexed equality range, then any indexed range.
+        let indexed = ranges
+            .iter()
+            .position(|r| self.secondary.contains_key(&r.column) && r.as_eq().is_some())
+            .or_else(|| ranges.iter().position(|r| self.secondary.contains_key(&r.column)));
+        match indexed {
+            Some(i) => {
+                let driver = &ranges[i];
+                let index = &self.secondary[&driver.column];
+                let mut out: Vec<u32> = Vec::new();
+                for (_, rows) in index.range((driver.lo.clone(), driver.hi.clone())) {
+                    out.extend_from_slice(rows);
+                }
+                // Re-check every range (including the driver: the BTree range
+                // can surface NULL keys under an unbounded lower end, and
+                // ColRange::matches applies SQL NULL semantics).
+                out.retain(|&idx| ranges.iter().all(|r| r.matches(self.value_at(idx, r.column))));
+                out.sort_unstable();
+                out
+            }
+            None => {
+                let mut out = Vec::new();
+                for idx in 0..self.row_count() as u32 {
+                    if ranges.iter().all(|r| r.matches(self.value_at(idx, r.column))) {
+                        out.push(idx);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Update the given rows, assigning each `(column, value)` pair.
+    ///
+    /// Primary-key columns cannot be updated (matching the engine's
+    /// semantics; the paper's workloads never mutate keys).
+    pub fn update_rows(&mut self, rows: &[u32], sets: &[(ColumnIdx, Value)]) -> Result<usize> {
+        for (col, value) in sets {
+            if self.schema.is_pk_column(*col) {
+                return Err(Error::InvalidOperation(format!(
+                    "cannot update primary-key column {} of {}",
+                    self.schema.column(*col)?.name,
+                    self.schema.name
+                )));
+            }
+            self.schema.validate_value_at(*col, value)?;
+        }
+        for &idx in rows {
+            if idx as usize >= self.row_count() {
+                return Err(Error::NotFound(format!("row {idx} in {}", self.schema.name)));
+            }
+        }
+        for &idx in rows {
+            for (col, value) in sets {
+                let slot = idx as usize * self.width + col;
+                if let Some(index) = self.secondary.get_mut(col) {
+                    let old = self.data[slot].clone();
+                    if let Some(list) = index.get_mut(&old) {
+                        list.retain(|&r| r != idx);
+                        if list.is_empty() {
+                            index.remove(&old);
+                        }
+                    }
+                    index.entry(value.clone()).or_default().push(idx);
+                }
+                self.data[slot] = value.clone();
+            }
+        }
+        Ok(rows.len())
+    }
+
+    /// Visit the numeric value of `col` for the selected rows.
+    ///
+    /// Non-numeric or NULL values are skipped. This is the row store's
+    /// aggregation path: note it walks the arena at `width`-sized strides.
+    pub fn for_each_numeric(&self, col: ColumnIdx, sel: RowSel<'_>, mut f: impl FnMut(f64)) {
+        match sel {
+            RowSel::All => {
+                let mut pos = col;
+                let n = self.row_count();
+                for _ in 0..n {
+                    if let Some(v) = self.data[pos].as_f64() {
+                        f(v);
+                    }
+                    pos += self.width;
+                }
+            }
+            RowSel::Subset(rows) => {
+                for &idx in rows {
+                    if let Some(v) = self.value_at(idx, col).as_f64() {
+                        f(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit the value of `col` for the selected rows.
+    pub fn for_each_value(&self, col: ColumnIdx, sel: RowSel<'_>, mut f: impl FnMut(&Value)) {
+        match sel {
+            RowSel::All => {
+                let mut pos = col;
+                for _ in 0..self.row_count() {
+                    f(&self.data[pos]);
+                    pos += self.width;
+                }
+            }
+            RowSel::Subset(rows) => {
+                for &idx in rows {
+                    f(self.value_at(idx, col));
+                }
+            }
+        }
+    }
+
+    /// Materialize the selected rows, optionally projecting to `cols`.
+    pub fn collect_rows(&self, sel: RowSel<'_>, cols: Option<&[ColumnIdx]>) -> Vec<Vec<Value>> {
+        let emit = |idx: u32| -> Vec<Value> {
+            match cols {
+                None => self.row(idx).to_vec(),
+                Some(cols) => cols.iter().map(|&c| self.value_at(idx, c).clone()).collect(),
+            }
+        };
+        match sel {
+            RowSel::All => (0..self.row_count() as u32).map(emit).collect(),
+            RowSel::Subset(rows) => rows.iter().map(|&r| emit(r)).collect(),
+        }
+    }
+
+    /// Count of distinct values in `col` (scan-based; used by statistics
+    /// collection, not by query execution).
+    pub fn distinct_count(&self, col: ColumnIdx) -> usize {
+        let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+        let mut pos = col;
+        for _ in 0..self.row_count() {
+            seen.insert(&self.data[pos]);
+            pos += self.width;
+        }
+        seen.len()
+    }
+
+    /// Approximate heap bytes held by the table (arena + indexes).
+    pub fn memory_bytes(&self) -> usize {
+        let value = std::mem::size_of::<Value>();
+        let arena = self.data.capacity() * value;
+        let pk = self.pk.capacity() * (value * self.schema.primary_key.len() + 8);
+        let secondary: usize = self
+            .secondary
+            .values()
+            .map(|ix| ix.len() * (value + 16))
+            .sum();
+        arena + pk + secondary
+    }
+
+    /// Drain this table into its rows (used by the data mover).
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        let width = self.width;
+        let mut rows = Vec::with_capacity(self.row_count());
+        let mut iter = self.data.into_iter();
+        loop {
+            let row: Vec<Value> = iter.by_ref().take(width).collect();
+            if row.is_empty() {
+                break;
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_types::{ColumnDef, ColumnType};
+
+    fn schema() -> Arc<TableSchema> {
+        Arc::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Integer),
+                    ColumnDef::new("price", ColumnType::Double),
+                    ColumnDef::new("qty", ColumnType::Integer),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn sample() -> RowTable {
+        let mut t = RowTable::new(schema());
+        for i in 0..10 {
+            t.insert(&[Value::Int(i), Value::Double(i as f64 * 1.5), Value::Int(i % 3)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let t = sample();
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(t.row(3), &[Value::Int(3), Value::Double(4.5), Value::Int(0)]);
+        assert_eq!(t.value_at(4, 1), &Value::Double(6.0));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = sample();
+        let err = t.insert(&[Value::Int(5), Value::Double(0.0), Value::Int(0)]).unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey(_)));
+        assert_eq!(t.row_count(), 10);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = sample();
+        assert!(t.insert(&[Value::Int(100), Value::Int(1), Value::Int(0)]).is_err());
+        assert!(t.insert(&[Value::Int(100)]).is_err());
+    }
+
+    #[test]
+    fn point_lookup_finds_rows() {
+        let t = sample();
+        assert_eq!(t.point_lookup(&[Value::Int(7)]), Some(7));
+        assert_eq!(t.point_lookup(&[Value::Int(77)]), None);
+    }
+
+    #[test]
+    fn filter_without_index_scans() {
+        let t = sample();
+        let hits = t.filter_rows(&[ColRange::between(2, Value::Int(1), Value::Int(1))]);
+        assert_eq!(hits, vec![1, 4, 7]);
+        // conjunction
+        let hits = t.filter_rows(&[
+            ColRange::eq(2, Value::Int(1)),
+            ColRange::ge(0, Value::Int(4)),
+        ]);
+        assert_eq!(hits, vec![4, 7]);
+    }
+
+    #[test]
+    fn filter_with_index_matches_scan() {
+        let mut t = sample();
+        let no_index = t.filter_rows(&[ColRange::between(1, Value::Double(3.0), Value::Double(9.0))]);
+        t.create_index(1).unwrap();
+        assert!(t.has_index(1));
+        let with_index = t.filter_rows(&[ColRange::between(1, Value::Double(3.0), Value::Double(9.0))]);
+        assert_eq!(no_index, with_index);
+    }
+
+    #[test]
+    fn empty_ranges_select_all() {
+        let t = sample();
+        assert_eq!(t.filter_rows(&[]).len(), 10);
+    }
+
+    #[test]
+    fn update_rows_changes_values_and_index() {
+        let mut t = sample();
+        t.create_index(2).unwrap();
+        let n = t.update_rows(&[1, 4], &[(2, Value::Int(9))]).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.value_at(1, 2), &Value::Int(9));
+        let hits = t.filter_rows(&[ColRange::eq(2, Value::Int(9))]);
+        assert_eq!(hits, vec![1, 4]);
+        // old entries are gone from the index
+        let old = t.filter_rows(&[ColRange::eq(2, Value::Int(1))]);
+        assert_eq!(old, vec![7]);
+    }
+
+    #[test]
+    fn update_pk_rejected() {
+        let mut t = sample();
+        let err = t.update_rows(&[0], &[(0, Value::Int(99))]).unwrap_err();
+        assert!(matches!(err, Error::InvalidOperation(_)));
+    }
+
+    #[test]
+    fn update_missing_row_rejected_without_partial_write() {
+        let mut t = sample();
+        let err = t.update_rows(&[3, 99], &[(2, Value::Int(5))]).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+        // row 3 must be untouched (validation precedes mutation)
+        assert_eq!(t.value_at(3, 2), &Value::Int(0));
+    }
+
+    #[test]
+    fn numeric_visitor_sums() {
+        let t = sample();
+        let mut sum = 0.0;
+        t.for_each_numeric(1, RowSel::All, |v| sum += v);
+        assert_eq!(sum, (0..10).map(|i| i as f64 * 1.5).sum::<f64>());
+        let mut partial = 0.0;
+        t.for_each_numeric(1, RowSel::Subset(&[0, 2]), |v| partial += v);
+        assert_eq!(partial, 3.0);
+    }
+
+    #[test]
+    fn collect_rows_projects() {
+        let t = sample();
+        let rows = t.collect_rows(RowSel::Subset(&[2]), Some(&[2, 0]));
+        assert_eq!(rows, vec![vec![Value::Int(2), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn distinct_count_works() {
+        let t = sample();
+        assert_eq!(t.distinct_count(0), 10);
+        assert_eq!(t.distinct_count(2), 3);
+    }
+
+    #[test]
+    fn into_rows_round_trip() {
+        let t = sample();
+        let rows = t.clone().into_rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[9][0], Value::Int(9));
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let t = sample();
+        assert!(t.memory_bytes() > 0);
+    }
+}

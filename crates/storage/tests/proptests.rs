@@ -1,0 +1,161 @@
+//! Property-based tests for the storage layer: the two stores must be
+//! observationally equivalent, and compression must never change results.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hsd_storage::{BitPackedVec, ColRange, ColumnTable, Dictionary, RowSel, RowTable, StoreKind, Table};
+use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
+
+fn schema() -> Arc<TableSchema> {
+    Arc::new(
+        TableSchema::new(
+            "p",
+            vec![
+                ColumnDef::new("id", ColumnType::Integer),
+                ColumnDef::new("a", ColumnType::Integer),
+                ColumnDef::new("b", ColumnType::Double),
+            ],
+            vec![0],
+        )
+        .unwrap(),
+    )
+}
+
+/// Rows with a unique id, small-domain `a` (compresses well), and doubles.
+fn rows_strategy() -> impl Strategy<Value = Vec<(i32, f64)>> {
+    prop::collection::vec((0i32..20, -100.0f64..100.0), 0..120)
+}
+
+fn build_both(rows: &[(i32, f64)]) -> (RowTable, ColumnTable) {
+    let mut rt = RowTable::new(schema());
+    let mut ct = ColumnTable::new(schema());
+    for (i, &(a, b)) in rows.iter().enumerate() {
+        let row = [Value::Int(i as i32), Value::Int(a), Value::Double(b)];
+        rt.insert(&row).unwrap();
+        ct.insert(&row).unwrap();
+    }
+    (rt, ct)
+}
+
+proptest! {
+    #[test]
+    fn bitpack_round_trip(vals in prop::collection::vec(0u32..1_000_000, 0..300)) {
+        let v: BitPackedVec = vals.iter().copied().collect();
+        prop_assert_eq!(v.len(), vals.len());
+        for (i, &x) in vals.iter().enumerate() {
+            prop_assert_eq!(v.get(i), x);
+        }
+    }
+
+    #[test]
+    fn bitpack_set_preserves_neighbours(
+        vals in prop::collection::vec(0u32..10_000, 2..150),
+        idx_frac in 0.0f64..1.0,
+        new_val in 0u32..2_000_000,
+    ) {
+        let mut v: BitPackedVec = vals.iter().copied().collect();
+        let idx = ((vals.len() - 1) as f64 * idx_frac) as usize;
+        v.set(idx, new_val);
+        for (i, &x) in vals.iter().enumerate() {
+            let expect = if i == idx { new_val } else { x };
+            prop_assert_eq!(v.get(i), expect);
+        }
+    }
+
+    #[test]
+    fn dictionary_rebuild_preserves_decoding(ints in prop::collection::vec(-50i32..50, 1..200)) {
+        let mut d = Dictionary::new();
+        let codes: Vec<u32> = ints.iter().map(|&i| d.intern(&Value::Int(i))).collect();
+        let decoded_before: Vec<Value> = codes.iter().map(|&c| d.decode(c).clone()).collect();
+        let remap = d.rebuild();
+        let codes_after: Vec<u32> = match remap {
+            None => codes,
+            Some(map) => codes.iter().map(|&c| map[c as usize]).collect(),
+        };
+        let decoded_after: Vec<Value> = codes_after.iter().map(|&c| d.decode(c).clone()).collect();
+        prop_assert_eq!(decoded_before, decoded_after);
+        prop_assert_eq!(d.tail_len(), 0);
+        // after rebuild the dictionary is sorted: codes are order-preserving
+        let values: Vec<Value> = d.values().cloned().collect();
+        let mut sorted = values.clone();
+        sorted.sort();
+        prop_assert_eq!(values, sorted);
+    }
+
+    #[test]
+    fn stores_agree_on_range_filters(
+        rows in rows_strategy(),
+        lo in -10i32..25,
+        span in 0i32..15,
+    ) {
+        let (rt, ct) = build_both(&rows);
+        let range = ColRange::between(1, Value::Int(lo), Value::Int(lo + span));
+        prop_assert_eq!(rt.filter_rows(&[range.clone()]), ct.filter_rows(&[range]));
+    }
+
+    #[test]
+    fn stores_agree_on_conjunctions(
+        rows in rows_strategy(),
+        a_eq in 0i32..20,
+        b_lo in -100.0f64..100.0,
+    ) {
+        let (rt, ct) = build_both(&rows);
+        let ranges = [
+            ColRange::eq(1, Value::Int(a_eq)),
+            ColRange::ge(2, Value::Double(b_lo)),
+        ];
+        prop_assert_eq!(rt.filter_rows(&ranges), ct.filter_rows(&ranges));
+    }
+
+    #[test]
+    fn stores_agree_after_updates(
+        rows in rows_strategy(),
+        target in 0i32..20,
+        new_a in 100i32..200,
+    ) {
+        let (mut rt, mut ct) = build_both(&rows);
+        let hits = rt.filter_rows(&[ColRange::eq(1, Value::Int(target))]);
+        rt.update_rows(&hits, &[(1, Value::Int(new_a))]).unwrap();
+        ct.update_rows(&hits, &[(1, Value::Int(new_a))]).unwrap();
+        let r = ColRange::eq(1, Value::Int(new_a));
+        prop_assert_eq!(rt.filter_rows(&[r.clone()]), ct.filter_rows(&[r.clone()]));
+        // compaction must not change results
+        ct.compact();
+        prop_assert_eq!(rt.filter_rows(&[r.clone()]), ct.filter_rows(&[r]));
+    }
+
+    #[test]
+    fn numeric_aggregation_matches_across_stores(rows in rows_strategy()) {
+        let (rt, ct) = build_both(&rows);
+        let mut sum_r = 0.0;
+        let mut sum_c = 0.0;
+        rt.for_each_numeric(2, RowSel::All, |v| sum_r += v);
+        ct.for_each_numeric(2, RowSel::All, |v| sum_c += v);
+        prop_assert!((sum_r - sum_c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn secondary_index_never_changes_filter_results(
+        rows in rows_strategy(),
+        lo in -10i32..25,
+        span in 0i32..15,
+    ) {
+        let (mut rt, _) = build_both(&rows);
+        let range = ColRange::between(1, Value::Int(lo), Value::Int(lo + span));
+        let without = rt.filter_rows(&[range.clone()]);
+        rt.create_index(1).unwrap();
+        let with = rt.filter_rows(&[range]);
+        prop_assert_eq!(without, with);
+    }
+
+    #[test]
+    fn store_migration_round_trips(rows in rows_strategy()) {
+        let (rt, _) = build_both(&rows);
+        let original: Vec<Vec<Value>> = rt.collect_rows(RowSel::All, None);
+        let as_col = Table::from_rows(schema(), StoreKind::Column, original.clone()).unwrap();
+        let back = Table::from_rows(schema(), StoreKind::Row, as_col.into_rows()).unwrap();
+        prop_assert_eq!(back.collect_rows(RowSel::All, None), original);
+    }
+}

@@ -1,0 +1,22 @@
+//! TPC-H-like schema, data generator, and mixed workload.
+//!
+//! The paper's final experiment (Figure 10) "used a TPC-H like scenario by
+//! using the TPC-H data (with a scale factor of 1) but generating a mixed
+//! workload of OLTP queries (inserts and updates for all tables but nation
+//! and region) and OLAP queries (aggregates with and without joins and
+//! groupings mainly on lineitem and orders)". This crate provides:
+//!
+//! * [`schema`] — the eight TPC-H tables with faithful column sets, types,
+//!   and primary keys;
+//! * [`gen`] — a deterministic dbgen-style generator with the standard
+//!   cardinality ratios at an adjustable scale factor;
+//! * [`workload`] — the mixed workload of the final experiment.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod schema;
+pub mod workload;
+
+pub use gen::TpchGenerator;
+pub use workload::{generate_workload, TpchWorkloadConfig};

@@ -1,0 +1,304 @@
+//! The eight TPC-H table schemas.
+
+use hsd_types::{ColumnDef, ColumnType, Result, TableSchema};
+
+/// Names of all TPC-H tables, load order (referenced tables first).
+pub const TABLE_NAMES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+/// Tables receiving OLTP traffic in the paper's final experiment
+/// ("inserts and updates for all tables but nation and region").
+pub const OLTP_TABLES: [&str; 6] =
+    ["supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+
+fn col(name: &str, ty: ColumnType) -> ColumnDef {
+    ColumnDef::new(name, ty)
+}
+
+/// `region` schema.
+pub fn region() -> Result<TableSchema> {
+    TableSchema::new(
+        "region",
+        vec![
+            col("r_regionkey", ColumnType::BigInt),
+            col("r_name", ColumnType::Varchar),
+            col("r_comment", ColumnType::Varchar),
+        ],
+        vec![0],
+    )
+}
+
+/// `nation` schema.
+pub fn nation() -> Result<TableSchema> {
+    TableSchema::new(
+        "nation",
+        vec![
+            col("n_nationkey", ColumnType::BigInt),
+            col("n_name", ColumnType::Varchar),
+            col("n_regionkey", ColumnType::BigInt),
+            col("n_comment", ColumnType::Varchar),
+        ],
+        vec![0],
+    )
+}
+
+/// `supplier` schema.
+pub fn supplier() -> Result<TableSchema> {
+    TableSchema::new(
+        "supplier",
+        vec![
+            col("s_suppkey", ColumnType::BigInt),
+            col("s_name", ColumnType::Varchar),
+            col("s_address", ColumnType::Varchar),
+            col("s_nationkey", ColumnType::BigInt),
+            col("s_phone", ColumnType::Varchar),
+            col("s_acctbal", ColumnType::Decimal),
+            col("s_comment", ColumnType::Varchar),
+        ],
+        vec![0],
+    )
+}
+
+/// `customer` schema.
+pub fn customer() -> Result<TableSchema> {
+    TableSchema::new(
+        "customer",
+        vec![
+            col("c_custkey", ColumnType::BigInt),
+            col("c_name", ColumnType::Varchar),
+            col("c_address", ColumnType::Varchar),
+            col("c_nationkey", ColumnType::BigInt),
+            col("c_phone", ColumnType::Varchar),
+            col("c_acctbal", ColumnType::Decimal),
+            col("c_mktsegment", ColumnType::Varchar),
+            col("c_comment", ColumnType::Varchar),
+        ],
+        vec![0],
+    )
+}
+
+/// `part` schema.
+pub fn part() -> Result<TableSchema> {
+    TableSchema::new(
+        "part",
+        vec![
+            col("p_partkey", ColumnType::BigInt),
+            col("p_name", ColumnType::Varchar),
+            col("p_mfgr", ColumnType::Varchar),
+            col("p_brand", ColumnType::Varchar),
+            col("p_type", ColumnType::Varchar),
+            col("p_size", ColumnType::Integer),
+            col("p_container", ColumnType::Varchar),
+            col("p_retailprice", ColumnType::Decimal),
+            col("p_comment", ColumnType::Varchar),
+        ],
+        vec![0],
+    )
+}
+
+/// `partsupp` schema (composite primary key).
+pub fn partsupp() -> Result<TableSchema> {
+    TableSchema::new(
+        "partsupp",
+        vec![
+            col("ps_partkey", ColumnType::BigInt),
+            col("ps_suppkey", ColumnType::BigInt),
+            col("ps_availqty", ColumnType::Integer),
+            col("ps_supplycost", ColumnType::Decimal),
+            col("ps_comment", ColumnType::Varchar),
+        ],
+        vec![0, 1],
+    )
+}
+
+/// `orders` schema.
+pub fn orders() -> Result<TableSchema> {
+    TableSchema::new(
+        "orders",
+        vec![
+            col("o_orderkey", ColumnType::BigInt),
+            col("o_custkey", ColumnType::BigInt),
+            col("o_orderstatus", ColumnType::Varchar),
+            col("o_totalprice", ColumnType::Decimal),
+            col("o_orderdate", ColumnType::Date),
+            col("o_orderpriority", ColumnType::Varchar),
+            col("o_clerk", ColumnType::Varchar),
+            col("o_shippriority", ColumnType::Integer),
+            col("o_comment", ColumnType::Varchar),
+        ],
+        vec![0],
+    )
+}
+
+/// `lineitem` schema (composite primary key).
+pub fn lineitem() -> Result<TableSchema> {
+    TableSchema::new(
+        "lineitem",
+        vec![
+            col("l_orderkey", ColumnType::BigInt),
+            col("l_linenumber", ColumnType::Integer),
+            col("l_partkey", ColumnType::BigInt),
+            col("l_suppkey", ColumnType::BigInt),
+            col("l_quantity", ColumnType::Decimal),
+            col("l_extendedprice", ColumnType::Decimal),
+            col("l_discount", ColumnType::Decimal),
+            col("l_tax", ColumnType::Decimal),
+            col("l_returnflag", ColumnType::Varchar),
+            col("l_linestatus", ColumnType::Varchar),
+            col("l_shipdate", ColumnType::Date),
+            col("l_commitdate", ColumnType::Date),
+            col("l_receiptdate", ColumnType::Date),
+            col("l_shipinstruct", ColumnType::Varchar),
+            col("l_shipmode", ColumnType::Varchar),
+            col("l_comment", ColumnType::Varchar),
+        ],
+        vec![0, 1],
+    )
+}
+
+/// All schemas, load order.
+pub fn all() -> Result<Vec<TableSchema>> {
+    Ok(vec![
+        region()?,
+        nation()?,
+        supplier()?,
+        customer()?,
+        part()?,
+        partsupp()?,
+        orders()?,
+        lineitem()?,
+    ])
+}
+
+/// Column indexes used by the generator and workload (kept adjacent to the
+/// schemas so they cannot drift).
+pub mod cols {
+    /// `lineitem` column positions.
+    pub mod lineitem {
+        /// l_orderkey
+        pub const ORDERKEY: usize = 0;
+        /// l_linenumber
+        pub const LINENUMBER: usize = 1;
+        /// l_partkey
+        pub const PARTKEY: usize = 2;
+        /// l_suppkey
+        pub const SUPPKEY: usize = 3;
+        /// l_quantity
+        pub const QUANTITY: usize = 4;
+        /// l_extendedprice
+        pub const EXTENDEDPRICE: usize = 5;
+        /// l_discount
+        pub const DISCOUNT: usize = 6;
+        /// l_tax
+        pub const TAX: usize = 7;
+        /// l_returnflag
+        pub const RETURNFLAG: usize = 8;
+        /// l_linestatus
+        pub const LINESTATUS: usize = 9;
+        /// l_shipdate
+        pub const SHIPDATE: usize = 10;
+        /// l_shipinstruct
+        pub const SHIPINSTRUCT: usize = 13;
+        /// l_shipmode
+        pub const SHIPMODE: usize = 14;
+    }
+
+    /// `orders` column positions.
+    pub mod orders {
+        /// o_orderkey
+        pub const ORDERKEY: usize = 0;
+        /// o_custkey
+        pub const CUSTKEY: usize = 1;
+        /// o_orderstatus
+        pub const ORDERSTATUS: usize = 2;
+        /// o_totalprice
+        pub const TOTALPRICE: usize = 3;
+        /// o_orderdate
+        pub const ORDERDATE: usize = 4;
+        /// o_orderpriority
+        pub const ORDERPRIORITY: usize = 5;
+        /// o_shippriority
+        pub const SHIPPRIORITY: usize = 7;
+    }
+
+    /// `customer` column positions.
+    pub mod customer {
+        /// c_custkey
+        pub const CUSTKEY: usize = 0;
+        /// c_nationkey
+        pub const NATIONKEY: usize = 3;
+        /// c_acctbal
+        pub const ACCTBAL: usize = 5;
+        /// c_mktsegment
+        pub const MKTSEGMENT: usize = 6;
+    }
+
+    /// `part` column positions.
+    pub mod part {
+        /// p_partkey
+        pub const PARTKEY: usize = 0;
+        /// p_brand
+        pub const BRAND: usize = 3;
+        /// p_size
+        pub const SIZE: usize = 5;
+        /// p_retailprice
+        pub const RETAILPRICE: usize = 7;
+    }
+
+    /// `partsupp` column positions.
+    pub mod partsupp {
+        /// ps_partkey
+        pub const PARTKEY: usize = 0;
+        /// ps_suppkey
+        pub const SUPPKEY: usize = 1;
+        /// ps_availqty
+        pub const AVAILQTY: usize = 2;
+        /// ps_supplycost
+        pub const SUPPLYCOST: usize = 3;
+    }
+
+    /// `supplier` column positions.
+    pub mod supplier {
+        /// s_suppkey
+        pub const SUPPKEY: usize = 0;
+        /// s_acctbal
+        pub const ACCTBAL: usize = 5;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemas_valid() {
+        let schemas = all().unwrap();
+        assert_eq!(schemas.len(), 8);
+        let names: Vec<&str> = schemas.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, TABLE_NAMES);
+    }
+
+    #[test]
+    fn lineitem_matches_spec() {
+        let l = lineitem().unwrap();
+        assert_eq!(l.arity(), 16);
+        assert_eq!(l.primary_key, vec![0, 1]);
+        assert_eq!(l.columns[cols::lineitem::EXTENDEDPRICE].name, "l_extendedprice");
+        assert_eq!(l.columns[cols::lineitem::SHIPMODE].name, "l_shipmode");
+    }
+
+    #[test]
+    fn orders_matches_spec() {
+        let o = orders().unwrap();
+        assert_eq!(o.arity(), 9);
+        assert_eq!(o.columns[cols::orders::ORDERDATE].name, "o_orderdate");
+        assert_eq!(o.columns[cols::orders::ORDERDATE].ty, ColumnType::Date);
+    }
+
+    #[test]
+    fn composite_keys() {
+        assert_eq!(partsupp().unwrap().primary_key, vec![0, 1]);
+        assert_eq!(lineitem().unwrap().primary_key, vec![0, 1]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+use crate::value::ColumnType;
+
+/// Convenience alias used by every crate in the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the storage engine, catalog, and advisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table name or id could not be resolved.
+    UnknownTable(String),
+    /// A column name or index could not be resolved.
+    UnknownColumn(String),
+    /// A value did not match the column's declared type.
+    TypeMismatch {
+        /// Declared column type.
+        expected: ColumnType,
+        /// What was provided instead.
+        got: String,
+    },
+    /// A row's arity did not match the schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values provided.
+        got: usize,
+    },
+    /// Primary-key uniqueness violation on insert.
+    DuplicateKey(String),
+    /// NULL provided for a non-nullable column.
+    NullViolation(String),
+    /// The requested operation is not valid in the current state.
+    InvalidOperation(String),
+    /// A row, partition, or other entity was not found.
+    NotFound(String),
+    /// The schema definition itself is invalid (e.g. empty PK).
+    InvalidSchema(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            Error::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            Error::NullViolation(c) => write!(f, "NULL not allowed in column {c}"),
+            Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(Error::UnknownTable("x".into()).to_string(), "unknown table: x");
+        assert_eq!(
+            Error::TypeMismatch { expected: ColumnType::Integer, got: "'a'".into() }.to_string(),
+            "type mismatch: expected integer, got 'a'"
+        );
+        assert_eq!(
+            Error::ArityMismatch { expected: 3, got: 2 }.to_string(),
+            "arity mismatch: schema has 3 columns, row has 2"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::NotFound("row".into()));
+    }
+}

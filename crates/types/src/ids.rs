@@ -1,0 +1,48 @@
+//! Lightweight identifier newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a table in the catalog.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// Numeric value of the id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Zero-based index of a column within its table's schema.
+///
+/// Columns are addressed positionally throughout the engine; names are
+/// resolved once at query-construction time.
+pub type ColumnIdx = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_id_display_and_index() {
+        let id = TableId(7);
+        assert_eq!(id.to_string(), "t7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn table_id_ordering() {
+        assert!(TableId(1) < TableId(2));
+        assert_eq!(TableId::default(), TableId(0));
+    }
+}

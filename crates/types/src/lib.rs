@@ -1,0 +1,23 @@
+//! Shared value model, schemas, identifiers, and errors for the
+//! hybrid-store database and its storage advisor.
+//!
+//! This crate is the bottom of the dependency stack: every other crate in the
+//! workspace (storage engine, catalog, query layer, advisor) builds on the
+//! types defined here.
+//!
+//! The value model is deliberately small — the paper's cost model
+//! distinguishes data types only through a constant per-type adjustment
+//! factor (`c_dataType`), so a handful of scalar types plus dictionary-coded
+//! text is sufficient to exercise every code path the advisor cares about.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{ColumnIdx, TableId};
+pub use schema::{ColumnDef, TableSchema};
+pub use value::{ColumnType, Value};

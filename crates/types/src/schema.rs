@@ -1,0 +1,277 @@
+//! Table schemas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::ids::ColumnIdx;
+use crate::value::{ColumnType, Value};
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Logical type.
+    pub ty: ColumnType,
+    /// Whether NULLs are admitted.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef { name: name.into(), ty, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef { name: name.into(), ty, nullable: true }
+    }
+}
+
+/// Schema of a table: named, typed columns plus a primary key.
+///
+/// The primary key is a list of column indexes; it is required because both
+/// stores maintain a PK index for uniqueness checks (the paper's insert cost
+/// model explicitly includes the uniqueness verification, which is why insert
+/// cost grows with table size).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indexes of the primary-key columns.
+    pub primary_key: Vec<ColumnIdx>,
+}
+
+impl TableSchema {
+    /// Create and validate a schema.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<ColumnIdx>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(Error::InvalidSchema(format!("table {name} has no columns")));
+        }
+        if primary_key.is_empty() {
+            return Err(Error::InvalidSchema(format!("table {name} has no primary key")));
+        }
+        for &idx in &primary_key {
+            if idx >= columns.len() {
+                return Err(Error::InvalidSchema(format!(
+                    "table {name}: primary-key column index {idx} out of range"
+                )));
+            }
+            if columns[idx].nullable {
+                return Err(Error::InvalidSchema(format!(
+                    "table {name}: primary-key column {} must not be nullable",
+                    columns[idx].name
+                )));
+            }
+        }
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != columns.len() {
+            return Err(Error::InvalidSchema(format!("table {name} has duplicate column names")));
+        }
+        Ok(TableSchema { name, columns, primary_key })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a column name to its index.
+    pub fn column_index(&self, name: &str) -> Result<ColumnIdx> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// Column definition at `idx`.
+    pub fn column(&self, idx: ColumnIdx) -> Result<&ColumnDef> {
+        self.columns
+            .get(idx)
+            .ok_or_else(|| Error::UnknownColumn(format!("{}[{}]", self.name, idx)))
+    }
+
+    /// Whether `idx` is part of the primary key.
+    pub fn is_pk_column(&self, idx: ColumnIdx) -> bool {
+        self.primary_key.contains(&idx)
+    }
+
+    /// Validate a full row against the schema (arity, types, nullability).
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::ArityMismatch { expected: self.columns.len(), got: row.len() });
+        }
+        for (value, col) in row.iter().zip(&self.columns) {
+            self.validate_value(value, col)?;
+        }
+        Ok(())
+    }
+
+    /// Validate a single value against column `idx`.
+    pub fn validate_value_at(&self, idx: ColumnIdx, value: &Value) -> Result<()> {
+        let col = self.column(idx)?;
+        self.validate_value(value, col)
+    }
+
+    fn validate_value(&self, value: &Value, col: &ColumnDef) -> Result<()> {
+        if value.is_null() {
+            if !col.nullable {
+                return Err(Error::NullViolation(format!("{}.{}", self.name, col.name)));
+            }
+            return Ok(());
+        }
+        if !value.matches_type(col.ty) {
+            return Err(Error::TypeMismatch { expected: col.ty, got: value.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Extract the primary-key values of a row, in PK order.
+    pub fn pk_values<'a>(&self, row: &'a [Value]) -> Vec<&'a Value> {
+        self.primary_key.iter().map(|&i| &row[i]).collect()
+    }
+
+    /// Build a schema with a derived name and a subset of columns (used for
+    /// vertical partitions; the PK columns are always retained).
+    ///
+    /// `keep` lists column indexes of *this* schema to retain; indexes are
+    /// deduplicated and emitted in their original order, with PK columns
+    /// prepended if missing. Returns the new schema plus the mapping from new
+    /// column index to old column index.
+    pub fn project(&self, suffix: &str, keep: &[ColumnIdx]) -> Result<(TableSchema, Vec<ColumnIdx>)> {
+        let mut selected: Vec<ColumnIdx> = Vec::new();
+        for &pk in &self.primary_key {
+            if !selected.contains(&pk) {
+                selected.push(pk);
+            }
+        }
+        for &idx in keep {
+            if idx >= self.columns.len() {
+                return Err(Error::UnknownColumn(format!("{}[{}]", self.name, idx)));
+            }
+            if !selected.contains(&idx) {
+                selected.push(idx);
+            }
+        }
+        let columns: Vec<ColumnDef> = selected.iter().map(|&i| self.columns[i].clone()).collect();
+        let primary_key: Vec<ColumnIdx> = self
+            .primary_key
+            .iter()
+            .map(|pk| selected.iter().position(|s| s == pk).expect("pk retained"))
+            .collect();
+        let schema = TableSchema::new(format!("{}_{suffix}", self.name), columns, primary_key)?;
+        Ok((schema, selected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::BigInt),
+                ColumnDef::new("amount", ColumnType::Double),
+                ColumnDef::nullable("note", ColumnType::Varchar),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("amount").unwrap(), 1);
+        assert!(s.column_index("missing").is_err());
+        assert!(s.is_pk_column(0));
+        assert!(!s.is_pk_column(1));
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(TableSchema::new("t", vec![], vec![]).is_err());
+        let cols = vec![ColumnDef::new("a", ColumnType::Integer)];
+        assert!(TableSchema::new("t", cols.clone(), vec![]).is_err());
+        assert!(TableSchema::new("t", cols.clone(), vec![5]).is_err());
+        let dup = vec![
+            ColumnDef::new("a", ColumnType::Integer),
+            ColumnDef::new("a", ColumnType::Double),
+        ];
+        assert!(TableSchema::new("t", dup, vec![0]).is_err());
+        let nullable_pk = vec![ColumnDef::nullable("a", ColumnType::Integer)];
+        assert!(TableSchema::new("t", nullable_pk, vec![0]).is_err());
+    }
+
+    #[test]
+    fn validates_rows() {
+        let s = sample();
+        assert!(s.validate_row(&[Value::BigInt(1), Value::Double(2.0), Value::text("x")]).is_ok());
+        assert!(s.validate_row(&[Value::BigInt(1), Value::Double(2.0), Value::Null]).is_ok());
+        // wrong arity
+        assert!(s.validate_row(&[Value::BigInt(1)]).is_err());
+        // wrong type
+        assert!(s.validate_row(&[Value::BigInt(1), Value::Int(2), Value::Null]).is_err());
+        // null in non-nullable
+        assert!(s.validate_row(&[Value::Null, Value::Double(2.0), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn pk_values_extracts_in_order() {
+        let s = sample();
+        let row = [Value::BigInt(9), Value::Double(1.0), Value::Null];
+        let pk = s.pk_values(&row);
+        assert_eq!(pk, vec![&Value::BigInt(9)]);
+    }
+
+    #[test]
+    fn project_keeps_pk_and_order() {
+        let s = sample();
+        let (sub, mapping) = s.project("olap", &[1]).unwrap();
+        assert_eq!(sub.name, "orders_olap");
+        assert_eq!(sub.arity(), 2);
+        assert_eq!(sub.columns[0].name, "id");
+        assert_eq!(sub.columns[1].name, "amount");
+        assert_eq!(mapping, vec![0, 1]);
+        assert_eq!(sub.primary_key, vec![0]);
+    }
+
+    #[test]
+    fn project_dedups_and_validates() {
+        let s = sample();
+        let (sub, mapping) = s.project("x", &[0, 2, 2]).unwrap();
+        assert_eq!(mapping, vec![0, 2]);
+        assert_eq!(sub.arity(), 2);
+        assert!(s.project("x", &[9]).is_err());
+    }
+
+    #[test]
+    fn composite_pk_projection() {
+        let s = TableSchema::new(
+            "lineitem",
+            vec![
+                ColumnDef::new("orderkey", ColumnType::BigInt),
+                ColumnDef::new("linenumber", ColumnType::Integer),
+                ColumnDef::new("qty", ColumnType::Double),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        let (sub, mapping) = s.project("v", &[2]).unwrap();
+        assert_eq!(mapping, vec![0, 1, 2]);
+        assert_eq!(sub.primary_key, vec![0, 1]);
+    }
+}

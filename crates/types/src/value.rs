@@ -1,0 +1,395 @@
+//! Logical values and column types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Scale applied to [`Value::Decimal`]: decimals are stored as integers in
+/// hundredths (e.g. `12.34` is stored as `1234`).
+pub const DECIMAL_SCALE: i64 = 100;
+
+/// Logical type of a column.
+///
+/// The storage layer maps each of these onto a single 64-bit physical slot
+/// (text via a per-table string dictionary), which keeps both stores
+/// fixed-width and comparable — the same simplification SAP HANA's column
+/// store makes by fully dictionary-encoding every column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 32-bit signed integer.
+    Integer,
+    /// 64-bit signed integer.
+    BigInt,
+    /// 64-bit IEEE-754 float. The paper's example aggregates a `Double`.
+    Double,
+    /// Fixed-point decimal with two fractional digits (scaled `i64`).
+    Decimal,
+    /// Variable-length string.
+    Varchar,
+    /// Date, stored as days since 1970-01-01.
+    Date,
+    /// Boolean flag.
+    Boolean,
+}
+
+impl ColumnType {
+    /// All column types, in a stable order (useful for calibration sweeps).
+    pub const ALL: [ColumnType; 7] = [
+        ColumnType::Integer,
+        ColumnType::BigInt,
+        ColumnType::Double,
+        ColumnType::Decimal,
+        ColumnType::Varchar,
+        ColumnType::Date,
+        ColumnType::Boolean,
+    ];
+
+    /// Whether values of this type can be summed / averaged.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            ColumnType::Integer | ColumnType::BigInt | ColumnType::Double | ColumnType::Decimal
+        )
+    }
+
+    /// Short lowercase name, used in reports and generated statements.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Integer => "integer",
+            ColumnType::BigInt => "bigint",
+            ColumnType::Double => "double",
+            ColumnType::Decimal => "decimal",
+            ColumnType::Varchar => "varchar",
+            ColumnType::Date => "date",
+            ColumnType::Boolean => "boolean",
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single logical value.
+///
+/// `Value` implements a *total* order and hash (doubles are compared via
+/// `f64::total_cmp` / hashed via their bit pattern) so that values can serve
+/// as group-by keys and dictionary entries without wrapper types.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Sorts before every non-null value.
+    Null,
+    /// 32-bit integer value.
+    Int(i32),
+    /// 64-bit integer value.
+    BigInt(i64),
+    /// Double-precision float value.
+    Double(f64),
+    /// Fixed-point decimal, scaled by [`DECIMAL_SCALE`].
+    Decimal(i64),
+    /// String value (cheaply cloneable).
+    Text(Arc<str>),
+    /// Days since the Unix epoch.
+    Date(i32),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl AsRef<str>) -> Self {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// Build a decimal from a float, rounding to two fractional digits.
+    pub fn decimal_from_f64(v: f64) -> Self {
+        Value::Decimal((v * DECIMAL_SCALE as f64).round() as i64)
+    }
+
+    /// The column type this value naturally belongs to, or `None` for NULL.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ColumnType::Integer),
+            Value::BigInt(_) => Some(ColumnType::BigInt),
+            Value::Double(_) => Some(ColumnType::Double),
+            Value::Decimal(_) => Some(ColumnType::Decimal),
+            Value::Text(_) => Some(ColumnType::Varchar),
+            Value::Date(_) => Some(ColumnType::Date),
+            Value::Bool(_) => Some(ColumnType::Boolean),
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value is admissible in a column of type `ty`.
+    pub fn matches_type(&self, ty: ColumnType) -> bool {
+        match self.column_type() {
+            None => true, // NULL fits any (nullable) column; nullability is checked by the schema
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Numeric view of the value, for aggregation. Decimals are unscaled to
+    /// their real magnitude; dates and booleans are not numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::BigInt(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            Value::Decimal(v) => Some(*v as f64 / DECIMAL_SCALE as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view for key-like values.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v as i64),
+            Value::BigInt(v) => Some(*v),
+            Value::Date(v) => Some(*v as i64),
+            Value::Bool(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// String view for text values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::BigInt(_) => 3,
+            Value::Double(_) => 4,
+            Value::Decimal(_) => 5,
+            Value::Date(_) => 6,
+            Value::Text(_) => 7,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (BigInt(a), BigInt(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Decimal(a), Decimal(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            // Cross-type comparisons only occur in mixed dictionaries, which
+            // the storage layer never builds; fall back to a stable rank so
+            // the order is still total.
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(v) => v.hash(state),
+            Value::BigInt(v) => v.hash(state),
+            Value::Double(v) => v.to_bits().hash(state),
+            Value::Decimal(v) => v.hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Date(v) => v.hash(state),
+            Value::Bool(v) => v.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::BigInt(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Decimal(v) => {
+                let sign = if *v < 0 { "-" } else { "" };
+                let abs = v.abs();
+                write!(f, "{sign}{}.{:02}", abs / DECIMAL_SCALE, abs % DECIMAL_SCALE)
+            }
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "date#{d}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::BigInt(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn type_of_values() {
+        assert_eq!(Value::Int(1).column_type(), Some(ColumnType::Integer));
+        assert_eq!(Value::Double(1.0).column_type(), Some(ColumnType::Double));
+        assert_eq!(Value::text("x").column_type(), Some(ColumnType::Varchar));
+        assert_eq!(Value::Null.column_type(), None);
+    }
+
+    #[test]
+    fn null_matches_any_type() {
+        for ty in ColumnType::ALL {
+            assert!(Value::Null.matches_type(ty));
+        }
+        assert!(Value::Int(3).matches_type(ColumnType::Integer));
+        assert!(!Value::Int(3).matches_type(ColumnType::Double));
+    }
+
+    #[test]
+    fn decimal_display_and_round_trip() {
+        let v = Value::decimal_from_f64(12.34);
+        assert_eq!(v, Value::Decimal(1234));
+        assert_eq!(v.to_string(), "12.34");
+        assert_eq!(v.as_f64(), Some(12.34));
+        assert_eq!(Value::decimal_from_f64(-0.05).to_string(), "-0.05");
+    }
+
+    #[test]
+    fn decimal_negative_display() {
+        assert_eq!(Value::Decimal(-107).to_string(), "-1.07");
+    }
+
+    #[test]
+    fn total_order_on_doubles() {
+        let nan = Value::Double(f64::NAN);
+        let one = Value::Double(1.0);
+        // total_cmp puts NaN above all finite numbers.
+        assert_eq!(nan.cmp(&one), Ordering::Greater);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn eq_is_consistent_with_hash() {
+        let a = Value::Double(3.5);
+        let b = Value::Double(3.5);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        let s1 = Value::text("abc");
+        let s2 = Value::text("abc");
+        assert_eq!(s1, s2);
+        assert_eq!(hash_of(&s1), hash_of(&s2));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = vec![Value::Int(1), Value::Null, Value::Int(-5)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-5));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::BigInt(7).as_i64(), Some(7));
+        assert_eq!(Value::Decimal(150).as_f64(), Some(1.5));
+        assert_eq!(Value::text("x").as_f64(), None);
+        assert_eq!(Value::Date(10).as_i64(), Some(10));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::BigInt(3));
+        assert_eq!(Value::from(3.0f64), Value::Double(3.0));
+        assert_eq!(Value::from("s"), Value::text("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::text("hi").to_string(), "'hi'");
+        assert_eq!(Value::Date(42).to_string(), "date#42");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(ColumnType::Integer.is_numeric());
+        assert!(ColumnType::Decimal.is_numeric());
+        assert!(!ColumnType::Varchar.is_numeric());
+        assert!(!ColumnType::Date.is_numeric());
+    }
+}

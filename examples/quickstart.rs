@@ -1,0 +1,66 @@
+//! Quickstart: build a hybrid database, run a mixed workload, calibrate the
+//! cost model, and ask the storage advisor where each table belongs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hybrid_store_advisor::advisor::report;
+use hybrid_store_advisor::prelude::*;
+
+fn main() -> hybrid_store_advisor::types::Result<()> {
+    // ------------------------------------------------------------------
+    // 1. Define a table and load it into the hybrid database.
+    //    (HANA's default for new tables is the row store.)
+    // ------------------------------------------------------------------
+    let spec = TableSpec::paper_wide("sales", 50_000, 42);
+    let schema = spec.schema()?;
+    let mut db = HybridDatabase::new();
+    db.create_single(schema.clone(), StoreKind::Row)?;
+    db.bulk_load("sales", spec.rows())?;
+    println!("loaded {} rows into the row store", db.row_count("sales")?);
+
+    // ------------------------------------------------------------------
+    // 2. A mixed workload: 5 % analytical queries, the rest inserts,
+    //    updates, and point selects.
+    // ------------------------------------------------------------------
+    let workload = WorkloadGenerator::single_table(
+        &spec,
+        &MixedWorkloadConfig { queries: 300, olap_fraction: 0.05, ..Default::default() },
+    );
+    let runner = WorkloadRunner::new();
+    let before = runner.run(&mut db, &workload)?;
+    println!("workload on current layout: {:.1} ms", before.total_ms());
+
+    // ------------------------------------------------------------------
+    // 3. Calibrate the cost model against this machine (Figure 5's
+    //    "initialize cost model" step) and ask the advisor.
+    // ------------------------------------------------------------------
+    let model = calibrate(&CalibrationConfig::quick())?;
+    let advisor = StorageAdvisor::new(model);
+    let mut stats = BTreeMap::new();
+    stats.insert("sales".to_string(), db.catalog().entry_by_name("sales")?.stats.clone());
+    let rec = advisor.recommend_offline(&[Arc::new(schema)], &stats, &workload, true)?;
+    println!("\n{}", report::render(&rec));
+
+    // ------------------------------------------------------------------
+    // 4. Apply the recommendation to a freshly loaded database (the
+    //    workload inserts rows, so re-running it needs pristine data) and
+    //    measure again.
+    // ------------------------------------------------------------------
+    let mut db = HybridDatabase::new();
+    db.create_single(spec.schema()?, StoreKind::Row)?;
+    db.bulk_load("sales", spec.rows())?;
+    let moved = mover::apply_layout(&mut db, &rec.layout)?;
+    println!("moved tables: {moved:?}");
+    let after = runner.run(&mut db, &workload)?;
+    println!("workload on recommended layout: {:.1} ms", after.total_ms());
+    println!(
+        "speedup: {:.2}x",
+        before.total.as_secs_f64() / after.total.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The paper's final scenario (Figure 10) as an application: generate a
+//! TPC-H-like database, run the mixed workload on single-store baselines,
+//! then let the advisor pick a table-level and a partitioned layout.
+//!
+//! ```sh
+//! cargo run --release --example tpch_advisor
+//! ```
+
+use std::sync::Arc;
+
+use hybrid_store_advisor::advisor::report;
+use hybrid_store_advisor::prelude::*;
+use hybrid_store_advisor::tpch::{generate_workload, schema, TpchGenerator, TpchWorkloadConfig};
+
+fn main() -> hybrid_store_advisor::types::Result<()> {
+    let g = TpchGenerator::new(0.01, 1);
+    let workload = generate_workload(
+        &g,
+        &TpchWorkloadConfig { queries: 2_000, olap_fraction: 0.01, ..Default::default() },
+    );
+    println!(
+        "TPC-H-like database: {} orders, {} lineitems; workload: {} queries ({:.1}% OLAP)",
+        g.orders(),
+        g.lineitems(),
+        workload.len(),
+        workload.olap_fraction() * 100.0
+    );
+    let runner = WorkloadRunner::new();
+
+    // Baselines.
+    let mut baseline_stats = None;
+    for store in [StoreKind::Row, StoreKind::Column] {
+        let mut db = HybridDatabase::new();
+        g.load_uniform(&mut db, store)?;
+        if baseline_stats.is_none() {
+            baseline_stats = Some(
+                db.catalog()
+                    .entries()
+                    .iter()
+                    .map(|e| (e.schema.name.clone(), e.stats.clone()))
+                    .collect::<std::collections::BTreeMap<_, _>>(),
+            );
+        }
+        let t = runner.run(&mut db, &workload)?;
+        println!("all tables in {store}: {:.1} ms", t.total_ms());
+    }
+
+    // The advisor.
+    println!("\ncalibrating cost model ...");
+    let model = calibrate(&CalibrationConfig::quick())?;
+    let advisor = StorageAdvisor::new(model);
+    let schemas: Vec<_> = schema::all()?.into_iter().map(Arc::new).collect();
+    let stats = baseline_stats.expect("stats captured");
+    let rec = advisor.recommend_offline(&schemas, &stats, &workload, true)?;
+    println!("{}", report::render(&rec));
+
+    // Apply and measure the recommended layout.
+    let mut db = HybridDatabase::new();
+    g.load_uniform(&mut db, StoreKind::Row)?;
+    mover::apply_layout(&mut db, &rec.layout)?;
+    let t = runner.run(&mut db, &workload)?;
+    println!("recommended layout: {:.1} ms", t.total_ms());
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! End-to-end advisor behaviour through the public facade: offline
+//! recommendation, layout application, online adaptation, and the TPC-H
+//! scenario — with a hand-built cost model so the tests are deterministic
+//! and fast (calibration itself is covered in `hsd-core`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hybrid_store_advisor::advisor::cost::AdjustmentFn;
+use hybrid_store_advisor::advisor::report;
+use hybrid_store_advisor::prelude::*;
+
+/// A cost model with the canonical asymmetries (CS 10× cheaper scans,
+/// RS 5× cheaper writes), as a fully deterministic stand-in for
+/// calibration.
+fn model() -> CostModel {
+    let mut m = CostModel::neutral();
+    m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
+    m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+    m.row.c_group_by = 2.0;
+    m.column.c_group_by = 3.0;
+    m.row.ins_row = AdjustmentFn::Constant(0.002);
+    m.column.ins_row = AdjustmentFn::Constant(0.01);
+    m.row.sel_point_ms = 0.002;
+    m.column.sel_point_ms = 0.008;
+    m.row.upd_row_ms = 0.002;
+    m.column.upd_row_ms = 0.01;
+    m.row.sel_per_row_scan = 2e-5;
+    m.column.sel_per_row_scan = 2e-6;
+    m.join_factor = [[1.3, 2.0], [1.2, 1.4]];
+    m
+}
+
+fn spec() -> TableSpec {
+    TableSpec::paper_wide("t", 5_000, 17)
+}
+
+fn stats_for(spec: &TableSpec) -> BTreeMap<String, TableStats> {
+    let mut db = HybridDatabase::new();
+    db.create_single(spec.schema().unwrap(), StoreKind::Column).unwrap();
+    db.bulk_load(&spec.name, spec.rows()).unwrap();
+    let mut out = BTreeMap::new();
+    out.insert(
+        spec.name.clone(),
+        db.catalog().entry_by_name(&spec.name).unwrap().stats.clone(),
+    );
+    out
+}
+
+#[test]
+fn crossover_moves_with_olap_fraction() {
+    let advisor = StorageAdvisor::new(model());
+    let s = spec();
+    let schema = Arc::new(s.schema().unwrap());
+    let stats = stats_for(&s);
+    let mut last_store = None;
+    let mut saw_rs = false;
+    let mut saw_cs = false;
+    for frac in [0.0, 0.01, 0.02, 0.05, 0.2, 0.5] {
+        let w = WorkloadGenerator::single_table(
+            &s,
+            &MixedWorkloadConfig { queries: 300, olap_fraction: frac, seed: 3, ..Default::default() },
+        );
+        let rec = advisor
+            .recommend_offline(std::slice::from_ref(&schema), &stats, &w, false)
+            .unwrap();
+        match rec.layout.placement("t") {
+            TablePlacement::Single(StoreKind::Row) => {
+                assert!(!saw_cs, "RS must not reappear after the CS crossover");
+                saw_rs = true;
+                last_store = Some(StoreKind::Row);
+            }
+            TablePlacement::Single(StoreKind::Column) => {
+                saw_cs = true;
+                last_store = Some(StoreKind::Column);
+            }
+            other => panic!("unexpected placement {other:?}"),
+        }
+    }
+    assert!(saw_rs, "pure OLTP should favour the row store");
+    assert_eq!(last_store, Some(StoreKind::Column), "OLAP-heavy must land on the column store");
+}
+
+#[test]
+fn report_renders_and_statements_apply() {
+    let advisor = StorageAdvisor::new(model());
+    let s = spec();
+    let schema = Arc::new(s.schema().unwrap());
+    let stats = stats_for(&s);
+    let w = WorkloadGenerator::single_table(
+        &s,
+        &MixedWorkloadConfig {
+            queries: 300,
+            olap_fraction: 0.05,
+            hot_fraction: Some(0.1),
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let rec = advisor.recommend_offline(&[schema], &stats, &w, true).unwrap();
+    let text = report::render(&rec);
+    assert!(text.contains("Storage Advisor Recommendation"));
+    assert!(!rec.statements.is_empty());
+
+    // Applying the recommended layout preserves the data.
+    let mut db = HybridDatabase::new();
+    db.create_single(s.schema().unwrap(), StoreKind::Row).unwrap();
+    db.bulk_load("t", s.rows()).unwrap();
+    let before = db.row_count("t").unwrap();
+    mover::apply_layout(&mut db, &rec.layout).unwrap();
+    assert_eq!(db.row_count("t").unwrap(), before);
+    let check = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Count, 0));
+    let out = db.execute(&check).unwrap();
+    assert_eq!(out.aggregates().unwrap()[0].values[0], before as f64);
+}
+
+#[test]
+fn online_adaptation_through_facade() {
+    let s = spec();
+    let mut db = HybridDatabase::new();
+    db.create_single(s.schema().unwrap(), StoreKind::Row).unwrap();
+    db.bulk_load("t", s.rows()).unwrap();
+    let mut online = OnlineAdvisor::new(
+        StorageAdvisor::new(model()),
+        OnlineConfig {
+            evaluation_interval: 50,
+            min_improvement: 0.05,
+            enable_partitioning: false,
+            ..Default::default()
+        },
+    );
+    // analytical burst
+    let w = WorkloadGenerator::single_table(
+        &s,
+        &MixedWorkloadConfig { queries: 100, olap_fraction: 0.7, seed: 8, ..Default::default() },
+    );
+    let mut adaptation = None;
+    for q in &w.queries {
+        db.execute(q).unwrap();
+        if let Some(a) = online.observe(&db, q).unwrap() {
+            adaptation = Some(a);
+            break;
+        }
+    }
+    let a = adaptation.expect("analytical burst must trigger adaptation");
+    assert_eq!(a.changed_tables, vec!["t".to_string()]);
+    online.apply(&mut db, &a).unwrap();
+    assert_eq!(db.catalog().single_store_of("t").unwrap(), StoreKind::Column);
+}
+
+#[test]
+fn tpch_recommendation_matches_paper_expectations() {
+    use hybrid_store_advisor::tpch::{generate_workload, schema, TpchGenerator, TpchWorkloadConfig};
+    let g = TpchGenerator::new(0.001, 2);
+    let mut db = HybridDatabase::new();
+    g.load_uniform(&mut db, StoreKind::Row).unwrap();
+    let stats: BTreeMap<String, TableStats> = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| (e.schema.name.clone(), e.stats.clone()))
+        .collect();
+    let schemas: Vec<_> = schema::all().unwrap().into_iter().map(Arc::new).collect();
+    let w = generate_workload(
+        &g,
+        &TpchWorkloadConfig { queries: 1_500, olap_fraction: 0.02, ..Default::default() },
+    );
+    let advisor = StorageAdvisor::new(model());
+    let rec = advisor.recommend_offline(&schemas, &stats, &w, false).unwrap();
+    // The paper: "the tables lineitem and orders were put to the column
+    // store while the remaining tables have been stored in the row store".
+    assert_eq!(rec.layout.placement("lineitem"), TablePlacement::Single(StoreKind::Column));
+    assert_eq!(rec.layout.placement("orders"), TablePlacement::Single(StoreKind::Column));
+    for t in ["region", "nation", "supplier", "customer"] {
+        assert_eq!(
+            rec.layout.placement(t),
+            TablePlacement::Single(StoreKind::Row),
+            "{t} should stay in the row store"
+        );
+    }
+    // With partitioning enabled, lineitem and orders gain hot partitions.
+    let rec_p = advisor.recommend_offline(&schemas, &stats, &w, true).unwrap();
+    for t in ["lineitem", "orders"] {
+        match rec_p.layout.placement(t) {
+            TablePlacement::Partitioned(p) => {
+                assert!(p.horizontal.is_some(), "{t} should get a hot insert partition");
+            }
+            other => panic!("{t} should be partitioned, got {other:?}"),
+        }
+    }
+    // Applying the partitioned layout keeps every table intact.
+    let counts: Vec<(String, usize)> =
+        db.table_names().iter().map(|t| (t.clone(), db.row_count(t).unwrap())).collect();
+    mover::apply_layout(&mut db, &rec_p.layout).unwrap();
+    for (t, n) in counts {
+        assert_eq!(db.row_count(&t).unwrap(), n, "{t} lost rows during migration");
+    }
+    // And the workload still runs.
+    let mut runner_db = db;
+    for q in w.queries.iter().take(300) {
+        runner_db.execute(q).unwrap();
+    }
+}

@@ -1,0 +1,233 @@
+//! Cross-crate invariant: a workload produces *identical logical results
+//! and identical final table contents* no matter which storage layout the
+//! data lives in. This is the transparency property the paper's rewriter
+//! promises ("the query rewriting must be realized automatically and
+//! transparently to the user").
+
+use hybrid_store_advisor::engine::{GroupRow, QueryOutput};
+use hybrid_store_advisor::prelude::*;
+
+/// Aggregation results accumulate in store-specific orders, so floating
+/// sums may differ in the last ulps; everything else must match exactly.
+fn assert_outputs_close(a: &QueryOutput, b: &QueryOutput, ctx: &str) {
+    match (a, b) {
+        (QueryOutput::Aggregates(x), QueryOutput::Aggregates(y)) => {
+            assert_eq!(x.len(), y.len(), "group count diverges: {ctx}");
+            for (GroupRow { key: ka, values: va }, GroupRow { key: kb, values: vb }) in
+                x.iter().zip(y)
+            {
+                assert_eq!(ka, kb, "group keys diverge: {ctx}");
+                assert_eq!(va.len(), vb.len(), "aggregate count diverges: {ctx}");
+                for (p, q) in va.iter().zip(vb) {
+                    let tol = 1e-9 * p.abs().max(q.abs()).max(1.0);
+                    assert!((p - q).abs() <= tol, "{p} vs {q} diverges: {ctx}");
+                }
+            }
+        }
+        _ => assert_eq!(a, b, "outputs diverge: {ctx}"),
+    }
+}
+
+fn assert_all_close(a: &[QueryOutput], b: &[QueryOutput], ctx: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_outputs_close(x, y, &format!("{ctx}, query #{i}"));
+    }
+}
+
+fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
+    let n = spec.rows as i64;
+    vec![
+        ("rs", TablePlacement::Single(StoreKind::Row)),
+        ("cs", TablePlacement::Single(StoreKind::Column)),
+        (
+            "horizontal",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(n * 9 / 10),
+                }),
+                vertical: None,
+            }),
+        ),
+        (
+            "vertical",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: None,
+                vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+            }),
+        ),
+        (
+            "both",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(n * 9 / 10),
+                }),
+                vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+            }),
+        ),
+    ]
+}
+
+fn build(spec: &TableSpec, placement: &TablePlacement) -> HybridDatabase {
+    let mut db = HybridDatabase::new();
+    db.create_single(spec.schema().unwrap(), StoreKind::Row).unwrap();
+    db.bulk_load(&spec.name, spec.rows()).unwrap();
+    mover::move_table(&mut db, &spec.name, placement).unwrap();
+    db
+}
+
+/// Execute the workload and return (per-query outputs, final table rows).
+fn run_and_snapshot(
+    spec: &TableSpec,
+    placement: &TablePlacement,
+    workload: &Workload,
+) -> (Vec<QueryOutput>, Vec<Vec<Value>>) {
+    let mut db = build(spec, placement);
+    let mut outputs = Vec::with_capacity(workload.len());
+    for q in &workload.queries {
+        outputs.push(db.execute(q).unwrap());
+    }
+    let mut rows = db
+        .table_data_mut(&spec.name)
+        .map(|_| ())
+        .ok()
+        .map(|()| {
+            // Move to a single row store to extract rows in a canonical way.
+            mover::move_table(&mut db, &spec.name, &TablePlacement::Single(StoreKind::Row))
+                .unwrap();
+            let data = db.table_data(&spec.name).unwrap();
+            match data {
+                hybrid_store_advisor::engine::TableData::Single(t) => {
+                    t.collect_rows(hybrid_store_advisor::storage::RowSel::All, None)
+                }
+                other => panic!("expected single table after move, got {other:?}"),
+            }
+        })
+        .unwrap();
+    rows.sort_by(|a, b| a[0].cmp(&b[0]));
+    (outputs, rows)
+}
+
+#[test]
+fn all_layouts_agree_on_results_and_final_state() {
+    let spec = TableSpec::paper_wide("t", 2_000, 11);
+    let workload = WorkloadGenerator::single_table(
+        &spec,
+        &MixedWorkloadConfig {
+            queries: 120,
+            olap_fraction: 0.15,
+            oltp_insert_share: 0.3,
+            oltp_update_share: 0.4,
+            hot_fraction: Some(0.2),
+            whole_tuple_update_prob: 0.3,
+            seed: 99,
+            ..Default::default()
+        },
+    );
+    let mut reference: Option<(Vec<QueryOutput>, Vec<Vec<Value>>)> = None;
+    for (label, placement) in placements(&spec) {
+        let snapshot = run_and_snapshot(&spec, &placement, &workload);
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(r) => {
+                assert_all_close(&r.0, &snapshot.0, label);
+                assert_eq!(r.1, snapshot.1, "final rows diverge under layout {label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn range_updates_agree_across_layouts() {
+    let spec = TableSpec::paper_wide("t", 1_500, 13);
+    let workload = WorkloadGenerator::single_table(
+        &spec,
+        &MixedWorkloadConfig {
+            queries: 60,
+            olap_fraction: 0.1,
+            oltp_insert_share: 0.0,
+            oltp_update_share: 1.0,
+            hot_fraction: Some(0.1),
+            update_range_rows: Some(40),
+            whole_tuple_update_prob: 0.5,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let mut reference: Option<(Vec<QueryOutput>, Vec<Vec<Value>>)> = None;
+    for (label, placement) in placements(&spec) {
+        let snapshot = run_and_snapshot(&spec, &placement, &workload);
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(r) => {
+                assert_all_close(&r.0, &snapshot.0, label);
+                assert_eq!(r.1, snapshot.1, "range-update rows diverge under {label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn star_join_agrees_across_fact_layouts() {
+    let fact = TableSpec {
+        name: "fact".into(),
+        rows: 2_000,
+        fk_attrs: 1,
+        fk_cardinality: 50,
+        keyfigures: 3,
+        group_attrs: 0,
+        filter_attrs: 1,
+        status_attrs: 2,
+        group_cardinality: 1,
+        status_cardinality: 5,
+        kf_distinct: 100,
+        seed: 5,
+    };
+    let dim = TableSpec {
+        name: "dim".into(),
+        rows: 50,
+        fk_attrs: 0,
+        fk_cardinality: 1,
+        keyfigures: 0,
+        group_attrs: 2,
+        filter_attrs: 1,
+        status_attrs: 0,
+        group_cardinality: 8,
+        status_cardinality: 1,
+        kf_distinct: 64,
+        seed: 6,
+    };
+    let workload = WorkloadGenerator::star(
+        &fact,
+        &dim,
+        fact.fk_col(0),
+        &MixedWorkloadConfig { queries: 60, olap_fraction: 0.3, seed: 21, ..Default::default() },
+    );
+    let mut reference: Option<Vec<QueryOutput>> = None;
+    for placement in [
+        TablePlacement::Single(StoreKind::Row),
+        TablePlacement::Single(StoreKind::Column),
+        TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(1_800),
+            }),
+            vertical: Some(VerticalSpec { row_cols: fact.st_cols() }),
+        }),
+    ] {
+        let mut db = HybridDatabase::new();
+        db.create_single(fact.schema().unwrap(), StoreKind::Row).unwrap();
+        db.create_single(dim.schema().unwrap(), StoreKind::Row).unwrap();
+        db.bulk_load("fact", fact.rows()).unwrap();
+        db.bulk_load("dim", dim.rows()).unwrap();
+        mover::move_table(&mut db, "fact", &placement).unwrap();
+        let outputs: Vec<QueryOutput> =
+            workload.queries.iter().map(|q| db.execute(q).unwrap()).collect();
+        match &reference {
+            None => reference = Some(outputs),
+            Some(r) => assert_all_close(r, &outputs, &format!("{placement:?}")),
+        }
+    }
+}
