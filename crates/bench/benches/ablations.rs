@@ -15,8 +15,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hsd_catalog::{ColumnStats, TableStats};
 use hsd_core::{AdjustmentFn, CostModel, StorageAdvisor};
-use hsd_query::{AggFunc, Aggregate, AggregateQuery, JoinSpec, MixedWorkloadConfig, Query, TableSpec, WorkloadGenerator};
-use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable, StoreKind};
+use hsd_query::{
+    AggFunc, Aggregate, AggregateQuery, JoinSpec, MixedWorkloadConfig, Query, TableSpec,
+    WorkloadGenerator,
+};
+use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable};
 use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 
 const ROWS: usize = 200_000;
@@ -51,7 +54,9 @@ fn fill(t: &mut ColumnTable) {
 /// Bit-packed vs plain code vectors: aggregation scan speed and heap size.
 fn bench_bitpack(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bitpack_scan");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     for (label, packed) in [("packed", true), ("plain_u32", false)] {
         let mut t = ColumnTable::with_encoding(schema(), packed);
         fill(&mut t);
@@ -70,7 +75,9 @@ fn bench_bitpack(c: &mut Criterion) {
 /// Dictionary tail (un-merged delta) vs compacted dictionary: range filter.
 fn bench_delta_tail(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_delta_tail_filter");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     let range = ColRange::between(1, Value::Double(100.0), Value::Double(400.0));
     for (label, compact) in [("compacted", true), ("with_tail", false)] {
         let mut t = ColumnTable::with_encoding(schema(), true);
@@ -78,12 +85,16 @@ fn bench_delta_tail(c: &mut Criterion) {
         // 5% of rows updated to fresh values -> dictionary tail grows.
         let rows: Vec<u32> = (0..ROWS as u32).step_by(20).collect();
         for (k, idx) in rows.iter().enumerate() {
-            t.update_rows(&[*idx], &[(1, Value::Double(10_000.0 + k as f64))]).unwrap();
+            t.update_rows(&[*idx], &[(1, Value::Double(10_000.0 + k as f64))])
+                .unwrap();
         }
         if compact {
             t.compact();
         }
-        println!("[ablation_delta] {label}: tail entries = {}", t.tail_total());
+        println!(
+            "[ablation_delta] {label}: tail entries = {}",
+            t.tail_total()
+        );
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| t.filter_rows(std::slice::from_ref(&range)).len())
         });
@@ -95,7 +106,9 @@ fn bench_delta_tail(c: &mut Criterion) {
 /// row-store with a secondary index.
 fn bench_implicit_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_selection_paths");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     let range = ColRange::between(2, Value::Int(0), Value::Int(99));
 
     let mut ct = ColumnTable::with_encoding(schema(), true);
@@ -127,8 +140,14 @@ fn bench_implicit_index(c: &mut Criterion) {
 /// a 10-table schema with join coupling.
 fn bench_advisor_search(c: &mut Criterion) {
     let mut m = CostModel::neutral();
-    m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
-    m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+    m.row.f_rows = AdjustmentFn::Linear {
+        slope: 1e-3,
+        intercept: 0.05,
+    };
+    m.column.f_rows = AdjustmentFn::Linear {
+        slope: 1e-4,
+        intercept: 0.05,
+    };
     m.row.ins_row = AdjustmentFn::Constant(0.001);
     m.column.ins_row = AdjustmentFn::Constant(0.005);
     m.join_factor = [[1.0, 2.5], [2.5, 1.0]];
@@ -169,7 +188,10 @@ fn bench_advisor_search(c: &mut Criterion) {
             // couple neighbouring tables with a join query
             let mut q = AggregateQuery {
                 table: format!("t{t}"),
-                aggregates: vec![Aggregate { func: AggFunc::Sum, column: 1 }],
+                aggregates: vec![Aggregate {
+                    func: AggFunc::Sum,
+                    column: 1,
+                }],
                 group_by: None,
                 filter: vec![],
                 join: None,
@@ -186,20 +208,34 @@ fn bench_advisor_search(c: &mut Criterion) {
     let workload = hsd_query::Workload::from_queries(queries);
 
     let mut group = c.benchmark_group("ablation_advisor_search");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let mut exact = StorageAdvisor::new(m.clone());
     exact.exact_search_limit = 16;
     group.bench_function("exact_enumeration_10_tables", |b| {
-        b.iter(|| exact.recommend_offline(&schemas, &stats, &workload, false).unwrap())
+        b.iter(|| {
+            exact
+                .recommend_offline(&schemas, &stats, &workload, false)
+                .unwrap()
+        })
     });
     let mut greedy = StorageAdvisor::new(m);
     greedy.exact_search_limit = 0;
     group.bench_function("greedy_local_search_10_tables", |b| {
-        b.iter(|| greedy.recommend_offline(&schemas, &stats, &workload, false).unwrap())
+        b.iter(|| {
+            greedy
+                .recommend_offline(&schemas, &stats, &workload, false)
+                .unwrap()
+        })
     });
     // sanity: both find layouts; print agreement
-    let e = exact.recommend_offline(&schemas, &stats, &workload, false).unwrap();
-    let g = greedy.recommend_offline(&schemas, &stats, &workload, false).unwrap();
+    let e = exact
+        .recommend_offline(&schemas, &stats, &workload, false)
+        .unwrap();
+    let g = greedy
+        .recommend_offline(&schemas, &stats, &workload, false)
+        .unwrap();
     println!(
         "[ablation_advisor] exact est {:.2} ms, greedy est {:.2} ms, layouts agree: {}",
         e.estimated_ms,

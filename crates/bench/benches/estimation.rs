@@ -14,22 +14,36 @@ use hsd_catalog::{ColumnStats, TableStats};
 use hsd_core::advisor::build_ctx;
 use hsd_core::estimator::{estimate_query, estimate_workload};
 use hsd_core::{AdjustmentFn, CostModel, StorageAdvisor};
-use hsd_query::{AggFunc, AggregateQuery, MixedWorkloadConfig, Query, TableSpec, WorkloadGenerator};
+use hsd_query::{
+    AggFunc, AggregateQuery, MixedWorkloadConfig, Query, TableSpec, WorkloadGenerator,
+};
 use hsd_storage::StoreKind;
 use hsd_types::{TableSchema, Value};
 
 fn model() -> CostModel {
     let mut m = CostModel::neutral();
-    m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
-    m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+    m.row.f_rows = AdjustmentFn::Linear {
+        slope: 1e-3,
+        intercept: 0.05,
+    };
+    m.column.f_rows = AdjustmentFn::Linear {
+        slope: 1e-4,
+        intercept: 0.05,
+    };
     m.row.f_compression = AdjustmentFn::Piecewise {
         points: vec![(0.0, 1.1), (0.5, 1.0), (0.95, 0.9)],
     };
     m.column.f_compression = AdjustmentFn::Piecewise {
         points: vec![(0.0, 1.4), (0.5, 1.0), (0.95, 0.7)],
     };
-    m.row.ins_row = AdjustmentFn::Linear { slope: 1e-9, intercept: 0.001 };
-    m.column.ins_row = AdjustmentFn::Linear { slope: 1e-9, intercept: 0.005 };
+    m.row.ins_row = AdjustmentFn::Linear {
+        slope: 1e-9,
+        intercept: 0.001,
+    };
+    m.column.ins_row = AdjustmentFn::Linear {
+        slope: 1e-9,
+        intercept: 0.005,
+    };
     m.row.sel_point_ms = 0.002;
     m.column.sel_point_ms = 0.01;
     m.row.upd_row_ms = 0.002;
@@ -69,14 +83,20 @@ fn bench_estimation(c: &mut Criterion) {
     let q = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
 
     let mut group = c.benchmark_group("estimation");
-    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(50);
     group.bench_function("single_query", |b| {
         b.iter(|| estimate_query(&m, &ctx, &assignment, &q))
     });
 
     let workload = WorkloadGenerator::single_table(
         &s,
-        &MixedWorkloadConfig { queries: 500, olap_fraction: 0.05, ..Default::default() },
+        &MixedWorkloadConfig {
+            queries: 500,
+            olap_fraction: 0.05,
+            ..Default::default()
+        },
     );
     group.bench_function("workload_500_queries", |b| {
         b.iter(|| estimate_workload(&m, &ctx, &assignment, &workload))
@@ -84,7 +104,11 @@ fn bench_estimation(c: &mut Criterion) {
 
     let advisor = StorageAdvisor::new(m.clone());
     group.bench_function("advisor_recommend_offline", |b| {
-        b.iter(|| advisor.recommend_offline(&schemas, &stats, &workload, true).unwrap())
+        b.iter(|| {
+            advisor
+                .recommend_offline(&schemas, &stats, &workload, true)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -27,7 +27,9 @@ fn db_with(store: StoreKind) -> (HybridDatabase, TableSpec) {
 
 fn bench_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregate_sum");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for store in StoreKind::BOTH {
         let (mut db, spec) = db_with(store);
         let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, spec.kf_col(0)));
@@ -40,12 +42,17 @@ fn bench_aggregate(c: &mut Criterion) {
 
 fn bench_grouped_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregate_group_by");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for store in StoreKind::BOTH {
         let (mut db, spec) = db_with(store);
         let q = Query::Aggregate(AggregateQuery {
             table: "t".into(),
-            aggregates: vec![Aggregate { func: AggFunc::Sum, column: spec.kf_col(0) }],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Sum,
+                column: spec.kf_col(0),
+            }],
             group_by: Some(spec.grp_col(0)),
             filter: vec![],
             join: None,
@@ -59,13 +66,18 @@ fn bench_grouped_aggregate(c: &mut Criterion) {
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_row");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for store in StoreKind::BOTH {
         let (mut db, spec) = db_with(store);
         let mut next = ROWS as u64;
         group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
             b.iter(|| {
-                let q = Query::Insert(InsertQuery { table: "t".into(), rows: vec![spec.row(next)] });
+                let q = Query::Insert(InsertQuery {
+                    table: "t".into(),
+                    rows: vec![spec.row(next)],
+                });
                 next += 1;
                 db.execute(&q).unwrap()
             })
@@ -76,7 +88,9 @@ fn bench_insert(c: &mut Criterion) {
 
 fn bench_point_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_select");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for store in StoreKind::BOTH {
         let (mut db, _) = db_with(store);
         let mut i = 0u64;
@@ -97,7 +111,9 @@ fn bench_point_select(c: &mut Criterion) {
 
 fn bench_point_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_update");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for store in StoreKind::BOTH {
         let (mut db, spec) = db_with(store);
         let mut i = 0u64;
@@ -106,7 +122,10 @@ fn bench_point_update(c: &mut Criterion) {
                 let q = Query::Update(UpdateQuery {
                     table: "t".into(),
                     sets: vec![(spec.st_col(0), Value::Int((i % 8) as i32))],
-                    filter: vec![ColRange::eq(0, Value::BigInt((i * 6151 % ROWS as u64) as i64))],
+                    filter: vec![ColRange::eq(
+                        0,
+                        Value::BigInt((i * 6151 % ROWS as u64) as i64),
+                    )],
                 });
                 i += 1;
                 db.execute(&q).unwrap()
@@ -118,13 +137,19 @@ fn bench_point_update(c: &mut Criterion) {
 
 fn bench_range_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("range_select_1pct");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for store in StoreKind::BOTH {
         let (mut db, spec) = db_with(store);
         let q = Query::Select(SelectQuery {
             table: "t".into(),
             columns: Some(vec![0, spec.kf_col(0)]),
-            filter: vec![ColRange::between(spec.flt_col(0), Value::Int(0), Value::Int(99))],
+            filter: vec![ColRange::between(
+                spec.flt_col(0),
+                Value::Int(0),
+                Value::Int(99),
+            )],
         });
         group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
             b.iter(|| db.execute(&q).unwrap())
@@ -135,7 +160,9 @@ fn bench_range_select(c: &mut Criterion) {
 
 fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_aggregate");
-    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
     let fact_spec = TableSpec {
         name: "fact".into(),
         rows: ROWS,
@@ -167,13 +194,18 @@ fn bench_join(c: &mut Criterion) {
     for fact_store in StoreKind::BOTH {
         for dim_store in StoreKind::BOTH {
             let mut db = HybridDatabase::new();
-            db.create_single(fact_spec.schema().unwrap(), fact_store).unwrap();
-            db.create_single(dim_spec.schema().unwrap(), dim_store).unwrap();
+            db.create_single(fact_spec.schema().unwrap(), fact_store)
+                .unwrap();
+            db.create_single(dim_spec.schema().unwrap(), dim_store)
+                .unwrap();
             db.bulk_load("fact", fact_spec.rows()).unwrap();
             db.bulk_load("dim", dim_spec.rows()).unwrap();
             let q = Query::Aggregate(AggregateQuery {
                 table: "fact".into(),
-                aggregates: vec![Aggregate { func: AggFunc::Sum, column: fact_spec.kf_col(0) }],
+                aggregates: vec![Aggregate {
+                    func: AggFunc::Sum,
+                    column: fact_spec.kf_col(0),
+                }],
                 group_by: None,
                 filter: vec![],
                 join: Some(JoinSpec {

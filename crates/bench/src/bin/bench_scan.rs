@@ -1,0 +1,145 @@
+//! Scan-throughput measurement, recorded as `BENCH_scan.json`.
+//!
+//! Measures the batched scan pipeline (block-decoded bit-packing +
+//! selection vectors) against the per-element `get` baseline on the shared
+//! 1M-row workload, and writes the results — including the
+//! batched-vs-scalar speedup on the unselective range scan, the acceptance
+//! metric of the pipeline PR — to `BENCH_scan.json` in the working
+//! directory so future PRs have a perf trajectory to compare against.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_scan`.
+
+use std::time::Instant;
+
+use hsd_bench::scan_workload::{build_table, conjunction, range_90pct, range_selective, ROWS};
+use hsd_types::Json;
+
+/// Median wall-clock seconds of `runs` executions of `f`.
+fn time_median(runs: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut result = 0;
+    for _ in 0..runs {
+        let start = Instant::now();
+        result = std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], result)
+}
+
+struct Record {
+    name: &'static str,
+    seconds: f64,
+    matches: usize,
+}
+
+impl Record {
+    fn rows_per_sec(&self) -> f64 {
+        ROWS as f64 / self.seconds
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.to_string())),
+            ("seconds", Json::Num(self.seconds)),
+            ("matches", Json::Int(self.matches as i64)),
+            ("rows_per_sec", Json::Num(self.rows_per_sec())),
+        ])
+    }
+}
+
+fn main() {
+    const RUNS: usize = 9;
+    eprintln!("[bench_scan] building 1M-row tables (packed + plain ablation) ...");
+    let packed = build_table(true);
+    let plain = build_table(false);
+    let unsel = range_90pct();
+    let sel = range_selective();
+    let conj = conjunction();
+
+    let mut records = Vec::new();
+    let mut run = |name: &'static str, f: &mut dyn FnMut() -> usize| {
+        let (seconds, matches) = time_median(RUNS, f);
+        eprintln!(
+            "[bench_scan] {name:<32} {:>8.3} ms  {:>12.0} rows/s  ({matches} matches)",
+            seconds * 1e3,
+            ROWS as f64 / seconds
+        );
+        records.push(Record {
+            name,
+            seconds,
+            matches,
+        });
+    };
+
+    run("unselective_scalar_get", &mut || {
+        packed
+            .filter_rows_scalar(std::slice::from_ref(&unsel))
+            .len()
+    });
+    run("unselective_block_selvec", &mut || {
+        packed.filter_selvec(std::slice::from_ref(&unsel)).count()
+    });
+    run("unselective_block_selvec_plain", &mut || {
+        plain.filter_selvec(std::slice::from_ref(&unsel)).count()
+    });
+    run("selective_scalar_get", &mut || {
+        packed.filter_rows_scalar(std::slice::from_ref(&sel)).len()
+    });
+    run("selective_block_selvec", &mut || {
+        packed.filter_selvec(std::slice::from_ref(&sel)).count()
+    });
+    run("conjunction_scalar_get", &mut || {
+        packed.filter_rows_scalar(&conj).len()
+    });
+    run("conjunction_block_selvec", &mut || {
+        packed.filter_selvec(&conj).count()
+    });
+    run("aggregate_sum_block_decode", &mut || {
+        let mut sum = 0.0;
+        packed.for_each_numeric_sel(1, None, |v| sum += v);
+        sum as usize
+    });
+
+    let of = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .expect("record exists")
+    };
+    assert_eq!(
+        of("unselective_scalar_get").matches,
+        of("unselective_block_selvec").matches,
+        "batched and scalar scans must agree"
+    );
+    assert_eq!(
+        of("conjunction_scalar_get").matches,
+        of("conjunction_block_selvec").matches,
+        "batched and scalar conjunctions must agree"
+    );
+    let speedup = of("unselective_scalar_get").seconds / of("unselective_block_selvec").seconds;
+    let target = 5.0;
+    eprintln!(
+        "[bench_scan] unselective speedup: {speedup:.2}x (target >= {target}x) -> {}",
+        if speedup >= target { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("scan_throughput".to_string())),
+        ("rows", Json::Int(ROWS as i64)),
+        ("runs_per_measurement", Json::Int(RUNS as i64)),
+        (
+            "results",
+            Json::Arr(records.iter().map(Record::to_json).collect()),
+        ),
+        ("unselective_speedup_vs_scalar", Json::Num(speedup)),
+        ("speedup_target", Json::Num(target)),
+        ("pass", Json::Bool(speedup >= target)),
+    ]);
+    std::fs::write("BENCH_scan.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_scan.json");
+    eprintln!("[bench_scan] wrote BENCH_scan.json");
+    if speedup < target {
+        std::process::exit(1);
+    }
+}

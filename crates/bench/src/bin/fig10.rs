@@ -16,10 +16,7 @@ use hsd_storage::StoreKind;
 use hsd_tpch::{generate_workload, TpchGenerator, TpchWorkloadConfig};
 use hsd_types::Result;
 
-fn load_with_layout(
-    g: &TpchGenerator,
-    layout: Option<&StorageLayout>,
-) -> Result<HybridDatabase> {
+fn load_with_layout(g: &TpchGenerator, layout: Option<&StorageLayout>) -> Result<HybridDatabase> {
     // Load uniformly into the row store first, then let the mover rebuild
     // whatever the layout demands (this splits horizontal partitions
     // correctly instead of routing the bulk load to the hot partition).
@@ -54,7 +51,11 @@ fn main() -> Result<()> {
     let sf = scale();
     let model = calibrated_model()?;
     let g = TpchGenerator::new(sf, 0x7C);
-    let cfg = TpchWorkloadConfig { queries: 5_000, olap_fraction: 0.01, ..Default::default() };
+    let cfg = TpchWorkloadConfig {
+        queries: 5_000,
+        olap_fraction: 0.01,
+        ..Default::default()
+    };
     let workload = generate_workload(&g, &cfg);
     let runner = WorkloadRunner::new();
     println!(
@@ -100,7 +101,9 @@ fn main() -> Result<()> {
     let rec_table = advisor.recommend_offline(&schemas, &stats, &workload, false)?;
     println!("\n--- table-level recommendation ---");
     print!("{}", report::render(&rec_table));
-    let mut secs = run_repeated(&runner, &workload, || load_with_layout(&g, Some(&rec_table.layout)))?;
+    let mut secs = run_repeated(&runner, &workload, || {
+        load_with_layout(&g, Some(&rec_table.layout))
+    })?;
     secs.sort_by(f64::total_cmp);
     results.push(("Table".to_string(), secs[secs.len() / 2]));
 
@@ -108,12 +111,16 @@ fn main() -> Result<()> {
     let rec_part = advisor.recommend_offline(&schemas, &stats, &workload, true)?;
     println!("\n--- partitioned recommendation ---");
     print!("{}", report::render(&rec_part));
-    let mut secs = run_repeated(&runner, &workload, || load_with_layout(&g, Some(&rec_part.layout)))?;
+    let mut secs = run_repeated(&runner, &workload, || {
+        load_with_layout(&g, Some(&rec_part.layout))
+    })?;
     secs.sort_by(f64::total_cmp);
     results.push(("Partitioned".to_string(), secs[secs.len() / 2]));
 
-    let rows_out: Vec<Vec<String>> =
-        results.iter().map(|(n, s)| vec![n.clone(), fmt_s(*s)]).collect();
+    let rows_out: Vec<Vec<String>> = results
+        .iter()
+        .map(|(n, s)| vec![n.clone(), fmt_s(*s)])
+        .collect();
     print_series(
         "Figure 10: comparison of decisions on different levels (TPC-H mixed workload)",
         &["configuration", "runtime (s)"],
@@ -123,8 +130,17 @@ fn main() -> Result<()> {
     let cs = results[1].1;
     let table = results[2].1;
     let part = results[3].1;
-    println!("Table vs best single store : {:+.1} %", 100.0 * (table - rs.min(cs)) / rs.min(cs));
-    println!("Partitioned vs Table       : {:+.1} %", 100.0 * (part - table) / table);
-    println!("Partitioned vs CS only     : {:+.1} %", 100.0 * (part - cs) / cs);
+    println!(
+        "Table vs best single store : {:+.1} %",
+        100.0 * (table - rs.min(cs)) / rs.min(cs)
+    );
+    println!(
+        "Partitioned vs Table       : {:+.1} %",
+        100.0 * (part - table) / table
+    );
+    println!(
+        "Partitioned vs CS only     : {:+.1} %",
+        100.0 * (part - cs) / cs
+    );
     Ok(())
 }

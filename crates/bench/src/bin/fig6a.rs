@@ -37,12 +37,21 @@ fn main() -> hsd_types::Result<()> {
     }
     print_series(
         "Figure 6(a): estimation accuracy vs data scale (SUM over one Double attribute)",
-        &["tuples", "RS est (ms)", "RS run (ms)", "CS est (ms)", "CS run (ms)"],
+        &[
+            "tuples",
+            "RS est (ms)",
+            "RS run (ms)",
+            "CS est (ms)",
+            "CS run (ms)",
+        ],
         &rows_out,
     );
     for (store, e) in errs {
         let mean = e.iter().sum::<f64>() / e.len() as f64;
-        println!("mean relative estimation error [{store}]: {:.1} %", mean * 100.0);
+        println!(
+            "mean relative estimation error [{store}]: {:.1} %",
+            mean * 100.0
+        );
     }
     Ok(())
 }

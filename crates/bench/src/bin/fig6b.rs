@@ -14,7 +14,13 @@ fn main() -> hsd_types::Result<()> {
     let runner = WorkloadRunner::new();
     let n = scaled_rows(10_000_000);
     let spec = wide_spec("t", n, 0xF16B);
-    let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Sum, AggFunc::Min];
+    let funcs = [
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Max,
+        AggFunc::Sum,
+        AggFunc::Min,
+    ];
     let mut dbs: Vec<_> = Vec::new();
     for store in StoreKind::BOTH {
         dbs.push((store, build_db(&spec, store)?));
@@ -23,7 +29,10 @@ fn main() -> hsd_types::Result<()> {
     let mut errs: BTreeMap<StoreKind, Vec<f64>> = BTreeMap::new();
     for k in 1..=5usize {
         let aggregates: Vec<Aggregate> = (0..k)
-            .map(|i| Aggregate { func: funcs[i], column: spec.kf_col(i) })
+            .map(|i| Aggregate {
+                func: funcs[i],
+                column: spec.kf_col(i),
+            })
             .collect();
         let query = Query::Aggregate(AggregateQuery {
             table: "t".into(),
@@ -39,7 +48,9 @@ fn main() -> hsd_types::Result<()> {
                 [("t".to_string(), *store)].into_iter().collect();
             let est = estimate_query(&model, &ctx, &assignment, &query);
             let run = runner.time_query(db, &query, 3)?.as_secs_f64() * 1e3;
-            errs.entry(*store).or_default().push((est - run).abs() / run);
+            errs.entry(*store)
+                .or_default()
+                .push((est - run).abs() / run);
             line.push(fmt_ms(est));
             line.push(fmt_ms(run));
         }
@@ -47,12 +58,21 @@ fn main() -> hsd_types::Result<()> {
     }
     print_series(
         &format!("Figure 6(b): estimation accuracy vs number of aggregates ({n} tuples)"),
-        &["#aggregates", "RS est (ms)", "RS run (ms)", "CS est (ms)", "CS run (ms)"],
+        &[
+            "#aggregates",
+            "RS est (ms)",
+            "RS run (ms)",
+            "CS est (ms)",
+            "CS run (ms)",
+        ],
         &rows_out,
     );
     for (store, e) in errs {
         let mean = e.iter().sum::<f64>() / e.len() as f64;
-        println!("mean relative estimation error [{store}]: {:.1} %", mean * 100.0);
+        println!(
+            "mean relative estimation error [{store}]: {:.1} %",
+            mean * 100.0
+        );
     }
     Ok(())
 }

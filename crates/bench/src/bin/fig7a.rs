@@ -39,15 +39,15 @@ fn main() -> hsd_types::Result<()> {
         for store in StoreKind::BOTH {
             let mut db = build_db(&spec, store)?;
             if stats_snapshot.is_none() {
-                stats_snapshot =
-                    Some(db.catalog().entry_by_name("t")?.stats.clone());
+                stats_snapshot = Some(db.catalog().entry_by_name("t")?.stats.clone());
             }
             let report = runner.run(&mut db, &workload)?;
             runtimes.insert(store, report.total.as_secs_f64());
         }
         let mut stats = BTreeMap::new();
         stats.insert("t".to_string(), stats_snapshot.expect("captured"));
-        let rec = advisor.recommend_offline(&[schema.clone()], &stats, &workload, false)?;
+        let rec =
+            advisor.recommend_offline(std::slice::from_ref(&schema), &stats, &workload, false)?;
         let recommended = match rec.layout.placement("t") {
             TablePlacement::Single(s) => s,
             other => panic!("table-level run must yield single store, got {other:?}"),
@@ -55,7 +55,11 @@ fn main() -> hsd_types::Result<()> {
         let rs = runtimes[&StoreKind::Row];
         let cs = runtimes[&StoreKind::Column];
         let adv = runtimes[&recommended];
-        let optimal = if rs <= cs { StoreKind::Row } else { StoreKind::Column };
+        let optimal = if rs <= cs {
+            StoreKind::Row
+        } else {
+            StoreKind::Column
+        };
         if recommended == optimal {
             hits += 1;
         }
@@ -72,9 +76,19 @@ fn main() -> hsd_types::Result<()> {
         &format!(
             "Figure 7(a): single-table recommendation quality ({n} tuples, {queries} queries)"
         ),
-        &["OLAP frac", "RS only (s)", "CS only (s)", "advisor (s)", "rec", "optimal"],
+        &[
+            "OLAP frac",
+            "RS only (s)",
+            "CS only (s)",
+            "advisor (s)",
+            "rec",
+            "optimal",
+        ],
         &rows_out,
     );
-    println!("advisor picked the optimal store in {hits}/{} workloads", fractions.len());
+    println!(
+        "advisor picked the optimal store in {hits}/{} workloads",
+        fractions.len()
+    );
     Ok(())
 }

@@ -50,7 +50,11 @@ fn dim_spec() -> TableSpec {
     }
 }
 
-fn build(fact: &TableSpec, dim: &TableSpec, fact_store: StoreKind) -> hsd_types::Result<HybridDatabase> {
+fn build(
+    fact: &TableSpec,
+    dim: &TableSpec,
+    fact_store: StoreKind,
+) -> hsd_types::Result<HybridDatabase> {
     let mut db = HybridDatabase::new();
     db.create_single(fact.schema()?, fact_store)?;
     db.create_single(dim.schema()?, StoreKind::Row)?;
@@ -92,7 +96,10 @@ fn main() -> hsd_types::Result<()> {
             ]
             .into_iter()
             .collect();
-            estimates.insert(store, estimate_workload(&model, &ctx, &assignment, &workload));
+            estimates.insert(
+                store,
+                estimate_workload(&model, &ctx, &assignment, &workload),
+            );
             let report = runner.run(&mut db, &workload)?;
             runtimes.insert(store, report.total.as_secs_f64());
         }
@@ -103,7 +110,11 @@ fn main() -> hsd_types::Result<()> {
         };
         let rs = runtimes[&StoreKind::Row];
         let cs = runtimes[&StoreKind::Column];
-        let optimal = if rs <= cs { StoreKind::Row } else { StoreKind::Column };
+        let optimal = if rs <= cs {
+            StoreKind::Row
+        } else {
+            StoreKind::Column
+        };
         if recommended == optimal {
             hits += 1;
         }
@@ -123,6 +134,9 @@ fn main() -> hsd_types::Result<()> {
         &["OLAP frac", "RS only (s)", "CS only (s)", "advisor (s)", "rec", "optimal"],
         &rows_out,
     );
-    println!("advisor picked the optimal fact store in {hits}/{} workloads", fractions.len());
+    println!(
+        "advisor picked the optimal fact store in {hits}/{} workloads",
+        fractions.len()
+    );
     Ok(())
 }

@@ -74,7 +74,10 @@ fn main() -> hsd_types::Result<()> {
     let schema = Arc::new(spec.schema()?);
     let stats_db = build_db(&spec, StoreKind::Column)?;
     let mut stats = std::collections::BTreeMap::new();
-    stats.insert("t".to_string(), stats_db.catalog().entry_by_name("t")?.stats.clone());
+    stats.insert(
+        "t".to_string(),
+        stats_db.catalog().entry_by_name("t")?.stats.clone(),
+    );
     let advisor = StorageAdvisor::new(model);
     let rec = advisor.recommend_offline(&[schema], &stats, &workload, true)?;
     match rec.layout.placement("t") {

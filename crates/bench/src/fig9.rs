@@ -22,7 +22,9 @@ pub fn run_setting(title: &str, spec: &TableSpec) -> Result<()> {
     let fractions = [0.0, 0.00625, 0.0125, 0.01875, 0.025];
     let vertical = TablePlacement::Partitioned(PartitionSpec {
         horizontal: None,
-        vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+        vertical: Some(VerticalSpec {
+            row_cols: spec.st_cols(),
+        }),
     });
     let mut rows_out = Vec::new();
     for frac in fractions {
@@ -37,8 +39,18 @@ pub fn run_setting(title: &str, spec: &TableSpec) -> Result<()> {
             ..Default::default()
         };
         let workload = WorkloadGenerator::single_table(spec, &cfg);
-        let rs = run_once(spec, &TablePlacement::Single(StoreKind::Row), &workload, &runner)?;
-        let cs = run_once(spec, &TablePlacement::Single(StoreKind::Column), &workload, &runner)?;
+        let rs = run_once(
+            spec,
+            &TablePlacement::Single(StoreKind::Row),
+            &workload,
+            &runner,
+        )?;
+        let cs = run_once(
+            spec,
+            &TablePlacement::Single(StoreKind::Column),
+            &workload,
+            &runner,
+        )?;
         let vp = run_once(spec, &vertical, &workload, &runner)?;
         rows_out.push(vec![
             format!("{:.3}%", frac * 100.0),

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod fig9;
+pub mod scan_workload;
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -69,7 +70,10 @@ pub fn calibrated_model() -> Result<CostModel> {
         }
     }
     eprintln!("[calibration] calibrating cost model at base_rows={base_rows} ...");
-    let cfg = CalibrationConfig { base_rows, ..Default::default() };
+    let cfg = CalibrationConfig {
+        base_rows,
+        ..Default::default()
+    };
     let model = calibrate(&cfg)?;
     let _ = std::fs::create_dir_all(cache.parent().expect("cache has parent"));
     let _ = std::fs::write(&cache, model.to_json());
@@ -78,7 +82,12 @@ pub fn calibrated_model() -> Result<CostModel> {
 
 /// Estimation context straight from a live database's catalog.
 pub fn ctx_of(db: &HybridDatabase) -> hsd_core::EstimationCtx {
-    let schemas: Vec<_> = db.catalog().entries().iter().map(|e| e.schema.clone()).collect();
+    let schemas: Vec<_> = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| e.schema.clone())
+        .collect();
     let stats = db
         .catalog()
         .entries()
@@ -108,12 +117,18 @@ pub fn print_series(title: &str, headers: &[&str], rows: &[Vec<String>]) {
                 .unwrap_or(0)
         })
         .collect();
-    let header_line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
     let _ = writeln!(out, "{}", header_line.join("  "));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
         let _ = writeln!(out, "{}", line.join("  "));
     }
 }

@@ -62,7 +62,13 @@ impl Catalog {
         let stats = TableStats::empty(schema.arity());
         self.entries.insert(
             id,
-            TableEntry { id, schema, stats, placement, indexed_columns: Vec::new() },
+            TableEntry {
+                id,
+                schema,
+                stats,
+                placement,
+                indexed_columns: Vec::new(),
+            },
         );
         Ok(id)
     }
@@ -162,7 +168,9 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut c = Catalog::new();
-        let id = c.register(schema("a"), TablePlacement::Single(StoreKind::Row)).unwrap();
+        let id = c
+            .register(schema("a"), TablePlacement::Single(StoreKind::Row))
+            .unwrap();
         assert_eq!(c.id_of("a").unwrap(), id);
         assert_eq!(c.entry(id).unwrap().schema.name, "a");
         assert_eq!(c.len(), 1);
@@ -172,26 +180,37 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut c = Catalog::new();
-        c.register(schema("a"), TablePlacement::Single(StoreKind::Row)).unwrap();
-        assert!(c.register(schema("a"), TablePlacement::Single(StoreKind::Row)).is_err());
+        c.register(schema("a"), TablePlacement::Single(StoreKind::Row))
+            .unwrap();
+        assert!(c
+            .register(schema("a"), TablePlacement::Single(StoreKind::Row))
+            .is_err());
     }
 
     #[test]
     fn placement_round_trip() {
         let mut c = Catalog::new();
-        let id = c.register(schema("a"), TablePlacement::Single(StoreKind::Row)).unwrap();
+        let id = c
+            .register(schema("a"), TablePlacement::Single(StoreKind::Row))
+            .unwrap();
         assert_eq!(c.single_store_of("a").unwrap(), StoreKind::Row);
-        c.set_placement(id, TablePlacement::Single(StoreKind::Column)).unwrap();
+        c.set_placement(id, TablePlacement::Single(StoreKind::Column))
+            .unwrap();
         assert_eq!(c.single_store_of("a").unwrap(), StoreKind::Column);
         let layout = c.current_layout();
-        assert_eq!(layout.placement("a"), TablePlacement::Single(StoreKind::Column));
+        assert_eq!(
+            layout.placement("a"),
+            TablePlacement::Single(StoreKind::Column)
+        );
     }
 
     #[test]
     fn entries_sorted_by_name() {
         let mut c = Catalog::new();
-        c.register(schema("zeta"), TablePlacement::Single(StoreKind::Row)).unwrap();
-        c.register(schema("alpha"), TablePlacement::Single(StoreKind::Row)).unwrap();
+        c.register(schema("zeta"), TablePlacement::Single(StoreKind::Row))
+            .unwrap();
+        c.register(schema("alpha"), TablePlacement::Single(StoreKind::Row))
+            .unwrap();
         let names: Vec<&str> = c.entries().iter().map(|e| e.schema.name.as_str()).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
     }
@@ -199,7 +218,9 @@ mod tests {
     #[test]
     fn stats_update() {
         let mut c = Catalog::new();
-        let id = c.register(schema("a"), TablePlacement::Single(StoreKind::Row)).unwrap();
+        let id = c
+            .register(schema("a"), TablePlacement::Single(StoreKind::Row))
+            .unwrap();
         let mut stats = TableStats::empty(1);
         stats.row_count = 42;
         c.set_stats(id, stats.clone()).unwrap();

@@ -9,16 +9,14 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use hsd_storage::StoreKind;
-use hsd_types::{ColumnIdx, Value};
+use hsd_types::{ColumnIdx, Json, JsonResult, Value};
 
 /// Horizontal split: rows with `split_column >= split_value` form the *hot*
 /// partition (kept in the row store for fast inserts and whole-tuple
 /// updates); the remaining *historic* rows form the cold partition.
 /// Inserts are routed to the hot partition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HorizontalSpec {
     /// Column the split predicate applies to.
     pub split_column: ColumnIdx,
@@ -31,7 +29,7 @@ pub struct HorizontalSpec {
 /// column lives in a column-store fragment, and both fragments carry the
 /// primary key (the paper: "the partitions are not disjoint but all contain
 /// the primary key attributes").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerticalSpec {
     /// Non-key columns placed in the row-store fragment (the "OLTP
     /// attributes").
@@ -39,7 +37,7 @@ pub struct VerticalSpec {
 }
 
 /// Partitioning of one table.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PartitionSpec {
     /// Optional horizontal hot/cold split.
     pub horizontal: Option<HorizontalSpec>,
@@ -56,7 +54,7 @@ impl PartitionSpec {
 }
 
 /// Where one table's data lives.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TablePlacement {
     /// The whole table resides in one store.
     Single(StoreKind),
@@ -94,7 +92,7 @@ impl TablePlacement {
 ///
 /// Keyed by name (not id) so layouts can be serialized, diffed, and applied
 /// to a freshly loaded database.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StorageLayout {
     /// Per-table placements.
     pub placements: BTreeMap<String, TablePlacement>,
@@ -130,6 +128,26 @@ impl StorageLayout {
             .unwrap_or(TablePlacement::Single(StoreKind::Row))
     }
 
+    /// Serialize to JSON (layouts are persisted and diffed as artifacts).
+    pub fn to_json(&self) -> String {
+        let placements: BTreeMap<String, Json> = self
+            .placements
+            .iter()
+            .map(|(name, p)| (name.clone(), placement_to_json(p)))
+            .collect();
+        Json::obj([("placements", Json::Obj(placements))]).to_string_pretty()
+    }
+
+    /// Deserialize a layout written by [`StorageLayout::to_json`].
+    pub fn from_json(s: &str) -> JsonResult<Self> {
+        let root = Json::parse(s)?;
+        let mut placements = BTreeMap::new();
+        for (name, p) in root.get("placements")?.as_obj()? {
+            placements.insert(name.clone(), placement_from_json(p)?);
+        }
+        Ok(StorageLayout { placements })
+    }
+
     /// Tables whose placement differs from `other` — the "adaptation
     /// recommendations" of the online mode.
     pub fn diff<'a>(&'a self, other: &'a StorageLayout) -> Vec<&'a str> {
@@ -150,6 +168,78 @@ impl StorageLayout {
     }
 }
 
+fn store_to_json(s: StoreKind) -> Json {
+    Json::Str(match s {
+        StoreKind::Row => "Row".to_string(),
+        StoreKind::Column => "Column".to_string(),
+    })
+}
+
+fn store_from_json(j: &Json) -> JsonResult<StoreKind> {
+    match j.as_str()? {
+        "Row" => Ok(StoreKind::Row),
+        "Column" => Ok(StoreKind::Column),
+        other => Err(hsd_types::JsonError(format!(
+            "unknown store kind `{other}`"
+        ))),
+    }
+}
+
+fn placement_to_json(p: &TablePlacement) -> Json {
+    match p {
+        TablePlacement::Single(s) => Json::obj([("Single", store_to_json(*s))]),
+        TablePlacement::Partitioned(spec) => {
+            let horizontal = match &spec.horizontal {
+                None => Json::Null,
+                Some(h) => Json::obj([
+                    ("split_column", Json::Int(h.split_column as i64)),
+                    ("split_value", Json::from_value(&h.split_value)),
+                ]),
+            };
+            let vertical = match &spec.vertical {
+                None => Json::Null,
+                Some(v) => Json::obj([(
+                    "row_cols",
+                    Json::Arr(v.row_cols.iter().map(|&c| Json::Int(c as i64)).collect()),
+                )]),
+            };
+            Json::obj([(
+                "Partitioned",
+                Json::obj([("horizontal", horizontal), ("vertical", vertical)]),
+            )])
+        }
+    }
+}
+
+fn placement_from_json(j: &Json) -> JsonResult<TablePlacement> {
+    if let Some(s) = j.get_opt("Single") {
+        return Ok(TablePlacement::Single(store_from_json(s)?));
+    }
+    let spec = j.get("Partitioned")?;
+    let horizontal = match spec.get_opt("horizontal") {
+        None => None,
+        Some(h) => Some(HorizontalSpec {
+            split_column: h.get("split_column")?.as_usize()?,
+            split_value: h.get("split_value")?.to_value()?,
+        }),
+    };
+    let vertical = match spec.get_opt("vertical") {
+        None => None,
+        Some(v) => Some(VerticalSpec {
+            row_cols: v
+                .get("row_cols")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<JsonResult<Vec<_>>>()?,
+        }),
+    };
+    Ok(TablePlacement::Partitioned(PartitionSpec {
+        horizontal,
+        vertical,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,7 +257,10 @@ mod tests {
     fn trivial_spec_detection() {
         assert!(PartitionSpec::default().is_trivial());
         let spec = PartitionSpec {
-            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::Int(5) }),
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::Int(5),
+            }),
             vertical: None,
         };
         assert!(!spec.is_trivial());
@@ -178,8 +271,13 @@ mod tests {
         let single = TablePlacement::Single(StoreKind::Row);
         assert_eq!(single.describe(), "single (RS)");
         let part = TablePlacement::Partitioned(PartitionSpec {
-            horizontal: Some(HorizontalSpec { split_column: 2, split_value: Value::Int(9) }),
-            vertical: Some(VerticalSpec { row_cols: vec![1, 3] }),
+            horizontal: Some(HorizontalSpec {
+                split_column: 2,
+                split_value: Value::Int(9),
+            }),
+            vertical: Some(VerticalSpec {
+                row_cols: vec![1, 3],
+            }),
         });
         let d = part.describe();
         assert!(d.contains("col#2 >= 9"), "{d}");
@@ -203,12 +301,23 @@ mod tests {
         l.set(
             "orders",
             TablePlacement::Partitioned(PartitionSpec {
-                horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::Int(100) }),
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::Int(100),
+                }),
                 vertical: Some(VerticalSpec { row_cols: vec![2] }),
             }),
         );
-        let json = serde_json::to_string(&l).unwrap();
-        let back: StorageLayout = serde_json::from_str(&json).unwrap();
+        l.set("small", TablePlacement::Single(StoreKind::Column));
+        l.set(
+            "trivial",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: None,
+                vertical: None,
+            }),
+        );
+        let json = l.to_json();
+        let back = StorageLayout::from_json(&json).unwrap();
         assert_eq!(back, l);
     }
 }

@@ -1,12 +1,10 @@
 //! Basic table statistics ("data characteristics" in the paper).
 
-use serde::{Deserialize, Serialize};
-
 use hsd_storage::{RowSel, Table};
 use hsd_types::Value;
 
 /// Per-column statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     /// Number of distinct values.
     pub distinct: usize,
@@ -22,7 +20,7 @@ pub struct ColumnStats {
 }
 
 /// Basic statistics for one table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
     /// Number of rows at collection time.
     pub row_count: usize,
@@ -36,7 +34,12 @@ impl TableStats {
         TableStats {
             row_count: 0,
             columns: vec![
-                ColumnStats { distinct: 0, min: None, max: None, compression_rate: 0.0 };
+                ColumnStats {
+                    distinct: 0,
+                    min: None,
+                    max: None,
+                    compression_rate: 0.0
+                };
                 arity
             ],
         }
@@ -78,9 +81,17 @@ impl TableStats {
             } else {
                 (1.0 - distinct as f64 / rows as f64).max(0.0)
             };
-            columns.push(ColumnStats { distinct, min, max, compression_rate });
+            columns.push(ColumnStats {
+                distinct,
+                min,
+                max,
+                compression_rate,
+            });
         }
-        TableStats { row_count: rows, columns }
+        TableStats {
+            row_count: rows,
+            columns,
+        }
     }
 
     /// Mean compression rate over all columns — the table-level value the
@@ -109,7 +120,11 @@ impl TableStats {
             (Some(a), Some(b)) if b > a => (a, b),
             // Degenerate or non-numeric domain: fall back to equality logic.
             _ => {
-                return if stats.distinct > 0 { 1.0 / stats.distinct as f64 } else { 1.0 };
+                return if stats.distinct > 0 {
+                    1.0 / stats.distinct as f64
+                } else {
+                    1.0
+                };
             }
         };
         let lo_f = lo.as_numeric_key().unwrap_or(min_f).max(min_f);
@@ -119,7 +134,11 @@ impl TableStats {
         }
         if lo == hi {
             // Point predicate: 1/distinct is sharper than width-based.
-            return if stats.distinct > 0 { 1.0 / stats.distinct as f64 } else { 0.0 };
+            return if stats.distinct > 0 {
+                1.0 / stats.distinct as f64
+            } else {
+                0.0
+            };
         }
         ((hi_f - lo_f) / (max_f - min_f)).clamp(0.0, 1.0)
     }
@@ -211,6 +230,9 @@ mod tests {
     #[test]
     fn selectivity_of_unknown_column_is_one() {
         let stats = TableStats::empty(1);
-        assert_eq!(stats.estimate_range_selectivity(9, &Value::Int(0), &Value::Int(1)), 1.0);
+        assert_eq!(
+            stats.estimate_range_selectivity(9, &Value::Int(0), &Value::Int(1)),
+            1.0
+        );
     }
 }

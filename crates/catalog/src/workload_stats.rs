@@ -9,8 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use hsd_types::{ColumnIdx, Value};
 
 /// Accumulated envelope of predicate ranges observed on one column.
@@ -18,7 +16,7 @@ use hsd_types::{ColumnIdx, Value};
 /// The envelope widens to cover every observed range; together with basic
 /// table statistics it lets the advisor estimate *which* tuples OLTP
 /// activity concentrates on (e.g. "updates touch ids ≥ 0.9·n").
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RangeEnvelope {
     /// Smallest observed lower bound (None until first observation).
     pub lo: Option<Value>,
@@ -46,7 +44,7 @@ impl RangeEnvelope {
 }
 
 /// Per-column activity counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ColumnActivity {
     /// Times the column appeared as an aggregate input.
     pub aggregates: u64,
@@ -75,7 +73,7 @@ impl ColumnActivity {
 }
 
 /// Per-table activity counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableActivity {
     /// Number of INSERT statements (not rows) against the table.
     pub inserts: u64,
@@ -99,7 +97,10 @@ pub struct TableActivity {
 impl TableActivity {
     /// Fresh counters for an `arity`-column table.
     pub fn new(arity: usize) -> Self {
-        TableActivity { columns: vec![ColumnActivity::default(); arity], ..Default::default() }
+        TableActivity {
+            columns: vec![ColumnActivity::default(); arity],
+            ..Default::default()
+        }
     }
 
     /// Total statements recorded against this table.
@@ -120,7 +121,7 @@ impl TableActivity {
 }
 
 /// Extended workload statistics across all tables, keyed by table name.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExtendedStats {
     /// Per-table activity.
     pub tables: BTreeMap<String, TableActivity>,
@@ -200,10 +201,12 @@ mod tests {
 
     #[test]
     fn activity_scores() {
-        let mut a = ColumnActivity::default();
-        a.aggregates = 5;
-        a.group_bys = 2;
-        a.update_sets = 1;
+        let a = ColumnActivity {
+            aggregates: 5,
+            group_bys: 2,
+            update_sets: 1,
+            ..Default::default()
+        };
         assert_eq!(a.olap_score(), 7);
         assert_eq!(a.oltp_score(), 1);
     }

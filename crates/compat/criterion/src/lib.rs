@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — `Criterion`,
+//! `benchmark_group` with `measurement_time` / `sample_size`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple but
+//! honest timing loop: per-sample wall-clock means with warmup, reporting
+//! mean / best / worst over the sample set.
+//!
+//! Statistical machinery (outlier classification, regression against saved
+//! baselines, HTML reports) is intentionally absent; results print to stdout
+//! in a stable, grep-friendly `bench: <group>/<id> mean=..` format.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply CLI configuration (accepted for API compatibility; the only
+    /// recognized filter is a substring argument matching group names).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Target time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample: Duration::ZERO,
+            iters: 0,
+        };
+        // Warmup: one short untimed pass so lazy setup work (page faults,
+        // lazily grown hash maps) does not pollute the first sample.
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        for _ in 0..self.sample_size {
+            let started = Instant::now();
+            let mut sample_time = Duration::ZERO;
+            let mut sample_iters = 0u64;
+            while started.elapsed() < per_sample {
+                f(&mut b);
+                sample_time += b.sample;
+                sample_iters += b.iters;
+            }
+            if sample_iters > 0 {
+                samples.push(sample_time.as_secs_f64() / sample_iters as f64);
+            }
+        }
+        report(&self.name, &id.0, &samples);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        eprintln!("bench: {group}/{id} produced no samples");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = samples.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "bench: {group}/{id} mean={} best={} worst={} samples={}",
+        fmt_time(mean),
+        fmt_time(best),
+        fmt_time(worst),
+        samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A small fixed batch per call; the group loop accumulates batches
+        // until the per-sample budget is spent.
+        const BATCH: u64 = 4;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.sample = start.elapsed();
+        self.iters = BATCH;
+    }
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro (with
+//! optional `#![proptest_config(...)]`), range / tuple / collection / mapped
+//! strategies, [`prop_oneof!`], `any::<T>()`, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is **no shrinking**: failures report the seed
+//! and case index so they can be replayed deterministically (all seeds are
+//! fixed, so a plain `cargo test` rerun reproduces any failure).
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Failure raised by `prop_assert*` inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration (subset: number of cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Deterministic per-case RNG handed to strategies.
+#[derive(Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one (test, case) pair. Deterministic across runs.
+    pub fn for_case(test_seed: u64, case: u32) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            test_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform draw from a range.
+    pub fn range_u64(&mut self, lo: u64, hi_excl: u64) -> u64 {
+        debug_assert!(lo < hi_excl);
+        lo + self.0.gen_range(0..hi_excl - lo)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// One random 64-bit word.
+    pub fn word(&mut self) -> u64 {
+        self.0.gen::<u64>()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.word() & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.word() as u32
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.word() as i32
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.word() as u8
+    }
+}
+
+/// Strategy over `T`'s full domain.
+pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(std::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors (mirrors `proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The common import set.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x in 0i32..10, v in prop::collection::vec(0u32..5, 0..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // Stable per-test seed derived from the test's name.
+                let test_seed: u64 = {
+                    let name = stringify!($name);
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                };
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(test_seed, case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property body (early-returns a [`TestCaseError`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_vecs(x in 3i32..9, v in prop::collection::vec(0u32..5, 0..10)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn tuples_and_maps(
+            (a, b) in (0u32..10, -1.0f64..1.0),
+            flag in any::<bool>(),
+            y in (0i64..5).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            let _unused: bool = flag;
+            prop_assert_eq!(y % 2, 0);
+        }
+
+        #[test]
+        fn oneof_mixes(v in prop_oneof![0i32..10, 100i32..110]) {
+            prop_assert!((0..10).contains(&v) || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = crate::strategy::vec(0u32..1000, 5..20);
+        let mut r1 = crate::TestRng::for_case(1, 2);
+        let mut r2 = crate::TestRng::for_case(1, 2);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

@@ -93,8 +93,12 @@ impl StorageAdvisor {
         window: &Workload,
         enable_partitioning: bool,
     ) -> Result<Recommendation> {
-        let schemas: Vec<Arc<TableSchema>> =
-            db.catalog().entries().iter().map(|e| e.schema.clone()).collect();
+        let schemas: Vec<Arc<TableSchema>> = db
+            .catalog()
+            .entries()
+            .iter()
+            .map(|e| e.schema.clone())
+            .collect();
         let stats: BTreeMap<String, TableStats> = db
             .catalog()
             .entries()
@@ -123,10 +127,14 @@ impl StorageAdvisor {
         let assignment = search.solve(self.exact_search_limit);
         // --- baselines ---------------------------------------------------
         let names: Vec<&str> = ctx.tables.keys().map(String::as_str).collect();
-        let rs_only: BTreeMap<String, StoreKind> =
-            names.iter().map(|n| (n.to_string(), StoreKind::Row)).collect();
-        let cs_only: BTreeMap<String, StoreKind> =
-            names.iter().map(|n| (n.to_string(), StoreKind::Column)).collect();
+        let rs_only: BTreeMap<String, StoreKind> = names
+            .iter()
+            .map(|n| (n.to_string(), StoreKind::Row))
+            .collect();
+        let cs_only: BTreeMap<String, StoreKind> = names
+            .iter()
+            .map(|n| (n.to_string(), StoreKind::Column))
+            .collect();
         let rs_only_ms = estimate_workload(&self.model, ctx, &rs_only, workload);
         let cs_only_ms = estimate_workload(&self.model, ctx, &cs_only, workload);
         // --- partitioning ------------------------------------------------
@@ -137,8 +145,7 @@ impl StorageAdvisor {
             let store = assignment.get(&name).copied().unwrap_or(StoreKind::Row);
             let mut placement = TablePlacement::Single(store);
             if enable_partitioning {
-                if let (Some(tctx), Some(act)) =
-                    (ctx.tables.get(&name), activity.tables.get(&name))
+                if let (Some(tctx), Some(act)) = (ctx.tables.get(&name), activity.tables.get(&name))
                 {
                     if let Some(spec) =
                         recommend_partition(schema, &tctx.stats, act, &self.partition_cfg)
@@ -149,11 +156,23 @@ impl StorageAdvisor {
             }
             let (cost_row_ms, cost_column_ms) = search.per_table_costs(&name);
             layout.set(name.clone(), placement.clone());
-            tables.push(TableRecommendation { table: name, cost_row_ms, cost_column_ms, placement });
+            tables.push(TableRecommendation {
+                table: name,
+                cost_row_ms,
+                cost_column_ms,
+                placement,
+            });
         }
         let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload);
         let statements = migration_statements(schemas, &layout);
-        Ok(Recommendation { layout, estimated_ms, rs_only_ms, cs_only_ms, tables, statements })
+        Ok(Recommendation {
+            layout,
+            estimated_ms,
+            rs_only_ms,
+            cs_only_ms,
+            tables,
+            statements,
+        })
     }
 }
 
@@ -216,17 +235,21 @@ struct TableLevelSearch {
 impl TableLevelSearch {
     fn new(model: &CostModel, ctx: &EstimationCtx, workload: &Workload) -> Self {
         let tables: Vec<String> = ctx.tables.keys().cloned().collect();
-        let index: BTreeMap<&str, usize> =
-            tables.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let index: BTreeMap<&str, usize> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
         let mut single = vec![[0.0f64; 2]; tables.len()];
         let mut join_map: BTreeMap<(usize, usize), [[f64; 2]; 2]> = BTreeMap::new();
         for q in &workload.queries {
             match q {
                 Query::Aggregate(a) if a.join.is_some() => {
                     let join = a.join.as_ref().expect("checked");
-                    let (Some(&f), Some(&d)) =
-                        (index.get(a.table.as_str()), index.get(join.dim_table.as_str()))
-                    else {
+                    let (Some(&f), Some(&d)) = (
+                        index.get(a.table.as_str()),
+                        index.get(join.dim_table.as_str()),
+                    ) else {
                         continue;
                     };
                     let entry = join_map.entry((f, d)).or_insert([[0.0; 2]; 2]);
@@ -251,7 +274,11 @@ impl TableLevelSearch {
             }
         }
         let joins = join_map.into_iter().map(|((f, d), c)| (f, d, c)).collect();
-        TableLevelSearch { tables, single, joins }
+        TableLevelSearch {
+            tables,
+            single,
+            joins,
+        }
     }
 
     fn cost_of(&self, stores: &[usize]) -> f64 {
@@ -271,7 +298,13 @@ impl TableLevelSearch {
     fn solve(&self, exact_limit: usize) -> BTreeMap<String, StoreKind> {
         let n = self.tables.len();
         let mut best: Vec<usize> = (0..n)
-            .map(|t| if self.single[t][0] <= self.single[t][1] { 0 } else { 1 })
+            .map(|t| {
+                if self.single[t][0] <= self.single[t][1] {
+                    0
+                } else {
+                    1
+                }
+            })
             .collect();
         if n == 0 {
             return BTreeMap::new();
@@ -312,7 +345,14 @@ impl TableLevelSearch {
             .iter()
             .zip(&best)
             .map(|(name, &s)| {
-                (name.clone(), if s == 0 { StoreKind::Row } else { StoreKind::Column })
+                (
+                    name.clone(),
+                    if s == 0 {
+                        StoreKind::Row
+                    } else {
+                        StoreKind::Column
+                    },
+                )
             })
             .collect()
     }
@@ -358,8 +398,11 @@ fn migration_statements(schemas: &[Arc<TableSchema>], layout: &StorageLayout) ->
                     ));
                 }
                 if let Some(v) = &spec.vertical {
-                    let cols: Vec<&str> =
-                        v.row_cols.iter().map(|&c| schema.columns[c].name.as_str()).collect();
+                    let cols: Vec<&str> = v
+                        .row_cols
+                        .iter()
+                        .map(|&c| schema.columns[c].name.as_str())
+                        .collect();
                     out.push(format!(
                         "ALTER TABLE {name} PARTITION VERTICALLY ({}) -> ROW STORE \
                          (REMAINING ATTRIBUTES -> COLUMN STORE, PRIMARY KEY IN BOTH);",
@@ -377,15 +420,23 @@ mod tests {
     use super::*;
     use crate::cost::AdjustmentFn;
     use hsd_catalog::ColumnStats;
-    use hsd_query::{AggFunc, AggregateQuery, InsertQuery, MixedWorkloadConfig, TableSpec, WorkloadGenerator};
+    use hsd_query::{
+        AggFunc, AggregateQuery, InsertQuery, MixedWorkloadConfig, TableSpec, WorkloadGenerator,
+    };
     use hsd_types::{ColumnDef, ColumnType, Value};
 
     /// A hand-built model with the canonical asymmetries: CS 10× faster at
     /// aggregation, RS 5× faster at OLTP.
     fn model() -> CostModel {
         let mut m = CostModel::neutral();
-        m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
-        m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+        m.row.f_rows = AdjustmentFn::Linear {
+            slope: 1e-3,
+            intercept: 0.05,
+        };
+        m.column.f_rows = AdjustmentFn::Linear {
+            slope: 1e-4,
+            intercept: 0.05,
+        };
         m.row.ins_row = AdjustmentFn::Constant(0.002);
         m.column.ins_row = AdjustmentFn::Constant(0.01);
         m.row.sel_point_ms = 0.002;
@@ -435,8 +486,13 @@ mod tests {
     fn pure_oltp_prefers_row_store() {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
-        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.0), false).unwrap();
-        assert_eq!(rec.layout.placement("w"), TablePlacement::Single(StoreKind::Row));
+        let rec = advisor
+            .recommend_offline(&schemas, &stats, &workload(0.0), false)
+            .unwrap();
+        assert_eq!(
+            rec.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Row)
+        );
         assert!(rec.rs_only_ms <= rec.cs_only_ms);
         assert!(rec.estimated_ms <= rec.rs_only_ms + 1e-9);
     }
@@ -445,8 +501,13 @@ mod tests {
     fn olap_heavy_prefers_column_store() {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
-        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.3), false).unwrap();
-        assert_eq!(rec.layout.placement("w"), TablePlacement::Single(StoreKind::Column));
+        let rec = advisor
+            .recommend_offline(&schemas, &stats, &workload(0.3), false)
+            .unwrap();
+        assert_eq!(
+            rec.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Column)
+        );
         assert!(rec.cs_only_ms < rec.rs_only_ms);
     }
 
@@ -455,7 +516,9 @@ mod tests {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
         for frac in [0.0, 0.01, 0.05, 0.2] {
-            let rec = advisor.recommend_offline(&schemas, &stats, &workload(frac), false).unwrap();
+            let rec = advisor
+                .recommend_offline(&schemas, &stats, &workload(frac), false)
+                .unwrap();
             let best = rec.rs_only_ms.min(rec.cs_only_ms);
             assert!(
                 rec.estimated_ms <= best + 1e-9,
@@ -470,7 +533,9 @@ mod tests {
     fn partitioning_recommended_for_mixed_workload() {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
-        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.05), true).unwrap();
+        let rec = advisor
+            .recommend_offline(&schemas, &stats, &workload(0.05), true)
+            .unwrap();
         match rec.layout.placement("w") {
             TablePlacement::Partitioned(spec) => {
                 assert!(spec.horizontal.is_some() || spec.vertical.is_some());
@@ -525,18 +590,29 @@ mod tests {
             group_by_dim: Some(1),
         });
         let w = Workload::from_queries(vec![Query::Aggregate(q); 10]);
-        let rec = advisor.recommend_offline(&[fact, dim], &stats, &w, false).unwrap();
+        let rec = advisor
+            .recommend_offline(&[fact, dim], &stats, &w, false)
+            .unwrap();
         let f = rec.layout.placement("fact");
         let d = rec.layout.placement("dim");
-        assert_eq!(f, d, "punitive cross-store joins must co-locate: {f:?} vs {d:?}");
-        assert_eq!(f, TablePlacement::Single(StoreKind::Column), "OLAP-only workload");
+        assert_eq!(
+            f, d,
+            "punitive cross-store joins must co-locate: {f:?} vs {d:?}"
+        );
+        assert_eq!(
+            f,
+            TablePlacement::Single(StoreKind::Column),
+            "OLAP-only workload"
+        );
     }
 
     #[test]
     fn statements_cover_all_tables() {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
-        let rec = advisor.recommend_offline(&schemas, &stats, &workload(0.02), false).unwrap();
+        let rec = advisor
+            .recommend_offline(&schemas, &stats, &workload(0.02), false)
+            .unwrap();
         assert_eq!(rec.statements.len(), 1);
         assert!(rec.statements[0].contains("ALTER TABLE w MOVE TO"));
     }
@@ -545,7 +621,10 @@ mod tests {
     fn analyze_workload_counts_statically() {
         let (schemas, _) = schema_stats();
         let w = Workload::from_queries(vec![
-            Query::Insert(InsertQuery { table: "w".into(), rows: vec![] }),
+            Query::Insert(InsertQuery {
+                table: "w".into(),
+                rows: vec![],
+            }),
             Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, 1)),
         ]);
         let stats = analyze_workload(&schemas, &w).unwrap();
@@ -559,10 +638,14 @@ mod tests {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
         let w = workload(0.05);
-        let exact = advisor.recommend_offline(&schemas, &stats, &w, false).unwrap();
+        let exact = advisor
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
         let mut greedy_advisor = StorageAdvisor::new(model());
         greedy_advisor.exact_search_limit = 0; // force greedy
-        let greedy = greedy_advisor.recommend_offline(&schemas, &stats, &w, false).unwrap();
+        let greedy = greedy_advisor
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
         assert_eq!(exact.layout, greedy.layout);
     }
 }

@@ -71,7 +71,8 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Result<CostModel> {
     calibrate_union_overhead(&mut model, cfg)?;
     model.meta = CalibrationMeta {
         base_rows: cfg.base_rows,
-        reference_compression: reference_spec("x", cfg.base_rows, cfg).kf_compression(cfg.base_rows),
+        reference_compression: reference_spec("x", cfg.base_rows, cfg)
+            .kf_compression(cfg.base_rows),
         table_arity: reference_spec("x", cfg.base_rows, cfg).arity(),
         repeats: cfg.repeats,
     };
@@ -176,8 +177,11 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     // BigInt on the id column. Types with no natural calibration column
     // (Decimal ≈ Integer, Varchar/Date/Boolean not aggregated) fall back to
     // the closest measured factor.
-    let int_ms =
-        time_ms(&mut db, &sum_query(&ref_table, spec.flt_col(0)), cfg.repeats)? / ref_agg_ms;
+    let int_ms = time_ms(
+        &mut db,
+        &sum_query(&ref_table, spec.flt_col(0)),
+        cfg.repeats,
+    )? / ref_agg_ms;
     let bigint_ms = time_ms(&mut db, &sum_query(&ref_table, 0), cfg.repeats)? / ref_agg_ms;
     m.set_c_type(ColumnType::Double, 1.0);
     m.set_c_type(ColumnType::Integer, int_ms.max(1e-3));
@@ -191,7 +195,10 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     for g in 0..3.min(spec.group_attrs) {
         let grouped = Query::Aggregate(AggregateQuery {
             table: ref_table.clone(),
-            aggregates: vec![Aggregate { func: AggFunc::Sum, column: spec.kf_col(0) }],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Sum,
+                column: spec.kf_col(0),
+            }],
             group_by: Some(spec.grp_col(g)),
             filter: vec![],
             join: None,
@@ -207,7 +214,10 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     // reference table's compression rate.
     let ref_compression = spec.kf_compression(ref_rows);
     let mut comp_points = vec![(ref_compression, 1.0)];
-    for (j, distinct) in [16u32, 1024, (cfg.base_rows as u32).max(32) * 4].iter().enumerate() {
+    for (j, distinct) in [16u32, 1024, (cfg.base_rows as u32).max(32) * 4]
+        .iter()
+        .enumerate()
+    {
         let name = format!("calib_comp_{j}");
         let mut cspec = reference_spec(&name, ref_rows, cfg);
         cspec.kf_distinct = *distinct;
@@ -277,9 +287,13 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     for (t, (name, rows)) in sweep_tables.iter().enumerate() {
         let tspec = reference_spec(name, *rows, cfg);
         let fresh_base = (rows * 10 + t) as u64;
-        let rows_payload: Vec<Vec<Value>> =
-            (0..batch).map(|i| tspec.row(fresh_base + i as u64)).collect();
-        let q = Query::Insert(InsertQuery { table: name.clone(), rows: rows_payload });
+        let rows_payload: Vec<Vec<Value>> = (0..batch)
+            .map(|i| tspec.row(fresh_base + i as u64))
+            .collect();
+        let q = Query::Insert(InsertQuery {
+            table: name.clone(),
+            rows: rows_payload,
+        });
         let ms = time_ms(&mut db, &q, 1)?;
         ins_samples.push((*rows as f64, ms / batch as f64));
     }
@@ -317,8 +331,9 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     let mut aff_points = vec![(1.0, 1.0)];
     for k in [2usize, 4, 8] {
         let k = k.min(arity - 1);
-        let queries: Vec<Query> =
-            (0..upd_batch / 2).map(|i| fresh_update(i.wrapping_mul(3) + k, k)).collect();
+        let queries: Vec<Query> = (0..upd_batch / 2)
+            .map(|i| fresh_update(i.wrapping_mul(3) + k, k))
+            .collect();
         let ms = time_batch_mean_ms(&mut db, &queries)?;
         let upd_part = (ms - m.sel_point_ms).max(ms * 0.1);
         aff_points.push((k as f64, (upd_part / m.upd_row_ms).max(0.1)));
@@ -342,7 +357,11 @@ fn fit_range_scan(
         let q = Query::Select(SelectQuery {
             table: table.to_string(),
             columns: Some(vec![0]),
-            filter: vec![ColRange::between(spec.flt_col(0), Value::Int(0), Value::Int(width - 1))],
+            filter: vec![ColRange::between(
+                spec.flt_col(0),
+                Value::Int(0),
+                Value::Int(width - 1),
+            )],
         });
         let ms = time_ms(db, &q, cfg.repeats)?;
         let matched = rows as f64 * (width as f64 / 10_000.0);
@@ -405,7 +424,10 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
             // Reference: grouped single-table aggregation on the fact side.
             let solo = Query::Aggregate(AggregateQuery {
                 table: fname.clone(),
-                aggregates: vec![Aggregate { func: AggFunc::Sum, column: fspec.kf_col(0) }],
+                aggregates: vec![Aggregate {
+                    func: AggFunc::Sum,
+                    column: fspec.kf_col(0),
+                }],
                 group_by: Some(fspec.grp_col(0)),
                 filter: vec![],
                 join: None,
@@ -413,7 +435,10 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
             let solo_ms = time_ms(&mut db, &solo, cfg.repeats)?;
             let joined = Query::Aggregate(AggregateQuery {
                 table: fname.clone(),
-                aggregates: vec![Aggregate { func: AggFunc::Sum, column: fspec.kf_col(0) }],
+                aggregates: vec![Aggregate {
+                    func: AggFunc::Sum,
+                    column: fspec.kf_col(0),
+                }],
                 group_by: None,
                 filter: vec![],
                 join: Some(JoinSpec {
@@ -440,8 +465,10 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
                 }
                 let big_ms = time_ms(&mut db, &joined_big, cfg.repeats)?;
                 let slope = ((big_ms - join_ms) / (big_rows - dim_rows) as f64).max(0.0);
-                model.dim_build[store_index(dim_store)] =
-                    AdjustmentFn::Linear { slope, intercept: 0.0 };
+                model.dim_build[store_index(dim_store)] = AdjustmentFn::Linear {
+                    slope,
+                    intercept: 0.0,
+                };
             }
         }
     }
@@ -473,7 +500,11 @@ fn calibrate_union_overhead(model: &mut CostModel, cfg: &CalibrationConfig) -> R
     // everything into the cold partition so the union is CS + empty RS.
     hsd_engine::mover::rebalance_horizontal(&mut db, "u_part", &Value::BigInt(rows as i64 * 10))?;
     let plain = time_ms(&mut db, &sum_query("u_plain", spec.kf_col(0)), cfg.repeats)?;
-    let part = time_ms(&mut db, &sum_query("u_part", part_spec.kf_col(0)), cfg.repeats)?;
+    let part = time_ms(
+        &mut db,
+        &sum_query("u_part", part_spec.kf_col(0)),
+        cfg.repeats,
+    )?;
     model.union_overhead_ms = (part - plain).max(0.0);
     Ok(())
 }
@@ -493,12 +524,18 @@ mod tests {
         let n = 40_000.0;
         let rs = model.row.f_rows.eval(n);
         let cs = model.column.f_rows.eval(n);
-        assert!(cs < rs, "column aggregation ({cs} ms) should beat row ({rs} ms)");
+        assert!(
+            cs < rs,
+            "column aggregation ({cs} ms) should beat row ({rs} ms)"
+        );
 
         // Inserts: RS per-row cost below CS per-row cost.
         let rs_ins = model.row.ins_row.eval(20_000.0);
         let cs_ins = model.column.ins_row.eval(20_000.0);
-        assert!(rs_ins < cs_ins, "row insert ({rs_ins}) should beat column ({cs_ins})");
+        assert!(
+            rs_ins < cs_ins,
+            "row insert ({rs_ins}) should beat column ({cs_ins})"
+        );
 
         // Point access exists and is sub-millisecond at this scale.
         assert!(model.row.sel_point_ms > 0.0);

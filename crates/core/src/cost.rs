@@ -6,17 +6,15 @@
 //! (`Costs = BaseSUMCosts^RS · c^RS_NoGroupBy · c^RS_Double ·
 //! f^RS_#rows(1000) · f^RS_compression(0.7)`).
 
-use serde::{Deserialize, Serialize};
-
 use hsd_query::AggFunc;
 use hsd_storage::StoreKind;
-use hsd_types::ColumnType;
+use hsd_types::{ColumnType, Json, JsonError, JsonResult};
 
 /// An adjustment function `f` of the cost model. The paper observes that
 /// "most of these functions are simple linear functions (e.g., `f_#rows`),
 /// piecewise linear functions (e.g., `f_compression`) or even constants
 /// (e.g., `c_dataType`)" — these are exactly the three variants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdjustmentFn {
     /// Constant factor, independent of the characteristic.
     Constant(f64),
@@ -113,11 +111,14 @@ fn agg_index(f: AggFunc) -> usize {
 }
 
 fn type_index(t: ColumnType) -> usize {
-    ColumnType::ALL.iter().position(|x| *x == t).expect("type in ALL")
+    ColumnType::ALL
+        .iter()
+        .position(|x| *x == t)
+        .expect("type in ALL")
 }
 
 /// Calibrated cost parameters for one store.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreModel {
     // --- aggregation -----------------------------------------------------
     /// Unitless multiplier per aggregation function (SUM = 1 reference).
@@ -204,7 +205,7 @@ impl StoreModel {
 }
 
 /// Metadata recorded at calibration time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CalibrationMeta {
     /// Base row count of the calibration tables.
     pub base_rows: usize,
@@ -218,7 +219,7 @@ pub struct CalibrationMeta {
 }
 
 /// The complete calibrated cost model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Row-store parameters.
     pub row: StoreModel,
@@ -284,13 +285,185 @@ impl CostModel {
     /// Serialize to JSON (the "system-specific cost model" artifact the
     /// offline mode produces).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("cost model serializes")
+        let join_factor = Json::Arr(
+            self.join_factor
+                .iter()
+                .map(|row| Json::Arr(row.iter().map(|&v| Json::Num(v)).collect()))
+                .collect(),
+        );
+        Json::obj([
+            ("row", store_model_to_json(&self.row)),
+            ("column", store_model_to_json(&self.column)),
+            ("join_factor", join_factor),
+            (
+                "dim_build",
+                Json::Arr(self.dim_build.iter().map(adjustment_to_json).collect()),
+            ),
+            ("union_overhead_ms", Json::Num(self.union_overhead_ms)),
+            (
+                "meta",
+                Json::obj([
+                    ("base_rows", Json::Int(self.meta.base_rows as i64)),
+                    (
+                        "reference_compression",
+                        Json::Num(self.meta.reference_compression),
+                    ),
+                    ("table_arity", Json::Int(self.meta.table_arity as i64)),
+                    ("repeats", Json::Int(self.meta.repeats as i64)),
+                ]),
+            ),
+        ])
+        .to_string_pretty()
     }
 
-    /// Deserialize from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserialize a model written by [`CostModel::to_json`].
+    pub fn from_json(s: &str) -> JsonResult<Self> {
+        let root = Json::parse(s)?;
+        let jf = root.get("join_factor")?.as_arr()?;
+        if jf.len() != 2 {
+            return Err(JsonError("join_factor must be 2x2".to_string()));
+        }
+        let mut join_factor = [[0.0; 2]; 2];
+        for (i, row) in jf.iter().enumerate() {
+            let row = row.as_arr()?;
+            if row.len() != 2 {
+                return Err(JsonError("join_factor must be 2x2".to_string()));
+            }
+            for (j, v) in row.iter().enumerate() {
+                join_factor[i][j] = v.as_f64()?;
+            }
+        }
+        let db = root.get("dim_build")?.as_arr()?;
+        if db.len() != 2 {
+            return Err(JsonError("dim_build must have 2 entries".to_string()));
+        }
+        let meta = root.get("meta")?;
+        Ok(CostModel {
+            row: store_model_from_json(root.get("row")?)?,
+            column: store_model_from_json(root.get("column")?)?,
+            join_factor,
+            dim_build: [adjustment_from_json(&db[0])?, adjustment_from_json(&db[1])?],
+            union_overhead_ms: root.get("union_overhead_ms")?.as_f64()?,
+            meta: CalibrationMeta {
+                base_rows: meta.get("base_rows")?.as_usize()?,
+                reference_compression: meta.get("reference_compression")?.as_f64()?,
+                table_arity: meta.get("table_arity")?.as_usize()?,
+                repeats: meta.get("repeats")?.as_usize()?,
+            },
+        })
     }
+}
+
+fn adjustment_to_json(f: &AdjustmentFn) -> Json {
+    match f {
+        AdjustmentFn::Constant(c) => Json::obj([("Constant", Json::Num(*c))]),
+        AdjustmentFn::Linear { slope, intercept } => Json::obj([(
+            "Linear",
+            Json::obj([
+                ("slope", Json::Num(*slope)),
+                ("intercept", Json::Num(*intercept)),
+            ]),
+        )]),
+        AdjustmentFn::Piecewise { points } => Json::obj([(
+            "Piecewise",
+            Json::obj([(
+                "points",
+                Json::Arr(
+                    points
+                        .iter()
+                        .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                        .collect(),
+                ),
+            )]),
+        )]),
+    }
+}
+
+fn adjustment_from_json(j: &Json) -> JsonResult<AdjustmentFn> {
+    if let Some(c) = j.get_opt("Constant") {
+        return Ok(AdjustmentFn::Constant(c.as_f64()?));
+    }
+    if let Some(l) = j.get_opt("Linear") {
+        return Ok(AdjustmentFn::Linear {
+            slope: l.get("slope")?.as_f64()?,
+            intercept: l.get("intercept")?.as_f64()?,
+        });
+    }
+    let p = j.get("Piecewise")?;
+    let points = p
+        .get("points")?
+        .as_arr()?
+        .iter()
+        .map(|pt| {
+            let pt = pt.as_arr()?;
+            if pt.len() != 2 {
+                return Err(JsonError("piecewise point must be [x, y]".to_string()));
+            }
+            Ok((pt[0].as_f64()?, pt[1].as_f64()?))
+        })
+        .collect::<JsonResult<Vec<_>>>()?;
+    Ok(AdjustmentFn::Piecewise { points })
+}
+
+fn f64_array_to_json(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+fn f64_array_from_json<const N: usize>(j: &Json) -> JsonResult<[f64; N]> {
+    let arr = j.as_arr()?;
+    if arr.len() != N {
+        return Err(JsonError(format!(
+            "expected array of {N} numbers, got {}",
+            arr.len()
+        )));
+    }
+    let mut out = [0.0; N];
+    for (slot, v) in out.iter_mut().zip(arr) {
+        *slot = v.as_f64()?;
+    }
+    Ok(out)
+}
+
+fn store_model_to_json(m: &StoreModel) -> Json {
+    Json::obj([
+        ("base_agg", f64_array_to_json(&m.base_agg)),
+        ("c_group_by", Json::Num(m.c_group_by)),
+        ("c_data_type", f64_array_to_json(&m.c_data_type)),
+        ("f_rows", adjustment_to_json(&m.f_rows)),
+        ("f_compression", adjustment_to_json(&m.f_compression)),
+        ("sel_point_ms", Json::Num(m.sel_point_ms)),
+        ("sel_per_row_scan", Json::Num(m.sel_per_row_scan)),
+        ("sel_per_row_indexed", Json::Num(m.sel_per_row_indexed)),
+        ("sel_per_match", Json::Num(m.sel_per_match)),
+        (
+            "f_selected_columns",
+            adjustment_to_json(&m.f_selected_columns),
+        ),
+        ("ins_row", adjustment_to_json(&m.ins_row)),
+        ("upd_row_ms", Json::Num(m.upd_row_ms)),
+        (
+            "f_affected_columns",
+            adjustment_to_json(&m.f_affected_columns),
+        ),
+    ])
+}
+
+fn store_model_from_json(j: &Json) -> JsonResult<StoreModel> {
+    Ok(StoreModel {
+        base_agg: f64_array_from_json(j.get("base_agg")?)?,
+        c_group_by: j.get("c_group_by")?.as_f64()?,
+        c_data_type: f64_array_from_json(j.get("c_data_type")?)?,
+        f_rows: adjustment_from_json(j.get("f_rows")?)?,
+        f_compression: adjustment_from_json(j.get("f_compression")?)?,
+        sel_point_ms: j.get("sel_point_ms")?.as_f64()?,
+        sel_per_row_scan: j.get("sel_per_row_scan")?.as_f64()?,
+        sel_per_row_indexed: j.get("sel_per_row_indexed")?.as_f64()?,
+        sel_per_match: j.get("sel_per_match")?.as_f64()?,
+        f_selected_columns: adjustment_from_json(j.get("f_selected_columns")?)?,
+        ins_row: adjustment_from_json(j.get("ins_row")?)?,
+        upd_row_ms: j.get("upd_row_ms")?.as_f64()?,
+        f_affected_columns: adjustment_from_json(j.get("f_affected_columns")?)?,
+    })
 }
 
 #[cfg(test)]
@@ -304,7 +477,10 @@ mod tests {
 
     #[test]
     fn linear_eval_and_fit() {
-        let f = AdjustmentFn::Linear { slope: 2.0, intercept: 1.0 };
+        let f = AdjustmentFn::Linear {
+            slope: 2.0,
+            intercept: 1.0,
+        };
         assert_eq!(f.eval(3.0), 7.0);
         // perfect fit recovery
         let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 5.0)).collect();
@@ -360,7 +536,10 @@ mod tests {
     #[test]
     fn cost_model_json_round_trip() {
         let mut m = CostModel::neutral();
-        m.row.f_rows = AdjustmentFn::Linear { slope: 0.001, intercept: 0.2 };
+        m.row.f_rows = AdjustmentFn::Linear {
+            slope: 0.001,
+            intercept: 0.2,
+        };
         m.join_factor[0][1] = 1.7;
         let json = m.to_json();
         let back = CostModel::from_json(&json).unwrap();

@@ -65,13 +65,23 @@ fn estimate_matches(ctx: &TableCtx, filter: &[ColRange]) -> f64 {
 
 fn range_bounds(ctx: &TableCtx, r: &ColRange) -> (Value, Value) {
     let col = r.column;
-    let min = ctx.stats.columns.get(col).and_then(|c| c.min.clone()).unwrap_or(Value::Null);
-    let max = ctx.stats.columns.get(col).and_then(|c| c.max.clone()).unwrap_or(Value::Null);
-    let lo = match &r.lo {
+    let min = ctx
+        .stats
+        .columns
+        .get(col)
+        .and_then(|c| c.min.clone())
+        .unwrap_or(Value::Null);
+    let max = ctx
+        .stats
+        .columns
+        .get(col)
+        .and_then(|c| c.max.clone())
+        .unwrap_or(Value::Null);
+    let lo = match r.lo_ref() {
         Bound::Included(v) | Bound::Excluded(v) => v.clone(),
         Bound::Unbounded => min,
     };
-    let hi = match &r.hi {
+    let hi = match r.hi_ref() {
         Bound::Included(v) | Bound::Excluded(v) => v.clone(),
         Bound::Unbounded => max,
     };
@@ -80,11 +90,16 @@ fn range_bounds(ctx: &TableCtx, r: &ColRange) -> (Value, Value) {
 
 /// Whether the filter is a point predicate on the table's full primary key.
 fn is_pk_point(ctx: &TableCtx, filter: &[ColRange]) -> bool {
-    let pk: &[ColumnIdx] =
-        if ctx.pk_columns.is_empty() { &[0] } else { &ctx.pk_columns };
+    let pk: &[ColumnIdx] = if ctx.pk_columns.is_empty() {
+        &[0]
+    } else {
+        &ctx.pk_columns
+    };
     filter.len() == pk.len()
         && pk.iter().all(|col| {
-            filter.iter().any(|r| r.column == *col && r.as_eq().is_some())
+            filter
+                .iter()
+                .any(|r| r.column == *col && r.as_eq().is_some())
         })
 }
 
@@ -98,8 +113,7 @@ pub fn estimate_query(
     assignment: &BTreeMap<String, StoreKind>,
     query: &Query,
 ) -> f64 {
-    let store_of =
-        |t: &str| -> StoreKind { assignment.get(t).copied().unwrap_or(StoreKind::Row) };
+    let store_of = |t: &str| -> StoreKind { assignment.get(t).copied().unwrap_or(StoreKind::Row) };
     match query {
         Query::Aggregate(q) => match &q.join {
             None => estimate_aggregate(model, ctx, store_of(&q.table), q, None),
@@ -117,7 +131,9 @@ pub fn estimate_query(
         Query::Select(q) => estimate_select(model, ctx, store_of(&q.table), q),
         Query::Insert(q) => {
             let store = store_of(&q.table);
-            let n = ctx.table(&q.table).map_or(0.0, |t| t.stats.row_count as f64);
+            let n = ctx
+                .table(&q.table)
+                .map_or(0.0, |t| t.stats.row_count as f64);
             let per_row = model.store(store).ins_row.eval(n).max(0.0);
             per_row * q.rows.len() as f64
         }
@@ -135,7 +151,9 @@ fn estimate_aggregate(
     dim_store: Option<StoreKind>,
 ) -> f64 {
     let m = model.store(store);
-    let Some(tctx) = ctx.table(&q.table) else { return 0.0 };
+    let Some(tctx) = ctx.table(&q.table) else {
+        return 0.0;
+    };
     let n = tctx.stats.row_count as f64;
     // Σ over aggregates of (base-cost multiplier · data-type constant) —
     // "the additional aggregate adds another base cost term including its
@@ -143,7 +161,11 @@ fn estimate_aggregate(
     let mut agg_terms = 0.0;
     let mut comp_sum = 0.0;
     for a in &q.aggregates {
-        let ty = tctx.column_types.get(a.column).copied().unwrap_or(ColumnType::Double);
+        let ty = tctx
+            .column_types
+            .get(a.column)
+            .copied()
+            .unwrap_or(ColumnType::Double);
         agg_terms += m.base_agg_of(a.func) * m.c_type_of(ty);
         comp_sum += tctx
             .stats
@@ -176,12 +198,7 @@ fn estimate_aggregate(
 
 /// Cost of locating the rows matching `filter` (shared by selects, updates,
 /// and filtered aggregates).
-fn locate_cost(
-    m: &StoreModel,
-    tctx: &TableCtx,
-    filter: &[ColRange],
-    store: StoreKind,
-) -> f64 {
+fn locate_cost(m: &StoreModel, tctx: &TableCtx, filter: &[ColRange], store: StoreKind) -> f64 {
     if is_pk_point(tctx, filter) {
         return m.sel_point_ms;
     }
@@ -207,7 +224,9 @@ fn estimate_select(
     q: &SelectQuery,
 ) -> f64 {
     let m = model.store(store);
-    let Some(tctx) = ctx.table(&q.table) else { return 0.0 };
+    let Some(tctx) = ctx.table(&q.table) else {
+        return 0.0;
+    };
     let arity = tctx.column_types.len().max(1);
     let k = q.columns.as_ref().map_or(arity, Vec::len) as f64;
     let col_factor = m.f_selected_columns.eval(k).max(0.0);
@@ -227,7 +246,9 @@ fn estimate_update(
     q: &UpdateQuery,
 ) -> f64 {
     let m = model.store(store);
-    let Some(tctx) = ctx.table(&q.table) else { return 0.0 };
+    let Some(tctx) = ctx.table(&q.table) else {
+        return 0.0;
+    };
     let matched = if is_pk_point(tctx, &q.filter) {
         1.0
     } else {
@@ -245,7 +266,11 @@ pub fn estimate_workload(
     assignment: &BTreeMap<String, StoreKind>,
     workload: &Workload,
 ) -> f64 {
-    workload.queries.iter().map(|q| estimate_query(model, ctx, assignment, q)).sum()
+    workload
+        .queries
+        .iter()
+        .map(|q| estimate_query(model, ctx, assignment, q))
+        .sum()
 }
 
 // ---------------------------------------------------------------------------
@@ -270,7 +295,9 @@ pub fn estimate_query_layout(
     match layout.placement(table) {
         TablePlacement::Single(_) => estimate_query(model, ctx, &single, query),
         TablePlacement::Partitioned(spec) => {
-            let Some(tctx) = ctx.table(table) else { return 0.0 };
+            let Some(tctx) = ctx.table(table) else {
+                return 0.0;
+            };
             let hot_fraction = match &spec.horizontal {
                 None => 0.0,
                 Some(h) => {
@@ -318,15 +345,28 @@ fn estimate_partitioned(
     match query {
         Query::Insert(_) => {
             // Inserts go to the hot row-store partition when present.
-            let store =
-                if spec.horizontal.is_some() { StoreKind::Row } else { StoreKind::Column };
-            estimate_query(model, &scaled(hot_fraction.max(0.01)), &with_store(store), query)
+            let store = if spec.horizontal.is_some() {
+                StoreKind::Row
+            } else {
+                StoreKind::Column
+            };
+            estimate_query(
+                model,
+                &scaled(hot_fraction.max(0.01)),
+                &with_store(store),
+                query,
+            )
         }
         Query::Update(q) => {
             // Vertical split: updates touching only row-fragment columns run
             // at row-store cost; otherwise column cost dominates.
             let store = update_store(spec, q);
-            let hot = estimate_query(model, &scaled(hot_fraction), &with_store(StoreKind::Row), query);
+            let hot = estimate_query(
+                model,
+                &scaled(hot_fraction),
+                &with_store(StoreKind::Row),
+                query,
+            );
             let cold = estimate_query(
                 model,
                 &scaled(1.0 - hot_fraction),
@@ -338,7 +378,12 @@ fn estimate_partitioned(
         }
         Query::Select(q) => {
             let store = select_store(spec, q);
-            let hot = estimate_query(model, &scaled(hot_fraction), &with_store(StoreKind::Row), query);
+            let hot = estimate_query(
+                model,
+                &scaled(hot_fraction),
+                &with_store(StoreKind::Row),
+                query,
+            );
             let cold = estimate_query(
                 model,
                 &scaled(1.0 - hot_fraction),
@@ -355,7 +400,12 @@ fn estimate_partitioned(
             // Aggregation unions both partitions: row-store scan over the
             // hot rows plus column-store scan over the cold rows.
             let hot = if hot_fraction > 0.0 {
-                estimate_query(model, &scaled(hot_fraction), &with_store(StoreKind::Row), query)
+                estimate_query(
+                    model,
+                    &scaled(hot_fraction),
+                    &with_store(StoreKind::Row),
+                    query,
+                )
             } else {
                 0.0
             };
@@ -365,7 +415,12 @@ fn estimate_partitioned(
                 &with_store(StoreKind::Column),
                 query,
             );
-            hot + cold + if spec.horizontal.is_some() { model.union_overhead_ms } else { 0.0 }
+            hot + cold
+                + if spec.horizontal.is_some() {
+                    model.union_overhead_ms
+                } else {
+                    0.0
+                }
         }
     }
 }
@@ -393,7 +448,11 @@ pub fn estimate_workload_layout(
     layout: &StorageLayout,
     workload: &Workload,
 ) -> f64 {
-    workload.queries.iter().map(|q| estimate_query_layout(model, ctx, layout, q)).sum()
+    workload
+        .queries
+        .iter()
+        .map(|q| estimate_query_layout(model, ctx, layout, q))
+        .sum()
 }
 
 #[cfg(test)]
@@ -431,8 +490,14 @@ mod tests {
     fn model() -> CostModel {
         let mut m = CostModel::neutral();
         // RS aggregation: 1 µs/row; CS: 0.1 µs/row
-        m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.1 };
-        m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.2 };
+        m.row.f_rows = AdjustmentFn::Linear {
+            slope: 1e-3,
+            intercept: 0.1,
+        };
+        m.column.f_rows = AdjustmentFn::Linear {
+            slope: 1e-4,
+            intercept: 0.2,
+        };
         // inserts: RS cheap, CS 5x
         m.row.ins_row = AdjustmentFn::Constant(0.001);
         m.column.ins_row = AdjustmentFn::Constant(0.005);
@@ -476,11 +541,17 @@ mod tests {
         let c = ctx();
         let one = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
         let mut two_q = AggregateQuery::simple("t", AggFunc::Sum, 1);
-        two_q.aggregates.push(hsd_query::Aggregate { func: AggFunc::Avg, column: 1 });
+        two_q.aggregates.push(hsd_query::Aggregate {
+            func: AggFunc::Avg,
+            column: 1,
+        });
         let two = Query::Aggregate(two_q);
         let c1 = estimate_query(&m, &c, &assign(StoreKind::Column), &one);
         let c2 = estimate_query(&m, &c, &assign(StoreKind::Column), &two);
-        assert!((c2 / c1 - 2.0).abs() < 1e-6, "two aggregates cost twice the base term");
+        assert!(
+            (c2 / c1 - 2.0).abs() < 1e-6,
+            "two aggregates cost twice the base term"
+        );
     }
 
     #[test]
@@ -489,7 +560,12 @@ mod tests {
         m.column.c_group_by = 3.0;
         let c = ctx();
         let mut q = AggregateQuery::simple("t", AggFunc::Sum, 1);
-        let without = estimate_query(&m, &c, &assign(StoreKind::Column), &Query::Aggregate(q.clone()));
+        let without = estimate_query(
+            &m,
+            &c,
+            &assign(StoreKind::Column),
+            &Query::Aggregate(q.clone()),
+        );
         q.group_by = Some(1);
         let with = estimate_query(&m, &c, &assign(StoreKind::Column), &Query::Aggregate(q));
         assert!((with / without - 3.0).abs() < 1e-6);

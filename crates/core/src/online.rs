@@ -106,7 +106,12 @@ impl OnlineAdvisor {
             self.cfg.enable_partitioning,
         )?;
         // Cost of the window under the database's *current* layout.
-        let schemas: Vec<_> = db.catalog().entries().iter().map(|e| e.schema.clone()).collect();
+        let schemas: Vec<_> = db
+            .catalog()
+            .entries()
+            .iter()
+            .map(|e| e.schema.clone())
+            .collect();
         let stats = db
             .catalog()
             .entries()
@@ -176,8 +181,14 @@ mod tests {
 
     fn model() -> CostModel {
         let mut m = CostModel::neutral();
-        m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
-        m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+        m.row.f_rows = AdjustmentFn::Linear {
+            slope: 1e-3,
+            intercept: 0.05,
+        };
+        m.column.f_rows = AdjustmentFn::Linear {
+            slope: 1e-4,
+            intercept: 0.05,
+        };
         m.row.ins_row = AdjustmentFn::Constant(0.002);
         m.column.ins_row = AdjustmentFn::Constant(0.01);
         m.row.sel_point_ms = 0.002;
@@ -195,7 +206,8 @@ mod tests {
     fn online_advisor_detects_workload_shift() {
         let s = spec();
         let mut db = HybridDatabase::new();
-        db.create_single(s.schema().unwrap(), StoreKind::Row).unwrap();
+        db.create_single(s.schema().unwrap(), StoreKind::Row)
+            .unwrap();
         db.bulk_load("w", s.rows()).unwrap();
 
         let cfg = OnlineConfig {
@@ -209,7 +221,11 @@ mod tests {
         // Phase 1: OLTP-only — the current row-store layout should hold.
         let oltp = WorkloadGenerator::single_table(
             &s,
-            &MixedWorkloadConfig { queries: 100, olap_fraction: 0.0, ..Default::default() },
+            &MixedWorkloadConfig {
+                queries: 100,
+                olap_fraction: 0.0,
+                ..Default::default()
+            },
         );
         let mut adaptations = 0;
         for q in &oltp.queries {
@@ -223,10 +239,17 @@ mod tests {
         // Phase 2: the workload turns analytical — an adaptation to the
         // column store must be recommended. The phase-2 generator allocates
         // insert ids beyond everything phase 1 could have inserted.
-        let s2 = TableSpec { rows: 10_000, ..spec() };
+        let s2 = TableSpec {
+            rows: 10_000,
+            ..spec()
+        };
         let olap = WorkloadGenerator::single_table(
             &s2,
-            &MixedWorkloadConfig { queries: 100, olap_fraction: 0.8, ..Default::default() },
+            &MixedWorkloadConfig {
+                queries: 100,
+                olap_fraction: 0.8,
+                ..Default::default()
+            },
         );
         let mut adaptation = None;
         for q in &olap.queries {
@@ -247,7 +270,14 @@ mod tests {
         // Apply it and verify the database moved.
         let moved = online.apply(&mut db, &adaptation).unwrap();
         assert_eq!(moved, vec!["w".to_string()]);
-        assert_eq!(db.catalog().single_store_of("w").unwrap(), StoreKind::Column);
-        assert_eq!(online.recorded_statements(), 0, "interval resets after adaptation");
+        assert_eq!(
+            db.catalog().single_store_of("w").unwrap(),
+            StoreKind::Column
+        );
+        assert_eq!(
+            online.recorded_statements(),
+            0,
+            "interval resets after adaptation"
+        );
     }
 }

@@ -69,7 +69,10 @@ pub fn recommend_partition(
     if horizontal.is_none() && vertical.is_none() {
         return None;
     }
-    Some(PartitionSpec { horizontal, vertical })
+    Some(PartitionSpec {
+        horizontal,
+        vertical,
+    })
 }
 
 /// Horizontal split: prefer the update-envelope hot region; fall back to an
@@ -111,7 +114,10 @@ fn recommend_horizontal(
             .and_then(|c| c.max.as_ref())
             .and_then(next_value)
         {
-            return Some(HorizontalSpec { split_column: pk_col, split_value: split });
+            return Some(HorizontalSpec {
+                split_column: pk_col,
+                split_value: split,
+            });
         }
     }
     None
@@ -226,8 +232,7 @@ mod tests {
             .or_default()
             .observe(&Value::BigInt(900), &Value::BigInt(999));
         a.update_envelopes.get_mut(&0).unwrap().count = 50;
-        let spec =
-            recommend_partition(&schema(), &stats(1000), &a, &Default::default()).unwrap();
+        let spec = recommend_partition(&schema(), &stats(1000), &a, &Default::default()).unwrap();
         let h = spec.horizontal.expect("horizontal split expected");
         assert_eq!(h.split_column, 0);
         assert_eq!(h.split_value, Value::BigInt(900));
@@ -244,7 +249,7 @@ mod tests {
             .observe(&Value::BigInt(0), &Value::BigInt(999));
         a.update_envelopes.get_mut(&0).unwrap().count = 50;
         let spec = recommend_partition(&schema(), &stats(1000), &a, &Default::default());
-        assert!(spec.map_or(true, |s| s.horizontal.is_none()));
+        assert!(spec.is_none_or(|s| s.horizontal.is_none()));
     }
 
     #[test]
@@ -252,8 +257,7 @@ mod tests {
         let mut a = base_activity();
         a.inserts = 50;
         a.selects = 10;
-        let spec =
-            recommend_partition(&schema(), &stats(1000), &a, &Default::default()).unwrap();
+        let spec = recommend_partition(&schema(), &stats(1000), &a, &Default::default()).unwrap();
         let h = spec.horizontal.expect("insert partition expected");
         assert_eq!(h.split_column, 0);
         // boundary sits just above the current max id (999)
@@ -267,8 +271,7 @@ mod tests {
         a.selects = 10;
         a.columns[3].update_sets = 30;
         a.columns[3].select_projs = 10;
-        let spec =
-            recommend_partition(&schema(), &stats(1000), &a, &Default::default()).unwrap();
+        let spec = recommend_partition(&schema(), &stats(1000), &a, &Default::default()).unwrap();
         let v = spec.vertical.expect("vertical split expected");
         assert_eq!(v.row_cols, vec![3]);
     }
@@ -287,7 +290,7 @@ mod tests {
         a.columns[1].aggregates = 0;
         a.columns[2].group_bys = 0;
         let spec = recommend_partition(&schema(), &stats(1000), &a, &Default::default());
-        assert!(spec.map_or(true, |s| s.vertical.is_none()));
+        assert!(spec.is_none_or(|s| s.vertical.is_none()));
     }
 
     #[test]

@@ -9,13 +9,28 @@ pub fn render(rec: &Recommendation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "=== Storage Advisor Recommendation ===");
     let _ = writeln!(out, "estimated workload runtime:");
-    let _ = writeln!(out, "  all tables in row store   : {:>12.3} ms", rec.rs_only_ms);
-    let _ = writeln!(out, "  all tables in column store: {:>12.3} ms", rec.cs_only_ms);
-    let _ = writeln!(out, "  recommended layout        : {:>12.3} ms", rec.estimated_ms);
+    let _ = writeln!(
+        out,
+        "  all tables in row store   : {:>12.3} ms",
+        rec.rs_only_ms
+    );
+    let _ = writeln!(
+        out,
+        "  all tables in column store: {:>12.3} ms",
+        rec.cs_only_ms
+    );
+    let _ = writeln!(
+        out,
+        "  recommended layout        : {:>12.3} ms",
+        rec.estimated_ms
+    );
     let baseline = rec.rs_only_ms.min(rec.cs_only_ms);
     if baseline > 0.0 {
         let gain = 100.0 * (baseline - rec.estimated_ms) / baseline;
-        let _ = writeln!(out, "  improvement vs best single-store baseline: {gain:.1} %");
+        let _ = writeln!(
+            out,
+            "  improvement vs best single-store baseline: {gain:.1} %"
+        );
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "per-table decisions:");

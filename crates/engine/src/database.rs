@@ -50,7 +50,10 @@ impl HybridDatabase {
         I: IntoIterator<Item = Vec<Value>>,
     {
         let id = self.catalog.id_of(table)?;
-        let data = self.tables.get_mut(&id).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let data = self
+            .tables
+            .get_mut(&id)
+            .ok_or_else(|| Error::UnknownTable(table.into()))?;
         let mut n = 0;
         for row in rows {
             data.insert(&row)?;
@@ -74,13 +77,17 @@ impl HybridDatabase {
     /// Physical data of a table.
     pub fn table_data(&self, table: &str) -> Result<&TableData> {
         let id = self.catalog.id_of(table)?;
-        self.tables.get(&id).ok_or_else(|| Error::UnknownTable(table.into()))
+        self.tables
+            .get(&id)
+            .ok_or_else(|| Error::UnknownTable(table.into()))
     }
 
     /// Mutable physical data of a table.
     pub fn table_data_mut(&mut self, table: &str) -> Result<&mut TableData> {
         let id = self.catalog.id_of(table)?;
-        self.tables.get_mut(&id).ok_or_else(|| Error::UnknownTable(table.into()))
+        self.tables
+            .get_mut(&id)
+            .ok_or_else(|| Error::UnknownTable(table.into()))
     }
 
     /// Replace a table's physical data and placement annotation (the data
@@ -114,7 +121,10 @@ impl HybridDatabase {
     }
 
     fn refresh_stats_id(&mut self, id: TableId) -> Result<()> {
-        let data = self.tables.get(&id).ok_or_else(|| Error::UnknownTable(id.to_string()))?;
+        let data = self
+            .tables
+            .get(&id)
+            .ok_or_else(|| Error::UnknownTable(id.to_string()))?;
         let stats = collect_stats(data);
         self.catalog.set_stats(id, stats)
     }
@@ -132,7 +142,10 @@ impl HybridDatabase {
     /// row table (and annotate the catalog for the cost model).
     pub fn create_index(&mut self, table: &str, col: usize) -> Result<()> {
         let id = self.catalog.id_of(table)?;
-        let data = self.tables.get_mut(&id).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let data = self
+            .tables
+            .get_mut(&id)
+            .ok_or_else(|| Error::UnknownTable(table.into()))?;
         match data {
             TableData::Single(Table::Row(rt)) => rt.create_index(col)?,
             TableData::Single(Table::Column(_)) => {
@@ -164,7 +177,11 @@ impl HybridDatabase {
 
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.entries().iter().map(|e| e.schema.name.clone()).collect()
+        self.catalog
+            .entries()
+            .iter()
+            .map(|e| e.schema.name.clone())
+            .collect()
     }
 
     /// Total heap bytes across all tables.
@@ -217,7 +234,10 @@ mod tests {
         let mut db = HybridDatabase::new();
         db.create_single(schema("t"), StoreKind::Column).unwrap();
         let n = db
-            .bulk_load("t", (0..50).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]))
+            .bulk_load(
+                "t",
+                (0..50).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]),
+            )
             .unwrap();
         assert_eq!(n, 50);
         assert_eq!(db.row_count("t").unwrap(), 50);
@@ -242,14 +262,21 @@ mod tests {
         // column-store index creation is a no-op but records the intent
         db.create_single(schema("c"), StoreKind::Column).unwrap();
         db.create_index("c", 1).unwrap();
-        assert_eq!(db.catalog().entry_by_name("c").unwrap().indexed_columns, vec![1]);
+        assert_eq!(
+            db.catalog().entry_by_name("c").unwrap().indexed_columns,
+            vec![1]
+        );
     }
 
     #[test]
     fn memory_accounting() {
         let mut db = HybridDatabase::new();
         db.create_single(schema("t"), StoreKind::Row).unwrap();
-        db.bulk_load("t", (0..10).map(|i| vec![Value::BigInt(i), Value::Double(0.0)])).unwrap();
+        db.bulk_load(
+            "t",
+            (0..10).map(|i| vec![Value::BigInt(i), Value::Double(0.0)]),
+        )
+        .unwrap();
         assert!(db.memory_bytes() > 0);
     }
 }

@@ -6,16 +6,65 @@
 //! key. Store-specific fast paths mirror what real engines do: the column
 //! store groups and joins on dictionary codes; the row store works
 //! tuple-at-a-time.
+//!
+//! Column-store inner loops are *batched*: filters produce bitmap selection
+//! vectors ([`SelVec`]), aggregation and join loops block-decode dictionary
+//! codes ([`hsd_storage::ColumnData::decode_codes_into`]) instead of calling
+//! `code_at`/`value_at` per row, and independent partitions of a horizontal
+//! union are scanned on separate threads before their partial aggregates
+//! merge.
 
 use std::collections::HashMap;
 
 use hsd_catalog::TableStats;
-use hsd_query::{AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, SelectQuery, UpdateQuery};
-use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable, Table};
+use hsd_query::{
+    AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, SelectQuery, UpdateQuery,
+};
+use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable, SelVec, Table, BLOCK};
 use hsd_types::{ColumnIdx, Error, Result, Value};
 
 use crate::database::HybridDatabase;
 use crate::partition::{ColdPart, Loc, TableData, VerticalPair};
+
+/// Minimum total rows before a multi-partition scan fans out to threads;
+/// below this the spawn overhead dominates the scan itself.
+const PARALLEL_SCAN_MIN_ROWS: usize = 1 << 14;
+
+/// Whether a horizontal-union scan over `parts` should run partitions on
+/// separate threads.
+fn parallelize(parts: &[Part<'_>]) -> bool {
+    parts.len() > 1
+        && parts.iter().map(Part::row_count).sum::<usize>() >= PARALLEL_SCAN_MIN_ROWS
+        && parts.iter().filter(|p| p.row_count() > 0).count() > 1
+}
+
+/// Run `scan` over every partition of a horizontal union, fanning out to
+/// scoped threads when the union is big enough to pay for them
+/// ([`parallelize`]). Results come back in partition order (cold before
+/// hot — the order the sequential path produces), so callers merge or
+/// concatenate without reordering. This is the single place the
+/// parallelization policy lives; selects, aggregates, and join aggregates
+/// all go through it.
+fn scan_parts<'a, T: Send>(
+    parts: &'a [Part<'a>],
+    scan: impl Fn(&'a Part<'a>) -> T + Sync,
+) -> Vec<T> {
+    if parallelize(parts) {
+        let scan = &scan;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| s.spawn(move || scan(part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition scan thread"))
+                .collect()
+        })
+    } else {
+        parts.iter().map(scan).collect()
+    }
+}
 
 /// One output row of an aggregation: optional group key plus one numeric
 /// result per aggregate.
@@ -82,7 +131,12 @@ struct Acc {
 
 impl Acc {
     fn new() -> Self {
-        Acc { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Acc {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     #[inline]
@@ -134,12 +188,26 @@ impl Acc {
 
 type Groups = HashMap<Option<Value>, Vec<Acc>>;
 
+/// Merge per-partition partial aggregates into the union's groups.
+fn merge_groups(into: &mut Groups, from: Groups, width: usize) {
+    for (key, accs) in from {
+        merge_accs(
+            into.entry(key).or_insert_with(|| vec![Acc::new(); width]),
+            &accs,
+        );
+    }
+}
+
 fn finalize_groups(groups: Groups, aggregates: &[Aggregate]) -> Vec<GroupRow> {
     let mut out: Vec<GroupRow> = groups
         .into_iter()
         .map(|(key, accs)| GroupRow {
             key,
-            values: accs.iter().zip(aggregates).map(|(a, agg)| a.finalize(agg.func)).collect(),
+            values: accs
+                .iter()
+                .zip(aggregates)
+                .map(|(a, agg)| a.finalize(agg.func))
+                .collect(),
         })
         .collect();
     out.sort_by(|a, b| a.key.cmp(&b.key));
@@ -234,6 +302,32 @@ impl Part<'_> {
         }
     }
 
+    fn filter_selvec(&self, ranges: &[ColRange]) -> SelVec {
+        match self {
+            Part::Whole(t) => t.filter_selvec(ranges),
+            Part::Pair(p) => p.filter_selvec(ranges),
+        }
+    }
+
+    fn for_each_numeric_sel(&self, col: ColumnIdx, sel: Option<&SelVec>, f: impl FnMut(f64)) {
+        match self {
+            Part::Whole(t) => t.for_each_numeric_sel(col, sel, f),
+            Part::Pair(p) => p.for_each_numeric_sel(col, sel, f),
+        }
+    }
+
+    /// Visit decoded values of `col` for the selected rows (`None` = all).
+    fn for_each_value_sel(&self, col: ColumnIdx, sel: Option<&SelVec>, mut f: impl FnMut(&Value)) {
+        match sel {
+            None => self.for_each_value(col, RowSel::All, f),
+            Some(sv) => {
+                for idx in sv.iter() {
+                    f(self.value_at(idx, col));
+                }
+            }
+        }
+    }
+
     fn point_lookup(&self, key: &[Value]) -> Option<u32> {
         match self {
             Part::Whole(t) => t.point_lookup(key),
@@ -292,10 +386,10 @@ fn maybe_auto_merge(data: &mut TableData) {
         }
         TableData::Single(Table::Row(_)) => {}
         TableData::Partitioned { cold, .. } => match cold {
-            ColdPart::Single(Table::Column(ct)) => {
-                if ct.tail_total() > auto_merge_threshold(ct.row_count()) {
-                    ct.compact();
-                }
+            ColdPart::Single(Table::Column(ct))
+                if ct.tail_total() > auto_merge_threshold(ct.row_count()) =>
+            {
+                ct.compact();
             }
             ColdPart::Vertical(p) => {
                 let (tail, rows) = match p.col_fragment() {
@@ -411,10 +505,14 @@ fn exec_select(db: &mut HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> 
         }
         return Ok(QueryOutput::Rows(Vec::new()));
     }
-    let mut out = Vec::new();
-    for part in parts_of_pruned(data, &q.filter) {
+    let parts = parts_of_pruned(data, &q.filter);
+    let per_part = scan_parts(&parts, |part| {
         let rows = part.filter_rows(&q.filter);
-        out.extend(part.collect_rows(&rows, cols));
+        part.collect_rows(&rows, cols)
+    });
+    let mut out = Vec::new();
+    for rows in per_part {
+        out.extend(rows);
     }
     Ok(QueryOutput::Rows(out))
 }
@@ -425,12 +523,34 @@ fn exec_select(db: &mut HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> 
 fn exec_aggregate(db: &mut HybridDatabase, q: &AggregateQuery) -> Result<QueryOutput> {
     let data = db.table_data(&q.table)?;
     validate_agg_columns(data, q)?;
+    let parts = parts_of_pruned(data, &q.filter);
+    let scan_part = |part: &Part<'_>| -> Groups {
+        let selection = if q.filter.is_empty() {
+            None
+        } else {
+            Some(part.filter_selvec(&q.filter))
+        };
+        let mut groups = Groups::new();
+        aggregate_part(
+            part,
+            selection.as_ref(),
+            &q.aggregates,
+            q.group_by,
+            &mut groups,
+        );
+        groups
+    };
+    // Horizontal union: scan each partition (on its own thread when large
+    // enough), then merge the partial aggregates (the paper's union
+    // rewrite).
     let mut groups: Groups = HashMap::new();
-    for part in parts_of_pruned(data, &q.filter) {
-        let selection = if q.filter.is_empty() { None } else { Some(part.filter_rows(&q.filter)) };
-        aggregate_part(&part, selection.as_deref(), &q.aggregates, q.group_by, &mut groups);
+    for partial in scan_parts(&parts, scan_part) {
+        merge_groups(&mut groups, partial, q.aggregates.len());
     }
-    Ok(QueryOutput::Aggregates(finalize_groups(groups, &q.aggregates)))
+    Ok(QueryOutput::Aggregates(finalize_groups(
+        groups,
+        &q.aggregates,
+    )))
 }
 
 fn validate_agg_columns(data: &TableData, q: &AggregateQuery) -> Result<()> {
@@ -448,16 +568,9 @@ fn validate_agg_columns(data: &TableData, q: &AggregateQuery) -> Result<()> {
     Ok(())
 }
 
-fn sel_of(selection: Option<&[u32]>) -> RowSel<'_> {
-    match selection {
-        None => RowSel::All,
-        Some(rows) => RowSel::Subset(rows),
-    }
-}
-
 fn aggregate_part(
     part: &Part<'_>,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     aggregates: &[Aggregate],
     group_by: Option<ColumnIdx>,
     groups: &mut Groups,
@@ -478,22 +591,21 @@ fn aggregate_part(
 
 fn aggregate_part_ungrouped(
     part: &Part<'_>,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     aggregates: &[Aggregate],
     groups: &mut Groups,
 ) {
-    let accs = groups.entry(None).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+    let accs = groups
+        .entry(None)
+        .or_insert_with(|| vec![Acc::new(); aggregates.len()]);
     for (k, agg) in aggregates.iter().enumerate() {
         let acc = &mut accs[k];
         let numeric = is_numeric_col(part, agg.column);
         if numeric || agg.func != AggFunc::Count {
-            match part {
-                Part::Whole(t) => t.for_each_numeric(agg.column, sel_of(selection), |v| acc.add(v)),
-                Part::Pair(p) => p.for_each_numeric(agg.column, sel_of(selection), |v| acc.add(v)),
-            }
+            part.for_each_numeric_sel(agg.column, selection, |v| acc.add(v));
         } else {
             // COUNT over a non-numeric column counts non-null values.
-            part.for_each_value(agg.column, sel_of(selection), |v| {
+            part.for_each_value_sel(agg.column, selection, |v| {
                 if !v.is_null() {
                     acc.add_non_numeric();
                 }
@@ -517,52 +629,104 @@ fn is_numeric_col(part: &Part<'_>, col: ColumnIdx) -> bool {
 
 /// Column-store grouped aggregation: group on dictionary codes, decode keys
 /// once at the end.
+///
+/// The hot loop is batched: the group column and every aggregate column are
+/// block-decoded together (word-level unpacking), and the selection vector
+/// is consumed word-at-a-time — an all-zero word skips 64 rows, a block
+/// with no surviving candidate skips the decode entirely.
 fn aggregate_column_grouped(
     ct: &ColumnTable,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     aggregates: &[Aggregate],
     group_col: ColumnIdx,
     groups: &mut Groups,
 ) {
     let gcol = ct.column(group_col);
-    let luts: Vec<Vec<Option<f64>>> =
-        aggregates.iter().map(|a| ct.column(a.column).numeric_lut()).collect();
+    let luts: Vec<Vec<Option<f64>>> = aggregates
+        .iter()
+        .map(|a| ct.column(a.column).numeric_lut())
+        .collect();
     let agg_cols: Vec<&hsd_storage::ColumnData> =
         aggregates.iter().map(|a| ct.column(a.column)).collect();
     let mut code_groups: HashMap<u32, Vec<Acc>> = HashMap::new();
-    let mut visit = |i: usize| {
-        let gcode = gcol.code_at(i);
-        let accs = code_groups.entry(gcode).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+    // bufs[0] holds the group codes, bufs[1..] the aggregate columns'.
+    let mut cols: Vec<&hsd_storage::ColumnData> = Vec::with_capacity(agg_cols.len() + 1);
+    cols.push(gcol);
+    cols.extend(agg_cols.iter().copied());
+    for_each_selected_block(ct.row_count(), selection, &cols, |start, i, bufs| {
+        let accs = code_groups
+            .entry(bufs[0][i])
+            .or_insert_with(|| vec![Acc::new(); aggregates.len()]);
         for (k, col) in agg_cols.iter().enumerate() {
-            if let Some(v) = luts[k][col.code_at(i) as usize] {
+            if let Some(v) = luts[k][bufs[k + 1][i] as usize] {
                 accs[k].add(v);
-            } else if aggregates[k].func == AggFunc::Count && !col.value_at(i).is_null() {
+            } else if aggregates[k].func == AggFunc::Count && !col.value_at(start + i).is_null() {
                 accs[k].add_non_numeric();
             }
         }
-    };
-    match selection {
-        None => {
-            for i in 0..ct.row_count() {
-                visit(i);
-            }
-        }
-        Some(rows) => {
-            for &i in rows {
-                visit(i as usize);
-            }
-        }
-    }
+    });
     for (code, accs) in code_groups {
         let key = Some(gcol.dictionary().decode(code).clone());
-        merge_accs(groups.entry(key).or_insert_with(|| vec![Acc::new(); aggregates.len()]), &accs);
+        merge_accs(
+            groups
+                .entry(key)
+                .or_insert_with(|| vec![Acc::new(); aggregates.len()]),
+            &accs,
+        );
+    }
+}
+
+/// Block-scan driver shared by the column-store grouped-aggregation and
+/// join hot loops: decodes each of `cols` into a per-column [`BLOCK`]
+/// buffer and calls `visit(block_start, i, bufs)` for every selected row
+/// (`i` block-local, `bufs` in `cols` order), skipping blocks — and 64-row
+/// words within them — that have no selected candidate.
+fn for_each_selected_block(
+    n: usize,
+    selection: Option<&SelVec>,
+    cols: &[&hsd_storage::ColumnData],
+    mut visit: impl FnMut(usize, usize, &[Vec<u32>]),
+) {
+    let mut bufs: Vec<Vec<u32>> = vec![vec![0u32; BLOCK]; cols.len()];
+    let mut start = 0;
+    while start < n {
+        let len = BLOCK.min(n - start);
+        let word_base = start / 64; // exact: BLOCK is a multiple of 64
+        let word_end = (start + len).div_ceil(64);
+        if let Some(sv) = selection {
+            if sv.words()[word_base..word_end].iter().all(|&w| w == 0) {
+                start += len;
+                continue;
+            }
+        }
+        for (col, buf) in cols.iter().zip(&mut bufs) {
+            col.decode_codes_into(start, &mut buf[..len]);
+        }
+        match selection {
+            None => {
+                for i in 0..len {
+                    visit(start, i, &bufs);
+                }
+            }
+            Some(sv) => {
+                for wi in word_base..word_end {
+                    let mut bits = sv.words()[wi];
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        visit(start, wi * 64 + b - start, &bufs);
+                    }
+                }
+            }
+        }
+        start += len;
     }
 }
 
 /// Row-store grouped aggregation: tuple-at-a-time over row slices.
 fn aggregate_row_grouped(
     rt: &RowTable,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     aggregates: &[Aggregate],
     group_col: ColumnIdx,
     groups: &mut Groups,
@@ -570,7 +734,9 @@ fn aggregate_row_grouped(
     let mut visit = |idx: u32| {
         let row = rt.row(idx);
         let key = Some(row[group_col].clone());
-        let accs = groups.entry(key).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| vec![Acc::new(); aggregates.len()]);
         for (k, agg) in aggregates.iter().enumerate() {
             match row[agg.column].as_f64() {
                 Some(v) => accs[k].add(v),
@@ -588,8 +754,8 @@ fn aggregate_row_grouped(
                 visit(idx);
             }
         }
-        Some(rows) => {
-            for &idx in rows {
+        Some(sv) => {
+            for idx in sv.iter() {
                 visit(idx);
             }
         }
@@ -601,7 +767,7 @@ fn aggregate_row_grouped(
 /// row-at-a-time.
 fn aggregate_pair_grouped(
     p: &VerticalPair,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     aggregates: &[Aggregate],
     group_col: ColumnIdx,
     groups: &mut Groups,
@@ -618,16 +784,31 @@ fn aggregate_pair_grouped(
         };
         let t_aggs: Vec<Aggregate> = aggregates
             .iter()
-            .map(|a| Aggregate { func: a.func, column: translate(a.column) })
+            .map(|a| Aggregate {
+                func: a.func,
+                column: translate(a.column),
+            })
             .collect();
-        let frag = if all_in_col { p.col_fragment() } else { p.row_fragment() };
-        aggregate_part(&Part::Whole(frag), selection, &t_aggs, Some(translate(group_col)), groups);
+        let frag = if all_in_col {
+            p.col_fragment()
+        } else {
+            p.row_fragment()
+        };
+        aggregate_part(
+            &Part::Whole(frag),
+            selection,
+            &t_aggs,
+            Some(translate(group_col)),
+            groups,
+        );
         return;
     }
     // Mixed fragments: generic stitched path.
     let mut visit = |idx: u32| {
         let key = Some(p.value_at(idx, group_col).clone());
-        let accs = groups.entry(key).or_insert_with(|| vec![Acc::new(); aggregates.len()]);
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| vec![Acc::new(); aggregates.len()]);
         for (k, agg) in aggregates.iter().enumerate() {
             let v = p.value_at(idx, agg.column);
             match v.as_f64() {
@@ -646,8 +827,8 @@ fn aggregate_pair_grouped(
                 visit(idx);
             }
         }
-        Some(rows) => {
-            for &idx in rows {
+        Some(sv) => {
+            for idx in sv.iter() {
                 visit(idx);
             }
         }
@@ -702,12 +883,17 @@ fn exec_join_aggregate(
     validate_agg_columns(fact, q)?;
     // Dense accumulators per group index, merged into value-keyed groups at
     // the end: the per-row hot loop never hashes a `Value`.
-    let mut accs: Vec<Vec<Acc>> = vec![vec![Acc::new(); q.aggregates.len()]; group_keys.len()];
-    for part in parts_of_pruned(fact, &q.filter) {
-        let selection = if q.filter.is_empty() { None } else { Some(part.filter_rows(&q.filter)) };
+    let parts = parts_of_pruned(fact, &q.filter);
+    let scan_part = |part: &Part<'_>| -> Vec<Vec<Acc>> {
+        let mut accs: Vec<Vec<Acc>> = vec![vec![Acc::new(); q.aggregates.len()]; group_keys.len()];
+        let selection = if q.filter.is_empty() {
+            None
+        } else {
+            Some(part.filter_selvec(&q.filter))
+        };
         match part {
             Part::Whole(Table::Column(ct)) => {
-                join_aggregate_column(ct, selection.as_deref(), q, join, &dim_map, &mut accs)
+                join_aggregate_column(ct, selection.as_ref(), q, join, &dim_map, &mut accs)
             }
             Part::Pair(p) => {
                 // When the join key and every aggregate resolve in the
@@ -715,8 +901,11 @@ fn exec_join_aggregate(
                 // dictionary-join fast path against the fragment; row
                 // indexes are positionally aligned across fragments.
                 let fk = p.col_fragment_position(join.fact_fk);
-                let agg_pos: Option<Vec<usize>> =
-                    q.aggregates.iter().map(|a| p.col_fragment_position(a.column)).collect();
+                let agg_pos: Option<Vec<usize>> = q
+                    .aggregates
+                    .iter()
+                    .map(|a| p.col_fragment_position(a.column))
+                    .collect();
                 match (fk, agg_pos, p.col_fragment()) {
                     (Some(fk), Some(agg_cols), Table::Column(ct)) => {
                         let tq = AggregateQuery {
@@ -724,14 +913,20 @@ fn exec_join_aggregate(
                                 .aggregates
                                 .iter()
                                 .zip(&agg_cols)
-                                .map(|(a, &c)| hsd_query::Aggregate { func: a.func, column: c })
+                                .map(|(a, &c)| hsd_query::Aggregate {
+                                    func: a.func,
+                                    column: c,
+                                })
                                 .collect(),
                             ..q.clone()
                         };
-                        let tjoin = JoinSpec { fact_fk: fk, ..join.clone() };
+                        let tjoin = JoinSpec {
+                            fact_fk: fk,
+                            ..join.clone()
+                        };
                         join_aggregate_column(
                             ct,
-                            selection.as_deref(),
+                            selection.as_ref(),
                             &tq,
                             &tjoin,
                             &dim_map,
@@ -740,7 +935,7 @@ fn exec_join_aggregate(
                     }
                     _ => join_aggregate_generic(
                         &Part::Pair(p),
-                        selection.as_deref(),
+                        selection.as_ref(),
                         q,
                         join,
                         &dim_map,
@@ -749,8 +944,15 @@ fn exec_join_aggregate(
                 }
             }
             other => {
-                join_aggregate_generic(&other, selection.as_deref(), q, join, &dim_map, &mut accs)
+                join_aggregate_generic(other, selection.as_ref(), q, join, &dim_map, &mut accs)
             }
+        }
+        accs
+    };
+    let mut accs: Vec<Vec<Acc>> = vec![vec![Acc::new(); q.aggregates.len()]; group_keys.len()];
+    for partial in scan_parts(&parts, scan_part) {
+        for (into, from) in accs.iter_mut().zip(partial) {
+            merge_accs(into, &from);
         }
     }
     let mut groups: Groups = HashMap::new();
@@ -760,14 +962,18 @@ fn exec_join_aggregate(
             groups.insert(key, acc);
         }
     }
-    Ok(QueryOutput::Aggregates(finalize_groups(groups, &q.aggregates)))
+    Ok(QueryOutput::Aggregates(finalize_groups(
+        groups,
+        &q.aggregates,
+    )))
 }
 
 /// Column-store fact side: translate the foreign-key dictionary to group
-/// indexes once (dictionary join), then the hot loop is code lookups only.
+/// indexes once (dictionary join), then the hot loop is code lookups only —
+/// block-decoded, like the grouped aggregation path.
 fn join_aggregate_column(
     ct: &ColumnTable,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     q: &AggregateQuery,
     join: &JoinSpec,
     dim_map: &HashMap<Value, u32>,
@@ -781,42 +987,37 @@ fn join_aggregate_column(
         .values()
         .map(|v| dim_map.get(v).copied().unwrap_or(UNMATCHED))
         .collect();
-    let luts: Vec<Vec<Option<f64>>> =
-        q.aggregates.iter().map(|a| ct.column(a.column).numeric_lut()).collect();
+    let luts: Vec<Vec<Option<f64>>> = q
+        .aggregates
+        .iter()
+        .map(|a| ct.column(a.column).numeric_lut())
+        .collect();
     let agg_cols: Vec<&hsd_storage::ColumnData> =
         q.aggregates.iter().map(|a| ct.column(a.column)).collect();
-    let mut visit = |i: usize| {
-        let gi = fk_lut[fk.code_at(i) as usize];
+    // bufs[0] holds the foreign-key codes, bufs[1..] the aggregate columns'.
+    let mut cols: Vec<&hsd_storage::ColumnData> = Vec::with_capacity(agg_cols.len() + 1);
+    cols.push(fk);
+    cols.extend(agg_cols.iter().copied());
+    for_each_selected_block(ct.row_count(), selection, &cols, |start, i, bufs| {
+        let gi = fk_lut[bufs[0][i] as usize];
         if gi == UNMATCHED {
             return; // inner join: dangling foreign keys drop out
         }
         let acc = &mut accs[gi as usize];
         for (k, col) in agg_cols.iter().enumerate() {
-            if let Some(v) = luts[k][col.code_at(i) as usize] {
+            if let Some(v) = luts[k][bufs[k + 1][i] as usize] {
                 acc[k].add(v);
-            } else if q.aggregates[k].func == AggFunc::Count && !col.value_at(i).is_null() {
+            } else if q.aggregates[k].func == AggFunc::Count && !col.value_at(start + i).is_null() {
                 acc[k].add_non_numeric();
             }
         }
-    };
-    match selection {
-        None => {
-            for i in 0..ct.row_count() {
-                visit(i);
-            }
-        }
-        Some(rows) => {
-            for &i in rows {
-                visit(i as usize);
-            }
-        }
-    }
+    });
 }
 
 /// Generic fact side (row store or vertical pair): hash probe per tuple.
 fn join_aggregate_generic(
     part: &Part<'_>,
-    selection: Option<&[u32]>,
+    selection: Option<&SelVec>,
     q: &AggregateQuery,
     join: &JoinSpec,
     dim_map: &HashMap<Value, u32>,
@@ -846,8 +1047,8 @@ fn join_aggregate_generic(
                 visit(idx);
             }
         }
-        Some(rows) => {
-            for &idx in rows {
+        Some(sv) => {
+            for idx in sv.iter() {
                 visit(idx);
             }
         }
@@ -867,9 +1068,10 @@ pub(crate) fn collect_logical_stats(data: &TableData) -> TableStats {
     stats.row_count = rows;
     for part in parts_of(data) {
         let (part_stats, map): (TableStats, Vec<Option<(usize, usize)>>) = match &part {
-            Part::Whole(t) => {
-                (TableStats::collect(t), (0..arity).map(|c| Some((0, c))).collect())
-            }
+            Part::Whole(t) => (
+                TableStats::collect(t),
+                (0..arity).map(|c| Some((0, c))).collect(),
+            ),
             Part::Pair(p) => {
                 let row_stats = TableStats::collect(p.row_fragment());
                 let col_stats = TableStats::collect(p.col_fragment());
@@ -889,7 +1091,13 @@ pub(crate) fn collect_logical_stats(data: &TableData) -> TableStats {
                 let map: Vec<Option<(usize, usize)>> = map
                     .into_iter()
                     .map(|m| {
-                        m.map(|(frag, i)| if frag == 1 { (0, i) } else { (0, row_arity + i) })
+                        m.map(|(frag, i)| {
+                            if frag == 1 {
+                                (0, i)
+                            } else {
+                                (0, row_arity + i)
+                            }
+                        })
                     })
                     .collect();
                 (merged, map)
@@ -978,7 +1186,10 @@ mod tests {
 
     fn partitioned_placement() -> TablePlacement {
         TablePlacement::Partitioned(PartitionSpec {
-            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::BigInt(1000) }),
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(1000),
+            }),
             vertical: Some(VerticalSpec { row_cols: vec![3] }),
         })
     }
@@ -1020,9 +1231,18 @@ mod tests {
         let q = Query::Aggregate(AggregateQuery {
             table: "t".into(),
             aggregates: vec![
-                Aggregate { func: AggFunc::Sum, column: 1 },
-                Aggregate { func: AggFunc::Count, column: 1 },
-                Aggregate { func: AggFunc::Max, column: 1 },
+                Aggregate {
+                    func: AggFunc::Sum,
+                    column: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Count,
+                    column: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Max,
+                    column: 1,
+                },
             ],
             group_by: Some(2),
             filter: vec![],
@@ -1043,7 +1263,10 @@ mod tests {
     fn filtered_aggregation() {
         let q = Query::Aggregate(AggregateQuery {
             table: "t".into(),
-            aggregates: vec![Aggregate { func: AggFunc::Count, column: 0 }],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Count,
+                column: 0,
+            }],
             group_by: None,
             filter: vec![ColRange::ge(1, Value::Double(20.0))],
             join: None,
@@ -1051,7 +1274,11 @@ mod tests {
         for placement in all_placements() {
             let mut db = db_with(placement.clone());
             let out = db.execute(&q).unwrap();
-            assert_eq!(out.aggregates().unwrap()[0].values[0], 10.0, "{placement:?}");
+            assert_eq!(
+                out.aggregates().unwrap()[0].values[0],
+                10.0,
+                "{placement:?}"
+            );
         }
     }
 
@@ -1060,8 +1287,14 @@ mod tests {
         let q = Query::Aggregate(AggregateQuery {
             table: "t".into(),
             aggregates: vec![
-                Aggregate { func: AggFunc::Avg, column: 1 },
-                Aggregate { func: AggFunc::Min, column: 1 },
+                Aggregate {
+                    func: AggFunc::Avg,
+                    column: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Min,
+                    column: 1,
+                },
             ],
             group_by: None,
             filter: vec![],
@@ -1090,15 +1323,27 @@ mod tests {
             }))
             .unwrap();
             let out = db
-                .execute(&Query::Select(SelectQuery::point("t", 0, Value::BigInt(5000))))
+                .execute(&Query::Select(SelectQuery::point(
+                    "t",
+                    0,
+                    Value::BigInt(5000),
+                )))
                 .unwrap();
             assert_eq!(out.rows().unwrap().len(), 1, "{placement:?}");
             let out = db
                 .execute(&Query::Select(SelectQuery::point("t", 0, Value::BigInt(7))))
                 .unwrap();
-            assert_eq!(out.rows().unwrap()[0][1], Value::Double(7.0), "{placement:?}");
+            assert_eq!(
+                out.rows().unwrap()[0][1],
+                Value::Double(7.0),
+                "{placement:?}"
+            );
             let out = db
-                .execute(&Query::Select(SelectQuery::point("t", 0, Value::BigInt(99999))))
+                .execute(&Query::Select(SelectQuery::point(
+                    "t",
+                    0,
+                    Value::BigInt(99999),
+                )))
                 .unwrap();
             assert!(out.rows().unwrap().is_empty(), "{placement:?}");
         }
@@ -1112,11 +1357,19 @@ mod tests {
                 .execute(&Query::Select(SelectQuery {
                     table: "t".into(),
                     columns: Some(vec![0]),
-                    filter: vec![ColRange::between(1, Value::Double(10.0), Value::Double(12.0))],
+                    filter: vec![ColRange::between(
+                        1,
+                        Value::Double(10.0),
+                        Value::Double(12.0),
+                    )],
                 }))
                 .unwrap();
-            let mut ids: Vec<i64> =
-                out.rows().unwrap().iter().map(|r| r[0].as_i64().unwrap()).collect();
+            let mut ids: Vec<i64> = out
+                .rows()
+                .unwrap()
+                .iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect();
             ids.sort_unstable();
             assert_eq!(ids, vec![10, 11, 12], "{placement:?}");
         }
@@ -1178,7 +1431,10 @@ mod tests {
             .collect();
         let q = Query::Aggregate(AggregateQuery {
             table: "t".into(),
-            aggregates: vec![Aggregate { func: AggFunc::Sum, column: 1 }],
+            aggregates: vec![Aggregate {
+                func: AggFunc::Sum,
+                column: 1,
+            }],
             group_by: None,
             filter: vec![],
             join: Some(JoinSpec {

@@ -55,10 +55,18 @@ fn load_partition_aware(
 ) -> Result<()> {
     match (data, target) {
         (
-            TableData::Partitioned { hot: Some(hot), cold, spec, .. },
+            TableData::Partitioned {
+                hot: Some(hot),
+                cold,
+                spec,
+                ..
+            },
             TablePlacement::Partitioned(_),
         ) => {
-            let h = spec.horizontal.clone().expect("hot partition implies horizontal spec");
+            let h = spec
+                .horizontal
+                .clone()
+                .expect("hot partition implies horizontal spec");
             for row in rows {
                 if row[h.split_column] >= h.split_value {
                     hot.insert(&row)?;
@@ -99,7 +107,14 @@ pub fn rebalance_horizontal(
     new_split_value: &Value,
 ) -> Result<usize> {
     let data = db.table_data_mut(table)?;
-    let TableData::Partitioned { hot: Some(hot), cold, spec, schema, hot_pure } = data else {
+    let TableData::Partitioned {
+        hot: Some(hot),
+        cold,
+        spec,
+        schema,
+        hot_pure,
+    } = data
+    else {
         return Err(hsd_types::Error::InvalidOperation(format!(
             "table {table} has no hot partition to rebalance"
         )));
@@ -110,10 +125,7 @@ pub fn rebalance_horizontal(
         )));
     };
     // Drain the hot partition and re-split under the new boundary.
-    let drained = std::mem::replace(
-        hot,
-        Table::new(schema.clone(), hsd_storage::StoreKind::Row),
-    );
+    let drained = std::mem::replace(hot, Table::new(schema.clone(), hsd_storage::StoreKind::Row));
     let mut moved = 0;
     for row in drained.into_rows() {
         if row[h.split_column] >= *new_split_value {
@@ -134,7 +146,8 @@ pub fn rebalance_horizontal(
     // Keep the catalog annotation in sync.
     let spec = spec.clone();
     let id = db.catalog().id_of(table)?;
-    db.catalog_mut().set_placement(id, TablePlacement::Partitioned(spec))?;
+    db.catalog_mut()
+        .set_placement(id, TablePlacement::Partitioned(spec))?;
     db.refresh_stats(table)?;
     Ok(moved)
 }
@@ -173,7 +186,11 @@ mod tests {
     fn checksum(db: &mut HybridDatabase) -> f64 {
         use hsd_query::{AggFunc, AggregateQuery, Query};
         let out = db
-            .execute(&Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)))
+            .execute(&Query::Aggregate(AggregateQuery::simple(
+                "t",
+                AggFunc::Sum,
+                1,
+            )))
             .unwrap();
         out.aggregates().unwrap()[0].values[0]
     }
@@ -186,7 +203,10 @@ mod tests {
         layout.set("t", TablePlacement::Single(StoreKind::Column));
         let moved = apply_layout(&mut db, &layout).unwrap();
         assert_eq!(moved, vec!["t".to_string()]);
-        assert_eq!(db.catalog().single_store_of("t").unwrap(), StoreKind::Column);
+        assert_eq!(
+            db.catalog().single_store_of("t").unwrap(),
+            StoreKind::Column
+        );
         assert_eq!(checksum(&mut db), before);
         assert_eq!(db.row_count("t").unwrap(), 100);
         // applying again is a no-op
@@ -198,7 +218,10 @@ mod tests {
         let mut db = loaded_db();
         let before = checksum(&mut db);
         let placement = TablePlacement::Partitioned(PartitionSpec {
-            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::BigInt(90) }),
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(90),
+            }),
             vertical: Some(VerticalSpec { row_cols: vec![2] }),
         });
         let mut layout = StorageLayout::new();
@@ -206,7 +229,9 @@ mod tests {
         apply_layout(&mut db, &layout).unwrap();
         assert_eq!(checksum(&mut db), before);
         match db.table_data("t").unwrap() {
-            TableData::Partitioned { hot: Some(h), cold, .. } => {
+            TableData::Partitioned {
+                hot: Some(h), cold, ..
+            } => {
                 assert_eq!(h.row_count(), 10);
                 assert_eq!(cold.row_count(), 90);
                 match cold {
@@ -260,7 +285,9 @@ mod tests {
         let moved = rebalance_horizontal(&mut db, "t", &Value::BigInt(95)).unwrap();
         assert_eq!(moved, 15);
         match db.table_data("t").unwrap() {
-            TableData::Partitioned { hot: Some(h), cold, .. } => {
+            TableData::Partitioned {
+                hot: Some(h), cold, ..
+            } => {
                 assert_eq!(h.row_count(), 5);
                 assert_eq!(cold.row_count(), 95);
             }

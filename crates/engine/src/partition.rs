@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement, VerticalSpec};
-use hsd_storage::{ColRange, RowSel, StoreKind, Table};
+use hsd_storage::{ColRange, RowSel, SelVec, StoreKind, Table};
 use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
 
 /// Where a logical column lives inside a [`VerticalPair`].
@@ -164,22 +164,35 @@ impl VerticalPair {
     /// Logical filter: split the conjunction by fragment, evaluate each
     /// side, and intersect positionally.
     pub fn filter_rows(&self, ranges: &[ColRange]) -> Vec<u32> {
+        if ranges.is_empty() {
+            return (0..self.row_count() as u32).collect();
+        }
+        self.filter_selvec(ranges).to_row_ids()
+    }
+
+    /// Logical filter as a selection vector: each fragment evaluates its
+    /// side of the conjunction (batched in the column fragment), and the
+    /// positional intersection is a word-wise bitmap `AND` — rows are
+    /// aligned across fragments, so no id-list merge is needed.
+    pub fn filter_selvec(&self, ranges: &[ColRange]) -> SelVec {
         let mut row_ranges = Vec::new();
         let mut col_ranges = Vec::new();
         for r in ranges {
             match self.locate[r.column] {
-                Loc::Row(p) => row_ranges.push(ColRange { column: p, ..r.clone() }),
-                Loc::Col(p) => col_ranges.push(ColRange { column: p, ..r.clone() }),
+                Loc::Row(p) => row_ranges.push(r.with_column(p)),
+                Loc::Col(p) => col_ranges.push(r.with_column(p)),
             }
         }
         match (row_ranges.is_empty(), col_ranges.is_empty()) {
-            (true, true) => (0..self.row_count() as u32).collect(),
-            (false, true) => self.row_frag.filter_rows(&row_ranges),
-            (true, false) => self.col_frag.filter_rows(&col_ranges),
+            (true, true) => SelVec::all(self.row_count()),
+            (false, true) => self.row_frag.filter_selvec(&row_ranges),
+            (true, false) => self.col_frag.filter_selvec(&col_ranges),
             (false, false) => {
-                let a = self.row_frag.filter_rows(&row_ranges);
-                let b = self.col_frag.filter_rows(&col_ranges);
-                intersect_sorted(&a, &b)
+                let mut sel = self.col_frag.filter_selvec(&col_ranges);
+                if !sel.is_none_selected() {
+                    sel.and_assign(&self.row_frag.filter_selvec(&row_ranges));
+                }
+                sel
             }
         }
     }
@@ -211,6 +224,16 @@ impl VerticalPair {
         }
     }
 
+    /// Visit numeric values of a logical column for the rows selected by
+    /// `sel` (`None` = all rows). Fragments are positionally aligned, so the
+    /// selection applies to either fragment unchanged.
+    pub fn for_each_numeric_sel(&self, col: ColumnIdx, sel: Option<&SelVec>, f: impl FnMut(f64)) {
+        match self.locate[col] {
+            Loc::Row(p) => self.row_frag.for_each_numeric_sel(p, sel, f),
+            Loc::Col(p) => self.col_frag.for_each_numeric_sel(p, sel, f),
+        }
+    }
+
     /// Visit values of a logical column.
     pub fn for_each_value(&self, col: ColumnIdx, sel: RowSel<'_>, f: impl FnMut(&Value)) {
         match self.locate[col] {
@@ -228,7 +251,12 @@ impl VerticalPair {
             None => (0..self.locate.len()).collect(),
         };
         rows.iter()
-            .map(|&r| logical_cols.iter().map(|&c| self.value_at(r, c).clone()).collect())
+            .map(|&r| {
+                logical_cols
+                    .iter()
+                    .map(|&c| self.value_at(r, c).clone())
+                    .collect()
+            })
             .collect()
     }
 
@@ -236,7 +264,11 @@ impl VerticalPair {
     pub fn into_rows(self) -> Vec<Vec<Value>> {
         let n = self.row_count() as u32;
         (0..n)
-            .map(|r| (0..self.locate.len()).map(|c| self.value_at(r, c).clone()).collect())
+            .map(|r| {
+                (0..self.locate.len())
+                    .map(|c| self.value_at(r, c).clone())
+                    .collect()
+            })
             .collect()
     }
 
@@ -290,23 +322,6 @@ impl VerticalPair {
     }
 }
 
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
 /// The cold region of a partitioned table.
 #[derive(Debug, Clone)]
 pub enum ColdPart {
@@ -335,6 +350,10 @@ impl ColdPart {
 }
 
 /// Physical data of one logical table.
+///
+/// The partitioned variant is much larger than the single-store one; the
+/// enum lives behind a map entry per table, so the size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum TableData {
     /// Entire table in one store.
@@ -407,7 +426,12 @@ impl TableData {
     pub fn insert(&mut self, row: &[Value]) -> Result<u32> {
         match self {
             TableData::Single(t) => t.insert(row),
-            TableData::Partitioned { hot: Some(h), spec, hot_pure, .. } => {
+            TableData::Partitioned {
+                hot: Some(h),
+                spec,
+                hot_pure,
+                ..
+            } => {
                 if let Some(hs) = &spec.horizontal {
                     if row[hs.split_column] < hs.split_value {
                         *hot_pure = false;
@@ -553,7 +577,8 @@ mod tests {
     #[test]
     fn pair_updates_route_to_fragments() {
         let mut p = pair();
-        p.update_rows(&[2, 4], &[(3, Value::Int(7)), (1, Value::Double(99.0))]).unwrap();
+        p.update_rows(&[2, 4], &[(3, Value::Int(7)), (1, Value::Double(99.0))])
+            .unwrap();
         assert_eq!(p.value_at(2, 3), &Value::Int(7));
         assert_eq!(p.value_at(4, 1), &Value::Double(99.0));
         p.check_alignment().unwrap();
@@ -567,7 +592,12 @@ mod tests {
         let rows = p.collect_rows(&[idx], None);
         assert_eq!(
             rows[0],
-            vec![Value::BigInt(9), Value::Double(18.0), Value::Int(1), Value::Int(0)]
+            vec![
+                Value::BigInt(9),
+                Value::Double(18.0),
+                Value::Int(1),
+                Value::Int(0)
+            ]
         );
         let projected = p.collect_rows(&[idx], Some(&[3, 0]));
         assert_eq!(projected[0], vec![Value::Int(0), Value::BigInt(9)]);
@@ -585,11 +615,13 @@ mod tests {
     #[test]
     fn table_data_partitioned_roundtrip() {
         let spec = PartitionSpec {
-            horizontal: Some(HorizontalSpec { split_column: 0, split_value: Value::BigInt(100) }),
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(100),
+            }),
             vertical: Some(VerticalSpec { row_cols: vec![3] }),
         };
-        let mut td =
-            TableData::new(schema(), &TablePlacement::Partitioned(spec)).unwrap();
+        let mut td = TableData::new(schema(), &TablePlacement::Partitioned(spec)).unwrap();
         // cold rows loaded directly into the cold partition would need the
         // mover; inserts always land in the hot partition:
         for i in 0..10 {
@@ -603,7 +635,9 @@ mod tests {
         }
         assert_eq!(td.row_count(), 10);
         match &td {
-            TableData::Partitioned { hot: Some(h), cold, .. } => {
+            TableData::Partitioned {
+                hot: Some(h), cold, ..
+            } => {
                 assert_eq!(h.row_count(), 10);
                 assert_eq!(cold.row_count(), 0);
             }
@@ -622,8 +656,15 @@ mod tests {
     }
 
     #[test]
-    fn intersect_sorted_works() {
-        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 6, 7, 9]), vec![3, 7]);
-        assert!(intersect_sorted(&[], &[1]).is_empty());
+    fn filter_selvec_matches_filter_rows() {
+        let p = pair();
+        let ranges = [
+            ColRange::eq(3, Value::Int(0)),
+            ColRange::eq(2, Value::Int(0)),
+        ];
+        let ids = p.filter_rows(&ranges);
+        let sel = p.filter_selvec(&ranges);
+        assert_eq!(sel.to_row_ids(), ids);
+        assert_eq!(sel.len(), p.row_count());
     }
 }

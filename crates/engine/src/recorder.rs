@@ -83,7 +83,9 @@ impl StatisticsRecorder {
     fn record_update(&mut self, db: &HybridDatabase, q: &UpdateQuery) {
         let schema = schema_of(db, &q.table);
         let arity = schema.as_ref().map_or(q.sets.len() + 1, |s| s.arity());
-        let non_key = schema.as_ref().map_or(arity, |s| s.arity() - s.primary_key.len());
+        let non_key = schema
+            .as_ref()
+            .map_or(arity, |s| s.arity() - s.primary_key.len());
         let t = self.stats.table_mut(&q.table, arity);
         t.updates += 1;
         // "updates that are addressing many attributes": a strict majority
@@ -101,16 +103,19 @@ impl StatisticsRecorder {
                 t.columns[r.column].update_preds += 1;
             }
             // Envelope of updated key ranges, for the hot-region heuristic.
-            let lo = match &r.lo {
+            let lo = match r.lo_ref() {
                 std::ops::Bound::Included(v) | std::ops::Bound::Excluded(v) => Some(v),
                 std::ops::Bound::Unbounded => None,
             };
-            let hi = match &r.hi {
+            let hi = match r.hi_ref() {
                 std::ops::Bound::Included(v) | std::ops::Bound::Excluded(v) => Some(v),
                 std::ops::Bound::Unbounded => None,
             };
             if let (Some(lo), Some(hi)) = (lo, hi) {
-                t.update_envelopes.entry(r.column).or_default().observe(lo, hi);
+                t.update_envelopes
+                    .entry(r.column)
+                    .or_default()
+                    .observe(lo, hi);
             }
         }
     }
@@ -147,7 +152,10 @@ fn arity_of(db: &HybridDatabase, table: &str) -> usize {
 }
 
 fn schema_of(db: &HybridDatabase, table: &str) -> Option<std::sync::Arc<TableSchema>> {
-    db.catalog().entry_by_name(table).ok().map(|e| e.schema.clone())
+    db.catalog()
+        .entry_by_name(table)
+        .ok()
+        .map(|e| e.schema.clone())
 }
 
 #[cfg(test)]
@@ -193,7 +201,13 @@ mod tests {
     fn records_inserts_updates_selects() {
         let db = db();
         let mut rec = StatisticsRecorder::new();
-        rec.record(&db, &Query::Insert(InsertQuery { table: "t".into(), rows: vec![] }));
+        rec.record(
+            &db,
+            &Query::Insert(InsertQuery {
+                table: "t".into(),
+                rows: vec![],
+            }),
+        );
         rec.record(
             &db,
             &Query::Update(UpdateQuery {
@@ -259,7 +273,10 @@ mod tests {
             &db,
             &Query::Aggregate(AggregateQuery {
                 table: "t".into(),
-                aggregates: vec![Aggregate { func: AggFunc::Sum, column: 1 }],
+                aggregates: vec![Aggregate {
+                    func: AggFunc::Sum,
+                    column: 1,
+                }],
                 group_by: Some(2),
                 filter: vec![],
                 join: Some(JoinSpec {
@@ -284,7 +301,13 @@ mod tests {
     fn reset_clears() {
         let db = db();
         let mut rec = StatisticsRecorder::new();
-        rec.record(&db, &Query::Insert(InsertQuery { table: "t".into(), rows: vec![] }));
+        rec.record(
+            &db,
+            &Query::Insert(InsertQuery {
+                table: "t".into(),
+                rows: vec![],
+            }),
+        );
         rec.reset();
         assert_eq!(rec.stats().total_statements, 0);
         assert!(rec.stats().table("t").is_none());

@@ -66,7 +66,9 @@ impl WorkloadRunner {
         mut recorder: Option<&mut StatisticsRecorder>,
     ) -> Result<RunReport> {
         let mut by_kind: BTreeMap<&'static str, Duration> = BTreeMap::new();
-        let mut per_query = self.collect_per_query.then(|| Vec::with_capacity(workload.len()));
+        let mut per_query = self
+            .collect_per_query
+            .then(|| Vec::with_capacity(workload.len()));
         let started = Instant::now();
         for query in &workload.queries {
             if let Some(rec) = recorder.as_deref_mut() {
@@ -139,14 +141,21 @@ mod tests {
             StoreKind::Column,
         )
         .unwrap();
-        db.bulk_load("t", (0..100).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]))
-            .unwrap();
+        db.bulk_load(
+            "t",
+            (0..100).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]),
+        )
+        .unwrap();
         db
     }
 
     fn workload() -> Workload {
         let mut w = Workload::new();
-        w.push(Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)));
+        w.push(Query::Aggregate(AggregateQuery::simple(
+            "t",
+            AggFunc::Sum,
+            1,
+        )));
         w.push(Query::Insert(InsertQuery {
             table: "t".into(),
             rows: vec![vec![Value::BigInt(1000), Value::Double(0.0)]],
@@ -169,7 +178,9 @@ mod tests {
     #[test]
     fn per_query_durations() {
         let mut db = db();
-        let runner = WorkloadRunner { collect_per_query: true };
+        let runner = WorkloadRunner {
+            collect_per_query: true,
+        };
         let report = runner.run(&mut db, &workload()).unwrap();
         assert_eq!(report.per_query.unwrap().len(), 2);
     }
@@ -178,7 +189,9 @@ mod tests {
     fn recorded_run_populates_stats() {
         let mut db = db();
         let mut rec = StatisticsRecorder::new();
-        WorkloadRunner::new().run_recorded(&mut db, &workload(), &mut rec).unwrap();
+        WorkloadRunner::new()
+            .run_recorded(&mut db, &workload(), &mut rec)
+            .unwrap();
         assert_eq!(rec.stats().total_statements, 2);
         assert_eq!(rec.stats().table("t").unwrap().inserts, 1);
         assert_eq!(rec.stats().table("t").unwrap().aggregations, 1);

@@ -62,17 +62,26 @@ fn placements() -> Vec<TablePlacement> {
 /// A randomized query over the fixed schema.
 fn query_strategy() -> impl Strategy<Value = Query> {
     let agg = (0usize..5, any::<bool>(), -1i64..ROWS + 20).prop_map(|(f, grouped, bound)| {
-        let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+        let funcs = [
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+        ];
         Query::Aggregate(AggregateQuery {
             table: "t".into(),
-            aggregates: vec![Aggregate { func: funcs[f], column: 1 }],
+            aggregates: vec![Aggregate {
+                func: funcs[f],
+                column: 1,
+            }],
             group_by: grouped.then_some(2),
             filter: if bound < 0 {
                 vec![]
             } else {
                 vec![ColRange::ge(0, Value::BigInt(bound))]
             },
-        join: None,
+            join: None,
         })
     });
     let select = (0i64..ROWS + 20, any::<bool>()).prop_map(|(id, point)| {
@@ -82,7 +91,11 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             filter: if point {
                 vec![ColRange::eq(0, Value::BigInt(id))]
             } else {
-                vec![ColRange::between(0, Value::BigInt(id / 2), Value::BigInt(id))]
+                vec![ColRange::between(
+                    0,
+                    Value::BigInt(id / 2),
+                    Value::BigInt(id),
+                )]
             },
         })
     });
@@ -114,9 +127,10 @@ fn outputs_close(a: &QueryOutput, b: &QueryOutput) -> bool {
                 && x.iter().zip(y).all(|(p, q)| {
                     p.key == q.key
                         && p.values.len() == q.values.len()
-                        && p.values.iter().zip(&q.values).all(|(u, v)| {
-                            (u - v).abs() <= 1e-9 * u.abs().max(v.abs()).max(1.0)
-                        })
+                        && p.values
+                            .iter()
+                            .zip(&q.values)
+                            .all(|(u, v)| (u - v).abs() <= 1e-9 * u.abs().max(v.abs()).max(1.0))
                 })
         }
         _ => a == b,

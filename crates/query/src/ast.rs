@@ -20,7 +20,13 @@ pub enum AggFunc {
 
 impl AggFunc {
     /// All functions, stable order (calibration sweeps iterate this).
-    pub const ALL: [AggFunc; 5] = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Count,
+    ];
 
     /// SQL-ish name.
     pub fn name(self) -> &'static str {
@@ -227,10 +233,17 @@ mod tests {
         assert_eq!(sel.kind(), QueryKind::Select);
         assert!(!sel.is_olap());
 
-        let ins = Query::Insert(InsertQuery { table: "t".into(), rows: vec![] });
+        let ins = Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![],
+        });
         assert_eq!(ins.kind(), QueryKind::Insert);
 
-        let upd = Query::Update(UpdateQuery { table: "t".into(), sets: vec![], filter: vec![] });
+        let upd = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![],
+            filter: vec![],
+        });
         assert_eq!(upd.kind(), QueryKind::Update);
         assert_eq!(upd.table(), "t");
     }

@@ -89,7 +89,11 @@ impl TableSpec {
 
     /// Total number of columns.
     pub fn arity(&self) -> usize {
-        1 + self.fk_attrs + self.keyfigures + self.group_attrs + self.filter_attrs + self.status_attrs
+        1 + self.fk_attrs
+            + self.keyfigures
+            + self.group_attrs
+            + self.filter_attrs
+            + self.status_attrs
     }
 
     /// The primary-key (`id`) column.
@@ -259,7 +263,10 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// New generator; `next_id` continues after the table's initial rows.
     pub fn new(spec: &TableSpec, seed: u64) -> Self {
-        WorkloadGenerator { rng: SmallRng::seed_from_u64(seed), next_id: spec.rows as u64 }
+        WorkloadGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            next_id: spec.rows as u64,
+        }
     }
 
     /// Mixed workload against a single table (Figure 7(a) and the
@@ -321,7 +328,13 @@ impl WorkloadGenerator {
         join: Option<(&TableSpec, ColumnIdx)>,
     ) -> Query {
         let n_aggs = self.rng.gen_range(1..=cfg.max_aggregates.max(1));
-        let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+        let funcs = [
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+        ];
         let aggregates: Vec<Aggregate> = (0..n_aggs)
             .map(|_| Aggregate {
                 func: funcs[self.rng.gen_range(0..funcs.len())],
@@ -384,7 +397,10 @@ impl WorkloadGenerator {
                 spec.row(id)
             })
             .collect();
-        Query::Insert(InsertQuery { table: spec.name.clone(), rows })
+        Query::Insert(InsertQuery {
+            table: spec.name.clone(),
+            rows,
+        })
     }
 
     fn target_id(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> i64 {
@@ -419,9 +435,7 @@ impl WorkloadGenerator {
                     // Keyfigure updates write genuinely new values (a fresh
                     // price/quantity), growing the column store's dictionary
                     // tail — the delta pressure real updates create.
-                    Value::Double(_) => {
-                        (c, Value::Double(self.rng.gen::<u32>() as f64 / 977.0))
-                    }
+                    Value::Double(_) => (c, Value::Double(self.rng.gen::<u32>() as f64 / 977.0)),
                     // Flag-like integer attributes stay within their domain.
                     v => (c, v),
                 }
@@ -440,7 +454,11 @@ impl WorkloadGenerator {
                 )]
             }
         };
-        Query::Update(UpdateQuery { table: spec.name.clone(), sets, filter })
+        Query::Update(UpdateQuery {
+            table: spec.name.clone(),
+            sets,
+            filter,
+        })
     }
 
     fn point_select(&mut self, spec: &TableSpec, cfg: &MixedWorkloadConfig) -> Query {
@@ -517,7 +535,11 @@ mod tests {
     #[test]
     fn workload_olap_fraction_matches_config() {
         let s = spec();
-        let cfg = MixedWorkloadConfig { queries: 200, olap_fraction: 0.05, ..Default::default() };
+        let cfg = MixedWorkloadConfig {
+            queries: 200,
+            olap_fraction: 0.05,
+            ..Default::default()
+        };
         let w = WorkloadGenerator::single_table(&s, &cfg);
         assert_eq!(w.len(), 200);
         assert!((w.olap_fraction() - 0.05).abs() < 1e-9);
@@ -526,7 +548,10 @@ mod tests {
     #[test]
     fn workload_is_seed_deterministic() {
         let s = spec();
-        let cfg = MixedWorkloadConfig { queries: 100, ..Default::default() };
+        let cfg = MixedWorkloadConfig {
+            queries: 100,
+            ..Default::default()
+        };
         let a = WorkloadGenerator::single_table(&s, &cfg);
         let b = WorkloadGenerator::single_table(&s, &cfg);
         assert_eq!(a, b);
@@ -558,7 +583,10 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 50, "ids must be unique");
-        assert!(ids.iter().all(|&i| i >= 1000), "ids continue after initial rows");
+        assert!(
+            ids.iter().all(|&i| i >= 1000),
+            "ids continue after initial rows"
+        );
     }
 
     #[test]
@@ -612,9 +640,17 @@ mod tests {
             kf_distinct: 100_000,
             seed: 2,
         };
-        let cfg = MixedWorkloadConfig { queries: 100, olap_fraction: 0.2, ..Default::default() };
+        let cfg = MixedWorkloadConfig {
+            queries: 100,
+            olap_fraction: 0.2,
+            ..Default::default()
+        };
         let w = WorkloadGenerator::star(&fact, &dim, fact.fk_col(0), &cfg);
-        let joins = w.queries.iter().filter(|q| q.kind() == QueryKind::AggregationJoin).count();
+        let joins = w
+            .queries
+            .iter()
+            .filter(|q| q.kind() == QueryKind::AggregationJoin)
+            .count();
         assert_eq!(joins, 20);
         for q in &w.queries {
             if let Query::Aggregate(a) = q {

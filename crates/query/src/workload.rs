@@ -88,7 +88,9 @@ impl Workload {
 
 impl FromIterator<Query> for Workload {
     fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
-        Workload { queries: iter.into_iter().collect() }
+        Workload {
+            queries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -100,10 +102,20 @@ mod tests {
 
     fn mixed() -> Workload {
         let mut w = Workload::new();
-        w.push(Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)));
+        w.push(Query::Aggregate(AggregateQuery::simple(
+            "t",
+            AggFunc::Sum,
+            1,
+        )));
         w.push(Query::Select(SelectQuery::point("t", 0, Value::Int(1))));
-        w.push(Query::Insert(InsertQuery { table: "u".into(), rows: vec![] }));
-        w.push(Query::Insert(InsertQuery { table: "u".into(), rows: vec![] }));
+        w.push(Query::Insert(InsertQuery {
+            table: "u".into(),
+            rows: vec![],
+        }));
+        w.push(Query::Insert(InsertQuery {
+            table: "u".into(),
+            rows: vec![],
+        }));
         w
     }
 
@@ -130,8 +142,12 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let w: Workload =
-            vec![Query::Insert(InsertQuery { table: "x".into(), rows: vec![] })].into_iter().collect();
+        let w: Workload = vec![Query::Insert(InsertQuery {
+            table: "x".into(),
+            rows: vec![],
+        })]
+        .into_iter()
+        .collect();
         assert_eq!(w.len(), 1);
     }
 }

@@ -1,15 +1,24 @@
 //! The column store: per-column dictionaries plus bit-packed code vectors,
 //! with an unsorted dictionary tail absorbing new values (delta semantics)
 //! and an explicit merge ([`ColumnTable::compact`]).
+//!
+//! Scans run through a batched pipeline: codes are block-decoded with
+//! word-level unpacking ([`BitPackedVec::decode_into`]), range predicates
+//! are evaluated branch-free over decoded blocks in the code domain, and
+//! matches are collected in bitmap selection vectors ([`SelVec`]) that
+//! conjunctions combine with word-wise `AND`s. The element-at-a-time path
+//! ([`ColumnData::filter_scalar`], [`ColumnTable::filter_rows_scalar`])
+//! remains as the ablation baseline the scan benchmarks compare against.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
 
-use crate::bitpack::BitPackedVec;
+use crate::bitpack::{BitPackedVec, BLOCK};
 use crate::dictionary::Dictionary;
 use crate::predicate::{ColRange, RowSel};
+use crate::selvec::SelVec;
 use crate::table::{pk_key_of, PkKey};
 
 /// Physical encoding of a code vector.
@@ -62,6 +71,17 @@ impl CodeVec {
         }
     }
 
+    /// Decode the run `[start, start + out.len())` into `out`. The packed
+    /// encoding uses word-level unpacking; the plain ablation encoding is a
+    /// straight copy.
+    #[inline]
+    fn decode_into(&self, start: usize, out: &mut [u32]) {
+        match self {
+            CodeVec::Packed(v) => v.decode_into(start, out),
+            CodeVec::Plain(v) => out.copy_from_slice(&v[start..start + out.len()]),
+        }
+    }
+
     fn heap_bytes(&self) -> usize {
         match self {
             CodeVec::Packed(v) => v.heap_bytes(),
@@ -80,7 +100,10 @@ pub struct ColumnData {
 impl ColumnData {
     /// Empty column.
     pub fn new(packed: bool) -> Self {
-        ColumnData { dict: Dictionary::new(), codes: CodeVec::new(packed) }
+        ColumnData {
+            dict: Dictionary::new(),
+            codes: CodeVec::new(packed),
+        }
     }
 
     /// Append a value (interning it into the dictionary).
@@ -159,14 +182,116 @@ impl ColumnData {
         }
     }
 
-    /// Row indexes (within `sel`) whose value satisfies `range`.
-    ///
-    /// Sorted-region matches are a code-interval comparison (the implicit
-    /// index); tail codes are matched via a small sorted list.
-    pub fn filter(&self, range: &ColRange, sel: RowSel<'_>) -> Vec<u32> {
+    /// Decode the codes `[start, start + out.len())` into `out` (block
+    /// decode; see [`BitPackedVec::decode_into`]). Batch consumers — the
+    /// engine's aggregation loops, the filter pipeline — use this instead
+    /// of per-row [`ColumnData::code_at`] calls.
+    #[inline]
+    pub fn decode_codes_into(&self, start: usize, out: &mut [u32]) {
+        self.codes.decode_into(start, out);
+    }
+
+    /// The code-domain match set for `range`: the sorted-region interval
+    /// `[lo, hi)` plus the (sorted) list of matching tail codes.
+    fn code_matches(&self, range: &ColRange) -> (u32, u32, Vec<u32>) {
         let (lo, hi) = self.dict.sorted_code_range(range.lo_ref(), range.hi_ref());
-        let mut tail: Vec<u32> = self.dict.tail_codes_in_range(range.lo_ref(), range.hi_ref());
+        let mut tail = self
+            .dict
+            .tail_codes_in_range(range.lo_ref(), range.hi_ref());
         tail.sort_unstable();
+        (lo, hi, tail)
+    }
+
+    /// Batched filter: the selection of rows whose value satisfies `range`,
+    /// evaluated block-at-a-time without leaving the code domain.
+    ///
+    /// Bit-packed columns run the predicate through a fused per-width
+    /// unpack+compare kernel ([`BitPackedVec::match_interval_into`]): each
+    /// packed word is loaded once and 64 match bits are produced per
+    /// selection-vector word with a single branch-free range test per code.
+    /// When `prior` is given (an earlier conjunct's selection), blocks with
+    /// no surviving candidate are skipped entirely and the result is
+    /// pre-masked by `prior` — the cheap AND-combination that makes
+    /// conjunctions scale. Dictionary-tail codes (rare between delta
+    /// merges) take a block-decoded path with a sorted-list membership test.
+    pub fn filter_selvec(&self, range: &ColRange, prior: Option<&SelVec>) -> SelVec {
+        let n = self.codes.len();
+        if let Some(p) = prior {
+            assert_eq!(p.len(), n, "prior selection domain mismatch");
+        }
+        let (lo, hi, tail) = self.code_matches(range);
+        let span = hi.wrapping_sub(lo);
+        let mut out = SelVec::none(n);
+        let mut buf = [0u32; BLOCK];
+        {
+            let out_words = out.words_mut();
+            let mut start = 0;
+            while start < n {
+                let block_len = BLOCK.min(n - start);
+                let word_base = start / 64; // exact: BLOCK is a multiple of 64
+                let word_end = (start + block_len).div_ceil(64);
+                if let Some(p) = prior {
+                    if p.words()[word_base..word_end].iter().all(|&w| w == 0) {
+                        start += block_len;
+                        continue;
+                    }
+                }
+                match (&self.codes, tail.is_empty()) {
+                    (CodeVec::Packed(v), true) => {
+                        v.match_interval_into(
+                            start,
+                            block_len,
+                            lo,
+                            hi,
+                            &mut out_words[word_base..word_end],
+                        );
+                    }
+                    (CodeVec::Plain(v), true) => {
+                        let codes = &v[start..start + block_len];
+                        for (wi, chunk) in codes.chunks(64).enumerate() {
+                            // Branch-free interval test; vectorizes to the
+                            // compare + movemask shape.
+                            let mut bits = 0u64;
+                            for (j, &c) in chunk.iter().enumerate() {
+                                bits |= ((c.wrapping_sub(lo) < span) as u64) << j;
+                            }
+                            out_words[word_base + wi] = bits;
+                        }
+                    }
+                    (_, false) => {
+                        // Tail codes present: decode the block and check the
+                        // sorted tail list alongside the interval.
+                        let codes = &mut buf[..block_len];
+                        self.codes.decode_into(start, codes);
+                        for (wi, chunk) in codes.chunks(64).enumerate() {
+                            let mut bits = 0u64;
+                            for (j, &c) in chunk.iter().enumerate() {
+                                bits |= ((c.wrapping_sub(lo) < span) as u64) << j;
+                            }
+                            for (j, &c) in chunk.iter().enumerate() {
+                                bits |= (tail.binary_search(&c).is_ok() as u64) << j;
+                            }
+                            out_words[word_base + wi] = bits;
+                        }
+                    }
+                }
+                start += block_len;
+            }
+        }
+        if let Some(p) = prior {
+            out.and_assign(p);
+        }
+        out
+    }
+
+    /// Row indexes (within `sel`) whose value satisfies `range`, evaluated
+    /// element-at-a-time via [`ColumnData::code_at`]-style decoding.
+    ///
+    /// This is the pre-batching scan path, kept as the ablation baseline
+    /// (`bench_scan` compares it against [`ColumnData::filter_selvec`]) and
+    /// as the parity oracle for the batched pipeline's property tests.
+    pub fn filter_scalar(&self, range: &ColRange, sel: RowSel<'_>) -> Vec<u32> {
+        let (lo, hi, tail) = self.code_matches(range);
         let hit = |code: u32| (code >= lo && code < hi) || tail.binary_search(&code).is_ok();
         let mut out = Vec::new();
         match sel {
@@ -190,11 +315,12 @@ impl ColumnData {
 
     /// Visit the numeric interpretation of the selected rows.
     ///
-    /// When the dictionary is small relative to the visited rows, decoding
-    /// goes through a per-call lookup table so the hot loop reads only
-    /// packed codes — the column store's fast aggregation path. For
-    /// near-unique columns (LUT construction would dominate), codes are
-    /// decoded directly against the dictionary.
+    /// Full scans block-decode the code vector (word-level unpacking)
+    /// instead of per-row `get` calls. When the dictionary is small relative
+    /// to the visited rows, decoding goes through a per-call lookup table so
+    /// the hot loop reads only packed codes — the column store's fast
+    /// aggregation path. For near-unique columns (LUT construction would
+    /// dominate), codes are decoded directly against the dictionary.
     pub fn for_each_numeric(&self, sel: RowSel<'_>, mut f: impl FnMut(f64)) {
         let visited = match sel {
             RowSel::All => self.codes.len(),
@@ -203,13 +329,13 @@ impl ColumnData {
         if self.dict.len() * 4 <= visited {
             let lut: Vec<Option<f64>> = self.dict.values().map(Value::as_f64).collect();
             match sel {
-                RowSel::All => {
-                    for i in 0..self.codes.len() {
-                        if let Some(v) = lut[self.codes.get(i) as usize] {
+                RowSel::All => self.for_each_code_block(|codes| {
+                    for &c in codes {
+                        if let Some(v) = lut[c as usize] {
                             f(v);
                         }
                     }
-                }
+                }),
                 RowSel::Subset(rows) => {
                     for &i in rows {
                         if let Some(v) = lut[self.codes.get(i as usize) as usize] {
@@ -220,13 +346,13 @@ impl ColumnData {
             }
         } else {
             match sel {
-                RowSel::All => {
-                    for i in 0..self.codes.len() {
-                        if let Some(v) = self.dict.decode(self.codes.get(i)).as_f64() {
+                RowSel::All => self.for_each_code_block(|codes| {
+                    for &c in codes {
+                        if let Some(v) = self.dict.decode(c).as_f64() {
                             f(v);
                         }
                     }
-                }
+                }),
                 RowSel::Subset(rows) => {
                     for &i in rows {
                         if let Some(v) = self.dict.decode(self.codes.get(i as usize)).as_f64() {
@@ -238,14 +364,82 @@ impl ColumnData {
         }
     }
 
+    /// Visit the numeric interpretation of the rows selected by `sel`
+    /// (`None` = all rows), decoding codes block-at-a-time and walking the
+    /// selection's set bits — the batched counterpart of
+    /// [`ColumnData::for_each_numeric`] used by the engine's aggregation
+    /// pipeline.
+    pub fn for_each_numeric_sel(&self, sel: Option<&SelVec>, mut f: impl FnMut(f64)) {
+        let Some(sv) = sel else {
+            return self.for_each_numeric(RowSel::All, f);
+        };
+        let n = self.codes.len();
+        debug_assert_eq!(sv.len(), n, "selection domain mismatch");
+        // Same trade-off as `for_each_numeric`: a per-call LUT only pays
+        // off when the selection is large relative to the dictionary;
+        // near-unique columns under selective filters decode straight
+        // against the dictionary (O(selected) instead of O(dictionary)).
+        let lut: Option<Vec<Option<f64>>> = if self.dict.len() * 4 <= sv.count() {
+            Some(self.dict.values().map(Value::as_f64).collect())
+        } else {
+            None
+        };
+        // BLOCK-sized decode runs like every other batched consumer (one
+        // decode call per 1024 rows, not per 64), skipping blocks with no
+        // selected candidate.
+        let mut buf = [0u32; BLOCK];
+        let mut start = 0;
+        while start < n {
+            let len = BLOCK.min(n - start);
+            let word_base = start / 64; // exact: BLOCK is a multiple of 64
+            let word_end = (start + len).div_ceil(64);
+            let words = &sv.words()[word_base..word_end];
+            if words.iter().all(|&w| w == 0) {
+                start += len;
+                continue;
+            }
+            self.codes.decode_into(start, &mut buf[..len]);
+            for (wi, &w) in words.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let code = buf[wi * 64 + b];
+                    let v = match &lut {
+                        Some(lut) => lut[code as usize],
+                        None => self.dict.decode(code).as_f64(),
+                    };
+                    if let Some(v) = v {
+                        f(v);
+                    }
+                }
+            }
+            start += len;
+        }
+    }
+
+    /// Feed every code to `f` in block-decoded runs of up to
+    /// [`BLOCK`] codes.
+    pub fn for_each_code_block(&self, mut f: impl FnMut(&[u32])) {
+        let n = self.codes.len();
+        let mut buf = [0u32; BLOCK];
+        let mut start = 0;
+        while start < n {
+            let block_len = BLOCK.min(n - start);
+            self.codes.decode_into(start, &mut buf[..block_len]);
+            f(&buf[..block_len]);
+            start += block_len;
+        }
+    }
+
     /// Visit the decoded value of the selected rows.
     pub fn for_each_value(&self, sel: RowSel<'_>, mut f: impl FnMut(&Value)) {
         match sel {
-            RowSel::All => {
-                for i in 0..self.codes.len() {
-                    f(self.dict.decode(self.codes.get(i)));
+            RowSel::All => self.for_each_code_block(|codes| {
+                for &c in codes {
+                    f(self.dict.decode(c));
                 }
-            }
+            }),
             RowSel::Subset(rows) => {
                 for &i in rows {
                     f(self.dict.decode(self.codes.get(i as usize)));
@@ -278,8 +472,15 @@ impl ColumnTable {
     /// Empty table choosing the code-vector encoding (`packed = false` is
     /// the ablation variant).
     pub fn with_encoding(schema: Arc<TableSchema>, packed: bool) -> Self {
-        let columns = (0..schema.arity()).map(|_| ColumnData::new(packed)).collect();
-        ColumnTable { schema, columns, pk: HashMap::new(), rows: 0 }
+        let columns = (0..schema.arity())
+            .map(|_| ColumnData::new(packed))
+            .collect();
+        ColumnTable {
+            schema,
+            columns,
+            pk: HashMap::new(),
+            rows: 0,
+        }
     }
 
     /// Table schema.
@@ -303,7 +504,11 @@ impl ColumnTable {
         let idx = self.rows as u32;
         match self.pk.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                return Err(Error::DuplicateKey(format!("{}: {:?}", self.schema.name, e.key())));
+                return Err(Error::DuplicateKey(format!(
+                    "{}: {:?}",
+                    self.schema.name,
+                    e.key()
+                )));
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(idx);
@@ -326,7 +531,10 @@ impl ColumnTable {
     /// column, the "tuple reconstruction" cost of the paper's
     /// `f_#selectedColumns` adjustment.
     pub fn row(&self, idx: u32) -> Vec<Value> {
-        self.columns.iter().map(|c| c.value_at(idx as usize).clone()).collect()
+        self.columns
+            .iter()
+            .map(|c| c.value_at(idx as usize).clone())
+            .collect()
     }
 
     /// Find the row index for a primary key, if present.
@@ -335,7 +543,37 @@ impl ColumnTable {
     }
 
     /// Row indexes matching *all* of `ranges` (conjunction), ascending.
+    ///
+    /// Runs the batched pipeline ([`ColumnTable::filter_selvec`]) and
+    /// materializes the id list once at the end.
     pub fn filter_rows(&self, ranges: &[ColRange]) -> Vec<u32> {
+        if ranges.is_empty() {
+            return (0..self.rows as u32).collect();
+        }
+        self.filter_selvec(ranges).to_row_ids()
+    }
+
+    /// The selection matching *all* of `ranges` (conjunction) as a bitmap.
+    ///
+    /// Each conjunct is evaluated block-decoded and branch-free against the
+    /// previous conjunct's selection ([`ColumnData::filter_selvec`]); the
+    /// conjunction short-circuits as soon as any intermediate selection is
+    /// empty, skipping the remaining predicates entirely.
+    pub fn filter_selvec(&self, ranges: &[ColRange]) -> SelVec {
+        let mut current: Option<SelVec> = None;
+        for range in ranges {
+            let next = self.columns[range.column].filter_selvec(range, current.as_ref());
+            if next.is_none_selected() {
+                return next;
+            }
+            current = Some(next);
+        }
+        current.unwrap_or_else(|| SelVec::all(self.rows))
+    }
+
+    /// Scalar (element-at-a-time) variant of [`ColumnTable::filter_rows`]:
+    /// the ablation baseline and parity oracle for the batched pipeline.
+    pub fn filter_rows_scalar(&self, ranges: &[ColRange]) -> Vec<u32> {
         if ranges.is_empty() {
             return (0..self.rows as u32).collect();
         }
@@ -345,7 +583,7 @@ impl ColumnTable {
                 None => RowSel::All,
                 Some(rows) => RowSel::Subset(rows),
             };
-            let next = self.columns[range.column].filter(range, sel);
+            let next = self.columns[range.column].filter_scalar(range, sel);
             if next.is_empty() {
                 return next;
             }
@@ -372,7 +610,10 @@ impl ColumnTable {
         }
         for &idx in rows {
             if idx as usize >= self.rows {
-                return Err(Error::NotFound(format!("row {idx} in {}", self.schema.name)));
+                return Err(Error::NotFound(format!(
+                    "row {idx} in {}",
+                    self.schema.name
+                )));
             }
         }
         for &idx in rows {
@@ -388,6 +629,12 @@ impl ColumnTable {
         self.columns[col].for_each_numeric(sel, f);
     }
 
+    /// Visit the numeric value of `col` for the rows selected by `sel`
+    /// (`None` = all rows), via the batched block-decode path.
+    pub fn for_each_numeric_sel(&self, col: ColumnIdx, sel: Option<&SelVec>, f: impl FnMut(f64)) {
+        self.columns[col].for_each_numeric_sel(sel, f);
+    }
+
     /// Visit the value of `col` for the selected rows.
     pub fn for_each_value(&self, col: ColumnIdx, sel: RowSel<'_>, f: impl FnMut(&Value)) {
         self.columns[col].for_each_value(sel, f);
@@ -398,7 +645,10 @@ impl ColumnTable {
         let emit = |idx: u32| -> Vec<Value> {
             match cols {
                 None => self.row(idx),
-                Some(cols) => cols.iter().map(|&c| self.value_at(idx, c).clone()).collect(),
+                Some(cols) => cols
+                    .iter()
+                    .map(|&c| self.value_at(idx, c).clone())
+                    .collect(),
             }
         };
         match sel {
@@ -493,7 +743,9 @@ mod tests {
     #[test]
     fn duplicate_pk_rejected() {
         let mut t = sample();
-        let err = t.insert(&[Value::Int(3), Value::Double(0.0), Value::text("new")]).unwrap_err();
+        let err = t
+            .insert(&[Value::Int(3), Value::Double(0.0), Value::text("new")])
+            .unwrap_err();
         assert!(matches!(err, Error::DuplicateKey(_)));
     }
 
@@ -587,12 +839,19 @@ mod tests {
         let mut packed = ColumnTable::with_encoding(schema(), true);
         let mut plain = ColumnTable::with_encoding(schema(), false);
         for i in 0..20 {
-            let row = [Value::Int(i), Value::Double((i % 5) as f64), Value::text("s")];
+            let row = [
+                Value::Int(i),
+                Value::Double((i % 5) as f64),
+                Value::text("s"),
+            ];
             packed.insert(&row).unwrap();
             plain.insert(&row).unwrap();
         }
         let r = ColRange::between(1, Value::Double(1.0), Value::Double(3.0));
-        assert_eq!(packed.filter_rows(&[r.clone()]), plain.filter_rows(&[r]));
+        assert_eq!(
+            packed.filter_rows(std::slice::from_ref(&r)),
+            plain.filter_rows(&[r])
+        );
         assert!(packed.memory_bytes() > 0 && plain.memory_bytes() > 0);
     }
 

@@ -38,7 +38,11 @@ impl Dictionary {
     pub fn from_distinct(mut values: Vec<Value>) -> Self {
         values.sort();
         values.dedup();
-        Dictionary { sorted: values, tail: Vec::new(), tail_lookup: HashMap::new() }
+        Dictionary {
+            sorted: values,
+            tail: Vec::new(),
+            tail_lookup: HashMap::new(),
+        }
     }
 
     /// Total number of distinct values (sorted + tail).
@@ -251,13 +255,28 @@ mod tests {
         let d = dict_of(&[10, 20, 30, 40]);
         use Bound::*;
         assert_eq!(d.sorted_code_range(Unbounded, Unbounded), (0, 4));
-        assert_eq!(d.sorted_code_range(Included(&Value::Int(20)), Included(&Value::Int(30))), (1, 3));
-        assert_eq!(d.sorted_code_range(Excluded(&Value::Int(20)), Unbounded), (2, 4));
-        assert_eq!(d.sorted_code_range(Unbounded, Excluded(&Value::Int(20))), (0, 1));
+        assert_eq!(
+            d.sorted_code_range(Included(&Value::Int(20)), Included(&Value::Int(30))),
+            (1, 3)
+        );
+        assert_eq!(
+            d.sorted_code_range(Excluded(&Value::Int(20)), Unbounded),
+            (2, 4)
+        );
+        assert_eq!(
+            d.sorted_code_range(Unbounded, Excluded(&Value::Int(20))),
+            (0, 1)
+        );
         // range for an absent value collapses correctly
-        assert_eq!(d.sorted_code_range(Included(&Value::Int(25)), Included(&Value::Int(25))), (2, 2));
+        assert_eq!(
+            d.sorted_code_range(Included(&Value::Int(25)), Included(&Value::Int(25))),
+            (2, 2)
+        );
         // inverted range yields empty interval
-        assert_eq!(d.sorted_code_range(Included(&Value::Int(40)), Included(&Value::Int(10))), (3, 3));
+        assert_eq!(
+            d.sorted_code_range(Included(&Value::Int(40)), Included(&Value::Int(10))),
+            (3, 3)
+        );
     }
 
     #[test]
@@ -266,7 +285,10 @@ mod tests {
         use Bound::*;
         assert_eq!(d.sorted_code_range(Unbounded, Unbounded), (1, 3));
         // explicit NULL selection
-        assert_eq!(d.sorted_code_range(Included(&Value::Null), Included(&Value::Null)), (0, 1));
+        assert_eq!(
+            d.sorted_code_range(Included(&Value::Null), Included(&Value::Null)),
+            (0, 1)
+        );
     }
 
     #[test]
@@ -296,9 +318,21 @@ mod tests {
     fn value_in_range_null_semantics() {
         use Bound::*;
         assert!(!value_in_range(&Value::Null, Unbounded, Unbounded));
-        assert!(value_in_range(&Value::Null, Included(&Value::Null), Included(&Value::Null)));
-        assert!(value_in_range(&Value::Int(5), Included(&Value::Int(5)), Unbounded));
-        assert!(!value_in_range(&Value::Int(5), Excluded(&Value::Int(5)), Unbounded));
+        assert!(value_in_range(
+            &Value::Null,
+            Included(&Value::Null),
+            Included(&Value::Null)
+        ));
+        assert!(value_in_range(
+            &Value::Int(5),
+            Included(&Value::Int(5)),
+            Unbounded
+        ));
+        assert!(!value_in_range(
+            &Value::Int(5),
+            Excluded(&Value::Int(5)),
+            Unbounded
+        ));
     }
 
     #[test]

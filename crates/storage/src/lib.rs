@@ -25,6 +25,37 @@
 //! The [`table::Table`] enum gives the engine a store-agnostic interface, so
 //! the same query executor runs against either store — exactly the situation
 //! in which "where should this table live?" becomes the advisor's question.
+//!
+//! # The batched scan pipeline
+//!
+//! Column-store scans never decode element-at-a-time. The pipeline has
+//! three layers:
+//!
+//! 1. **Word-level bit-packing** ([`bitpack::BitPackedVec`]): codes live in
+//!    delimiter-aligned fields (`width + 1` bits, never straddling a word),
+//!    so [`bitpack::BitPackedVec::decode_into`] unpacks whole words through
+//!    per-width monomorphized kernels, and
+//!    [`bitpack::BitPackedVec::match_interval_into`] range-tests every code
+//!    in a word with three ALU ops — word-parallel SWAR over the packed
+//!    data, no decode at all.
+//! 2. **Selection vectors** ([`selvec::SelVec`]): predicates produce one
+//!    match bit per row instead of materialized `Vec<u32>` id lists.
+//!    Conjunctions combine with word-wise `AND`s, empty intermediate
+//!    selections short-circuit the remaining conjuncts, and an all-zero
+//!    word lets later predicates skip 64 rows (or a whole 1024-row block)
+//!    at a time. Row-store filters convert into the same representation
+//!    ([`row_store::RowTable::filter_selvec`]), which is what makes
+//!    mixed-fragment conjunctions in vertically split tables cheap.
+//! 3. **Block-decoded consumers**: aggregation visits codes in
+//!    [`bitpack::BLOCK`]-sized decoded runs
+//!    ([`column_store::ColumnData::for_each_numeric_sel`]), and the engine's
+//!    group-by/join loops decode group and aggregate columns block-at-a-time
+//!    rather than calling `code_at` per row.
+//!
+//! The element-at-a-time path is retained as the ablation baseline
+//! ([`column_store::ColumnTable::filter_rows_scalar`], plus the
+//! `CodeVec::Plain` encoding toggle); `hsd-bench`'s `bench_scan` binary
+//! records the batched-vs-scalar throughput in `BENCH_scan.json`.
 
 #![warn(missing_docs)]
 
@@ -33,11 +64,13 @@ pub mod column_store;
 pub mod dictionary;
 pub mod predicate;
 pub mod row_store;
+pub mod selvec;
 pub mod table;
 
-pub use bitpack::BitPackedVec;
+pub use bitpack::{BitPackedVec, BLOCK};
 pub use column_store::{ColumnData, ColumnTable};
 pub use dictionary::Dictionary;
 pub use predicate::{ColRange, RowSel};
 pub use row_store::RowTable;
+pub use selvec::SelVec;
 pub use table::{PkKey, StoreKind, Table};

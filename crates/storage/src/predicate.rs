@@ -13,46 +13,92 @@ use hsd_types::{ColumnIdx, Value};
 use crate::dictionary::value_in_range;
 
 /// A range constraint on a single column: `lo <= col <= hi` with
-/// configurable bound openness. Equality is `[v, v]`.
+/// configurable bound openness.
+///
+/// Equality is stored as its own variant holding the value **once**
+/// (`ColRange::eq` used to clone the value into both bounds); range readers
+/// see it as the degenerate interval `[v, v]` through
+/// [`ColRange::lo_ref`] / [`ColRange::hi_ref`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColRange {
     /// Column the constraint applies to.
     pub column: ColumnIdx,
-    /// Lower bound.
-    pub lo: Bound<Value>,
-    /// Upper bound.
-    pub hi: Bound<Value>,
+    kind: RangeKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RangeKind {
+    /// `col = v`, the value stored once.
+    Eq(Value),
+    /// `lo <= col <= hi` with explicit bound openness.
+    Range { lo: Bound<Value>, hi: Bound<Value> },
 }
 
 impl ColRange {
     /// Equality constraint `col = v`.
     pub fn eq(column: ColumnIdx, v: Value) -> Self {
-        ColRange { column, lo: Bound::Included(v.clone()), hi: Bound::Included(v) }
+        ColRange {
+            column,
+            kind: RangeKind::Eq(v),
+        }
     }
 
     /// Closed range `lo <= col <= hi`.
     pub fn between(column: ColumnIdx, lo: Value, hi: Value) -> Self {
-        ColRange { column, lo: Bound::Included(lo), hi: Bound::Included(hi) }
+        ColRange {
+            column,
+            kind: RangeKind::Range {
+                lo: Bound::Included(lo),
+                hi: Bound::Included(hi),
+            },
+        }
     }
 
     /// Constraint `col < v`.
     pub fn lt(column: ColumnIdx, v: Value) -> Self {
-        ColRange { column, lo: Bound::Unbounded, hi: Bound::Excluded(v) }
+        ColRange {
+            column,
+            kind: RangeKind::Range {
+                lo: Bound::Unbounded,
+                hi: Bound::Excluded(v),
+            },
+        }
     }
 
     /// Constraint `col >= v`.
     pub fn ge(column: ColumnIdx, v: Value) -> Self {
-        ColRange { column, lo: Bound::Included(v), hi: Bound::Unbounded }
+        ColRange {
+            column,
+            kind: RangeKind::Range {
+                lo: Bound::Included(v),
+                hi: Bound::Unbounded,
+            },
+        }
+    }
+
+    /// The same constraint applied to a different column (used when
+    /// translating logical columns to fragment positions).
+    pub fn with_column(&self, column: ColumnIdx) -> Self {
+        ColRange {
+            column,
+            kind: self.kind.clone(),
+        }
     }
 
     /// Borrowed lower bound.
     pub fn lo_ref(&self) -> Bound<&Value> {
-        bound_ref(&self.lo)
+        match &self.kind {
+            RangeKind::Eq(v) => Bound::Included(v),
+            RangeKind::Range { lo, .. } => bound_ref(lo),
+        }
     }
 
     /// Borrowed upper bound.
     pub fn hi_ref(&self) -> Bound<&Value> {
-        bound_ref(&self.hi)
+        match &self.kind {
+            RangeKind::Eq(v) => Bound::Included(v),
+            RangeKind::Range { hi, .. } => bound_ref(hi),
+        }
     }
 
     /// Whether `v` satisfies this constraint.
@@ -61,9 +107,14 @@ impl ColRange {
     }
 
     /// Whether this is an equality constraint, and on which value.
+    /// `between(c, v, v)` counts: it denotes the same predicate.
     pub fn as_eq(&self) -> Option<&Value> {
-        match (&self.lo, &self.hi) {
-            (Bound::Included(a), Bound::Included(b)) if a == b => Some(a),
+        match &self.kind {
+            RangeKind::Eq(v) => Some(v),
+            RangeKind::Range {
+                lo: Bound::Included(a),
+                hi: Bound::Included(b),
+            } if a == b => Some(a),
             _ => None,
         }
     }

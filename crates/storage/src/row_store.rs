@@ -7,6 +7,7 @@ use std::sync::Arc;
 use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
 
 use crate::predicate::{ColRange, RowSel};
+use crate::selvec::SelVec;
 use crate::table::{pk_key_of, PkKey};
 
 /// A row-oriented table.
@@ -28,7 +29,13 @@ impl RowTable {
     /// Empty table for `schema`.
     pub fn new(schema: Arc<TableSchema>) -> Self {
         let width = schema.arity();
-        RowTable { schema, width, data: Vec::new(), pk: HashMap::new(), secondary: HashMap::new() }
+        RowTable {
+            schema,
+            width,
+            data: Vec::new(),
+            pk: HashMap::new(),
+            secondary: HashMap::new(),
+        }
     }
 
     /// Table schema.
@@ -38,11 +45,7 @@ impl RowTable {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        if self.width == 0 {
-            0
-        } else {
-            self.data.len() / self.width
-        }
+        self.data.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// Insert a row; enforces schema validity and primary-key uniqueness.
@@ -101,7 +104,10 @@ impl RowTable {
         }
         let mut index: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
         for idx in 0..self.row_count() as u32 {
-            index.entry(self.value_at(idx, col).clone()).or_default().push(idx);
+            index
+                .entry(self.value_at(idx, col).clone())
+                .or_default()
+                .push(idx);
         }
         self.secondary.insert(col, index);
         Ok(())
@@ -132,30 +138,76 @@ impl RowTable {
         let indexed = ranges
             .iter()
             .position(|r| self.secondary.contains_key(&r.column) && r.as_eq().is_some())
-            .or_else(|| ranges.iter().position(|r| self.secondary.contains_key(&r.column)));
+            .or_else(|| {
+                ranges
+                    .iter()
+                    .position(|r| self.secondary.contains_key(&r.column))
+            });
         match indexed {
             Some(i) => {
                 let driver = &ranges[i];
                 let index = &self.secondary[&driver.column];
                 let mut out: Vec<u32> = Vec::new();
-                for (_, rows) in index.range((driver.lo.clone(), driver.hi.clone())) {
+                for (_, rows) in index.range((driver.lo_ref(), driver.hi_ref())) {
                     out.extend_from_slice(rows);
                 }
                 // Re-check every range (including the driver: the BTree range
                 // can surface NULL keys under an unbounded lower end, and
                 // ColRange::matches applies SQL NULL semantics).
-                out.retain(|&idx| ranges.iter().all(|r| r.matches(self.value_at(idx, r.column))));
+                out.retain(|&idx| {
+                    ranges
+                        .iter()
+                        .all(|r| r.matches(self.value_at(idx, r.column)))
+                });
                 out.sort_unstable();
                 out
             }
             None => {
                 let mut out = Vec::new();
                 for idx in 0..self.row_count() as u32 {
-                    if ranges.iter().all(|r| r.matches(self.value_at(idx, r.column))) {
+                    if ranges
+                        .iter()
+                        .all(|r| r.matches(self.value_at(idx, r.column)))
+                    {
                         out.push(idx);
                     }
                 }
                 out
+            }
+        }
+    }
+
+    /// The selection matching *all* of `ranges` as a bitmap — the row
+    /// store's interop point with the engine's selection-vector pipeline.
+    ///
+    /// The row store has no code domain to batch over, so this evaluates
+    /// through [`RowTable::filter_rows`] (index-driven when possible) and
+    /// converts; the payoff is downstream, where conjunctions with
+    /// column-store fragments become word-wise `AND`s.
+    pub fn filter_selvec(&self, ranges: &[ColRange]) -> SelVec {
+        if ranges.is_empty() {
+            return SelVec::all(self.row_count());
+        }
+        SelVec::from_row_ids(self.row_count(), &self.filter_rows(ranges))
+    }
+
+    /// Visit the numeric value of `col` for the rows selected by `sel`
+    /// (`None` = all rows) — selection-vector counterpart of
+    /// [`RowTable::for_each_numeric`].
+    pub fn for_each_numeric_sel(
+        &self,
+        col: ColumnIdx,
+        sel: Option<&SelVec>,
+        mut f: impl FnMut(f64),
+    ) {
+        match sel {
+            None => self.for_each_numeric(col, RowSel::All, &mut f),
+            Some(sv) => {
+                for idx in sv.iter() {
+                    if let Some(v) = self.value_at(idx, col).as_f64() {
+                        f(v);
+                    }
+                }
             }
         }
     }
@@ -177,7 +229,10 @@ impl RowTable {
         }
         for &idx in rows {
             if idx as usize >= self.row_count() {
-                return Err(Error::NotFound(format!("row {idx} in {}", self.schema.name)));
+                return Err(Error::NotFound(format!(
+                    "row {idx} in {}",
+                    self.schema.name
+                )));
             }
         }
         for &idx in rows {
@@ -248,7 +303,10 @@ impl RowTable {
         let emit = |idx: u32| -> Vec<Value> {
             match cols {
                 None => self.row(idx).to_vec(),
-                Some(cols) => cols.iter().map(|&c| self.value_at(idx, c).clone()).collect(),
+                Some(cols) => cols
+                    .iter()
+                    .map(|&c| self.value_at(idx, c).clone())
+                    .collect(),
             }
         };
         match sel {
@@ -321,7 +379,12 @@ mod tests {
     fn sample() -> RowTable {
         let mut t = RowTable::new(schema());
         for i in 0..10 {
-            t.insert(&[Value::Int(i), Value::Double(i as f64 * 1.5), Value::Int(i % 3)]).unwrap();
+            t.insert(&[
+                Value::Int(i),
+                Value::Double(i as f64 * 1.5),
+                Value::Int(i % 3),
+            ])
+            .unwrap();
         }
         t
     }
@@ -330,14 +393,19 @@ mod tests {
     fn insert_and_read_back() {
         let t = sample();
         assert_eq!(t.row_count(), 10);
-        assert_eq!(t.row(3), &[Value::Int(3), Value::Double(4.5), Value::Int(0)]);
+        assert_eq!(
+            t.row(3),
+            &[Value::Int(3), Value::Double(4.5), Value::Int(0)]
+        );
         assert_eq!(t.value_at(4, 1), &Value::Double(6.0));
     }
 
     #[test]
     fn duplicate_pk_rejected() {
         let mut t = sample();
-        let err = t.insert(&[Value::Int(5), Value::Double(0.0), Value::Int(0)]).unwrap_err();
+        let err = t
+            .insert(&[Value::Int(5), Value::Double(0.0), Value::Int(0)])
+            .unwrap_err();
         assert!(matches!(err, Error::DuplicateKey(_)));
         assert_eq!(t.row_count(), 10);
     }
@@ -345,7 +413,9 @@ mod tests {
     #[test]
     fn schema_violations_rejected() {
         let mut t = sample();
-        assert!(t.insert(&[Value::Int(100), Value::Int(1), Value::Int(0)]).is_err());
+        assert!(t
+            .insert(&[Value::Int(100), Value::Int(1), Value::Int(0)])
+            .is_err());
         assert!(t.insert(&[Value::Int(100)]).is_err());
     }
 
@@ -372,10 +442,12 @@ mod tests {
     #[test]
     fn filter_with_index_matches_scan() {
         let mut t = sample();
-        let no_index = t.filter_rows(&[ColRange::between(1, Value::Double(3.0), Value::Double(9.0))]);
+        let no_index =
+            t.filter_rows(&[ColRange::between(1, Value::Double(3.0), Value::Double(9.0))]);
         t.create_index(1).unwrap();
         assert!(t.has_index(1));
-        let with_index = t.filter_rows(&[ColRange::between(1, Value::Double(3.0), Value::Double(9.0))]);
+        let with_index =
+            t.filter_rows(&[ColRange::between(1, Value::Double(3.0), Value::Double(9.0))]);
         assert_eq!(no_index, with_index);
     }
 

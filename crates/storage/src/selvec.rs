@@ -1,0 +1,229 @@
+//! Selection vectors: bitmap row selections with cheap conjunction.
+//!
+//! The scalar scan path materialized a fresh `Vec<u32>` of row ids per
+//! predicate and intersected them by merging — O(matches) allocation and
+//! branchy merge work per conjunct. A [`SelVec`] stores one bit per row
+//! instead: predicates write 64 rows of match bits with a handful of ALU
+//! ops, conjunctions are word-wise `AND`s, and an all-zero word lets later
+//! conjuncts skip 64 rows at a time. Row-id lists are materialized once at
+//! the end, only when an explicit list is actually needed (updates, tuple
+//! materialization).
+
+/// A bitmap selection over the rows `0..len` of one table or partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelVec {
+    /// Selection of every row in `0..len`.
+    pub fn all(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail_bits = len % 64;
+            if tail_bits != 0 {
+                *last = (1u64 << tail_bits) - 1;
+            }
+        }
+        SelVec { words, len }
+    }
+
+    /// Empty selection over a domain of `len` rows.
+    pub fn none(len: usize) -> Self {
+        SelVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Selection from an ascending list of row ids.
+    pub fn from_row_ids(len: usize, rows: &[u32]) -> Self {
+        let mut v = SelVec::none(len);
+        for &r in rows {
+            v.insert(r as usize);
+        }
+        v
+    }
+
+    /// Number of rows in the domain (not the number selected).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no row is selected.
+    pub fn is_none_selected(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether row `i` is selected.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Select row `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "SelVec row {i} out of bounds (len {})",
+            self.len
+        );
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// The backing words (64 rows per word, LSB = lowest row id).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing words, for batch predicate evaluation. Bits at or
+    /// beyond `len` in the final word must stay zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Intersect with another selection over the same domain (conjunction).
+    ///
+    /// # Panics
+    /// Panics if the domains differ.
+    pub fn and_assign(&mut self, other: &SelVec) {
+        assert_eq!(
+            self.len, other.len,
+            "SelVec conjunction over different domains"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Union with another selection over the same domain (disjunction).
+    ///
+    /// # Panics
+    /// Panics if the domains differ.
+    pub fn or_assign(&mut self, other: &SelVec) {
+        assert_eq!(
+            self.len, other.len,
+            "SelVec disjunction over different domains"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate the selected row ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w }.map(move |b| base + b)
+        })
+    }
+
+    /// Materialize the ascending row-id list.
+    pub fn to_row_ids(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count());
+        out.extend(self.iter());
+        out
+    }
+}
+
+/// Iterator over the set bit positions of one word (ascending).
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_none() {
+        let a = SelVec::all(70);
+        assert_eq!(a.len(), 70);
+        assert_eq!(a.count(), 70);
+        assert!(a.contains(0) && a.contains(69));
+        let n = SelVec::none(70);
+        assert_eq!(n.count(), 0);
+        assert!(n.is_none_selected());
+        assert!(!a.is_none_selected());
+        // domain-boundary word is masked: no phantom bits
+        assert_eq!(a.words().last().copied().unwrap() >> (70 % 64), 0);
+    }
+
+    #[test]
+    fn exact_multiple_of_64() {
+        let a = SelVec::all(128);
+        assert_eq!(a.count(), 128);
+        assert_eq!(a.words(), &[u64::MAX, u64::MAX]);
+        let e = SelVec::all(0);
+        assert_eq!(e.count(), 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn round_trip_row_ids() {
+        let ids = vec![0u32, 1, 63, 64, 65, 99];
+        let v = SelVec::from_row_ids(100, &ids);
+        assert_eq!(v.to_row_ids(), ids);
+        assert_eq!(v.count(), ids.len());
+        assert!(v.contains(64));
+        assert!(!v.contains(2));
+    }
+
+    #[test]
+    fn conjunction_and_disjunction() {
+        let mut a = SelVec::from_row_ids(200, &[1, 5, 64, 70, 199]);
+        let b = SelVec::from_row_ids(200, &[5, 64, 128, 199]);
+        let mut o = a.clone();
+        a.and_assign(&b);
+        assert_eq!(a.to_row_ids(), vec![5, 64, 199]);
+        o.or_assign(&b);
+        assert_eq!(o.to_row_ids(), vec![1, 5, 64, 70, 128, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn mismatched_domains_panic() {
+        let mut a = SelVec::all(10);
+        a.and_assign(&SelVec::all(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut a = SelVec::none(10);
+        a.insert(10);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let v = SelVec::from_row_ids(1000, &[999, 0, 512, 511, 513]);
+        assert_eq!(v.to_row_ids(), vec![0, 511, 512, 513, 999]);
+    }
+}

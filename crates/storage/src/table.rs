@@ -2,18 +2,15 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use hsd_types::{ColumnIdx, Result, TableSchema, Value};
 
 use crate::column_store::ColumnTable;
 use crate::predicate::{ColRange, RowSel};
 use crate::row_store::RowTable;
+use crate::selvec::SelVec;
 
 /// Which of the two stores a table (or partition) lives in.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StoreKind {
     /// Row-oriented storage.
     Row,
@@ -140,6 +137,24 @@ impl Table {
         }
     }
 
+    /// The selection matching all ranges as a bitmap (the engine's batched
+    /// scan pipeline; see [`crate::selvec::SelVec`]).
+    pub fn filter_selvec(&self, ranges: &[ColRange]) -> SelVec {
+        match self {
+            Table::Row(t) => t.filter_selvec(ranges),
+            Table::Column(t) => t.filter_selvec(ranges),
+        }
+    }
+
+    /// Visit numeric values of `col` for the rows selected by `sel`
+    /// (`None` = all rows).
+    pub fn for_each_numeric_sel(&self, col: ColumnIdx, sel: Option<&SelVec>, f: impl FnMut(f64)) {
+        match self {
+            Table::Row(t) => t.for_each_numeric_sel(col, sel, f),
+            Table::Column(t) => t.for_each_numeric_sel(col, sel, f),
+        }
+    }
+
     /// Update rows with the given assignments.
     pub fn update_rows(&mut self, rows: &[u32], sets: &[(ColumnIdx, Value)]) -> Result<usize> {
         match self {
@@ -263,7 +278,8 @@ mod tests {
     fn move_between_stores_preserves_rows() {
         let mut t = Table::new(schema(), StoreKind::Row);
         for i in 0..8 {
-            t.insert(&[Value::Int(i), Value::Double(i as f64 * 2.0)]).unwrap();
+            t.insert(&[Value::Int(i), Value::Double(i as f64 * 2.0)])
+                .unwrap();
         }
         let rows = t.into_rows();
         let moved = Table::from_rows(schema(), StoreKind::Column, rows).unwrap();

@@ -5,7 +5,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use hsd_storage::{BitPackedVec, ColRange, ColumnTable, Dictionary, RowSel, RowTable, StoreKind, Table};
+use hsd_storage::{
+    BitPackedVec, ColRange, ColumnTable, Dictionary, RowSel, RowTable, SelVec, StoreKind, Table,
+};
 use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 
 fn schema() -> Arc<TableSchema> {
@@ -64,6 +66,54 @@ proptest! {
         }
     }
 
+    /// Word-level block decode must agree with scalar `get` for arbitrary
+    /// widths and lengths, at arbitrary (also unaligned) starts.
+    #[test]
+    fn block_decode_matches_scalar_get(
+        domain_bits in 0u32..32,
+        vals_seed in prop::collection::vec(0u32..u32::MAX, 1..400),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let domain_mask = if domain_bits == 0 { 0 } else { u32::MAX >> (32 - domain_bits) };
+        let vals: Vec<u32> = vals_seed.iter().map(|&v| v & domain_mask).collect();
+        let v: BitPackedVec = vals.iter().copied().collect();
+        // Whole-vector decode.
+        let mut buf = vec![0u32; vals.len()];
+        v.decode_into(0, &mut buf);
+        for (i, &x) in vals.iter().enumerate() {
+            prop_assert_eq!(x, v.get(i));
+            prop_assert_eq!(buf[i], x);
+        }
+        // Arbitrary sub-run decode.
+        let start = ((vals.len() - 1) as f64 * start_frac) as usize;
+        let len = (((vals.len() - start) as f64) * len_frac) as usize;
+        let mut run = vec![0u32; len];
+        v.decode_into(start, &mut run);
+        prop_assert_eq!(&run[..], &vals[start..start + len]);
+    }
+
+    /// The fused word-parallel interval kernel must agree with a scalar
+    /// re-check on every code.
+    #[test]
+    fn match_interval_matches_scalar(
+        domain in 1u32..100_000,
+        vals_seed in prop::collection::vec(0u32..u32::MAX, 64..300),
+        lo_frac in 0.0f64..1.2,
+        span_frac in 0.0f64..1.2,
+    ) {
+        let vals: Vec<u32> = vals_seed.iter().map(|&v| v % domain).collect();
+        let v: BitPackedVec = vals.iter().copied().collect();
+        let lo = (domain as f64 * lo_frac) as u32;
+        let hi = lo.saturating_add((domain as f64 * span_frac) as u32);
+        let mut out = vec![0u64; vals.len().div_ceil(64)];
+        v.match_interval_into(0, vals.len(), lo, hi, &mut out);
+        for (i, &x) in vals.iter().enumerate() {
+            let got = out[i / 64] >> (i % 64) & 1 == 1;
+            prop_assert_eq!(got, x >= lo && x < hi, "value {} vs [{}, {})", x, lo, hi);
+        }
+    }
+
     #[test]
     fn dictionary_rebuild_preserves_decoding(ints in prop::collection::vec(-50i32..50, 1..200)) {
         let mut d = Dictionary::new();
@@ -92,7 +142,61 @@ proptest! {
     ) {
         let (rt, ct) = build_both(&rows);
         let range = ColRange::between(1, Value::Int(lo), Value::Int(lo + span));
-        prop_assert_eq!(rt.filter_rows(&[range.clone()]), ct.filter_rows(&[range]));
+        prop_assert_eq!(rt.filter_rows(std::slice::from_ref(&range)), ct.filter_rows(&[range]));
+    }
+
+    /// The batched pipeline (`filter_rows` via SelVec) must agree with the
+    /// element-at-a-time scalar path on both stores, with and without
+    /// dictionary-tail codes (updates push new values into the tail).
+    #[test]
+    fn batched_filter_matches_scalar_path(
+        rows in rows_strategy(),
+        lo in -10i32..25,
+        span in 0i32..15,
+        a_eq in 0i32..20,
+        upd_target in 0i32..20,
+    ) {
+        let (rt, mut ct) = build_both(&rows);
+        let ranges = [
+            ColRange::between(1, Value::Int(lo), Value::Int(lo + span)),
+            ColRange::ge(2, Value::Double(-50.0)),
+            ColRange::eq(1, Value::Int(a_eq)),
+        ];
+        for k in 1..=ranges.len() {
+            let conj = &ranges[..k];
+            prop_assert_eq!(ct.filter_rows(conj), ct.filter_rows_scalar(conj));
+            // SelVec form agrees with the id list and with the row store.
+            let sel = ct.filter_selvec(conj);
+            prop_assert_eq!(sel.to_row_ids(), ct.filter_rows(conj));
+            prop_assert_eq!(rt.filter_selvec(conj).to_row_ids(), rt.filter_rows(conj));
+        }
+        // Push values into the dictionary tail (no compact) and re-check.
+        let hits = ct.filter_rows_scalar(&[ColRange::eq(1, Value::Int(upd_target))]);
+        if !hits.is_empty() {
+            ct.update_rows(&hits, &[(1, Value::Int(999))]).unwrap();
+            let r = [ColRange::ge(1, Value::Int(500))];
+            prop_assert_eq!(ct.filter_rows(&r), ct.filter_rows_scalar(&r));
+        }
+    }
+
+    /// SelVec conjunction semantics: AND of single-predicate selections
+    /// equals the conjunction selection.
+    #[test]
+    fn selvec_and_matches_conjunction(
+        rows in rows_strategy(),
+        lo in -10i32..25,
+        a_eq in 0i32..20,
+    ) {
+        let (_, ct) = build_both(&rows);
+        let r1 = ColRange::ge(1, Value::Int(lo));
+        let r2 = ColRange::eq(1, Value::Int(a_eq));
+        let mut a = ct.filter_selvec(std::slice::from_ref(&r1));
+        let b = ct.filter_selvec(std::slice::from_ref(&r2));
+        a.and_assign(&b);
+        let both = ct.filter_selvec(&[r1, r2]);
+        prop_assert_eq!(a.to_row_ids(), both.to_row_ids());
+        let all = SelVec::all(ct.row_count());
+        prop_assert_eq!(all.count(), ct.row_count());
     }
 
     #[test]
@@ -120,10 +224,10 @@ proptest! {
         rt.update_rows(&hits, &[(1, Value::Int(new_a))]).unwrap();
         ct.update_rows(&hits, &[(1, Value::Int(new_a))]).unwrap();
         let r = ColRange::eq(1, Value::Int(new_a));
-        prop_assert_eq!(rt.filter_rows(&[r.clone()]), ct.filter_rows(&[r.clone()]));
+        prop_assert_eq!(rt.filter_rows(std::slice::from_ref(&r)), ct.filter_rows(std::slice::from_ref(&r)));
         // compaction must not change results
         ct.compact();
-        prop_assert_eq!(rt.filter_rows(&[r.clone()]), ct.filter_rows(&[r]));
+        prop_assert_eq!(rt.filter_rows(std::slice::from_ref(&r)), ct.filter_rows(&[r]));
     }
 
     #[test]
@@ -144,7 +248,7 @@ proptest! {
     ) {
         let (mut rt, _) = build_both(&rows);
         let range = ColRange::between(1, Value::Int(lo), Value::Int(lo + span));
-        let without = rt.filter_rows(&[range.clone()]);
+        let without = rt.filter_rows(std::slice::from_ref(&range));
         rt.create_index(1).unwrap();
         let with = rt.filter_rows(&[range]);
         prop_assert_eq!(without, with);

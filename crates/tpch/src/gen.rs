@@ -23,27 +23,83 @@ fn splitmix64(mut x: u64) -> u64 {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 const TYPE_ADJ: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_MAT: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const NOUNS: [&str; 12] = [
-    "packages", "requests", "accounts", "deposits", "instructions", "foxes", "pinto beans",
-    "theodolites", "dependencies", "excuses", "platelets", "ideas",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "instructions",
+    "foxes",
+    "pinto beans",
+    "theodolites",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "ideas",
 ];
-const VERBS: [&str; 8] =
-    ["sleep", "wake", "haggle", "nag", "detect", "integrate", "engage", "doze"];
+const VERBS: [&str; 8] = [
+    "sleep",
+    "wake",
+    "haggle",
+    "nag",
+    "detect",
+    "integrate",
+    "engage",
+    "doze",
+];
 
 /// First order date (1992-01-01) and the order-date span in days (~6.5 y),
 /// per the TPC-H specification.
@@ -111,7 +167,9 @@ impl TpchGenerator {
 
     /// Total `lineitem` rows.
     pub fn lineitems(&self) -> usize {
-        (0..self.orders() as u64).map(|o| self.lines_of_order(o)).sum()
+        (0..self.orders() as u64)
+            .map(|o| self.lines_of_order(o))
+            .sum()
     }
 
     fn comment(&self, table: u64, row: u64) -> Value {
@@ -127,7 +185,11 @@ impl TpchGenerator {
 
     /// Row `i` of `region`.
     pub fn region_row(&self, i: u64) -> Vec<Value> {
-        vec![Value::BigInt(i as i64), Value::text(REGIONS[i as usize % 5]), self.comment(0, i)]
+        vec![
+            Value::BigInt(i as i64),
+            Value::text(REGIONS[i as usize % 5]),
+            self.comment(0, i),
+        ]
     }
 
     /// Row `i` of `nation`.
@@ -235,7 +297,7 @@ impl TpchGenerator {
         let orderdate = DATE_LO + (self.h(6, order, 0) % DATE_SPAN) as i32;
         let ship = orderdate + (1 + h % 121) as i32;
         let quantity = (1 + h % 50) as i64;
-        let price_per = 900_00 + (h % 1200_00) as i64; // cents
+        let price_per = 90_000 + (h % 120_000) as i64; // cents
         vec![
             Value::BigInt(order as i64),
             Value::Int(line as i32 + 1),
@@ -246,7 +308,11 @@ impl TpchGenerator {
             Value::Decimal((h % 11) as i64), // 0.00 .. 0.10
             Value::Decimal((h % 9) as i64),  // 0.00 .. 0.08
             Value::text(["R", "A", "N"][((h >> 11) % 3) as usize]),
-            Value::text(if (h >> 13) % 2 == 0 { "O" } else { "F" }),
+            Value::text(if (h >> 13).is_multiple_of(2) {
+                "O"
+            } else {
+                "F"
+            }),
             Value::Date(ship),
             Value::Date(ship + (h % 30) as i32),
             Value::Date(ship + (1 + h % 30) as i32),
@@ -275,11 +341,23 @@ impl TpchGenerator {
         }
         db.bulk_load("region", (0..5).map(|i| self.region_row(i)))?;
         db.bulk_load("nation", (0..25).map(|i| self.nation_row(i)))?;
-        db.bulk_load("supplier", (0..self.suppliers() as u64).map(|i| self.supplier_row(i)))?;
-        db.bulk_load("customer", (0..self.customers() as u64).map(|i| self.customer_row(i)))?;
+        db.bulk_load(
+            "supplier",
+            (0..self.suppliers() as u64).map(|i| self.supplier_row(i)),
+        )?;
+        db.bulk_load(
+            "customer",
+            (0..self.customers() as u64).map(|i| self.customer_row(i)),
+        )?;
         db.bulk_load("part", (0..self.parts() as u64).map(|i| self.part_row(i)))?;
-        db.bulk_load("partsupp", (0..self.partsupps() as u64).map(|i| self.partsupp_row(i)))?;
-        db.bulk_load("orders", (0..self.orders() as u64).map(|i| self.orders_row(i)))?;
+        db.bulk_load(
+            "partsupp",
+            (0..self.partsupps() as u64).map(|i| self.partsupp_row(i)),
+        )?;
+        db.bulk_load(
+            "orders",
+            (0..self.orders() as u64).map(|i| self.orders_row(i)),
+        )?;
         db.bulk_load("lineitem", self.lineitem_rows())?;
         Ok(())
     }

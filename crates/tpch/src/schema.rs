@@ -9,8 +9,9 @@ pub const TABLE_NAMES: [&str; 8] = [
 
 /// Tables receiving OLTP traffic in the paper's final experiment
 /// ("inserts and updates for all tables but nation and region").
-pub const OLTP_TABLES: [&str; 6] =
-    ["supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+pub const OLTP_TABLES: [&str; 6] = [
+    "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
 
 fn col(name: &str, ty: ColumnType) -> ColumnDef {
     ColumnDef::new(name, ty)
@@ -284,7 +285,10 @@ mod tests {
         let l = lineitem().unwrap();
         assert_eq!(l.arity(), 16);
         assert_eq!(l.primary_key, vec![0, 1]);
-        assert_eq!(l.columns[cols::lineitem::EXTENDEDPRICE].name, "l_extendedprice");
+        assert_eq!(
+            l.columns[cols::lineitem::EXTENDEDPRICE].name,
+            "l_extendedprice"
+        );
         assert_eq!(l.columns[cols::lineitem::SHIPMODE].name, "l_shipmode");
     }
 

@@ -49,7 +49,10 @@ impl fmt::Display for Error {
                 write!(f, "type mismatch: expected {expected}, got {got}")
             }
             Error::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             Error::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
             Error::NullViolation(c) => write!(f, "NULL not allowed in column {c}"),
@@ -68,13 +71,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(Error::UnknownTable("x".into()).to_string(), "unknown table: x");
         assert_eq!(
-            Error::TypeMismatch { expected: ColumnType::Integer, got: "'a'".into() }.to_string(),
+            Error::UnknownTable("x".into()).to_string(),
+            "unknown table: x"
+        );
+        assert_eq!(
+            Error::TypeMismatch {
+                expected: ColumnType::Integer,
+                got: "'a'".into()
+            }
+            .to_string(),
             "type mismatch: expected integer, got 'a'"
         );
         assert_eq!(
-            Error::ArityMismatch { expected: 3, got: 2 }.to_string(),
+            Error::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+            .to_string(),
             "arity mismatch: schema has 3 columns, row has 2"
         );
     }

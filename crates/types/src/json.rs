@@ -1,0 +1,558 @@
+//! Minimal JSON value model, parser, and writer.
+//!
+//! The workspace persists two artifacts as JSON — storage layouts and
+//! calibrated cost models — and the bench harness emits JSON result files.
+//! With no registry access in the build environment, this module replaces
+//! `serde`/`serde_json` with a small hand-rolled codec: a [`Json`] tree,
+//! a recursive-descent parser, and compact / pretty writers.
+//!
+//! Integers and floats are kept apart ([`Json::Int`] vs [`Json::Num`]) so
+//! `Value::BigInt` round-trips losslessly beyond 2^53.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::Value;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal (no fraction or exponent).
+    Int(i64),
+    /// Floating-point literal.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion order is preserved via sorted keys for stable
+    /// output (layouts and cost models are diffed in version control).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl fmt::Display for Json {
+    /// Compact single-line JSON encoding.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Error produced by [`Json::parse`] or the typed decode helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON decoding.
+pub type JsonResult<T> = std::result::Result<T, JsonError>;
+
+fn err<T>(msg: impl Into<String>) -> JsonResult<T> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> JsonResult<&Json> {
+        match self {
+            Json::Obj(m) => m
+                .get(key)
+                .ok_or_else(|| JsonError(format!("missing field `{key}`"))),
+            other => err(format!("expected object with `{key}`, got {other:?}")),
+        }
+    }
+
+    /// Optional object field (`None` when absent or `null`).
+    pub fn get_opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key).filter(|v| !matches!(v, Json::Null)),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> JsonResult<f64> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            Json::Int(v) => Ok(*v as f64),
+            other => err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// The value as `i64`.
+    pub fn as_i64(&self) -> JsonResult<i64> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            other => err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// The value as `usize`.
+    pub fn as_usize(&self) -> JsonResult<usize> {
+        let v = self.as_i64()?;
+        usize::try_from(v).map_err(|_| JsonError(format!("expected usize, got {v}")))
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> JsonResult<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> JsonResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> JsonResult<&[Json]> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_obj(&self) -> JsonResult<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    /// Encode a [`Value`] (externally tagged, like the previous serde
+    /// representation: `{"Int": 5}`, `"Null"`, ...).
+    pub fn from_value(v: &Value) -> Json {
+        match v {
+            Value::Null => Json::Str("Null".to_string()),
+            Value::Int(x) => Json::obj([("Int", Json::Int(*x as i64))]),
+            Value::BigInt(x) => Json::obj([("BigInt", Json::Int(*x))]),
+            Value::Double(x) => Json::obj([("Double", Json::Num(*x))]),
+            Value::Decimal(x) => Json::obj([("Decimal", Json::Int(*x))]),
+            Value::Text(s) => Json::obj([("Text", Json::Str(s.to_string()))]),
+            Value::Date(x) => Json::obj([("Date", Json::Int(*x as i64))]),
+            Value::Bool(b) => Json::obj([("Bool", Json::Bool(*b))]),
+        }
+    }
+
+    /// Decode a [`Value`] written by [`Json::from_value`].
+    pub fn to_value(&self) -> JsonResult<Value> {
+        match self {
+            Json::Str(s) if s == "Null" => Ok(Value::Null),
+            Json::Obj(m) => {
+                let (tag, body) = match m.iter().next() {
+                    Some(kv) if m.len() == 1 => kv,
+                    _ => {
+                        return err(format!(
+                            "expected single-variant value object, got {self:?}"
+                        ))
+                    }
+                };
+                match tag.as_str() {
+                    "Int" => Ok(Value::Int(body.as_i64()? as i32)),
+                    "BigInt" => Ok(Value::BigInt(body.as_i64()?)),
+                    "Double" => Ok(Value::Double(body.as_f64()?)),
+                    "Decimal" => Ok(Value::Decimal(body.as_i64()?)),
+                    "Text" => Ok(Value::text(body.as_str()?)),
+                    "Date" => Ok(Value::Date(body.as_i64()? as i32)),
+                    "Bool" => Ok(Value::Bool(body.as_bool()?)),
+                    other => err(format!("unknown value variant `{other}`")),
+                }
+            }
+            other => err(format!("expected value encoding, got {other:?}")),
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(input: &str) -> JsonResult<Json> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Human-readable indented encoding. (The compact single-line encoding
+    /// is the `Display` impl, i.e. `to_string()`.)
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(map) => {
+                let entries: Vec<(&String, &Json)> = map.iter().collect();
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Keep floats distinguishable from ints on re-parse.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no Inf/NaN; emit null like serde_json does.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> JsonResult<u8> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| JsonError("unexpected end of input".to_string()))
+    }
+
+    fn expect(&mut self, b: u8) -> JsonResult<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> JsonResult<Json> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => err(format!(
+                "unexpected byte `{}` at {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> JsonResult<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.peek()? != b'"' && self.bytes[self.pos] != b'\\' {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError("invalid utf-8 in string".to_string()))?,
+            );
+            if self.peek()? == b'"' {
+                self.pos += 1;
+                return Ok(out);
+            }
+            // Escape sequence.
+            self.pos += 1;
+            let esc = self.peek()?;
+            self.pos += 1;
+            match esc {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'u' => {
+                    if self.pos + 4 > self.bytes.len() {
+                        return err("truncated \\u escape");
+                    }
+                    let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                        .map_err(|_| JsonError("invalid \\u escape".to_string()))?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| JsonError("invalid \\u escape".to_string()))?;
+                    self.pos += 4;
+                    // Surrogate pairs are not needed for this workspace's
+                    // artifacts; map unpaired surrogates to the replacement
+                    // character rather than erroring.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return err(format!("invalid escape `\\{}`", other as char)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> JsonResult<Json> {
+        let start = self.pos;
+        if self.peek()? == b'-' {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid number".to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| JsonError(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| JsonError(format!("invalid integer `{text}`")))
+        }
+    }
+
+    fn array(&mut self) -> JsonResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return err(format!("expected `,` or `]`, got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> JsonResult<Json> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return err(format!("expected `,` or `}}`, got `{}`", other as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-12", "3.5", "\"s\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let text = r#"{"a":[1,2.5,"x\n\"y\""],"b":{"c":null,"d":true},"e":-7}"#;
+        let v = Json::parse(text).unwrap();
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(v, back);
+        let pretty = v.to_string_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn int_float_distinction_survives() {
+        let v = Json::Arr(vec![Json::Int(5), Json::Num(5.0)]);
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+        // Large i64 survives exactly.
+        let big = Json::Int(i64::MAX - 1);
+        assert_eq!(Json::parse(&big.to_string()).unwrap(), big);
+    }
+
+    #[test]
+    fn accessors_and_errors() {
+        let v = Json::parse(r#"{"n":1,"s":"x","a":[true]}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(v.get("n").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "x");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert!(v.get("missing").is_err());
+        assert!(v.get("s").unwrap().as_i64().is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn value_codec_round_trips() {
+        let values = [
+            Value::Null,
+            Value::Int(-5),
+            Value::BigInt(1 << 60),
+            Value::Double(2.75),
+            Value::Decimal(1234),
+            Value::text("hello \"world\""),
+            Value::Date(42),
+            Value::Bool(true),
+        ];
+        for v in values {
+            let j = Json::from_value(&v);
+            let text = j.to_string();
+            let back = Json::parse(&text).unwrap().to_value().unwrap();
+            assert_eq!(back, v, "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let v = Json::Str("héllo ☃".to_string());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".to_string()));
+    }
+}

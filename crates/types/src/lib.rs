@@ -14,10 +14,12 @@
 
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod schema;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use ids::{ColumnIdx, TableId};
+pub use json::{Json, JsonError, JsonResult};
 pub use schema::{ColumnDef, TableSchema};
 pub use value::{ColumnType, Value};

@@ -1,13 +1,11 @@
 //! Table schemas.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Error, Result};
 use crate::ids::ColumnIdx;
 use crate::value::{ColumnType, Value};
 
 /// Definition of a single column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     /// Column name (unique within the table).
     pub name: String,
@@ -20,12 +18,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A non-nullable column.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty, nullable: false }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 
     /// A nullable column.
     pub fn nullable(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 }
 
@@ -35,7 +41,7 @@ impl ColumnDef {
 /// stores maintain a PK index for uniqueness checks (the paper's insert cost
 /// model explicitly includes the uniqueness verification, which is why insert
 /// cost grows with table size).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     /// Table name.
     pub name: String,
@@ -57,7 +63,9 @@ impl TableSchema {
             return Err(Error::InvalidSchema(format!("table {name} has no columns")));
         }
         if primary_key.is_empty() {
-            return Err(Error::InvalidSchema(format!("table {name} has no primary key")));
+            return Err(Error::InvalidSchema(format!(
+                "table {name} has no primary key"
+            )));
         }
         for &idx in &primary_key {
             if idx >= columns.len() {
@@ -76,9 +84,15 @@ impl TableSchema {
         names.sort_unstable();
         names.dedup();
         if names.len() != columns.len() {
-            return Err(Error::InvalidSchema(format!("table {name} has duplicate column names")));
+            return Err(Error::InvalidSchema(format!(
+                "table {name} has duplicate column names"
+            )));
         }
-        Ok(TableSchema { name, columns, primary_key })
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key,
+        })
     }
 
     /// Number of columns.
@@ -109,7 +123,10 @@ impl TableSchema {
     /// Validate a full row against the schema (arity, types, nullability).
     pub fn validate_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.columns.len() {
-            return Err(Error::ArityMismatch { expected: self.columns.len(), got: row.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         for (value, col) in row.iter().zip(&self.columns) {
             self.validate_value(value, col)?;
@@ -131,7 +148,10 @@ impl TableSchema {
             return Ok(());
         }
         if !value.matches_type(col.ty) {
-            return Err(Error::TypeMismatch { expected: col.ty, got: value.to_string() });
+            return Err(Error::TypeMismatch {
+                expected: col.ty,
+                got: value.to_string(),
+            });
         }
         Ok(())
     }
@@ -148,7 +168,11 @@ impl TableSchema {
     /// deduplicated and emitted in their original order, with PK columns
     /// prepended if missing. Returns the new schema plus the mapping from new
     /// column index to old column index.
-    pub fn project(&self, suffix: &str, keep: &[ColumnIdx]) -> Result<(TableSchema, Vec<ColumnIdx>)> {
+    pub fn project(
+        &self,
+        suffix: &str,
+        keep: &[ColumnIdx],
+    ) -> Result<(TableSchema, Vec<ColumnIdx>)> {
         let mut selected: Vec<ColumnIdx> = Vec::new();
         for &pk in &self.primary_key {
             if !selected.contains(&pk) {
@@ -219,14 +243,22 @@ mod tests {
     #[test]
     fn validates_rows() {
         let s = sample();
-        assert!(s.validate_row(&[Value::BigInt(1), Value::Double(2.0), Value::text("x")]).is_ok());
-        assert!(s.validate_row(&[Value::BigInt(1), Value::Double(2.0), Value::Null]).is_ok());
+        assert!(s
+            .validate_row(&[Value::BigInt(1), Value::Double(2.0), Value::text("x")])
+            .is_ok());
+        assert!(s
+            .validate_row(&[Value::BigInt(1), Value::Double(2.0), Value::Null])
+            .is_ok());
         // wrong arity
         assert!(s.validate_row(&[Value::BigInt(1)]).is_err());
         // wrong type
-        assert!(s.validate_row(&[Value::BigInt(1), Value::Int(2), Value::Null]).is_err());
+        assert!(s
+            .validate_row(&[Value::BigInt(1), Value::Int(2), Value::Null])
+            .is_err());
         // null in non-nullable
-        assert!(s.validate_row(&[Value::Null, Value::Double(2.0), Value::Null]).is_err());
+        assert!(s
+            .validate_row(&[Value::Null, Value::Double(2.0), Value::Null])
+            .is_err());
     }
 
     #[test]

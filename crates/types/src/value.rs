@@ -5,8 +5,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// Scale applied to [`Value::Decimal`]: decimals are stored as integers in
 /// hundredths (e.g. `12.34` is stored as `1234`).
 pub const DECIMAL_SCALE: i64 = 100;
@@ -17,7 +15,7 @@ pub const DECIMAL_SCALE: i64 = 100;
 /// (text via a per-table string dictionary), which keeps both stores
 /// fixed-width and comparable — the same simplification SAP HANA's column
 /// store makes by fully dictionary-encoding every column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 32-bit signed integer.
     Integer,
@@ -80,7 +78,7 @@ impl fmt::Display for ColumnType {
 /// `Value` implements a *total* order and hash (doubles are compared via
 /// `f64::total_cmp` / hashed via their bit pattern) so that values can serve
 /// as group-by keys and dictionary entries without wrapper types.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL. Sorts before every non-null value.
     Null,
@@ -243,7 +241,12 @@ impl fmt::Display for Value {
             Value::Decimal(v) => {
                 let sign = if *v < 0 { "-" } else { "" };
                 let abs = v.abs();
-                write!(f, "{sign}{}.{:02}", abs / DECIMAL_SCALE, abs % DECIMAL_SCALE)
+                write!(
+                    f,
+                    "{sign}{}.{:02}",
+                    abs / DECIMAL_SCALE,
+                    abs % DECIMAL_SCALE
+                )
             }
             Value::Text(s) => write!(f, "'{s}'"),
             Value::Date(d) => write!(f, "date#{d}"),
@@ -353,7 +356,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![Value::Int(1), Value::Null, Value::Int(-5)];
+        let mut vals = [Value::Int(1), Value::Null, Value::Int(-5)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-5));

@@ -20,13 +20,21 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     let model = calibrate(&CalibrationConfig::quick())?;
     let mut online = OnlineAdvisor::new(
         StorageAdvisor::new(model),
-        OnlineConfig { evaluation_interval: 200, min_improvement: 0.05, ..Default::default() },
+        OnlineConfig {
+            evaluation_interval: 200,
+            min_improvement: 0.05,
+            ..Default::default()
+        },
     );
 
     // Phase 1: transactional traffic — the row store is already right.
     let oltp = WorkloadGenerator::single_table(
         &spec,
-        &MixedWorkloadConfig { queries: 400, olap_fraction: 0.0, ..Default::default() },
+        &MixedWorkloadConfig {
+            queries: 400,
+            olap_fraction: 0.0,
+            ..Default::default()
+        },
     );
     let mut adaptations = 0;
     for q in &oltp.queries {
@@ -43,10 +51,17 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     );
 
     // Phase 2: the workload turns analytical; ids continue beyond phase 1.
-    let shifted = TableSpec { rows: 200_000, ..spec };
+    let shifted = TableSpec {
+        rows: 200_000,
+        ..spec
+    };
     let olap = WorkloadGenerator::single_table(
         &shifted,
-        &MixedWorkloadConfig { queries: 400, olap_fraction: 0.8, ..Default::default() },
+        &MixedWorkloadConfig {
+            queries: 400,
+            olap_fraction: 0.8,
+            ..Default::default()
+        },
     );
     let mut applied = false;
     for q in &olap.queries {

@@ -25,13 +25,20 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             ..Default::default()
         },
     );
-    let check = Query::Aggregate(AggregateQuery::simple("orders", AggFunc::Sum, spec.kf_col(0)));
+    let check = Query::Aggregate(AggregateQuery::simple(
+        "orders",
+        AggFunc::Sum,
+        spec.kf_col(0),
+    ));
     let runner = WorkloadRunner::new();
 
     let mut reference = None;
     for (label, placement) in [
         ("row store only", TablePlacement::Single(StoreKind::Row)),
-        ("column store only", TablePlacement::Single(StoreKind::Column)),
+        (
+            "column store only",
+            TablePlacement::Single(StoreKind::Column),
+        ),
         (
             "hot/cold + vertical partitioning",
             TablePlacement::Partitioned(PartitionSpec {
@@ -41,7 +48,9 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
                     split_value: Value::BigInt((rows as f64 * 0.9) as i64),
                 }),
                 // status attributes -> row-store fragment of the cold part
-                vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+                vertical: Some(VerticalSpec {
+                    row_cols: spec.st_cols(),
+                }),
             }),
         ),
     ] {
@@ -58,7 +67,10 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             // Workload mutations are deterministic, so every layout ends in
             // the same logical state.
             None => reference = Some(sum),
-            Some(r) => assert!((sum - r).abs() < 1e-6 * r.abs().max(1.0), "results diverged"),
+            Some(r) => assert!(
+                (sum - r).abs() < 1e-6 * r.abs().max(1.0),
+                "results diverged"
+            ),
         }
         println!("{label:<34} {:>9.1} ms  (checksum {sum:.2})", t.total_ms());
     }

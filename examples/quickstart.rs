@@ -29,7 +29,11 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     // ------------------------------------------------------------------
     let workload = WorkloadGenerator::single_table(
         &spec,
-        &MixedWorkloadConfig { queries: 300, olap_fraction: 0.05, ..Default::default() },
+        &MixedWorkloadConfig {
+            queries: 300,
+            olap_fraction: 0.05,
+            ..Default::default()
+        },
     );
     let runner = WorkloadRunner::new();
     let before = runner.run(&mut db, &workload)?;
@@ -42,7 +46,10 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     let model = calibrate(&CalibrationConfig::quick())?;
     let advisor = StorageAdvisor::new(model);
     let mut stats = BTreeMap::new();
-    stats.insert("sales".to_string(), db.catalog().entry_by_name("sales")?.stats.clone());
+    stats.insert(
+        "sales".to_string(),
+        db.catalog().entry_by_name("sales")?.stats.clone(),
+    );
     let rec = advisor.recommend_offline(&[Arc::new(schema)], &stats, &workload, true)?;
     println!("\n{}", report::render(&rec));
 

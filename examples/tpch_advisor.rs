@@ -16,7 +16,11 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     let g = TpchGenerator::new(0.01, 1);
     let workload = generate_workload(
         &g,
-        &TpchWorkloadConfig { queries: 2_000, olap_fraction: 0.01, ..Default::default() },
+        &TpchWorkloadConfig {
+            queries: 2_000,
+            olap_fraction: 0.01,
+            ..Default::default()
+        },
     );
     println!(
         "TPC-H-like database: {} orders, {} lineitems; workload: {} queries ({:.1}% OLAP)",

@@ -15,8 +15,14 @@ use hybrid_store_advisor::prelude::*;
 /// calibration.
 fn model() -> CostModel {
     let mut m = CostModel::neutral();
-    m.row.f_rows = AdjustmentFn::Linear { slope: 1e-3, intercept: 0.05 };
-    m.column.f_rows = AdjustmentFn::Linear { slope: 1e-4, intercept: 0.05 };
+    m.row.f_rows = AdjustmentFn::Linear {
+        slope: 1e-3,
+        intercept: 0.05,
+    };
+    m.column.f_rows = AdjustmentFn::Linear {
+        slope: 1e-4,
+        intercept: 0.05,
+    };
     m.row.c_group_by = 2.0;
     m.column.c_group_by = 3.0;
     m.row.ins_row = AdjustmentFn::Constant(0.002);
@@ -37,12 +43,17 @@ fn spec() -> TableSpec {
 
 fn stats_for(spec: &TableSpec) -> BTreeMap<String, TableStats> {
     let mut db = HybridDatabase::new();
-    db.create_single(spec.schema().unwrap(), StoreKind::Column).unwrap();
+    db.create_single(spec.schema().unwrap(), StoreKind::Column)
+        .unwrap();
     db.bulk_load(&spec.name, spec.rows()).unwrap();
     let mut out = BTreeMap::new();
     out.insert(
         spec.name.clone(),
-        db.catalog().entry_by_name(&spec.name).unwrap().stats.clone(),
+        db.catalog()
+            .entry_by_name(&spec.name)
+            .unwrap()
+            .stats
+            .clone(),
     );
     out
 }
@@ -59,7 +70,12 @@ fn crossover_moves_with_olap_fraction() {
     for frac in [0.0, 0.01, 0.02, 0.05, 0.2, 0.5] {
         let w = WorkloadGenerator::single_table(
             &s,
-            &MixedWorkloadConfig { queries: 300, olap_fraction: frac, seed: 3, ..Default::default() },
+            &MixedWorkloadConfig {
+                queries: 300,
+                olap_fraction: frac,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let rec = advisor
             .recommend_offline(std::slice::from_ref(&schema), &stats, &w, false)
@@ -78,7 +94,11 @@ fn crossover_moves_with_olap_fraction() {
         }
     }
     assert!(saw_rs, "pure OLTP should favour the row store");
-    assert_eq!(last_store, Some(StoreKind::Column), "OLAP-heavy must land on the column store");
+    assert_eq!(
+        last_store,
+        Some(StoreKind::Column),
+        "OLAP-heavy must land on the column store"
+    );
 }
 
 #[test]
@@ -97,14 +117,17 @@ fn report_renders_and_statements_apply() {
             ..Default::default()
         },
     );
-    let rec = advisor.recommend_offline(&[schema], &stats, &w, true).unwrap();
+    let rec = advisor
+        .recommend_offline(&[schema], &stats, &w, true)
+        .unwrap();
     let text = report::render(&rec);
     assert!(text.contains("Storage Advisor Recommendation"));
     assert!(!rec.statements.is_empty());
 
     // Applying the recommended layout preserves the data.
     let mut db = HybridDatabase::new();
-    db.create_single(s.schema().unwrap(), StoreKind::Row).unwrap();
+    db.create_single(s.schema().unwrap(), StoreKind::Row)
+        .unwrap();
     db.bulk_load("t", s.rows()).unwrap();
     let before = db.row_count("t").unwrap();
     mover::apply_layout(&mut db, &rec.layout).unwrap();
@@ -118,7 +141,8 @@ fn report_renders_and_statements_apply() {
 fn online_adaptation_through_facade() {
     let s = spec();
     let mut db = HybridDatabase::new();
-    db.create_single(s.schema().unwrap(), StoreKind::Row).unwrap();
+    db.create_single(s.schema().unwrap(), StoreKind::Row)
+        .unwrap();
     db.bulk_load("t", s.rows()).unwrap();
     let mut online = OnlineAdvisor::new(
         StorageAdvisor::new(model()),
@@ -132,7 +156,12 @@ fn online_adaptation_through_facade() {
     // analytical burst
     let w = WorkloadGenerator::single_table(
         &s,
-        &MixedWorkloadConfig { queries: 100, olap_fraction: 0.7, seed: 8, ..Default::default() },
+        &MixedWorkloadConfig {
+            queries: 100,
+            olap_fraction: 0.7,
+            seed: 8,
+            ..Default::default()
+        },
     );
     let mut adaptation = None;
     for q in &w.queries {
@@ -145,12 +174,17 @@ fn online_adaptation_through_facade() {
     let a = adaptation.expect("analytical burst must trigger adaptation");
     assert_eq!(a.changed_tables, vec!["t".to_string()]);
     online.apply(&mut db, &a).unwrap();
-    assert_eq!(db.catalog().single_store_of("t").unwrap(), StoreKind::Column);
+    assert_eq!(
+        db.catalog().single_store_of("t").unwrap(),
+        StoreKind::Column
+    );
 }
 
 #[test]
 fn tpch_recommendation_matches_paper_expectations() {
-    use hybrid_store_advisor::tpch::{generate_workload, schema, TpchGenerator, TpchWorkloadConfig};
+    use hybrid_store_advisor::tpch::{
+        generate_workload, schema, TpchGenerator, TpchWorkloadConfig,
+    };
     let g = TpchGenerator::new(0.001, 2);
     let mut db = HybridDatabase::new();
     g.load_uniform(&mut db, StoreKind::Row).unwrap();
@@ -163,14 +197,26 @@ fn tpch_recommendation_matches_paper_expectations() {
     let schemas: Vec<_> = schema::all().unwrap().into_iter().map(Arc::new).collect();
     let w = generate_workload(
         &g,
-        &TpchWorkloadConfig { queries: 1_500, olap_fraction: 0.02, ..Default::default() },
+        &TpchWorkloadConfig {
+            queries: 1_500,
+            olap_fraction: 0.02,
+            ..Default::default()
+        },
     );
     let advisor = StorageAdvisor::new(model());
-    let rec = advisor.recommend_offline(&schemas, &stats, &w, false).unwrap();
+    let rec = advisor
+        .recommend_offline(&schemas, &stats, &w, false)
+        .unwrap();
     // The paper: "the tables lineitem and orders were put to the column
     // store while the remaining tables have been stored in the row store".
-    assert_eq!(rec.layout.placement("lineitem"), TablePlacement::Single(StoreKind::Column));
-    assert_eq!(rec.layout.placement("orders"), TablePlacement::Single(StoreKind::Column));
+    assert_eq!(
+        rec.layout.placement("lineitem"),
+        TablePlacement::Single(StoreKind::Column)
+    );
+    assert_eq!(
+        rec.layout.placement("orders"),
+        TablePlacement::Single(StoreKind::Column)
+    );
     for t in ["region", "nation", "supplier", "customer"] {
         assert_eq!(
             rec.layout.placement(t),
@@ -179,21 +225,33 @@ fn tpch_recommendation_matches_paper_expectations() {
         );
     }
     // With partitioning enabled, lineitem and orders gain hot partitions.
-    let rec_p = advisor.recommend_offline(&schemas, &stats, &w, true).unwrap();
+    let rec_p = advisor
+        .recommend_offline(&schemas, &stats, &w, true)
+        .unwrap();
     for t in ["lineitem", "orders"] {
         match rec_p.layout.placement(t) {
             TablePlacement::Partitioned(p) => {
-                assert!(p.horizontal.is_some(), "{t} should get a hot insert partition");
+                assert!(
+                    p.horizontal.is_some(),
+                    "{t} should get a hot insert partition"
+                );
             }
             other => panic!("{t} should be partitioned, got {other:?}"),
         }
     }
     // Applying the partitioned layout keeps every table intact.
-    let counts: Vec<(String, usize)> =
-        db.table_names().iter().map(|t| (t.clone(), db.row_count(t).unwrap())).collect();
+    let counts: Vec<(String, usize)> = db
+        .table_names()
+        .iter()
+        .map(|t| (t.clone(), db.row_count(t).unwrap()))
+        .collect();
     mover::apply_layout(&mut db, &rec_p.layout).unwrap();
     for (t, n) in counts {
-        assert_eq!(db.row_count(&t).unwrap(), n, "{t} lost rows during migration");
+        assert_eq!(
+            db.row_count(&t).unwrap(),
+            n,
+            "{t} lost rows during migration"
+        );
     }
     // And the workload still runs.
     let mut runner_db = db;

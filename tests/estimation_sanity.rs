@@ -54,7 +54,8 @@ fn advisor_is_argmin_of_estimates_with_calibrated_model() {
     let spec = wide(20_000);
     let schema = Arc::new(spec.schema().unwrap());
     let mut db = HybridDatabase::new();
-    db.create_single(spec.schema().unwrap(), StoreKind::Column).unwrap();
+    db.create_single(spec.schema().unwrap(), StoreKind::Column)
+        .unwrap();
     db.bulk_load("t", spec.rows()).unwrap();
     let stats: BTreeMap<String, TableStats> = db
         .catalog()
@@ -65,7 +66,12 @@ fn advisor_is_argmin_of_estimates_with_calibrated_model() {
     for frac in [0.0, 0.02, 0.1, 0.4] {
         let w = WorkloadGenerator::single_table(
             &spec,
-            &MixedWorkloadConfig { queries: 200, olap_fraction: frac, seed: 1, ..Default::default() },
+            &MixedWorkloadConfig {
+                queries: 200,
+                olap_fraction: frac,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let rec = advisor
             .recommend_offline(std::slice::from_ref(&schema), &stats, &w, false)

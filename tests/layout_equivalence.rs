@@ -13,8 +13,16 @@ fn assert_outputs_close(a: &QueryOutput, b: &QueryOutput, ctx: &str) {
     match (a, b) {
         (QueryOutput::Aggregates(x), QueryOutput::Aggregates(y)) => {
             assert_eq!(x.len(), y.len(), "group count diverges: {ctx}");
-            for (GroupRow { key: ka, values: va }, GroupRow { key: kb, values: vb }) in
-                x.iter().zip(y)
+            for (
+                GroupRow {
+                    key: ka,
+                    values: va,
+                },
+                GroupRow {
+                    key: kb,
+                    values: vb,
+                },
+            ) in x.iter().zip(y)
             {
                 assert_eq!(ka, kb, "group keys diverge: {ctx}");
                 assert_eq!(va.len(), vb.len(), "aggregate count diverges: {ctx}");
@@ -54,7 +62,9 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
             "vertical",
             TablePlacement::Partitioned(PartitionSpec {
                 horizontal: None,
-                vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+                vertical: Some(VerticalSpec {
+                    row_cols: spec.st_cols(),
+                }),
             }),
         ),
         (
@@ -64,7 +74,9 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
                     split_column: 0,
                     split_value: Value::BigInt(n * 9 / 10),
                 }),
-                vertical: Some(VerticalSpec { row_cols: spec.st_cols() }),
+                vertical: Some(VerticalSpec {
+                    row_cols: spec.st_cols(),
+                }),
             }),
         ),
     ]
@@ -72,7 +84,8 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
 
 fn build(spec: &TableSpec, placement: &TablePlacement) -> HybridDatabase {
     let mut db = HybridDatabase::new();
-    db.create_single(spec.schema().unwrap(), StoreKind::Row).unwrap();
+    db.create_single(spec.schema().unwrap(), StoreKind::Row)
+        .unwrap();
     db.bulk_load(&spec.name, spec.rows()).unwrap();
     mover::move_table(&mut db, &spec.name, placement).unwrap();
     db
@@ -203,7 +216,12 @@ fn star_join_agrees_across_fact_layouts() {
         &fact,
         &dim,
         fact.fk_col(0),
-        &MixedWorkloadConfig { queries: 60, olap_fraction: 0.3, seed: 21, ..Default::default() },
+        &MixedWorkloadConfig {
+            queries: 60,
+            olap_fraction: 0.3,
+            seed: 21,
+            ..Default::default()
+        },
     );
     let mut reference: Option<Vec<QueryOutput>> = None;
     for placement in [
@@ -214,17 +232,24 @@ fn star_join_agrees_across_fact_layouts() {
                 split_column: 0,
                 split_value: Value::BigInt(1_800),
             }),
-            vertical: Some(VerticalSpec { row_cols: fact.st_cols() }),
+            vertical: Some(VerticalSpec {
+                row_cols: fact.st_cols(),
+            }),
         }),
     ] {
         let mut db = HybridDatabase::new();
-        db.create_single(fact.schema().unwrap(), StoreKind::Row).unwrap();
-        db.create_single(dim.schema().unwrap(), StoreKind::Row).unwrap();
+        db.create_single(fact.schema().unwrap(), StoreKind::Row)
+            .unwrap();
+        db.create_single(dim.schema().unwrap(), StoreKind::Row)
+            .unwrap();
         db.bulk_load("fact", fact.rows()).unwrap();
         db.bulk_load("dim", dim.rows()).unwrap();
         mover::move_table(&mut db, "fact", &placement).unwrap();
-        let outputs: Vec<QueryOutput> =
-            workload.queries.iter().map(|q| db.execute(q).unwrap()).collect();
+        let outputs: Vec<QueryOutput> = workload
+            .queries
+            .iter()
+            .map(|q| db.execute(q).unwrap())
+            .collect();
         match &reference {
             None => reference = Some(outputs),
             Some(r) => assert_all_close(r, &outputs, &format!("{placement:?}")),
