@@ -1,0 +1,314 @@
+//! Merge-policy ablation, recorded as `BENCH_merge.json`.
+//!
+//! Runs one mixed read/write workload (fresh-value point updates that grow
+//! the delta tail, interleaved with range-filtered aggregations that pay
+//! for it) under three delta-merge policies:
+//!
+//! * **always-merge** — the engine compacts after every write statement;
+//! * **never-merge** — tails accumulate for the whole run;
+//! * **advisor-scheduled** — engine auto-merge disabled, the
+//!   [`OnlineAdvisor`] schedules merges when the cost model's expected scan
+//!   savings exceed its merge cost.
+//!
+//! The acceptance claim of the maintenance PR is that the advisor-scheduled
+//! policy beats both fixed policies on this workload. A second section
+//! measures the dense group-by path (per-code accumulator array) against
+//! the hash-map baseline on a low-cardinality group column.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_merge`
+//! (`-- --smoke` for the small CI configuration). A committed
+//! `cost_model.json` is used for the advisor's model when present;
+//! otherwise a quick calibration runs first.
+
+use std::time::Instant;
+
+use hsd_core::{
+    calibrate, CalibrationConfig, CostModel, OnlineAdvisor, OnlineConfig, StorageAdvisor,
+};
+use hsd_engine::{executor, HybridDatabase, MergeConfig, WorkloadRunner};
+use hsd_query::{AggFunc, Aggregate, AggregateQuery, Query, TableSpec, UpdateQuery, Workload};
+use hsd_storage::{ColRange, StoreKind};
+use hsd_types::{Json, Value};
+
+struct Scale {
+    rows: usize,
+    statements: usize,
+    groupby_runs: usize,
+    smoke: bool,
+}
+
+impl Scale {
+    fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        if smoke {
+            Scale {
+                rows: 20_000,
+                statements: 600,
+                groupby_runs: 5,
+                smoke: true,
+            }
+        } else {
+            Scale {
+                rows: 200_000,
+                statements: 3_000,
+                groupby_runs: 9,
+                smoke: false,
+            }
+        }
+    }
+}
+
+fn spec(rows: usize) -> TableSpec {
+    TableSpec::paper_wide("m", rows, 0xBE9C)
+}
+
+fn build_db(spec: &TableSpec) -> HybridDatabase {
+    let mut db = HybridDatabase::new();
+    db.create_single(spec.schema().expect("schema"), StoreKind::Column)
+        .expect("create");
+    db.bulk_load("m", spec.rows()).expect("load");
+    db
+}
+
+/// Mixed stream: even statements are fresh-value point updates (each adds
+/// one dictionary-tail entry), odd statements are range-filtered sums over
+/// the updated keyfigure — the scan shape that pays the tail penalty
+/// (tail codes disable the fused scan kernel).
+fn mixed_workload(s: &TableSpec, statements: usize) -> Workload {
+    let kf = s.kf_col(0);
+    let scan = Query::Aggregate(AggregateQuery {
+        table: s.name.clone(),
+        aggregates: vec![Aggregate {
+            func: AggFunc::Sum,
+            column: kf,
+        }],
+        group_by: None,
+        filter: vec![ColRange::ge(kf, Value::Double(0.0))],
+        join: None,
+    });
+    let queries = (0..statements)
+        .map(|i| {
+            if i % 2 == 0 {
+                Query::Update(UpdateQuery {
+                    table: s.name.clone(),
+                    sets: vec![(kf, Value::Double(8.8e8 + i as f64 * 0.019))],
+                    filter: vec![ColRange::eq(0, Value::BigInt(((i * 37) % s.rows) as i64))],
+                })
+            } else {
+                scan.clone()
+            }
+        })
+        .collect();
+    Workload::from_queries(queries)
+}
+
+fn advisor_model(scale: &Scale) -> CostModel {
+    match std::fs::read_to_string("cost_model.json") {
+        Ok(json) => match CostModel::from_json(&json) {
+            Ok(m) => {
+                eprintln!("[bench_merge] using committed cost_model.json");
+                return m;
+            }
+            Err(e) => eprintln!("[bench_merge] cost_model.json unreadable ({e:?}); recalibrating"),
+        },
+        Err(_) => eprintln!("[bench_merge] no cost_model.json; running quick calibration"),
+    }
+    let cfg = if scale.smoke {
+        CalibrationConfig {
+            base_rows: 10_000,
+            ..CalibrationConfig::quick()
+        }
+    } else {
+        CalibrationConfig::quick()
+    };
+    calibrate(&cfg).expect("calibration")
+}
+
+struct PolicyResult {
+    name: &'static str,
+    total_ms: f64,
+    merges: usize,
+    tail_after: usize,
+}
+
+impl PolicyResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", Json::Str(self.name.to_string())),
+            ("total_ms", Json::Num(self.total_ms)),
+            ("merges", Json::Int(self.merges as i64)),
+            ("tail_after", Json::Int(self.tail_after as i64)),
+        ])
+    }
+}
+
+fn run_fixed(
+    name: &'static str,
+    s: &TableSpec,
+    workload: &Workload,
+    cfg: MergeConfig,
+    merges_per_write: bool,
+) -> PolicyResult {
+    let mut db = build_db(s);
+    db.set_merge_config(cfg);
+    let report = WorkloadRunner::new().run(&mut db, workload).expect("run");
+    let writes = workload
+        .queries
+        .iter()
+        .filter(|q| matches!(q, Query::Update(_) | Query::Insert(_)))
+        .count();
+    PolicyResult {
+        name,
+        total_ms: report.total_ms(),
+        merges: if merges_per_write { writes } else { 0 },
+        tail_after: db.delta_tail("m").expect("tail"),
+    }
+}
+
+fn run_advisor(s: &TableSpec, workload: &Workload, model: CostModel) -> PolicyResult {
+    let mut db = build_db(s);
+    db.set_merge_config(MergeConfig::disabled());
+    let mut online = OnlineAdvisor::new(
+        StorageAdvisor::new(model),
+        OnlineConfig {
+            // This run compares merge policies only: layout re-evaluation
+            // is parked so every policy executes on the same layout.
+            evaluation_interval: usize::MAX,
+            maintenance_interval: 32,
+            merge_min_tail: 64,
+            merge_safety_factor: 1.0,
+            ..Default::default()
+        },
+    );
+    let mut merges = 0usize;
+    let report = WorkloadRunner::new()
+        .run_observed(&mut db, workload, |db, q| {
+            online.observe(db, q)?;
+            for action in online.take_maintenance() {
+                action.apply(db)?;
+                merges += 1;
+            }
+            Ok(())
+        })
+        .expect("run");
+    PolicyResult {
+        name: "advisor-scheduled",
+        total_ms: report.total_ms(),
+        merges,
+        tail_after: db.delta_tail("m").expect("tail"),
+    }
+}
+
+/// Median wall-clock ms of `runs` executions of the grouped aggregation.
+fn time_groupby(db: &mut HybridDatabase, q: &Query, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(db.execute(q).expect("group-by"));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let s = spec(scale.rows);
+    eprintln!(
+        "[bench_merge] {} rows, {} statements{}",
+        scale.rows,
+        scale.statements,
+        if scale.smoke { " (smoke)" } else { "" }
+    );
+    let model = advisor_model(&scale);
+    let workload = mixed_workload(&s, scale.statements);
+
+    let mut results = Vec::new();
+    for (name, cfg, per_write) in [
+        ("always-merge", MergeConfig::always(), true),
+        ("never-merge", MergeConfig::disabled(), false),
+    ] {
+        let r = run_fixed(name, &s, &workload, cfg, per_write);
+        eprintln!(
+            "[bench_merge] {:<18} {:>9.1} ms  ({} merges, tail after: {})",
+            r.name, r.total_ms, r.merges, r.tail_after
+        );
+        results.push(r);
+    }
+    let adv = run_advisor(&s, &workload, model);
+    eprintln!(
+        "[bench_merge] {:<18} {:>9.1} ms  ({} merges, tail after: {})",
+        adv.name, adv.total_ms, adv.merges, adv.tail_after
+    );
+    let always_ms = results[0].total_ms;
+    let never_ms = results[1].total_ms;
+    let beats_always = adv.total_ms < always_ms;
+    let beats_never = adv.total_ms < never_ms;
+    eprintln!(
+        "[bench_merge] advisor vs always: {:.2}x, vs never: {:.2}x -> {}",
+        always_ms / adv.total_ms,
+        never_ms / adv.total_ms,
+        if beats_always && beats_never {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    results.push(adv);
+
+    // --- dense group-by ablation -------------------------------------------
+    // Low-cardinality group column (cardinality 100): the dense per-code
+    // accumulator path vs the hash-map path on identical data.
+    let mut db = build_db(&s);
+    let gq = Query::Aggregate(AggregateQuery {
+        table: s.name.clone(),
+        aggregates: vec![Aggregate {
+            func: AggFunc::Sum,
+            column: s.kf_col(0),
+        }],
+        group_by: Some(s.grp_col(0)),
+        filter: vec![],
+        join: None,
+    });
+    executor::set_dense_group_by(false);
+    let hash_ms = time_groupby(&mut db, &gq, scale.groupby_runs);
+    executor::set_dense_group_by(true);
+    let dense_ms = time_groupby(&mut db, &gq, scale.groupby_runs);
+    let gb_speedup = hash_ms / dense_ms;
+    let gb_pass = dense_ms < hash_ms;
+    eprintln!(
+        "[bench_merge] group-by dense {dense_ms:.3} ms vs hash {hash_ms:.3} ms \
+         ({gb_speedup:.2}x) -> {}",
+        if gb_pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("merge_policy".to_string())),
+        ("rows", Json::Int(scale.rows as i64)),
+        ("statements", Json::Int(scale.statements as i64)),
+        ("smoke", Json::Bool(scale.smoke)),
+        (
+            "policies",
+            Json::Arr(results.iter().map(PolicyResult::to_json).collect()),
+        ),
+        ("advisor_beats_always", Json::Bool(beats_always)),
+        ("advisor_beats_never", Json::Bool(beats_never)),
+        (
+            "dense_groupby",
+            Json::obj([
+                ("hash_ms", Json::Num(hash_ms)),
+                ("dense_ms", Json::Num(dense_ms)),
+                ("speedup", Json::Num(gb_speedup)),
+                ("pass", Json::Bool(gb_pass)),
+            ]),
+        ),
+        ("pass", Json::Bool(beats_always && beats_never && gb_pass)),
+    ]);
+    std::fs::write("BENCH_merge.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_merge.json");
+    eprintln!("[bench_merge] wrote BENCH_merge.json");
+    if !(beats_always && beats_never && gb_pass) {
+        std::process::exit(1);
+    }
+}

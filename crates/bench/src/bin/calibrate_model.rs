@@ -1,0 +1,28 @@
+//! Produce the reference `cost_model.json` calibration artifact.
+//!
+//! The committed artifact pins the calibrated constants of one known
+//! machine so later PRs can diff the cost model's shape after engine
+//! changes (the ROADMAP's drift-tracking item); it also feeds `bench_merge`
+//! a ready model so CI's smoke run skips recalibration.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin calibrate_model`
+//! (`-- --full` for the full-size calibration; default is the quick
+//! configuration so regeneration stays cheap).
+
+use hsd_core::{calibrate, CalibrationConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full {
+        CalibrationConfig::default()
+    } else {
+        CalibrationConfig::quick()
+    };
+    eprintln!(
+        "[calibrate_model] calibrating ({} rows base, {} repeats) ...",
+        cfg.base_rows, cfg.repeats
+    );
+    let model = calibrate(&cfg).expect("calibration");
+    std::fs::write("cost_model.json", model.to_json() + "\n").expect("write cost_model.json");
+    eprintln!("[calibrate_model] wrote cost_model.json");
+}

@@ -109,6 +109,13 @@ impl StorageAdvisor {
         for entry in db.catalog().entries() {
             if let Some(t) = ctx.tables.get_mut(&entry.schema.name) {
                 t.indexed = entry.indexed_columns.clone();
+                // The live delta tail is deliberately NOT fed into the
+                // placement search: placement is a steady-state decision,
+                // and a tail-inflated column-store estimate could tip it
+                // into recommending a full migration whose cheaper remedy
+                // is the maintenance scheduler's own merge (`merge_ms` ≪
+                // move cost). Tail costs are charged where they are
+                // actionable — in [`crate::maintenance::evaluate_merge`].
             }
         }
         self.recommend_inner(&schemas, &ctx, recorded, window, enable_partitioning)
@@ -194,6 +201,7 @@ pub fn build_ctx(
                 indexed: Vec::new(),
                 column_types: schema.columns.iter().map(|c| c.ty).collect(),
                 pk_columns: schema.primary_key.clone(),
+                delta_tail: 0,
             },
         );
     }

@@ -340,6 +340,97 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     }
     m.f_affected_columns = AdjustmentFn::fit_piecewise(aff_points);
 
+    // --- delta maintenance (column store only) ------------------------------
+    // f_tail: how much an unmerged dictionary tail degrades scans; merge_ms:
+    // what folding it back in costs. Both feed the online advisor's merge
+    // scheduling. The row store has no delta region; its terms stay neutral.
+    if store == StoreKind::Column {
+        calibrate_tail(model, &mut db, &sweep_tables, ref_idx, cfg)?;
+    }
+
+    Ok(())
+}
+
+/// Grow dictionary tails with fresh-value point updates (auto-merge
+/// disabled), measuring (a) the scan degradation per tail fraction and
+/// (b) the merge cost per row count.
+fn calibrate_tail(
+    model: &mut CostModel,
+    db: &mut HybridDatabase,
+    sweep_tables: &[(String, usize)],
+    ref_idx: usize,
+    cfg: &CalibrationConfig,
+) -> Result<()> {
+    let saved_policy = db.merge_config();
+    db.set_merge_config(hsd_engine::MergeConfig::disabled());
+    let (ref_table, ref_rows) = sweep_tables[ref_idx].clone();
+    let spec = reference_spec(&ref_table, ref_rows, cfg);
+    // Fresh updates target the reference keyfigure; the probe is a range
+    // scan over that same column, so its predicate pays the tail path
+    // (per-block tail membership tests instead of the fused kernel).
+    let kf = spec.kf_col(0);
+    let probe = Query::Aggregate(AggregateQuery {
+        table: ref_table.clone(),
+        aggregates: vec![Aggregate {
+            func: AggFunc::Sum,
+            column: kf,
+        }],
+        group_by: None,
+        filter: vec![ColRange::ge(kf, Value::Double(0.0))],
+        join: None,
+    });
+    let fresh_updates = |db: &mut HybridDatabase, from: usize, to: usize| -> Result<()> {
+        for j in from..to {
+            let id = (j * 29 + 3) % ref_rows;
+            db.execute(&Query::Update(UpdateQuery {
+                table: ref_table.clone(),
+                sets: vec![(kf, Value::Double(5e8 + j as f64 * 0.013))],
+                filter: vec![ColRange::eq(0, Value::BigInt(id as i64))],
+            }))?;
+        }
+        Ok(())
+    };
+    // Clean baseline.
+    hsd_engine::mover::merge_delta(db, &ref_table)?;
+    let base_ms = time_ms(db, &probe, cfg.repeats.max(3))?;
+    let mut tail_points = vec![(0.0, 1.0)];
+    let mut grown = 0usize;
+    for frac in [0.01f64, 0.04, 0.12] {
+        let target = ((ref_rows as f64) * frac) as usize;
+        fresh_updates(db, grown, target)?;
+        grown = target;
+        let ms = time_ms(db, &probe, cfg.repeats.max(3))?;
+        let observed = db.delta_tail(&ref_table)? as f64 / ref_rows as f64;
+        // Tails only hurt: clamp below at 1 so timing noise on small tails
+        // cannot make the model reward deferred merges.
+        tail_points.push((observed, (ms / base_ms).max(1.0)));
+    }
+    model.column.f_tail = AdjustmentFn::fit_piecewise(tail_points);
+
+    // merge_ms: seed a proportional tail on every sweep table and time the
+    // explicit merge entry point; fit linearly in the row count. Clear the
+    // f_tail sweep's large leftover tail first so the reference table's
+    // point folds the same seeded tail as every other sweep point.
+    hsd_engine::mover::merge_delta(db, &ref_table)?;
+    let mut merge_points = Vec::new();
+    for (name, rows) in sweep_tables {
+        let tspec = reference_spec(name, *rows, cfg);
+        let tkf = tspec.kf_col(0);
+        let seed_tail = (*rows / 64).max(64);
+        for j in 0..seed_tail {
+            let id = (j * 31 + 7) % rows;
+            db.execute(&Query::Update(UpdateQuery {
+                table: name.clone(),
+                sets: vec![(tkf, Value::Double(7e8 + j as f64 * 0.017))],
+                filter: vec![ColRange::eq(0, Value::BigInt(id as i64))],
+            }))?;
+        }
+        let start = Instant::now();
+        hsd_engine::mover::merge_delta(db, name)?;
+        merge_points.push((*rows as f64, start.elapsed().as_secs_f64() * 1e3));
+    }
+    model.column.merge_ms = AdjustmentFn::fit_linear(&merge_points);
+    db.set_merge_config(saved_policy);
     Ok(())
 }
 
@@ -544,6 +635,14 @@ mod tests {
         // Group-by costs at least as much as no group-by.
         assert!(model.row.c_group_by >= 1.0);
         assert!(model.column.c_group_by >= 1.0);
+
+        // Delta maintenance: a tail never speeds scans up, the merge has a
+        // real cost at calibration scale, and the row store stays neutral.
+        assert!(model.column.f_tail.eval(0.0) >= 1.0 - 1e-9);
+        assert!(model.column.f_tail.eval(0.12) >= 1.0);
+        assert!(model.column.merge_ms.eval(20_000.0) > 0.0);
+        assert_eq!(model.row.f_tail, AdjustmentFn::Constant(1.0));
+        assert_eq!(model.row.merge_ms, AdjustmentFn::Constant(0.0));
 
         // Join factors are positive and serde survives a round trip.
         for f in StoreKind::BOTH {

@@ -160,6 +160,19 @@ pub struct StoreModel {
     pub upd_row_ms: f64,
     /// Multiplier by the number of assigned columns (`f_#affectedColumns`).
     pub f_affected_columns: AdjustmentFn,
+    // --- delta maintenance --------------------------------------------------
+    /// Multiplier on scan-type costs as a function of the accumulated
+    /// dictionary-tail *fraction* (tail entries / rows), normalized to 1 at
+    /// an empty tail. The column store's delta region disables the fused
+    /// scan kernels and adds per-code tail membership tests, so scans
+    /// degrade as the tail grows; the row store has no delta region and
+    /// keeps the neutral constant 1.
+    pub f_tail: AdjustmentFn,
+    /// Milliseconds for a full delta merge as a function of the row count
+    /// (dictionary rebuild + code-vector remap). Constant 0 for the row
+    /// store. This is the cost side of the advisor's merge-scheduling
+    /// decision ([`crate::maintenance::evaluate_merge`]).
+    pub merge_ms: AdjustmentFn,
 }
 
 impl StoreModel {
@@ -180,6 +193,8 @@ impl StoreModel {
             ins_row: AdjustmentFn::Constant(0.0),
             upd_row_ms: 0.0,
             f_affected_columns: AdjustmentFn::Constant(1.0),
+            f_tail: AdjustmentFn::Constant(1.0),
+            merge_ms: AdjustmentFn::Constant(0.0),
         }
     }
 
@@ -445,6 +460,8 @@ fn store_model_to_json(m: &StoreModel) -> Json {
             "f_affected_columns",
             adjustment_to_json(&m.f_affected_columns),
         ),
+        ("f_tail", adjustment_to_json(&m.f_tail)),
+        ("merge_ms", adjustment_to_json(&m.merge_ms)),
     ])
 }
 
@@ -463,6 +480,8 @@ fn store_model_from_json(j: &Json) -> JsonResult<StoreModel> {
         ins_row: adjustment_from_json(j.get("ins_row")?)?,
         upd_row_ms: j.get("upd_row_ms")?.as_f64()?,
         f_affected_columns: adjustment_from_json(j.get("f_affected_columns")?)?,
+        f_tail: adjustment_from_json(j.get("f_tail")?)?,
+        merge_ms: adjustment_from_json(j.get("merge_ms")?)?,
     })
 }
 
@@ -541,6 +560,13 @@ mod tests {
             intercept: 0.2,
         };
         m.join_factor[0][1] = 1.7;
+        m.column.f_tail = AdjustmentFn::Piecewise {
+            points: vec![(0.0, 1.0), (0.1, 1.8)],
+        };
+        m.column.merge_ms = AdjustmentFn::Linear {
+            slope: 2e-4,
+            intercept: 0.5,
+        };
         let json = m.to_json();
         let back = CostModel::from_json(&json).unwrap();
         assert_eq!(back, m);

@@ -27,6 +27,13 @@ pub struct TableCtx {
     pub column_types: Vec<ColumnType>,
     /// Primary-key column indexes (point-query detection).
     pub pk_columns: Vec<ColumnIdx>,
+    /// Accumulated dictionary-tail entries of the table's column-store
+    /// partitions (0 when unknown or row-store resident). Feeds the
+    /// `f_tail` scan-degradation adjustment for tail-aware estimates. The
+    /// advisor's placement search deliberately leaves this at 0 — a tail is
+    /// a transient condition whose remedy is a scheduled merge, not a store
+    /// migration (see `StorageAdvisor::recommend_online`).
+    pub delta_tail: usize,
 }
 
 /// Estimation context: statistics for every table the workload touches.
@@ -86,6 +93,17 @@ fn range_bounds(ctx: &TableCtx, r: &ColRange) -> (Value, Value) {
         Bound::Unbounded => max,
     };
     (lo, hi)
+}
+
+/// The scan-degradation multiplier for the table's accumulated dictionary
+/// tail (`f_tail`), clamped to never *reward* a tail. The row store's
+/// neutral constant 1 makes this a no-op there.
+fn tail_factor(m: &StoreModel, tctx: &TableCtx) -> f64 {
+    if tctx.delta_tail == 0 {
+        return 1.0;
+    }
+    let frac = tctx.delta_tail as f64 / (tctx.stats.row_count.max(1)) as f64;
+    m.f_tail.eval(frac).max(1.0)
 }
 
 /// Whether the filter is a point predicate on the table's full primary key.
@@ -181,8 +199,12 @@ fn estimate_aggregate(
     let grouped = q.group_by.is_some()
         || dim_store.is_some() && q.join.as_ref().is_some_and(|j| j.group_by_dim.is_some());
     let c_group = if grouped { m.c_group_by } else { 1.0 };
+    // The accumulated delta tail degrades every column-store scan until the
+    // next merge — the dictionary-tail penalty the merge scheduler trades
+    // against the merge cost.
+    let tail = tail_factor(m, tctx);
     if q.filter.is_empty() {
-        agg_terms * c_group * m.f_rows.eval(n).max(0.0) * m.f_compression.eval(compression)
+        agg_terms * c_group * m.f_rows.eval(n).max(0.0) * m.f_compression.eval(compression) * tail
     } else {
         // Filtered aggregation: pay the selection to locate rows, then
         // aggregate over the matched subset.
@@ -193,6 +215,7 @@ fn estimate_aggregate(
                 * c_group
                 * m.f_rows.eval(matched).max(0.0)
                 * m.f_compression.eval(compression)
+                * tail
     }
 }
 
@@ -214,7 +237,9 @@ fn locate_cost(m: &StoreModel, tctx: &TableCtx, filter: &[ColRange], store: Stor
     } else {
         m.sel_per_row_scan
     };
-    per_row * n + m.sel_per_match * matched
+    // Tail entries disable the column store's fused scan kernel for the
+    // affected blocks, so predicate evaluation degrades with the tail.
+    per_row * n * tail_factor(m, tctx) + m.sel_per_match * matched
 }
 
 fn estimate_select(
@@ -484,6 +509,7 @@ mod tests {
             indexed: vec![],
             column_types: vec![ColumnType::BigInt, ColumnType::Double],
             pk_columns: vec![0],
+            delta_tail: 0,
         }
     }
 
@@ -612,6 +638,42 @@ mod tests {
         let p = estimate_query(&m, &c, &assign(StoreKind::Row), &point);
         let r = estimate_query(&m, &c, &assign(StoreKind::Row), &range);
         assert!(r > p * 100.0, "range update much dearer than point update");
+    }
+
+    #[test]
+    fn delta_tail_degrades_column_store_estimates_only() {
+        let mut m = model();
+        m.column.f_tail = AdjustmentFn::Linear {
+            slope: 10.0,
+            intercept: 1.0,
+        };
+        let clean = ctx();
+        let mut tailed = EstimationCtx::new();
+        let mut t = tctx(10_000);
+        t.delta_tail = 1_000; // 10% tail -> factor 2.0
+        tailed.insert("t", t);
+        let agg = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let cs_clean = estimate_query(&m, &clean, &assign(StoreKind::Column), &agg);
+        let cs_tailed = estimate_query(&m, &tailed, &assign(StoreKind::Column), &agg);
+        assert!(
+            (cs_tailed / cs_clean - 2.0).abs() < 1e-9,
+            "10% tail at slope 10 doubles the column scan estimate"
+        );
+        // The row store has no delta region: neutral f_tail, unchanged cost.
+        let rs_clean = estimate_query(&m, &clean, &assign(StoreKind::Row), &agg);
+        let rs_tailed = estimate_query(&m, &tailed, &assign(StoreKind::Row), &agg);
+        assert!((rs_tailed - rs_clean).abs() < 1e-12);
+        // Filtered scans pay the tail in the locate term as well.
+        let mut m2 = m.clone();
+        m2.column.sel_per_row_scan = 1e-4;
+        let filtered = Query::Select(SelectQuery {
+            table: "t".into(),
+            columns: None,
+            filter: vec![ColRange::ge(1, Value::Double(50.0))],
+        });
+        let f_clean = estimate_query(&m2, &clean, &assign(StoreKind::Column), &filtered);
+        let f_tailed = estimate_query(&m2, &tailed, &assign(StoreKind::Column), &filtered);
+        assert!(f_tailed > f_clean);
     }
 
     #[test]

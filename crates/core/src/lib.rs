@@ -21,7 +21,9 @@
 //!
 //! [`online`] implements the online working mode: consume recorded extended
 //! statistics, re-evaluate periodically, and emit adaptation
-//! recommendations.
+//! recommendations — including workload-aware delta-merge scheduling
+//! ([`maintenance`]): merges are recommended when the cost model's scan
+//! savings exceed its merge cost, instead of on a size-only trigger.
 
 #![warn(missing_docs)]
 
@@ -29,6 +31,7 @@ pub mod advisor;
 pub mod calibration;
 pub mod cost;
 pub mod estimator;
+pub mod maintenance;
 pub mod online;
 pub mod partition;
 pub mod report;
@@ -37,5 +40,6 @@ pub use advisor::{Recommendation, StorageAdvisor, TableRecommendation};
 pub use calibration::{calibrate, CalibrationConfig};
 pub use cost::{AdjustmentFn, CostModel, StoreModel};
 pub use estimator::{EstimationCtx, TableCtx};
+pub use maintenance::{evaluate_merge, MaintenanceAction, MergeDecision, MergePartition};
 pub use online::{AdaptationRecommendation, OnlineAdvisor, OnlineConfig};
 pub use partition::PartitionAdvisorConfig;

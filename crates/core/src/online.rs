@@ -4,12 +4,24 @@
 //! layout, the system "records extended workload and table statistics and,
 //! in certain time intervals, ... re-evaluates the storage layout based on
 //! the current workload statistics and recommends adaptations if required".
+//!
+//! Beyond placement adaptations, the advisor also schedules **delta-merge
+//! maintenance**: using the recorded per-table scan activity and the live
+//! dictionary-tail sizes, it emits [`MaintenanceAction::Merge`]
+//! recommendations whenever the modeled scan savings of merging now exceed
+//! the modeled merge cost (see [`crate::maintenance::evaluate_merge`]).
+//! Running the engine with its auto-merge fallback disabled
+//! ([`hsd_engine::MergeConfig::disabled`]) makes the advisor the sole merge
+//! scheduler.
+
+use std::collections::BTreeMap;
 
 use hsd_engine::{mover, HybridDatabase, StatisticsRecorder};
 use hsd_query::{Query, Workload};
 use hsd_types::Result;
 
 use crate::advisor::{Recommendation, StorageAdvisor};
+use crate::maintenance::{evaluate_merge, MaintenanceAction, MergePartition};
 
 /// Settings of the online advisor.
 #[derive(Debug, Clone)]
@@ -23,6 +35,24 @@ pub struct OnlineConfig {
     pub window_capacity: usize,
     /// Whether partitioning recommendations are enabled.
     pub enable_partitioning: bool,
+    /// Whether the advisor schedules delta merges from workload statistics
+    /// ([`MaintenanceAction::Merge`]). Independent of the engine's own
+    /// fallback policy — disable that via
+    /// [`hsd_engine::MergeConfig::disabled`] to make the advisor the only
+    /// merge scheduler.
+    pub enable_maintenance: bool,
+    /// Re-check the merge trade-off after this many recorded statements.
+    /// The check is cheap (live tail sizes + recorded scan counts), so it
+    /// runs far more often than the full layout re-evaluation.
+    pub maintenance_interval: usize,
+    /// Required accrued-penalty / modeled-merge-cost ratio before a merge
+    /// is scheduled (the rent-or-buy threshold). `1.0` merges once the
+    /// modeled scan penalty paid since the last merge equals one merge;
+    /// larger values defer longer before interrupting the workload.
+    pub merge_safety_factor: f64,
+    /// Tails smaller than this many entries are never worth a scheduling
+    /// decision (the scan penalty is below measurement noise).
+    pub merge_min_tail: usize,
 }
 
 impl Default for OnlineConfig {
@@ -32,6 +62,10 @@ impl Default for OnlineConfig {
             min_improvement: 0.10,
             window_capacity: 2_000,
             enable_partitioning: true,
+            enable_maintenance: true,
+            maintenance_interval: 64,
+            merge_safety_factor: 1.0,
+            merge_min_tail: 128,
         }
     }
 }
@@ -49,8 +83,8 @@ pub struct AdaptationRecommendation {
     pub changed_tables: Vec<String>,
 }
 
-/// Online advisor: wraps a [`StorageAdvisor`] with statistics recording and
-/// interval-based re-evaluation.
+/// Online advisor: wraps a [`StorageAdvisor`] with statistics recording,
+/// interval-based re-evaluation, and workload-aware merge scheduling.
 #[derive(Debug)]
 pub struct OnlineAdvisor {
     advisor: StorageAdvisor,
@@ -58,6 +92,15 @@ pub struct OnlineAdvisor {
     recorder: StatisticsRecorder,
     window: Vec<Query>,
     since_last_eval: usize,
+    since_last_maintenance: usize,
+    /// Per-table scan counts (aggregations + selects) at the last
+    /// maintenance check; the delta since then is the interval's scan load.
+    scan_snapshot: BTreeMap<String, u64>,
+    /// Per-table modeled tail penalty (ms) accrued since the table's last
+    /// merge — the "rent" side of the rent-or-buy merge rule.
+    merge_penalty_accrued: BTreeMap<String, f64>,
+    /// Merge recommendations emitted but not yet drained by the caller.
+    pending_maintenance: Vec<MaintenanceAction>,
 }
 
 impl OnlineAdvisor {
@@ -69,12 +112,19 @@ impl OnlineAdvisor {
             recorder: StatisticsRecorder::new(),
             window: Vec::new(),
             since_last_eval: 0,
+            since_last_maintenance: 0,
+            scan_snapshot: BTreeMap::new(),
+            merge_penalty_accrued: BTreeMap::new(),
+            pending_maintenance: Vec::new(),
         }
     }
 
     /// Observe one query (recording statistics and the estimation window)
     /// and — at interval boundaries — re-evaluate the layout. Returns an
     /// adaptation recommendation when a sufficiently better layout exists.
+    ///
+    /// Maintenance scheduling runs on its own (shorter) interval; drain its
+    /// recommendations with [`OnlineAdvisor::take_maintenance`].
     pub fn observe(
         &mut self,
         db: &HybridDatabase,
@@ -85,12 +135,82 @@ impl OnlineAdvisor {
             self.window.remove(0);
         }
         self.window.push(query.clone());
+        self.since_last_maintenance += 1;
+        if self.cfg.enable_maintenance
+            && self.since_last_maintenance >= self.cfg.maintenance_interval
+        {
+            self.since_last_maintenance = 0;
+            self.schedule_maintenance(db);
+        }
         self.since_last_eval += 1;
         if self.since_last_eval < self.cfg.evaluation_interval {
             return Ok(None);
         }
         self.since_last_eval = 0;
         self.evaluate(db)
+    }
+
+    /// Evaluate the merge trade-off for every table carrying a delta tail,
+    /// queueing a [`MaintenanceAction::Merge`] once the modeled scan
+    /// penalty accrued since the table's last merge exceeds the modeled
+    /// merge cost (rent-or-buy; see [`evaluate_merge`]).
+    fn schedule_maintenance(&mut self, db: &HybridDatabase) {
+        for entry in db.catalog().entries() {
+            let name = entry.schema.name.as_str();
+            if self.pending_maintenance.iter().any(|a| a.table() == name) {
+                // Already queued, waiting for the caller to apply. Leave
+                // the scan snapshot untouched so scans arriving meanwhile
+                // still count toward the accrual if the action is drained
+                // without being applied.
+                continue;
+            }
+            // Scan statements observed since the last check: the interval's
+            // scan load on this table, each paying the current tail penalty.
+            let scans_now = self
+                .recorder
+                .stats()
+                .table(name)
+                .map_or(0, |t| t.aggregations + t.selects);
+            let prior = self
+                .scan_snapshot
+                .insert(name.to_string(), scans_now)
+                .unwrap_or(0);
+            let interval_scans = scans_now.saturating_sub(prior) as f64;
+            let Ok(tail) = db.delta_tail(name) else {
+                continue;
+            };
+            if tail < self.cfg.merge_min_tail {
+                // Tail gone (merged by us, the engine fallback, or a data
+                // move) or still negligible: restart the accrual.
+                self.merge_penalty_accrued.remove(name);
+                continue;
+            }
+            let rows = db.row_count(name).unwrap_or(0);
+            let decision = evaluate_merge(&self.advisor.model, rows, tail, interval_scans);
+            let accrued = self
+                .merge_penalty_accrued
+                .entry(name.to_string())
+                .or_insert(0.0);
+            *accrued += decision.scan_savings_ms;
+            if *accrued > decision.merge_cost_ms * self.cfg.merge_safety_factor {
+                *accrued = 0.0;
+                let partition = match entry.placement {
+                    hsd_catalog::TablePlacement::Single(_) => MergePartition::Whole,
+                    hsd_catalog::TablePlacement::Partitioned(_) => MergePartition::Cold,
+                };
+                self.pending_maintenance.push(MaintenanceAction::Merge {
+                    table: name.to_string(),
+                    partition,
+                });
+            }
+        }
+    }
+
+    /// Drain the maintenance recommendations queued since the last call.
+    /// Apply them with [`MaintenanceAction::apply`] (or ignore them — the
+    /// engine's fallback policy, if enabled, still bounds the tails).
+    pub fn take_maintenance(&mut self) -> Vec<MaintenanceAction> {
+        std::mem::take(&mut self.pending_maintenance)
     }
 
     /// Force a re-evaluation of the current layout.
@@ -162,6 +282,10 @@ impl OnlineAdvisor {
         self.recorder.reset();
         self.window.clear();
         self.since_last_eval = 0;
+        self.since_last_maintenance = 0;
+        self.scan_snapshot.clear();
+        self.merge_penalty_accrued.clear();
+        self.pending_maintenance.clear();
         Ok(moved)
     }
 
@@ -176,8 +300,11 @@ mod tests {
     use super::*;
     use crate::cost::{AdjustmentFn, CostModel};
     use hsd_catalog::TablePlacement;
-    use hsd_query::{MixedWorkloadConfig, TableSpec, WorkloadGenerator};
-    use hsd_storage::StoreKind;
+    use hsd_query::{
+        AggFunc, AggregateQuery, MixedWorkloadConfig, TableSpec, UpdateQuery, WorkloadGenerator,
+    };
+    use hsd_storage::{ColRange, StoreKind};
+    use hsd_types::Value;
 
     fn model() -> CostModel {
         let mut m = CostModel::neutral();
@@ -198,8 +325,98 @@ mod tests {
         m
     }
 
+    /// `model()` plus maintenance terms: tails degrade scans linearly
+    /// (factor `1 + 10·frac`), a merge costs a flat 0.5 ms.
+    fn maintenance_model() -> CostModel {
+        let mut m = model();
+        m.column.f_tail = AdjustmentFn::Linear {
+            slope: 10.0,
+            intercept: 1.0,
+        };
+        m.column.merge_ms = AdjustmentFn::Constant(0.5);
+        m
+    }
+
     fn spec() -> TableSpec {
         TableSpec::paper_wide("w", 2_000, 9)
+    }
+
+    /// Column-store db under advisor-scheduled maintenance: engine fallback
+    /// merges disabled, layout re-evaluation pushed out of the way.
+    fn maintenance_setup() -> (hsd_engine::HybridDatabase, OnlineAdvisor, TableSpec) {
+        let s = spec();
+        let mut db = HybridDatabase::new();
+        db.create_single(s.schema().unwrap(), StoreKind::Column)
+            .unwrap();
+        db.bulk_load("w", s.rows()).unwrap();
+        db.set_merge_config(hsd_engine::MergeConfig::disabled());
+        let cfg = OnlineConfig {
+            evaluation_interval: usize::MAX,
+            maintenance_interval: 8,
+            merge_min_tail: 16,
+            merge_safety_factor: 1.0,
+            ..Default::default()
+        };
+        let online = OnlineAdvisor::new(StorageAdvisor::new(maintenance_model()), cfg);
+        (db, online, s)
+    }
+
+    fn fresh_update(s: &TableSpec, i: usize) -> Query {
+        Query::Update(UpdateQuery {
+            table: "w".into(),
+            sets: vec![(s.kf_col(0), Value::Double(9e8 + i as f64 * 0.011))],
+            filter: vec![ColRange::eq(0, Value::BigInt((i % s.rows) as i64))],
+        })
+    }
+
+    #[test]
+    fn maintenance_scheduled_when_scans_collect_the_benefit() {
+        let (mut db, mut online, s) = maintenance_setup();
+        let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
+        let mut scheduled = Vec::new();
+        for i in 0..600 {
+            let q = if i % 2 == 0 {
+                fresh_update(&s, i)
+            } else {
+                scan.clone()
+            };
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            scheduled = online.take_maintenance();
+            if !scheduled.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            scheduled,
+            vec![MaintenanceAction::Merge {
+                table: "w".into(),
+                partition: MergePartition::Whole,
+            }],
+            "a scan-heavy stream over a growing tail must schedule a merge"
+        );
+        assert!(db.delta_tail("w").unwrap() > 0);
+        let merged = scheduled[0].apply(&mut db).unwrap();
+        assert!(merged > 0);
+        assert_eq!(db.delta_tail("w").unwrap(), 0);
+    }
+
+    #[test]
+    fn maintenance_not_scheduled_for_write_only_stream() {
+        let (mut db, mut online, s) = maintenance_setup();
+        for i in 0..300 {
+            let q = fresh_update(&s, i);
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+        }
+        assert!(
+            db.delta_tail("w").unwrap() > 100,
+            "tail must have accumulated"
+        );
+        assert!(
+            online.take_maintenance().is_empty(),
+            "no scans -> merging now buys nothing; defer"
+        );
     }
 
     #[test]

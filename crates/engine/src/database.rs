@@ -9,6 +9,7 @@ use hsd_storage::{StoreKind, Table};
 use hsd_types::{Error, Result, TableId, TableSchema, Value};
 
 use crate::executor;
+use crate::maintenance::MergeConfig;
 use crate::partition::TableData;
 
 /// An in-memory hybrid-store database instance.
@@ -16,6 +17,7 @@ use crate::partition::TableData;
 pub struct HybridDatabase {
     catalog: Catalog,
     tables: HashMap<TableId, TableData>,
+    merge_config: MergeConfig,
 }
 
 impl HybridDatabase {
@@ -107,6 +109,25 @@ impl HybridDatabase {
     /// Total logical rows of a table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
         Ok(self.table_data(table)?.row_count())
+    }
+
+    /// The engine-level delta-merge fallback policy.
+    pub fn merge_config(&self) -> MergeConfig {
+        self.merge_config
+    }
+
+    /// Replace the delta-merge fallback policy (e.g.
+    /// [`MergeConfig::disabled`] when an online advisor schedules merges
+    /// explicitly, leaving the executor's auto-merge as a safety valve
+    /// only).
+    pub fn set_merge_config(&mut self, cfg: MergeConfig) {
+        self.merge_config = cfg;
+    }
+
+    /// Accumulated dictionary-tail entries of a table's column-store
+    /// partitions (0 for row-store-only layouts).
+    pub fn delta_tail(&self, table: &str) -> Result<usize> {
+        Ok(self.table_data(table)?.delta_tail())
     }
 
     /// Execute a query against the current layout.
@@ -205,11 +226,7 @@ fn collect_stats(data: &TableData) -> TableStats {
 }
 
 fn compact_tables(data: &mut TableData) {
-    match data {
-        TableData::Single(Table::Column(ct)) => ct.compact(),
-        TableData::Single(Table::Row(_)) => {}
-        TableData::Partitioned { .. } => executor::compact_partitioned(data),
-    }
+    data.compact_deltas();
 }
 
 #[cfg(test)]

@@ -361,59 +361,25 @@ impl Part<'_> {
 // Inserts
 
 fn exec_insert(db: &mut HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> {
+    let cfg = db.merge_config();
     let data = db.table_data_mut(&q.table)?;
     for row in &q.rows {
         data.insert(row)?;
     }
-    maybe_auto_merge(data);
+    crate::maintenance::after_write(data, &cfg);
     Ok(QueryOutput::Affected(q.rows.len()))
-}
-
-/// Delta-merge policy: once a column-store table's dictionary tails exceed
-/// a fraction of its row count, fold them back in (HANA's delta merge).
-/// This is the structural reason sustained OLTP traffic on column-store
-/// data costs more than its per-statement work alone.
-fn auto_merge_threshold(rows: usize) -> usize {
-    (rows / 32).max(4096)
-}
-
-fn maybe_auto_merge(data: &mut TableData) {
-    match data {
-        TableData::Single(Table::Column(ct)) => {
-            if ct.tail_total() > auto_merge_threshold(ct.row_count()) {
-                ct.compact();
-            }
-        }
-        TableData::Single(Table::Row(_)) => {}
-        TableData::Partitioned { cold, .. } => match cold {
-            ColdPart::Single(Table::Column(ct))
-                if ct.tail_total() > auto_merge_threshold(ct.row_count()) =>
-            {
-                ct.compact();
-            }
-            ColdPart::Vertical(p) => {
-                let (tail, rows) = match p.col_fragment() {
-                    Table::Column(ct) => (ct.tail_total(), ct.row_count()),
-                    Table::Row(_) => (0, 0),
-                };
-                if tail > auto_merge_threshold(rows) {
-                    p.compact_column_fragment();
-                }
-            }
-            _ => {}
-        },
-    }
 }
 
 // ---------------------------------------------------------------------------
 // Updates
 
 fn exec_update(db: &mut HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
+    let cfg = db.merge_config();
     let data = db.table_data_mut(&q.table)?;
     // Point-update fast path over the PK index.
     if let Some(key) = pk_point_key(data, &q.filter) {
         let affected = update_point(data, &key, &q.sets)?;
-        maybe_auto_merge(data);
+        crate::maintenance::after_write(data, &cfg);
         return Ok(QueryOutput::Affected(affected));
     }
     let mut affected = 0;
@@ -444,7 +410,7 @@ fn exec_update(db: &mut HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> 
             }
         }
     }
-    maybe_auto_merge(data);
+    crate::maintenance::after_write(data, &cfg);
     Ok(QueryOutput::Affected(affected))
 }
 
@@ -627,6 +593,41 @@ fn is_numeric_col(part: &Part<'_>, col: ColumnIdx) -> bool {
     schema.columns[col].ty.is_numeric()
 }
 
+/// Largest group dictionary the dense per-code accumulator path handles;
+/// beyond this the hash-map path bounds memory to the groups actually seen.
+const DENSE_GROUPBY_MAX_DICT: usize = 1 << 16;
+
+/// Ablation switch for the dense group-by path (`bench_merge` compares the
+/// dense per-code array against the hash-map baseline on identical data).
+static DENSE_GROUP_BY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable the dense group-by fast path (enabled by default;
+/// benchmarking hook, not a tuning knob).
+pub fn set_dense_group_by(enabled: bool) {
+    DENSE_GROUP_BY.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Fold one selected row into its group's accumulators (shared by the
+/// dense and hash-map grouped-aggregation paths).
+#[inline]
+fn accumulate_row(
+    accs: &mut [Acc],
+    aggregates: &[Aggregate],
+    agg_cols: &[&hsd_storage::ColumnData],
+    luts: &[Vec<Option<f64>>],
+    bufs: &[Vec<u32>],
+    start: usize,
+    i: usize,
+) {
+    for (k, col) in agg_cols.iter().enumerate() {
+        if let Some(v) = luts[k][bufs[k + 1][i] as usize] {
+            accs[k].add(v);
+        } else if aggregates[k].func == AggFunc::Count && !col.value_at(start + i).is_null() {
+            accs[k].add_non_numeric();
+        }
+    }
+}
+
 /// Column-store grouped aggregation: group on dictionary codes, decode keys
 /// once at the end.
 ///
@@ -634,6 +635,11 @@ fn is_numeric_col(part: &Part<'_>, col: ColumnIdx) -> bool {
 /// block-decoded together (word-level unpacking), and the selection vector
 /// is consumed word-at-a-time — an all-zero word skips 64 rows, a block
 /// with no surviving candidate skips the decode entirely.
+///
+/// When the group dictionary is small (the common low-cardinality grouping
+/// case), accumulators live in a dense array indexed by group code — the
+/// per-row group lookup is one bounds-checked index instead of a hash-map
+/// probe. Large (near-unique) group dictionaries fall back to the hash map.
 fn aggregate_column_grouped(
     ct: &ColumnTable,
     selection: Option<&SelVec>,
@@ -648,31 +654,61 @@ fn aggregate_column_grouped(
         .collect();
     let agg_cols: Vec<&hsd_storage::ColumnData> =
         aggregates.iter().map(|a| ct.column(a.column)).collect();
-    let mut code_groups: HashMap<u32, Vec<Acc>> = HashMap::new();
     // bufs[0] holds the group codes, bufs[1..] the aggregate columns'.
     let mut cols: Vec<&hsd_storage::ColumnData> = Vec::with_capacity(agg_cols.len() + 1);
     cols.push(gcol);
     cols.extend(agg_cols.iter().copied());
-    for_each_selected_block(ct.row_count(), selection, &cols, |start, i, bufs| {
-        let accs = code_groups
-            .entry(bufs[0][i])
-            .or_insert_with(|| vec![Acc::new(); aggregates.len()]);
-        for (k, col) in agg_cols.iter().enumerate() {
-            if let Some(v) = luts[k][bufs[k + 1][i] as usize] {
-                accs[k].add(v);
-            } else if aggregates[k].func == AggFunc::Count && !col.value_at(start + i).is_null() {
-                accs[k].add_non_numeric();
+    let n_aggs = aggregates.len();
+    let dict_len = gcol.dictionary().len();
+    let dense = dict_len <= DENSE_GROUPBY_MAX_DICT
+        && DENSE_GROUP_BY.load(std::sync::atomic::Ordering::Relaxed);
+    if dense {
+        // Dense path: one flat Acc row per group code, plus a seen-bitmap so
+        // groups whose every aggregate input is NULL still appear.
+        let mut accs: Vec<Acc> = vec![Acc::new(); dict_len * n_aggs];
+        let mut seen = vec![false; dict_len];
+        for_each_selected_block(ct.row_count(), selection, &cols, |start, i, bufs| {
+            let code = bufs[0][i] as usize;
+            seen[code] = true;
+            accumulate_row(
+                &mut accs[code * n_aggs..(code + 1) * n_aggs],
+                aggregates,
+                &agg_cols,
+                &luts,
+                bufs,
+                start,
+                i,
+            );
+        });
+        for (code, seen) in seen.iter().enumerate() {
+            if !seen {
+                continue;
             }
+            let key = Some(gcol.dictionary().decode(code as u32).clone());
+            merge_accs(
+                groups
+                    .entry(key)
+                    .or_insert_with(|| vec![Acc::new(); n_aggs]),
+                &accs[code * n_aggs..(code + 1) * n_aggs],
+            );
         }
-    });
-    for (code, accs) in code_groups {
-        let key = Some(gcol.dictionary().decode(code).clone());
-        merge_accs(
-            groups
-                .entry(key)
-                .or_insert_with(|| vec![Acc::new(); aggregates.len()]),
-            &accs,
-        );
+    } else {
+        let mut code_groups: HashMap<u32, Vec<Acc>> = HashMap::new();
+        for_each_selected_block(ct.row_count(), selection, &cols, |start, i, bufs| {
+            let accs = code_groups
+                .entry(bufs[0][i])
+                .or_insert_with(|| vec![Acc::new(); n_aggs]);
+            accumulate_row(accs, aggregates, &agg_cols, &luts, bufs, start, i);
+        });
+        for (code, accs) in code_groups {
+            let key = Some(gcol.dictionary().decode(code).clone());
+            merge_accs(
+                groups
+                    .entry(key)
+                    .or_insert_with(|| vec![Acc::new(); n_aggs]),
+                &accs,
+            );
+        }
     }
 }
 
@@ -857,26 +893,64 @@ fn exec_join_aggregate(
     join: &JoinSpec,
 ) -> Result<QueryOutput> {
     let dim = db.table_data(&join.dim_table)?;
-    // Build the dim-side hash table: join key -> dense group index. Group
-    // keys are interned once so the probe loop never hashes or clones
-    // `Value`s for grouping.
-    let mut group_index: HashMap<Option<Value>, u32> = HashMap::new();
+    // Build the dim-side hash table: join key -> dense group index. The
+    // table is keyed by *borrowed* values (no per-row key clone), group
+    // keys are interned once per distinct group (not once per row), and
+    // column-store dim parts intern groups through their dictionary — one
+    // clone per distinct dictionary entry, and the per-row group lookup is
+    // a code-indexed array read instead of a `Value` hash.
     let mut group_keys: Vec<Option<Value>> = Vec::new();
-    let mut dim_map: HashMap<Value, u32> = HashMap::new();
-    for part in parts_of(dim) {
-        for idx in 0..part.row_count() as u32 {
-            let key = part.value_at(idx, join.dim_pk).clone();
-            let group = join.group_by_dim.map(|g| part.value_at(idx, g).clone());
-            let gi = match group_index.get(&group) {
-                Some(&gi) => gi,
-                None => {
-                    let gi = group_keys.len() as u32;
-                    group_keys.push(group.clone());
-                    group_index.insert(group, gi);
-                    gi
+    let mut dim_map: HashMap<&Value, u32> = HashMap::new();
+    let dim_parts = parts_of(dim);
+    match join.group_by_dim {
+        None => {
+            group_keys.push(None);
+            for part in &dim_parts {
+                for idx in 0..part.row_count() as u32 {
+                    dim_map.insert(part.value_at(idx, join.dim_pk), 0);
                 }
-            };
-            dim_map.insert(key, gi);
+            }
+        }
+        Some(g) => {
+            let mut group_index: HashMap<&Value, u32> = HashMap::new();
+            for part in &dim_parts {
+                if let Part::Whole(Table::Column(ct)) = part {
+                    // Dictionary path: group index per group *code*; the
+                    // per-row loop never hashes a `Value`.
+                    let gcol = ct.column(g);
+                    let code_gi: Vec<u32> = gcol
+                        .dictionary()
+                        .values()
+                        .map(|v| match group_index.get(v) {
+                            Some(&gi) => gi,
+                            None => {
+                                let gi = group_keys.len() as u32;
+                                group_keys.push(Some(v.clone()));
+                                group_index.insert(v, gi);
+                                gi
+                            }
+                        })
+                        .collect();
+                    let pk_col = ct.column(join.dim_pk);
+                    for idx in 0..ct.row_count() {
+                        dim_map.insert(pk_col.value_at(idx), code_gi[gcol.code_at(idx) as usize]);
+                    }
+                } else {
+                    for idx in 0..part.row_count() as u32 {
+                        let gv = part.value_at(idx, g);
+                        let gi = match group_index.get(gv) {
+                            Some(&gi) => gi,
+                            None => {
+                                let gi = group_keys.len() as u32;
+                                group_keys.push(Some(gv.clone()));
+                                group_index.insert(gv, gi);
+                                gi
+                            }
+                        };
+                        dim_map.insert(part.value_at(idx, join.dim_pk), gi);
+                    }
+                }
+            }
         }
     }
     let fact = db.table_data(&q.table)?;
@@ -976,7 +1050,7 @@ fn join_aggregate_column(
     selection: Option<&SelVec>,
     q: &AggregateQuery,
     join: &JoinSpec,
-    dim_map: &HashMap<Value, u32>,
+    dim_map: &HashMap<&Value, u32>,
     accs: &mut [Vec<Acc>],
 ) {
     const UNMATCHED: u32 = u32::MAX;
@@ -1020,7 +1094,7 @@ fn join_aggregate_generic(
     selection: Option<&SelVec>,
     q: &AggregateQuery,
     join: &JoinSpec,
-    dim_map: &HashMap<Value, u32>,
+    dim_map: &HashMap<&Value, u32>,
     accs: &mut [Vec<Acc>],
 ) {
     let mut visit = |idx: u32| {
@@ -1129,17 +1203,6 @@ pub(crate) fn collect_logical_stats(data: &TableData) -> TableStats {
         };
     }
     stats
-}
-
-/// Run the delta merge on every column-store partition.
-pub(crate) fn compact_partitioned(data: &mut TableData) {
-    if let TableData::Partitioned { cold, .. } = data {
-        match cold {
-            ColdPart::Single(Table::Column(ct)) => ct.compact(),
-            ColdPart::Vertical(p) => p.compact_column_fragment(),
-            _ => {}
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1257,6 +1320,33 @@ mod tests {
             let out = db.execute(&q).unwrap();
             assert_eq!(out, reference, "{placement:?}");
         }
+    }
+
+    #[test]
+    fn dense_and_hash_group_by_agree() {
+        let q = Query::Aggregate(AggregateQuery {
+            table: "t".into(),
+            aggregates: vec![
+                Aggregate {
+                    func: AggFunc::Sum,
+                    column: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Count,
+                    column: 3,
+                },
+            ],
+            group_by: Some(2),
+            filter: vec![ColRange::ge(0, Value::BigInt(5))],
+            join: None,
+        });
+        let mut db = db_with(TablePlacement::Single(StoreKind::Column));
+        let dense = db.execute(&q).unwrap();
+        set_dense_group_by(false);
+        let hashed = db.execute(&q).unwrap();
+        set_dense_group_by(true);
+        assert_eq!(dense, hashed);
+        assert_eq!(dense.aggregates().unwrap().len(), 3);
     }
 
     #[test]

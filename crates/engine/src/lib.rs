@@ -21,6 +21,7 @@
 
 pub mod database;
 pub mod executor;
+pub mod maintenance;
 pub mod mover;
 pub mod partition;
 pub mod recorder;
@@ -28,6 +29,7 @@ pub mod runner;
 
 pub use database::HybridDatabase;
 pub use executor::{GroupRow, QueryOutput};
+pub use maintenance::{MergeConfig, MergeMode};
 pub use partition::{TableData, VerticalPair};
 pub use recorder::StatisticsRecorder;
 pub use runner::{RunReport, WorkloadRunner};

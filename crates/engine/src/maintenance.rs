@@ -1,0 +1,288 @@
+//! Delta-merge maintenance policy.
+//!
+//! Column-store partitions accumulate unsorted dictionary tails as writes
+//! intern new values; folding them back in (the delta merge) restores scan
+//! locality at an O(rows) remap cost. This module owns the *when*: the
+//! engine-level fallback policy ([`MergeConfig`]) that every write statement
+//! consults, and the explicit entry points the advisor's scheduled merges go
+//! through ([`crate::mover::merge_delta`],
+//! [`crate::database::HybridDatabase::set_merge_config`]).
+//!
+//! The fallback is **hysteretic**: a merge only fires once the accumulated
+//! tail crosses the *high* watermark, and when it fires only the columns
+//! whose own tail exceeds the *low* watermark are compacted. The band
+//! between the residual small tails and the high watermark is what keeps a
+//! hot write loop from re-triggering an O(rows) merge on every statement —
+//! the size-only policy this replaces re-evaluated one fixed threshold after
+//! each write and paid a full-table remap (every column, even those with a
+//! one-entry tail) whenever it tripped.
+
+use hsd_storage::{ColumnTable, Table};
+
+use crate::partition::{ColdPart, TableData};
+
+/// When the engine-level fallback merge runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Compact every column-store partition after every write statement
+    /// (the `always-merge` ablation baseline).
+    Always,
+    /// Hysteretic watermark policy (the default): merge when the tail
+    /// crosses the high watermark, compacting only columns above the low
+    /// watermark.
+    Auto,
+    /// Never merge automatically. Merges happen only through the explicit
+    /// maintenance entry points — the mode the advisor-scheduled policy
+    /// runs the engine in.
+    Disabled,
+}
+
+/// Configuration of the engine-level delta-merge fallback.
+///
+/// The watermarks are expressed as fractions of the partition's row count
+/// with absolute floors, so small tables are not merged on every handful of
+/// fresh values and large tables are not allowed to accumulate
+/// proportionally unbounded tails.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeConfig {
+    /// When the fallback merge runs.
+    pub mode: MergeMode,
+    /// High watermark as a fraction of the row count: the merge trigger.
+    /// A table's accumulated tail must exceed
+    /// `max(min_tail, high_fraction · rows)` before any compaction happens.
+    pub high_fraction: f64,
+    /// Low watermark as a fraction of the row count: the per-column floor.
+    /// When a merge fires, only columns whose own tail exceeds
+    /// `max(min_col_tail, low_fraction · rows)` are compacted; smaller
+    /// tails ride along until a later merge.
+    pub low_fraction: f64,
+    /// Absolute floor of the high watermark (entries).
+    pub min_tail: usize,
+    /// Absolute floor of the per-column low watermark (entries).
+    pub min_col_tail: usize,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            mode: MergeMode::Auto,
+            // Trigger point matches the historical size-only policy
+            // (rows/32, floor 4096), so default write amortization — and the
+            // calibration that measures it — is unchanged.
+            high_fraction: 1.0 / 32.0,
+            low_fraction: 1.0 / 512.0,
+            min_tail: 4096,
+            min_col_tail: 64,
+        }
+    }
+}
+
+impl MergeConfig {
+    /// Policy that merges after every write (ablation baseline).
+    pub fn always() -> Self {
+        MergeConfig {
+            mode: MergeMode::Always,
+            ..Default::default()
+        }
+    }
+
+    /// Policy that never merges automatically (advisor-scheduled mode).
+    pub fn disabled() -> Self {
+        MergeConfig {
+            mode: MergeMode::Disabled,
+            ..Default::default()
+        }
+    }
+
+    /// The merge-trigger threshold for a partition of `rows` rows.
+    pub fn high_watermark(&self, rows: usize) -> usize {
+        ((rows as f64 * self.high_fraction) as usize).max(self.min_tail)
+    }
+
+    /// The per-column compaction floor for a partition of `rows` rows.
+    pub fn low_watermark(&self, rows: usize) -> usize {
+        ((rows as f64 * self.low_fraction) as usize).max(self.min_col_tail)
+    }
+}
+
+/// Visit every column-store table (partition or fragment) of `data`.
+fn for_each_columnar(data: &mut TableData, mut f: impl FnMut(&mut ColumnTable)) {
+    match data {
+        TableData::Single(Table::Column(ct)) => f(ct),
+        TableData::Single(Table::Row(_)) => {}
+        TableData::Partitioned { cold, .. } => match cold {
+            ColdPart::Single(Table::Column(ct)) => f(ct),
+            ColdPart::Single(Table::Row(_)) => {}
+            ColdPart::Vertical(p) => {
+                if let Table::Column(ct) = p.col_fragment_mut() {
+                    f(ct);
+                }
+            }
+        },
+    }
+}
+
+/// Run the fallback merge policy after a write statement.
+pub(crate) fn after_write(data: &mut TableData, cfg: &MergeConfig) {
+    match cfg.mode {
+        MergeMode::Disabled => {}
+        MergeMode::Always => {
+            for_each_columnar(data, |ct| {
+                ct.compact();
+            });
+        }
+        MergeMode::Auto => {
+            for_each_columnar(data, |ct| {
+                let rows = ct.row_count();
+                if ct.tail_total() <= cfg.high_watermark(rows) {
+                    return;
+                }
+                let merged = ct.compact_columns_over(cfg.low_watermark(rows));
+                if merged == 0 {
+                    // The total crossed the high watermark but every
+                    // individual tail sits below the low watermark: fold
+                    // everything so the tail stays bounded.
+                    ct.compact();
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::HybridDatabase;
+    use crate::mover;
+    use hsd_query::{Query, UpdateQuery};
+    use hsd_storage::{ColRange, StoreKind};
+    use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
+
+    fn column_db() -> HybridDatabase {
+        let mut db = HybridDatabase::new();
+        db.create_single(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("a", ColumnType::Double),
+                    ColumnDef::new("b", ColumnType::Double),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+            StoreKind::Column,
+        )
+        .unwrap();
+        db.bulk_load(
+            "t",
+            (0..100).map(|i| {
+                vec![
+                    Value::BigInt(i),
+                    Value::Double(i as f64),
+                    Value::Double(i as f64),
+                ]
+            }),
+        )
+        .unwrap();
+        db
+    }
+
+    /// Point update writing a fresh (never-seen) value into `col`.
+    fn fresh_update(db: &mut HybridDatabase, id: i64, col: usize, salt: f64) {
+        db.execute(&Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(col, Value::Double(10_000.0 + salt))],
+            filter: vec![ColRange::eq(0, Value::BigInt(id))],
+        }))
+        .unwrap();
+    }
+
+    #[test]
+    fn always_mode_merges_after_every_write() {
+        let mut db = column_db();
+        db.set_merge_config(MergeConfig::always());
+        for i in 0..5 {
+            fresh_update(&mut db, i, 1, i as f64);
+            assert_eq!(db.delta_tail("t").unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn disabled_mode_accumulates_until_explicit_merge() {
+        let mut db = column_db();
+        db.set_merge_config(MergeConfig::disabled());
+        for i in 0..20 {
+            fresh_update(&mut db, i, 1, i as f64);
+        }
+        assert_eq!(db.delta_tail("t").unwrap(), 20);
+        let merged = mover::merge_delta(&mut db, "t").unwrap();
+        assert_eq!(merged, 20);
+        assert_eq!(db.delta_tail("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn auto_mode_is_hysteretic_and_selective() {
+        let mut db = column_db();
+        db.set_merge_config(MergeConfig {
+            mode: MergeMode::Auto,
+            high_fraction: 0.0,
+            low_fraction: 0.0,
+            min_tail: 8,
+            min_col_tail: 2,
+        });
+        // Grow column `a`'s tail to exactly the high watermark: no merge.
+        for i in 0..8 {
+            fresh_update(&mut db, i, 1, i as f64);
+        }
+        assert_eq!(db.delta_tail("t").unwrap(), 8, "at watermark, not above");
+        // One fresh value in column `b` crosses the high watermark. The
+        // merge fires, but only column `a` (tail 8 > low watermark 2) is
+        // compacted — `b`'s one-entry tail rides along.
+        fresh_update(&mut db, 0, 2, 99.0);
+        assert_eq!(
+            db.delta_tail("t").unwrap(),
+            1,
+            "column a folded, column b's small tail kept"
+        );
+        // The band below the high watermark absorbs further writes without
+        // re-triggering a merge on every statement.
+        fresh_update(&mut db, 1, 2, 100.0);
+        assert_eq!(db.delta_tail("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn auto_mode_folds_everything_when_tails_are_spread_thin() {
+        let mut db = column_db();
+        db.set_merge_config(MergeConfig {
+            mode: MergeMode::Auto,
+            high_fraction: 0.0,
+            low_fraction: 0.0,
+            min_tail: 2,
+            min_col_tail: 8,
+        });
+        // Total tail (3) crosses high (2) but each column is below the
+        // per-column floor (8): the bounded-growth fallback folds all.
+        fresh_update(&mut db, 0, 1, 1.0);
+        fresh_update(&mut db, 1, 2, 2.0);
+        assert_eq!(db.delta_tail("t").unwrap(), 2);
+        fresh_update(&mut db, 2, 2, 3.0);
+        assert_eq!(db.delta_tail("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn watermarks_scale_with_rows() {
+        let cfg = MergeConfig::default();
+        assert_eq!(cfg.high_watermark(0), 4096);
+        assert_eq!(cfg.high_watermark(1 << 20), (1 << 20) / 32);
+        assert_eq!(cfg.low_watermark(0), 64);
+        assert_eq!(cfg.low_watermark(1 << 20), (1 << 20) / 512);
+    }
+
+    #[test]
+    fn mode_constructors() {
+        assert_eq!(MergeConfig::always().mode, MergeMode::Always);
+        assert_eq!(MergeConfig::disabled().mode, MergeMode::Disabled);
+        assert_eq!(MergeConfig::default().mode, MergeMode::Auto);
+    }
+}

@@ -86,15 +86,20 @@ fn load_partition_aware(
 }
 
 fn compact_after_load(data: &mut TableData) {
-    match data {
-        TableData::Single(Table::Column(ct)) => ct.compact(),
-        TableData::Single(Table::Row(_)) => {}
-        TableData::Partitioned { cold, .. } => match cold {
-            ColdPart::Single(Table::Column(ct)) => ct.compact(),
-            ColdPart::Vertical(p) => p.compact_column_fragment(),
-            _ => {}
-        },
-    }
+    data.compact_deltas();
+}
+
+/// The explicit delta-merge maintenance entry point: fold the dictionary
+/// tails of every column-store partition of `table` back into the sorted
+/// region, returning how many tail entries were merged.
+///
+/// This is the engine half of advisor-scheduled maintenance — the online
+/// advisor emits a merge action when the modeled scan savings exceed the
+/// modeled merge cost, and applying that action lands here (with the
+/// executor's auto-merge demoted to a fallback via
+/// [`crate::maintenance::MergeConfig`]).
+pub fn merge_delta(db: &mut HybridDatabase, table: &str) -> Result<usize> {
+    Ok(db.table_data_mut(table)?.compact_deltas())
 }
 
 /// Move rows that have aged out of the hot partition into the cold

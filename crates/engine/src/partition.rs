@@ -94,6 +94,12 @@ impl VerticalPair {
         &self.col_frag
     }
 
+    /// Mutable access to the column-store fragment (maintenance only; the
+    /// positional-alignment invariant forbids structural mutation).
+    pub fn col_fragment_mut(&mut self) -> &mut Table {
+        &mut self.col_frag
+    }
+
     /// Number of (logical) rows.
     pub fn row_count(&self) -> usize {
         self.row_frag.row_count()
@@ -245,19 +251,44 @@ impl VerticalPair {
     /// Materialize logical rows (stitching both fragments back together —
     /// "for queries addressing all the data of the table, the partitions
     /// have to be joined").
+    ///
+    /// Batched: output tuples are filled column-at-a-time, so columns in
+    /// the column-store fragment go through the block-decoded gather path
+    /// instead of per-cell dictionary probes.
     pub fn collect_rows(&self, rows: &[u32], cols: Option<&[ColumnIdx]>) -> Vec<Vec<Value>> {
-        let logical_cols: Vec<ColumnIdx> = match cols {
-            Some(c) => c.to_vec(),
-            None => (0..self.locate.len()).collect(),
+        let all_cols: Vec<ColumnIdx>;
+        let proj: &[ColumnIdx] = match cols {
+            Some(c) => c,
+            None => {
+                all_cols = (0..self.locate.len()).collect();
+                &all_cols
+            }
         };
-        rows.iter()
-            .map(|&r| {
-                logical_cols
-                    .iter()
-                    .map(|&c| self.value_at(r, c).clone())
-                    .collect()
-            })
-            .collect()
+        let mut out: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|_| Vec::with_capacity(proj.len()))
+            .collect();
+        for &c in proj {
+            match self.locate[c] {
+                Loc::Row(p) => {
+                    for (i, &r) in rows.iter().enumerate() {
+                        out[i].push(self.row_frag.value_at(r, p).clone());
+                    }
+                }
+                Loc::Col(p) => match &self.col_frag {
+                    Table::Column(ct) => {
+                        ct.column(p)
+                            .gather_values(rows, |i, v| out[i].push(v.clone()));
+                    }
+                    other => {
+                        for (i, &r) in rows.iter().enumerate() {
+                            out[i].push(other.value_at(r, p).clone());
+                        }
+                    }
+                },
+            }
+        }
+        out
     }
 
     /// Drain into logical rows.
@@ -489,6 +520,31 @@ impl TableData {
                 };
                 h + c
             }
+        }
+    }
+
+    /// Accumulated dictionary-tail entries across every column-store
+    /// partition (the delta size the merge policy and the advisor's
+    /// maintenance scheduling reason about).
+    pub fn delta_tail(&self) -> usize {
+        match self {
+            TableData::Single(t) => t.delta_tail(),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.delta_tail(),
+                ColdPart::Vertical(p) => p.col_fragment().delta_tail(),
+            },
+        }
+    }
+
+    /// Run the full delta merge on every column-store partition; returns
+    /// how many tail entries were folded in.
+    pub fn compact_deltas(&mut self) -> usize {
+        match self {
+            TableData::Single(t) => t.compact_delta(),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.compact_delta(),
+                ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta(),
+            },
         }
     }
 }

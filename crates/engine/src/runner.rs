@@ -9,6 +9,10 @@ use hsd_types::Result;
 use crate::database::HybridDatabase;
 use crate::recorder::StatisticsRecorder;
 
+/// Per-statement hook invoked by [`WorkloadRunner::run_observed`] after
+/// each executed query.
+type AfterEachHook<'a> = &'a mut dyn FnMut(&mut HybridDatabase, &Query) -> Result<()>;
+
 /// Outcome of running a workload.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -45,7 +49,7 @@ impl WorkloadRunner {
 
     /// Run every query, returning the timing report.
     pub fn run(&self, db: &mut HybridDatabase, workload: &Workload) -> Result<RunReport> {
-        self.run_inner(db, workload, None)
+        self.run_inner(db, workload, None, None)
     }
 
     /// Run every query while feeding the statistics recorder (the online
@@ -56,7 +60,24 @@ impl WorkloadRunner {
         workload: &Workload,
         recorder: &mut StatisticsRecorder,
     ) -> Result<RunReport> {
-        self.run_inner(db, workload, Some(recorder))
+        self.run_inner(db, workload, Some(recorder), None)
+    }
+
+    /// Run every query, invoking `after_each` once a statement has executed
+    /// — the hook an online advisor (or any maintenance scheduler) uses to
+    /// observe the stream and apply merges/adaptations between statements.
+    /// The hook's own runtime counts toward `total` (maintenance is part of
+    /// the policy's cost) but not toward the per-kind or per-query splits.
+    pub fn run_observed<F>(
+        &self,
+        db: &mut HybridDatabase,
+        workload: &Workload,
+        mut after_each: F,
+    ) -> Result<RunReport>
+    where
+        F: FnMut(&mut HybridDatabase, &Query) -> Result<()>,
+    {
+        self.run_inner(db, workload, None, Some(&mut after_each))
     }
 
     fn run_inner(
@@ -64,6 +85,7 @@ impl WorkloadRunner {
         db: &mut HybridDatabase,
         workload: &Workload,
         mut recorder: Option<&mut StatisticsRecorder>,
+        mut after_each: Option<AfterEachHook<'_>>,
     ) -> Result<RunReport> {
         let mut by_kind: BTreeMap<&'static str, Duration> = BTreeMap::new();
         let mut per_query = self
@@ -80,6 +102,9 @@ impl WorkloadRunner {
             *by_kind.entry(kind_name(query)).or_insert(Duration::ZERO) += elapsed;
             if let Some(v) = per_query.as_mut() {
                 v.push(elapsed);
+            }
+            if let Some(hook) = after_each.as_mut() {
+                hook(db, query)?;
             }
         }
         Ok(RunReport {

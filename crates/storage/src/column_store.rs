@@ -418,6 +418,31 @@ impl ColumnData {
         }
     }
 
+    /// Visit the decoded value of each row in `rows`, calling
+    /// `f(position_in_rows, value)`.
+    ///
+    /// Codes are fetched through a per-[`BLOCK`] decode cache instead of a
+    /// per-element bit-extraction `get`: for ascending row lists (the shape
+    /// every filter produces) each touched block is unpacked exactly once,
+    /// which is what makes batched tuple materialization cheaper than
+    /// per-cell [`ColumnData::value_at`] calls.
+    pub fn gather_values(&self, rows: &[u32], mut f: impl FnMut(usize, &Value)) {
+        let n = self.codes.len();
+        let mut buf = [0u32; BLOCK];
+        // usize::MAX = no block cached yet (no valid block starts there).
+        let mut cached = usize::MAX;
+        for (i, &r) in rows.iter().enumerate() {
+            let r = r as usize;
+            let block_start = r / BLOCK * BLOCK;
+            if block_start != cached {
+                let len = BLOCK.min(n - block_start);
+                self.codes.decode_into(block_start, &mut buf[..len]);
+                cached = block_start;
+            }
+            f(i, self.dict.decode(buf[r - block_start]));
+        }
+    }
+
     /// Feed every code to `f` in block-decoded runs of up to
     /// [`BLOCK`] codes.
     pub fn for_each_code_block(&self, mut f: impl FnMut(&[u32])) {
@@ -641,19 +666,46 @@ impl ColumnTable {
     }
 
     /// Materialize the selected rows, optionally projecting to `cols`.
+    ///
+    /// Batched: the output tuples are filled column-at-a-time through the
+    /// block-decoded gather path ([`ColumnData::gather_values`]) instead of
+    /// reconstructing each tuple with per-cell `value_at` calls — one code
+    /// block decode per [`BLOCK`] selected rows per column, and the
+    /// dictionary probe cost drops to one slot index per cell.
     pub fn collect_rows(&self, sel: RowSel<'_>, cols: Option<&[ColumnIdx]>) -> Vec<Vec<Value>> {
-        let emit = |idx: u32| -> Vec<Value> {
-            match cols {
-                None => self.row(idx),
-                Some(cols) => cols
-                    .iter()
-                    .map(|&c| self.value_at(idx, c).clone())
-                    .collect(),
+        let all_cols: Vec<ColumnIdx>;
+        let proj: &[ColumnIdx] = match cols {
+            Some(c) => c,
+            None => {
+                all_cols = (0..self.schema.arity()).collect();
+                &all_cols
             }
         };
+        let emit_width = proj.len();
         match sel {
-            RowSel::All => (0..self.rows as u32).map(emit).collect(),
-            RowSel::Subset(rows) => rows.iter().map(|&r| emit(r)).collect(),
+            RowSel::All => {
+                let mut out: Vec<Vec<Value>> = (0..self.rows)
+                    .map(|_| Vec::with_capacity(emit_width))
+                    .collect();
+                for &c in proj {
+                    let mut i = 0;
+                    self.columns[c].for_each_value(RowSel::All, |v| {
+                        out[i].push(v.clone());
+                        i += 1;
+                    });
+                }
+                out
+            }
+            RowSel::Subset(rows) => {
+                let mut out: Vec<Vec<Value>> = rows
+                    .iter()
+                    .map(|_| Vec::with_capacity(emit_width))
+                    .collect();
+                for &c in proj {
+                    self.columns[c].gather_values(rows, |i, v| out[i].push(v.clone()));
+                }
+                out
+            }
         }
     }
 
@@ -664,10 +716,35 @@ impl ColumnTable {
         }
     }
 
+    /// Merge a single column's dictionary tail (per-column delta merge).
+    pub fn compact_column(&mut self, col: ColumnIdx) {
+        self.columns[col].compact();
+    }
+
+    /// Merge only the columns whose dictionary tail exceeds `min_tail`
+    /// entries, leaving small tails in place; returns how many tail entries
+    /// were folded in. This is the selective half of the hysteretic merge
+    /// policy: columns below the low watermark skip the O(rows) code remap.
+    pub fn compact_columns_over(&mut self, min_tail: usize) -> usize {
+        let mut merged = 0;
+        for col in &mut self.columns {
+            if col.tail_len() > min_tail {
+                merged += col.tail_len();
+                col.compact();
+            }
+        }
+        merged
+    }
+
     /// Total dictionary-tail entries across columns (how much delta has
     /// accumulated since the last merge).
     pub fn tail_total(&self) -> usize {
         self.columns.iter().map(ColumnData::tail_len).sum()
+    }
+
+    /// Dictionary-tail entries of a single column.
+    pub fn tail_len(&self, col: ColumnIdx) -> usize {
+        self.columns[col].tail_len()
     }
 
     /// Distinct values in `col`'s dictionary.
@@ -868,5 +945,50 @@ mod tests {
         let t = sample();
         let rows = t.collect_rows(RowSel::Subset(&[1]), Some(&[2]));
         assert_eq!(rows, vec![vec![Value::text("paid")]]);
+    }
+
+    #[test]
+    fn gathered_collect_matches_per_cell_reconstruction() {
+        let mut t = sample();
+        // leave a dictionary tail in place so the gather crosses regions
+        t.update_rows(&[4, 9], &[(1, Value::Double(777.0))])
+            .unwrap();
+        let subset: Vec<u32> = vec![0, 3, 4, 9, 11];
+        let batched = t.collect_rows(RowSel::Subset(&subset), None);
+        let reference: Vec<Vec<Value>> = subset.iter().map(|&r| t.row(r)).collect();
+        assert_eq!(batched, reference);
+        let all = t.collect_rows(RowSel::All, Some(&[2, 0]));
+        for (i, row) in all.iter().enumerate() {
+            assert_eq!(row[0], *t.value_at(i as u32, 2));
+            assert_eq!(row[1], *t.value_at(i as u32, 0));
+        }
+    }
+
+    #[test]
+    fn per_column_compact_is_selective() {
+        let mut t = sample();
+        t.update_rows(&[0], &[(1, Value::Double(50.5))]).unwrap();
+        t.update_rows(&[1], &[(2, Value::text("returned"))])
+            .unwrap();
+        assert_eq!(t.tail_len(1), 1);
+        assert_eq!(t.tail_len(2), 1);
+        t.compact_column(1);
+        assert_eq!(t.tail_len(1), 0);
+        assert_eq!(t.tail_len(2), 1, "other columns keep their tails");
+        assert_eq!(t.value_at(0, 1), &Value::Double(50.5));
+        // threshold-driven selective compact: only tails above min merge
+        t.update_rows(
+            &[2, 3],
+            &[(1, Value::Double(60.5)), (1, Value::Double(61.5))],
+        )
+        .unwrap();
+        assert_eq!(t.tail_len(1), 2);
+        let merged = t.compact_columns_over(2);
+        assert_eq!(merged, 0, "no tail exceeds 2 entries yet");
+        t.update_rows(&[5], &[(1, Value::Double(62.5))]).unwrap();
+        let merged = t.compact_columns_over(2);
+        assert_eq!(merged, 3, "column 1's tail crossed the watermark");
+        assert_eq!(t.tail_len(1), 0);
+        assert_eq!(t.tail_len(2), 1);
     }
 }

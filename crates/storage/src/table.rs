@@ -187,6 +187,28 @@ impl Table {
         }
     }
 
+    /// Accumulated dictionary-tail entries (0 for row-store tables, which
+    /// have no delta region).
+    pub fn delta_tail(&self) -> usize {
+        match self {
+            Table::Row(_) => 0,
+            Table::Column(t) => t.tail_total(),
+        }
+    }
+
+    /// Run the full delta merge (no-op for row-store tables); returns how
+    /// many tail entries were folded in.
+    pub fn compact_delta(&mut self) -> usize {
+        match self {
+            Table::Row(_) => 0,
+            Table::Column(t) => {
+                let tail = t.tail_total();
+                t.compact();
+                tail
+            }
+        }
+    }
+
     /// Count distinct values of `col`.
     pub fn distinct_count(&self, col: ColumnIdx) -> usize {
         match self {

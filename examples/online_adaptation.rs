@@ -1,7 +1,10 @@
 //! The online working mode (Section 4 / Figure 5): the advisor records
 //! extended workload statistics while the system runs, re-evaluates the
 //! layout at intervals, and applies an adaptation when the workload shifts
-//! from transactional to analytical.
+//! from transactional to analytical. Alongside placement changes it also
+//! schedules delta-merge maintenance: with the engine's auto-merge
+//! demoted to a disabled fallback, merges run exactly when the cost
+//! model's scan savings have paid for them.
 //!
 //! ```sh
 //! cargo run --release --example online_adaptation
@@ -14,6 +17,9 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     let mut db = HybridDatabase::new();
     db.create_single(spec.schema()?, StoreKind::Row)?;
     db.bulk_load("events", spec.rows())?;
+    // The online advisor is the merge scheduler; the engine keeps no
+    // size-triggered fallback of its own in this setup.
+    db.set_merge_config(MergeConfig::disabled());
 
     // Offline phase: calibrate once, wrap the advisor for online use.
     println!("calibrating cost model ...");
@@ -26,6 +32,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             ..Default::default()
         },
     );
+    let mut merges = 0usize;
 
     // Phase 1: transactional traffic — the row store is already right.
     let oltp = WorkloadGenerator::single_table(
@@ -43,9 +50,15 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             adaptations += 1;
             println!("unexpected adaptation: {:?}", a.changed_tables);
         }
+        for action in online.take_maintenance() {
+            let folded = action.apply(&mut db)?;
+            merges += 1;
+            println!("scheduled merge applied ({folded} tail entries folded)");
+        }
     }
     println!(
-        "phase 1 (OLTP): {} statements recorded, {adaptations} adaptations — layout is {}",
+        "phase 1 (OLTP): {} statements recorded, {adaptations} adaptations, \
+         {merges} scheduled merges — layout is {}",
         online.recorded_statements(),
         db.catalog().single_store_of("events")?,
     );
@@ -66,6 +79,11 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     let mut applied = false;
     for q in &olap.queries {
         db.execute(q)?;
+        for action in online.take_maintenance() {
+            let folded = action.apply(&mut db)?;
+            merges += 1;
+            println!("scheduled merge applied ({folded} tail entries folded)");
+        }
         if let Some(adaptation) = online.observe(&db, q)? {
             println!(
                 "adaptation recommended: {:?} (estimated improvement {:.0} %)",
@@ -94,8 +112,10 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
         }
     }
     println!(
-        "phase 2 (OLAP): layout is now {}",
+        "phase 2 (OLAP): layout is now {} ({merges} scheduled merges total, \
+         residual tail: {})",
         db.catalog().entry_by_name("events")?.placement.describe(),
+        db.delta_tail("events")?,
     );
     Ok(())
 }

@@ -62,10 +62,12 @@ pub mod prelude {
         VerticalSpec,
     };
     pub use hsd_core::{
-        calibrate, AdaptationRecommendation, CalibrationConfig, CostModel, OnlineAdvisor,
-        OnlineConfig, Recommendation, StorageAdvisor,
+        calibrate, AdaptationRecommendation, CalibrationConfig, CostModel, MaintenanceAction,
+        MergePartition, OnlineAdvisor, OnlineConfig, Recommendation, StorageAdvisor,
     };
-    pub use hsd_engine::{mover, HybridDatabase, StatisticsRecorder, WorkloadRunner};
+    pub use hsd_engine::{
+        mover, HybridDatabase, MergeConfig, MergeMode, StatisticsRecorder, WorkloadRunner,
+    };
     pub use hsd_query::{
         AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, MixedWorkloadConfig, Query,
         SelectQuery, TableSpec, UpdateQuery, Workload, WorkloadGenerator,
