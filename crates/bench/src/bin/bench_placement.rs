@@ -1,0 +1,361 @@
+//! Maintenance-aware placement + incremental-merge ablation, recorded as
+//! `BENCH_placement.json`.
+//!
+//! Two experiments back the maintenance-aware-placement PR:
+//!
+//! 1. **Placement ablation** — a write-heavy workload (fresh-value point
+//!    updates with a thin stream of aggregations) is given to two advisors:
+//!    *maintenance-blind* (query cost only — the pre-PR comparison) and
+//!    *maintenance-aware* (column candidates are charged their modeled
+//!    merge amortization and inter-merge tail penalty). The workload is
+//!    then **executed** under each recommended placement; the claim is that
+//!    the blind advisor keeps the table columnar for its scan savings while
+//!    the aware advisor sees the delta upkeep, recommends the row store,
+//!    and its placement measures faster.
+//! 2. **Merge-pause ablation** — the same delta tail is merged once with
+//!    the one-shot full merge (a single stop-the-world remap) and once
+//!    through the incremental path (`merge_delta_step`, bounded remap
+//!    budget per slice). The claim is that the incremental path bounds the
+//!    maximum single pause well below the full-merge pause while doing the
+//!    same logical work.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_placement`
+//! (`-- --smoke` for the small CI configuration). A committed
+//! `cost_model.json` supplies the advisor's model when present; otherwise a
+//! quick calibration runs first.
+
+use std::time::Instant;
+
+use hsd_core::{calibrate, CalibrationConfig, CostModel, StorageAdvisor};
+use hsd_engine::{mover, HybridDatabase, WorkloadRunner};
+use hsd_query::{
+    AggFunc, Aggregate, AggregateQuery, InsertQuery, Query, TableSpec, UpdateQuery, Workload,
+};
+use hsd_storage::{ColRange, StoreKind};
+use hsd_types::{Json, Value};
+
+struct Scale {
+    /// Rows of the placement-ablation table.
+    rows: usize,
+    /// Statements of the write-heavy workload.
+    statements: usize,
+    /// One scan per this many statements (the rest are updates). The mix
+    /// sits in the wedge where scan savings still win the *query-cost-only*
+    /// comparison but delta upkeep dominates the real bill.
+    scan_every: usize,
+    /// Rows of the merge-pause table.
+    merge_rows: usize,
+    /// Fresh-value updates growing the merge-pause table's tail.
+    merge_tail: usize,
+    /// Remap budget (rows per slice) of the incremental merge.
+    merge_budget: usize,
+    smoke: bool,
+}
+
+impl Scale {
+    fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        if smoke {
+            Scale {
+                rows: 12_000,
+                statements: 1_500,
+                scan_every: 20,
+                merge_rows: 60_000,
+                merge_tail: 2_000,
+                merge_budget: 4_096,
+                smoke: true,
+            }
+        } else {
+            Scale {
+                rows: 40_000,
+                statements: 4_000,
+                scan_every: 30,
+                merge_rows: 200_000,
+                merge_tail: 6_000,
+                merge_budget: 16_384,
+                smoke: false,
+            }
+        }
+    }
+}
+
+fn advisor_model(scale: &Scale) -> CostModel {
+    match std::fs::read_to_string("cost_model.json") {
+        Ok(json) => match CostModel::from_json(&json) {
+            Ok(m) => {
+                eprintln!("[bench_placement] using committed cost_model.json");
+                return m;
+            }
+            Err(e) => {
+                eprintln!("[bench_placement] cost_model.json unreadable ({e:?}); recalibrating")
+            }
+        },
+        Err(_) => eprintln!("[bench_placement] no cost_model.json; running quick calibration"),
+    }
+    let cfg = if scale.smoke {
+        CalibrationConfig {
+            base_rows: 10_000,
+            ..CalibrationConfig::quick()
+        }
+    } else {
+        CalibrationConfig::quick()
+    };
+    calibrate(&cfg).expect("calibration")
+}
+
+fn spec(rows: usize) -> TableSpec {
+    TableSpec::paper_wide("p", rows, 0x91AC)
+}
+
+/// Write-heavy stream: single-row inserts (every column-store insert
+/// consults all 30 dictionaries and grows several tails — the fresh key
+/// plus ten fresh keyfigure values each) against a thin stream of
+/// *selective* range-filtered aggregations, the scan shape whose predicate
+/// evaluation pays the dictionary-tail penalty. The mix keeps enough
+/// analytical pressure that a query-cost-only comparison still prefers the
+/// column store, while the delta upkeep (tail-degraded scans plus the
+/// engine's watermark merges) says otherwise.
+fn write_heavy_workload(s: &TableSpec, statements: usize, scan_every: usize) -> Workload {
+    let kf = s.kf_col(0);
+    let scan = Query::Aggregate(AggregateQuery {
+        table: s.name.clone(),
+        aggregates: vec![Aggregate {
+            func: AggFunc::Sum,
+            column: kf,
+        }],
+        group_by: None,
+        // Selective: inserted keyfigures stay below 1e9, so the predicate
+        // matches nothing and the scan is pure predicate evaluation — the
+        // term the tail degrades.
+        filter: vec![ColRange::ge(kf, Value::Double(1e9))],
+        join: None,
+    });
+    let arity = s.schema().expect("schema").arity();
+    let queries = (0..statements)
+        .map(|i| {
+            if i % scan_every == scan_every - 1 {
+                scan.clone()
+            } else {
+                // Fresh key beyond the loaded range; fresh keyfigure values
+                // (each interns a new tail entry); small-domain group /
+                // status values that already exist in the dictionaries.
+                let row: Vec<Value> = (0..arity)
+                    .map(|c| {
+                        if c == 0 {
+                            Value::BigInt((s.rows + i) as i64)
+                        } else if (s.kf_col(0)..s.kf_col(0) + s.keyfigures).contains(&c) {
+                            Value::Double(7.7e8 + (i * s.keyfigures + c) as f64 * 0.017)
+                        } else {
+                            Value::Int((i % 7) as i32)
+                        }
+                    })
+                    .collect();
+                Query::Insert(InsertQuery {
+                    table: s.name.clone(),
+                    rows: vec![row],
+                })
+            }
+        })
+        .collect();
+    Workload::from_queries(queries)
+}
+
+fn build_db(s: &TableSpec, store: StoreKind) -> HybridDatabase {
+    let mut db = HybridDatabase::new();
+    db.create_single(s.schema().expect("schema"), store)
+        .expect("create");
+    db.bulk_load(&s.name, s.rows()).expect("load");
+    db
+}
+
+/// Execute the workload under one placement (engine default merge fallback
+/// active — the realistic upkeep a placement actually pays) and return the
+/// measured wall-clock total.
+fn measure_placement(s: &TableSpec, workload: &Workload, store: StoreKind) -> f64 {
+    let mut db = build_db(s, store);
+    let report = WorkloadRunner::new().run(&mut db, workload).expect("run");
+    report.total_ms()
+}
+
+fn store_str(store: StoreKind) -> &'static str {
+    match store {
+        StoreKind::Row => "row",
+        StoreKind::Column => "column",
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = advisor_model(&scale);
+
+    // --- 1. placement ablation -------------------------------------------
+    let s = spec(scale.rows);
+    let workload = write_heavy_workload(&s, scale.statements, scale.scan_every);
+    let db = build_db(&s, StoreKind::Column);
+    let schemas = vec![db.catalog().entries()[0].schema.clone()];
+    let stats = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| (e.schema.name.clone(), e.stats.clone()))
+        .collect();
+    drop(db);
+
+    let blind = StorageAdvisor::maintenance_blind(model.clone());
+    let aware = StorageAdvisor::new(model);
+    let rec_blind = blind
+        .recommend_offline(&schemas, &stats, &workload, false)
+        .expect("blind recommendation");
+    let rec_aware = aware
+        .recommend_offline(&schemas, &stats, &workload, false)
+        .expect("aware recommendation");
+    let pick = |rec: &hsd_core::Recommendation| -> StoreKind {
+        match rec.layout.placement("p") {
+            hsd_catalog::TablePlacement::Single(store) => store,
+            other => panic!("partitioning disabled, got {other:?}"),
+        }
+    };
+    let blind_store = pick(&rec_blind);
+    let aware_store = pick(&rec_aware);
+    eprintln!(
+        "[bench_placement] blind picks {} (rs {:.1} ms vs cs {:.1} ms), \
+         aware picks {} (rs {:.1} ms vs cs {:.1} ms)",
+        store_str(blind_store),
+        rec_blind.tables[0].cost_row_ms,
+        rec_blind.tables[0].cost_column_ms,
+        store_str(aware_store),
+        rec_aware.tables[0].cost_row_ms,
+        rec_aware.tables[0].cost_column_ms,
+    );
+    let row_ms = measure_placement(&s, &workload, StoreKind::Row);
+    let column_ms = measure_placement(&s, &workload, StoreKind::Column);
+    let measured = |store: StoreKind| match store {
+        StoreKind::Row => row_ms,
+        StoreKind::Column => column_ms,
+    };
+    let blind_ms = measured(blind_store);
+    let aware_ms = measured(aware_store);
+    let placement_pass = blind_store != aware_store && aware_ms < blind_ms;
+    eprintln!(
+        "[bench_placement] measured: row {row_ms:.1} ms, column {column_ms:.1} ms; \
+         aware choice {:.1} ms vs blind choice {:.1} ms ({:.2}x) -> {}",
+        aware_ms,
+        blind_ms,
+        blind_ms / aware_ms,
+        if placement_pass { "PASS" } else { "FAIL" }
+    );
+
+    // --- 2. merge-pause ablation -----------------------------------------
+    // The tail grows on a low-cardinality group column (fresh Int values):
+    // the dictionary rebuild then sorts a few thousand entries while the
+    // code-vector remap covers every row — the remap is the pause the
+    // incremental path bounds, so it must dominate.
+    let ms = spec(scale.merge_rows);
+    let grow_tail = |db: &mut HybridDatabase| {
+        let grp = ms.grp_col(0);
+        for i in 0..scale.merge_tail {
+            db.execute(&Query::Update(UpdateQuery {
+                table: ms.name.clone(),
+                sets: vec![(grp, Value::Int(1_000 + i as i32))],
+                filter: vec![ColRange::eq(0, Value::BigInt(((i * 29) % ms.rows) as i64))],
+            }))
+            .expect("update");
+        }
+    };
+    let mut db_full = build_db(&ms, StoreKind::Column);
+    db_full.set_merge_config(hsd_engine::MergeConfig::disabled());
+    grow_tail(&mut db_full);
+    let tail = db_full.delta_tail(&ms.name).expect("tail");
+    let start = Instant::now();
+    let merged_full = mover::merge_delta(&mut db_full, &ms.name).expect("full merge");
+    let full_pause_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut db_incr = build_db(&ms, StoreKind::Column);
+    db_incr.set_merge_config(hsd_engine::MergeConfig::disabled());
+    grow_tail(&mut db_incr);
+    let mut max_pause_ms = 0.0f64;
+    let mut incr_total_ms = 0.0f64;
+    let mut slices = 0usize;
+    let mut merged_incr = 0usize;
+    loop {
+        let start = Instant::now();
+        let p = mover::merge_delta_step(&mut db_incr, &ms.name, scale.merge_budget)
+            .expect("merge slice");
+        let pause = start.elapsed().as_secs_f64() * 1e3;
+        max_pause_ms = max_pause_ms.max(pause);
+        incr_total_ms += pause;
+        merged_incr += p.entries_folded;
+        slices += 1;
+        if p.done {
+            break;
+        }
+        assert!(slices < 100_000, "incremental merge must terminate");
+    }
+    assert_eq!(merged_full, merged_incr, "both paths fold the same tail");
+    assert_eq!(db_incr.delta_tail(&ms.name).expect("tail"), 0);
+    let merge_pass = max_pause_ms < full_pause_ms / 2.0;
+    eprintln!(
+        "[bench_placement] merge of {tail} tail entries over {} rows: full pause \
+         {full_pause_ms:.1} ms; incremental {slices} slices, max pause {max_pause_ms:.2} ms, \
+         total {incr_total_ms:.1} ms ({:.1}x pause reduction) -> {}",
+        scale.merge_rows,
+        full_pause_ms / max_pause_ms,
+        if merge_pass { "PASS" } else { "FAIL" }
+    );
+
+    let pass = placement_pass && merge_pass;
+    let doc = Json::obj([
+        ("benchmark", Json::Str("maintenance_aware_placement".into())),
+        ("smoke", Json::Bool(scale.smoke)),
+        (
+            "placement",
+            Json::obj([
+                ("rows", Json::Int(scale.rows as i64)),
+                ("statements", Json::Int(scale.statements as i64)),
+                ("blind_choice", Json::Str(store_str(blind_store).into())),
+                ("aware_choice", Json::Str(store_str(aware_store).into())),
+                (
+                    "blind_est_row_ms",
+                    Json::Num(rec_blind.tables[0].cost_row_ms),
+                ),
+                (
+                    "blind_est_column_ms",
+                    Json::Num(rec_blind.tables[0].cost_column_ms),
+                ),
+                (
+                    "aware_est_row_ms",
+                    Json::Num(rec_aware.tables[0].cost_row_ms),
+                ),
+                (
+                    "aware_est_column_ms",
+                    Json::Num(rec_aware.tables[0].cost_column_ms),
+                ),
+                ("measured_row_ms", Json::Num(row_ms)),
+                ("measured_column_ms", Json::Num(column_ms)),
+                ("blind_choice_ms", Json::Num(blind_ms)),
+                ("aware_choice_ms", Json::Num(aware_ms)),
+                ("pass", Json::Bool(placement_pass)),
+            ]),
+        ),
+        (
+            "incremental_merge",
+            Json::obj([
+                ("rows", Json::Int(scale.merge_rows as i64)),
+                ("tail_entries", Json::Int(tail as i64)),
+                ("budget_rows", Json::Int(scale.merge_budget as i64)),
+                ("full_pause_ms", Json::Num(full_pause_ms)),
+                ("incremental_slices", Json::Int(slices as i64)),
+                ("incremental_max_pause_ms", Json::Num(max_pause_ms)),
+                ("incremental_total_ms", Json::Num(incr_total_ms)),
+                ("pass", Json::Bool(merge_pass)),
+            ]),
+        ),
+        ("pass", Json::Bool(pass)),
+    ]);
+    std::fs::write("BENCH_placement.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_placement.json");
+    eprintln!("[bench_placement] wrote BENCH_placement.json");
+    if !pass {
+        std::process::exit(1);
+    }
+}

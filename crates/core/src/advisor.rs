@@ -56,6 +56,13 @@ pub struct StorageAdvisor {
     /// Maximum table count for exhaustive store-combination search; larger
     /// schemas fall back to greedy local search.
     pub exact_search_limit: usize,
+    /// Whether store comparisons charge column-store candidates their
+    /// modeled delta upkeep (merge amortization plus inter-merge tail
+    /// penalty, [`crate::maintenance::estimate_maintenance`]). On by
+    /// default; disable for the maintenance-blind ablation, which compares
+    /// stores by query cost alone and therefore keeps write-heavy tables in
+    /// the column store even when their merges eat the scan savings.
+    pub maintenance_aware: bool,
 }
 
 impl StorageAdvisor {
@@ -65,6 +72,16 @@ impl StorageAdvisor {
             model,
             partition_cfg: PartitionAdvisorConfig::default(),
             exact_search_limit: 12,
+            maintenance_aware: true,
+        }
+    }
+
+    /// The same advisor with maintenance-aware placement disabled (the
+    /// query-cost-only ablation baseline).
+    pub fn maintenance_blind(model: CostModel) -> Self {
+        StorageAdvisor {
+            maintenance_aware: false,
+            ..StorageAdvisor::new(model)
         }
     }
 
@@ -121,6 +138,27 @@ impl StorageAdvisor {
         self.recommend_inner(&schemas, &ctx, recorded, window, enable_partitioning)
     }
 
+    /// Modeled per-table delta-upkeep cost (ms) of a column-store placement
+    /// over `workload` — empty when maintenance-aware placement is off.
+    pub(crate) fn upkeep_costs(
+        &self,
+        ctx: &EstimationCtx,
+        workload: &Workload,
+    ) -> BTreeMap<String, f64> {
+        if !self.maintenance_aware {
+            return BTreeMap::new();
+        }
+        crate::estimator::workload_maintenance_drivers(ctx, workload)
+            .into_iter()
+            .map(|(table, drivers)| {
+                let rows = ctx.tables.get(&table).map_or(0, |t| t.stats.row_count);
+                let cost =
+                    crate::maintenance::estimate_maintenance(&self.model, rows, drivers).total_ms();
+                (table, cost)
+            })
+            .collect()
+    }
+
     fn recommend_inner(
         &self,
         schemas: &[Arc<TableSchema>],
@@ -130,7 +168,8 @@ impl StorageAdvisor {
         enable_partitioning: bool,
     ) -> Result<Recommendation> {
         // --- table level -------------------------------------------------
-        let search = TableLevelSearch::new(&self.model, ctx, workload);
+        let upkeep = self.upkeep_costs(ctx, workload);
+        let search = TableLevelSearch::new(&self.model, ctx, workload, &upkeep);
         let assignment = search.solve(self.exact_search_limit);
         // --- baselines ---------------------------------------------------
         let names: Vec<&str> = ctx.tables.keys().map(String::as_str).collect();
@@ -143,7 +182,8 @@ impl StorageAdvisor {
             .map(|n| (n.to_string(), StoreKind::Column))
             .collect();
         let rs_only_ms = estimate_workload(&self.model, ctx, &rs_only, workload);
-        let cs_only_ms = estimate_workload(&self.model, ctx, &cs_only, workload);
+        let cs_only_ms =
+            estimate_workload(&self.model, ctx, &cs_only, workload) + upkeep.values().sum::<f64>();
         // --- partitioning ------------------------------------------------
         let mut layout = StorageLayout::new();
         let mut tables = Vec::new();
@@ -170,7 +210,12 @@ impl StorageAdvisor {
                 placement,
             });
         }
-        let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload);
+        // Query cost of the recommended layout plus the delta upkeep of
+        // every placement that keeps a column-store region (partitioned
+        // layouts are charged in full — conservative, since their cold
+        // region still interns fresh values).
+        let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload)
+            + layout_upkeep_ms(&layout, &upkeep);
         let statements = migration_statements(schemas, &layout);
         Ok(Recommendation {
             layout,
@@ -208,6 +253,21 @@ pub fn build_ctx(
     ctx
 }
 
+/// Total delta-upkeep charge of a layout: every table whose placement keeps
+/// a column-store region pays its modeled upkeep.
+pub(crate) fn layout_upkeep_ms(layout: &StorageLayout, upkeep: &BTreeMap<String, f64>) -> f64 {
+    upkeep
+        .iter()
+        .filter(|(table, _)| {
+            !matches!(
+                layout.placement(table),
+                TablePlacement::Single(StoreKind::Row)
+            )
+        })
+        .map(|(_, ms)| ms)
+        .sum()
+}
+
 /// Statically derive extended workload statistics from a workload (the
 /// offline mode's workload analysis — no queries are executed).
 pub fn analyze_workload(
@@ -241,7 +301,17 @@ struct TableLevelSearch {
 }
 
 impl TableLevelSearch {
-    fn new(model: &CostModel, ctx: &EstimationCtx, workload: &Workload) -> Self {
+    /// Decompose `workload` into per-table and per-join-pair store costs.
+    /// `upkeep` charges each table's column-store side its modeled delta
+    /// maintenance (empty for maintenance-blind comparisons) — the upkeep
+    /// depends only on the table's own store, so it stays separable and the
+    /// search machinery is unchanged.
+    fn new(
+        model: &CostModel,
+        ctx: &EstimationCtx,
+        workload: &Workload,
+        upkeep: &BTreeMap<String, f64>,
+    ) -> Self {
         let tables: Vec<String> = ctx.tables.keys().cloned().collect();
         let index: BTreeMap<&str, usize> = tables
             .iter()
@@ -279,6 +349,11 @@ impl TableLevelSearch {
                         single[t][si] += estimate_query(model, ctx, &assign, other);
                     }
                 }
+            }
+        }
+        for (t, name) in tables.iter().enumerate() {
+            if let Some(ms) = upkeep.get(name) {
+                single[t][1] += ms;
             }
         }
         let joins = join_map.into_iter().map(|((f, d), c)| (f, d, c)).collect();
@@ -639,6 +714,78 @@ mod tests {
         let t = stats.table("w").unwrap();
         assert_eq!(t.inserts, 1);
         assert_eq!(t.aggregations, 1);
+    }
+
+    #[test]
+    fn maintenance_aware_placement_flips_write_heavy_table_to_row_store() {
+        use hsd_query::UpdateQuery;
+        use hsd_storage::ColRange;
+        // Model where scans strongly favor the column store but the column
+        // store pays for its delta upkeep: tails degrade scans steeply and
+        // a merge costs a flat 40 ms.
+        let mut m = model();
+        m.column.f_tail = AdjustmentFn::Linear {
+            slope: 50.0,
+            intercept: 1.0,
+        };
+        m.column.merge_ms = AdjustmentFn::Constant(60.0);
+        let (schemas, stats) = schema_stats();
+        let rows = stats["w"].row_count as i64;
+        // Write-heavy stream: 4000 fresh-value point updates against 10
+        // full-table aggregations.
+        let mut queries: Vec<Query> = (0..4000)
+            .map(|i| {
+                Query::Update(UpdateQuery {
+                    table: "w".into(),
+                    sets: vec![(2, Value::BigInt(7_000_000 + i))],
+                    filter: vec![ColRange::eq(0, Value::BigInt(i % rows))],
+                })
+            })
+            .collect();
+        for _ in 0..10 {
+            queries.push(Query::Aggregate(AggregateQuery::simple(
+                "w",
+                AggFunc::Sum,
+                2,
+            )));
+        }
+        let w = Workload::from_queries(queries);
+        // Maintenance-blind: query cost alone still favors the column store
+        // (the scans save far more than the updates cost extra).
+        let blind = StorageAdvisor::maintenance_blind(m.clone());
+        assert!(!blind.maintenance_aware);
+        let rec_blind = blind
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
+        assert_eq!(
+            rec_blind.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Column),
+            "query-cost-only comparison keeps the write-heavy table columnar"
+        );
+        // Maintenance-aware: the modeled merge amortization of 4000 tail
+        // entries dominates the scan savings and flips the placement.
+        let aware = StorageAdvisor::new(m);
+        let rec_aware = aware
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
+        assert_eq!(
+            rec_aware.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Row),
+            "delta upkeep must flip the write-heavy table to the row store"
+        );
+        // The reported per-table column cost now carries the upkeep.
+        let blind_cs = rec_blind.tables[0].cost_column_ms;
+        let aware_cs = rec_aware.tables[0].cost_column_ms;
+        assert!(
+            aware_cs > blind_cs,
+            "column-side cost must include upkeep: {aware_cs} vs {blind_cs}"
+        );
+        assert_eq!(
+            rec_blind.tables[0].cost_row_ms,
+            rec_aware.tables[0].cost_row_ms
+        );
+        // And the argmin invariant still holds under the charged estimates.
+        assert!(rec_aware.estimated_ms <= rec_aware.rs_only_ms.min(rec_aware.cs_only_ms) + 1e-9);
     }
 
     #[test]

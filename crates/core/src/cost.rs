@@ -176,6 +176,18 @@ pub struct StoreModel {
 }
 
 impl StoreModel {
+    /// The calibrated cost of one reference scan-type statement over `rows`
+    /// rows: the reference aggregation (`f_rows`) plus full-table predicate
+    /// evaluation (`sel_per_row_scan`) — exactly the two terms the `f_tail`
+    /// degradation multiplies in the estimator. This is the base quantity
+    /// both merge scheduling ([`crate::maintenance::evaluate_merge`]) and
+    /// maintenance-aware placement
+    /// ([`crate::maintenance::estimate_maintenance`]) price the
+    /// dictionary-tail penalty against.
+    pub fn scan_base_ms(&self, rows: f64) -> f64 {
+        self.f_rows.eval(rows).max(0.0) + self.sel_per_row_scan.max(0.0) * rows
+    }
+
     /// A neutral model (all factors 1, all costs 0) — useful as a building
     /// block in tests.
     pub fn neutral() -> Self {

@@ -299,6 +299,56 @@ pub fn estimate_workload(
 }
 
 // ---------------------------------------------------------------------------
+// Maintenance drivers (delta upkeep of column-store placements)
+
+/// Per-table maintenance drivers derived from a workload window: how much
+/// the window would grow a column-store placement's dictionary tails, and
+/// how many scan-type statements would pay the resulting `f_tail` penalty.
+///
+/// These are the inputs of maintenance-aware placement
+/// ([`crate::maintenance::estimate_maintenance`]): a query-cost-only store
+/// comparison cannot see that a write-heavy column table pays for its
+/// merges, so the advisor derives the upkeep drivers from the same workload
+/// it estimates query costs for.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MaintenanceDrivers {
+    /// Modeled dictionary-tail growth in entries. Each update statement
+    /// interns up to one fresh value per assigned column; each inserted row
+    /// interns at least its (unique) key. Repeated values intern nothing,
+    /// so this is a deliberate upper bound — the direction that protects
+    /// against under-charging delta upkeep.
+    pub tail_growth: f64,
+    /// Scan-type statements (aggregations and non-point selects) that pay
+    /// the `f_tail` degradation until the next merge.
+    pub scans: f64,
+}
+
+/// Derive the per-table [`MaintenanceDrivers`] of a workload window.
+pub fn workload_maintenance_drivers(
+    ctx: &EstimationCtx,
+    workload: &Workload,
+) -> BTreeMap<String, MaintenanceDrivers> {
+    let mut out: BTreeMap<String, MaintenanceDrivers> = BTreeMap::new();
+    for q in &workload.queries {
+        let entry = out.entry(q.table().to_string()).or_default();
+        match q {
+            Query::Update(u) => entry.tail_growth += u.sets.len().max(1) as f64,
+            Query::Insert(i) => entry.tail_growth += i.rows.len() as f64,
+            Query::Aggregate(_) => entry.scans += 1.0,
+            Query::Select(s) => {
+                let point = ctx
+                    .table(&s.table)
+                    .is_some_and(|t| is_pk_point(t, &s.filter));
+                if !point {
+                    entry.scans += 1.0;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Layout-aware estimation (partitioned placements)
 
 /// Estimate one query under a full [`StorageLayout`], approximating

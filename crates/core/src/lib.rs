@@ -25,7 +25,7 @@
 //! ([`maintenance`]): merges are recommended when the cost model's scan
 //! savings exceed its merge cost, instead of on a size-only trigger.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod advisor;
 pub mod calibration;
@@ -39,7 +39,10 @@ pub mod report;
 pub use advisor::{Recommendation, StorageAdvisor, TableRecommendation};
 pub use calibration::{calibrate, CalibrationConfig};
 pub use cost::{AdjustmentFn, CostModel, StoreModel};
-pub use estimator::{EstimationCtx, TableCtx};
-pub use maintenance::{evaluate_merge, MaintenanceAction, MergeDecision, MergePartition};
+pub use estimator::{EstimationCtx, MaintenanceDrivers, TableCtx};
+pub use maintenance::{
+    estimate_maintenance, evaluate_merge, MaintenanceAction, MaintenanceEstimate, MergeDecision,
+    MergePartition,
+};
 pub use online::{AdaptationRecommendation, OnlineAdvisor, OnlineConfig};
 pub use partition::PartitionAdvisorConfig;

@@ -14,6 +14,7 @@ use hsd_engine::{mover, HybridDatabase};
 use hsd_types::Result;
 
 use crate::cost::CostModel;
+use crate::estimator::MaintenanceDrivers;
 
 /// Which physical region of a table a maintenance action targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,25 @@ impl MaintenanceAction {
             MaintenanceAction::Merge { table, .. } => mover::merge_delta(db, table),
         }
     }
+
+    /// Apply one bounded slice of the action through the engine's
+    /// incremental merge ([`mover::merge_delta_step`]): at most
+    /// `budget_rows` code-vector entries are remapped before control
+    /// returns. Call repeatedly — interleaved with regular statements —
+    /// until the returned progress reports `done`; queries between slices
+    /// see a fully consistent table. This is how large tables take their
+    /// scheduled merges without a full-table stop-the-world pause.
+    pub fn apply_chunked(
+        &self,
+        db: &mut HybridDatabase,
+        budget_rows: usize,
+    ) -> Result<hsd_storage::MergeProgress> {
+        match self {
+            MaintenanceAction::Merge { table, .. } => {
+                mover::merge_delta_step(db, table, budget_rows)
+            }
+        }
+    }
 }
 
 /// The two sides of a merge-scheduling decision, in modeled milliseconds.
@@ -108,11 +128,109 @@ pub fn evaluate_merge(
     let m = &model.column;
     let n = rows as f64;
     let frac = tail as f64 / n.max(1.0);
-    let per_scan = m.f_rows.eval(n).max(0.0) + m.sel_per_row_scan.max(0.0) * n;
+    let per_scan = m.scan_base_ms(n);
     let penalty_per_scan = per_scan * (m.f_tail.eval(frac).max(1.0) - 1.0);
     MergeDecision {
         scan_savings_ms: penalty_per_scan * expected_scans.max(0.0),
         merge_cost_ms: m.merge_ms.eval(n).max(0.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance-aware placement: amortized delta upkeep of a column placement
+
+/// The modeled delta-upkeep bill of keeping one table in the column store
+/// over a workload window, in model milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MaintenanceEstimate {
+    /// Tail penalty the window's scans pay between merges.
+    pub scan_penalty_ms: f64,
+    /// Merge cost of the merges the rent-or-buy schedule runs.
+    pub merge_cost_ms: f64,
+    /// Modeled merge count (fractional: an amortized rate, not a tally).
+    pub merges: f64,
+}
+
+impl MaintenanceEstimate {
+    /// Total upkeep: scan penalty plus merge cost.
+    pub fn total_ms(&self) -> f64 {
+        self.scan_penalty_ms + self.merge_cost_ms
+    }
+}
+
+/// Estimate the amortized delta-upkeep cost of a column-store placement for
+/// a table of `rows` rows over a window with the given
+/// [`MaintenanceDrivers`] — the term maintenance-aware placement adds to
+/// every column-store candidate before comparing stores.
+///
+/// The model assumes writes and scans interleave uniformly and that the
+/// advisor's own rent-or-buy schedule runs the merges: the tail grows by
+/// one entry per modeled write, each scan at tail size `t` pays
+/// `scan_base_ms · (f_tail(t/rows) − 1)`, and a merge fires once the
+/// penalty accrued since the last merge reaches the modeled merge cost.
+/// Under that schedule each merge cycle pays the merge cost twice — once as
+/// accrued scan penalty ("rent"), once as the merge itself ("buy") — so the
+/// window's upkeep is `2 · merges · merge_ms`, with the cycle length found
+/// by solving the accrual equation. When the window's total accrual never
+/// reaches one merge cost, no merge fires and only the accrued penalty is
+/// charged. Write-only windows (no scans) and scan-only windows (no tail
+/// growth) cost nothing, exactly like the scheduler that never merges them.
+pub fn estimate_maintenance(
+    model: &CostModel,
+    rows: usize,
+    drivers: MaintenanceDrivers,
+) -> MaintenanceEstimate {
+    let m = &model.column;
+    let n = (rows as f64).max(1.0);
+    let growth = drivers.tail_growth;
+    let scans = drivers.scans;
+    if growth < 1.0 || scans <= 0.0 {
+        return MaintenanceEstimate::default();
+    }
+    let merge_cost = m.merge_ms.eval(n).max(0.0);
+    let per_scan = m.scan_base_ms(n);
+    // Scans arriving per unit of tail growth (uniform interleave).
+    let rate = scans / growth;
+    // Accrued penalty while the tail grows from 0 to `t` entries: each of
+    // the `rate · t` scans pays the penalty of the then-current tail;
+    // approximated by the midpoint tail (exact for linear `f_tail`).
+    let accrued =
+        |t: f64| -> f64 { rate * t * per_scan * (m.f_tail.eval(t / (2.0 * n)).max(1.0) - 1.0) };
+    let window_accrual = accrued(growth);
+    if merge_cost <= 0.0 {
+        // Free merges: the scheduler merges eagerly and the tail never
+        // accumulates a noticeable penalty.
+        return MaintenanceEstimate::default();
+    }
+    if window_accrual <= merge_cost {
+        // The whole window never pays for one merge: rent only.
+        return MaintenanceEstimate {
+            scan_penalty_ms: window_accrual,
+            merge_cost_ms: 0.0,
+            merges: 0.0,
+        };
+    }
+    // Solve accrued(T*) = merge_cost for the cycle length T* (entries of
+    // tail growth per merge cycle); `accrued` is monotone for any
+    // non-decreasing f_tail, so bisection converges.
+    let (mut lo, mut hi) = (1.0f64, growth);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if accrued(mid) < merge_cost {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) < 1e-6 * growth {
+            break;
+        }
+    }
+    let cycle = 0.5 * (lo + hi);
+    let merges = growth / cycle;
+    MaintenanceEstimate {
+        scan_penalty_ms: merges * merge_cost,
+        merge_cost_ms: merges * merge_cost,
+        merges,
     }
 }
 
@@ -170,5 +288,94 @@ mod tests {
         let d = evaluate_merge(&m, 1000, 900, 0.0);
         assert_eq!(d.scan_savings_ms, 0.0);
         assert!(!d.beneficial(0.0), "zero scans -> zero benefit");
+    }
+
+    #[test]
+    fn maintenance_estimate_zero_without_writes_or_scans() {
+        let m = model();
+        let no_writes = estimate_maintenance(
+            &m,
+            1000,
+            MaintenanceDrivers {
+                tail_growth: 0.0,
+                scans: 500.0,
+            },
+        );
+        assert_eq!(no_writes.total_ms(), 0.0);
+        let no_scans = estimate_maintenance(
+            &m,
+            1000,
+            MaintenanceDrivers {
+                tail_growth: 500.0,
+                scans: 0.0,
+            },
+        );
+        assert_eq!(no_scans.total_ms(), 0.0, "no scans -> no rent, no merges");
+        let neutral = estimate_maintenance(
+            &CostModel::neutral(),
+            1000,
+            MaintenanceDrivers {
+                tail_growth: 500.0,
+                scans: 500.0,
+            },
+        );
+        assert_eq!(neutral.total_ms(), 0.0, "neutral model charges nothing");
+    }
+
+    #[test]
+    fn maintenance_estimate_rent_only_below_one_merge() {
+        let m = model();
+        // Tiny window: accrual can't reach the 10 ms merge cost, so only
+        // the rent is charged and no merges are modeled.
+        let e = estimate_maintenance(
+            &m,
+            1000,
+            MaintenanceDrivers {
+                tail_growth: 10.0,
+                scans: 10.0,
+            },
+        );
+        assert_eq!(e.merges, 0.0);
+        assert_eq!(e.merge_cost_ms, 0.0);
+        assert!(e.scan_penalty_ms > 0.0 && e.scan_penalty_ms < 10.0);
+    }
+
+    #[test]
+    fn maintenance_estimate_rent_or_buy_cycles() {
+        let m = model();
+        // Big window: per-scan penalty at tail T is 10·T/1000 ms (f_tail
+        // slope 10, base 1 ms); with one scan per write the accrual over a
+        // cycle of length T is T²/200 ms, so a 10 ms merge fires every
+        // T* ≈ √2000 ≈ 44.7 entries.
+        let e = estimate_maintenance(
+            &m,
+            1000,
+            MaintenanceDrivers {
+                tail_growth: 1000.0,
+                scans: 1000.0,
+            },
+        );
+        let expected_cycle = 2000.0f64.sqrt();
+        let expected_merges = 1000.0 / expected_cycle;
+        assert!(
+            (e.merges - expected_merges).abs() / expected_merges < 0.05,
+            "merges {} vs analytic {}",
+            e.merges,
+            expected_merges
+        );
+        // Each cycle pays the merge cost twice: as accrued rent and as the
+        // merge itself.
+        assert!((e.total_ms() - 2.0 * e.merges * 10.0).abs() < 1e-6);
+        // More scans per write -> shorter cycles -> more upkeep.
+        let heavier = estimate_maintenance(
+            &m,
+            1000,
+            MaintenanceDrivers {
+                tail_growth: 1000.0,
+                scans: 4000.0,
+            },
+        );
+        assert!(heavier.total_ms() > e.total_ms());
+        assert!(heavier.merges > e.merges);
     }
 }

@@ -53,6 +53,14 @@ pub struct OnlineConfig {
     /// Tails smaller than this many entries are never worth a scheduling
     /// decision (the scan penalty is below measurement noise).
     pub merge_min_tail: usize,
+    /// Weight of the newest interval in the exponentially decayed
+    /// scan-pressure estimate (`rate ← decay · interval + (1 − decay) ·
+    /// rate`). The decayed rate replaces the last-interval-only predictor:
+    /// on bursty workloads a single quiet interval no longer zeroes the
+    /// expected scan pressure, and phase changes blend in over
+    /// `~1/decay` intervals instead of whipsawing the accrual. `1.0`
+    /// reproduces the old last-interval-only behavior.
+    pub scan_rate_decay: f64,
 }
 
 impl Default for OnlineConfig {
@@ -66,6 +74,7 @@ impl Default for OnlineConfig {
             maintenance_interval: 64,
             merge_safety_factor: 1.0,
             merge_min_tail: 128,
+            scan_rate_decay: 0.5,
         }
     }
 }
@@ -85,6 +94,37 @@ pub struct AdaptationRecommendation {
 
 /// Online advisor: wraps a [`StorageAdvisor`] with statistics recording,
 /// interval-based re-evaluation, and workload-aware merge scheduling.
+///
+/// # Example
+///
+/// ```
+/// use hsd_core::{CostModel, OnlineAdvisor, OnlineConfig, StorageAdvisor};
+/// use hsd_engine::{HybridDatabase, MergeConfig};
+/// use hsd_query::{AggFunc, AggregateQuery, Query, TableSpec};
+/// use hsd_storage::StoreKind;
+///
+/// let spec = TableSpec::paper_wide("w", 1_000, 42);
+/// let mut db = HybridDatabase::new();
+/// db.create_single(spec.schema()?, StoreKind::Column)?;
+/// db.bulk_load("w", spec.rows())?;
+/// // Let the advisor be the only merge scheduler.
+/// db.set_merge_config(MergeConfig::disabled());
+///
+/// let advisor = StorageAdvisor::new(CostModel::neutral());
+/// let mut online = OnlineAdvisor::new(advisor, OnlineConfig::default());
+///
+/// // Feed every executed statement to the advisor; at interval
+/// // boundaries it re-evaluates the layout and schedules merges.
+/// let q = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, spec.kf_col(0)));
+/// db.execute(&q)?;
+/// let adaptation = online.observe(&db, &q)?;
+/// assert!(adaptation.is_none(), "one statement is below every interval");
+/// assert_eq!(online.recorded_statements(), 1);
+/// for action in online.take_maintenance() {
+///     action.apply(&mut db)?; // or apply_chunked(.., budget) for bounded pauses
+/// }
+/// # Ok::<(), hsd_types::Error>(())
+/// ```
 #[derive(Debug)]
 pub struct OnlineAdvisor {
     advisor: StorageAdvisor,
@@ -96,6 +136,10 @@ pub struct OnlineAdvisor {
     /// Per-table scan counts (aggregations + selects) at the last
     /// maintenance check; the delta since then is the interval's scan load.
     scan_snapshot: BTreeMap<String, u64>,
+    /// Per-table exponentially decayed per-interval scan rate — the
+    /// scan-pressure predictor the merge accrual uses
+    /// ([`OnlineConfig::scan_rate_decay`]).
+    scan_rate: BTreeMap<String, f64>,
     /// Per-table modeled tail penalty (ms) accrued since the table's last
     /// merge — the "rent" side of the rent-or-buy merge rule.
     merge_penalty_accrued: BTreeMap<String, f64>,
@@ -114,6 +158,7 @@ impl OnlineAdvisor {
             since_last_eval: 0,
             since_last_maintenance: 0,
             scan_snapshot: BTreeMap::new(),
+            scan_rate: BTreeMap::new(),
             merge_penalty_accrued: BTreeMap::new(),
             pending_maintenance: Vec::new(),
         }
@@ -176,6 +221,16 @@ impl OnlineAdvisor {
                 .insert(name.to_string(), scans_now)
                 .unwrap_or(0);
             let interval_scans = scans_now.saturating_sub(prior) as f64;
+            // Decayed-rate scan-pressure estimate: blend the newest interval
+            // into the running rate instead of trusting it alone, so bursty
+            // phases keep accruing through quiet intervals and phase changes
+            // adjust the rate smoothly. Seeded with the first observation.
+            let decay = self.cfg.scan_rate_decay.clamp(0.0, 1.0);
+            let rate = match self.scan_rate.get(name) {
+                Some(prev) => decay * interval_scans + (1.0 - decay) * prev,
+                None => interval_scans,
+            };
+            self.scan_rate.insert(name.to_string(), rate);
             let Ok(tail) = db.delta_tail(name) else {
                 continue;
             };
@@ -186,7 +241,7 @@ impl OnlineAdvisor {
                 continue;
             }
             let rows = db.row_count(name).unwrap_or(0);
-            let decision = evaluate_merge(&self.advisor.model, rows, tail, interval_scans);
+            let decision = evaluate_merge(&self.advisor.model, rows, tail, rate);
             let accrued = self
                 .merge_penalty_accrued
                 .entry(name.to_string())
@@ -240,12 +295,15 @@ impl OnlineAdvisor {
             .collect();
         let ctx = crate::advisor::build_ctx(&schemas, &stats);
         let current_layout = db.current_layout();
+        // Charge the current layout the same delta upkeep the candidate
+        // layouts were charged, so improvements compare like with like.
+        let upkeep = self.advisor.upkeep_costs(&ctx, &window);
         let current_ms = crate::estimator::estimate_workload_layout(
             &self.advisor.model,
             &ctx,
             &current_layout,
             &window,
-        );
+        ) + crate::advisor::layout_upkeep_ms(&current_layout, &upkeep);
         if current_ms <= 0.0 {
             return Ok(None);
         }
@@ -284,6 +342,7 @@ impl OnlineAdvisor {
         self.since_last_eval = 0;
         self.since_last_maintenance = 0;
         self.scan_snapshot.clear();
+        self.scan_rate.clear();
         self.merge_penalty_accrued.clear();
         self.pending_maintenance.clear();
         Ok(moved)
@@ -416,6 +475,63 @@ mod tests {
         assert!(
             online.take_maintenance().is_empty(),
             "no scans -> merging now buys nothing; defer"
+        );
+    }
+
+    /// A scan burst while the tail is still small, followed by a long
+    /// write-only phase that grows the tail. The last-interval-only
+    /// predictor freezes the accrual the moment scans pause (each quiet
+    /// interval contributes zero), while the decayed rate keeps predicting
+    /// scan pressure from the burst and accrues against the now-large tail
+    /// — so only the decayed predictor schedules the merge.
+    #[test]
+    fn decayed_rate_reacts_to_phase_change_where_last_interval_freezes() {
+        fn merges_scheduled(decay: f64) -> bool {
+            let s = spec();
+            let mut db = HybridDatabase::new();
+            db.create_single(s.schema().unwrap(), StoreKind::Column)
+                .unwrap();
+            db.bulk_load("w", s.rows()).unwrap();
+            db.set_merge_config(hsd_engine::MergeConfig::disabled());
+            let mut m = maintenance_model();
+            m.column.f_tail = AdjustmentFn::Linear {
+                slope: 50.0,
+                intercept: 1.0,
+            };
+            m.column.merge_ms = AdjustmentFn::Constant(3.0);
+            let cfg = OnlineConfig {
+                evaluation_interval: usize::MAX,
+                maintenance_interval: 8,
+                merge_min_tail: 16,
+                merge_safety_factor: 1.0,
+                scan_rate_decay: decay,
+                ..Default::default()
+            };
+            let mut online = OnlineAdvisor::new(StorageAdvisor::new(m), cfg);
+            let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
+            for i in 0..400 {
+                // Statements 0..60: updates and scans alternate (the
+                // burst); statements 60..400: writes only.
+                let q = if i < 60 && i % 2 == 1 {
+                    scan.clone()
+                } else {
+                    fresh_update(&s, i)
+                };
+                db.execute(&q).unwrap();
+                online.observe(&db, &q).unwrap();
+                if !online.take_maintenance().is_empty() {
+                    return true;
+                }
+            }
+            false
+        }
+        assert!(
+            merges_scheduled(0.5),
+            "decayed predictor must keep accruing through the write phase"
+        );
+        assert!(
+            !merges_scheduled(1.0),
+            "last-interval-only predictor stalls once the burst ends"
         );
     }
 

@@ -13,6 +13,37 @@ use crate::maintenance::MergeConfig;
 use crate::partition::TableData;
 
 /// An in-memory hybrid-store database instance.
+///
+/// # Example
+///
+/// ```
+/// use hsd_engine::HybridDatabase;
+/// use hsd_query::{AggFunc, AggregateQuery, Query};
+/// use hsd_storage::StoreKind;
+/// use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
+///
+/// let mut db = HybridDatabase::new();
+/// let schema = TableSchema::new(
+///     "orders",
+///     vec![
+///         ColumnDef::new("id", ColumnType::BigInt),
+///         ColumnDef::new("amount", ColumnType::Double),
+///     ],
+///     vec![0], // primary key
+/// )?;
+/// db.create_single(schema, StoreKind::Column)?;
+/// db.bulk_load(
+///     "orders",
+///     (0..100i64).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]),
+/// )?;
+///
+/// // The executor is store-agnostic: the same query runs against either
+/// // store or any partitioned layout the advisor recommends.
+/// let q = Query::Aggregate(AggregateQuery::simple("orders", AggFunc::Sum, 1));
+/// let out = db.execute(&q)?;
+/// assert_eq!(out.aggregates().unwrap()[0].values[0], 4950.0);
+/// # Ok::<(), hsd_types::Error>(())
+/// ```
 #[derive(Debug, Default)]
 pub struct HybridDatabase {
     catalog: Catalog,

@@ -43,6 +43,23 @@ pub enum MergeMode {
 /// with absolute floors, so small tables are not merged on every handful of
 /// fresh values and large tables are not allowed to accumulate
 /// proportionally unbounded tails.
+///
+/// # Example
+///
+/// ```
+/// use hsd_engine::{MergeConfig, MergeMode};
+///
+/// // The default policy is hysteretic: merge once the tail crosses the
+/// // high watermark, compacting only columns above the low watermark.
+/// let cfg = MergeConfig::default();
+/// assert_eq!(cfg.mode, MergeMode::Auto);
+/// assert_eq!(cfg.high_watermark(1 << 20), (1 << 20) / 32);
+/// assert_eq!(cfg.high_watermark(0), cfg.min_tail); // absolute floor
+///
+/// // An advisor that schedules merges itself runs the engine with the
+/// // fallback disabled (`db.set_merge_config(MergeConfig::disabled())`).
+/// assert_eq!(MergeConfig::disabled().mode, MergeMode::Disabled);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct MergeConfig {
     /// When the fallback merge runs.

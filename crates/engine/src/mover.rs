@@ -102,6 +102,25 @@ pub fn merge_delta(db: &mut HybridDatabase, table: &str) -> Result<usize> {
     Ok(db.table_data_mut(table)?.compact_deltas())
 }
 
+/// One bounded slice of an **incremental** delta merge: remap at most
+/// `budget_rows` code-vector entries of `table`'s column-store region, then
+/// return control to the caller.
+///
+/// The merge state is resumable — repeated calls continue where the last one
+/// stopped, and queries executed between slices observe a fully consistent
+/// table (the shadow-rebuild protocol of
+/// [`hsd_storage::ColumnTable::compact_step`]). This is how very large
+/// tables avoid the full-table stop-the-world remap of
+/// [`merge_delta`]: the same total work is spread over many short pauses,
+/// each bounded by the remap-cost budget.
+pub fn merge_delta_step(
+    db: &mut HybridDatabase,
+    table: &str,
+    budget_rows: usize,
+) -> Result<hsd_storage::MergeProgress> {
+    Ok(db.table_data_mut(table)?.compact_deltas_step(budget_rows))
+}
+
 /// Move rows that have aged out of the hot partition into the cold
 /// partition ("in certain intervals, data is moved from the row-store
 /// partition to the column-store partition"). Rows still satisfying the
@@ -305,5 +324,59 @@ mod tests {
     fn rebalance_rejects_unpartitioned() {
         let mut db = loaded_db();
         assert!(rebalance_horizontal(&mut db, "t", &Value::BigInt(5)).is_err());
+    }
+
+    #[test]
+    fn chunked_merge_preserves_results_and_is_resumable() {
+        use hsd_query::{Query, UpdateQuery};
+        use hsd_storage::ColRange;
+        let mut db = loaded_db();
+        let mut layout = StorageLayout::new();
+        layout.set("t", TablePlacement::Single(StoreKind::Column));
+        apply_layout(&mut db, &layout).unwrap();
+        db.set_merge_config(crate::maintenance::MergeConfig::disabled());
+        let before = checksum(&mut db);
+        for i in 0..30 {
+            db.execute(&Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(1, Value::Double(5000.0 + i as f64))],
+                filter: vec![ColRange::eq(0, Value::BigInt(i))],
+            }))
+            .unwrap();
+        }
+        let tail = db.delta_tail("t").unwrap();
+        assert!(tail >= 30);
+        // Drive the merge in 16-row slices, querying between slices.
+        let mut slices = 0;
+        let mut folded = 0;
+        loop {
+            let p = merge_delta_step(&mut db, "t", 16).unwrap();
+            folded += p.entries_folded;
+            slices += 1;
+            // Mid-merge queries must see consistent data.
+            let hits = db
+                .execute(&Query::Select(hsd_query::SelectQuery {
+                    table: "t".into(),
+                    columns: None,
+                    filter: vec![ColRange::ge(1, Value::Double(5000.0))],
+                }))
+                .unwrap();
+            assert_eq!(hits.rows().unwrap().len(), 30);
+            if p.done {
+                break;
+            }
+            assert!(slices < 100, "chunked merge must terminate");
+        }
+        assert!(slices > 1, "a 16-row budget over 100 rows takes slices");
+        assert_eq!(folded, tail);
+        assert_eq!(db.delta_tail("t").unwrap(), 0);
+        let after = checksum(&mut db);
+        assert!(
+            (after
+                - (before - (0..30).map(|i| i as f64).sum::<f64>()
+                    + (0..30).map(|i| 5000.0 + i as f64).sum::<f64>()))
+            .abs()
+                < 1e-6
+        );
     }
 }

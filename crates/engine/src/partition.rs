@@ -547,6 +547,19 @@ impl TableData {
             },
         }
     }
+
+    /// Advance the incremental delta merge on the table's column-store
+    /// region by at most `budget_rows` remapped code-vector entries
+    /// (resumable; see [`hsd_storage::ColumnTable::compact_step`]).
+    pub fn compact_deltas_step(&mut self, budget_rows: usize) -> hsd_storage::MergeProgress {
+        match self {
+            TableData::Single(t) => t.compact_delta_step(budget_rows),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.compact_delta_step(budget_rows),
+                ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta_step(budget_rows),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -333,7 +333,7 @@ impl BitPackedVec {
     /// word-level unpacking.
     ///
     /// Whole packed words go through a per-width monomorphized kernel
-    /// ([`unpack_words`]) whose shifts are compile-time constants — each
+    /// (`unpack_words`) whose shifts are compile-time constants — each
     /// word is loaded once and unpacked with straight-line shift/mask code
     /// the compiler vectorizes. The few codes before/after the word-aligned
     /// middle use the scalar field extraction. Unlike [`BitPackedVec::get`]
@@ -389,7 +389,7 @@ impl BitPackedVec {
     /// per word, LSB first; bits past `count` in the final word are zero).
     ///
     /// The predicate runs word-parallel over the packed words
-    /// ([`swar_match_words`]): codes are never decoded, each packed word is
+    /// (`swar_match_words`): codes are never decoded, each packed word is
     /// range-tested against the whole interval with three 64-bit ALU ops.
     ///
     /// # Panics

@@ -42,6 +42,12 @@ impl CodeVec {
         }
     }
 
+    /// An empty vector with the same encoding as `self` (the shadow vector
+    /// an incremental merge fills).
+    fn like(&self) -> Self {
+        CodeVec::new(matches!(self, CodeVec::Packed(_)))
+    }
+
     #[inline]
     fn get(&self, idx: usize) -> u32 {
         match self {
@@ -90,11 +96,70 @@ impl CodeVec {
     }
 }
 
+/// Progress of one bounded slice of an incremental delta merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeProgress {
+    /// Code-vector entries remapped into the shadow vector by this slice
+    /// (the unit the caller's remap-cost budget is expressed in).
+    pub rows_remapped: usize,
+    /// Dictionary-tail entries folded into sorted regions by merges that
+    /// *completed* during this slice.
+    pub entries_folded: usize,
+    /// Whether the merge work is finished — for [`ColumnData::merge_step`],
+    /// this column's shadow rebuild swapped in (or none was in flight); for
+    /// [`ColumnTable::compact_step`], no column has an in-flight rebuild or
+    /// a remaining dictionary tail.
+    pub done: bool,
+}
+
+impl PendingMerge {
+    /// New-domain code for an old-domain `code`, extending the remapping on
+    /// demand for values interned after the rebuild snapshot was taken
+    /// (those join the rebuilt dictionary's tail and are folded by the
+    /// *next* merge).
+    fn translate(&mut self, old_dict: &Dictionary, code: u32) -> u32 {
+        for c in self.remap.len()..=code as usize {
+            let new = self.new_dict.intern(old_dict.decode(c as u32));
+            self.remap.push(new);
+        }
+        self.remap[code as usize]
+    }
+}
+
+/// In-flight state of an incremental delta merge on one column.
+///
+/// The merge is a **shadow rebuild**: the rebuilt (fully sorted) dictionary
+/// and a shadow code vector are prepared on the side while the current
+/// dictionary and codes stay authoritative for every read. Each
+/// [`ColumnData::merge_step`] remaps a bounded run of codes into the shadow
+/// vector; when the copy catches up with the live vector, the shadow pair is
+/// swapped in. Writes that land *behind* the copy cursor are mirrored into
+/// the shadow vector at set time; values first interned *during* the merge
+/// extend the remapping on demand and stay in the rebuilt dictionary's tail
+/// (they are the next merge's problem, exactly as in a HANA-style
+/// delta-into-main merge).
+#[derive(Debug, Clone)]
+struct PendingMerge {
+    /// The rebuilt dictionary the column swaps to on completion.
+    new_dict: Dictionary,
+    /// `old_code -> new_code`; extended lazily for codes interned after the
+    /// rebuild snapshot was taken.
+    remap: Vec<u32>,
+    /// Shadow code vector, filled for rows `[0, cursor)`.
+    new_codes: CodeVec,
+    /// Rows copied so far.
+    cursor: usize,
+    /// Tail entries the snapshot is folding (reported on completion).
+    folding: usize,
+}
+
 /// One dictionary-encoded column.
 #[derive(Debug, Clone)]
 pub struct ColumnData {
     dict: Dictionary,
     codes: CodeVec,
+    /// In-flight incremental merge, if any.
+    pending: Option<PendingMerge>,
 }
 
 impl ColumnData {
@@ -103,6 +168,7 @@ impl ColumnData {
         ColumnData {
             dict: Dictionary::new(),
             codes: CodeVec::new(packed),
+            pending: None,
         }
     }
 
@@ -132,9 +198,19 @@ impl ColumnData {
     }
 
     /// Overwrite the value at `row` (interning new values into the tail).
+    ///
+    /// If an incremental merge is in flight and `row` sits behind its copy
+    /// cursor, the write is mirrored into the shadow code vector so the
+    /// eventual swap observes it.
     pub fn set(&mut self, row: usize, value: &Value) {
         let code = self.dict.intern(value);
         self.codes.set(row, code);
+        if let Some(pending) = &mut self.pending {
+            if row < pending.cursor {
+                let new_code = pending.translate(&self.dict, code);
+                pending.new_codes.set(row, new_code);
+            }
+        }
     }
 
     /// Number of rows.
@@ -173,12 +249,92 @@ impl ColumnData {
     }
 
     /// Fold the dictionary tail into the sorted region and remap codes.
+    ///
+    /// One-shot: the full O(rows) remap runs in this call. An incremental
+    /// merge in flight is first driven to completion (abandoning the copied
+    /// prefix would waste it); values interned *during* that merge land in
+    /// the rebuilt dictionary's tail, so the normal rebuild below then
+    /// folds them too — `compact` always leaves an empty tail. Use
+    /// [`ColumnData::begin_merge`] / [`ColumnData::merge_step`] to bound the
+    /// per-call remap cost instead.
     pub fn compact(&mut self) {
+        while self.pending.is_some() {
+            self.merge_step(usize::MAX);
+        }
         if let Some(remap) = self.dict.rebuild() {
             for i in 0..self.codes.len() {
                 let old = self.codes.get(i);
                 self.codes.set(i, remap[old as usize]);
             }
+        }
+    }
+
+    /// Whether an incremental merge is in flight on this column.
+    pub fn merge_in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Start an incremental merge: snapshot the rebuilt dictionary and
+    /// remapping, and allocate the shadow code vector. Returns `false` when
+    /// there is nothing to merge (empty tail) and no merge was started; a
+    /// merge already in flight counts as started.
+    pub fn begin_merge(&mut self) -> bool {
+        if self.pending.is_some() {
+            return true;
+        }
+        let Some((new_dict, remap)) = self.dict.rebuild_plan() else {
+            return false;
+        };
+        self.pending = Some(PendingMerge {
+            new_dict,
+            remap,
+            new_codes: self.codes.like(),
+            cursor: 0,
+            folding: self.dict.tail_len(),
+        });
+        true
+    }
+
+    /// Advance the in-flight incremental merge by at most `budget_rows`
+    /// remapped codes. Returns progress for this slice; when the copy
+    /// catches up with the live code vector, the rebuilt dictionary and
+    /// shadow codes are swapped in and `done` is reported through the
+    /// returned [`MergeProgress`] (`entries_folded` counts the tail entries
+    /// the completed merge absorbed).
+    ///
+    /// A no-op returning `done` when no merge is in flight.
+    pub fn merge_step(&mut self, budget_rows: usize) -> MergeProgress {
+        let Some(pending) = &mut self.pending else {
+            return MergeProgress {
+                done: true,
+                ..MergeProgress::default()
+            };
+        };
+        let end = self
+            .codes
+            .len()
+            .min(pending.cursor.saturating_add(budget_rows));
+        let copied = end - pending.cursor;
+        for i in pending.cursor..end {
+            let code = pending.translate(&self.dict, self.codes.get(i));
+            pending.new_codes.push(code);
+        }
+        pending.cursor = end;
+        if pending.cursor < self.codes.len() {
+            return MergeProgress {
+                rows_remapped: copied,
+                entries_folded: 0,
+                done: false,
+            };
+        }
+        // Copy complete: swap the shadow pair in.
+        let pending = self.pending.take().expect("checked above");
+        self.dict = pending.new_dict;
+        self.codes = pending.new_codes;
+        MergeProgress {
+            rows_remapped: copied,
+            entries_folded: pending.folding,
+            done: true,
         }
     }
 
@@ -721,6 +877,48 @@ impl ColumnTable {
         self.columns[col].compact();
     }
 
+    /// Advance the incremental (chunked) delta merge by at most
+    /// `budget_rows` remapped code-vector entries, spread across columns.
+    ///
+    /// Columns are merged one after another, each through the shadow-rebuild
+    /// protocol ([`ColumnData::begin_merge`] / [`ColumnData::merge_step`]):
+    /// a column with a tail gets a merge started, the budget is spent
+    /// remapping its codes, and the remainder rolls over to the next tailed
+    /// column. The merge is **resumable** — state lives on the columns, so
+    /// the next `compact_step` call continues exactly where this one
+    /// stopped, and reads/writes between calls see a fully consistent
+    /// table throughout. `done` is reported once no column has an in-flight
+    /// rebuild or a remaining tail; very large tables therefore never pay a
+    /// full-table O(rows × columns) remap inside one call.
+    pub fn compact_step(&mut self, budget_rows: usize) -> MergeProgress {
+        let mut remaining = budget_rows;
+        let mut total = MergeProgress::default();
+        for col in &mut self.columns {
+            if remaining == 0 {
+                break;
+            }
+            if !col.merge_in_progress() {
+                if col.tail_len() == 0 {
+                    continue;
+                }
+                if !col.begin_merge() {
+                    continue;
+                }
+            }
+            while remaining > 0 && col.merge_in_progress() {
+                let p = col.merge_step(remaining);
+                total.rows_remapped += p.rows_remapped;
+                total.entries_folded += p.entries_folded;
+                remaining = remaining.saturating_sub(p.rows_remapped.max(1));
+            }
+        }
+        total.done = !self
+            .columns
+            .iter()
+            .any(|c| c.merge_in_progress() || c.tail_len() > 0);
+        total
+    }
+
     /// Merge only the columns whose dictionary tail exceeds `min_tail`
     /// entries, leaving small tails in place; returns how many tail entries
     /// were folded in. This is the selective half of the hysteretic merge
@@ -962,6 +1160,101 @@ mod tests {
             assert_eq!(row[0], *t.value_at(i as u32, 2));
             assert_eq!(row[1], *t.value_at(i as u32, 0));
         }
+    }
+
+    #[test]
+    fn incremental_merge_matches_one_shot() {
+        let mut a = sample();
+        let mut b = sample();
+        for t in [&mut a, &mut b] {
+            t.update_rows(&[2, 3], &[(1, Value::Double(99.5))]).unwrap();
+            t.update_rows(&[7], &[(2, Value::text("returned"))])
+                .unwrap();
+        }
+        assert!(a.tail_total() > 0);
+        a.compact();
+        // Drive b through bounded slices: 3 rows of remap budget per call.
+        let mut steps = 0;
+        loop {
+            let p = b.compact_step(3);
+            steps += 1;
+            assert!(p.rows_remapped <= 3);
+            if p.done {
+                break;
+            }
+            assert!(steps < 100, "chunked merge must terminate");
+        }
+        assert!(steps > 1, "a 3-row budget must take several slices");
+        assert_eq!(b.tail_total(), 0);
+        for r in 0..12u32 {
+            assert_eq!(a.row(r), b.row(r), "row {r} diverged");
+        }
+        let range = ColRange::ge(1, Value::Double(50.0));
+        assert_eq!(
+            a.filter_rows(std::slice::from_ref(&range)),
+            b.filter_rows(std::slice::from_ref(&range))
+        );
+    }
+
+    #[test]
+    fn incremental_merge_absorbs_interleaved_writes() {
+        let mut t = sample();
+        t.update_rows(&[0, 1, 2], &[(1, Value::Double(500.5))])
+            .unwrap();
+        // Start the merge, then write both behind and ahead of the cursor
+        // while it is in flight.
+        let p = t.compact_step(4);
+        assert!(!p.done);
+        t.update_rows(&[1], &[(1, Value::Double(600.5))]).unwrap(); // behind cursor
+        t.update_rows(&[10], &[(1, Value::Double(700.5))]).unwrap(); // ahead of cursor
+        t.insert(&[Value::Int(12), Value::Double(800.5), Value::text("shipped")])
+            .unwrap();
+        while !t.compact_step(4).done {}
+        assert_eq!(t.value_at(1, 1), &Value::Double(600.5));
+        assert_eq!(t.value_at(10, 1), &Value::Double(700.5));
+        assert_eq!(t.value_at(12, 1), &Value::Double(800.5));
+        assert_eq!(t.row_count(), 13);
+        let hits = t.filter_rows(&[ColRange::ge(1, Value::Double(500.0))]);
+        assert_eq!(hits, vec![0, 1, 2, 10, 12]);
+    }
+
+    #[test]
+    fn compact_step_reports_done_on_clean_table() {
+        let mut t = sample();
+        let p = t.compact_step(1024);
+        assert!(p.done);
+        assert_eq!(p.rows_remapped, 0);
+        assert_eq!(p.entries_folded, 0);
+    }
+
+    #[test]
+    fn one_shot_compact_finishes_in_flight_merge() {
+        let mut t = sample();
+        t.update_rows(&[4, 5], &[(1, Value::Double(123.25))])
+            .unwrap();
+        let p = t.compact_step(2);
+        assert!(!p.done);
+        t.compact();
+        assert_eq!(t.tail_total(), 0);
+        assert_eq!(t.value_at(4, 1), &Value::Double(123.25));
+        assert!(!t.column(1).merge_in_progress());
+    }
+
+    #[test]
+    fn one_shot_compact_folds_values_interned_mid_merge() {
+        let mut t = sample();
+        t.update_rows(&[4, 5], &[(1, Value::Double(123.25))])
+            .unwrap();
+        // Start a chunked merge, then intern a fresh value while it is in
+        // flight: it lands in the rebuilt dictionary's tail.
+        assert!(!t.compact_step(2).done);
+        t.update_rows(&[7], &[(1, Value::Double(456.75))]).unwrap();
+        // A one-shot compact must fold that mid-merge value too.
+        t.compact();
+        assert_eq!(t.tail_total(), 0, "compact must always empty the tail");
+        assert_eq!(t.value_at(7, 1), &Value::Double(456.75));
+        let hits = t.filter_rows(&[ColRange::ge(1, Value::Double(400.0))]);
+        assert_eq!(hits, vec![7]);
     }
 
     #[test]

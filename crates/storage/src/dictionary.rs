@@ -142,6 +142,20 @@ impl Dictionary {
     /// must apply to its code vector, or `None` if the tail was empty (no
     /// remap needed).
     pub fn rebuild(&mut self) -> Option<Vec<u32>> {
+        let (rebuilt, remap) = self.rebuild_plan()?;
+        *self = rebuilt;
+        Some(remap)
+    }
+
+    /// Plan a rebuild without mutating `self`: the fully sorted dictionary
+    /// the tail would fold into, plus the `old_code -> new_code` remapping.
+    ///
+    /// This is the snapshot an *incremental* merge works from: the owning
+    /// column keeps serving reads from the current dictionary while a shadow
+    /// code vector is remapped in bounded chunks, and swaps in the rebuilt
+    /// dictionary only when the copy completes
+    /// ([`crate::column_store::ColumnTable::compact_step`]).
+    pub fn rebuild_plan(&self) -> Option<(Dictionary, Vec<u32>)> {
         if self.tail.is_empty() {
             return None;
         }
@@ -156,10 +170,14 @@ impl Dictionary {
             .iter()
             .map(|v| sorted.binary_search(v).expect("value present after sort") as u32)
             .collect();
-        self.sorted = sorted;
-        self.tail.clear();
-        self.tail_lookup.clear();
-        Some(remap)
+        Some((
+            Dictionary {
+                sorted,
+                tail: Vec::new(),
+                tail_lookup: HashMap::new(),
+            },
+            remap,
+        ))
     }
 
     /// Iterate over all values in code order.

@@ -68,7 +68,7 @@ pub mod selvec;
 pub mod table;
 
 pub use bitpack::{BitPackedVec, BLOCK};
-pub use column_store::{ColumnData, ColumnTable};
+pub use column_store::{ColumnData, ColumnTable, MergeProgress};
 pub use dictionary::Dictionary;
 pub use predicate::{ColRange, RowSel};
 pub use row_store::RowTable;

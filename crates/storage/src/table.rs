@@ -209,6 +209,20 @@ impl Table {
         }
     }
 
+    /// Advance the incremental delta merge by at most `budget_rows`
+    /// remapped code-vector entries (see
+    /// [`crate::column_store::ColumnTable::compact_step`]). Row-store tables
+    /// have no delta region and report `done` immediately.
+    pub fn compact_delta_step(&mut self, budget_rows: usize) -> crate::MergeProgress {
+        match self {
+            Table::Row(_) => crate::MergeProgress {
+                done: true,
+                ..Default::default()
+            },
+            Table::Column(t) => t.compact_step(budget_rows),
+        }
+    }
+
     /// Count distinct values of `col`.
     pub fn distinct_count(&self, col: ColumnIdx) -> usize {
         match self {

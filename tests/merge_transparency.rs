@@ -85,6 +85,11 @@ enum Policy {
     AlwaysMerge,
     NeverMerge,
     AdvisorScheduled,
+    /// Advisor-scheduled, but each merge is applied through the bounded
+    /// incremental path: a few code-vector rows of remap budget per
+    /// statement, with queries running between the slices — the worst case
+    /// for the shadow-rebuild consistency protocol.
+    ChunkedMerge,
 }
 
 fn run_policy(
@@ -102,26 +107,47 @@ fn run_policy(
             db.set_merge_config(MergeConfig::disabled());
             None
         }
-        Policy::AdvisorScheduled => {
+        Policy::AdvisorScheduled | Policy::ChunkedMerge => {
             db.set_merge_config(MergeConfig::disabled());
             Some(eager_advisor())
         }
     };
+    let chunked = matches!(policy, Policy::ChunkedMerge);
     let mut merges = 0;
+    let mut in_flight: Option<MaintenanceAction> = None;
     let outputs = queries
         .iter()
         .map(|q| {
             let out = db.execute(q).ok();
+            // Advance any in-flight chunked merge by one bounded slice
+            // before the advisor looks at the table again.
+            if let Some(action) = &in_flight {
+                if action.apply_chunked(&mut db, 7).unwrap().done {
+                    in_flight = None;
+                    merges += 1;
+                }
+            }
             if let Some(adv) = advisor.as_mut() {
                 adv.observe(&db, q).unwrap();
                 for action in adv.take_maintenance() {
-                    action.apply(&mut db).unwrap();
-                    merges += 1;
+                    if chunked {
+                        if in_flight.is_none() {
+                            in_flight = Some(action);
+                        }
+                    } else {
+                        action.apply(&mut db).unwrap();
+                        merges += 1;
+                    }
                 }
             }
             out
         })
         .collect();
+    // Drain any merge still in flight at end of stream.
+    if let Some(action) = &in_flight {
+        while !action.apply_chunked(&mut db, 7).unwrap().done {}
+        merges += 1;
+    }
     (outputs, merges)
 }
 
@@ -206,7 +232,11 @@ proptest! {
         }));
         for placement in placements() {
             let (reference, _) = run_policy(&placement, Policy::AlwaysMerge, &queries);
-            for policy in [Policy::NeverMerge, Policy::AdvisorScheduled] {
+            for policy in [
+                Policy::NeverMerge,
+                Policy::AdvisorScheduled,
+                Policy::ChunkedMerge,
+            ] {
                 let (outputs, _) = run_policy(&placement, policy, &queries);
                 prop_assert_eq!(
                     &outputs, &reference,
