@@ -334,6 +334,7 @@ fn main() {
                 ("measured_column_ms", Json::Num(column_ms)),
                 ("blind_choice_ms", Json::Num(blind_ms)),
                 ("aware_choice_ms", Json::Num(aware_ms)),
+                ("aware_speedup", Json::Num(blind_ms / aware_ms)),
                 ("pass", Json::Bool(placement_pass)),
             ]),
         ),
@@ -347,6 +348,7 @@ fn main() {
                 ("incremental_slices", Json::Int(slices as i64)),
                 ("incremental_max_pause_ms", Json::Num(max_pause_ms)),
                 ("incremental_total_ms", Json::Num(incr_total_ms)),
+                ("pause_reduction", Json::Num(full_pause_ms / max_pause_ms)),
                 ("pass", Json::Bool(merge_pass)),
             ]),
         ),

@@ -1,0 +1,136 @@
+//! One-table summary of every `BENCH_*.json` trajectory artifact in the
+//! working directory — the consolidated view CI's `bench-trajectory` job
+//! prints so a reviewer reads one table instead of four JSON blobs.
+//!
+//! For each artifact the summary reports the pass flag and its headline
+//! ratios: explicitly recorded ratio fields (`speedup`, `*_reduction`,
+//! `*_ratio`) found anywhere in the document, plus derived best/baseline
+//! throughput ratios for `results`-array benchmarks (`bench_scan`'s
+//! `rows_per_sec` series). Exits non-zero if any artifact records
+//! `pass: false`, so the caller decides whether that gates.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_summary`.
+
+use hsd_types::Json;
+
+/// Recursively collect `(path, value)` pairs of explicit ratio fields.
+fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, f64)>) {
+    match json {
+        Json::Obj(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                let ratio_key = k == "speedup"
+                    || k.ends_with("_speedup")
+                    || k.ends_with("_reduction")
+                    || k.ends_with("_ratio");
+                match v {
+                    Json::Num(n) if ratio_key => out.push((path, *n)),
+                    Json::Int(n) if ratio_key => out.push((path, *n as f64)),
+                    _ => collect_ratios(&path, v, out),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_ratios(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Derive best/baseline throughput ratios from `results`-style arrays
+/// (entries with `name` + `rows_per_sec`), grouped by the name's leading
+/// token: `unselective_scalar_get` vs `unselective_block_selvec` etc.
+fn derive_throughput_ratios(json: &Json, out: &mut Vec<(String, f64)>) {
+    let Some(results) = json.get_opt("results").and_then(|r| r.as_arr().ok()) else {
+        return;
+    };
+    let mut groups: std::collections::BTreeMap<String, (f64, f64)> = Default::default();
+    for entry in results {
+        let (Ok(name), Ok(rps)) = (
+            entry.get("name").and_then(Json::as_str),
+            entry.get("rows_per_sec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let group = name.split('_').next().unwrap_or(name).to_string();
+        let slot = groups.entry(group).or_insert((f64::INFINITY, 0.0));
+        slot.0 = slot.0.min(rps);
+        slot.1 = slot.1.max(rps);
+    }
+    for (group, (worst, best)) in groups {
+        if worst.is_finite() && worst > 0.0 && best > worst {
+            out.push((format!("{group} best/baseline"), best / worst));
+        }
+    }
+}
+
+fn main() {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .expect("read cwd")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("[bench_summary] no BENCH_*.json artifacts found");
+        std::process::exit(1);
+    }
+    let mut all_pass = true;
+    println!("| artifact | benchmark | pass | speedup ratios |");
+    println!("|---|---|---|---|");
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("| {file} | (unreadable: {e}) | ? | |");
+                all_pass = false;
+                continue;
+            }
+        };
+        let json = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                println!("| {file} | (unparsable: {e:?}) | ? | |");
+                all_pass = false;
+                continue;
+            }
+        };
+        let benchmark = json
+            .get_opt("benchmark")
+            .and_then(|b| b.as_str().ok())
+            .unwrap_or("?")
+            .to_string();
+        let pass = json.get_opt("pass").and_then(|p| p.as_bool().ok());
+        if pass == Some(false) {
+            all_pass = false;
+        }
+        let mut ratios = Vec::new();
+        collect_ratios("", &json, &mut ratios);
+        derive_throughput_ratios(&json, &mut ratios);
+        let ratio_cell = if ratios.is_empty() {
+            "—".to_string()
+        } else {
+            ratios
+                .iter()
+                .map(|(k, v)| format!("{k} {v:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let pass_cell = match pass {
+            Some(true) => "✅",
+            Some(false) => "❌",
+            None => "—",
+        };
+        println!("| {file} | {benchmark} | {pass_cell} | {ratio_cell} |");
+    }
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

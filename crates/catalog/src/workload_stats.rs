@@ -86,6 +86,18 @@ pub struct TableActivity {
     pub selects: u64,
     /// Number of aggregation queries touching the table.
     pub aggregations: u64,
+    /// Dictionary-tail entries actually observed to appear on the table's
+    /// column-store regions while recording (positive `delta_tail` deltas
+    /// sampled per statement). Where the static estimate charges one entry
+    /// per assigned column / inserted row (an upper bound — repeated values
+    /// intern nothing), this counter is ground truth from the live
+    /// dictionaries, and the advisor feeds the implied per-write rate back
+    /// into its maintenance drivers. 0 for row-store layouts (no delta).
+    pub observed_tail_growth: u64,
+    /// Write statements (inserts + updates) recorded while
+    /// `observed_tail_growth` was accumulated — the denominator of the
+    /// observed tail rate.
+    pub observed_write_statements: u64,
     /// Per-column counters.
     pub columns: Vec<ColumnActivity>,
     /// Envelopes of UPDATE predicates per column.
@@ -117,6 +129,18 @@ impl TableActivity {
         } else {
             self.inserts as f64 / total as f64
         }
+    }
+
+    /// Observed dictionary-tail entries per write statement, measured while
+    /// the table had a column-store region — `None` until any such write
+    /// was recorded. This is the live feedback that tightens the static
+    /// one-entry-per-assignment upper bound in the advisor's maintenance
+    /// drivers.
+    pub fn observed_tail_rate(&self) -> Option<f64> {
+        if self.observed_write_statements == 0 {
+            return None;
+        }
+        Some(self.observed_tail_growth as f64 / self.observed_write_statements as f64)
     }
 }
 
@@ -159,6 +183,8 @@ impl ExtendedStats {
             ours.whole_tuple_updates += theirs.whole_tuple_updates;
             ours.selects += theirs.selects;
             ours.aggregations += theirs.aggregations;
+            ours.observed_tail_growth += theirs.observed_tail_growth;
+            ours.observed_write_statements += theirs.observed_write_statements;
             if ours.columns.len() < arity {
                 ours.columns.resize(arity, ColumnActivity::default());
             }

@@ -123,6 +123,7 @@ impl StorageAdvisor {
             .map(|e| (e.schema.name.clone(), e.stats.clone()))
             .collect();
         let mut ctx = build_ctx(&schemas, &stats);
+        apply_observed_tail_rates(&mut ctx, recorded);
         for entry in db.catalog().entries() {
             if let Some(t) = ctx.tables.get_mut(&entry.schema.name) {
                 t.indexed = entry.indexed_columns.clone();
@@ -247,10 +248,23 @@ pub fn build_ctx(
                 column_types: schema.columns.iter().map(|c| c.ty).collect(),
                 pk_columns: schema.primary_key.clone(),
                 delta_tail: 0,
+                observed_tail_rate: None,
             },
         );
     }
     ctx
+}
+
+/// Feed the recorder's observed per-write tail rates into an estimation
+/// context, so [`crate::estimator::workload_maintenance_drivers`] tightens
+/// its static upper bound with live evidence. Online-mode helper (offline
+/// recommendations have no live dictionaries to observe).
+pub(crate) fn apply_observed_tail_rates(ctx: &mut EstimationCtx, recorded: &ExtendedStats) {
+    for (name, tctx) in &mut ctx.tables {
+        if let Some(rate) = recorded.table(name).and_then(|a| a.observed_tail_rate()) {
+            tctx.observed_tail_rate = Some(rate);
+        }
+    }
 }
 
 /// Total delta-upkeep charge of a layout: every table whose placement keeps

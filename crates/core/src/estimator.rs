@@ -34,6 +34,13 @@ pub struct TableCtx {
     /// a transient condition whose remedy is a scheduled merge, not a store
     /// migration (see `StorageAdvisor::recommend_online`).
     pub delta_tail: usize,
+    /// Observed dictionary-tail entries per write statement, from the
+    /// recorder's live sampling
+    /// (`hsd_catalog::TableActivity::observed_tail_rate`). `None` when no
+    /// live observation exists (offline mode, row-store residency); the
+    /// maintenance drivers then fall back to the static
+    /// one-entry-per-assignment upper bound.
+    pub observed_tail_rate: Option<f64>,
 }
 
 /// Estimation context: statistics for every table the workload touches.
@@ -324,16 +331,32 @@ pub struct MaintenanceDrivers {
 }
 
 /// Derive the per-table [`MaintenanceDrivers`] of a workload window.
+///
+/// Tail growth starts from the static upper bound (one entry per assigned
+/// column / inserted row — repeated values intern nothing, so actual growth
+/// can only be lower). When the estimation context carries an **observed**
+/// tail rate ([`TableCtx::observed_tail_rate`], fed back from the
+/// recorder's live dictionary sampling in the online mode), the estimate is
+/// tightened to `rate × write statements`, capped by the upper bound — so a
+/// skewed workload that keeps re-writing the same few values no longer gets
+/// charged as if every assignment interned a fresh entry.
 pub fn workload_maintenance_drivers(
     ctx: &EstimationCtx,
     workload: &Workload,
 ) -> BTreeMap<String, MaintenanceDrivers> {
     let mut out: BTreeMap<String, MaintenanceDrivers> = BTreeMap::new();
+    let mut write_stmts: BTreeMap<String, f64> = BTreeMap::new();
     for q in &workload.queries {
         let entry = out.entry(q.table().to_string()).or_default();
         match q {
-            Query::Update(u) => entry.tail_growth += u.sets.len().max(1) as f64,
-            Query::Insert(i) => entry.tail_growth += i.rows.len() as f64,
+            Query::Update(u) => {
+                entry.tail_growth += u.sets.len().max(1) as f64;
+                *write_stmts.entry(q.table().to_string()).or_default() += 1.0;
+            }
+            Query::Insert(i) => {
+                entry.tail_growth += i.rows.len() as f64;
+                *write_stmts.entry(q.table().to_string()).or_default() += 1.0;
+            }
             Query::Aggregate(_) => entry.scans += 1.0,
             Query::Select(s) => {
                 let point = ctx
@@ -344,6 +367,13 @@ pub fn workload_maintenance_drivers(
                 }
             }
         }
+    }
+    for (table, drivers) in &mut out {
+        let Some(rate) = ctx.table(table).and_then(|t| t.observed_tail_rate) else {
+            continue;
+        };
+        let writes = write_stmts.get(table).copied().unwrap_or(0.0);
+        drivers.tail_growth = drivers.tail_growth.min(rate.max(0.0) * writes);
     }
     out
 }
@@ -560,6 +590,7 @@ mod tests {
             column_types: vec![ColumnType::BigInt, ColumnType::Double],
             pk_columns: vec![0],
             delta_tail: 0,
+            observed_tail_rate: None,
         }
     }
 
@@ -735,6 +766,50 @@ mod tests {
         let single = estimate_query(&m, &c, &assign(StoreKind::Column), &w.queries[0]);
         let total = estimate_workload(&m, &c, &assign(StoreKind::Column), &w);
         assert!((total - 2.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_tail_rate_tightens_the_static_upper_bound() {
+        use hsd_query::UpdateQuery;
+        // Skewed-column workload: 100 update statements, each assigning 3
+        // columns — the static upper bound charges 300 tail entries, but
+        // the (observed) dictionaries only ever intern a handful of
+        // distinct values.
+        let queries: Vec<Query> = (0..100)
+            .map(|i| {
+                Query::Update(UpdateQuery {
+                    table: "t".into(),
+                    sets: vec![
+                        (1, Value::Double(1.0)),
+                        (1, Value::Double(2.0)),
+                        (1, Value::Double(3.0)),
+                    ],
+                    filter: vec![ColRange::eq(0, Value::BigInt(i))],
+                })
+            })
+            .chain(std::iter::once(Query::Aggregate(AggregateQuery::simple(
+                "t",
+                AggFunc::Sum,
+                1,
+            ))))
+            .collect();
+        let w = Workload::from_queries(queries);
+        // Without feedback: the upper bound.
+        let blind = workload_maintenance_drivers(&ctx(), &w);
+        assert_eq!(blind["t"].tail_growth, 300.0);
+        assert_eq!(blind["t"].scans, 1.0);
+        // With an observed rate of 0.05 entries per write statement the
+        // estimate collapses to 100 × 0.05 = 5 — the two diverge by 60×.
+        let mut observed = ctx();
+        observed.tables.get_mut("t").unwrap().observed_tail_rate = Some(0.05);
+        let fed = workload_maintenance_drivers(&observed, &w);
+        assert_eq!(fed["t"].tail_growth, 5.0);
+        assert_eq!(fed["t"].scans, 1.0);
+        // The observed rate can only tighten, never exceed, the bound.
+        let mut inflated = ctx();
+        inflated.tables.get_mut("t").unwrap().observed_tail_rate = Some(50.0);
+        let capped = workload_maintenance_drivers(&inflated, &w);
+        assert_eq!(capped["t"].tail_growth, 300.0);
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub enum MaintenanceAction {
         /// Which physical region holds the delta.
         partition: MergePartition,
     },
+    /// Withdraw a previously emitted [`MaintenanceAction::Merge`] whose
+    /// justification evaporated before the work started (the table's scan
+    /// pressure collapsed while the job sat in a worker's queue). A worker
+    /// holding the job should drop it and cancel any in-flight shadow
+    /// rebuild ([`hsd_engine::MaintenanceWorker::retract`]); applying the
+    /// action directly does the cancellation half.
+    Retract {
+        /// Table whose scheduled merge is withdrawn.
+        table: String,
+    },
 }
 
 impl MaintenanceAction {
@@ -46,6 +56,7 @@ impl MaintenanceAction {
     pub fn table(&self) -> &str {
         match self {
             MaintenanceAction::Merge { table, .. } => table,
+            MaintenanceAction::Retract { table } => table,
         }
     }
 
@@ -61,6 +72,10 @@ impl MaintenanceAction {
     pub fn apply(&self, db: &mut HybridDatabase) -> Result<usize> {
         match self {
             MaintenanceAction::Merge { table, .. } => mover::merge_delta(db, table),
+            MaintenanceAction::Retract { table } => {
+                mover::cancel_merge(db, table)?;
+                Ok(0)
+            }
         }
     }
 
@@ -79,6 +94,13 @@ impl MaintenanceAction {
         match self {
             MaintenanceAction::Merge { table, .. } => {
                 mover::merge_delta_step(db, table, budget_rows)
+            }
+            MaintenanceAction::Retract { table } => {
+                mover::cancel_merge(db, table)?;
+                Ok(hsd_storage::MergeProgress {
+                    done: true,
+                    ..Default::default()
+                })
             }
         }
     }

@@ -61,6 +61,15 @@ pub struct OnlineConfig {
     /// `~1/decay` intervals instead of whipsawing the accrual. `1.0`
     /// reproduces the old last-interval-only behavior.
     pub scan_rate_decay: f64,
+    /// Retraction trigger for scheduled-but-unstarted merges: once a
+    /// [`MaintenanceAction::Merge`] has been emitted, the advisor watches
+    /// the table's decayed scan rate, and if it collapses below this
+    /// fraction of the rate at scheduling time *before any merge work
+    /// started* (no slice in flight, merge epoch unchanged), it emits a
+    /// [`MaintenanceAction::Retract`] — the scans that justified paying
+    /// the merge cost are gone, so a queued job should be dropped rather
+    /// than interrupt a now-write-only stream. `0.0` disables retraction.
+    pub retract_rate_fraction: f64,
 }
 
 impl Default for OnlineConfig {
@@ -75,8 +84,21 @@ impl Default for OnlineConfig {
             merge_safety_factor: 1.0,
             merge_min_tail: 128,
             scan_rate_decay: 0.5,
+            retract_rate_fraction: 0.1,
         }
     }
+}
+
+/// Book-keeping for an emitted-but-not-yet-completed merge recommendation:
+/// what the world looked like when the advisor handed the job out.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledMerge {
+    /// Decayed scan rate at scheduling time (the retraction reference).
+    rate_at_schedule: f64,
+    /// The table's merge epoch at scheduling time; a changed epoch means a
+    /// merge completed (or the table was rebuilt) since, so the
+    /// recommendation is settled.
+    epoch_at_schedule: u64,
 }
 
 /// An adaptation the online advisor wants to apply.
@@ -145,6 +167,12 @@ pub struct OnlineAdvisor {
     merge_penalty_accrued: BTreeMap<String, f64>,
     /// Merge recommendations emitted but not yet drained by the caller.
     pending_maintenance: Vec<MaintenanceAction>,
+    /// Merge recommendations handed out (drained or not) whose work has not
+    /// completed yet. While a table is listed here the advisor freezes its
+    /// accrual and never double-schedules; the entry clears when the
+    /// table's merge epoch moves (work completed) or when the advisor
+    /// retracts the recommendation.
+    scheduled_merges: BTreeMap<String, ScheduledMerge>,
 }
 
 impl OnlineAdvisor {
@@ -161,6 +189,7 @@ impl OnlineAdvisor {
             scan_rate: BTreeMap::new(),
             merge_penalty_accrued: BTreeMap::new(),
             pending_maintenance: Vec::new(),
+            scheduled_merges: BTreeMap::new(),
         }
     }
 
@@ -199,14 +228,22 @@ impl OnlineAdvisor {
     /// queueing a [`MaintenanceAction::Merge`] once the modeled scan
     /// penalty accrued since the table's last merge exceeds the modeled
     /// merge cost (rent-or-buy; see [`evaluate_merge`]).
+    ///
+    /// An emitted merge stays *scheduled* until its work completes — the
+    /// table's merge epoch moves when a one-shot merge or the final slice
+    /// of a background incremental merge lands. While scheduled (or while
+    /// any merge is observably in flight), the accrual is frozen so the
+    /// advisor never double-schedules a table whose queued job simply has
+    /// not reached the front of the worker's queue yet; and if the scan
+    /// pressure that justified the merge collapses before any work started,
+    /// the recommendation is withdrawn with [`MaintenanceAction::Retract`].
     fn schedule_maintenance(&mut self, db: &HybridDatabase) {
         for entry in db.catalog().entries() {
             let name = entry.schema.name.as_str();
             if self.pending_maintenance.iter().any(|a| a.table() == name) {
-                // Already queued, waiting for the caller to apply. Leave
-                // the scan snapshot untouched so scans arriving meanwhile
-                // still count toward the accrual if the action is drained
-                // without being applied.
+                // Still in the undrained queue; nothing to re-decide. The
+                // scan snapshot keeps advancing through the scheduled-state
+                // handling below once the caller drains the action.
                 continue;
             }
             // Scan statements observed since the last check: the interval's
@@ -231,6 +268,47 @@ impl OnlineAdvisor {
                 None => interval_scans,
             };
             self.scan_rate.insert(name.to_string(), rate);
+            let epoch = db.merge_epoch(name).unwrap_or(0);
+            if let Some(scheduled) = self.scheduled_merges.get(name) {
+                // Order matters: the in-flight check comes first because
+                // the table-level epoch is column-granular — on a
+                // multi-column table it moves at every per-column handoff,
+                // i.e. possibly several times *during* one scheduled job.
+                if db.merge_in_progress(name).unwrap_or(false) {
+                    // The worker is slicing away; progress is being made.
+                    continue;
+                } else if epoch != scheduled.epoch_at_schedule {
+                    // No slice in flight and at least one handoff landed
+                    // since scheduling: the recommendation is settled (or
+                    // the table was rebuilt by a data move). Start a fresh
+                    // rent-or-buy cycle. (A job paused exactly on a column
+                    // boundary can re-arm early here; the resulting
+                    // duplicate Merge is deduplicated by the worker's
+                    // queue, or just merges the residual tails.)
+                    self.scheduled_merges.remove(name);
+                    self.merge_penalty_accrued.remove(name);
+                } else if self.cfg.retract_rate_fraction > 0.0
+                    && rate < scheduled.rate_at_schedule * self.cfg.retract_rate_fraction
+                {
+                    // No work started and the scans that justified the
+                    // merge are gone: withdraw the recommendation. The
+                    // accrual restarts from zero, so a returning scan phase
+                    // must pay fresh rent before the merge is re-scheduled.
+                    self.scheduled_merges.remove(name);
+                    self.pending_maintenance.push(MaintenanceAction::Retract {
+                        table: name.to_string(),
+                    });
+                    continue;
+                } else {
+                    // Queued, waiting for the worker; don't double-count.
+                    continue;
+                }
+            } else if db.merge_in_progress(name).unwrap_or(false) {
+                // Someone else (the caller, driving slices directly) is
+                // already merging; accruing rent against it would schedule
+                // a redundant merge the moment it completes.
+                continue;
+            }
             let Ok(tail) = db.delta_tail(name) else {
                 continue;
             };
@@ -253,6 +331,13 @@ impl OnlineAdvisor {
                     hsd_catalog::TablePlacement::Single(_) => MergePartition::Whole,
                     hsd_catalog::TablePlacement::Partitioned(_) => MergePartition::Cold,
                 };
+                self.scheduled_merges.insert(
+                    name.to_string(),
+                    ScheduledMerge {
+                        rate_at_schedule: rate,
+                        epoch_at_schedule: epoch,
+                    },
+                );
                 self.pending_maintenance.push(MaintenanceAction::Merge {
                     table: name.to_string(),
                     partition,
@@ -262,8 +347,17 @@ impl OnlineAdvisor {
     }
 
     /// Drain the maintenance recommendations queued since the last call.
-    /// Apply them with [`MaintenanceAction::apply`] (or ignore them — the
-    /// engine's fallback policy, if enabled, still bounds the tails).
+    ///
+    /// A drained [`MaintenanceAction::Merge`] is **owned by the caller**:
+    /// apply it ([`MaintenanceAction::apply`] /
+    /// [`MaintenanceAction::apply_chunked`]) or hand it to a background
+    /// worker (`hsd_engine::MaintenanceWorker::enqueue`). The advisor
+    /// considers the table scheduled until the merge's work completes (the
+    /// table's merge epoch moves) or the recommendation is retracted, and
+    /// will not emit another `Merge` for it in the meantime — so silently
+    /// dropping an action parks the table until some other merge path
+    /// (e.g. the engine's fallback policy, if enabled, or a data move)
+    /// bumps its epoch and re-arms the cycle.
     pub fn take_maintenance(&mut self) -> Vec<MaintenanceAction> {
         std::mem::take(&mut self.pending_maintenance)
     }
@@ -293,7 +387,10 @@ impl OnlineAdvisor {
             .iter()
             .map(|e| (e.schema.name.clone(), e.stats.clone()))
             .collect();
-        let ctx = crate::advisor::build_ctx(&schemas, &stats);
+        let mut ctx = crate::advisor::build_ctx(&schemas, &stats);
+        // Same live tail-rate feedback the candidate layouts were priced
+        // with, so the current layout's upkeep compares like with like.
+        crate::advisor::apply_observed_tail_rates(&mut ctx, self.recorder.stats());
         let current_layout = db.current_layout();
         // Charge the current layout the same delta upkeep the candidate
         // layouts were charged, so improvements compare like with like.
@@ -345,6 +442,7 @@ impl OnlineAdvisor {
         self.scan_rate.clear();
         self.merge_penalty_accrued.clear();
         self.pending_maintenance.clear();
+        self.scheduled_merges.clear();
         Ok(moved)
     }
 
@@ -533,6 +631,124 @@ mod tests {
             !merges_scheduled(1.0),
             "last-interval-only predictor stalls once the burst ends"
         );
+    }
+
+    /// A handed-out merge freezes the table's accrual: no second Merge is
+    /// emitted while the job sits unapplied (a worker queue) or is mid-
+    /// flight, and the advisor re-arms once the epoch handoff lands.
+    #[test]
+    fn scheduled_merge_is_not_double_scheduled_until_the_handoff() {
+        let (mut db, mut online, s) = maintenance_setup();
+        let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
+        let mut first = None;
+        for i in 0..600 {
+            let q = if i % 2 == 0 {
+                fresh_update(&s, i)
+            } else {
+                scan.clone()
+            };
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            let actions = online.take_maintenance();
+            if let Some(a) = actions.into_iter().next() {
+                first = Some(a);
+                break;
+            }
+        }
+        let action = first.expect("scan-heavy stream must schedule a merge");
+        // The job is "queued on a worker": keep streaming without applying.
+        for i in 600..900 {
+            let q = if i % 2 == 0 {
+                fresh_update(&s, i)
+            } else {
+                scan.clone()
+            };
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            assert!(
+                online.take_maintenance().is_empty(),
+                "no double-schedule while the job is outstanding"
+            );
+        }
+        // Drive the merge through bounded slices; mid-flight checks must
+        // still stay quiet.
+        while !action.apply_chunked(&mut db, 64).unwrap().done {
+            db.execute(&scan).unwrap();
+            online.observe(&db, &scan).unwrap();
+            assert!(
+                online.take_maintenance().is_empty(),
+                "no double-schedule while slices are in flight"
+            );
+        }
+        assert_eq!(db.delta_tail("w").unwrap(), 0);
+        // The handoff landed: the advisor re-arms and a fresh scan-heavy
+        // stream over a regrown tail schedules again.
+        let mut rescheduled = false;
+        for i in 900..1500 {
+            let q = if i % 2 == 0 {
+                fresh_update(&s, i)
+            } else {
+                scan.clone()
+            };
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            if !online.take_maintenance().is_empty() {
+                rescheduled = true;
+                break;
+            }
+        }
+        assert!(rescheduled, "a completed merge must re-arm the scheduler");
+    }
+
+    /// Scan pressure collapsing after a merge was scheduled — but before
+    /// any slice ran — withdraws the recommendation with a Retract action.
+    #[test]
+    fn collapsed_scan_pressure_retracts_an_unstarted_merge() {
+        let (mut db, mut online, s) = maintenance_setup();
+        let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
+        let mut scheduled = false;
+        for i in 0..600 {
+            let q = if i % 2 == 0 {
+                fresh_update(&s, i)
+            } else {
+                scan.clone()
+            };
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            if !online.take_maintenance().is_empty() {
+                scheduled = true;
+                break;
+            }
+        }
+        assert!(scheduled, "the burst must schedule a merge first");
+        // The workload turns write-only: the decayed rate collapses and the
+        // queued (never-started) job is withdrawn.
+        let mut retract = None;
+        for i in 600..1000 {
+            let q = fresh_update(&s, i);
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            let actions = online.take_maintenance();
+            if !actions.is_empty() {
+                retract = Some(actions);
+                break;
+            }
+        }
+        assert_eq!(
+            retract.expect("collapsed rate must retract"),
+            vec![MaintenanceAction::Retract { table: "w".into() }],
+        );
+        assert!(
+            db.delta_tail("w").unwrap() > 0,
+            "the tail is still there — the merge was withdrawn, not run"
+        );
+        // Still write-only: the retracted table is not re-scheduled.
+        for i in 1000..1200 {
+            let q = fresh_update(&s, i);
+            db.execute(&q).unwrap();
+            online.observe(&db, &q).unwrap();
+            assert!(online.take_maintenance().is_empty());
+        }
     }
 
     #[test]

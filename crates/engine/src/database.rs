@@ -161,6 +161,25 @@ impl HybridDatabase {
         Ok(self.table_data(table)?.delta_tail())
     }
 
+    /// Whether an incremental delta merge is in flight on a table (always
+    /// `false` for row-store-only layouts).
+    pub fn merge_in_progress(&self, table: &str) -> Result<bool> {
+        Ok(self.table_data(table)?.merge_in_progress())
+    }
+
+    /// A table's merge epoch: increases at every completed dictionary
+    /// handoff (incremental shadow swap or one-shot rebuild), so observers
+    /// — the online advisor, the maintenance worker — can detect that
+    /// merge work completed between two looks without watching every
+    /// slice. The epoch is **column-granular** (a multi-column merge bumps
+    /// it once per column handoff), so "the whole job finished" is the
+    /// conjunction of a moved epoch and
+    /// [`HybridDatabase::merge_in_progress`] being `false`. 0 for
+    /// row-store-only layouts.
+    pub fn merge_epoch(&self, table: &str) -> Result<u64> {
+        Ok(self.table_data(table)?.merge_epoch())
+    }
+
     /// Execute a query against the current layout.
     pub fn execute(&mut self, query: &Query) -> Result<executor::QueryOutput> {
         executor::execute(self, query)

@@ -13,9 +13,11 @@
 //! "query rewriting must be realized automatically and transparently".
 //!
 //! The [`recorder`] accumulates the extended workload statistics of the
-//! online mode, [`mover`] physically applies a recommended layout, and
+//! online mode, [`mover`] physically applies a recommended layout,
 //! [`runner`] measures workload runtimes (the quantity every figure of the
-//! paper reports).
+//! paper reports), and [`worker`] drains advisor-scheduled delta merges in
+//! bounded slices between query admissions (cooperatively, or on a
+//! `std::thread` behind a config flag).
 
 #![warn(missing_docs)]
 
@@ -26,6 +28,7 @@ pub mod mover;
 pub mod partition;
 pub mod recorder;
 pub mod runner;
+pub mod worker;
 
 pub use database::HybridDatabase;
 pub use executor::{GroupRow, QueryOutput};
@@ -33,3 +36,7 @@ pub use maintenance::{MergeConfig, MergeMode};
 pub use partition::{TableData, VerticalPair};
 pub use recorder::StatisticsRecorder;
 pub use runner::{RunReport, WorkloadRunner};
+pub use worker::{
+    BackgroundWorker, MaintenanceWorker, MergePacer, PacerConfig, SharedDatabase, SliceReport,
+    WorkerConfig, WorkerStats,
+};

@@ -121,6 +121,18 @@ pub fn merge_delta_step(
     Ok(db.table_data_mut(table)?.compact_deltas_step(budget_rows))
 }
 
+/// Cancel an in-flight incremental delta merge on `table`, abandoning the
+/// shadow rebuild (the live dictionary and codes stayed authoritative
+/// throughout, so no data is lost — only the remap work done so far).
+///
+/// This is the engine half of a retracted maintenance decision: when the
+/// advisor withdraws a scheduled merge whose justification evaporated (see
+/// `hsd_core`'s `MaintenanceAction::Retract`), the worker lands here.
+/// Returns how many columns had a merge to cancel.
+pub fn cancel_merge(db: &mut HybridDatabase, table: &str) -> Result<usize> {
+    Ok(db.table_data_mut(table)?.cancel_merge())
+}
+
 /// Move rows that have aged out of the hot partition into the cold
 /// partition ("in certain intervals, data is moved from the row-store
 /// partition to the column-store partition"). Rows still satisfying the

@@ -560,6 +560,42 @@ impl TableData {
             },
         }
     }
+
+    /// Whether an incremental delta merge is in flight on the table's
+    /// column-store region.
+    pub fn merge_in_progress(&self) -> bool {
+        match self {
+            TableData::Single(t) => t.merge_in_progress(),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.merge_in_progress(),
+                ColdPart::Vertical(p) => p.col_fragment().merge_in_progress(),
+            },
+        }
+    }
+
+    /// The table's merge epoch (0 for row-store layouts): increases at
+    /// every completed dictionary handoff of the column-store region.
+    pub fn merge_epoch(&self) -> u64 {
+        match self {
+            TableData::Single(t) => t.merge_epoch(),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.merge_epoch(),
+                ColdPart::Vertical(p) => p.col_fragment().merge_epoch(),
+            },
+        }
+    }
+
+    /// Abandon any in-flight incremental delta merge on the column-store
+    /// region; returns how many columns had one.
+    pub fn cancel_merge(&mut self) -> usize {
+        match self {
+            TableData::Single(t) => t.cancel_delta_merge(),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.cancel_delta_merge(),
+                ColdPart::Vertical(p) => p.col_fragment_mut().cancel_delta_merge(),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Statistics recorder: accumulates the online mode's extended workload
 //! statistics as queries execute.
 
-use hsd_catalog::ExtendedStats;
+use std::collections::BTreeMap;
+
+use hsd_catalog::{ExtendedStats, TablePlacement};
 use hsd_query::{Query, SelectQuery, UpdateQuery};
+use hsd_storage::StoreKind;
 use hsd_types::TableSchema;
 
 use crate::database::HybridDatabase;
@@ -12,6 +15,11 @@ use crate::database::HybridDatabase;
 #[derive(Debug, Default)]
 pub struct StatisticsRecorder {
     stats: ExtendedStats,
+    /// Last sampled `(merge_epoch, delta_tail)` per table — the cursor the
+    /// observed-tail-growth counter diffs against. A moved epoch means a
+    /// merge folded the old tail, so growth restarts from zero instead of
+    /// producing a bogus negative delta.
+    tail_cursor: BTreeMap<String, (u64, usize)>,
 }
 
 impl StatisticsRecorder {
@@ -33,11 +41,14 @@ impl StatisticsRecorder {
     /// Reset all counters (a new observation interval).
     pub fn reset(&mut self) {
         self.stats = ExtendedStats::new();
+        self.tail_cursor.clear();
     }
 
-    /// Record one query. The database is only consulted for schema arity.
+    /// Record one query. The database is consulted for schema arity and for
+    /// sampling the live dictionary-tail size (observed tail growth).
     pub fn record(&mut self, db: &HybridDatabase, query: &Query) {
         self.stats.total_statements += 1;
+        self.observe_tail(db, query);
         match query {
             Query::Insert(q) => {
                 let arity = arity_of(db, &q.table);
@@ -77,6 +88,61 @@ impl StatisticsRecorder {
                     }
                 }
             }
+        }
+    }
+
+    /// Sample the query's table for live tail growth: positive deltas of
+    /// `delta_tail` since the last sample accumulate into
+    /// `observed_tail_growth`, and write statements against a *fully
+    /// columnar* table count into `observed_write_statements` — the two
+    /// sides of the observed tail rate that tightens the advisor's static
+    /// one-entry-per-assignment upper bound.
+    ///
+    /// Sampling is cursor-based (per-statement diffs), seeded with the
+    /// current tail so pre-existing delta (from before this recorder — or
+    /// this observation interval — started) is never mis-counted as
+    /// observed growth. Growth caused by a write is attributed when the
+    /// *next* statement on the table is recorded — exact over any window
+    /// longer than one statement. A selective per-column merge both bumps
+    /// the epoch and leaves other columns' tails in place; the reset then
+    /// re-counts the survivors, a slight overcount in the conservative
+    /// (upper-bound) direction.
+    ///
+    /// Only `Single(Column)` placements accumulate write statements: on a
+    /// partitioned layout most writes land in the hot row partition and
+    /// grow no tail, so counting them would report a near-zero rate that
+    /// the advisor would then wrongly apply when pricing a full
+    /// column-store candidate. Partitioned tables simply fall back to the
+    /// static upper bound (`observed_tail_rate` stays `None`).
+    fn observe_tail(&mut self, db: &HybridDatabase, query: &Query) {
+        let table = query.table();
+        let Ok(tail) = db.delta_tail(table) else {
+            return;
+        };
+        let epoch = db.merge_epoch(table).unwrap_or(0);
+        let grown = match self.tail_cursor.insert(table.to_string(), (epoch, tail)) {
+            // First sample: establish the baseline; whatever tail already
+            // exists predates observation and must not count as growth.
+            None => 0,
+            Some((prev_epoch, prev_tail)) => {
+                let base = if prev_epoch == epoch { prev_tail } else { 0 };
+                tail.saturating_sub(base) as u64
+            }
+        };
+        let columnar = db
+            .catalog()
+            .entry_by_name(table)
+            .map(|e| matches!(e.placement, TablePlacement::Single(StoreKind::Column)))
+            .unwrap_or(false);
+        let is_write = matches!(query, Query::Insert(_) | Query::Update(_));
+        if grown == 0 && !(columnar && is_write) {
+            return;
+        }
+        let arity = arity_of(db, table);
+        let t = self.stats.table_mut(table, arity);
+        t.observed_tail_growth += grown;
+        if columnar && is_write {
+            t.observed_write_statements += 1;
         }
     }
 
@@ -295,6 +361,115 @@ mod tests {
         let d = rec.stats().table("dim").unwrap();
         assert_eq!(d.join_partners["t"], 1);
         assert_eq!(d.columns[1].group_bys, 1);
+    }
+
+    #[test]
+    fn observed_tail_growth_tracks_live_dictionaries_not_the_upper_bound() {
+        let row_db = db();
+        let mut db = HybridDatabase::new();
+        db.create_single(
+            TableSchema::new(
+                "c",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("kf", ColumnType::Double),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+            StoreKind::Column,
+        )
+        .unwrap();
+        db.bulk_load(
+            "c",
+            (0..50).map(|i| vec![Value::BigInt(i), Value::Double(0.0)]),
+        )
+        .unwrap();
+        db.set_merge_config(crate::maintenance::MergeConfig::disabled());
+        // Pre-existing tail from before recording starts: the first sample
+        // must treat it as baseline, not observed growth.
+        db.execute(&Query::Update(UpdateQuery {
+            table: "c".into(),
+            sets: vec![(1, Value::Double(555.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(40))],
+        }))
+        .unwrap();
+        let mut rec = StatisticsRecorder::new();
+        // Skewed column workload: 20 updates alternating between only TWO
+        // fresh values — the dictionary interns two entries, while the
+        // static upper bound would charge one tail entry per assignment.
+        for i in 0..20 {
+            let q = Query::Update(UpdateQuery {
+                table: "c".into(),
+                sets: vec![(1, Value::Double(777.0 + (i % 2) as f64))],
+                filter: vec![ColRange::eq(0, Value::BigInt(i))],
+            });
+            db.execute(&q).unwrap();
+            rec.record(&db, &q);
+        }
+        let t = rec.stats().table("c").unwrap();
+        // The pre-existing tail entry and the first statement's intern are
+        // baseline (seeded by the first sample); only the second distinct
+        // value registers as observed growth — two orders of magnitude
+        // below the 20-assignment upper bound.
+        assert_eq!(t.observed_tail_growth, 1);
+        assert_eq!(t.observed_write_statements, 20);
+        assert!(t.observed_tail_rate().unwrap() < 0.1);
+        // A merge folds the tail (epoch handoff); the cursor resets instead
+        // of producing a negative delta, and fresh growth counts again.
+        crate::mover::merge_delta(&mut db, "c").unwrap();
+        for i in 0..3 {
+            let q = Query::Update(UpdateQuery {
+                table: "c".into(),
+                sets: vec![(1, Value::Double(1000.0 + i as f64))],
+                filter: vec![ColRange::eq(0, Value::BigInt(i))],
+            });
+            db.execute(&q).unwrap();
+            rec.record(&db, &q);
+        }
+        let t = rec.stats().table("c").unwrap();
+        assert_eq!(t.observed_tail_growth, 4, "1 before the merge + 3 after");
+        assert_eq!(t.observed_write_statements, 23);
+        // Row-store tables have no delta: nothing is observed.
+        let mut rec2 = StatisticsRecorder::new();
+        let q = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(1.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(1))],
+        });
+        rec2.record(&row_db, &q);
+        let t = rec2.stats().table("t").unwrap();
+        assert_eq!(t.observed_tail_growth, 0);
+        assert_eq!(t.observed_write_statements, 0);
+        assert!(t.observed_tail_rate().is_none());
+        // Partitioned placements don't accumulate write statements either:
+        // most writes land in the hot row partition and grow no tail, so a
+        // measured rate there would wrongly price a full-column candidate.
+        crate::mover::move_table(
+            &mut db,
+            "c",
+            &hsd_catalog::TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
+                horizontal: Some(hsd_catalog::HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(40),
+                }),
+                vertical: None,
+            }),
+        )
+        .unwrap();
+        let mut rec3 = StatisticsRecorder::new();
+        let q = Query::Insert(hsd_query::InsertQuery {
+            table: "c".into(),
+            rows: vec![vec![Value::BigInt(100), Value::Double(1.0)]],
+        });
+        db.execute(&q).unwrap();
+        rec3.record(&db, &q);
+        let t = rec3.stats().table("c").unwrap();
+        assert_eq!(
+            t.observed_write_statements, 0,
+            "hot-partition writes must not dilute the observed rate"
+        );
+        assert!(t.observed_tail_rate().is_none());
     }
 
     #[test]

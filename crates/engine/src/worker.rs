@@ -1,0 +1,731 @@
+//! Background incremental-merge worker: drains advisor-scheduled delta
+//! merges one bounded slice at a time *between* query admissions, so a busy
+//! serving loop keeps its tails shrinking without ever taking the full-table
+//! stop-the-world remap of [`crate::mover::merge_delta`].
+//!
+//! The worker owns a FIFO of merge jobs (one per table, deduplicated). Each
+//! [`MaintenanceWorker::tick`] advances the front job by one slice through
+//! the resumable shadow-rebuild protocol
+//! ([`crate::mover::merge_delta_step`]); queries executed between ticks see
+//! a fully consistent table, writes are mirrored into the shadow behind the
+//! copy cursor, and the dictionary handoff at swap bumps the table's merge
+//! epoch ([`crate::database::HybridDatabase::merge_epoch`]) so observers can
+//! detect completion without watching every slice.
+//!
+//! The per-slice row budget is set by a [`MergePacer`] that adapts to
+//! observed query latency: feed every served query's latency to
+//! [`MaintenanceWorker::observe_query_latency`], and the pacer shrinks the
+//! budget when the recent p99 degrades against its long-run baseline
+//! (merge slices are stealing too much of the serving loop) and grows it
+//! when the stream is healthy or idle (spare capacity — finish the merge
+//! sooner). This is the classic maintenance governor: total merge work is
+//! fixed, the pacer only chooses how finely it is diced.
+//!
+//! Two execution modes share the same worker:
+//!
+//! * **Cooperative** (default, the right mode on a single core): the
+//!   serving loop calls [`MaintenanceWorker::tick`] between statements.
+//! * **Threaded** ([`BackgroundWorker::spawn`] with the same
+//!   [`WorkerConfig`]): a `std::thread` drains slices against an
+//!   `Arc<Mutex<HybridDatabase>>`, interleaving with queries at mutex
+//!   granularity — the multi-core path, where slices run while the
+//!   serving thread is parked between statements. Applications expose the
+//!   mode as a config flag and construct the matching type
+//!   (`bench_background`'s `--threaded` is the reference example).
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hsd_storage::MergeProgress;
+use hsd_types::Result;
+
+use crate::database::HybridDatabase;
+use crate::mover;
+
+/// Settings of the [`MergePacer`].
+#[derive(Debug, Clone)]
+pub struct PacerConfig {
+    /// Starting per-slice remap budget (rows).
+    pub initial_budget: usize,
+    /// Budget floor: the merge always makes progress, however loaded the
+    /// serving loop is (no live-lock under sustained degradation).
+    pub min_budget: usize,
+    /// Budget ceiling: one slice never grows into an unbounded pause.
+    pub max_budget: usize,
+    /// Shrink trigger: recent p99 latency above `baseline ×
+    /// degrade_threshold` counts as degradation.
+    pub degrade_threshold: f64,
+    /// Multiplicative budget shrink on degradation (e.g. `0.5`).
+    pub shrink: f64,
+    /// Multiplicative budget growth when healthy or idle (e.g. `1.5`).
+    pub grow: f64,
+    /// Number of recent latency samples the p99 is computed over.
+    pub window: usize,
+    /// Weight of a new sample in the long-run baseline EWMA. Small values
+    /// make the baseline deliberately sluggish, so transient merge-induced
+    /// degradation shows up against it instead of being absorbed.
+    pub baseline_decay: f64,
+}
+
+impl Default for PacerConfig {
+    fn default() -> Self {
+        PacerConfig {
+            initial_budget: 4_096,
+            min_budget: 256,
+            max_budget: 1 << 20,
+            degrade_threshold: 1.5,
+            shrink: 0.5,
+            grow: 1.5,
+            window: 64,
+            baseline_decay: 0.05,
+        }
+    }
+}
+
+/// Latency-adaptive slice-budget governor (see the module docs).
+#[derive(Debug)]
+pub struct MergePacer {
+    cfg: PacerConfig,
+    budget: usize,
+    /// Long-run EWMA of query latency — the "normal" the p99 is judged
+    /// against. `None` until the first sample.
+    baseline_ms: Option<f64>,
+    /// Ring of the most recent latency samples.
+    recent: VecDeque<f64>,
+    /// Samples observed since the last slice (0 = the stream is idle).
+    since_slice: usize,
+    /// Consecutive slices with no observed query. The budget grows once
+    /// per idle streak, not once per idle tick — a threaded worker ticks
+    /// far more often than statements arrive, and compounding growth on
+    /// every self-paced tick would blow the budget to its ceiling between
+    /// two queries.
+    idle_streak: u32,
+}
+
+impl MergePacer {
+    /// Pacer with the given settings.
+    pub fn new(cfg: PacerConfig) -> Self {
+        let budget = cfg.initial_budget.clamp(cfg.min_budget, cfg.max_budget);
+        MergePacer {
+            cfg,
+            budget,
+            baseline_ms: None,
+            recent: VecDeque::new(),
+            since_slice: 0,
+            idle_streak: 0,
+        }
+    }
+
+    /// Record one served query's latency.
+    pub fn observe_query_latency(&mut self, ms: f64) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        self.baseline_ms = Some(match self.baseline_ms {
+            None => ms,
+            Some(b) => self.cfg.baseline_decay * ms + (1.0 - self.cfg.baseline_decay) * b,
+        });
+        if self.recent.len() == self.cfg.window.max(1) {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(ms);
+        self.since_slice += 1;
+    }
+
+    /// p99 of the recent window (max of the window when it is small).
+    fn recent_p99(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.recent.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        Some(sorted[idx.min(sorted.len()) - 1])
+    }
+
+    /// Decide the budget for the next slice: shrink on degradation, grow
+    /// when healthy or (once per streak) when idle. Called by the worker
+    /// once per tick.
+    fn next_budget(&mut self) -> usize {
+        let observed = std::mem::take(&mut self.since_slice);
+        let factor = if observed == 0 {
+            // No queries since the last slice: the stream is idle, spare
+            // capacity belongs to the merge — but grow only on the first
+            // idle tick, so a self-paced (threaded) worker does not
+            // compound its budget to the ceiling between two queries.
+            self.idle_streak += 1;
+            if self.idle_streak > 1 {
+                1.0
+            } else {
+                self.cfg.grow
+            }
+        } else {
+            self.idle_streak = 0;
+            let degraded = match (self.recent_p99(), self.baseline_ms) {
+                (Some(p99), Some(base)) => p99 > base * self.cfg.degrade_threshold,
+                _ => false,
+            };
+            if degraded {
+                self.cfg.shrink
+            } else {
+                self.cfg.grow
+            }
+        };
+        let next = (self.budget as f64 * factor).round() as usize;
+        self.budget = next.clamp(self.cfg.min_budget, self.cfg.max_budget);
+        self.budget
+    }
+
+    /// The budget the next slice will get (without advancing the pacer).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The long-run latency baseline, if any sample arrived yet.
+    pub fn baseline_ms(&self) -> Option<f64> {
+        self.baseline_ms
+    }
+}
+
+/// Settings of the maintenance worker (shared by both execution modes:
+/// construct a [`MaintenanceWorker`] for cooperative ticking, or pass the
+/// same config to [`BackgroundWorker::spawn`] for the `std::thread` mode).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Pacer settings.
+    pub pacer: PacerConfig,
+}
+
+/// Lifetime counters of a worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Slices executed.
+    pub slices: u64,
+    /// Code-vector entries remapped across all slices.
+    pub rows_remapped: u64,
+    /// Dictionary-tail entries folded by completed merges.
+    pub entries_folded: u64,
+    /// Jobs driven to completion.
+    pub jobs_completed: u64,
+    /// Jobs retracted before completion (queue removal and/or in-flight
+    /// cancellation).
+    pub jobs_retracted: u64,
+}
+
+/// Outcome of one worker tick that ran a slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceReport {
+    /// Table the slice advanced.
+    pub table: String,
+    /// Remap budget the pacer granted the slice.
+    pub budget: usize,
+    /// Progress reported by the storage layer.
+    pub progress: MergeProgress,
+}
+
+/// Cooperative background-merge worker (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use hsd_engine::{HybridDatabase, MaintenanceWorker, MergeConfig};
+/// use hsd_storage::StoreKind;
+/// use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
+///
+/// let mut db = HybridDatabase::new();
+/// db.create_single(
+///     TableSchema::new(
+///         "t",
+///         vec![ColumnDef::new("id", ColumnType::BigInt),
+///              ColumnDef::new("v", ColumnType::Double)],
+///         vec![0],
+///     )?,
+///     StoreKind::Column,
+/// )?;
+/// db.bulk_load("t", (0..64i64).map(|i| vec![Value::BigInt(i), Value::Double(i as f64)]))?;
+/// db.set_merge_config(MergeConfig::disabled());
+///
+/// let mut worker = MaintenanceWorker::default();
+/// worker.enqueue("t");
+/// // The serving loop: execute a statement, feed its latency to the
+/// // pacer, let the worker advance one bounded slice.
+/// while worker.tick(&mut db)?.is_some() {
+///     worker.observe_query_latency(0.05);
+/// }
+/// assert_eq!(db.delta_tail("t")?, 0);
+/// # Ok::<(), hsd_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct MaintenanceWorker {
+    queue: VecDeque<String>,
+    pacer: MergePacer,
+    stats: WorkerStats,
+}
+
+impl Default for MaintenanceWorker {
+    fn default() -> Self {
+        Self::new(WorkerConfig::default())
+    }
+}
+
+impl MaintenanceWorker {
+    /// Worker with the given settings.
+    pub fn new(cfg: WorkerConfig) -> Self {
+        MaintenanceWorker {
+            queue: VecDeque::new(),
+            pacer: MergePacer::new(cfg.pacer),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Enqueue a merge job for `table`. Returns `false` (and leaves the
+    /// queue unchanged) when the table already has a job queued — one job
+    /// folds everything the table accumulates while it runs, so duplicates
+    /// add no work.
+    pub fn enqueue(&mut self, table: &str) -> bool {
+        if self.has_job(table) {
+            return false;
+        }
+        self.queue.push_back(table.to_string());
+        true
+    }
+
+    /// Whether `table` has a queued (possibly in-flight) job.
+    pub fn has_job(&self, table: &str) -> bool {
+        self.queue.iter().any(|t| t == table)
+    }
+
+    /// Whether the worker has no work.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued jobs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Retract the job for `table`: remove it from the queue and cancel any
+    /// in-flight shadow rebuild on the table (the live data stayed
+    /// authoritative throughout, so cancellation only discards remap work).
+    /// Returns whether anything was retracted.
+    pub fn retract(&mut self, db: &mut HybridDatabase, table: &str) -> Result<bool> {
+        let queued = self.queue.iter().position(|t| t == table);
+        if let Some(i) = queued {
+            self.queue.remove(i);
+        }
+        let cancelled = mover::cancel_merge(db, table).unwrap_or(0);
+        let retracted = queued.is_some() || cancelled > 0;
+        if retracted {
+            self.stats.jobs_retracted += 1;
+        }
+        Ok(retracted)
+    }
+
+    /// Feed one served query's latency to the pacer.
+    pub fn observe_query_latency(&mut self, ms: f64) {
+        self.pacer.observe_query_latency(ms);
+    }
+
+    /// Advance the front job by one remap-budgeted slice. Returns `None`
+    /// when the queue is empty; otherwise the slice report. A job whose
+    /// table no longer exists is dropped (the error is propagated once).
+    pub fn tick(&mut self, db: &mut HybridDatabase) -> Result<Option<SliceReport>> {
+        let Some(table) = self.queue.front().cloned() else {
+            return Ok(None);
+        };
+        let budget = self.pacer.next_budget();
+        let progress = match mover::merge_delta_step(db, &table, budget) {
+            Ok(p) => p,
+            Err(e) => {
+                // The table vanished (moved/rebuilt under a different
+                // name): the job is moot.
+                self.queue.pop_front();
+                return Err(e);
+            }
+        };
+        self.stats.slices += 1;
+        self.stats.rows_remapped += progress.rows_remapped as u64;
+        self.stats.entries_folded += progress.entries_folded as u64;
+        if progress.done {
+            self.queue.pop_front();
+            self.stats.jobs_completed += 1;
+        }
+        Ok(Some(SliceReport {
+            table,
+            budget,
+            progress,
+        }))
+    }
+
+    /// Run every queued job to completion (ignoring the pacer's adaptivity
+    /// beyond its current budget) — the shutdown/drain path. A job whose
+    /// table no longer exists is skipped (tick already dropped it); the
+    /// rest of the queue still drains.
+    pub fn drain(&mut self, db: &mut HybridDatabase) -> Result<()> {
+        loop {
+            match self.tick(db) {
+                Ok(None) => return Ok(()),
+                Ok(Some(_)) => {}
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.stats
+    }
+
+    /// The pacer (read-only; for budget introspection).
+    pub fn pacer(&self) -> &MergePacer {
+        &self.pacer
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded mode
+
+/// A database shared between the serving thread and a threaded worker.
+pub type SharedDatabase = Arc<Mutex<HybridDatabase>>;
+
+enum Command {
+    Enqueue(String),
+    Retract(String),
+    Latency(f64),
+    /// Stop the worker; `drain` runs every queued job to completion first.
+    Stop {
+        drain: bool,
+    },
+}
+
+/// Handle to a [`MaintenanceWorker`] running on its own `std::thread`
+/// against a [`SharedDatabase`] — the multi-core execution mode. Queries
+/// and merge slices interleave at mutex granularity: the worker takes the
+/// lock for one bounded slice and releases it, so a query waits at most
+/// one slice (the pause the pacer bounds).
+#[derive(Debug)]
+pub struct BackgroundWorker {
+    tx: mpsc::Sender<Command>,
+    thread: Option<std::thread::JoinHandle<WorkerStats>>,
+}
+
+impl BackgroundWorker {
+    /// Spawn the worker thread. `poll` is how long the thread parks waiting
+    /// for commands while its queue is idle.
+    pub fn spawn(db: SharedDatabase, cfg: WorkerConfig, poll: Duration) -> Self {
+        let (tx, rx) = mpsc::channel::<Command>();
+        let thread = std::thread::spawn(move || {
+            let mut worker = MaintenanceWorker::new(cfg);
+            let mut stopping = false;
+            loop {
+                // Absorb all pending commands; park briefly when idle.
+                loop {
+                    let cmd = if worker.is_idle() && !stopping {
+                        match rx.recv_timeout(poll) {
+                            Ok(c) => c,
+                            Err(mpsc::RecvTimeoutError::Timeout) => break,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => return *worker.stats(),
+                        }
+                    } else {
+                        match rx.try_recv() {
+                            Ok(c) => c,
+                            Err(mpsc::TryRecvError::Empty) => break,
+                            Err(mpsc::TryRecvError::Disconnected) => {
+                                stopping = true;
+                                break;
+                            }
+                        }
+                    };
+                    match cmd {
+                        Command::Enqueue(t) => {
+                            worker.enqueue(&t);
+                        }
+                        Command::Retract(t) => {
+                            let mut db = db.lock().expect("database mutex poisoned");
+                            let _ = worker.retract(&mut db, &t);
+                        }
+                        Command::Latency(ms) => worker.observe_query_latency(ms),
+                        Command::Stop { drain } => {
+                            if !drain {
+                                return *worker.stats();
+                            }
+                            stopping = true;
+                        }
+                    }
+                }
+                if worker.is_idle() {
+                    if stopping {
+                        return *worker.stats();
+                    }
+                    continue;
+                }
+                // One bounded slice under the lock, then release — and
+                // yield, so a serving thread parked on the (unfair) mutex
+                // actually gets it before the next slice.
+                {
+                    let mut guard = db.lock().expect("database mutex poisoned");
+                    let _ = worker.tick(&mut guard);
+                }
+                std::thread::yield_now();
+            }
+        });
+        BackgroundWorker {
+            tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Enqueue a merge job for `table`.
+    pub fn enqueue(&self, table: &str) {
+        let _ = self.tx.send(Command::Enqueue(table.to_string()));
+    }
+
+    /// Retract the job for `table` (queue removal + in-flight
+    /// cancellation).
+    pub fn retract(&self, table: &str) {
+        let _ = self.tx.send(Command::Retract(table.to_string()));
+    }
+
+    /// Feed one served query's latency to the worker's pacer.
+    pub fn observe_query_latency(&self, ms: f64) {
+        let _ = self.tx.send(Command::Latency(ms));
+    }
+
+    /// Stop the worker and join the thread, returning its lifetime stats.
+    /// With `drain`, every queued job runs to completion first.
+    pub fn stop(mut self, drain: bool) -> WorkerStats {
+        let _ = self.tx.send(Command::Stop { drain });
+        match self.thread.take() {
+            Some(t) => t.join().expect("worker thread panicked"),
+            None => WorkerStats::default(),
+        }
+    }
+}
+
+impl Drop for BackgroundWorker {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Stop { drain: false });
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintenance::MergeConfig;
+    use hsd_query::{AggFunc, AggregateQuery, Query, UpdateQuery};
+    use hsd_storage::{ColRange, StoreKind};
+    use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
+
+    fn column_db(rows: i64) -> HybridDatabase {
+        let mut db = HybridDatabase::new();
+        db.create_single(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::BigInt),
+                    ColumnDef::new("a", ColumnType::Double),
+                    ColumnDef::new("b", ColumnType::Double),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+            StoreKind::Column,
+        )
+        .unwrap();
+        db.bulk_load(
+            "t",
+            (0..rows).map(|i| {
+                vec![
+                    Value::BigInt(i),
+                    Value::Double(i as f64),
+                    Value::Double(i as f64),
+                ]
+            }),
+        )
+        .unwrap();
+        db.set_merge_config(MergeConfig::disabled());
+        db
+    }
+
+    fn grow_tail(db: &mut HybridDatabase, n: usize) {
+        for i in 0..n {
+            db.execute(&Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(1, Value::Double(50_000.0 + i as f64))],
+                filter: vec![ColRange::eq(0, Value::BigInt(i as i64))],
+            }))
+            .unwrap();
+        }
+    }
+
+    fn checksum(db: &mut HybridDatabase) -> f64 {
+        let out = db
+            .execute(&Query::Aggregate(AggregateQuery::simple(
+                "t",
+                AggFunc::Sum,
+                1,
+            )))
+            .unwrap();
+        out.aggregates().unwrap()[0].values[0]
+    }
+
+    fn small_pacer() -> PacerConfig {
+        PacerConfig {
+            initial_budget: 16,
+            min_budget: 4,
+            max_budget: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn worker_drains_queue_in_bounded_slices_with_consistent_reads() {
+        let mut db = column_db(100);
+        grow_tail(&mut db, 40);
+        let expected = checksum(&mut db);
+        let mut worker = MaintenanceWorker::new(WorkerConfig {
+            pacer: small_pacer(),
+        });
+        assert!(worker.enqueue("t"));
+        assert!(!worker.enqueue("t"), "duplicate jobs are rejected");
+        let mut slices = 0;
+        while let Some(report) = worker.tick(&mut db).unwrap() {
+            slices += 1;
+            assert!(report.budget <= 64);
+            assert!(report.progress.rows_remapped <= report.budget);
+            // Reads between slices stay consistent.
+            assert_eq!(checksum(&mut db), expected);
+            worker.observe_query_latency(0.01);
+            assert!(slices < 10_000, "worker must terminate");
+        }
+        assert!(slices > 1, "a 16..64-row budget over 100 rows takes slices");
+        assert!(worker.is_idle());
+        assert_eq!(db.delta_tail("t").unwrap(), 0);
+        let s = worker.stats();
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.entries_folded, 40);
+        assert!(
+            s.rows_remapped >= 100,
+            "every row was remapped at least once"
+        );
+    }
+
+    #[test]
+    fn pacer_shrinks_on_degradation_and_grows_when_idle() {
+        let cfg = PacerConfig {
+            initial_budget: 1_024,
+            min_budget: 64,
+            max_budget: 8_192,
+            degrade_threshold: 1.5,
+            shrink: 0.5,
+            grow: 2.0,
+            window: 16,
+            // Freeze the baseline at the first sample so the trajectory is
+            // deterministic (the default slowly re-learns "normal", which
+            // is the behavior the adaptive baseline exists for).
+            baseline_decay: 0.0,
+        };
+        let mut pacer = MergePacer::new(cfg);
+        // Establish a healthy baseline at 1 ms.
+        for _ in 0..64 {
+            pacer.observe_query_latency(1.0);
+        }
+        assert_eq!(pacer.next_budget(), 2_048, "healthy stream grows");
+        // Degraded tail: p99 of the window jumps far above baseline.
+        for _ in 0..16 {
+            pacer.observe_query_latency(10.0);
+        }
+        assert_eq!(pacer.next_budget(), 1_024, "degraded p99 shrinks");
+        for _ in 0..16 {
+            pacer.observe_query_latency(10.0);
+        }
+        assert_eq!(
+            pacer.next_budget(),
+            512,
+            "sustained degradation keeps shrinking"
+        );
+        // Idle stream (no samples since the last slice): grow.
+        assert_eq!(pacer.next_budget(), 1_024, "idle stream grows");
+        // Budget respects the floor under unbounded degradation.
+        for _ in 0..20 {
+            for _ in 0..16 {
+                pacer.observe_query_latency(100.0);
+            }
+            pacer.next_budget();
+        }
+        assert_eq!(pacer.budget(), 64, "floor bounds the shrink");
+    }
+
+    #[test]
+    fn retract_cancels_in_flight_job() {
+        let mut db = column_db(200);
+        grow_tail(&mut db, 30);
+        let expected = checksum(&mut db);
+        let mut worker = MaintenanceWorker::new(WorkerConfig {
+            pacer: small_pacer(),
+        });
+        worker.enqueue("t");
+        // Start the merge but do not finish it.
+        let report = worker.tick(&mut db).unwrap().unwrap();
+        assert!(!report.progress.done);
+        assert!(db.merge_in_progress("t").unwrap());
+        let epoch = db.merge_epoch("t").unwrap();
+        assert!(worker.retract(&mut db, "t").unwrap());
+        assert!(worker.is_idle());
+        assert!(!db.merge_in_progress("t").unwrap());
+        assert_eq!(db.merge_epoch("t").unwrap(), epoch, "no handoff happened");
+        assert!(db.delta_tail("t").unwrap() > 0, "tail kept (merge undone)");
+        assert_eq!(checksum(&mut db), expected, "no data was lost");
+        assert_eq!(worker.stats().jobs_retracted, 1);
+        // Retracting an unknown job is a no-op.
+        assert!(!worker.retract(&mut db, "t").unwrap());
+    }
+
+    #[test]
+    fn threaded_worker_interleaves_with_queries_under_the_lock() {
+        let mut db = column_db(300);
+        grow_tail(&mut db, 60);
+        let expected = checksum(&mut db);
+        let shared: SharedDatabase = Arc::new(Mutex::new(db));
+        let worker = BackgroundWorker::spawn(
+            shared.clone(),
+            WorkerConfig {
+                pacer: small_pacer(),
+            },
+            Duration::from_millis(1),
+        );
+        worker.enqueue("t");
+        // Serve queries from this thread while the worker slices away.
+        for _ in 0..50 {
+            let start = std::time::Instant::now();
+            let c = {
+                let mut guard = shared.lock().unwrap();
+                checksum(&mut guard)
+            };
+            assert_eq!(c, expected);
+            worker.observe_query_latency(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let stats = worker.stop(true);
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.entries_folded, 60);
+        let mut guard = shared.lock().unwrap();
+        assert_eq!(guard.delta_tail("t").unwrap(), 0);
+        assert_eq!(checksum(&mut guard), expected);
+    }
+
+    #[test]
+    fn tick_on_unknown_table_drops_the_job() {
+        let mut db = column_db(10);
+        let mut worker = MaintenanceWorker::default();
+        worker.enqueue("nope");
+        assert!(worker.tick(&mut db).is_err());
+        assert!(worker.is_idle(), "the moot job is dropped");
+        assert!(worker.tick(&mut db).unwrap().is_none());
+    }
+}

@@ -160,6 +160,12 @@ pub struct ColumnData {
     codes: CodeVec,
     /// In-flight incremental merge, if any.
     pending: Option<PendingMerge>,
+    /// Merge epoch: incremented at every dictionary handoff — the shadow
+    /// swap completing an incremental merge, or a one-shot in-place rebuild.
+    /// External observers (the online advisor, the maintenance worker) use
+    /// the epoch to detect that a merge completed between two looks at the
+    /// column without having watched every slice.
+    epoch: u64,
 }
 
 impl ColumnData {
@@ -169,6 +175,7 @@ impl ColumnData {
             dict: Dictionary::new(),
             codes: CodeVec::new(packed),
             pending: None,
+            epoch: 0,
         }
     }
 
@@ -266,12 +273,28 @@ impl ColumnData {
                 let old = self.codes.get(i);
                 self.codes.set(i, remap[old as usize]);
             }
+            self.epoch += 1;
         }
     }
 
     /// Whether an incremental merge is in flight on this column.
     pub fn merge_in_progress(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// The column's merge epoch — how many dictionary handoffs (shadow
+    /// swaps or one-shot rebuilds) have completed. See the `epoch` field.
+    pub fn merge_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Abandon an in-flight incremental merge, discarding the shadow
+    /// dictionary and code vector. The live pair stayed authoritative for
+    /// every read and write throughout the merge, so cancellation never
+    /// loses data — only the remap work done so far. Returns whether a
+    /// merge was actually cancelled.
+    pub fn cancel_merge(&mut self) -> bool {
+        self.pending.take().is_some()
     }
 
     /// Start an incremental merge: snapshot the rebuilt dictionary and
@@ -327,10 +350,13 @@ impl ColumnData {
                 done: false,
             };
         }
-        // Copy complete: swap the shadow pair in.
+        // Copy complete: swap the shadow pair in — the epoch handoff. The
+        // epoch bump is the externally visible signal that the dictionary
+        // generation changed.
         let pending = self.pending.take().expect("checked above");
         self.dict = pending.new_dict;
         self.codes = pending.new_codes;
+        self.epoch += 1;
         MergeProgress {
             rows_remapped: copied,
             entries_folded: pending.folding,
@@ -919,6 +945,28 @@ impl ColumnTable {
         total
     }
 
+    /// Whether any column has an incremental merge in flight.
+    pub fn merge_in_progress(&self) -> bool {
+        self.columns.iter().any(ColumnData::merge_in_progress)
+    }
+
+    /// Sum of the per-column merge epochs: increases every time any
+    /// column's dictionary generation is handed off (shadow swap or
+    /// one-shot rebuild), so a changed value means "some merge completed
+    /// since the last look".
+    pub fn merge_epoch(&self) -> u64 {
+        self.columns.iter().map(ColumnData::merge_epoch).sum()
+    }
+
+    /// Abandon every in-flight incremental merge (see
+    /// [`ColumnData::cancel_merge`]); returns how many columns had one.
+    pub fn cancel_merge(&mut self) -> usize {
+        self.columns
+            .iter_mut()
+            .map(|c| c.cancel_merge() as usize)
+            .sum()
+    }
+
     /// Merge only the columns whose dictionary tail exceeds `min_tail`
     /// entries, leaving small tails in place; returns how many tail entries
     /// were folded in. This is the selective half of the hysteretic merge
@@ -1255,6 +1303,52 @@ mod tests {
         assert_eq!(t.value_at(7, 1), &Value::Double(456.75));
         let hits = t.filter_rows(&[ColRange::ge(1, Value::Double(400.0))]);
         assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn merge_epoch_bumps_on_every_handoff() {
+        let mut t = sample();
+        let e0 = t.merge_epoch();
+        // A clean compact rebuilds nothing: no handoff, no bump.
+        t.compact();
+        assert_eq!(t.merge_epoch(), e0);
+        // One-shot rebuild path.
+        t.update_rows(&[0], &[(1, Value::Double(901.0))]).unwrap();
+        t.compact();
+        let e1 = t.merge_epoch();
+        assert!(e1 > e0, "in-place rebuild must bump the epoch");
+        // Shadow-swap path: the epoch moves only when the swap lands.
+        t.update_rows(&[1], &[(1, Value::Double(902.0))]).unwrap();
+        assert!(!t.compact_step(3).done);
+        assert_eq!(t.merge_epoch(), e1, "no handoff before the swap");
+        while !t.compact_step(3).done {}
+        assert!(t.merge_epoch() > e1, "swap completion is the handoff");
+    }
+
+    #[test]
+    fn cancel_merge_abandons_shadow_state_without_data_loss() {
+        let mut t = sample();
+        t.update_rows(&[2, 3], &[(1, Value::Double(77.5))]).unwrap();
+        let tail = t.tail_total();
+        let epoch = t.merge_epoch();
+        assert!(!t.compact_step(4).done);
+        assert!(t.merge_in_progress());
+        assert_eq!(t.cancel_merge(), 1);
+        assert!(!t.merge_in_progress());
+        assert_eq!(t.merge_epoch(), epoch, "no handoff happened");
+        assert_eq!(t.tail_total(), tail, "the tail is untouched");
+        // Reads see the same data; a later merge starts from scratch and
+        // still folds everything.
+        assert_eq!(t.value_at(2, 1), &Value::Double(77.5));
+        let mut steps = 0;
+        while !t.compact_step(4).done {
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(t.tail_total(), 0);
+        assert_eq!(t.value_at(3, 1), &Value::Double(77.5));
+        // Cancelling when nothing is in flight is a no-op.
+        assert_eq!(t.cancel_merge(), 0);
     }
 
     #[test]

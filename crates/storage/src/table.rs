@@ -223,6 +223,34 @@ impl Table {
         }
     }
 
+    /// Whether an incremental delta merge is in flight (always `false` for
+    /// row-store tables).
+    pub fn merge_in_progress(&self) -> bool {
+        match self {
+            Table::Row(_) => false,
+            Table::Column(t) => t.merge_in_progress(),
+        }
+    }
+
+    /// The table's merge epoch (0 for row-store tables): increases at every
+    /// completed dictionary handoff, so observers can detect that a merge
+    /// finished between two looks.
+    pub fn merge_epoch(&self) -> u64 {
+        match self {
+            Table::Row(_) => 0,
+            Table::Column(t) => t.merge_epoch(),
+        }
+    }
+
+    /// Abandon any in-flight incremental delta merge (no-op for row-store
+    /// tables); returns how many columns had one.
+    pub fn cancel_delta_merge(&mut self) -> usize {
+        match self {
+            Table::Row(_) => 0,
+            Table::Column(t) => t.cancel_merge(),
+        }
+    }
+
     /// Count distinct values of `col`.
     pub fn distinct_count(&self, col: ColumnIdx) -> usize {
         match self {

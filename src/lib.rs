@@ -66,7 +66,8 @@ pub mod prelude {
         MergePartition, OnlineAdvisor, OnlineConfig, Recommendation, StorageAdvisor,
     };
     pub use hsd_engine::{
-        mover, HybridDatabase, MergeConfig, MergeMode, StatisticsRecorder, WorkloadRunner,
+        mover, BackgroundWorker, HybridDatabase, MaintenanceWorker, MergeConfig, MergeMode,
+        PacerConfig, StatisticsRecorder, WorkerConfig, WorkloadRunner,
     };
     pub use hsd_query::{
         AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, MixedWorkloadConfig, Query,

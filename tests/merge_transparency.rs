@@ -1,8 +1,9 @@
 //! Merge-transparency invariant: the delta merge is a physical
 //! reorganization only. Any interleaving of writes and queries must produce
-//! identical results whether merges run after every write, never, or
-//! whenever the online advisor's cost-scheduled maintenance decides —
-//! merge *timing* may change performance, never answers.
+//! identical results whether merges run after every write, never, whenever
+//! the online advisor's cost-scheduled maintenance decides, or sliced up by
+//! the background maintenance worker between statements — merge *timing*
+//! may change performance, never answers.
 
 use proptest::prelude::*;
 
@@ -90,6 +91,11 @@ enum Policy {
     /// statement, with queries running between the slices — the worst case
     /// for the shadow-rebuild consistency protocol.
     ChunkedMerge,
+    /// Advisor-scheduled, with the merge/retract decisions handed to a
+    /// [`MaintenanceWorker`] that drains one paced slice per statement —
+    /// the background worker interleaved with the same random writes, the
+    /// production shape of the incremental path.
+    BackgroundMerge,
 }
 
 fn run_policy(
@@ -107,12 +113,24 @@ fn run_policy(
             db.set_merge_config(MergeConfig::disabled());
             None
         }
-        Policy::AdvisorScheduled | Policy::ChunkedMerge => {
+        Policy::AdvisorScheduled | Policy::ChunkedMerge | Policy::BackgroundMerge => {
             db.set_merge_config(MergeConfig::disabled());
             Some(eager_advisor())
         }
     };
     let chunked = matches!(policy, Policy::ChunkedMerge);
+    let mut worker = matches!(policy, Policy::BackgroundMerge).then(|| {
+        MaintenanceWorker::new(WorkerConfig {
+            // A tiny budget window so a 96-row table still takes several
+            // slices — the interleaving the invariant is about.
+            pacer: PacerConfig {
+                initial_budget: 7,
+                min_budget: 4,
+                max_budget: 16,
+                ..Default::default()
+            },
+        })
+    });
     let mut merges = 0;
     let mut in_flight: Option<MaintenanceAction> = None;
     let outputs = queries
@@ -127,16 +145,39 @@ fn run_policy(
                     merges += 1;
                 }
             }
+            if let Some(w) = worker.as_mut() {
+                // One paced slice between statements (merges counted from
+                // the worker's stats at end of stream).
+                w.tick(&mut db).unwrap();
+            }
             if let Some(adv) = advisor.as_mut() {
                 adv.observe(&db, q).unwrap();
                 for action in adv.take_maintenance() {
-                    if chunked {
-                        if in_flight.is_none() {
-                            in_flight = Some(action);
+                    match &action {
+                        MaintenanceAction::Merge { table, .. } => {
+                            if let Some(w) = worker.as_mut() {
+                                w.enqueue(table);
+                            } else if chunked {
+                                if in_flight.is_none() {
+                                    in_flight = Some(action);
+                                }
+                            } else {
+                                action.apply(&mut db).unwrap();
+                                merges += 1;
+                            }
                         }
-                    } else {
-                        action.apply(&mut db).unwrap();
-                        merges += 1;
+                        MaintenanceAction::Retract { table } => {
+                            if let Some(w) = worker.as_mut() {
+                                w.retract(&mut db, table).unwrap();
+                            } else if chunked
+                                && in_flight.as_ref().is_some_and(|a| a.table() == table)
+                            {
+                                action.apply(&mut db).unwrap();
+                                in_flight = None;
+                            } else {
+                                action.apply(&mut db).unwrap();
+                            }
+                        }
                     }
                 }
             }
@@ -147,6 +188,10 @@ fn run_policy(
     if let Some(action) = &in_flight {
         while !action.apply_chunked(&mut db, 7).unwrap().done {}
         merges += 1;
+    }
+    if let Some(w) = worker.as_mut() {
+        w.drain(&mut db).unwrap();
+        merges += w.stats().jobs_completed as usize;
     }
     (outputs, merges)
 }
@@ -236,6 +281,7 @@ proptest! {
                 Policy::NeverMerge,
                 Policy::AdvisorScheduled,
                 Policy::ChunkedMerge,
+                Policy::BackgroundMerge,
             ] {
                 let (outputs, _) = run_policy(&placement, policy, &queries);
                 prop_assert_eq!(
@@ -271,4 +317,16 @@ fn eager_advisor_merges_during_scan_heavy_sequence() {
         &queries,
     );
     assert!(merges > 0, "the eager advisor must schedule merges");
+    // The same stream through the background worker completes merges too,
+    // so the proptest's worker policy genuinely exercises sliced merges
+    // interleaved with writes.
+    let (_, background_merges) = run_policy(
+        &TablePlacement::Single(StoreKind::Column),
+        Policy::BackgroundMerge,
+        &queries,
+    );
+    assert!(
+        background_merges > 0,
+        "the background worker must complete scheduled merges"
+    );
 }
