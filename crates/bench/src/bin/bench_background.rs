@@ -28,8 +28,8 @@
 use std::time::Instant;
 
 use hsd_engine::{
-    mover, BackgroundWorker, HybridDatabase, MaintenanceWorker, MergeConfig, PacerConfig,
-    SharedDatabase, WorkerConfig,
+    mover, BackgroundWorker, HybridDatabase, MaintenanceWorker, MergeConfig, MergePartition,
+    PacerConfig, SharedDatabase, WorkerConfig,
 };
 use hsd_query::{AggFunc, AggregateQuery, Query, SelectQuery, TableSpec, UpdateQuery};
 use hsd_storage::{ColRange, StoreKind};
@@ -177,7 +177,7 @@ fn run_policy(scale: &Scale, s: &TableSpec, policy: Policy) -> PolicyReport {
                     merged += mover::merge_delta(&mut db, &s.name).expect("merge");
                 }
                 Policy::Background => {
-                    worker.enqueue(&s.name);
+                    worker.enqueue(&s.name, MergePartition::Whole);
                 }
             }
         }
@@ -224,7 +224,7 @@ fn run_threaded(scale: &Scale, s: &TableSpec) -> PolicyReport {
             guard.execute(&q).expect("execute");
         }
         if i == merge_at {
-            worker.enqueue(&s.name);
+            worker.enqueue(&s.name, MergePartition::Whole);
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         worker.observe_query_latency(ms);
@@ -322,7 +322,7 @@ fn main() {
                 policy_json(&background),
             ]),
         ),
-        ("pause_reduction", Json::Num(reduction)),
+        ("pause_reduction", hsd_bench::ratio_json(sync_max, bg_max)),
         ("pass", Json::Bool(pass)),
     ]);
     std::fs::write("BENCH_background.json", doc.to_string_pretty() + "\n")

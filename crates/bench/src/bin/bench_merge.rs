@@ -22,9 +22,7 @@
 
 use std::time::Instant;
 
-use hsd_core::{
-    calibrate, CalibrationConfig, CostModel, OnlineAdvisor, OnlineConfig, StorageAdvisor,
-};
+use hsd_core::{CostModel, OnlineAdvisor, OnlineConfig, StorageAdvisor};
 use hsd_engine::{executor, HybridDatabase, MergeConfig, WorkloadRunner};
 use hsd_query::{AggFunc, Aggregate, AggregateQuery, Query, TableSpec, UpdateQuery, Workload};
 use hsd_storage::{ColRange, StoreKind};
@@ -100,28 +98,6 @@ fn mixed_workload(s: &TableSpec, statements: usize) -> Workload {
         })
         .collect();
     Workload::from_queries(queries)
-}
-
-fn advisor_model(scale: &Scale) -> CostModel {
-    match std::fs::read_to_string("cost_model.json") {
-        Ok(json) => match CostModel::from_json(&json) {
-            Ok(m) => {
-                eprintln!("[bench_merge] using committed cost_model.json");
-                return m;
-            }
-            Err(e) => eprintln!("[bench_merge] cost_model.json unreadable ({e:?}); recalibrating"),
-        },
-        Err(_) => eprintln!("[bench_merge] no cost_model.json; running quick calibration"),
-    }
-    let cfg = if scale.smoke {
-        CalibrationConfig {
-            base_rows: 10_000,
-            ..CalibrationConfig::quick()
-        }
-    } else {
-        CalibrationConfig::quick()
-    };
-    calibrate(&cfg).expect("calibration")
 }
 
 struct PolicyResult {
@@ -221,7 +197,7 @@ fn main() {
         scale.statements,
         if scale.smoke { " (smoke)" } else { "" }
     );
-    let model = advisor_model(&scale);
+    let model = hsd_bench::advisor_model_or_calibrate("bench_merge", scale.smoke);
     let workload = mixed_workload(&s, scale.statements);
 
     let mut results = Vec::new();

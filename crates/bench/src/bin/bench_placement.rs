@@ -26,7 +26,8 @@
 
 use std::time::Instant;
 
-use hsd_core::{calibrate, CalibrationConfig, CostModel, StorageAdvisor};
+use hsd_bench::ratio_json;
+use hsd_core::StorageAdvisor;
 use hsd_engine::{mover, HybridDatabase, WorkloadRunner};
 use hsd_query::{
     AggFunc, Aggregate, AggregateQuery, InsertQuery, Query, TableSpec, UpdateQuery, Workload,
@@ -77,30 +78,6 @@ impl Scale {
             }
         }
     }
-}
-
-fn advisor_model(scale: &Scale) -> CostModel {
-    match std::fs::read_to_string("cost_model.json") {
-        Ok(json) => match CostModel::from_json(&json) {
-            Ok(m) => {
-                eprintln!("[bench_placement] using committed cost_model.json");
-                return m;
-            }
-            Err(e) => {
-                eprintln!("[bench_placement] cost_model.json unreadable ({e:?}); recalibrating")
-            }
-        },
-        Err(_) => eprintln!("[bench_placement] no cost_model.json; running quick calibration"),
-    }
-    let cfg = if scale.smoke {
-        CalibrationConfig {
-            base_rows: 10_000,
-            ..CalibrationConfig::quick()
-        }
-    } else {
-        CalibrationConfig::quick()
-    };
-    calibrate(&cfg).expect("calibration")
 }
 
 fn spec(rows: usize) -> TableSpec {
@@ -186,7 +163,7 @@ fn store_str(store: StoreKind) -> &'static str {
 
 fn main() {
     let scale = Scale::from_args();
-    let model = advisor_model(&scale);
+    let model = hsd_bench::advisor_model_or_calibrate("bench_placement", scale.smoke);
 
     // --- 1. placement ablation -------------------------------------------
     let s = spec(scale.rows);
@@ -334,7 +311,7 @@ fn main() {
                 ("measured_column_ms", Json::Num(column_ms)),
                 ("blind_choice_ms", Json::Num(blind_ms)),
                 ("aware_choice_ms", Json::Num(aware_ms)),
-                ("aware_speedup", Json::Num(blind_ms / aware_ms)),
+                ("aware_speedup", ratio_json(blind_ms, aware_ms)),
                 ("pass", Json::Bool(placement_pass)),
             ]),
         ),
@@ -348,7 +325,7 @@ fn main() {
                 ("incremental_slices", Json::Int(slices as i64)),
                 ("incremental_max_pause_ms", Json::Num(max_pause_ms)),
                 ("incremental_total_ms", Json::Num(incr_total_ms)),
-                ("pause_reduction", Json::Num(full_pause_ms / max_pause_ms)),
+                ("pause_reduction", ratio_json(full_pause_ms, max_pause_ms)),
                 ("pass", Json::Bool(merge_pass)),
             ]),
         ),

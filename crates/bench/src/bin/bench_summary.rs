@@ -14,7 +14,10 @@
 use hsd_types::Json;
 
 /// Recursively collect `(path, value)` pairs of explicit ratio fields.
-fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, f64)>) {
+/// `None` marks a ratio recorded without a usable value — a missing/zero
+/// baseline (`"n/a"` markers from the bench bins) or a non-finite number —
+/// which the table renders as `n/a` instead of `inf`/panicking.
+fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f64>)>) {
     match json {
         Json::Obj(map) => {
             for (k, v) in map {
@@ -28,8 +31,9 @@ fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, f64)>) {
                     || k.ends_with("_reduction")
                     || k.ends_with("_ratio");
                 match v {
-                    Json::Num(n) if ratio_key => out.push((path, *n)),
-                    Json::Int(n) if ratio_key => out.push((path, *n as f64)),
+                    Json::Num(n) if ratio_key => out.push((path, n.is_finite().then_some(*n))),
+                    Json::Int(n) if ratio_key => out.push((path, Some(*n as f64))),
+                    Json::Str(_) | Json::Null if ratio_key => out.push((path, None)),
                     _ => collect_ratios(&path, v, out),
                 }
             }
@@ -46,7 +50,7 @@ fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, f64)>) {
 /// Derive best/baseline throughput ratios from `results`-style arrays
 /// (entries with `name` + `rows_per_sec`), grouped by the name's leading
 /// token: `unselective_scalar_get` vs `unselective_block_selvec` etc.
-fn derive_throughput_ratios(json: &Json, out: &mut Vec<(String, f64)>) {
+fn derive_throughput_ratios(json: &Json, out: &mut Vec<(String, Option<f64>)>) {
     let Some(results) = json.get_opt("results").and_then(|r| r.as_arr().ok()) else {
         return;
     };
@@ -65,7 +69,7 @@ fn derive_throughput_ratios(json: &Json, out: &mut Vec<(String, f64)>) {
     }
     for (group, (worst, best)) in groups {
         if worst.is_finite() && worst > 0.0 && best > worst {
-            out.push((format!("{group} best/baseline"), best / worst));
+            out.push((format!("{group} best/baseline"), Some(best / worst)));
         }
     }
 }
@@ -119,7 +123,10 @@ fn main() {
         } else {
             ratios
                 .iter()
-                .map(|(k, v)| format!("{k} {v:.2}x"))
+                .map(|(k, v)| match v {
+                    Some(v) => format!("{k} {v:.2}x"),
+                    None => format!("{k} n/a"),
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         };

@@ -20,6 +20,46 @@ use hsd_query::TableSpec;
 use hsd_storage::StoreKind;
 use hsd_types::Result;
 
+/// The advisor's cost model for an ablation bin: the committed
+/// `cost_model.json` when present and parsable, else a quick calibration
+/// (with `base_rows` reduced for `--smoke` runs, so CI never spends
+/// minutes calibrating). `bin` names the caller in the log lines.
+pub fn advisor_model_or_calibrate(bin: &str, smoke: bool) -> CostModel {
+    match std::fs::read_to_string("cost_model.json") {
+        Ok(json) => match CostModel::from_json(&json) {
+            Ok(m) => {
+                eprintln!("[{bin}] using committed cost_model.json");
+                return m;
+            }
+            Err(e) => eprintln!("[{bin}] cost_model.json unreadable ({e:?}); recalibrating"),
+        },
+        Err(_) => eprintln!("[{bin}] no cost_model.json; running quick calibration"),
+    }
+    let cfg = if smoke {
+        CalibrationConfig {
+            base_rows: 10_000,
+            ..CalibrationConfig::quick()
+        }
+    } else {
+        CalibrationConfig::quick()
+    };
+    calibrate(&cfg).expect("calibration")
+}
+
+/// A headline ratio as JSON, guarding zero/missing baselines: emit `"n/a"`
+/// instead of `inf`/`NaN`, so `BENCH_*.json` artifacts never carry
+/// non-finite numbers and `bench_summary`'s table renders `n/a` rather
+/// than dividing garbage.
+pub fn ratio_json(numerator: f64, denominator: f64) -> hsd_types::Json {
+    if denominator > 0.0 {
+        let r = numerator / denominator;
+        if r.is_finite() {
+            return hsd_types::Json::Num(r);
+        }
+    }
+    hsd_types::Json::Str("n/a".into())
+}
+
 /// Experiment scale relative to the paper (`HSD_SCALE`, default `0.1`).
 pub fn scale() -> f64 {
     std::env::var("HSD_SCALE")

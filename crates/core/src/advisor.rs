@@ -63,6 +63,17 @@ pub struct StorageAdvisor {
     /// stores by query cost alone and therefore keeps write-heavy tables in
     /// the column store even when their merges eat the scan savings.
     pub maintenance_aware: bool,
+    /// Whether partitioned placements are charged maintenance at the
+    /// **fragment** level
+    /// ([`crate::estimator::placement_fragment_drivers`]): only the cold
+    /// column fragment's share of tail growth, scan pressure, and rows. On
+    /// by default; disable for the full-table-charged ablation, which
+    /// bills a partitioned candidate as if the whole table were one column
+    /// table — over-charging exactly the hybrid layouts whose hot
+    /// row-store partition absorbs the writes, and therefore
+    /// under-recommending them. Irrelevant when `maintenance_aware` is
+    /// off.
+    pub fragment_upkeep: bool,
 }
 
 impl StorageAdvisor {
@@ -73,6 +84,7 @@ impl StorageAdvisor {
             partition_cfg: PartitionAdvisorConfig::default(),
             exact_search_limit: 12,
             maintenance_aware: true,
+            fragment_upkeep: true,
         }
     }
 
@@ -81,6 +93,17 @@ impl StorageAdvisor {
     pub fn maintenance_blind(model: CostModel) -> Self {
         StorageAdvisor {
             maintenance_aware: false,
+            ..StorageAdvisor::new(model)
+        }
+    }
+
+    /// The same advisor with fragment-level upkeep charging disabled: still
+    /// maintenance-aware, but partitioned placements are billed the
+    /// full-table upkeep (the pre-fragment-costing ablation baseline for
+    /// `bench_partition_upkeep`).
+    pub fn fragment_blind(model: CostModel) -> Self {
+        StorageAdvisor {
+            fragment_upkeep: false,
             ..StorageAdvisor::new(model)
         }
     }
@@ -160,6 +183,51 @@ impl StorageAdvisor {
             .collect()
     }
 
+    /// Modeled delta-upkeep cost (ms) `table` pays under `placement` over
+    /// `workload`: zero when maintenance-aware placement is off or the
+    /// placement keeps no column-store region; the fragment-level bill for
+    /// partitioned placements — or the full-table bill when the
+    /// [`StorageAdvisor::fragment_upkeep`] ablation toggle is off.
+    pub(crate) fn placement_upkeep_ms(
+        &self,
+        ctx: &EstimationCtx,
+        workload: &Workload,
+        table: &str,
+        placement: &TablePlacement,
+    ) -> f64 {
+        if !self.maintenance_aware {
+            return 0.0;
+        }
+        // The ablation bills a partitioned placement like a full column
+        // table (the pre-fragment-costing behavior).
+        let full_table = TablePlacement::Single(StoreKind::Column);
+        let effective = match placement {
+            TablePlacement::Partitioned(_) if !self.fragment_upkeep => &full_table,
+            other => other,
+        };
+        crate::estimator::placement_fragment_drivers(ctx, workload, table, effective).map_or(
+            0.0,
+            |fragment| {
+                crate::maintenance::estimate_placement_maintenance(&self.model, fragment).total_ms()
+            },
+        )
+    }
+
+    /// Total delta-upkeep charge of a layout: every table pays the modeled
+    /// upkeep of its own placement's column-store region (fragment-level
+    /// for partitioned placements).
+    pub(crate) fn layout_upkeep_ms(
+        &self,
+        ctx: &EstimationCtx,
+        workload: &Workload,
+        layout: &StorageLayout,
+    ) -> f64 {
+        ctx.tables
+            .keys()
+            .map(|table| self.placement_upkeep_ms(ctx, workload, table, &layout.placement(table)))
+            .sum()
+    }
+
     fn recommend_inner(
         &self,
         schemas: &[Arc<TableSchema>],
@@ -186,6 +254,21 @@ impl StorageAdvisor {
         let cs_only_ms =
             estimate_workload(&self.model, ctx, &cs_only, workload) + upkeep.values().sum::<f64>();
         // --- partitioning ------------------------------------------------
+        // The heuristic proposes a partition spec; the spec is then priced
+        // as a first-class placement candidate — the table's workload share
+        // under the partitioned layout plus its *fragment-level* delta
+        // upkeep, against the chosen single store's share plus its upkeep —
+        // and adopted only when it models faster. (The full-table-charged
+        // ablation, `fragment_upkeep = false`, over-bills the candidate's
+        // upkeep and therefore rejects hybrid layouts a fragment-charged
+        // comparison accepts.)
+        let single_layout = {
+            let mut l = StorageLayout::new();
+            for (t, s) in &assignment {
+                l.set(t.clone(), TablePlacement::Single(*s));
+            }
+            l
+        };
         let mut layout = StorageLayout::new();
         let mut tables = Vec::new();
         for schema in schemas {
@@ -198,7 +281,45 @@ impl StorageAdvisor {
                     if let Some(spec) =
                         recommend_partition(schema, &tctx.stats, act, &self.partition_cfg)
                     {
-                        placement = TablePlacement::Partitioned(spec);
+                        let candidate = TablePlacement::Partitioned(spec);
+                        let mut cand_layout = single_layout.clone();
+                        cand_layout.set(name.clone(), candidate.clone());
+                        // The candidate's workload share: every query whose
+                        // primary table is this one, plus joins that use it
+                        // as the dimension — a dimension kept columnar for
+                        // join performance must not flip to a partitioned
+                        // layout with the joins left unpriced. (The layout
+                        // estimator approximates a *partitioned* join
+                        // dimension by the row store — its point-access
+                        // fragment — so the candidate side is priced
+                        // conservatively rather than ignored.)
+                        let touches = |q: &Query| -> bool {
+                            q.table() == name
+                                || matches!(q, Query::Aggregate(a)
+                                    if a.join.as_ref().is_some_and(|j| j.dim_table == name))
+                        };
+                        let share = |layout: &StorageLayout| -> f64 {
+                            workload
+                                .queries
+                                .iter()
+                                .filter(|q| touches(q))
+                                .map(|q| {
+                                    crate::estimator::estimate_query_layout(
+                                        &self.model,
+                                        ctx,
+                                        layout,
+                                        q,
+                                    )
+                                })
+                                .sum()
+                        };
+                        let single_ms = share(&single_layout)
+                            + self.placement_upkeep_ms(ctx, workload, &name, &placement);
+                        let cand_ms = share(&cand_layout)
+                            + self.placement_upkeep_ms(ctx, workload, &name, &candidate);
+                        if cand_ms < single_ms {
+                            placement = candidate;
+                        }
                     }
                 }
             }
@@ -212,11 +333,10 @@ impl StorageAdvisor {
             });
         }
         // Query cost of the recommended layout plus the delta upkeep of
-        // every placement that keeps a column-store region (partitioned
-        // layouts are charged in full — conservative, since their cold
-        // region still interns fresh values).
+        // every placement that keeps a column-store region, charged at the
+        // fragment level for partitioned placements.
         let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload)
-            + layout_upkeep_ms(&layout, &upkeep);
+            + self.layout_upkeep_ms(ctx, workload, &layout);
         let statements = migration_statements(schemas, &layout);
         Ok(Recommendation {
             layout,
@@ -265,21 +385,6 @@ pub(crate) fn apply_observed_tail_rates(ctx: &mut EstimationCtx, recorded: &Exte
             tctx.observed_tail_rate = Some(rate);
         }
     }
-}
-
-/// Total delta-upkeep charge of a layout: every table whose placement keeps
-/// a column-store region pays its modeled upkeep.
-pub(crate) fn layout_upkeep_ms(layout: &StorageLayout, upkeep: &BTreeMap<String, f64>) -> f64 {
-    upkeep
-        .iter()
-        .filter(|(table, _)| {
-            !matches!(
-                layout.placement(table),
-                TablePlacement::Single(StoreKind::Row)
-            )
-        })
-        .map(|(_, ms)| ms)
-        .sum()
 }
 
 /// Statically derive extended workload statistics from a workload (the
@@ -626,12 +731,19 @@ mod tests {
         }
     }
 
+    /// Insert-heavy mixed workload: the heuristic proposes an empty hot
+    /// insert partition above the current max id, and the candidate prices
+    /// *below* the single-store choice (the hot row-store partition absorbs
+    /// the inserts at row cost and pays no modeled delta upkeep, while the
+    /// cold column fragment keeps serving the scans) — so the advisor both
+    /// proposes and *adopts* the partitioned placement.
     #[test]
     fn partitioning_recommended_for_mixed_workload() {
         let advisor = StorageAdvisor::new(model());
         let (schemas, stats) = schema_stats();
+        let w = insert_scan_workload(&schemas[0], stats["w"].row_count, 160, 10);
         let rec = advisor
-            .recommend_offline(&schemas, &stats, &workload(0.05), true)
+            .recommend_offline(&schemas, &stats, &w, true)
             .unwrap();
         match rec.layout.placement("w") {
             TablePlacement::Partitioned(spec) => {
@@ -640,6 +752,83 @@ mod tests {
             other => panic!("expected partitioned placement, got {other:?}"),
         }
         assert!(!rec.statements.is_empty());
+    }
+
+    /// Fresh-id single-row inserts against a thin stream of full-table
+    /// aggregations — the hot/cold shape partitioning exists for.
+    fn insert_scan_workload(
+        schema: &TableSchema,
+        base_rows: usize,
+        inserts: usize,
+        scans: usize,
+    ) -> Workload {
+        let mut queries: Vec<Query> = (0..inserts)
+            .map(|i| {
+                let row: Vec<Value> = schema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(c, col)| match col.ty {
+                        ColumnType::BigInt => Value::BigInt((base_rows + i) as i64),
+                        ColumnType::Double => Value::Double(5e8 + (i * schema.arity() + c) as f64),
+                        _ => Value::Int((i % 5) as i32),
+                    })
+                    .collect();
+                Query::Insert(InsertQuery {
+                    table: schema.name.clone(),
+                    rows: vec![row],
+                })
+            })
+            .collect();
+        for _ in 0..scans {
+            queries.push(Query::Aggregate(AggregateQuery::simple(
+                &schema.name,
+                AggFunc::Sum,
+                1,
+            )));
+        }
+        Workload::from_queries(queries)
+    }
+
+    /// The pricing gate is real: a partition spec whose modeled cost
+    /// exceeds the single-store choice is proposed by the heuristic but
+    /// *rejected* by the advisor. A scan-dominated stream with a thin
+    /// trickle of hot-region updates makes the update-envelope split (10 %
+    /// of the rows hot) a net loss — every aggregation would pay an extra
+    /// row-store scan over the hot partition that dwarfs the update
+    /// savings.
+    #[test]
+    fn unprofitable_partition_candidate_is_rejected() {
+        use hsd_query::UpdateQuery;
+        use hsd_storage::ColRange;
+        let advisor = StorageAdvisor::new(model());
+        let (schemas, stats) = schema_stats();
+        let rows = stats["w"].row_count as i64;
+        let mut queries: Vec<Query> = (0..20)
+            .map(|i| {
+                Query::Update(UpdateQuery {
+                    table: "w".into(),
+                    sets: vec![(2, Value::BigInt(8_000_000 + i))],
+                    filter: vec![ColRange::eq(0, Value::BigInt(rows - 1 - (i % (rows / 10))))],
+                })
+            })
+            .collect();
+        for _ in 0..60 {
+            queries.push(Query::Aggregate(AggregateQuery::simple(
+                "w",
+                AggFunc::Sum,
+                1,
+            )));
+        }
+        let w = Workload::from_queries(queries);
+        let rec = advisor
+            .recommend_offline(&schemas, &stats, &w, true)
+            .unwrap();
+        assert_eq!(
+            rec.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Column),
+            "a partition that models slower must not be adopted"
+        );
     }
 
     #[test]

@@ -378,6 +378,138 @@ pub fn workload_maintenance_drivers(
     out
 }
 
+/// Maintenance drivers of the delta-carrying region of one *placement*:
+/// which rows the region holds and which share of the workload's tail
+/// growth and scan pressure it actually pays.
+///
+/// This is the fragment-level refinement of [`MaintenanceDrivers`]: a
+/// single column table's region is the whole table, but a hot/cold
+/// partitioned placement's only delta region is the **cold column
+/// fragment** — inserts land in the hot row-store partition and intern
+/// nothing there, updates routed to the hot rows or to row-fragment
+/// columns intern nothing either. Billing such a placement the full-table
+/// drivers systematically over-charges exactly the hybrid layouts the
+/// advisor exists to find.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FragmentDrivers {
+    /// Rows resident in the placement's column-store region (the cold rows
+    /// for hot/cold splits; every row for a single column placement). This
+    /// is the row count merge costs scale with.
+    pub rows: usize,
+    /// Tail growth and scan pressure charged to that region.
+    pub drivers: MaintenanceDrivers,
+}
+
+/// Derive the [`FragmentDrivers`] of `table` under `placement` from a
+/// workload window — the fragment-level analogue of
+/// [`workload_maintenance_drivers`]. Returns `None` when the placement has
+/// no column-store region (a single row-store table pays no delta upkeep).
+///
+/// Routing rules, mirroring the executor and [`estimate_query_layout`]:
+///
+/// * **Inserts** under a horizontal split land in the hot row-store
+///   partition: zero tail growth. Without a horizontal split (vertical-only
+///   placements) each inserted row interns at least its key in the column
+///   fragment, as for a single column table.
+/// * **Updates** intern only assignments to column-fragment columns
+///   (vertical split), weighted by the cold row fraction (horizontal
+///   split): a point update hits the cold region with probability
+///   `1 − hot_fraction`.
+/// * **Scans** (aggregations, non-point selects) pay the cold fragment's
+///   tail penalty — except selects a vertical split routes entirely
+///   (projection *and* filter) to the row fragment.
+/// * The observed tail rate ([`TableCtx::observed_tail_rate`]) tightens
+///   the static bound exactly as in [`workload_maintenance_drivers`]; the
+///   recorder samples the cold fragment's live tail on partitioned
+///   layouts, so the rate already reflects fragment-level growth.
+pub fn placement_fragment_drivers(
+    ctx: &EstimationCtx,
+    workload: &Workload,
+    table: &str,
+    placement: &TablePlacement,
+) -> Option<FragmentDrivers> {
+    let tctx = ctx.table(table);
+    let rows = tctx.map_or(0, |t| t.stats.row_count);
+    let spec = match placement {
+        TablePlacement::Single(StoreKind::Row) => return None,
+        TablePlacement::Single(StoreKind::Column) => None,
+        TablePlacement::Partitioned(spec) => Some(spec),
+    };
+    let hot_fraction = match (spec, tctx) {
+        (Some(spec), Some(t)) => crate::partition::horizontal_hot_fraction(&t.stats, spec),
+        _ => 0.0,
+    };
+    let cold_fraction = 1.0 - hot_fraction;
+    let mut drivers = MaintenanceDrivers::default();
+    let mut write_stmts = 0.0f64;
+    for q in &workload.queries {
+        if q.table() != table {
+            continue;
+        }
+        match q {
+            Query::Insert(i) => {
+                let absorbed_by_hot = spec.is_some_and(|s| s.horizontal.is_some());
+                if !absorbed_by_hot {
+                    drivers.tail_growth += i.rows.len() as f64;
+                    write_stmts += 1.0;
+                }
+            }
+            Query::Update(u) => {
+                let interned = match spec.and_then(|s| s.vertical.as_ref()) {
+                    Some(v) => u
+                        .sets
+                        .iter()
+                        .filter(|(c, _)| !v.row_cols.contains(c))
+                        .count() as f64,
+                    None => u.sets.len().max(1) as f64,
+                };
+                if interned > 0.0 {
+                    drivers.tail_growth += interned * cold_fraction;
+                    write_stmts += cold_fraction;
+                }
+            }
+            Query::Aggregate(_) => drivers.scans += 1.0,
+            Query::Select(s) => {
+                let point = tctx.is_some_and(|t| is_pk_point(t, &s.filter));
+                let row_only = spec.is_some_and(|s2| select_row_fragment_only(s2, s));
+                if !point && !row_only {
+                    drivers.scans += 1.0;
+                }
+            }
+        }
+    }
+    if let Some(rate) = tctx.and_then(|t| t.observed_tail_rate) {
+        drivers.tail_growth = drivers.tail_growth.min(rate.max(0.0) * write_stmts);
+    }
+    let fragment_rows = if spec.is_some() {
+        (rows as f64 * cold_fraction).round() as usize
+    } else {
+        rows
+    };
+    Some(FragmentDrivers {
+        rows: fragment_rows,
+        drivers,
+    })
+}
+
+/// Whether a vertical split routes the whole select — projection and
+/// filter — to the row-store fragment, so the column fragment (and its
+/// tail) is never touched.
+fn select_row_fragment_only(spec: &hsd_catalog::PartitionSpec, q: &SelectQuery) -> bool {
+    let Some(v) = &spec.vertical else {
+        return false;
+    };
+    let cols_row = q
+        .columns
+        .as_ref()
+        .is_some_and(|cols| cols.iter().all(|c| *c == 0 || v.row_cols.contains(c)));
+    let filter_row = q
+        .filter
+        .iter()
+        .all(|r| r.column == 0 || v.row_cols.contains(&r.column));
+    cols_row && filter_row
+}
+
 // ---------------------------------------------------------------------------
 // Layout-aware estimation (partitioned placements)
 
@@ -401,22 +533,13 @@ pub fn estimate_query_layout(
         TablePlacement::Single(_) => estimate_query(model, ctx, &single, query),
         TablePlacement::Partitioned(spec) => {
             let Some(tctx) = ctx.table(table) else {
-                return 0.0;
+                // No statistics for the table: fall back to the single-store
+                // estimate instead of pricing the partitioned placement as
+                // free — a stats-less table must cost the *same* under every
+                // layout, not bias the comparison toward partitioning.
+                return estimate_query(model, ctx, &single, query);
             };
-            let hot_fraction = match &spec.horizontal {
-                None => 0.0,
-                Some(h) => {
-                    let max = tctx
-                        .stats
-                        .columns
-                        .get(h.split_column)
-                        .and_then(|c| c.max.clone())
-                        .unwrap_or(Value::Null);
-                    tctx.stats
-                        .estimate_range_selectivity(h.split_column, &h.split_value, &max)
-                        .clamp(0.0, 1.0)
-                }
-            };
+            let hot_fraction = crate::partition::horizontal_hot_fraction(&tctx.stats, &spec);
             estimate_partitioned(model, ctx, &single, query, tctx, &spec, hot_fraction)
         }
     }
@@ -838,6 +961,153 @@ mod tests {
         let rs = estimate_query_layout(&m, &c, &rs_layout, &q);
         assert!(partitioned > cs, "partition pays RS scan on the hot 10%");
         assert!(partitioned < rs, "but stays far below full row store");
+    }
+
+    /// Satellite regression: a table with no [`TableCtx`] used to be priced
+    /// as *free* under a partitioned placement, biasing every layout
+    /// comparison toward partitioning. It must fall back to the single-store
+    /// estimate instead — the same (nonzero, where the model charges one)
+    /// price every other layout gets.
+    #[test]
+    fn stats_less_table_falls_back_to_single_store_estimate() {
+        let m = model();
+        let c = ctx(); // knows "t" but not "ghost"
+        let ins = Query::Insert(InsertQuery {
+            table: "ghost".into(),
+            rows: vec![vec![Value::BigInt(1), Value::Double(0.0)]; 10],
+        });
+        let mut layout = StorageLayout::new();
+        layout.set(
+            "ghost",
+            TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
+                horizontal: Some(hsd_catalog::HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(0),
+                }),
+                vertical: None,
+            }),
+        );
+        let partitioned = estimate_query_layout(&m, &c, &layout, &ins);
+        let single = estimate_query(&m, &c, &BTreeMap::new(), &ins);
+        assert!(single > 0.0, "row-store insert estimate is nonzero");
+        assert_eq!(
+            partitioned, single,
+            "a stats-less table must cost the same under every layout"
+        );
+    }
+
+    /// Satellite regression: a horizontal split column with *missing*
+    /// statistics used to feed `Null` into the selectivity estimate, whose
+    /// whole-domain fallback of 1.0 priced the partition as 100 % hot row
+    /// store. Missing stats must mean "no horizontal split information"
+    /// (hot fraction 0 — everything cold).
+    #[test]
+    fn missing_split_stats_price_partition_all_cold() {
+        let m = model();
+        let mut c = EstimationCtx::new();
+        let mut t = tctx(10_000);
+        t.stats.columns[0].min = None;
+        t.stats.columns[0].max = None;
+        c.insert("t", t);
+        let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let mut part = StorageLayout::new();
+        part.set(
+            "t",
+            TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
+                horizontal: Some(hsd_catalog::HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(9000),
+                }),
+                vertical: None,
+            }),
+        );
+        let partitioned = estimate_query_layout(&m, &c, &part, &q);
+        let cs = estimate_query(&m, &c, &assign(StoreKind::Column), &q);
+        let rs = estimate_query(&m, &c, &assign(StoreKind::Row), &q);
+        assert!(
+            (partitioned - cs).abs() < 1e-9,
+            "hot fraction 0: the aggregate scans only the cold column \
+             fragment ({partitioned} vs cs {cs})"
+        );
+        assert!(partitioned < rs, "must not degrade to the row-store price");
+    }
+
+    #[test]
+    fn fragment_drivers_route_hot_cold_and_vertical() {
+        use hsd_catalog::{HorizontalSpec, PartitionSpec, VerticalSpec};
+        use hsd_query::{InsertQuery, UpdateQuery};
+        let c = ctx(); // "t": 10k rows, pk col 0
+        let queries: Vec<Query> = (0..100)
+            .map(|i| {
+                Query::Insert(InsertQuery {
+                    table: "t".into(),
+                    rows: vec![vec![Value::BigInt(10_000 + i), Value::Double(0.0)]],
+                })
+            })
+            .chain((0..40).map(|i| {
+                Query::Update(UpdateQuery {
+                    table: "t".into(),
+                    sets: vec![(1, Value::Double(1e6 + i as f64))],
+                    filter: vec![ColRange::eq(0, Value::BigInt(i))],
+                })
+            }))
+            .chain(std::iter::repeat_n(
+                Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)),
+                10,
+            ))
+            .collect();
+        let w = Workload::from_queries(queries);
+        // Single row store: no column region, no drivers.
+        assert!(
+            placement_fragment_drivers(&c, &w, "t", &TablePlacement::Single(StoreKind::Row))
+                .is_none()
+        );
+        // Single column store: the full-table drivers (one entry per
+        // inserted row + one per update assignment; every aggregate scans).
+        let full =
+            placement_fragment_drivers(&c, &w, "t", &TablePlacement::Single(StoreKind::Column))
+                .unwrap();
+        assert_eq!(full.rows, 10_000);
+        assert_eq!(full.drivers.tail_growth, 140.0);
+        assert_eq!(full.drivers.scans, 10.0);
+        // Hot/cold split at 90 %: inserts are absorbed by the hot row-store
+        // partition, update growth scales by the cold fraction, the cold
+        // fragment holds ~90 % of the rows, and scans still pay in full.
+        let hot_cold = TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(9000),
+            }),
+            vertical: None,
+        });
+        let frag = placement_fragment_drivers(&c, &w, "t", &hot_cold).unwrap();
+        let hot = crate::partition::horizontal_hot_fraction(
+            &c.table("t").unwrap().stats,
+            match &hot_cold {
+                TablePlacement::Partitioned(s) => s,
+                _ => unreachable!(),
+            },
+        );
+        assert!(hot > 0.05 && hot < 0.15, "≈10% hot, got {hot}");
+        assert_eq!(frag.rows, (10_000.0 * (1.0 - hot)).round() as usize);
+        assert!(
+            (frag.drivers.tail_growth - 40.0 * (1.0 - hot)).abs() < 1e-9,
+            "inserts absorbed, updates scaled: {}",
+            frag.drivers.tail_growth
+        );
+        assert_eq!(frag.drivers.scans, 10.0);
+        // Vertical split putting the updated column into the row fragment:
+        // the updates intern nothing in the column fragment either.
+        let vertical = TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(9000),
+            }),
+            vertical: Some(VerticalSpec { row_cols: vec![1] }),
+        });
+        let v = placement_fragment_drivers(&c, &w, "t", &vertical).unwrap();
+        assert_eq!(v.drivers.tail_growth, 0.0);
+        assert_eq!(v.drivers.scans, 10.0);
     }
 
     #[test]

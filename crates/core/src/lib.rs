@@ -39,10 +39,12 @@ pub mod report;
 pub use advisor::{Recommendation, StorageAdvisor, TableRecommendation};
 pub use calibration::{calibrate, CalibrationConfig};
 pub use cost::{AdjustmentFn, CostModel, StoreModel};
-pub use estimator::{EstimationCtx, MaintenanceDrivers, TableCtx};
+pub use estimator::{
+    placement_fragment_drivers, EstimationCtx, FragmentDrivers, MaintenanceDrivers, TableCtx,
+};
 pub use maintenance::{
-    estimate_maintenance, evaluate_merge, MaintenanceAction, MaintenanceEstimate, MergeDecision,
-    MergePartition,
+    estimate_maintenance, estimate_placement_maintenance, evaluate_merge, MaintenanceAction,
+    MaintenanceEstimate, MergeDecision, MergePartition,
 };
 pub use online::{AdaptationRecommendation, OnlineAdvisor, OnlineConfig};
-pub use partition::PartitionAdvisorConfig;
+pub use partition::{horizontal_hot_fraction, PartitionAdvisorConfig};

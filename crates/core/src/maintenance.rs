@@ -16,16 +16,7 @@ use hsd_types::Result;
 use crate::cost::CostModel;
 use crate::estimator::MaintenanceDrivers;
 
-/// Which physical region of a table a maintenance action targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MergePartition {
-    /// The table is a single column-store table.
-    Whole,
-    /// The cold partition (or its column-store fragment) of a partitioned
-    /// table — the only region with a delta tail, since the hot partition
-    /// is row-store resident.
-    Cold,
-}
+pub use hsd_engine::MergePartition;
 
 /// A maintenance operation the online advisor recommends, alongside (and
 /// independently of) its placement adaptations.
@@ -60,18 +51,29 @@ impl MaintenanceAction {
         }
     }
 
+    /// The physical region a [`MaintenanceAction::Merge`] targets (`None`
+    /// for retractions, which are table-level).
+    pub fn partition(&self) -> Option<MergePartition> {
+        match self {
+            MaintenanceAction::Merge { partition, .. } => Some(*partition),
+            MaintenanceAction::Retract { .. } => None,
+        }
+    }
+
     /// Apply the action to the database via the engine's explicit
     /// maintenance entry point; returns how many tail entries were merged.
     ///
-    /// [`mover::merge_delta`] compacts every column-store region of the
-    /// table — which is exactly the region the `partition` field names:
-    /// the whole table for [`MergePartition::Whole`], and only the cold
-    /// partition for [`MergePartition::Cold`] (the hot partition is
-    /// row-store resident and carries no delta). The field documents where
-    /// the work happens; it does not select a different operation.
+    /// The `partition` field routes the work
+    /// ([`mover::merge_delta_partition`]): [`MergePartition::Whole`]
+    /// compacts every column-store region of the table,
+    /// [`MergePartition::Cold`] only the cold partition's column-store
+    /// fragment (the hot partition is row-store resident and carries no
+    /// delta).
     pub fn apply(&self, db: &mut HybridDatabase) -> Result<usize> {
         match self {
-            MaintenanceAction::Merge { table, .. } => mover::merge_delta(db, table),
+            MaintenanceAction::Merge { table, partition } => {
+                mover::merge_delta_partition(db, table, *partition)
+            }
             MaintenanceAction::Retract { table } => {
                 mover::cancel_merge(db, table)?;
                 Ok(0)
@@ -92,8 +94,8 @@ impl MaintenanceAction {
         budget_rows: usize,
     ) -> Result<hsd_storage::MergeProgress> {
         match self {
-            MaintenanceAction::Merge { table, .. } => {
-                mover::merge_delta_step(db, table, budget_rows)
+            MaintenanceAction::Merge { table, partition } => {
+                mover::merge_delta_step_partition(db, table, *partition, budget_rows)
             }
             MaintenanceAction::Retract { table } => {
                 mover::cancel_merge(db, table)?;
@@ -254,6 +256,24 @@ pub fn estimate_maintenance(
         merge_cost_ms: merges * merge_cost,
         merges,
     }
+}
+
+/// Price the delta upkeep of one placement's column-store region: the
+/// [`FragmentDrivers`](crate::estimator::FragmentDrivers) are amortized by
+/// the same rent-or-buy rule as [`estimate_maintenance`], at the
+/// **fragment's own row count** (merge cost scales with the rows the remap
+/// covers, and a cold-fragment merge never remaps the hot partition).
+///
+/// Together with [`crate::estimator::placement_fragment_drivers`] this is
+/// fragment-level upkeep charging: the hot row-store partition of a
+/// hot/cold split pays zero by construction (its writes intern nothing),
+/// the cold column fragment pays its scaled bill, and vertical fragments
+/// pay only for their column-subset assignments.
+pub fn estimate_placement_maintenance(
+    model: &CostModel,
+    fragment: crate::estimator::FragmentDrivers,
+) -> MaintenanceEstimate {
+    estimate_maintenance(model, fragment.rows, fragment.drivers)
 }
 
 #[cfg(test)]

@@ -168,11 +168,15 @@ pub struct OnlineAdvisor {
     /// Merge recommendations emitted but not yet drained by the caller.
     pending_maintenance: Vec<MaintenanceAction>,
     /// Merge recommendations handed out (drained or not) whose work has not
-    /// completed yet. While a table is listed here the advisor freezes its
-    /// accrual and never double-schedules; the entry clears when the
-    /// table's merge epoch moves (work completed) or when the advisor
-    /// retracts the recommendation.
-    scheduled_merges: BTreeMap<String, ScheduledMerge>,
+    /// completed yet, keyed by `(table, partition)` — the same identity the
+    /// worker queue dedupes on, so a cold-fragment job and a whole-table
+    /// job for the same table are tracked independently. While an entry is
+    /// listed the advisor freezes the table's accrual and never
+    /// double-schedules that region; the entry clears when the fragment's
+    /// merge epoch moves (work completed — for partitioned tables the
+    /// epoch reads the cold fragment's dictionary handoffs) or when the
+    /// advisor retracts the recommendation.
+    scheduled_merges: BTreeMap<(String, MergePartition), ScheduledMerge>,
 }
 
 impl OnlineAdvisor {
@@ -240,6 +244,14 @@ impl OnlineAdvisor {
     fn schedule_maintenance(&mut self, db: &HybridDatabase) {
         for entry in db.catalog().entries() {
             let name = entry.schema.name.as_str();
+            // The region a merge scheduled now would target, from the
+            // table's current placement: the cold column fragment for
+            // partitioned layouts (the hot partition is row-store resident
+            // and carries no delta), the whole table otherwise.
+            let partition = match entry.placement {
+                hsd_catalog::TablePlacement::Single(_) => MergePartition::Whole,
+                hsd_catalog::TablePlacement::Partitioned(_) => MergePartition::Cold,
+            };
             if self.pending_maintenance.iter().any(|a| a.table() == name) {
                 // Still in the undrained queue; nothing to re-decide. The
                 // scan snapshot keeps advancing through the scheduled-state
@@ -269,7 +281,20 @@ impl OnlineAdvisor {
             };
             self.scan_rate.insert(name.to_string(), rate);
             let epoch = db.merge_epoch(name).unwrap_or(0);
-            if let Some(scheduled) = self.scheduled_merges.get(name) {
+            let key = (name.to_string(), partition);
+            // A table has exactly one placement, so a tracking entry for
+            // the *other* region is left over from a layout that no longer
+            // exists (a data move outside `OnlineAdvisor::apply`, which
+            // clears all tracking). Purge it now — left in place it could
+            // be resurrected as a stale freeze when the placement later
+            // flips back and the rebuilt table's epoch coincidentally
+            // matches the recorded one, parking the region forever.
+            let other = match partition {
+                MergePartition::Whole => MergePartition::Cold,
+                MergePartition::Cold => MergePartition::Whole,
+            };
+            self.scheduled_merges.remove(&(name.to_string(), other));
+            if let Some(scheduled) = self.scheduled_merges.get(&key) {
                 // Order matters: the in-flight check comes first because
                 // the table-level epoch is column-granular — on a
                 // multi-column table it moves at every per-column handoff,
@@ -285,7 +310,7 @@ impl OnlineAdvisor {
                     // boundary can re-arm early here; the resulting
                     // duplicate Merge is deduplicated by the worker's
                     // queue, or just merges the residual tails.)
-                    self.scheduled_merges.remove(name);
+                    self.scheduled_merges.remove(&key);
                     self.merge_penalty_accrued.remove(name);
                 } else if self.cfg.retract_rate_fraction > 0.0
                     && rate < scheduled.rate_at_schedule * self.cfg.retract_rate_fraction
@@ -294,7 +319,7 @@ impl OnlineAdvisor {
                     // merge are gone: withdraw the recommendation. The
                     // accrual restarts from zero, so a returning scan phase
                     // must pay fresh rent before the merge is re-scheduled.
-                    self.scheduled_merges.remove(name);
+                    self.scheduled_merges.remove(&key);
                     self.pending_maintenance.push(MaintenanceAction::Retract {
                         table: name.to_string(),
                     });
@@ -318,7 +343,11 @@ impl OnlineAdvisor {
                 self.merge_penalty_accrued.remove(name);
                 continue;
             }
-            let rows = db.row_count(name).unwrap_or(0);
+            // The merge trade-off is priced at the region the merge would
+            // actually remap — the cold partition's rows for partitioned
+            // layouts, not the full table (a full-table row count would
+            // over-state the merge cost and starve cold-fragment merges).
+            let rows = db.merge_region_rows(name).unwrap_or(0);
             let decision = evaluate_merge(&self.advisor.model, rows, tail, rate);
             let accrued = self
                 .merge_penalty_accrued
@@ -327,12 +356,8 @@ impl OnlineAdvisor {
             *accrued += decision.scan_savings_ms;
             if *accrued > decision.merge_cost_ms * self.cfg.merge_safety_factor {
                 *accrued = 0.0;
-                let partition = match entry.placement {
-                    hsd_catalog::TablePlacement::Single(_) => MergePartition::Whole,
-                    hsd_catalog::TablePlacement::Partitioned(_) => MergePartition::Cold,
-                };
                 self.scheduled_merges.insert(
-                    name.to_string(),
+                    key,
                     ScheduledMerge {
                         rate_at_schedule: rate,
                         epoch_at_schedule: epoch,
@@ -393,14 +418,16 @@ impl OnlineAdvisor {
         crate::advisor::apply_observed_tail_rates(&mut ctx, self.recorder.stats());
         let current_layout = db.current_layout();
         // Charge the current layout the same delta upkeep the candidate
-        // layouts were charged, so improvements compare like with like.
-        let upkeep = self.advisor.upkeep_costs(&ctx, &window);
+        // layouts were charged — fragment-level for partitioned placements
+        // — so improvements compare like with like.
         let current_ms = crate::estimator::estimate_workload_layout(
             &self.advisor.model,
             &ctx,
             &current_layout,
             &window,
-        ) + crate::advisor::layout_upkeep_ms(&current_layout, &upkeep);
+        ) + self
+            .advisor
+            .layout_upkeep_ms(&ctx, &window, &current_layout);
         if current_ms <= 0.0 {
             return Ok(None);
         }

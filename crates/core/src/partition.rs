@@ -51,6 +51,33 @@ impl Default for PartitionAdvisorConfig {
     }
 }
 
+/// Estimated fraction of a table's rows that live in the **hot** row-store
+/// partition of `spec`'s horizontal split (`split_column >= split_value`),
+/// from basic statistics — the selectivity split both the layout estimator
+/// and fragment-level maintenance costing use, so the same candidate is
+/// priced with the same hot/cold masses everywhere.
+///
+/// Missing information degrades to **no horizontal split** (`0.0`, i.e.
+/// everything cold): no horizontal spec, no statistics for the split
+/// column, or a split column whose max is unknown. (Feeding a `Null` max
+/// into the selectivity estimate would return the whole-domain fallback of
+/// 1.0 and price the partition as 100 % hot row store — garbage in the
+/// direction that hides the cold column fragment entirely.)
+pub fn horizontal_hot_fraction(stats: &TableStats, spec: &PartitionSpec) -> f64 {
+    let Some(h) = &spec.horizontal else {
+        return 0.0;
+    };
+    let Some(col) = stats.columns.get(h.split_column) else {
+        return 0.0;
+    };
+    let Some(max) = col.max.clone() else {
+        return 0.0;
+    };
+    stats
+        .estimate_range_selectivity(h.split_column, &h.split_value, &max)
+        .clamp(0.0, 1.0)
+}
+
 /// Recommend a partitioning for one table, or `None` when the heuristic
 /// finds nothing beneficial.
 pub fn recommend_partition(
@@ -291,6 +318,43 @@ mod tests {
         a.columns[2].group_bys = 0;
         let spec = recommend_partition(&schema(), &stats(1000), &a, &Default::default());
         assert!(spec.is_none_or(|s| s.vertical.is_none()));
+    }
+
+    #[test]
+    fn hot_fraction_from_split_selectivity() {
+        let spec = PartitionSpec {
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(900),
+            }),
+            vertical: None,
+        };
+        let f = horizontal_hot_fraction(&stats(1000), &spec);
+        assert!((f - 99.0 / 999.0).abs() < 1e-9, "got {f}");
+        // No horizontal split -> nothing hot.
+        assert_eq!(
+            horizontal_hot_fraction(&stats(1000), &PartitionSpec::default()),
+            0.0
+        );
+    }
+
+    /// Regression: a split column with missing statistics must mean "no
+    /// horizontal split information" (hot fraction 0), not the selectivity
+    /// estimator's whole-domain fallback of 1.0 that priced the partition
+    /// as 100 % hot row store.
+    #[test]
+    fn missing_split_stats_mean_no_hot_fraction() {
+        let spec = PartitionSpec {
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(900),
+            }),
+            vertical: None,
+        };
+        // Empty stats: the split column exists but min/max are unknown.
+        assert_eq!(horizontal_hot_fraction(&TableStats::empty(4), &spec), 0.0);
+        // Split column out of range of the stats vector.
+        assert_eq!(horizontal_hot_fraction(&TableStats::empty(0), &spec), 0.0);
     }
 
     #[test]

@@ -161,6 +161,15 @@ impl HybridDatabase {
         Ok(self.table_data(table)?.delta_tail())
     }
 
+    /// Rows resident in the region a delta merge on `table` would remap:
+    /// the whole table for single-store layouts, the cold partition for
+    /// hot/cold layouts ([`TableData::merge_region_rows`]). Merge-cost
+    /// models should price merges at this count, not
+    /// [`HybridDatabase::row_count`].
+    pub fn merge_region_rows(&self, table: &str) -> Result<usize> {
+        Ok(self.table_data(table)?.merge_region_rows())
+    }
+
     /// Whether an incremental delta merge is in flight on a table (always
     /// `false` for row-store-only layouts).
     pub fn merge_in_progress(&self, table: &str) -> Result<bool> {

@@ -33,10 +33,10 @@ pub mod worker;
 pub use database::HybridDatabase;
 pub use executor::{GroupRow, QueryOutput};
 pub use maintenance::{MergeConfig, MergeMode};
-pub use partition::{TableData, VerticalPair};
+pub use partition::{MergePartition, TableData, VerticalPair};
 pub use recorder::StatisticsRecorder;
 pub use runner::{RunReport, WorkloadRunner};
 pub use worker::{
-    BackgroundWorker, MaintenanceWorker, MergePacer, PacerConfig, SharedDatabase, SliceReport,
-    WorkerConfig, WorkerStats,
+    BackgroundWorker, MaintenanceWorker, MergeJob, MergePacer, PacerConfig, SharedDatabase,
+    SliceReport, WorkerConfig, WorkerStats,
 };

@@ -10,7 +10,7 @@ use hsd_storage::Table;
 use hsd_types::{Result, Value};
 
 use crate::database::HybridDatabase;
-use crate::partition::{ColdPart, TableData};
+use crate::partition::{ColdPart, MergePartition, TableData};
 
 /// Apply `layout` to the database. Tables whose placement already matches
 /// are left untouched. Returns the names of the tables that were rebuilt.
@@ -102,6 +102,20 @@ pub fn merge_delta(db: &mut HybridDatabase, table: &str) -> Result<usize> {
     Ok(db.table_data_mut(table)?.compact_deltas())
 }
 
+/// [`merge_delta`] routed to one physical region: the cold partition's
+/// column-store fragment for [`MergePartition::Cold`], every column-store
+/// region for [`MergePartition::Whole`]. A `Cold` job whose table has since
+/// moved back to a single store merges the whole table (the safe superset).
+pub fn merge_delta_partition(
+    db: &mut HybridDatabase,
+    table: &str,
+    partition: MergePartition,
+) -> Result<usize> {
+    Ok(db
+        .table_data_mut(table)?
+        .compact_deltas_partition(partition))
+}
+
 /// One bounded slice of an **incremental** delta merge: remap at most
 /// `budget_rows` code-vector entries of `table`'s column-store region, then
 /// return control to the caller.
@@ -119,6 +133,21 @@ pub fn merge_delta_step(
     budget_rows: usize,
 ) -> Result<hsd_storage::MergeProgress> {
     Ok(db.table_data_mut(table)?.compact_deltas_step(budget_rows))
+}
+
+/// [`merge_delta_step`] routed to one physical region (the routing rules of
+/// [`merge_delta_partition`]): an advisor-scheduled cold-fragment merge
+/// slices only the cold partition's column-store fragment, never touching
+/// the hot row-store partition the serving loop is writing into.
+pub fn merge_delta_step_partition(
+    db: &mut HybridDatabase,
+    table: &str,
+    partition: MergePartition,
+    budget_rows: usize,
+) -> Result<hsd_storage::MergeProgress> {
+    Ok(db
+        .table_data_mut(table)?
+        .compact_deltas_step_partition(partition, budget_rows))
 }
 
 /// Cancel an in-flight incremental delta merge on `table`, abandoning the

@@ -7,6 +7,23 @@ use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement, VerticalSpec};
 use hsd_storage::{ColRange, RowSel, SelVec, StoreKind, Table};
 use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
 
+/// Which physical region of a table a delta merge targets.
+///
+/// Maintenance jobs are keyed by `(table, partition)`: a cold-fragment
+/// merge scheduled while the table was partitioned and a later full-table
+/// merge scheduled after a move back to a single store are *distinct* jobs,
+/// so a worker queue can hold (and dedupe) them independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MergePartition {
+    /// Every column-store region of the table (the only region a
+    /// single-store column table has).
+    Whole,
+    /// The cold partition (or its column-store fragment) of a partitioned
+    /// table — the only region of a hot/cold layout that carries a delta
+    /// tail, since the hot partition is row-store resident.
+    Cold,
+}
+
 /// Where a logical column lives inside a [`VerticalPair`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Loc {
@@ -558,6 +575,51 @@ impl TableData {
                 ColdPart::Single(t) => t.compact_delta_step(budget_rows),
                 ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta_step(budget_rows),
             },
+        }
+    }
+
+    /// Run the full delta merge on the region `partition` names: the cold
+    /// partition's column-store fragment for [`MergePartition::Cold`], every
+    /// column-store region for [`MergePartition::Whole`]. A `Cold` job whose
+    /// table has since moved back to a single store falls through to the
+    /// whole-table path (the safe superset of the scheduled work).
+    pub fn compact_deltas_partition(&mut self, partition: MergePartition) -> usize {
+        match (partition, &mut *self) {
+            (MergePartition::Cold, TableData::Partitioned { cold, .. }) => match cold {
+                ColdPart::Single(t) => t.compact_delta(),
+                ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta(),
+            },
+            _ => self.compact_deltas(),
+        }
+    }
+
+    /// One bounded slice of the incremental merge, routed to the region
+    /// `partition` names (see [`TableData::compact_deltas_partition`] for
+    /// the routing rules).
+    pub fn compact_deltas_step_partition(
+        &mut self,
+        partition: MergePartition,
+        budget_rows: usize,
+    ) -> hsd_storage::MergeProgress {
+        match (partition, &mut *self) {
+            (MergePartition::Cold, TableData::Partitioned { cold, .. }) => match cold {
+                ColdPart::Single(t) => t.compact_delta_step(budget_rows),
+                ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta_step(budget_rows),
+            },
+            _ => self.compact_deltas_step(budget_rows),
+        }
+    }
+
+    /// Rows resident in the region a delta merge actually remaps: the whole
+    /// table for single-store layouts, the cold partition for hot/cold
+    /// layouts (the hot partition is row-store resident and never merged).
+    /// This is the row count merge-cost models should use — pricing a
+    /// cold-fragment merge at the full table's row count over-charges
+    /// partitioned placements.
+    pub fn merge_region_rows(&self) -> usize {
+        match self {
+            TableData::Single(t) => t.row_count(),
+            TableData::Partitioned { cold, .. } => cold.row_count(),
         }
     }
 

@@ -3,10 +3,13 @@
 //! serving loop keeps its tails shrinking without ever taking the full-table
 //! stop-the-world remap of [`crate::mover::merge_delta`].
 //!
-//! The worker owns a FIFO of merge jobs (one per table, deduplicated). Each
+//! The worker owns a FIFO of [`MergeJob`]s, keyed and deduplicated by
+//! `(table, partition)` — a cold-fragment merge of a partitioned table and
+//! a whole-table merge are distinct jobs. Each
 //! [`MaintenanceWorker::tick`] advances the front job by one slice through
-//! the resumable shadow-rebuild protocol
-//! ([`crate::mover::merge_delta_step`]); queries executed between ticks see
+//! the resumable shadow-rebuild protocol, routed to the job's region
+//! ([`crate::mover::merge_delta_step_partition`] — a cold-fragment job
+//! never touches the hot row-store partition); queries executed between ticks see
 //! a fully consistent table, writes are mirrored into the shadow behind the
 //! copy cursor, and the dictionary handoff at swap bumps the table's merge
 //! epoch ([`crate::database::HybridDatabase::merge_epoch`]) so observers can
@@ -43,6 +46,19 @@ use hsd_types::Result;
 
 use crate::database::HybridDatabase;
 use crate::mover;
+use crate::partition::MergePartition;
+
+/// One queued merge job: the table plus the physical region to fold. Jobs
+/// are identified (and deduplicated) by the full `(table, partition)` pair —
+/// a cold-fragment merge and a later whole-table merge of the same table
+/// are distinct work items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeJob {
+    /// Table the merge targets.
+    pub table: String,
+    /// Physical region of the table the merge is routed to.
+    pub partition: MergePartition,
+}
 
 /// Settings of the [`MergePacer`].
 #[derive(Debug, Clone)]
@@ -173,7 +189,18 @@ impl MergePacer {
                 self.cfg.grow
             }
         };
-        let next = (self.budget as f64 * factor).round() as usize;
+        // Apply the factor with a guaranteed ≥1-row step toward the clamp
+        // bound: with a small budget and a factor near 1.0, rounding alone
+        // can be a no-op, leaving a degraded stream that never backs off
+        // (or an idle one that never grows).
+        let scaled = (self.budget as f64 * factor).round() as usize;
+        let next = if factor < 1.0 {
+            scaled.min(self.budget.saturating_sub(1))
+        } else if factor > 1.0 {
+            scaled.max(self.budget.saturating_add(1))
+        } else {
+            scaled
+        };
         self.budget = next.clamp(self.cfg.min_budget, self.cfg.max_budget);
         self.budget
     }
@@ -219,6 +246,8 @@ pub struct WorkerStats {
 pub struct SliceReport {
     /// Table the slice advanced.
     pub table: String,
+    /// Physical region the slice was routed to.
+    pub partition: MergePartition,
     /// Remap budget the pacer granted the slice.
     pub budget: usize,
     /// Progress reported by the storage layer.
@@ -230,7 +259,7 @@ pub struct SliceReport {
 /// # Example
 ///
 /// ```
-/// use hsd_engine::{HybridDatabase, MaintenanceWorker, MergeConfig};
+/// use hsd_engine::{HybridDatabase, MaintenanceWorker, MergeConfig, MergePartition};
 /// use hsd_storage::StoreKind;
 /// use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 ///
@@ -248,7 +277,7 @@ pub struct SliceReport {
 /// db.set_merge_config(MergeConfig::disabled());
 ///
 /// let mut worker = MaintenanceWorker::default();
-/// worker.enqueue("t");
+/// worker.enqueue("t", MergePartition::Whole);
 /// // The serving loop: execute a statement, feed its latency to the
 /// // pacer, let the worker advance one bounded slice.
 /// while worker.tick(&mut db)?.is_some() {
@@ -259,7 +288,7 @@ pub struct SliceReport {
 /// ```
 #[derive(Debug)]
 pub struct MaintenanceWorker {
-    queue: VecDeque<String>,
+    queue: VecDeque<MergeJob>,
     pacer: MergePacer,
     stats: WorkerStats,
 }
@@ -280,21 +309,35 @@ impl MaintenanceWorker {
         }
     }
 
-    /// Enqueue a merge job for `table`. Returns `false` (and leaves the
-    /// queue unchanged) when the table already has a job queued — one job
-    /// folds everything the table accumulates while it runs, so duplicates
-    /// add no work.
-    pub fn enqueue(&mut self, table: &str) -> bool {
-        if self.has_job(table) {
+    /// Enqueue a merge job for the `partition` region of `table`. Returns
+    /// `false` (and leaves the queue unchanged) when the same
+    /// `(table, partition)` job is already queued — one job folds everything
+    /// its region accumulates while it runs, so exact duplicates add no
+    /// work. Jobs for a *different* region of the same table are distinct
+    /// and are queued normally (a cold-fragment merge does not satisfy a
+    /// later whole-table merge request).
+    pub fn enqueue(&mut self, table: &str, partition: MergePartition) -> bool {
+        if self.has_job(table, partition) {
             return false;
         }
-        self.queue.push_back(table.to_string());
+        self.queue.push_back(MergeJob {
+            table: table.to_string(),
+            partition,
+        });
         true
     }
 
-    /// Whether `table` has a queued (possibly in-flight) job.
-    pub fn has_job(&self, table: &str) -> bool {
-        self.queue.iter().any(|t| t == table)
+    /// Whether the exact `(table, partition)` job is queued (possibly in
+    /// flight).
+    pub fn has_job(&self, table: &str, partition: MergePartition) -> bool {
+        self.queue
+            .iter()
+            .any(|j| j.table == table && j.partition == partition)
+    }
+
+    /// Whether `table` has any queued job, regardless of region.
+    pub fn has_job_for_table(&self, table: &str) -> bool {
+        self.queue.iter().any(|j| j.table == table)
     }
 
     /// Whether the worker has no work.
@@ -307,17 +350,17 @@ impl MaintenanceWorker {
         self.queue.len()
     }
 
-    /// Retract the job for `table`: remove it from the queue and cancel any
+    /// Retract every job for `table` (any region — a retraction is a
+    /// table-level decision): remove them from the queue and cancel any
     /// in-flight shadow rebuild on the table (the live data stayed
     /// authoritative throughout, so cancellation only discards remap work).
     /// Returns whether anything was retracted.
     pub fn retract(&mut self, db: &mut HybridDatabase, table: &str) -> Result<bool> {
-        let queued = self.queue.iter().position(|t| t == table);
-        if let Some(i) = queued {
-            self.queue.remove(i);
-        }
+        let before = self.queue.len();
+        self.queue.retain(|j| j.table != table);
+        let dequeued = self.queue.len() < before;
         let cancelled = mover::cancel_merge(db, table).unwrap_or(0);
-        let retracted = queued.is_some() || cancelled > 0;
+        let retracted = dequeued || cancelled > 0;
         if retracted {
             self.stats.jobs_retracted += 1;
         }
@@ -333,19 +376,20 @@ impl MaintenanceWorker {
     /// when the queue is empty; otherwise the slice report. A job whose
     /// table no longer exists is dropped (the error is propagated once).
     pub fn tick(&mut self, db: &mut HybridDatabase) -> Result<Option<SliceReport>> {
-        let Some(table) = self.queue.front().cloned() else {
+        let Some(job) = self.queue.front().cloned() else {
             return Ok(None);
         };
         let budget = self.pacer.next_budget();
-        let progress = match mover::merge_delta_step(db, &table, budget) {
-            Ok(p) => p,
-            Err(e) => {
-                // The table vanished (moved/rebuilt under a different
-                // name): the job is moot.
-                self.queue.pop_front();
-                return Err(e);
-            }
-        };
+        let progress =
+            match mover::merge_delta_step_partition(db, &job.table, job.partition, budget) {
+                Ok(p) => p,
+                Err(e) => {
+                    // The table vanished (moved/rebuilt under a different
+                    // name): the job is moot.
+                    self.queue.pop_front();
+                    return Err(e);
+                }
+            };
         self.stats.slices += 1;
         self.stats.rows_remapped += progress.rows_remapped as u64;
         self.stats.entries_folded += progress.entries_folded as u64;
@@ -354,7 +398,8 @@ impl MaintenanceWorker {
             self.stats.jobs_completed += 1;
         }
         Ok(Some(SliceReport {
-            table,
+            table: job.table,
+            partition: job.partition,
             budget,
             progress,
         }))
@@ -392,7 +437,7 @@ impl MaintenanceWorker {
 pub type SharedDatabase = Arc<Mutex<HybridDatabase>>;
 
 enum Command {
-    Enqueue(String),
+    Enqueue(String, MergePartition),
     Retract(String),
     Latency(f64),
     /// Stop the worker; `drain` runs every queued job to completion first.
@@ -440,8 +485,8 @@ impl BackgroundWorker {
                         }
                     };
                     match cmd {
-                        Command::Enqueue(t) => {
-                            worker.enqueue(&t);
+                        Command::Enqueue(t, partition) => {
+                            worker.enqueue(&t, partition);
                         }
                         Command::Retract(t) => {
                             let mut db = db.lock().expect("database mutex poisoned");
@@ -478,9 +523,9 @@ impl BackgroundWorker {
         }
     }
 
-    /// Enqueue a merge job for `table`.
-    pub fn enqueue(&self, table: &str) {
-        let _ = self.tx.send(Command::Enqueue(table.to_string()));
+    /// Enqueue a merge job for the `partition` region of `table`.
+    pub fn enqueue(&self, table: &str, partition: MergePartition) {
+        let _ = self.tx.send(Command::Enqueue(table.to_string(), partition));
     }
 
     /// Retract the job for `table` (queue removal + in-flight
@@ -592,8 +637,11 @@ mod tests {
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
         });
-        assert!(worker.enqueue("t"));
-        assert!(!worker.enqueue("t"), "duplicate jobs are rejected");
+        assert!(worker.enqueue("t", MergePartition::Whole));
+        assert!(
+            !worker.enqueue("t", MergePartition::Whole),
+            "duplicate jobs are rejected"
+        );
         let mut slices = 0;
         while let Some(report) = worker.tick(&mut db).unwrap() {
             slices += 1;
@@ -662,6 +710,43 @@ mod tests {
         assert_eq!(pacer.budget(), 64, "floor bounds the shrink");
     }
 
+    /// At `min_budget + 1` with a shrink factor near 1.0, rounding alone is
+    /// a no-op (`round(5 · 0.9) = 5`): the budget must still step down to
+    /// the floor so a degraded stream actually backs off. Symmetrically, a
+    /// growth factor whose rounding is a no-op must still step up.
+    #[test]
+    fn pacer_steps_despite_rounding_no_op_factors() {
+        let cfg = PacerConfig {
+            initial_budget: 5,
+            min_budget: 4,
+            max_budget: 8,
+            degrade_threshold: 1.5,
+            shrink: 0.9,
+            grow: 1.05,
+            window: 4,
+            baseline_decay: 0.0,
+        };
+        let mut pacer = MergePacer::new(cfg);
+        pacer.observe_query_latency(1.0); // baseline frozen at 1 ms
+        for _ in 0..4 {
+            pacer.observe_query_latency(10.0); // degraded p99
+        }
+        assert_eq!(
+            pacer.next_budget(),
+            4,
+            "shrink at min_budget + 1 must reach the floor, not stall at 5"
+        );
+        // Healthy stream: grow 1.05 rounds to a no-op at 4, but must step.
+        let mut pacer = MergePacer::new(PacerConfig {
+            initial_budget: 4,
+            ..pacer.cfg.clone()
+        });
+        for _ in 0..4 {
+            pacer.observe_query_latency(1.0);
+        }
+        assert_eq!(pacer.next_budget(), 5, "growth must step past rounding");
+    }
+
     #[test]
     fn retract_cancels_in_flight_job() {
         let mut db = column_db(200);
@@ -670,7 +755,7 @@ mod tests {
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
         });
-        worker.enqueue("t");
+        worker.enqueue("t", MergePartition::Whole);
         // Start the merge but do not finish it.
         let report = worker.tick(&mut db).unwrap().unwrap();
         assert!(!report.progress.done);
@@ -700,7 +785,7 @@ mod tests {
             },
             Duration::from_millis(1),
         );
-        worker.enqueue("t");
+        worker.enqueue("t", MergePartition::Whole);
         // Serve queries from this thread while the worker slices away.
         for _ in 0..50 {
             let start = std::time::Instant::now();
@@ -723,9 +808,41 @@ mod tests {
     fn tick_on_unknown_table_drops_the_job() {
         let mut db = column_db(10);
         let mut worker = MaintenanceWorker::default();
-        worker.enqueue("nope");
+        worker.enqueue("nope", MergePartition::Whole);
         assert!(worker.tick(&mut db).is_err());
         assert!(worker.is_idle(), "the moot job is dropped");
         assert!(worker.tick(&mut db).unwrap().is_none());
+    }
+
+    /// Jobs are keyed by `(table, partition)`: a cold-fragment merge and a
+    /// later whole-table merge of the same table are distinct queue entries,
+    /// while an exact duplicate is still deduplicated. Retraction stays
+    /// table-level and clears both.
+    #[test]
+    fn jobs_are_keyed_by_table_and_partition() {
+        let mut db = column_db(20);
+        let mut worker = MaintenanceWorker::default();
+        assert!(worker.enqueue("t", MergePartition::Cold));
+        assert!(
+            worker.enqueue("t", MergePartition::Whole),
+            "a whole-table job is distinct from the queued cold-fragment job"
+        );
+        assert!(
+            !worker.enqueue("t", MergePartition::Cold),
+            "exact (table, partition) duplicates are still rejected"
+        );
+        assert_eq!(worker.queue_len(), 2);
+        assert!(worker.has_job("t", MergePartition::Cold));
+        assert!(worker.has_job("t", MergePartition::Whole));
+        assert!(!worker.has_job("u", MergePartition::Cold));
+        assert!(worker.has_job_for_table("t"));
+        // Ticking drains the jobs in FIFO order, reporting each region.
+        let first = worker.tick(&mut db).unwrap().unwrap();
+        assert_eq!(first.table, "t");
+        assert_eq!(first.partition, MergePartition::Cold);
+        // Retraction removes every remaining job for the table.
+        assert!(worker.retract(&mut db, "t").unwrap());
+        assert!(worker.is_idle());
+        assert!(!worker.has_job_for_table("t"));
     }
 }
