@@ -162,7 +162,10 @@ fn pacer() -> PacerConfig {
 fn run_policy(scale: &Scale, s: &TableSpec, policy: Policy) -> PolicyReport {
     let mut db = prepared_db(s, scale.tail_updates);
     let merge_at = scale.statements / 10;
-    let mut worker = MaintenanceWorker::new(WorkerConfig { pacer: pacer() });
+    let mut worker = MaintenanceWorker::new(WorkerConfig {
+        pacer: pacer(),
+        ..WorkerConfig::default()
+    });
     let mut latencies = Vec::with_capacity(scale.statements);
     let mut merged = 0usize;
     let started = Instant::now();
@@ -210,7 +213,10 @@ fn run_threaded(scale: &Scale, s: &TableSpec) -> PolicyReport {
     let shared: SharedDatabase = std::sync::Arc::new(std::sync::Mutex::new(db));
     let worker = BackgroundWorker::spawn(
         shared.clone(),
-        WorkerConfig { pacer: pacer() },
+        WorkerConfig {
+            pacer: pacer(),
+            ..WorkerConfig::default()
+        },
         std::time::Duration::from_micros(200),
     );
     let merge_at = scale.statements / 10;
@@ -220,7 +226,7 @@ fn run_threaded(scale: &Scale, s: &TableSpec) -> PolicyReport {
         let q = statement(s, i, scale.scan_every);
         let t0 = Instant::now();
         {
-            let mut guard = shared.lock().expect("lock");
+            let mut guard = hsd_engine::lock_database(&shared);
             guard.execute(&q).expect("execute");
         }
         if i == merge_at {

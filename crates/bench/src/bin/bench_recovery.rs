@@ -1,0 +1,238 @@
+//! WAL overhead and crash-recovery cost, recorded as `BENCH_recovery.json`.
+//!
+//! Three questions about the durability layer, measured on an OLTP-shaped
+//! single-row insert/update stream:
+//!
+//! * **Logging overhead** — the same statement stream timed with the WAL
+//!   detached and attached (file-backed, batched fsyncs):
+//!   `wal_overhead_ratio = on_ms / off_ms`.
+//! * **Write amplification** — physical frame bytes over logical payload
+//!   bytes from the writer's lifetime counters:
+//!   `wal_write_amplification`.
+//! * **Recovery time** — `HybridDatabase::recover` replaying the log at two
+//!   sizes (the large log is 4x the statements of the small one), with
+//!   `recovery_time_ratio = large_ms / small_ms` showing how replay scales.
+//!
+//! The pass flag is correctness, not speed: both recoveries must rebuild
+//! exactly the live database's table contents (compared by a canonical
+//! sorted probe).
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_recovery`
+//! (`-- --smoke` for the small CI configuration).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hsd_bench::ratio_json;
+use hsd_engine::{mover, HybridDatabase, MergeConfig, QueryOutput};
+use hsd_query::{InsertQuery, Query, SelectQuery, UpdateQuery};
+use hsd_storage::{ColRange, StoreKind};
+use hsd_types::{ColumnDef, ColumnType, Json, TableSchema, Value};
+
+struct Scale {
+    /// Statements of the small log; the large log runs 4x as many.
+    statements: usize,
+    /// Rows preloaded before the stream starts.
+    base_rows: usize,
+    smoke: bool,
+}
+
+impl Scale {
+    fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        if smoke {
+            Scale {
+                statements: 2_000,
+                base_rows: 5_000,
+                smoke: true,
+            }
+        } else {
+            Scale {
+                statements: 20_000,
+                base_rows: 50_000,
+                smoke: false,
+            }
+        }
+    }
+}
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", ColumnType::BigInt),
+            ColumnDef::new("kf", ColumnType::Double),
+            ColumnDef::new("grp", ColumnType::Integer),
+        ],
+        vec![0],
+    )
+    .expect("schema")
+}
+
+/// Load the base table and run the statement stream: 2/3 fresh-id inserts,
+/// 1/3 point updates, with a periodic explicit delta merge so the log also
+/// carries merge-completion records.
+fn run_stream(db: &mut HybridDatabase, base_rows: usize, statements: usize) {
+    db.create_single(schema(), StoreKind::Column)
+        .expect("create");
+    db.bulk_load(
+        "t",
+        (0..base_rows as i64).map(|i| {
+            vec![
+                Value::BigInt(i),
+                Value::Double(i as f64 * 0.25),
+                Value::Int((i % 9) as i32),
+            ]
+        }),
+    )
+    .expect("load");
+    for i in 0..statements {
+        let q = if i % 3 == 2 {
+            Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(1, Value::Double(1e6 + i as f64 * 0.017))],
+                filter: vec![ColRange::eq(0, Value::BigInt((i % base_rows) as i64))],
+            })
+        } else {
+            Query::Insert(InsertQuery {
+                table: "t".into(),
+                rows: vec![vec![
+                    Value::BigInt((base_rows + i) as i64),
+                    Value::Double(i as f64 * 0.5),
+                    Value::Int((i % 9) as i32),
+                ]],
+            })
+        };
+        db.execute(&q).expect("statement");
+        if i % 1_000 == 999 {
+            mover::merge_delta(db, "t").expect("merge");
+        }
+    }
+}
+
+/// Canonical table contents, sorted by primary key — the correctness
+/// checksum compared between the live and the recovered database.
+fn probe(db: &mut HybridDatabase) -> Vec<Vec<Value>> {
+    let out = db
+        .execute(&Query::Select(SelectQuery {
+            table: "t".into(),
+            columns: None,
+            filter: vec![],
+        }))
+        .expect("probe");
+    let mut rows = match out {
+        QueryOutput::Rows(r) => r,
+        other => panic!("probe expected rows, got {other:?}"),
+    };
+    rows.sort_by_key(|r| match &r[0] {
+        Value::BigInt(i) => *i,
+        v => panic!("non-bigint key {v:?}"),
+    });
+    rows
+}
+
+fn wal_path(tag: &str) -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join(format!("hsd_bench_recovery_{tag}.wal"))
+}
+
+/// One logged run: stream into a fresh WAL at `path`, returning
+/// `(elapsed_ms, final probe, frame_bytes, payload_bytes)`.
+fn logged_run(
+    path: &PathBuf,
+    base_rows: usize,
+    statements: usize,
+) -> (f64, Vec<Vec<Value>>, u64, u64) {
+    let _ = std::fs::remove_file(path);
+    let (mut db, report) = HybridDatabase::recover(path).expect("open wal");
+    assert!(report.is_clean() && report.records_replayed == 0);
+    db.set_merge_config(MergeConfig::disabled());
+    let start = Instant::now();
+    run_stream(&mut db, base_rows, statements);
+    db.sync_wal().expect("final sync");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = db.wal_stats().expect("wal stats");
+    (ms, probe(&mut db), stats.frame_bytes, stats.payload_bytes)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+
+    // Baseline: the identical stream with no WAL attached.
+    let mut off_db = HybridDatabase::new();
+    off_db.set_merge_config(MergeConfig::disabled());
+    let start = Instant::now();
+    run_stream(&mut off_db, scale.base_rows, scale.statements);
+    let off_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Logged runs at two log sizes.
+    let small_path = wal_path("small");
+    let large_path = wal_path("large");
+    let (on_ms, small_probe, frame_bytes, payload_bytes) =
+        logged_run(&small_path, scale.base_rows, scale.statements);
+    let (_, large_probe, _, _) = logged_run(&large_path, scale.base_rows, scale.statements * 4);
+    eprintln!(
+        "[bench_recovery] stream of {} statements: {off_ms:.1} ms without WAL, \
+         {on_ms:.1} ms with WAL ({:.3}x)",
+        scale.statements,
+        on_ms / off_ms
+    );
+
+    // Recovery replays.
+    let recover = |path: &PathBuf, expected: &Vec<Vec<Value>>| {
+        let bytes = std::fs::metadata(path).expect("wal metadata").len();
+        let start = Instant::now();
+        let (mut rec, report) = HybridDatabase::recover(path).expect("recover");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let ok = report.is_clean() && &probe(&mut rec) == expected;
+        eprintln!(
+            "[bench_recovery] recovered {bytes} bytes / {} records in {ms:.1} ms -> {}",
+            report.records_replayed,
+            if ok { "match" } else { "MISMATCH" }
+        );
+        (bytes, report.records_replayed, ms, ok)
+    };
+    let (small_bytes, small_records, small_ms, small_ok) = recover(&small_path, &small_probe);
+    let (large_bytes, large_records, large_ms, large_ok) = recover(&large_path, &large_probe);
+    let pass = small_ok && large_ok;
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("wal_recovery".into())),
+        ("smoke", Json::Bool(scale.smoke)),
+        ("base_rows", Json::Int(scale.base_rows as i64)),
+        ("statements", Json::Int(scale.statements as i64)),
+        ("wal_off_ms", Json::Num(off_ms)),
+        ("wal_on_ms", Json::Num(on_ms)),
+        ("wal_overhead_ratio", ratio_json(on_ms, off_ms)),
+        (
+            "wal_write_amplification",
+            ratio_json(frame_bytes as f64, payload_bytes as f64),
+        ),
+        (
+            "recovery_small",
+            Json::obj([
+                ("log_bytes", Json::Int(small_bytes as i64)),
+                ("records", Json::Int(small_records as i64)),
+                ("ms", Json::Num(small_ms)),
+            ]),
+        ),
+        (
+            "recovery_large",
+            Json::obj([
+                ("log_bytes", Json::Int(large_bytes as i64)),
+                ("records", Json::Int(large_records as i64)),
+                ("ms", Json::Num(large_ms)),
+            ]),
+        ),
+        ("recovery_time_ratio", ratio_json(large_ms, small_ms)),
+        ("pass", Json::Bool(pass)),
+    ]);
+    std::fs::write("BENCH_recovery.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_recovery.json");
+    eprintln!("[bench_recovery] wrote BENCH_recovery.json");
+    let _ = std::fs::remove_file(&small_path);
+    let _ = std::fs::remove_file(&large_path);
+    if !pass {
+        std::process::exit(1);
+    }
+}

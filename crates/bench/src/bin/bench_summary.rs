@@ -4,7 +4,8 @@
 //!
 //! For each artifact the summary reports the pass flag and its headline
 //! ratios: explicitly recorded ratio fields (`speedup`, `*_reduction`,
-//! `*_ratio`) found anywhere in the document, plus derived best/baseline
+//! `*_ratio`, `*_amplification`, `*_overhead`) found anywhere in the
+//! document, plus derived best/baseline
 //! throughput ratios for `results`-array benchmarks (`bench_scan`'s
 //! `rows_per_sec` series). Exits non-zero if any artifact records
 //! `pass: false`, so the caller decides whether that gates.
@@ -29,7 +30,9 @@ fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f64>)
                 let ratio_key = k == "speedup"
                     || k.ends_with("_speedup")
                     || k.ends_with("_reduction")
-                    || k.ends_with("_ratio");
+                    || k.ends_with("_ratio")
+                    || k.ends_with("_amplification")
+                    || k.ends_with("_overhead");
                 match v {
                     Json::Num(n) if ratio_key => out.push((path, n.is_finite().then_some(*n))),
                     Json::Int(n) if ratio_key => out.push((path, Some(*n as f64))),

@@ -185,7 +185,9 @@ fn store_from_json(j: &Json) -> JsonResult<StoreKind> {
     }
 }
 
-fn placement_to_json(p: &TablePlacement) -> Json {
+/// Encode one placement as JSON (the per-table encoding of
+/// [`StorageLayout::to_json`]; also used by the engine's WAL record codec).
+pub fn placement_to_json(p: &TablePlacement) -> Json {
     match p {
         TablePlacement::Single(s) => Json::obj([("Single", store_to_json(*s))]),
         TablePlacement::Partitioned(spec) => {
@@ -211,7 +213,8 @@ fn placement_to_json(p: &TablePlacement) -> Json {
     }
 }
 
-fn placement_from_json(j: &Json) -> JsonResult<TablePlacement> {
+/// Decode a placement written by [`placement_to_json`].
+pub fn placement_from_json(j: &Json) -> JsonResult<TablePlacement> {
     if let Some(s) = j.get_opt("Single") {
         return Ok(TablePlacement::Single(store_from_json(s)?));
     }

@@ -24,6 +24,9 @@ pub mod stats;
 pub mod workload_stats;
 
 pub use catalog::{Catalog, TableEntry};
-pub use layout::{HorizontalSpec, PartitionSpec, StorageLayout, TablePlacement, VerticalSpec};
+pub use layout::{
+    placement_from_json, placement_to_json, HorizontalSpec, PartitionSpec, StorageLayout,
+    TablePlacement, VerticalSpec,
+};
 pub use stats::{ColumnStats, TableStats};
 pub use workload_stats::{ColumnActivity, ExtendedStats, RangeEnvelope, TableActivity};

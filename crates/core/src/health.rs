@@ -1,0 +1,111 @@
+//! Human-readable recovery health reports for the database administrator.
+//!
+//! Recovery itself lives in `hsd_engine::durability`; this module renders
+//! its [`RecoveryReport`] the way [`crate::report`] renders advisor
+//! recommendations — the operator-facing text surfaced after a restart, in
+//! particular when the log came back torn or with quarantined tables.
+
+use std::fmt::Write as _;
+
+use hsd_engine::RecoveryReport;
+
+/// Render a recovery report as the post-restart health summary.
+pub fn render_health(report: &RecoveryReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Recovery Health Report ===");
+    let _ = writeln!(
+        out,
+        "status: {}",
+        if report.is_clean() {
+            "CLEAN"
+        } else {
+            "DEGRADED"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "log: {} of {} bytes recovered",
+        report.recovered_len, report.scanned_len
+    );
+    let _ = writeln!(
+        out,
+        "records: {} replayed ({} completed merges re-applied), {} skipped",
+        report.records_replayed, report.merges_replayed, report.records_skipped
+    );
+    match report.torn_tail {
+        Some(offset) => {
+            let _ = writeln!(
+                out,
+                "torn tail: truncated at byte {offset} ({} bytes of an \
+                 uncommitted record discarded)",
+                report.scanned_len.saturating_sub(offset)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "torn tail: none");
+        }
+    }
+    if report.degraded.is_empty() {
+        let _ = writeln!(out, "degraded tables: none");
+    } else {
+        let _ = writeln!(
+            out,
+            "degraded tables: {} (read-only until cleared)",
+            report.degraded.len()
+        );
+        for d in &report.degraded {
+            let _ = writeln!(out, "  {:<16} {}", d.table, d.reason);
+        }
+        let _ = writeln!(
+            out,
+            "action: verify the listed tables against an external source, \
+             then clear_degraded() to restore writes"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_engine::DegradedTable;
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let report = RecoveryReport {
+            records_replayed: 12,
+            merges_replayed: 2,
+            recovered_len: 4096,
+            scanned_len: 4096,
+            ..RecoveryReport::default()
+        };
+        let text = render_health(&report);
+        assert!(text.contains("status: CLEAN"));
+        assert!(text.contains("4096 of 4096 bytes"));
+        assert!(text.contains("12 replayed (2 completed merges re-applied)"));
+        assert!(text.contains("torn tail: none"));
+        assert!(text.contains("degraded tables: none"));
+    }
+
+    #[test]
+    fn damage_is_itemized() {
+        let report = RecoveryReport {
+            records_replayed: 7,
+            records_skipped: 3,
+            torn_tail: Some(900),
+            recovered_len: 900,
+            scanned_len: 1000,
+            degraded: vec![DegradedTable {
+                table: "orders".into(),
+                reason: "corrupt record at byte 512".into(),
+            }],
+            ..RecoveryReport::default()
+        };
+        let text = render_health(&report);
+        assert!(text.contains("status: DEGRADED"));
+        assert!(text.contains("truncated at byte 900 (100 bytes"));
+        assert!(text.contains("orders"));
+        assert!(text.contains("corrupt record at byte 512"));
+        assert!(text.contains("clear_degraded()"));
+    }
+}

@@ -31,6 +31,7 @@ pub mod advisor;
 pub mod calibration;
 pub mod cost;
 pub mod estimator;
+pub mod health;
 pub mod maintenance;
 pub mod online;
 pub mod partition;
@@ -42,6 +43,7 @@ pub use cost::{AdjustmentFn, CostModel, StoreModel};
 pub use estimator::{
     placement_fragment_drivers, EstimationCtx, FragmentDrivers, MaintenanceDrivers, TableCtx,
 };
+pub use health::render_health;
 pub use maintenance::{
     estimate_maintenance, estimate_placement_maintenance, evaluate_merge, MaintenanceAction,
     MaintenanceEstimate, MergeDecision, MergePartition,

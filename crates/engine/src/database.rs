@@ -1,13 +1,15 @@
 //! The hybrid database: catalog + physical table data.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use hsd_catalog::{Catalog, StorageLayout, TablePlacement, TableStats};
 use hsd_query::Query;
+use hsd_storage::wal::{WalStats, WalWriter};
 use hsd_storage::{StoreKind, Table};
 use hsd_types::{Error, Result, TableId, TableSchema, Value};
 
+use crate::durability::WalRecord;
 use crate::executor;
 use crate::maintenance::MergeConfig;
 use crate::partition::TableData;
@@ -49,6 +51,11 @@ pub struct HybridDatabase {
     catalog: Catalog,
     tables: HashMap<TableId, TableData>,
     merge_config: MergeConfig,
+    /// Write-ahead log, when durability is enabled (see
+    /// [`crate::durability`]). `None` keeps the engine purely in-memory.
+    wal: Option<WalWriter>,
+    /// Tables quarantined read-only by crash recovery, with reasons.
+    degraded: BTreeMap<String, String>,
 }
 
 impl HybridDatabase {
@@ -65,8 +72,12 @@ impl HybridDatabase {
     ) -> Result<TableId> {
         let schema = Arc::new(schema);
         let data = TableData::new(schema.clone(), &placement)?;
-        let id = self.catalog.register(schema, placement)?;
+        let id = self.catalog.register(schema.clone(), placement.clone())?;
         self.tables.insert(id, data);
+        self.log_record(&WalRecord::CreateTable {
+            schema: (*schema).clone(),
+            placement,
+        })?;
         Ok(id)
     }
 
@@ -82,17 +93,50 @@ impl HybridDatabase {
     where
         I: IntoIterator<Item = Vec<Value>>,
     {
+        self.check_writable(table)?;
         let id = self.catalog.id_of(table)?;
-        let data = self
-            .tables
-            .get_mut(&id)
-            .ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let wal_on = self.wal.is_some();
+        // The applied rows are collected (only while logging) so a midway
+        // failure can still log the prefix that stuck: the engine has no
+        // statement rollback, and recovery must reproduce the same prefix.
+        let mut applied: Vec<Vec<Value>> = Vec::new();
+        let mut failure: Option<Error> = None;
         let mut n = 0;
-        for row in rows {
-            data.insert(&row)?;
-            n += 1;
+        {
+            let data = self
+                .tables
+                .get_mut(&id)
+                .ok_or_else(|| Error::UnknownTable(table.into()))?;
+            for row in rows {
+                match data.insert(&row) {
+                    Ok(_) => {
+                        n += 1;
+                        if wal_on {
+                            applied.push(row);
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if failure.is_none() {
+                compact_tables(data);
+            }
         }
-        compact_tables(data);
+        if wal_on && !applied.is_empty() {
+            // `load` marks the success path (replay re-compacts); a partial
+            // prefix replays as a plain insert, leaving the tail as-is.
+            self.log_record(&WalRecord::Insert {
+                table: table.to_string(),
+                rows: applied,
+                load: failure.is_none(),
+            })?;
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
         self.refresh_stats_id(id)?;
         Ok(n)
     }
@@ -221,6 +265,7 @@ impl HybridDatabase {
     /// Create a row-store secondary index on a column of a single-store
     /// row table (and annotate the catalog for the cost model).
     pub fn create_index(&mut self, table: &str, col: usize) -> Result<()> {
+        self.check_writable(table)?;
         let id = self.catalog.id_of(table)?;
         let data = self
             .tables
@@ -247,6 +292,10 @@ impl HybridDatabase {
         if !entry.indexed_columns.contains(&col) {
             entry.indexed_columns.push(col);
         }
+        self.log_record(&WalRecord::CreateIndex {
+            table: table.to_string(),
+            column: col,
+        })?;
         Ok(())
     }
 
@@ -267,6 +316,86 @@ impl HybridDatabase {
     /// Total heap bytes across all tables.
     pub fn memory_bytes(&self) -> usize {
         self.tables.values().map(TableData::memory_bytes).sum()
+    }
+
+    /// Enable durability: every mutating operation from here on is appended
+    /// to `wal` (after its in-memory apply succeeds — the durable append is
+    /// the commit point; see [`crate::durability`]).
+    pub fn attach_wal(&mut self, wal: WalWriter) {
+        self.wal = Some(wal);
+    }
+
+    /// Disable durability, returning the writer (e.g. to inspect or sync
+    /// it). Subsequent mutations are no longer logged.
+    pub fn detach_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// Whether a WAL is attached.
+    pub fn wal_active(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Counters of the attached WAL writer, if any.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|w| *w.stats())
+    }
+
+    /// Bytes appended to the attached WAL so far (0 without a WAL).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.len())
+    }
+
+    /// Force the attached WAL to stable storage regardless of the batching
+    /// policy (no-op without a WAL).
+    pub fn sync_wal(&mut self) -> Result<()> {
+        match &mut self.wal {
+            Some(w) => w.sync().map_err(|e| Error::Io(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Tables quarantined read-only by crash recovery: name → reason.
+    pub fn degraded_tables(&self) -> &BTreeMap<String, String> {
+        &self.degraded
+    }
+
+    /// Whether a table is quarantined read-only.
+    pub fn is_degraded(&self, table: &str) -> bool {
+        self.degraded.contains_key(table)
+    }
+
+    /// Operator override: lift a recovery quarantine, restoring
+    /// writability. Returns whether the table was quarantined.
+    pub fn clear_degraded(&mut self, table: &str) -> bool {
+        self.degraded.remove(table).is_some()
+    }
+
+    /// Quarantine a table read-only (recovery's degraded mode).
+    pub(crate) fn mark_degraded(&mut self, table: &str, reason: &str) {
+        self.degraded.insert(table.to_string(), reason.to_string());
+    }
+
+    /// Reject mutations on quarantined tables.
+    pub(crate) fn check_writable(&self, table: &str) -> Result<()> {
+        match self.degraded.get(table) {
+            Some(reason) => Err(Error::Degraded(format!("{table}: {reason}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Append one record to the WAL, if durability is enabled. Called
+    /// *after* the in-memory apply succeeded; an append failure is
+    /// surfaced as [`Error::Io`] (the statement is applied in memory but
+    /// not durable — callers treating the WAL as authoritative should
+    /// discard the instance and recover).
+    pub(crate) fn log_record(&mut self, rec: &WalRecord) -> Result<()> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(());
+        };
+        wal.append(rec.table_tag(), &rec.to_payload())
+            .map(|_| ())
+            .map_err(|e| Error::Io(e.to_string()))
     }
 }
 

@@ -1,0 +1,937 @@
+//! Crash consistency: WAL record semantics, logging, and recovery.
+//!
+//! The storage layer ([`hsd_storage::wal`]) owns the byte format — frames,
+//! checksums, fsync batching, fault classification. This module owns the
+//! *meaning*: which mutating operations are logged ([`WalRecord`]), how they
+//! serialize, and how [`HybridDatabase::recover`] replays a log image back
+//! into the exact committed pre-crash state.
+//!
+//! # Commit semantics
+//!
+//! A record is appended **after** its in-memory apply succeeds and before
+//! the statement returns: the durable append *is* the commit point. A
+//! statement that fails validation never reaches the log (so replay never
+//! re-fails it), and a crash between apply and append simply loses an
+//! uncommitted statement — exactly what the caller was told by never seeing
+//! the statement return. Multi-row inserts that fail midway log the applied
+//! prefix (the engine has no statement rollback; recovery reproduces the
+//! same prefix).
+//!
+//! # Merge records and in-flight merges
+//!
+//! Completed delta merges are logged as [`WalRecord::MergeComplete`] keyed
+//! by `(table, partition, merge_epoch)`; replay re-runs the region merge at
+//! the same point in the statement stream, reconstructing the compacted
+//! physical shape. An **in-flight** incremental merge at crash time has, by
+//! construction, no completion record — its shadow state was never
+//! authoritative (see [`crate::mover::cancel_merge`]), so recovery discards
+//! it losslessly by simply never replaying it: recovered tables always come
+//! up with `merge_in_progress() == false` and identical logical contents.
+//! Replay runs with the auto-merge fallback disabled so the only physical
+//! reorganizations are the logged ones; by the merge-transparency invariant
+//! (see `tests/merge_transparency.rs`) merge timing can never change query
+//! answers, so logical state is exact either way.
+//!
+//! # Graceful degradation
+//!
+//! Recovery never panics on a damaged log. A torn tail (the normal crash
+//! artifact) is truncated to the last valid record. A corrupt **interior**
+//! record — a sound frame boundary whose payload fails its checksum —
+//! quarantines the affected table (attributed via the frame header's table
+//! tag): records for that table from the corruption onward are skipped, the
+//! table comes up **read-only** ([`hsd_types::Error::Degraded`] on any
+//! mutation), and the [`RecoveryReport`] carries the reason for surfacing
+//! (rendered by `hsd-core`'s health report). Other tables replay normally.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::path::Path;
+
+use hsd_catalog::{placement_from_json, placement_to_json, TablePlacement};
+use hsd_query::{InsertQuery, Query, UpdateQuery};
+use hsd_storage::wal::{self, FileBackend, RetryPolicy, SyncPolicy, WalWriter};
+use hsd_storage::ColRange;
+use hsd_types::{
+    ColumnDef, ColumnType, Error, Json, JsonError, JsonResult, Result, TableSchema, Value,
+};
+
+use crate::database::HybridDatabase;
+use crate::maintenance::MergeConfig;
+use crate::mover;
+use crate::partition::MergePartition;
+
+/// Settings of the durable write path.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Fsync batching policy (default: group commit every 32 records).
+    pub sync: SyncPolicy,
+    /// Bounded retry/backoff for transient append faults.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync: SyncPolicy::EveryN(32),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One logged mutating operation (see the module docs for semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table was created.
+    CreateTable {
+        /// The table's schema.
+        schema: TableSchema,
+        /// Its initial placement.
+        placement: TablePlacement,
+    },
+    /// Rows were inserted. `load` marks a bulk load (replay re-compacts
+    /// afterwards, as the original load did).
+    Insert {
+        /// Target table.
+        table: String,
+        /// The inserted rows (for a failed multi-row statement: the applied
+        /// prefix).
+        rows: Vec<Vec<Value>>,
+        /// Whether this was a bulk load (ends with a delta merge).
+        load: bool,
+    },
+    /// An update statement was applied.
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments.
+        sets: Vec<(usize, Value)>,
+        /// Row predicate.
+        filter: Vec<ColRange>,
+    },
+    /// A secondary index was created.
+    CreateIndex {
+        /// Target table.
+        table: String,
+        /// Indexed column.
+        column: usize,
+    },
+    /// The table was physically moved to a new placement.
+    Move {
+        /// Target table.
+        table: String,
+        /// The placement it was rebuilt under.
+        placement: TablePlacement,
+    },
+    /// The hot/cold boundary of a horizontal split was rebalanced.
+    Rebalance {
+        /// Target table.
+        table: String,
+        /// The new split value.
+        split_value: Value,
+    },
+    /// A delta merge (one-shot or the final slice of an incremental merge)
+    /// completed on a region of the table.
+    MergeComplete {
+        /// Target table.
+        table: String,
+        /// Physical region that was folded.
+        partition: MergePartition,
+        /// The table's merge epoch after the completion (diagnostic:
+        /// replay re-merges by region, it does not need to match epochs).
+        merge_epoch: u64,
+    },
+}
+
+impl WalRecord {
+    /// The table this record belongs to.
+    pub fn table_name(&self) -> &str {
+        match self {
+            WalRecord::CreateTable { schema, .. } => &schema.name,
+            WalRecord::Insert { table, .. }
+            | WalRecord::Update { table, .. }
+            | WalRecord::CreateIndex { table, .. }
+            | WalRecord::Move { table, .. }
+            | WalRecord::Rebalance { table, .. }
+            | WalRecord::MergeComplete { table, .. } => table,
+        }
+    }
+
+    /// The frame-header routing tag: CRC-32 of the table name, so interior
+    /// corruption can be attributed even when the payload is unreadable.
+    pub fn table_tag(&self) -> u32 {
+        table_tag(self.table_name())
+    }
+
+    /// Serialize to the frame payload (compact JSON).
+    pub fn to_payload(&self) -> Vec<u8> {
+        self.to_json().to_string().into_bytes()
+    }
+
+    /// Decode a payload written by [`WalRecord::to_payload`].
+    pub fn from_payload(bytes: &[u8]) -> JsonResult<WalRecord> {
+        let s =
+            std::str::from_utf8(bytes).map_err(|_| JsonError("wal payload is not utf-8".into()))?;
+        Self::from_json(&Json::parse(s)?)
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            WalRecord::CreateTable { schema, placement } => Json::obj([
+                ("op", Json::Str("create_table".into())),
+                ("schema", schema_to_json(schema)),
+                ("placement", placement_to_json(placement)),
+            ]),
+            WalRecord::Insert { table, rows, load } => Json::obj([
+                ("op", Json::Str("insert".into())),
+                ("table", Json::Str(table.clone())),
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| Json::Arr(r.iter().map(Json::from_value).collect()))
+                            .collect(),
+                    ),
+                ),
+                ("load", Json::Bool(*load)),
+            ]),
+            WalRecord::Update {
+                table,
+                sets,
+                filter,
+            } => Json::obj([
+                ("op", Json::Str("update".into())),
+                ("table", Json::Str(table.clone())),
+                (
+                    "sets",
+                    Json::Arr(
+                        sets.iter()
+                            .map(|(c, v)| {
+                                Json::obj([
+                                    ("col", Json::Int(*c as i64)),
+                                    ("value", Json::from_value(v)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "filter",
+                    Json::Arr(filter.iter().map(range_to_json).collect()),
+                ),
+            ]),
+            WalRecord::CreateIndex { table, column } => Json::obj([
+                ("op", Json::Str("create_index".into())),
+                ("table", Json::Str(table.clone())),
+                ("column", Json::Int(*column as i64)),
+            ]),
+            WalRecord::Move { table, placement } => Json::obj([
+                ("op", Json::Str("move".into())),
+                ("table", Json::Str(table.clone())),
+                ("placement", placement_to_json(placement)),
+            ]),
+            WalRecord::Rebalance { table, split_value } => Json::obj([
+                ("op", Json::Str("rebalance".into())),
+                ("table", Json::Str(table.clone())),
+                ("split_value", Json::from_value(split_value)),
+            ]),
+            WalRecord::MergeComplete {
+                table,
+                partition,
+                merge_epoch,
+            } => Json::obj([
+                ("op", Json::Str("merge_complete".into())),
+                ("table", Json::Str(table.clone())),
+                (
+                    "partition",
+                    Json::Str(
+                        match partition {
+                            MergePartition::Whole => "whole",
+                            MergePartition::Cold => "cold",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("merge_epoch", Json::Int(*merge_epoch as i64)),
+            ]),
+        }
+    }
+
+    fn from_json(j: &Json) -> JsonResult<WalRecord> {
+        let op = j.get("op")?.as_str()?;
+        match op {
+            "create_table" => Ok(WalRecord::CreateTable {
+                schema: schema_from_json(j.get("schema")?)?,
+                placement: placement_from_json(j.get("placement")?)?,
+            }),
+            "insert" => Ok(WalRecord::Insert {
+                table: j.get("table")?.as_str()?.to_string(),
+                rows: j
+                    .get("rows")?
+                    .as_arr()?
+                    .iter()
+                    .map(|r| {
+                        r.as_arr()?
+                            .iter()
+                            .map(Json::to_value)
+                            .collect::<JsonResult<Vec<_>>>()
+                    })
+                    .collect::<JsonResult<Vec<_>>>()?,
+                load: j.get("load")?.as_bool()?,
+            }),
+            "update" => Ok(WalRecord::Update {
+                table: j.get("table")?.as_str()?.to_string(),
+                sets: j
+                    .get("sets")?
+                    .as_arr()?
+                    .iter()
+                    .map(|s| Ok((s.get("col")?.as_usize()?, s.get("value")?.to_value()?)))
+                    .collect::<JsonResult<Vec<_>>>()?,
+                filter: j
+                    .get("filter")?
+                    .as_arr()?
+                    .iter()
+                    .map(range_from_json)
+                    .collect::<JsonResult<Vec<_>>>()?,
+            }),
+            "create_index" => Ok(WalRecord::CreateIndex {
+                table: j.get("table")?.as_str()?.to_string(),
+                column: j.get("column")?.as_usize()?,
+            }),
+            "move" => Ok(WalRecord::Move {
+                table: j.get("table")?.as_str()?.to_string(),
+                placement: placement_from_json(j.get("placement")?)?,
+            }),
+            "rebalance" => Ok(WalRecord::Rebalance {
+                table: j.get("table")?.as_str()?.to_string(),
+                split_value: j.get("split_value")?.to_value()?,
+            }),
+            "merge_complete" => Ok(WalRecord::MergeComplete {
+                table: j.get("table")?.as_str()?.to_string(),
+                partition: match j.get("partition")?.as_str()? {
+                    "whole" => MergePartition::Whole,
+                    "cold" => MergePartition::Cold,
+                    other => return Err(JsonError(format!("unknown merge partition `{other}`"))),
+                },
+                merge_epoch: j.get("merge_epoch")?.as_i64()? as u64,
+            }),
+            other => Err(JsonError(format!("unknown wal op `{other}`"))),
+        }
+    }
+}
+
+/// The WAL routing tag of a table name (CRC-32 of its bytes).
+pub fn table_tag(table: &str) -> u32 {
+    wal::crc32(table.as_bytes())
+}
+
+fn schema_to_json(s: &TableSchema) -> Json {
+    Json::obj([
+        ("name", Json::Str(s.name.clone())),
+        (
+            "columns",
+            Json::Arr(
+                s.columns
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("name", Json::Str(c.name.clone())),
+                            ("ty", Json::Str(c.ty.name().into())),
+                            ("nullable", Json::Bool(c.nullable)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "primary_key",
+            Json::Arr(s.primary_key.iter().map(|&i| Json::Int(i as i64)).collect()),
+        ),
+    ])
+}
+
+fn schema_from_json(j: &Json) -> JsonResult<TableSchema> {
+    let columns = j
+        .get("columns")?
+        .as_arr()?
+        .iter()
+        .map(|c| {
+            let name = c.get("name")?.as_str()?.to_string();
+            let ty = column_type_from_name(c.get("ty")?.as_str()?)?;
+            Ok(if c.get("nullable")?.as_bool()? {
+                ColumnDef::nullable(name, ty)
+            } else {
+                ColumnDef::new(name, ty)
+            })
+        })
+        .collect::<JsonResult<Vec<_>>>()?;
+    let primary_key = j
+        .get("primary_key")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_usize)
+        .collect::<JsonResult<Vec<_>>>()?;
+    TableSchema::new(j.get("name")?.as_str()?, columns, primary_key)
+        .map_err(|e| JsonError(e.to_string()))
+}
+
+fn column_type_from_name(s: &str) -> JsonResult<ColumnType> {
+    ColumnType::ALL
+        .iter()
+        .copied()
+        .find(|t| t.name() == s)
+        .ok_or_else(|| JsonError(format!("unknown column type `{s}`")))
+}
+
+fn bound_to_json(b: Bound<&Value>) -> Json {
+    match b {
+        Bound::Unbounded => Json::Null,
+        Bound::Included(v) => Json::obj([("in", Json::from_value(v))]),
+        Bound::Excluded(v) => Json::obj([("ex", Json::from_value(v))]),
+    }
+}
+
+fn bound_from_json(j: Option<&Json>) -> JsonResult<Bound<Value>> {
+    match j {
+        None => Ok(Bound::Unbounded),
+        Some(o) => {
+            if let Some(v) = o.get_opt("in") {
+                Ok(Bound::Included(v.to_value()?))
+            } else {
+                Ok(Bound::Excluded(o.get("ex")?.to_value()?))
+            }
+        }
+    }
+}
+
+fn range_to_json(r: &ColRange) -> Json {
+    Json::obj([
+        ("column", Json::Int(r.column as i64)),
+        ("lo", bound_to_json(r.lo_ref())),
+        ("hi", bound_to_json(r.hi_ref())),
+    ])
+}
+
+fn range_from_json(j: &Json) -> JsonResult<ColRange> {
+    let column = j.get("column")?.as_usize()?;
+    let lo = bound_from_json(j.get_opt("lo"))?;
+    let hi = bound_from_json(j.get_opt("hi"))?;
+    // An equality predicate serializes as the degenerate closed range
+    // `[v, v]`; fold it back so records round-trip exactly.
+    if let (Bound::Included(a), Bound::Included(b)) = (&lo, &hi) {
+        if a == b {
+            return Ok(ColRange::eq(column, a.clone()));
+        }
+    }
+    Ok(ColRange::range(column, lo, hi))
+}
+
+/// A table quarantined read-only by recovery, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedTable {
+    /// Table name (or `<unresolved tag 0x...>` when the corruption hit the
+    /// table's own create record and the name never replayed).
+    pub table: String,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+/// What recovery found and did (surfaced as a health report by
+/// `hsd_core::health::render_health`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Records successfully replayed.
+    pub records_replayed: usize,
+    /// Records skipped (corrupt, undecodable, quarantined table, or replay
+    /// failure).
+    pub records_skipped: usize,
+    /// [`WalRecord::MergeComplete`] records re-applied.
+    pub merges_replayed: usize,
+    /// Offset at which a torn/garbage tail was truncated, if one was found.
+    pub torn_tail: Option<u64>,
+    /// End of the structurally sound log prefix (the length appends resume
+    /// from).
+    pub recovered_len: u64,
+    /// Total log bytes scanned.
+    pub scanned_len: u64,
+    /// Tables quarantined read-only, with reasons.
+    pub degraded: Vec<DegradedTable>,
+}
+
+impl RecoveryReport {
+    /// Whether recovery was entirely clean: no torn tail, no skipped
+    /// records, no degraded tables.
+    pub fn is_clean(&self) -> bool {
+        self.torn_tail.is_none() && self.records_skipped == 0 && self.degraded.is_empty()
+    }
+}
+
+/// Replay a WAL image into a fresh database (the pure core of recovery —
+/// no file handling, no writer attachment). Never panics on damaged input.
+pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
+    let scan = wal::scan_frames(bytes);
+    let mut report = RecoveryReport {
+        torn_tail: scan.torn_tail,
+        recovered_len: scan.recovered_len,
+        scanned_len: scan.scanned_len,
+        ..RecoveryReport::default()
+    };
+    let mut db = HybridDatabase::new();
+    // Replay with the auto-merge fallback off: the only physical
+    // reorganizations during replay are the logged ones. (Merge timing is
+    // logically transparent, so this only affects physical shape.)
+    db.set_merge_config(MergeConfig::disabled());
+
+    // Interleave valid and corrupt frames in log order, so a quarantine
+    // takes effect exactly from its corruption point onward: records of the
+    // damaged table *before* the corruption are its committed prefix and
+    // replay normally.
+    enum Ev<'a> {
+        Frame(&'a wal::Frame),
+        Corrupt(&'a wal::CorruptFrame),
+    }
+    let mut events: Vec<(u64, Ev<'_>)> = scan
+        .frames
+        .iter()
+        .map(|f| (f.offset, Ev::Frame(f)))
+        .chain(scan.corrupt.iter().map(|c| (c.offset, Ev::Corrupt(c))))
+        .collect();
+    events.sort_by_key(|(off, _)| *off);
+
+    let mut quarantined: HashMap<u32, String> = HashMap::new();
+    for (_, ev) in events {
+        match ev {
+            Ev::Corrupt(c) => {
+                quarantined
+                    .entry(c.table_tag)
+                    .or_insert_with(|| format!("corrupt WAL record at byte {}", c.offset));
+            }
+            Ev::Frame(f) => {
+                if quarantined.contains_key(&f.table_tag) {
+                    report.records_skipped += 1;
+                    continue;
+                }
+                let rec = match WalRecord::from_payload(&f.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // CRC-valid but undecodable: defensive — same
+                        // quarantine as corruption.
+                        quarantined.insert(
+                            f.table_tag,
+                            format!("undecodable WAL record at byte {}: {e}", f.offset),
+                        );
+                        report.records_skipped += 1;
+                        continue;
+                    }
+                };
+                let is_merge = matches!(rec, WalRecord::MergeComplete { .. });
+                match apply_record(&mut db, &rec) {
+                    Ok(()) => {
+                        report.records_replayed += 1;
+                        if is_merge {
+                            report.merges_replayed += 1;
+                        }
+                    }
+                    Err(e) => {
+                        quarantined.insert(
+                            f.table_tag,
+                            format!("replay failed at byte {}: {e}", f.offset),
+                        );
+                        report.records_skipped += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Resolve quarantine tags back to table names and mark the database.
+    for (tag, reason) in quarantined {
+        match db.table_names().into_iter().find(|n| table_tag(n) == tag) {
+            Some(name) => {
+                db.mark_degraded(&name, &reason);
+                report.degraded.push(DegradedTable {
+                    table: name,
+                    reason,
+                });
+            }
+            None => report.degraded.push(DegradedTable {
+                table: format!("<unresolved tag {tag:#010x}>"),
+                reason,
+            }),
+        }
+    }
+    report.degraded.sort_by(|a, b| a.table.cmp(&b.table));
+    // Hand the database back under the default policy; callers that ran a
+    // custom merge config before the crash reconfigure after recovery.
+    db.set_merge_config(MergeConfig::default());
+    (db, report)
+}
+
+fn apply_record(db: &mut HybridDatabase, rec: &WalRecord) -> Result<()> {
+    match rec {
+        WalRecord::CreateTable { schema, placement } => {
+            db.create_table(schema.clone(), placement.clone())?;
+            Ok(())
+        }
+        WalRecord::Insert { table, rows, load } => {
+            if *load {
+                db.bulk_load(table, rows.iter().cloned())?;
+            } else {
+                db.execute(&Query::Insert(InsertQuery {
+                    table: table.clone(),
+                    rows: rows.clone(),
+                }))?;
+            }
+            Ok(())
+        }
+        WalRecord::Update {
+            table,
+            sets,
+            filter,
+        } => {
+            db.execute(&Query::Update(UpdateQuery {
+                table: table.clone(),
+                sets: sets.clone(),
+                filter: filter.clone(),
+            }))?;
+            Ok(())
+        }
+        WalRecord::CreateIndex { table, column } => db.create_index(table, *column),
+        WalRecord::Move { table, placement } => mover::move_table(db, table, placement),
+        WalRecord::Rebalance { table, split_value } => {
+            mover::rebalance_horizontal(db, table, split_value)?;
+            Ok(())
+        }
+        WalRecord::MergeComplete {
+            table, partition, ..
+        } => {
+            mover::merge_delta_partition(db, table, *partition)?;
+            Ok(())
+        }
+    }
+}
+
+impl HybridDatabase {
+    /// Recover a database from the WAL at `path` with default durability
+    /// settings: scan, truncate any torn tail, replay the committed prefix,
+    /// and reattach a writer so the instance keeps logging. A missing file
+    /// yields an empty database with a fresh log.
+    pub fn recover(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport)> {
+        Self::open(path, DurabilityConfig::default())
+    }
+
+    /// [`HybridDatabase::recover`] with explicit durability settings.
+    pub fn open(path: impl AsRef<Path>, cfg: DurabilityConfig) -> Result<(Self, RecoveryReport)> {
+        let path = path.as_ref();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(Error::Io(e.to_string())),
+        };
+        let (mut db, report) = replay(&bytes);
+        let backend = FileBackend::open_truncated(path, report.recovered_len)
+            .map_err(|e| Error::Io(e.to_string()))?;
+        db.attach_wal(WalWriter::with_retry(
+            Box::new(backend),
+            cfg.sync,
+            cfg.retry,
+        ));
+        Ok((db, report))
+    }
+
+    /// Replay a WAL image without attaching a writer — the entry point the
+    /// fault-injection harness uses to simulate "the process died, this is
+    /// what was on disk".
+    pub fn recover_bytes(bytes: &[u8]) -> (Self, RecoveryReport) {
+        replay(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_storage::wal::MemBackend;
+    use hsd_storage::StoreKind;
+    use hsd_types::ColumnType;
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::new("id", ColumnType::BigInt),
+                ColumnDef::new("v", ColumnType::Double),
+                ColumnDef::nullable("note", ColumnType::Varchar),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn round_trip(rec: WalRecord) {
+        let payload = rec.to_payload();
+        let back = WalRecord::from_payload(&payload).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn records_round_trip_through_payloads() {
+        round_trip(WalRecord::CreateTable {
+            schema: schema("t"),
+            placement: TablePlacement::Single(StoreKind::Column),
+        });
+        round_trip(WalRecord::CreateTable {
+            schema: schema("t"),
+            placement: TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
+                horizontal: Some(hsd_catalog::HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(7),
+                }),
+                vertical: Some(hsd_catalog::VerticalSpec { row_cols: vec![2] }),
+            }),
+        });
+        round_trip(WalRecord::Insert {
+            table: "t".into(),
+            rows: vec![
+                vec![Value::BigInt(1), Value::Double(0.5), Value::Null],
+                vec![Value::BigInt(2), Value::Double(-1.0), Value::text("x")],
+            ],
+            load: true,
+        });
+        round_trip(WalRecord::Update {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(9.0)), (2, Value::text("y"))],
+            filter: vec![
+                ColRange::eq(0, Value::BigInt(3)),
+                ColRange::between(1, Value::Double(0.0), Value::Double(1.0)),
+                ColRange::lt(0, Value::BigInt(100)),
+                ColRange::ge(0, Value::BigInt(-5)),
+            ],
+        });
+        round_trip(WalRecord::CreateIndex {
+            table: "t".into(),
+            column: 1,
+        });
+        round_trip(WalRecord::Move {
+            table: "t".into(),
+            placement: TablePlacement::Single(StoreKind::Row),
+        });
+        round_trip(WalRecord::Rebalance {
+            table: "t".into(),
+            split_value: Value::BigInt(42),
+        });
+        round_trip(WalRecord::MergeComplete {
+            table: "t".into(),
+            partition: MergePartition::Cold,
+            merge_epoch: 9,
+        });
+    }
+
+    #[test]
+    fn update_filters_round_trip_semantically() {
+        // The codec collapses `eq` into the degenerate closed range; the
+        // predicate must keep matching identically.
+        let rec = WalRecord::Update {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(1.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(5))],
+        };
+        let back = WalRecord::from_payload(&rec.to_payload()).unwrap();
+        let WalRecord::Update { filter, .. } = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(filter[0].as_eq(), Some(&Value::BigInt(5)));
+        assert!(filter[0].matches(&Value::BigInt(5)));
+        assert!(!filter[0].matches(&Value::BigInt(6)));
+    }
+
+    #[test]
+    fn logged_statements_replay_to_identical_state() {
+        let mem = MemBackend::new();
+        let mut db = HybridDatabase::new();
+        db.attach_wal(WalWriter::new(Box::new(mem.share()), SyncPolicy::Always));
+        db.create_single(schema("t"), StoreKind::Column).unwrap();
+        db.bulk_load(
+            "t",
+            (0..40i64).map(|i| vec![Value::BigInt(i), Value::Double(i as f64), Value::Null]),
+        )
+        .unwrap();
+        db.execute(&Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(777.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(3))],
+        }))
+        .unwrap();
+        db.execute(&Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![vec![Value::BigInt(100), Value::Double(0.25), Value::Null]],
+        }))
+        .unwrap();
+        mover::merge_delta(&mut db, "t").unwrap();
+        db.create_index("t", 1).unwrap();
+
+        let (mut rec, report) = HybridDatabase::recover_bytes(&mem.snapshot());
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.records_replayed >= 5);
+        assert_eq!(rec.row_count("t").unwrap(), 41);
+        assert_eq!(rec.delta_tail("t").unwrap(), db.delta_tail("t").unwrap());
+        let probe = Query::Select(hsd_query::SelectQuery {
+            table: "t".into(),
+            columns: None,
+            filter: vec![ColRange::eq(0, Value::BigInt(3))],
+        });
+        assert_eq!(
+            rec.execute(&probe).unwrap(),
+            db.execute(&probe).unwrap(),
+            "recovered row must carry the update"
+        );
+        assert_eq!(
+            rec.catalog().entry_by_name("t").unwrap().indexed_columns,
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn degraded_table_rejects_writes_but_serves_reads() {
+        let mem = MemBackend::new();
+        let mut db = HybridDatabase::new();
+        db.attach_wal(WalWriter::new(Box::new(mem.share()), SyncPolicy::Always));
+        db.create_single(schema("t"), StoreKind::Column).unwrap();
+        db.bulk_load(
+            "t",
+            (0..10i64).map(|i| vec![Value::BigInt(i), Value::Double(i as f64), Value::Null]),
+        )
+        .unwrap();
+        db.execute(&Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![vec![Value::BigInt(50), Value::Double(1.0), Value::Null]],
+        }))
+        .unwrap();
+        let mut image = mem.snapshot();
+        // Corrupt the *last* frame's payload (the insert).
+        let scan = wal::scan_frames(&image);
+        let last = scan.frames.last().unwrap().offset as usize;
+        image[last + wal::HEADER_LEN] ^= 0xFF;
+
+        let (mut rec, report) = HybridDatabase::recover_bytes(&image);
+        assert_eq!(report.degraded.len(), 1);
+        assert_eq!(report.degraded[0].table, "t");
+        assert!(rec.is_degraded("t"));
+        assert_eq!(rec.row_count("t").unwrap(), 10, "pre-corruption prefix");
+        // Reads still work; writes are rejected with Degraded.
+        assert!(rec
+            .execute(&Query::Select(hsd_query::SelectQuery {
+                table: "t".into(),
+                columns: None,
+                filter: vec![],
+            }))
+            .is_ok());
+        let err = rec
+            .execute(&Query::Insert(InsertQuery {
+                table: "t".into(),
+                rows: vec![vec![Value::BigInt(60), Value::Double(1.0), Value::Null]],
+            }))
+            .unwrap_err();
+        assert!(matches!(err, Error::Degraded(_)), "{err}");
+        assert!(matches!(
+            rec.bulk_load("t", std::iter::empty()).unwrap_err(),
+            Error::Degraded(_)
+        ));
+        // Lifting the quarantine restores writability (operator override).
+        assert!(rec.clear_degraded("t"));
+        assert!(rec
+            .execute(&Query::Insert(InsertQuery {
+                table: "t".into(),
+                rows: vec![vec![Value::BigInt(60), Value::Double(1.0), Value::Null]],
+            }))
+            .is_ok());
+    }
+
+    #[test]
+    fn recover_from_file_truncates_torn_tail_and_resumes_logging() {
+        let dir = std::env::temp_dir().join(format!("hsd_durability_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut db, report) = HybridDatabase::recover(&path).unwrap();
+            assert!(report.is_clean());
+            db.create_single(schema("t"), StoreKind::Column).unwrap();
+            db.bulk_load(
+                "t",
+                (0..8i64).map(|i| vec![Value::BigInt(i), Value::Double(i as f64), Value::Null]),
+            )
+            .unwrap();
+            db.sync_wal().unwrap();
+        }
+        // Tear the tail: append garbage, as a crashed half-write would.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0xAB; 7]).unwrap();
+        }
+        let torn_len = std::fs::metadata(&path).unwrap().len();
+        let (mut db, report) = HybridDatabase::recover(&path).unwrap();
+        assert_eq!(report.torn_tail, Some(torn_len - 7));
+        assert_eq!(db.row_count("t").unwrap(), 8);
+        assert!(
+            std::fs::metadata(&path).unwrap().len() < torn_len,
+            "the torn tail must be truncated on disk"
+        );
+        // The recovered instance keeps logging: a new statement survives
+        // the next recovery.
+        db.execute(&Query::Insert(InsertQuery {
+            table: "t".into(),
+            rows: vec![vec![Value::BigInt(99), Value::Double(9.9), Value::Null]],
+        }))
+        .unwrap();
+        db.sync_wal().unwrap();
+        drop(db);
+        let (db, report) = HybridDatabase::recover(&path).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(db.row_count("t").unwrap(), 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_quarantines_only_the_affected_table() {
+        let mem = MemBackend::new();
+        let mut db = HybridDatabase::new();
+        db.attach_wal(WalWriter::new(Box::new(mem.share()), SyncPolicy::Always));
+        db.create_single(schema("a"), StoreKind::Column).unwrap();
+        db.create_single(schema("b"), StoreKind::Row).unwrap();
+        db.bulk_load(
+            "a",
+            (0..5i64).map(|i| vec![Value::BigInt(i), Value::Double(0.0), Value::Null]),
+        )
+        .unwrap();
+        db.bulk_load(
+            "b",
+            (0..5i64).map(|i| vec![Value::BigInt(i), Value::Double(0.0), Value::Null]),
+        )
+        .unwrap();
+        let mut image = mem.snapshot();
+        // Corrupt b's bulk-load record (the last frame).
+        let scan = wal::scan_frames(&image);
+        let last = scan.frames.last().unwrap();
+        assert_eq!(last.table_tag, table_tag("b"));
+        let off = last.offset as usize;
+        image[off + wal::HEADER_LEN + 1] ^= 0x10;
+
+        let (mut rec, report) = HybridDatabase::recover_bytes(&image);
+        assert_eq!(report.degraded.len(), 1);
+        assert_eq!(report.degraded[0].table, "b");
+        assert!(rec.is_degraded("b"));
+        assert!(!rec.is_degraded("a"));
+        assert_eq!(rec.row_count("a").unwrap(), 5);
+        assert_eq!(rec.row_count("b").unwrap(), 0, "b's load was lost");
+        // `a` stays fully writable.
+        assert!(rec
+            .execute(&Query::Insert(InsertQuery {
+                table: "a".into(),
+                rows: vec![vec![Value::BigInt(10), Value::Double(1.0), Value::Null]],
+            }))
+            .is_ok());
+    }
+}

@@ -361,56 +361,111 @@ impl Part<'_> {
 // Inserts
 
 fn exec_insert(db: &mut HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> {
+    db.check_writable(&q.table)?;
     let cfg = db.merge_config();
-    let data = db.table_data_mut(&q.table)?;
-    for row in &q.rows {
-        data.insert(row)?;
+    let wal_on = db.wal_active();
+    let mut applied = 0usize;
+    let mut failure = None;
+    let mut merged = false;
+    {
+        let data = db.table_data_mut(&q.table)?;
+        for row in &q.rows {
+            match data.insert(row) {
+                Ok(_) => applied += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            merged = crate::maintenance::after_write(data, &cfg);
+        }
     }
-    crate::maintenance::after_write(data, &cfg);
-    Ok(QueryOutput::Affected(q.rows.len()))
+    // Log after the in-memory apply: the applied prefix of a failing
+    // multi-row statement is still logged (there is no rollback), so
+    // recovery reproduces the same state.
+    if wal_on && applied > 0 {
+        db.log_record(&crate::durability::WalRecord::Insert {
+            table: q.table.clone(),
+            rows: q.rows[..applied].to_vec(),
+            load: false,
+        })?;
+    }
+    if wal_on && merged {
+        let epoch = db.table_data(&q.table)?.merge_epoch();
+        db.log_record(&crate::durability::WalRecord::MergeComplete {
+            table: q.table.clone(),
+            partition: crate::partition::MergePartition::Whole,
+            merge_epoch: epoch,
+        })?;
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(QueryOutput::Affected(q.rows.len())),
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Updates
 
 fn exec_update(db: &mut HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
+    db.check_writable(&q.table)?;
     let cfg = db.merge_config();
-    let data = db.table_data_mut(&q.table)?;
-    // Point-update fast path over the PK index.
-    if let Some(key) = pk_point_key(data, &q.filter) {
-        let affected = update_point(data, &key, &q.sets)?;
-        crate::maintenance::after_write(data, &cfg);
-        return Ok(QueryOutput::Affected(affected));
-    }
-    let mut affected = 0;
-    let (use_cold, use_hot) = pruning(data, &q.filter);
-    match data {
-        TableData::Single(t) => {
-            let rows = t.filter_rows(&q.filter);
-            affected += t.update_rows(&rows, &q.sets)?;
-        }
-        TableData::Partitioned { hot, cold, .. } => {
-            if use_cold {
-                match cold {
-                    ColdPart::Single(t) => {
-                        let rows = t.filter_rows(&q.filter);
-                        affected += t.update_rows(&rows, &q.sets)?;
+    let wal_on = db.wal_active();
+    let (affected, merged) = {
+        let data = db.table_data_mut(&q.table)?;
+        // Point-update fast path over the PK index.
+        let affected = if let Some(key) = pk_point_key(data, &q.filter) {
+            update_point(data, &key, &q.sets)?
+        } else {
+            let mut affected = 0;
+            let (use_cold, use_hot) = pruning(data, &q.filter);
+            match data {
+                TableData::Single(t) => {
+                    let rows = t.filter_rows(&q.filter);
+                    affected += t.update_rows(&rows, &q.sets)?;
+                }
+                TableData::Partitioned { hot, cold, .. } => {
+                    if use_cold {
+                        match cold {
+                            ColdPart::Single(t) => {
+                                let rows = t.filter_rows(&q.filter);
+                                affected += t.update_rows(&rows, &q.sets)?;
+                            }
+                            ColdPart::Vertical(p) => {
+                                let rows = p.filter_rows(&q.filter);
+                                affected += p.update_rows(&rows, &q.sets)?;
+                            }
+                        }
                     }
-                    ColdPart::Vertical(p) => {
-                        let rows = p.filter_rows(&q.filter);
-                        affected += p.update_rows(&rows, &q.sets)?;
+                    if use_hot {
+                        if let Some(h) = hot {
+                            let rows = h.filter_rows(&q.filter);
+                            affected += h.update_rows(&rows, &q.sets)?;
+                        }
                     }
                 }
             }
-            if use_hot {
-                if let Some(h) = hot {
-                    let rows = h.filter_rows(&q.filter);
-                    affected += h.update_rows(&rows, &q.sets)?;
-                }
-            }
-        }
+            affected
+        };
+        (affected, crate::maintenance::after_write(data, &cfg))
+    };
+    if wal_on && affected > 0 {
+        db.log_record(&crate::durability::WalRecord::Update {
+            table: q.table.clone(),
+            sets: q.sets.clone(),
+            filter: q.filter.clone(),
+        })?;
     }
-    crate::maintenance::after_write(data, &cfg);
+    if wal_on && merged {
+        let epoch = db.table_data(&q.table)?.merge_epoch();
+        db.log_record(&crate::durability::WalRecord::MergeComplete {
+            table: q.table.clone(),
+            partition: crate::partition::MergePartition::Whole,
+            merge_epoch: epoch,
+        })?;
+    }
     Ok(QueryOutput::Affected(affected))
 }
 

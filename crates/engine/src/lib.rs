@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod durability;
 pub mod executor;
 pub mod maintenance;
 pub mod mover;
@@ -31,12 +32,13 @@ pub mod runner;
 pub mod worker;
 
 pub use database::HybridDatabase;
+pub use durability::{DegradedTable, DurabilityConfig, RecoveryReport, WalRecord};
 pub use executor::{GroupRow, QueryOutput};
 pub use maintenance::{MergeConfig, MergeMode};
 pub use partition::{MergePartition, TableData, VerticalPair};
 pub use recorder::StatisticsRecorder;
 pub use runner::{RunReport, WorkloadRunner};
 pub use worker::{
-    BackgroundWorker, MaintenanceWorker, MergeJob, MergePacer, PacerConfig, SharedDatabase,
-    SliceReport, WorkerConfig, WorkerStats,
+    lock_database, BackgroundWorker, MaintenanceWorker, MergeJob, MergePacer, PacerConfig,
+    SharedDatabase, SliceReport, WorkerConfig, WorkerHealth, WorkerStats,
 };

@@ -139,13 +139,19 @@ fn for_each_columnar(data: &mut TableData, mut f: impl FnMut(&mut ColumnTable)) 
     }
 }
 
-/// Run the fallback merge policy after a write statement.
-pub(crate) fn after_write(data: &mut TableData, cfg: &MergeConfig) {
+/// Run the fallback merge policy after a write statement. Returns whether
+/// any compaction actually happened (the durability layer logs a merge
+/// record only then).
+pub(crate) fn after_write(data: &mut TableData, cfg: &MergeConfig) -> bool {
+    let mut compacted = false;
     match cfg.mode {
         MergeMode::Disabled => {}
         MergeMode::Always => {
             for_each_columnar(data, |ct| {
-                ct.compact();
+                if ct.tail_total() > 0 {
+                    ct.compact();
+                    compacted = true;
+                }
             });
         }
         MergeMode::Auto => {
@@ -161,9 +167,11 @@ pub(crate) fn after_write(data: &mut TableData, cfg: &MergeConfig) {
                     // everything so the tail stays bounded.
                     ct.compact();
                 }
+                compacted = true;
             });
         }
     }
+    compacted
 }
 
 #[cfg(test)]

@@ -10,7 +10,26 @@ use hsd_storage::Table;
 use hsd_types::{Result, Value};
 
 use crate::database::HybridDatabase;
+use crate::durability::WalRecord;
 use crate::partition::{ColdPart, MergePartition, TableData};
+
+/// Log a completed delta merge on a region (a one-shot fold or the final
+/// slice of an incremental merge). No-op when no WAL is attached.
+fn log_merge_complete(
+    db: &mut HybridDatabase,
+    table: &str,
+    partition: MergePartition,
+) -> Result<()> {
+    if !db.wal_active() {
+        return Ok(());
+    }
+    let epoch = db.table_data(table)?.merge_epoch();
+    db.log_record(&WalRecord::MergeComplete {
+        table: table.to_string(),
+        partition,
+        merge_epoch: epoch,
+    })
+}
 
 /// Apply `layout` to the database. Tables whose placement already matches
 /// are left untouched. Returns the names of the tables that were rebuilt.
@@ -31,6 +50,7 @@ pub fn apply_layout(db: &mut HybridDatabase, layout: &StorageLayout) -> Result<V
 
 /// Rebuild one table under a new placement, preserving all rows.
 pub fn move_table(db: &mut HybridDatabase, table: &str, target: &TablePlacement) -> Result<()> {
+    db.check_writable(table)?;
     let schema = db.catalog().entry_by_name(table)?.schema.clone();
     // Drain the existing physical data.
     let old = std::mem::replace(
@@ -42,6 +62,10 @@ pub fn move_table(db: &mut HybridDatabase, table: &str, target: &TablePlacement)
     load_partition_aware(&mut fresh, target, rows)?;
     compact_after_load(&mut fresh);
     db.replace_table(table, fresh, target.clone())?;
+    db.log_record(&WalRecord::Move {
+        table: table.to_string(),
+        placement: target.clone(),
+    })?;
     Ok(())
 }
 
@@ -99,7 +123,12 @@ fn compact_after_load(data: &mut TableData) {
 /// executor's auto-merge demoted to a fallback via
 /// [`crate::maintenance::MergeConfig`]).
 pub fn merge_delta(db: &mut HybridDatabase, table: &str) -> Result<usize> {
-    Ok(db.table_data_mut(table)?.compact_deltas())
+    db.check_writable(table)?;
+    let folded = db.table_data_mut(table)?.compact_deltas();
+    if folded > 0 {
+        log_merge_complete(db, table, MergePartition::Whole)?;
+    }
+    Ok(folded)
 }
 
 /// [`merge_delta`] routed to one physical region: the cold partition's
@@ -111,9 +140,14 @@ pub fn merge_delta_partition(
     table: &str,
     partition: MergePartition,
 ) -> Result<usize> {
-    Ok(db
+    db.check_writable(table)?;
+    let folded = db
         .table_data_mut(table)?
-        .compact_deltas_partition(partition))
+        .compact_deltas_partition(partition);
+    if folded > 0 {
+        log_merge_complete(db, table, partition)?;
+    }
+    Ok(folded)
 }
 
 /// One bounded slice of an **incremental** delta merge: remap at most
@@ -132,7 +166,12 @@ pub fn merge_delta_step(
     table: &str,
     budget_rows: usize,
 ) -> Result<hsd_storage::MergeProgress> {
-    Ok(db.table_data_mut(table)?.compact_deltas_step(budget_rows))
+    db.check_writable(table)?;
+    let progress = db.table_data_mut(table)?.compact_deltas_step(budget_rows);
+    if progress.done && (progress.entries_folded > 0 || progress.rows_remapped > 0) {
+        log_merge_complete(db, table, MergePartition::Whole)?;
+    }
+    Ok(progress)
 }
 
 /// [`merge_delta_step`] routed to one physical region (the routing rules of
@@ -145,9 +184,17 @@ pub fn merge_delta_step_partition(
     partition: MergePartition,
     budget_rows: usize,
 ) -> Result<hsd_storage::MergeProgress> {
-    Ok(db
+    db.check_writable(table)?;
+    let progress = db
         .table_data_mut(table)?
-        .compact_deltas_step_partition(partition, budget_rows))
+        .compact_deltas_step_partition(partition, budget_rows);
+    // An incremental merge is logged only at completion: in-flight shadow
+    // state is deliberately volatile (recovery discards it losslessly and
+    // re-merges from the completion record instead).
+    if progress.done && (progress.entries_folded > 0 || progress.rows_remapped > 0) {
+        log_merge_complete(db, table, partition)?;
+    }
+    Ok(progress)
 }
 
 /// Cancel an in-flight incremental delta merge on `table`, abandoning the
@@ -171,6 +218,7 @@ pub fn rebalance_horizontal(
     table: &str,
     new_split_value: &Value,
 ) -> Result<usize> {
+    db.check_writable(table)?;
     let data = db.table_data_mut(table)?;
     let TableData::Partitioned {
         hot: Some(hot),
@@ -214,6 +262,10 @@ pub fn rebalance_horizontal(
     db.catalog_mut()
         .set_placement(id, TablePlacement::Partitioned(spec))?;
     db.refresh_stats(table)?;
+    db.log_record(&WalRecord::Rebalance {
+        table: table.to_string(),
+        split_value: new_split_value.clone(),
+    })?;
     Ok(moved)
 }
 

@@ -66,9 +66,12 @@ pub struct PacerConfig {
     /// Starting per-slice remap budget (rows).
     pub initial_budget: usize,
     /// Budget floor: the merge always makes progress, however loaded the
-    /// serving loop is (no live-lock under sustained degradation).
+    /// serving loop is (no live-lock under sustained degradation). A value
+    /// of 0 is treated as 1 — a zero floor would wedge the budget at zero
+    /// rows forever, silently stalling every queued merge.
     pub min_budget: usize,
-    /// Budget ceiling: one slice never grows into an unbounded pause.
+    /// Budget ceiling: one slice never grows into an unbounded pause. A
+    /// ceiling below the (sanitized) floor is raised to it.
     pub max_budget: usize,
     /// Shrink trigger: recent p99 latency above `baseline ×
     /// degrade_threshold` counts as degradation.
@@ -121,9 +124,19 @@ pub struct MergePacer {
 }
 
 impl MergePacer {
+    /// The sanitized `(floor, ceiling)` clamp bounds: a zero floor becomes
+    /// 1 (a 0-row budget can never make progress), an inverted ceiling is
+    /// raised to the floor (`usize::clamp` panics on `min > max`). The
+    /// documented fallback for nonsensical configs, not an error path.
+    fn bounds(cfg: &PacerConfig) -> (usize, usize) {
+        let floor = cfg.min_budget.max(1);
+        (floor, cfg.max_budget.max(floor))
+    }
+
     /// Pacer with the given settings.
     pub fn new(cfg: PacerConfig) -> Self {
-        let budget = cfg.initial_budget.clamp(cfg.min_budget, cfg.max_budget);
+        let (floor, ceil) = Self::bounds(&cfg);
+        let budget = cfg.initial_budget.clamp(floor, ceil);
         MergePacer {
             cfg,
             budget,
@@ -156,7 +169,9 @@ impl MergePacer {
             return None;
         }
         let mut sorted: Vec<f64> = self.recent.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // total_cmp: the window is filtered to finite samples on entry, but
+        // a defensive total order costs nothing and can never panic.
+        sorted.sort_by(f64::total_cmp);
         let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
         Some(sorted[idx.min(sorted.len()) - 1])
     }
@@ -201,7 +216,8 @@ impl MergePacer {
         } else {
             scaled
         };
-        self.budget = next.clamp(self.cfg.min_budget, self.cfg.max_budget);
+        let (floor, ceil) = Self::bounds(&self.cfg);
+        self.budget = next.clamp(floor, ceil);
         self.budget
     }
 
@@ -223,6 +239,45 @@ impl MergePacer {
 pub struct WorkerConfig {
     /// Pacer settings.
     pub pacer: PacerConfig,
+    /// Fault injection: make the next N slice executions panic before
+    /// touching the database. Test-only knob (default 0) for exercising the
+    /// worker's panic containment — a panicking slice must not poison the
+    /// shared database mutex or take the engine down.
+    pub fault_slice_panics: u32,
+}
+
+/// Pollable worker condition. A slice panic marks the worker
+/// [`WorkerHealth::Unhealthy`] (sticky, with the first panic's message);
+/// the worker itself keeps running and the database stays usable — the
+/// status exists so operators notice instead of losing merges silently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// No slice has panicked.
+    #[default]
+    Healthy,
+    /// At least one slice panicked; the first panic's message is kept.
+    Unhealthy {
+        /// Panic payload of the first panicking slice.
+        reason: String,
+    },
+}
+
+impl WorkerHealth {
+    /// Whether the worker has never had a slice panic.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, WorkerHealth::Healthy)
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Lifetime counters of a worker.
@@ -239,6 +294,8 @@ pub struct WorkerStats {
     /// Jobs retracted before completion (queue removal and/or in-flight
     /// cancellation).
     pub jobs_retracted: u64,
+    /// Slices that panicked and were contained (see [`WorkerHealth`]).
+    pub slice_panics: u64,
 }
 
 /// Outcome of one worker tick that ran a slice.
@@ -291,6 +348,10 @@ pub struct MaintenanceWorker {
     queue: VecDeque<MergeJob>,
     pacer: MergePacer,
     stats: WorkerStats,
+    health: WorkerHealth,
+    /// Remaining injected slice panics (from
+    /// [`WorkerConfig::fault_slice_panics`]).
+    fault_slice_panics: u32,
 }
 
 impl Default for MaintenanceWorker {
@@ -306,6 +367,8 @@ impl MaintenanceWorker {
             queue: VecDeque::new(),
             pacer: MergePacer::new(cfg.pacer),
             stats: WorkerStats::default(),
+            health: WorkerHealth::Healthy,
+            fault_slice_panics: cfg.fault_slice_panics,
         }
     }
 
@@ -375,21 +438,57 @@ impl MaintenanceWorker {
     /// Advance the front job by one remap-budgeted slice. Returns `None`
     /// when the queue is empty; otherwise the slice report. A job whose
     /// table no longer exists is dropped (the error is propagated once).
+    ///
+    /// A slice that **panics** is contained here (never unwound into the
+    /// caller, so a shared `Mutex<HybridDatabase>` is never poisoned): the
+    /// job is dropped, any in-flight shadow rebuild on its table is
+    /// cancelled (live data stayed authoritative — nothing is lost), the
+    /// worker goes [`WorkerHealth::Unhealthy`], and the panic surfaces as
+    /// an ordinary error.
     pub fn tick(&mut self, db: &mut HybridDatabase) -> Result<Option<SliceReport>> {
         let Some(job) = self.queue.front().cloned() else {
             return Ok(None);
         };
         let budget = self.pacer.next_budget();
-        let progress =
-            match mover::merge_delta_step_partition(db, &job.table, job.partition, budget) {
-                Ok(p) => p,
-                Err(e) => {
-                    // The table vanished (moved/rebuilt under a different
-                    // name): the job is moot.
-                    self.queue.pop_front();
-                    return Err(e);
+        let inject_panic = self.fault_slice_panics > 0;
+        if inject_panic {
+            self.fault_slice_panics -= 1;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected slice panic (WorkerConfig::fault_slice_panics)");
+            }
+            mover::merge_delta_step_partition(db, &job.table, job.partition, budget)
+        }));
+        let progress = match outcome {
+            Ok(Ok(p)) => p,
+            Ok(Err(e)) => {
+                // The table vanished (moved/rebuilt under a different
+                // name) or is quarantined: the job is moot.
+                self.queue.pop_front();
+                return Err(e);
+            }
+            Err(payload) => {
+                self.queue.pop_front();
+                self.stats.slice_panics += 1;
+                let reason = panic_message(payload.as_ref());
+                if self.health.is_healthy() {
+                    self.health = WorkerHealth::Unhealthy {
+                        reason: reason.clone(),
+                    };
                 }
-            };
+                // Defensive cleanup: the interrupted slice may have left an
+                // in-flight shadow rebuild; discard it (also contained — a
+                // panicking cancel must not unwind either).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = mover::cancel_merge(db, &job.table);
+                }));
+                return Err(hsd_types::Error::InvalidOperation(format!(
+                    "merge slice on `{}` panicked: {reason}",
+                    job.table
+                )));
+            }
+        };
         self.stats.slices += 1;
         self.stats.rows_remapped += progress.rows_remapped as u64;
         self.stats.entries_folded += progress.entries_folded as u64;
@@ -424,10 +523,28 @@ impl MaintenanceWorker {
         &self.stats
     }
 
+    /// Pollable health: [`WorkerHealth::Unhealthy`] (sticky) after any
+    /// contained slice panic.
+    pub fn health(&self) -> &WorkerHealth {
+        &self.health
+    }
+
     /// The pacer (read-only; for budget introspection).
     pub fn pacer(&self) -> &MergePacer {
         &self.pacer
     }
+}
+
+/// Lock a [`SharedDatabase`], recovering from a poisoned mutex: the worker
+/// contains slice panics before they can poison the lock, but a *user*
+/// thread that panicked while holding the guard still poisons it — and the
+/// data is an ordinary in-memory structure whose mutating entry points
+/// restore their invariants before returning, so the conservative
+/// `PoisonError` default of refusing all further access would turn one dead
+/// thread into a dead database. Every lock site of the engine (and its
+/// benches) goes through this helper.
+pub fn lock_database(db: &SharedDatabase) -> std::sync::MutexGuard<'_, HybridDatabase> {
+    db.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 // ---------------------------------------------------------------------------
@@ -455,6 +572,9 @@ enum Command {
 pub struct BackgroundWorker {
     tx: mpsc::Sender<Command>,
     thread: Option<std::thread::JoinHandle<WorkerStats>>,
+    /// Health mirror, updated by the thread after every tick so callers can
+    /// poll without a rendezvous.
+    health: Arc<Mutex<WorkerHealth>>,
 }
 
 impl BackgroundWorker {
@@ -462,6 +582,8 @@ impl BackgroundWorker {
     /// for commands while its queue is idle.
     pub fn spawn(db: SharedDatabase, cfg: WorkerConfig, poll: Duration) -> Self {
         let (tx, rx) = mpsc::channel::<Command>();
+        let health = Arc::new(Mutex::new(WorkerHealth::Healthy));
+        let health_tx = health.clone();
         let thread = std::thread::spawn(move || {
             let mut worker = MaintenanceWorker::new(cfg);
             let mut stopping = false;
@@ -489,7 +611,7 @@ impl BackgroundWorker {
                             worker.enqueue(&t, partition);
                         }
                         Command::Retract(t) => {
-                            let mut db = db.lock().expect("database mutex poisoned");
+                            let mut db = lock_database(&db);
                             let _ = worker.retract(&mut db, &t);
                         }
                         Command::Latency(ms) => worker.observe_query_latency(ms),
@@ -509,10 +631,20 @@ impl BackgroundWorker {
                 }
                 // One bounded slice under the lock, then release — and
                 // yield, so a serving thread parked on the (unfair) mutex
-                // actually gets it before the next slice.
+                // actually gets it before the next slice. tick() contains
+                // slice panics internally, so the guard drops normally and
+                // the mutex is never poisoned by merge work.
                 {
-                    let mut guard = db.lock().expect("database mutex poisoned");
+                    let mut guard = lock_database(&db);
                     let _ = worker.tick(&mut guard);
+                }
+                if !worker.health().is_healthy() {
+                    let mut h = health_tx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if h.is_healthy() {
+                        *h = worker.health().clone();
+                    }
                 }
                 std::thread::yield_now();
             }
@@ -520,7 +652,18 @@ impl BackgroundWorker {
         BackgroundWorker {
             tx,
             thread: Some(thread),
+            health,
         }
+    }
+
+    /// Poll the worker's health: [`WorkerHealth::Unhealthy`] (sticky) after
+    /// any contained slice panic on the worker thread. The database itself
+    /// stays usable either way.
+    pub fn health(&self) -> WorkerHealth {
+        self.health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Enqueue a merge job for the `partition` region of `table`.
@@ -540,11 +683,31 @@ impl BackgroundWorker {
     }
 
     /// Stop the worker and join the thread, returning its lifetime stats.
-    /// With `drain`, every queued job runs to completion first.
+    /// With `drain`, every queued job runs to completion first. If the
+    /// worker thread itself died to an unexpected panic (outside the
+    /// per-slice containment), the health mirror is marked and default
+    /// stats are returned instead of propagating the panic.
     pub fn stop(mut self, drain: bool) -> WorkerStats {
         let _ = self.tx.send(Command::Stop { drain });
         match self.thread.take() {
-            Some(t) => t.join().expect("worker thread panicked"),
+            Some(t) => match t.join() {
+                Ok(stats) => stats,
+                Err(payload) => {
+                    let mut h = self
+                        .health
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if h.is_healthy() {
+                        *h = WorkerHealth::Unhealthy {
+                            reason: format!(
+                                "worker thread panicked: {}",
+                                panic_message(payload.as_ref())
+                            ),
+                        };
+                    }
+                    WorkerStats::default()
+                }
+            },
             None => WorkerStats::default(),
         }
     }
@@ -636,6 +799,7 @@ mod tests {
         let expected = checksum(&mut db);
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
+            ..WorkerConfig::default()
         });
         assert!(worker.enqueue("t", MergePartition::Whole));
         assert!(
@@ -754,6 +918,7 @@ mod tests {
         let expected = checksum(&mut db);
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
+            ..WorkerConfig::default()
         });
         worker.enqueue("t", MergePartition::Whole);
         // Start the merge but do not finish it.
@@ -782,6 +947,7 @@ mod tests {
             shared.clone(),
             WorkerConfig {
                 pacer: small_pacer(),
+                ..WorkerConfig::default()
             },
             Duration::from_millis(1),
         );
@@ -790,7 +956,7 @@ mod tests {
         for _ in 0..50 {
             let start = std::time::Instant::now();
             let c = {
-                let mut guard = shared.lock().unwrap();
+                let mut guard = lock_database(&shared);
                 checksum(&mut guard)
             };
             assert_eq!(c, expected);
@@ -799,7 +965,7 @@ mod tests {
         let stats = worker.stop(true);
         assert_eq!(stats.jobs_completed, 1);
         assert_eq!(stats.entries_folded, 60);
-        let mut guard = shared.lock().unwrap();
+        let mut guard = lock_database(&shared);
         assert_eq!(guard.delta_tail("t").unwrap(), 0);
         assert_eq!(checksum(&mut guard), expected);
     }
@@ -844,5 +1010,157 @@ mod tests {
         assert!(worker.retract(&mut db, "t").unwrap());
         assert!(worker.is_idle());
         assert!(!worker.has_job_for_table("t"));
+    }
+
+    // -- defensive-input pacer tests ---------------------------------------
+
+    #[test]
+    fn pacer_ignores_nan_inf_and_negative_latencies() {
+        let mut pacer = MergePacer::new(PacerConfig::default());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            pacer.observe_query_latency(bad);
+        }
+        // Nothing was admitted to the window, so the first tick is an idle
+        // grow — and must neither panic nor collapse the budget.
+        let b = pacer.next_budget();
+        assert!(b >= 4_096, "garbage samples must not shrink the budget");
+        assert_eq!(pacer.baseline_ms(), None);
+        // A NaN-only stream keeps the pacer on the idle path forever
+        // without wedging at 0.
+        for _ in 0..50 {
+            pacer.observe_query_latency(f64::NAN);
+            assert!(pacer.next_budget() > 0);
+        }
+    }
+
+    #[test]
+    fn pacer_survives_empty_window_and_zero_p99() {
+        // Empty window: next_budget on a fresh pacer is the idle path.
+        let mut pacer = MergePacer::new(PacerConfig::default());
+        assert!(pacer.next_budget() > 0);
+        // All-zero latencies: baseline 0, p99 0 — `0 > 0 * threshold` is
+        // false, so the stream counts as healthy; the budget grows.
+        let mut pacer = MergePacer::new(PacerConfig::default());
+        for _ in 0..32 {
+            pacer.observe_query_latency(0.0);
+        }
+        let before = pacer.budget();
+        assert!(pacer.next_budget() > before);
+    }
+
+    #[test]
+    fn pacer_sanitizes_zero_floor_and_inverted_bounds() {
+        // min_budget = 0 must not wedge the budget at 0 under degradation.
+        let mut pacer = MergePacer::new(PacerConfig {
+            initial_budget: 8,
+            min_budget: 0,
+            max_budget: 8,
+            baseline_decay: 0.0,
+            window: 4,
+            ..Default::default()
+        });
+        pacer.observe_query_latency(1.0);
+        for _ in 0..30 {
+            for _ in 0..4 {
+                pacer.observe_query_latency(1_000.0); // heavily degraded
+            }
+            assert!(pacer.next_budget() >= 1, "budget must never reach 0");
+        }
+        assert_eq!(pacer.budget(), 1, "sanitized floor is 1, not 0");
+        // min > max must not panic (usize::clamp would): ceiling is raised.
+        let mut pacer = MergePacer::new(PacerConfig {
+            initial_budget: 7,
+            min_budget: 100,
+            max_budget: 10,
+            ..Default::default()
+        });
+        assert_eq!(pacer.budget(), 100);
+        assert_eq!(pacer.next_budget(), 100, "floor==ceiling pins the budget");
+    }
+
+    // -- panic containment -------------------------------------------------
+
+    #[test]
+    fn slice_panic_is_contained_and_marks_worker_unhealthy() {
+        let mut db = column_db(100);
+        grow_tail(&mut db, 20);
+        let expected = checksum(&mut db);
+        let mut worker = MaintenanceWorker::new(WorkerConfig {
+            pacer: small_pacer(),
+            fault_slice_panics: 1,
+        });
+        worker.enqueue("t", MergePartition::Whole);
+        assert!(worker.health().is_healthy());
+        // The injected panic surfaces as an error, not an unwind.
+        let err = worker.tick(&mut db).unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert!(!worker.health().is_healthy());
+        assert_eq!(worker.stats().slice_panics, 1);
+        assert!(worker.is_idle(), "the panicking job is dropped");
+        // The database is fully usable afterwards: reads, writes, and a
+        // re-enqueued merge all succeed.
+        assert_eq!(checksum(&mut db), expected);
+        assert!(!db.merge_in_progress("t").unwrap());
+        worker.enqueue("t", MergePartition::Whole);
+        while worker.tick(&mut db).unwrap().is_some() {}
+        assert_eq!(db.delta_tail("t").unwrap(), 0);
+        assert_eq!(checksum(&mut db), expected);
+        // Health stays sticky even after successful slices.
+        assert!(!worker.health().is_healthy());
+    }
+
+    #[test]
+    fn threaded_slice_panic_does_not_poison_the_shared_database() {
+        let mut db = column_db(100);
+        grow_tail(&mut db, 30);
+        let expected = checksum(&mut db);
+        let shared: SharedDatabase = Arc::new(Mutex::new(db));
+        let worker = BackgroundWorker::spawn(
+            shared.clone(),
+            WorkerConfig {
+                pacer: small_pacer(),
+                fault_slice_panics: 1,
+            },
+            Duration::from_millis(1),
+        );
+        worker.enqueue("t", MergePartition::Whole);
+        // Poll until the panics happened and the health mirror flipped.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while worker.health().is_healthy() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never reported the contained panic"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The mutex is not poisoned and the database still answers.
+        {
+            let mut guard = lock_database(&shared);
+            assert_eq!(checksum(&mut guard), expected);
+        }
+        // The worker thread survived the injected panic: it still
+        // processes work and joins cleanly.
+        worker.enqueue("t", MergePartition::Whole);
+        let stats = worker.stop(true);
+        assert_eq!(stats.slice_panics, 1);
+        let mut guard = lock_database(&shared);
+        assert_eq!(guard.delta_tail("t").unwrap(), 0);
+        assert_eq!(checksum(&mut guard), expected);
+    }
+
+    #[test]
+    fn lock_database_recovers_a_mutex_poisoned_by_a_user_thread() {
+        let db = column_db(10);
+        let shared: SharedDatabase = Arc::new(Mutex::new(db));
+        let poisoner = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("user thread dies while holding the lock");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "the mutex really is poisoned");
+        let mut guard = lock_database(&shared);
+        assert_eq!(guard.row_count("t").unwrap(), 10);
+        checksum(&mut guard);
     }
 }

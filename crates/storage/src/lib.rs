@@ -66,6 +66,7 @@ pub mod predicate;
 pub mod row_store;
 pub mod selvec;
 pub mod table;
+pub mod wal;
 
 pub use bitpack::{BitPackedVec, BLOCK};
 pub use column_store::{ColumnData, ColumnTable, MergeProgress};
@@ -74,3 +75,7 @@ pub use predicate::{ColRange, RowSel};
 pub use row_store::RowTable;
 pub use selvec::SelVec;
 pub use table::{PkKey, StoreKind, Table};
+pub use wal::{
+    crc32, scan_frames, FaultFile, FaultPlan, FileBackend, Frame, MemBackend, RetryPolicy,
+    ScanReport, SyncPolicy, WalBackend, WalStats, WalWriter,
+};

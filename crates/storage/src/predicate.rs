@@ -76,6 +76,16 @@ impl ColRange {
         }
     }
 
+    /// General range with explicit bound openness — the constructor that
+    /// round-trips whatever [`ColRange::lo_ref`] / [`ColRange::hi_ref`]
+    /// report (used by the WAL record codec).
+    pub fn range(column: ColumnIdx, lo: Bound<Value>, hi: Bound<Value>) -> Self {
+        ColRange {
+            column,
+            kind: RangeKind::Range { lo, hi },
+        }
+    }
+
     /// The same constraint applied to a different column (used when
     /// translating logical columns to fragment positions).
     pub fn with_column(&self, column: ColumnIdx) -> Self {

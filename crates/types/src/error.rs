@@ -38,6 +38,13 @@ pub enum Error {
     NotFound(String),
     /// The schema definition itself is invalid (e.g. empty PK).
     InvalidSchema(String),
+    /// An I/O failure in the durability layer (message carries the
+    /// underlying `std::io::Error`; stored as text so `Error` stays
+    /// `Clone + Eq`).
+    Io(String),
+    /// The table was quarantined read-only by crash recovery (corrupt WAL
+    /// record); mutations are rejected until the operator intervenes.
+    Degraded(String),
 }
 
 impl fmt::Display for Error {
@@ -59,6 +66,8 @@ impl fmt::Display for Error {
             Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Degraded(m) => write!(f, "table degraded (read-only): {m}"),
         }
     }
 }

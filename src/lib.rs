@@ -66,13 +66,14 @@ pub mod prelude {
         MergePartition, OnlineAdvisor, OnlineConfig, Recommendation, StorageAdvisor,
     };
     pub use hsd_engine::{
-        mover, BackgroundWorker, HybridDatabase, MaintenanceWorker, MergeConfig, MergeMode,
-        PacerConfig, StatisticsRecorder, WorkerConfig, WorkloadRunner,
+        lock_database, mover, BackgroundWorker, DegradedTable, DurabilityConfig, HybridDatabase,
+        MaintenanceWorker, MergeConfig, MergeMode, PacerConfig, RecoveryReport, StatisticsRecorder,
+        WorkerConfig, WorkerHealth, WorkloadRunner,
     };
     pub use hsd_query::{
         AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, MixedWorkloadConfig, Query,
         SelectQuery, TableSpec, UpdateQuery, Workload, WorkloadGenerator,
     };
-    pub use hsd_storage::{ColRange, StoreKind};
+    pub use hsd_storage::{ColRange, StoreKind, SyncPolicy, WalWriter};
     pub use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 }

@@ -10,6 +10,7 @@ use proptest::prelude::*;
 use hybrid_store_advisor::advisor::AdjustmentFn;
 use hybrid_store_advisor::engine::QueryOutput;
 use hybrid_store_advisor::prelude::*;
+use hybrid_store_advisor::storage::{MemBackend, SyncPolicy, WalBackend, WalWriter};
 
 const ROWS: i64 = 96;
 
@@ -41,7 +42,16 @@ fn placements() -> Vec<TablePlacement> {
 }
 
 fn build_db(placement: &TablePlacement) -> HybridDatabase {
+    build_logged_db(placement, None)
+}
+
+/// [`build_db`], optionally with a WAL attached *before* the first DDL so
+/// the log captures the whole history (used by [`Policy::CrashDuringMerge`]).
+fn build_logged_db(placement: &TablePlacement, wal: Option<Box<dyn WalBackend>>) -> HybridDatabase {
     let mut db = HybridDatabase::new();
+    if let Some(backend) = wal {
+        db.attach_wal(WalWriter::new(backend, SyncPolicy::Always));
+    }
     db.create_single(schema(), StoreKind::Row).unwrap();
     db.bulk_load(
         "t",
@@ -96,14 +106,42 @@ enum Policy {
     /// the background worker interleaved with the same random writes, the
     /// production shape of the incremental path.
     BackgroundMerge,
+    /// [`Policy::BackgroundMerge`] running on a WAL, with the process
+    /// "killed" the first time a sliced merge is caught mid-flight: the
+    /// database is thrown away and rebuilt from the log image, discarding
+    /// the in-flight shadow state. The recovered run must stay
+    /// observationally identical — the crash may cost the merge, never an
+    /// answer.
+    CrashDuringMerge,
+}
+
+/// The tiny-budget worker used by the background policies: a 96-row table
+/// still takes several slices — the interleaving the invariant is about.
+fn slow_worker() -> MaintenanceWorker {
+    MaintenanceWorker::new(WorkerConfig {
+        pacer: PacerConfig {
+            initial_budget: 7,
+            min_budget: 4,
+            max_budget: 16,
+            ..Default::default()
+        },
+        ..WorkerConfig::default()
+    })
 }
 
 fn run_policy(
     placement: &TablePlacement,
     policy: Policy,
     queries: &[Query],
-) -> (Vec<Option<QueryOutput>>, usize) {
-    let mut db = build_db(placement);
+) -> (Vec<Option<QueryOutput>>, usize, usize) {
+    let mut wal_image = None;
+    let mut db = if matches!(policy, Policy::CrashDuringMerge) {
+        let mem = MemBackend::new();
+        wal_image = Some(mem.share());
+        build_logged_db(placement, Some(Box::new(mem)))
+    } else {
+        build_db(placement)
+    };
     let mut advisor = match policy {
         Policy::AlwaysMerge => {
             db.set_merge_config(MergeConfig::always());
@@ -113,25 +151,19 @@ fn run_policy(
             db.set_merge_config(MergeConfig::disabled());
             None
         }
-        Policy::AdvisorScheduled | Policy::ChunkedMerge | Policy::BackgroundMerge => {
+        Policy::AdvisorScheduled
+        | Policy::ChunkedMerge
+        | Policy::BackgroundMerge
+        | Policy::CrashDuringMerge => {
             db.set_merge_config(MergeConfig::disabled());
             Some(eager_advisor())
         }
     };
     let chunked = matches!(policy, Policy::ChunkedMerge);
-    let mut worker = matches!(policy, Policy::BackgroundMerge).then(|| {
-        MaintenanceWorker::new(WorkerConfig {
-            // A tiny budget window so a 96-row table still takes several
-            // slices — the interleaving the invariant is about.
-            pacer: PacerConfig {
-                initial_budget: 7,
-                min_budget: 4,
-                max_budget: 16,
-                ..Default::default()
-            },
-        })
-    });
+    let mut worker =
+        matches!(policy, Policy::BackgroundMerge | Policy::CrashDuringMerge).then(slow_worker);
     let mut merges = 0;
+    let mut crashes = 0;
     let mut in_flight: Option<MaintenanceAction> = None;
     let outputs = queries
         .iter()
@@ -149,6 +181,21 @@ fn run_policy(
                 // One paced slice between statements (merges counted from
                 // the worker's stats at end of stream).
                 w.tick(&mut db).unwrap();
+            }
+            // Kill-and-recover the first time a sliced merge is caught
+            // mid-flight: the recovered database replays the committed log
+            // prefix, the in-flight shadow state is lost, and a fresh
+            // worker (its queue gone, like a real restart) takes over.
+            if let Some(image) = wal_image.as_ref() {
+                if crashes == 0 && db.merge_in_progress("t").unwrap() {
+                    let (mut rec, report) = HybridDatabase::recover_bytes(&image.snapshot());
+                    assert!(report.is_clean(), "{report:?}");
+                    assert!(!rec.merge_in_progress("t").unwrap());
+                    rec.set_merge_config(MergeConfig::disabled());
+                    db = rec;
+                    worker = Some(slow_worker());
+                    crashes += 1;
+                }
             }
             if let Some(adv) = advisor.as_mut() {
                 adv.observe(&db, q).unwrap();
@@ -199,7 +246,7 @@ fn run_policy(
         w.drain(&mut db).unwrap();
         merges += w.stats().jobs_completed as usize;
     }
-    (outputs, merges)
+    (outputs, merges, crashes)
 }
 
 /// A randomized statement over the fixed schema. Updates write *fresh*
@@ -297,14 +344,15 @@ proptest! {
             filter: vec![],
         }));
         for placement in placements() {
-            let (reference, _) = run_policy(&placement, Policy::AlwaysMerge, &queries);
+            let (reference, _, _) = run_policy(&placement, Policy::AlwaysMerge, &queries);
             for policy in [
                 Policy::NeverMerge,
                 Policy::AdvisorScheduled,
                 Policy::ChunkedMerge,
                 Policy::BackgroundMerge,
+                Policy::CrashDuringMerge,
             ] {
-                let (outputs, _) = run_policy(&placement, policy, &queries);
+                let (outputs, _, _) = run_policy(&placement, policy, &queries);
                 prop_assert_eq!(
                     &outputs, &reference,
                     "{:?} diverges from always-merge under {:?}", policy, placement
@@ -332,7 +380,7 @@ fn eager_advisor_merges_during_scan_heavy_sequence() {
             }
         })
         .collect();
-    let (_, merges) = run_policy(
+    let (_, merges, _) = run_policy(
         &TablePlacement::Single(StoreKind::Column),
         Policy::AdvisorScheduled,
         &queries,
@@ -341,7 +389,7 @@ fn eager_advisor_merges_during_scan_heavy_sequence() {
     // The same stream through the background worker completes merges too,
     // so the proptest's worker policy genuinely exercises sliced merges
     // interleaved with writes.
-    let (_, background_merges) = run_policy(
+    let (_, background_merges, _) = run_policy(
         &TablePlacement::Single(StoreKind::Column),
         Policy::BackgroundMerge,
         &queries,
@@ -354,9 +402,18 @@ fn eager_advisor_merges_during_scan_heavy_sequence() {
     // *cold-fragment* jobs (the updates above hit historic ids, so the
     // tail grows in the cold column fragment); the worker must drive those
     // region-keyed jobs to completion as well.
-    let (_, cold_merges) = run_policy(&placements()[1], Policy::BackgroundMerge, &queries);
+    let (_, cold_merges, _) = run_policy(&placements()[1], Policy::BackgroundMerge, &queries);
     assert!(
         cold_merges > 0,
         "cold-fragment jobs must complete on the partitioned layout"
     );
+    // And the crash policy genuinely crashes on this stream: a sliced
+    // merge is caught mid-flight and the database is rebuilt from the log,
+    // so the proptest's CrashDuringMerge arm exercises real recoveries.
+    let (_, _, crashes) = run_policy(
+        &TablePlacement::Single(StoreKind::Column),
+        Policy::CrashDuringMerge,
+        &queries,
+    );
+    assert!(crashes > 0, "the crash policy must hit a mid-flight merge");
 }
