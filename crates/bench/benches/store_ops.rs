@@ -19,7 +19,7 @@ const ROWS: usize = 100_000;
 
 fn db_with(store: StoreKind) -> (HybridDatabase, TableSpec) {
     let spec = wide_spec("t", ROWS, 0xBE);
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema().unwrap(), store).unwrap();
     db.bulk_load("t", spec.rows()).unwrap();
     (db, spec)
@@ -31,7 +31,7 @@ fn bench_aggregate(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     for store in StoreKind::BOTH {
-        let (mut db, spec) = db_with(store);
+        let (db, spec) = db_with(store);
         let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, spec.kf_col(0)));
         group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
             b.iter(|| db.execute(&q).unwrap())
@@ -46,7 +46,7 @@ fn bench_grouped_aggregate(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     for store in StoreKind::BOTH {
-        let (mut db, spec) = db_with(store);
+        let (db, spec) = db_with(store);
         let q = Query::Aggregate(AggregateQuery {
             table: "t".into(),
             aggregates: vec![Aggregate {
@@ -70,7 +70,7 @@ fn bench_insert(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     for store in StoreKind::BOTH {
-        let (mut db, spec) = db_with(store);
+        let (db, spec) = db_with(store);
         let mut next = ROWS as u64;
         group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
             b.iter(|| {
@@ -92,7 +92,7 @@ fn bench_point_select(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     for store in StoreKind::BOTH {
-        let (mut db, _) = db_with(store);
+        let (db, _) = db_with(store);
         let mut i = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
             b.iter(|| {
@@ -115,7 +115,7 @@ fn bench_point_update(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     for store in StoreKind::BOTH {
-        let (mut db, spec) = db_with(store);
+        let (db, spec) = db_with(store);
         let mut i = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(store), &store, |b, _| {
             b.iter(|| {
@@ -141,7 +141,7 @@ fn bench_range_select(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     for store in StoreKind::BOTH {
-        let (mut db, spec) = db_with(store);
+        let (db, spec) = db_with(store);
         let q = Query::Select(SelectQuery {
             table: "t".into(),
             columns: Some(vec![0, spec.kf_col(0)]),
@@ -193,7 +193,7 @@ fn bench_join(c: &mut Criterion) {
     };
     for fact_store in StoreKind::BOTH {
         for dim_store in StoreKind::BOTH {
-            let mut db = HybridDatabase::new();
+            let db = HybridDatabase::new();
             db.create_single(fact_spec.schema().unwrap(), fact_store)
                 .unwrap();
             db.create_single(dim_spec.schema().unwrap(), dim_store)

@@ -86,7 +86,7 @@ const TAILED_COLS: usize = 4;
 /// Build the table and grow its tail — identical starting state for every
 /// policy.
 fn prepared_db(s: &TableSpec, tail_updates: usize) -> HybridDatabase {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(s.schema().expect("schema"), StoreKind::Column)
         .expect("create");
     db.bulk_load(&s.name, s.rows()).expect("load");
@@ -160,7 +160,7 @@ fn pacer() -> PacerConfig {
 /// — the query-visible pause. The merge is scheduled after 10% of the
 /// stream (all policies at the same point).
 fn run_policy(scale: &Scale, s: &TableSpec, policy: Policy) -> PolicyReport {
-    let mut db = prepared_db(s, scale.tail_updates);
+    let db = prepared_db(s, scale.tail_updates);
     let merge_at = scale.statements / 10;
     let mut worker = MaintenanceWorker::new(WorkerConfig {
         pacer: pacer(),
@@ -177,7 +177,7 @@ fn run_policy(scale: &Scale, s: &TableSpec, policy: Policy) -> PolicyReport {
             match policy {
                 Policy::Never => {}
                 Policy::Synchronous => {
-                    merged += mover::merge_delta(&mut db, &s.name).expect("merge");
+                    merged += mover::merge_delta(&db, &s.name).expect("merge");
                 }
                 Policy::Background => {
                     worker.enqueue(&s.name, MergePartition::Whole);
@@ -185,7 +185,7 @@ fn run_policy(scale: &Scale, s: &TableSpec, policy: Policy) -> PolicyReport {
             }
         }
         if policy == Policy::Background {
-            if let Some(report) = worker.tick(&mut db).expect("tick") {
+            if let Some(report) = worker.tick(&db).expect("tick") {
                 merged += report.progress.entries_folded;
             }
         }
@@ -206,11 +206,13 @@ fn run_policy(scale: &Scale, s: &TableSpec, policy: Policy) -> PolicyReport {
     }
 }
 
-/// The background policy on the threaded worker: the serving loop takes the
-/// shared lock per statement, the worker thread slices between lock holds.
+/// The background policy on the threaded worker: the serving loop executes
+/// statements directly against the shared database while the worker thread
+/// slices concurrently — readers pin epochs, only same-table writes queue
+/// behind the slice's brief latch holds.
 fn run_threaded(scale: &Scale, s: &TableSpec) -> PolicyReport {
     let db = prepared_db(s, scale.tail_updates);
-    let shared: SharedDatabase = std::sync::Arc::new(std::sync::Mutex::new(db));
+    let shared: SharedDatabase = std::sync::Arc::new(db);
     let worker = BackgroundWorker::spawn(
         shared.clone(),
         WorkerConfig {
@@ -225,10 +227,7 @@ fn run_threaded(scale: &Scale, s: &TableSpec) -> PolicyReport {
     for i in 0..scale.statements {
         let q = statement(s, i, scale.scan_every);
         let t0 = Instant::now();
-        {
-            let mut guard = hsd_engine::lock_database(&shared);
-            guard.execute(&q).expect("execute");
-        }
+        shared.execute(&q).expect("execute");
         if i == merge_at {
             worker.enqueue(&s.name, MergePartition::Whole);
         }

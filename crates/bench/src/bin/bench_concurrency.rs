@@ -1,0 +1,386 @@
+//! Concurrent-engine throughput scaling: mixed read/write serving threads
+//! against one shared database — no global lock, epoch-pinned scans,
+//! per-table write latches, WAL fsyncs, and the background maintenance
+//! worker merging throughout — recorded as `BENCH_concurrency.json`.
+//!
+//! Each serving thread homes on its own column table and interleaves
+//! epoch-pinned aggregate scans (CPU-bound) with durably synced updates
+//! (I/O-bound) at a write fraction balanced so the two cost about the same
+//! wall-clock per thread. On a machine with even a single core the
+//! concurrent engine then overlaps one thread's sync wait with another
+//! thread's scan CPU, and group commit coalesces syncs that pile up behind
+//! one in flight — concurrent writers pay ~one device sync per batch, not
+//! one each; with more cores the scans themselves parallelize too. The old
+//! engine's `Arc<Mutex<HybridDatabase>>` could do none of this — every
+//! sync held the one lock the scans needed — which is what the
+//! `serialized` ablation (same threads, every statement under one global
+//! mutex) replays.
+//!
+//! Headline: `throughput_4t_scaling` — mixed-stream throughput at 4
+//! threads over 1 thread, background worker merging in both — must reach
+//! **1.5x** for the run to pass.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_concurrency`
+//! (`-- --smoke` for the small CI configuration).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hsd_engine::{
+    BackgroundWorker, HybridDatabase, MergeConfig, MergePartition, PacerConfig, SharedDatabase,
+    WorkerConfig,
+};
+use hsd_query::{AggFunc, AggregateQuery, Query, TableSpec, UpdateQuery};
+use hsd_storage::{ColRange, FileBackend, StoreKind, SyncPolicy, WalWriter};
+use hsd_types::{Json, Value};
+
+/// Thread counts swept (1 is the scaling baseline).
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Simulated per-sync durable-write latency. A container's real fsync is
+/// wildly bimodal — the page cache absorbs one sync in microseconds and
+/// stalls the next for milliseconds — which makes run-to-run scaling
+/// ratios meaningless. The benchmark therefore appends every WAL record
+/// for real but *simulates* the device sync with a fixed sleep (the
+/// latency class of an NVMe fsync), so the overlap being measured — one
+/// thread's sync wait hiding under other threads' scan CPU — is
+/// reproducible. Real-device durability costs are bench_recovery's job.
+const SYNC_LATENCY: std::time::Duration = std::time::Duration::from_micros(600);
+
+/// [`FileBackend`] whose `sync` is a deterministic [`SYNC_LATENCY`] stall
+/// (appends are real; the device sync is simulated).
+#[derive(Debug)]
+struct SimulatedSyncBackend(FileBackend);
+
+impl hsd_storage::WalBackend for SimulatedSyncBackend {
+    fn append(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.append(buf)
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        std::thread::sleep(SYNC_LATENCY);
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.0.len()
+    }
+    fn sync_handle(&self) -> Option<Box<dyn hsd_storage::wal::WalSyncHandle>> {
+        // Detachable like the real file backend's handle, so the engine's
+        // group commit can sync concurrently with appends (that overlap is
+        // what forms commit batches).
+        Some(Box::new(SimulatedSyncHandle))
+    }
+}
+
+#[derive(Debug)]
+struct SimulatedSyncHandle;
+
+impl hsd_storage::wal::WalSyncHandle for SimulatedSyncHandle {
+    fn sync(&mut self) -> std::io::Result<()> {
+        std::thread::sleep(SYNC_LATENCY);
+        Ok(())
+    }
+}
+
+struct Scale {
+    /// Rows per home table.
+    rows: usize,
+    /// Statements each serving thread executes per run.
+    statements_per_thread: usize,
+    smoke: bool,
+}
+
+impl Scale {
+    fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--smoke") {
+            Scale {
+                rows: 10_000,
+                statements_per_thread: 150,
+                smoke: true,
+            }
+        } else {
+            // Tables stay small on purpose: a serving thread's scan set
+            // must fit the (single-vCPU container's) cache, or the sweep
+            // measures cache refills after every context switch instead of
+            // the engine's concurrency.
+            Scale {
+                rows: 12_000,
+                statements_per_thread: 800,
+                smoke: false,
+            }
+        }
+    }
+}
+
+fn spec(i: usize, rows: usize) -> TableSpec {
+    TableSpec::paper_wide(format!("t{i}"), rows, 0xC0DE + i as u64)
+}
+
+/// One shared database holding every thread's home table, with a
+/// truncate-on-open file WAL (`SyncPolicy::Always`: every write statement
+/// waits for a durable sync — the [`SYNC_LATENCY`] stall the concurrent
+/// engine gets to overlap with scans and coalesce via group commit).
+/// Appends go to a real file under `target/`.
+fn build_shared(scale: &Scale, tables: usize) -> SharedDatabase {
+    let db = HybridDatabase::new();
+    let wal_path = std::path::Path::new("target").join("bench_concurrency.wal");
+    let backend = FileBackend::open_truncated(&wal_path, 0).expect("open WAL under target/");
+    db.attach_wal(WalWriter::new(
+        Box::new(SimulatedSyncBackend(backend)),
+        SyncPolicy::Always,
+    ));
+    for i in 0..tables {
+        let s = spec(i, scale.rows);
+        db.create_single(s.schema().expect("schema"), StoreKind::Column)
+            .expect("create");
+        db.bulk_load(&s.name, s.rows()).expect("load");
+    }
+    // The background worker is the only merge scheduler during the runs.
+    db.set_merge_config(MergeConfig::disabled());
+    Arc::new(db)
+}
+
+/// The thread's read statement: an epoch-pinned full scan of a group
+/// column on its home table (CPU-bound, no latch).
+fn read_stmt(s: &TableSpec) -> Query {
+    Query::Aggregate(AggregateQuery::simple(
+        &s.name,
+        AggFunc::Count,
+        s.grp_col(0),
+    ))
+}
+
+/// The thread's write statement: a point update interning a fresh
+/// keyfigure value — grows the home table's dictionary tail (feeding the
+/// worker) and waits for a durable WAL sync under the table's write latch.
+fn write_stmt(s: &TableSpec, j: usize) -> Query {
+    Query::Update(UpdateQuery {
+        table: s.name.clone(),
+        sets: vec![(s.kf_col(0), Value::Double(5e6 + j as f64 * 0.017))],
+        filter: vec![ColRange::eq(0, Value::BigInt(((j * 31) % s.rows) as i64))],
+    })
+}
+
+/// Balance the statement mix: pick the write fraction `f = r / (r + w)`
+/// (clamped to [0.05, 0.40]) from measured single-statement costs, so one
+/// thread spends comparable wall-clock in scan CPU and in sync wait —
+/// the regime where concurrency can actually overlap the two.
+fn calibrate_write_fraction(db: &SharedDatabase, s: &TableSpec) -> f64 {
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        db.execute(&read_stmt(s)).expect("read");
+    }
+    let read_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let t0 = Instant::now();
+    for j in 0..reps {
+        db.execute(&write_stmt(s, 900_000 + j)).expect("write");
+    }
+    let write_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    (read_ms / (read_ms + write_ms)).clamp(0.05, 0.40)
+}
+
+struct RunReport {
+    threads: usize,
+    statements: usize,
+    elapsed_ms: f64,
+    throughput_sps: f64,
+    entries_folded: u64,
+    slices: u64,
+}
+
+/// Serve `statements_per_thread` statements from each of `threads`
+/// threads, the background worker slicing merges throughout. With
+/// `serialize` every statement additionally takes one process-wide mutex —
+/// the old global-lock engine replayed on the new storage layer.
+fn run(scale: &Scale, threads: usize, write_pct: usize, serialize: bool) -> RunReport {
+    let shared = build_shared(scale, threads);
+    let worker = Arc::new(BackgroundWorker::spawn(
+        shared.clone(),
+        WorkerConfig {
+            pacer: PacerConfig::default(),
+            ..WorkerConfig::default()
+        },
+        std::time::Duration::from_micros(600),
+    ));
+    let global = Arc::new(Mutex::new(()));
+    let executed = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = shared.clone();
+            let worker_q = worker.clone();
+            let global = global.clone();
+            let executed = executed.clone();
+            let s = spec(t, scale.rows);
+            let per_thread = scale.statements_per_thread;
+            std::thread::spawn(move || {
+                let mut writes = 0usize;
+                // Per-thread deterministic LCG placing writes at the
+                // calibrated fraction. A shared regular pattern would
+                // phase-lock the threads — everyone fsyncs at once (the
+                // WAL serializes them while the CPU idles), then everyone
+                // scans at once (the disk idles). Decorrelated streams
+                // keep the WAL queue and the CPU busy simultaneously,
+                // which is the overlap being measured.
+                let mut lcg: u64 = 0x9E37_79B9 ^ (t as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                for j in 0..per_thread {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let is_write = ((lcg >> 33) % 100) < write_pct as u64;
+                    let q = if is_write {
+                        write_stmt(&s, j)
+                    } else {
+                        read_stmt(&s)
+                    };
+                    if serialize {
+                        let _g = global.lock().expect("global lock");
+                        db.execute(&q).expect("execute");
+                    } else {
+                        db.execute(&q).expect("execute");
+                    }
+                    if is_write {
+                        writes += 1;
+                        // Refresh the merge job every few fresh-value
+                        // interns, so slices overlap the serving stream.
+                        if writes % 8 == 1 {
+                            worker_q.enqueue(&s.name, MergePartition::Whole);
+                        }
+                    }
+                    executed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serving thread");
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let worker = Arc::try_unwrap(worker).expect("serving threads dropped their handles");
+    let stats = worker.stop(true);
+    let statements = executed.load(Ordering::Relaxed);
+    RunReport {
+        threads,
+        statements,
+        elapsed_ms,
+        throughput_sps: statements as f64 / (elapsed_ms / 1e3),
+        entries_folded: stats.entries_folded,
+        slices: stats.slices,
+    }
+}
+
+fn run_json(r: &RunReport) -> Json {
+    Json::obj([
+        ("threads", Json::Int(r.threads as i64)),
+        ("statements", Json::Int(r.statements as i64)),
+        ("elapsed_ms", Json::Num(r.elapsed_ms)),
+        ("throughput_sps", Json::Num(r.throughput_sps)),
+        ("entries_folded", Json::Int(r.entries_folded as i64)),
+        ("slices", Json::Int(r.slices as i64)),
+    ])
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // Calibrate the mix on a throwaway single-table database.
+    let f = {
+        let db = build_shared(&scale, 1);
+        calibrate_write_fraction(&db, &spec(0, scale.rows))
+    };
+    let write_pct = (f * 100.0).round() as usize;
+    eprintln!(
+        "[bench_concurrency] calibrated write fraction {:.2} ({} writes per 100 statements)",
+        f, write_pct
+    );
+
+    // Median-of-N per configuration, with the reps *interleaved* across
+    // configurations: scheduler phases (slow timer wakeups, noisy
+    // neighbours) then hit every configuration equally instead of skewing
+    // one side of the scaling ratio, and the median discards the outlier
+    // reps entirely.
+    let reps = if scale.smoke { 3 } else { 7 };
+    // (threads, serialize): the scaling ladder plus the ablation.
+    let configs: Vec<(usize, bool)> = THREADS
+        .iter()
+        .map(|&t| (t, false))
+        .chain([(4, true)])
+        .collect();
+    let mut samples: Vec<Vec<RunReport>> = configs.iter().map(|_| Vec::new()).collect();
+    for _ in 0..reps {
+        for (i, &(threads, serialize)) in configs.iter().enumerate() {
+            samples[i].push(run(&scale, threads, write_pct, serialize));
+        }
+    }
+    let median = |mut reps: Vec<RunReport>| -> RunReport {
+        reps.sort_by(|a, b| {
+            a.throughput_sps
+                .partial_cmp(&b.throughput_sps)
+                .expect("finite")
+        });
+        reps.swap_remove(reps.len() / 2)
+    };
+    let mut picked = samples.into_iter().map(median);
+    let runs: Vec<RunReport> = THREADS
+        .iter()
+        .map(|_| {
+            let r = picked.next().expect("one pick per config");
+            eprintln!(
+                "[bench_concurrency] {:>2} threads  {:6} stmts  {:9.1} ms  {:8.1} stmt/s  \
+                 folded {:6}  slices {:4}",
+                r.threads, r.statements, r.elapsed_ms, r.throughput_sps, r.entries_folded, r.slices,
+            );
+            r
+        })
+        .collect();
+    let serialized = picked.next().expect("serialized ablation pick");
+    eprintln!(
+        "[bench_concurrency] {:>2} threads (serialized ablation)  {:9.1} ms  {:8.1} stmt/s",
+        serialized.threads, serialized.elapsed_ms, serialized.throughput_sps,
+    );
+
+    let base = runs[0].throughput_sps;
+    let at = |t: usize| {
+        runs.iter()
+            .find(|r| r.threads == t)
+            .map(|r| r.throughput_sps)
+            .unwrap_or(0.0)
+    };
+    let scaling_4t = at(4) / base;
+    // The merge-concurrency claim rides along: every run folded tail
+    // entries while serving, so the scans above overlapped live merges.
+    assert!(
+        runs.iter().all(|r| r.entries_folded > 0),
+        "worker folded nothing — the scans never overlapped a merge"
+    );
+    let pass = scaling_4t >= 1.5;
+    eprintln!(
+        "[bench_concurrency] throughput scaling at 4 threads: {scaling_4t:.2}x \
+         (serialized ablation {:.2}x) -> {}",
+        serialized.throughput_sps / base,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("concurrent_engine_scaling".into())),
+        ("smoke", Json::Bool(scale.smoke)),
+        ("rows_per_table", Json::Int(scale.rows as i64)),
+        ("write_fraction", Json::Num(f)),
+        ("runs", Json::Arr(runs.iter().map(run_json).collect())),
+        ("serialized_ablation", run_json(&serialized)),
+        ("throughput_2t_scaling", hsd_bench::ratio_json(at(2), base)),
+        ("throughput_4t_scaling", hsd_bench::ratio_json(at(4), base)),
+        ("throughput_8t_scaling", hsd_bench::ratio_json(at(8), base)),
+        (
+            "serialized_4t_scaling",
+            hsd_bench::ratio_json(serialized.throughput_sps, base),
+        ),
+        ("pass", Json::Bool(pass)),
+    ]);
+    std::fs::write("BENCH_concurrency.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_concurrency.json");
+    eprintln!("[bench_concurrency] wrote BENCH_concurrency.json");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -61,7 +61,7 @@ fn spec(rows: usize) -> TableSpec {
 }
 
 fn build_db(spec: &TableSpec) -> HybridDatabase {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema().expect("schema"), StoreKind::Column)
         .expect("create");
     db.bulk_load("m", spec.rows()).expect("load");
@@ -125,9 +125,9 @@ fn run_fixed(
     cfg: MergeConfig,
     merges_per_write: bool,
 ) -> PolicyResult {
-    let mut db = build_db(s);
+    let db = build_db(s);
     db.set_merge_config(cfg);
-    let report = WorkloadRunner::new().run(&mut db, workload).expect("run");
+    let report = WorkloadRunner::new().run(&db, workload).expect("run");
     let writes = workload
         .queries
         .iter()
@@ -142,7 +142,7 @@ fn run_fixed(
 }
 
 fn run_advisor(s: &TableSpec, workload: &Workload, model: CostModel) -> PolicyResult {
-    let mut db = build_db(s);
+    let db = build_db(s);
     db.set_merge_config(MergeConfig::disabled());
     let mut online = OnlineAdvisor::new(
         StorageAdvisor::new(model),
@@ -158,7 +158,7 @@ fn run_advisor(s: &TableSpec, workload: &Workload, model: CostModel) -> PolicyRe
     );
     let mut merges = 0usize;
     let report = WorkloadRunner::new()
-        .run_observed(&mut db, workload, |db, q| {
+        .run_observed(&db, workload, |db, q| {
             online.observe(db, q)?;
             for action in online.take_maintenance() {
                 action.apply(db)?;
@@ -176,7 +176,7 @@ fn run_advisor(s: &TableSpec, workload: &Workload, model: CostModel) -> PolicyRe
 }
 
 /// Median wall-clock ms of `runs` executions of the grouped aggregation.
-fn time_groupby(db: &mut HybridDatabase, q: &Query, runs: usize) -> f64 {
+fn time_groupby(db: &HybridDatabase, q: &Query, runs: usize) -> f64 {
     let mut samples: Vec<f64> = (0..runs)
         .map(|_| {
             let start = Instant::now();
@@ -236,7 +236,7 @@ fn main() {
     // --- dense group-by ablation -------------------------------------------
     // Low-cardinality group column (cardinality 100): the dense per-code
     // accumulator path vs the hash-map path on identical data.
-    let mut db = build_db(&s);
+    let db = build_db(&s);
     let gq = Query::Aggregate(AggregateQuery {
         table: s.name.clone(),
         aggregates: vec![Aggregate {
@@ -248,9 +248,9 @@ fn main() {
         join: None,
     });
     executor::set_dense_group_by(false);
-    let hash_ms = time_groupby(&mut db, &gq, scale.groupby_runs);
+    let hash_ms = time_groupby(&db, &gq, scale.groupby_runs);
     executor::set_dense_group_by(true);
-    let dense_ms = time_groupby(&mut db, &gq, scale.groupby_runs);
+    let dense_ms = time_groupby(&db, &gq, scale.groupby_runs);
     let gb_speedup = hash_ms / dense_ms;
     let gb_pass = dense_ms < hash_ms;
     eprintln!(

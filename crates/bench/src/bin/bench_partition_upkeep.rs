@@ -125,12 +125,12 @@ fn insert_scan_workload(s: &TableSpec, statements: usize, scan_every: usize) -> 
 /// their proper hot/cold row split) and return the measured wall-clock
 /// total.
 fn measure_layout(s: &TableSpec, workload: &Workload, rec: &Recommendation) -> f64 {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(s.schema().expect("schema"), StoreKind::Row)
         .expect("create");
     db.bulk_load(&s.name, s.rows()).expect("load");
-    mover::apply_layout(&mut db, &rec.layout).expect("apply layout");
-    let report = WorkloadRunner::new().run(&mut db, workload).expect("run");
+    mover::apply_layout(&db, &rec.layout).expect("apply layout");
+    let report = WorkloadRunner::new().run(&db, workload).expect("run");
     report.total_ms()
 }
 
@@ -146,7 +146,7 @@ fn main() {
     let workload = insert_scan_workload(&s, scale.statements, scale.scan_every);
     // Statistics snapshot of the loaded table (max id feeds the insert
     // partition's split boundary).
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(s.schema().expect("schema"), StoreKind::Column)
         .expect("create");
     db.bulk_load(&s.name, s.rows()).expect("load");

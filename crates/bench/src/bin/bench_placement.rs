@@ -138,7 +138,7 @@ fn write_heavy_workload(s: &TableSpec, statements: usize, scan_every: usize) -> 
 }
 
 fn build_db(s: &TableSpec, store: StoreKind) -> HybridDatabase {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(s.schema().expect("schema"), store)
         .expect("create");
     db.bulk_load(&s.name, s.rows()).expect("load");
@@ -149,8 +149,8 @@ fn build_db(s: &TableSpec, store: StoreKind) -> HybridDatabase {
 /// active — the realistic upkeep a placement actually pays) and return the
 /// measured wall-clock total.
 fn measure_placement(s: &TableSpec, workload: &Workload, store: StoreKind) -> f64 {
-    let mut db = build_db(s, store);
-    let report = WorkloadRunner::new().run(&mut db, workload).expect("run");
+    let db = build_db(s, store);
+    let report = WorkloadRunner::new().run(&db, workload).expect("run");
     report.total_ms()
 }
 
@@ -228,7 +228,7 @@ fn main() {
     // code-vector remap covers every row — the remap is the pause the
     // incremental path bounds, so it must dominate.
     let ms = spec(scale.merge_rows);
-    let grow_tail = |db: &mut HybridDatabase| {
+    let grow_tail = |db: &HybridDatabase| {
         let grp = ms.grp_col(0);
         for i in 0..scale.merge_tail {
             db.execute(&Query::Update(UpdateQuery {
@@ -239,25 +239,25 @@ fn main() {
             .expect("update");
         }
     };
-    let mut db_full = build_db(&ms, StoreKind::Column);
+    let db_full = build_db(&ms, StoreKind::Column);
     db_full.set_merge_config(hsd_engine::MergeConfig::disabled());
-    grow_tail(&mut db_full);
+    grow_tail(&db_full);
     let tail = db_full.delta_tail(&ms.name).expect("tail");
     let start = Instant::now();
-    let merged_full = mover::merge_delta(&mut db_full, &ms.name).expect("full merge");
+    let merged_full = mover::merge_delta(&db_full, &ms.name).expect("full merge");
     let full_pause_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    let mut db_incr = build_db(&ms, StoreKind::Column);
+    let db_incr = build_db(&ms, StoreKind::Column);
     db_incr.set_merge_config(hsd_engine::MergeConfig::disabled());
-    grow_tail(&mut db_incr);
+    grow_tail(&db_incr);
     let mut max_pause_ms = 0.0f64;
     let mut incr_total_ms = 0.0f64;
     let mut slices = 0usize;
     let mut merged_incr = 0usize;
     loop {
         let start = Instant::now();
-        let p = mover::merge_delta_step(&mut db_incr, &ms.name, scale.merge_budget)
-            .expect("merge slice");
+        let p =
+            mover::merge_delta_step(&db_incr, &ms.name, scale.merge_budget).expect("merge slice");
         let pause = start.elapsed().as_secs_f64() * 1e3;
         max_pause_ms = max_pause_ms.max(pause);
         incr_total_ms += pause;

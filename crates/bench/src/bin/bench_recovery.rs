@@ -72,7 +72,7 @@ fn schema() -> TableSchema {
 /// Load the base table and run the statement stream: 2/3 fresh-id inserts,
 /// 1/3 point updates, with a periodic explicit delta merge so the log also
 /// carries merge-completion records.
-fn run_stream(db: &mut HybridDatabase, base_rows: usize, statements: usize) {
+fn run_stream(db: &HybridDatabase, base_rows: usize, statements: usize) {
     db.create_single(schema(), StoreKind::Column)
         .expect("create");
     db.bulk_load(
@@ -112,7 +112,7 @@ fn run_stream(db: &mut HybridDatabase, base_rows: usize, statements: usize) {
 
 /// Canonical table contents, sorted by primary key — the correctness
 /// checksum compared between the live and the recovered database.
-fn probe(db: &mut HybridDatabase) -> Vec<Vec<Value>> {
+fn probe(db: &HybridDatabase) -> Vec<Vec<Value>> {
     let out = db
         .execute(&Query::Select(SelectQuery {
             table: "t".into(),
@@ -144,25 +144,25 @@ fn logged_run(
     statements: usize,
 ) -> (f64, Vec<Vec<Value>>, u64, u64) {
     let _ = std::fs::remove_file(path);
-    let (mut db, report) = HybridDatabase::recover(path).expect("open wal");
+    let (db, report) = HybridDatabase::recover(path).expect("open wal");
     assert!(report.is_clean() && report.records_replayed == 0);
     db.set_merge_config(MergeConfig::disabled());
     let start = Instant::now();
-    run_stream(&mut db, base_rows, statements);
+    run_stream(&db, base_rows, statements);
     db.sync_wal().expect("final sync");
     let ms = start.elapsed().as_secs_f64() * 1e3;
     let stats = db.wal_stats().expect("wal stats");
-    (ms, probe(&mut db), stats.frame_bytes, stats.payload_bytes)
+    (ms, probe(&db), stats.frame_bytes, stats.payload_bytes)
 }
 
 fn main() {
     let scale = Scale::from_args();
 
     // Baseline: the identical stream with no WAL attached.
-    let mut off_db = HybridDatabase::new();
+    let off_db = HybridDatabase::new();
     off_db.set_merge_config(MergeConfig::disabled());
     let start = Instant::now();
-    run_stream(&mut off_db, scale.base_rows, scale.statements);
+    run_stream(&off_db, scale.base_rows, scale.statements);
     let off_ms = start.elapsed().as_secs_f64() * 1e3;
 
     // Logged runs at two log sizes.
@@ -182,9 +182,9 @@ fn main() {
     let recover = |path: &PathBuf, expected: &Vec<Vec<Value>>| {
         let bytes = std::fs::metadata(path).expect("wal metadata").len();
         let start = Instant::now();
-        let (mut rec, report) = HybridDatabase::recover(path).expect("recover");
+        let (rec, report) = HybridDatabase::recover(path).expect("recover");
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        let ok = report.is_clean() && &probe(&mut rec) == expected;
+        let ok = report.is_clean() && &probe(&rec) == expected;
         eprintln!(
             "[bench_recovery] recovered {bytes} bytes / {} records in {ms:.1} ms -> {}",
             report.records_replayed,

@@ -32,7 +32,8 @@ fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f64>)
                     || k.ends_with("_reduction")
                     || k.ends_with("_ratio")
                     || k.ends_with("_amplification")
-                    || k.ends_with("_overhead");
+                    || k.ends_with("_overhead")
+                    || k.ends_with("_scaling");
                 match v {
                     Json::Num(n) if ratio_key => out.push((path, n.is_finite().then_some(*n))),
                     Json::Int(n) if ratio_key => out.push((path, Some(*n as f64))),

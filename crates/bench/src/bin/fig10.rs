@@ -20,10 +20,10 @@ fn load_with_layout(g: &TpchGenerator, layout: Option<&StorageLayout>) -> Result
     // Load uniformly into the row store first, then let the mover rebuild
     // whatever the layout demands (this splits horizontal partitions
     // correctly instead of routing the bulk load to the hot partition).
-    let mut db = HybridDatabase::new();
-    g.load_uniform(&mut db, StoreKind::Row)?;
+    let db = HybridDatabase::new();
+    g.load_uniform(&db, StoreKind::Row)?;
     if let Some(layout) = layout {
-        mover::apply_layout(&mut db, layout)?;
+        mover::apply_layout(&db, layout)?;
     }
     Ok(db)
 }
@@ -41,8 +41,8 @@ fn run_repeated(
         .unwrap_or(3);
     let mut secs = Vec::with_capacity(repeats);
     for _ in 0..repeats.max(1) {
-        let mut db = fresh()?;
-        secs.push(runner.run(&mut db, workload)?.total.as_secs_f64());
+        let db = fresh()?;
+        secs.push(runner.run(&db, workload)?.total.as_secs_f64());
     }
     Ok(secs)
 }
@@ -70,8 +70,8 @@ fn main() -> Result<()> {
     let mut results: Vec<(String, f64)> = Vec::new();
     let mut stats_snapshot: Option<BTreeMap<String, hsd_catalog::TableStats>> = None;
     for (name, store) in [("RS only", StoreKind::Row), ("CS only", StoreKind::Column)] {
-        let mut db = HybridDatabase::new();
-        g.load_uniform(&mut db, store)?;
+        let db = HybridDatabase::new();
+        g.load_uniform(&db, store)?;
         if stats_snapshot.is_none() {
             stats_snapshot = Some(
                 db.catalog()
@@ -82,11 +82,11 @@ fn main() -> Result<()> {
             );
         }
         let mut secs = run_repeated(&runner, &workload, || {
-            let mut db = HybridDatabase::new();
-            g.load_uniform(&mut db, store)?;
+            let db = HybridDatabase::new();
+            g.load_uniform(&db, store)?;
             Ok(db)
         })?;
-        secs.insert(0, runner.run(&mut db, &workload)?.total.as_secs_f64());
+        secs.insert(0, runner.run(&db, &workload)?.total.as_secs_f64());
         secs.sort_by(f64::total_cmp);
         results.push((name.to_string(), secs[secs.len() / 2]));
     }

@@ -23,12 +23,12 @@ fn main() -> hsd_types::Result<()> {
         let query = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, spec.kf_col(0)));
         let mut line = vec![n.to_string()];
         for store in StoreKind::BOTH {
-            let mut db = build_db(&spec, store)?;
+            let db = build_db(&spec, store)?;
             let ctx = ctx_of(&db);
             let assignment: BTreeMap<String, StoreKind> =
                 [("t".to_string(), store)].into_iter().collect();
             let est = estimate_query(&model, &ctx, &assignment, &query);
-            let run = runner.time_query(&mut db, &query, 3)?.as_secs_f64() * 1e3;
+            let run = runner.time_query(&db, &query, 3)?.as_secs_f64() * 1e3;
             errs.entry(store).or_default().push((est - run).abs() / run);
             line.push(fmt_ms(est));
             line.push(fmt_ms(run));

@@ -37,11 +37,11 @@ fn main() -> hsd_types::Result<()> {
         let mut runtimes: BTreeMap<StoreKind, f64> = BTreeMap::new();
         let mut stats_snapshot = None;
         for store in StoreKind::BOTH {
-            let mut db = build_db(&spec, store)?;
+            let db = build_db(&spec, store)?;
             if stats_snapshot.is_none() {
                 stats_snapshot = Some(db.catalog().entry_by_name("t")?.stats.clone());
             }
-            let report = runner.run(&mut db, &workload)?;
+            let report = runner.run(&db, &workload)?;
             runtimes.insert(store, report.total.as_secs_f64());
         }
         let mut stats = BTreeMap::new();

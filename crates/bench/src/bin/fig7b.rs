@@ -55,7 +55,7 @@ fn build(
     dim: &TableSpec,
     fact_store: StoreKind,
 ) -> hsd_types::Result<HybridDatabase> {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(fact.schema()?, fact_store)?;
     db.create_single(dim.schema()?, StoreKind::Row)?;
     db.bulk_load("fact", fact.rows())?;
@@ -87,7 +87,7 @@ fn main() -> hsd_types::Result<()> {
         let mut runtimes: BTreeMap<StoreKind, f64> = BTreeMap::new();
         let mut estimates: BTreeMap<StoreKind, f64> = BTreeMap::new();
         for store in StoreKind::BOTH {
-            let mut db = build(&fact, &dim, store)?;
+            let db = build(&fact, &dim, store)?;
             // Estimate with the dimension pinned to the row store.
             let ctx = ctx_of(&db);
             let assignment: BTreeMap<String, StoreKind> = [
@@ -100,7 +100,7 @@ fn main() -> hsd_types::Result<()> {
                 store,
                 estimate_workload(&model, &ctx, &assignment, &workload),
             );
-            let report = runner.run(&mut db, &workload)?;
+            let report = runner.run(&db, &workload)?;
             runtimes.insert(store, report.total.as_secs_f64());
         }
         let recommended = if estimates[&StoreKind::Row] <= estimates[&StoreKind::Column] {

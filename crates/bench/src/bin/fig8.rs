@@ -40,7 +40,7 @@ fn main() -> hsd_types::Result<()> {
     let mut rows_out = Vec::new();
     let mut best = (f64::INFINITY, 0.0);
     for percent in [0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0] {
-        let mut db = build_db(&spec, StoreKind::Column)?;
+        let db = build_db(&spec, StoreKind::Column)?;
         if percent > 0.0 {
             let split = (n as f64 * (1.0 - percent / 100.0)) as i64;
             let placement = TablePlacement::Partitioned(PartitionSpec {
@@ -50,9 +50,9 @@ fn main() -> hsd_types::Result<()> {
                 }),
                 vertical: None,
             });
-            mover::move_table(&mut db, "t", &placement)?;
+            mover::move_table(&db, "t", &placement)?;
         }
-        let report = runner.run(&mut db, &workload)?;
+        let report = runner.run(&db, &workload)?;
         let secs = report.total.as_secs_f64();
         if secs < best.0 {
             best = (secs, percent);

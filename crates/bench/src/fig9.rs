@@ -73,7 +73,7 @@ fn run_once(
     workload: &Workload,
     runner: &WorkloadRunner,
 ) -> Result<f64> {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_table(spec.schema()?, placement.clone())?;
     db.bulk_load(&spec.name, spec.rows())?;
     // The selection attributes carry row-store secondary indexes (the
@@ -82,6 +82,6 @@ fn run_once(
     for col in spec.st_cols() {
         db.create_index(&spec.name, col)?;
     }
-    let report = runner.run(&mut db, workload)?;
+    let report = runner.run(&db, workload)?;
     Ok(report.total.as_secs_f64())
 }

@@ -90,7 +90,7 @@ pub fn wide_spec(name: &str, rows: usize, seed: u64) -> TableSpec {
 
 /// Build a single-store database holding `spec`.
 pub fn build_db(spec: &TableSpec, store: StoreKind) -> Result<HybridDatabase> {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema()?, store)?;
     db.bulk_load(&spec.name, spec.rows())?;
     Ok(db)

@@ -394,7 +394,7 @@ pub fn analyze_workload(
     workload: &Workload,
 ) -> Result<ExtendedStats> {
     // A schema-only database gives the recorder its arity lookups.
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     for schema in schemas {
         db.create_single((**schema).clone(), StoreKind::Row)?;
     }

@@ -100,13 +100,13 @@ fn reference_spec(name: &str, rows: usize, cfg: &CalibrationConfig) -> TableSpec
     spec
 }
 
-fn time_ms(db: &mut HybridDatabase, q: &Query, repeats: usize) -> Result<f64> {
+fn time_ms(db: &HybridDatabase, q: &Query, repeats: usize) -> Result<f64> {
     let d = WorkloadRunner::new().time_query(db, q, repeats)?;
     Ok(d.as_secs_f64() * 1e3)
 }
 
 /// Time a batch of distinct queries, returning the median per-query ms.
-fn time_batch_ms(db: &mut HybridDatabase, queries: &[Query]) -> Result<f64> {
+fn time_batch_ms(db: &HybridDatabase, queries: &[Query]) -> Result<f64> {
     let mut samples = Vec::with_capacity(queries.len());
     for q in queries {
         let start = Instant::now();
@@ -120,7 +120,7 @@ fn time_batch_ms(db: &mut HybridDatabase, queries: &[Query]) -> Result<f64> {
 /// Time a batch of distinct queries, returning the *mean* per-query ms.
 /// Used for updates, whose cost includes occasional amortized delta merges
 /// that a median would hide.
-fn time_batch_mean_ms(db: &mut HybridDatabase, queries: &[Query]) -> Result<f64> {
+fn time_batch_mean_ms(db: &HybridDatabase, queries: &[Query]) -> Result<f64> {
     let start = Instant::now();
     for q in queries {
         db.execute(q)?;
@@ -134,7 +134,7 @@ fn sum_query(table: &str, col: usize) -> Query {
 
 #[allow(clippy::too_many_lines)]
 fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationConfig) -> Result<()> {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
 
     // --- build the row-count sweep tables ---------------------------------
     let mut sweep_tables: Vec<(String, usize)> = Vec::new();
@@ -158,16 +158,16 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     // --- f_#rows: reference aggregation across the sweep ------------------
     let mut rows_samples = Vec::new();
     for (name, rows) in &sweep_tables {
-        let ms = time_ms(&mut db, &sum_query(name, spec.kf_col(0)), cfg.repeats)?;
+        let ms = time_ms(&db, &sum_query(name, spec.kf_col(0)), cfg.repeats)?;
         rows_samples.push((*rows as f64, ms));
     }
     m.f_rows = AdjustmentFn::fit_linear(&rows_samples);
-    let ref_agg_ms = time_ms(&mut db, &sum_query(&ref_table, spec.kf_col(0)), cfg.repeats)?;
+    let ref_agg_ms = time_ms(&db, &sum_query(&ref_table, spec.kf_col(0)), cfg.repeats)?;
 
     // --- base costs per aggregation function -------------------------------
     for func in AggFunc::ALL {
         let q = Query::Aggregate(AggregateQuery::simple(&ref_table, func, spec.kf_col(0)));
-        let ms = time_ms(&mut db, &q, cfg.repeats)?;
+        let ms = time_ms(&db, &q, cfg.repeats)?;
         m.set_base_agg(func, (ms / ref_agg_ms).max(1e-3));
     }
     m.set_base_agg(AggFunc::Sum, 1.0);
@@ -177,12 +177,8 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     // BigInt on the id column. Types with no natural calibration column
     // (Decimal ≈ Integer, Varchar/Date/Boolean not aggregated) fall back to
     // the closest measured factor.
-    let int_ms = time_ms(
-        &mut db,
-        &sum_query(&ref_table, spec.flt_col(0)),
-        cfg.repeats,
-    )? / ref_agg_ms;
-    let bigint_ms = time_ms(&mut db, &sum_query(&ref_table, 0), cfg.repeats)? / ref_agg_ms;
+    let int_ms = time_ms(&db, &sum_query(&ref_table, spec.flt_col(0)), cfg.repeats)? / ref_agg_ms;
+    let bigint_ms = time_ms(&db, &sum_query(&ref_table, 0), cfg.repeats)? / ref_agg_ms;
     m.set_c_type(ColumnType::Double, 1.0);
     m.set_c_type(ColumnType::Integer, int_ms.max(1e-3));
     m.set_c_type(ColumnType::BigInt, bigint_ms.max(1e-3));
@@ -203,7 +199,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
             filter: vec![],
             join: None,
         });
-        grouped_samples.push(time_ms(&mut db, &grouped, cfg.repeats.max(3))?);
+        grouped_samples.push(time_ms(&db, &grouped, cfg.repeats.max(3))?);
     }
     grouped_samples.sort_by(f64::total_cmp);
     let grouped_ms = grouped_samples[grouped_samples.len() / 2];
@@ -223,7 +219,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
         cspec.kf_distinct = *distinct;
         db.create_single(cspec.schema()?, store)?;
         db.bulk_load(&name, cspec.rows())?;
-        let ms = time_ms(&mut db, &sum_query(&name, cspec.kf_col(0)), cfg.repeats)?;
+        let ms = time_ms(&db, &sum_query(&name, cspec.kf_col(0)), cfg.repeats)?;
         comp_points.push((cspec.kf_compression(ref_rows), ms / ref_agg_ms));
     }
     m.f_compression = AdjustmentFn::fit_piecewise(comp_points);
@@ -236,10 +232,10 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
             Query::Select(SelectQuery::point(&ref_table, 0, Value::BigInt(id as i64)))
         })
         .collect();
-    m.sel_point_ms = time_batch_ms(&mut db, &point_queries)?;
+    m.sel_point_ms = time_batch_ms(&db, &point_queries)?;
 
     // Range scans on a filter attribute (domain 0..10_000, uniform).
-    let scan_fit = fit_range_scan(&mut db, &ref_table, &spec, ref_rows, cfg)?;
+    let scan_fit = fit_range_scan(&db, &ref_table, &spec, ref_rows, cfg)?;
     m.sel_per_row_scan = scan_fit.0;
     m.sel_per_match = scan_fit.1;
     match store {
@@ -250,7 +246,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
         StoreKind::Row => {
             // Re-fit with a secondary index in place.
             db.create_index(&ref_table, spec.flt_col(0))?;
-            let idx_fit = fit_range_scan(&mut db, &ref_table, &spec, ref_rows, cfg)?;
+            let idx_fit = fit_range_scan(&db, &ref_table, &spec, ref_rows, cfg)?;
             m.sel_per_row_indexed = idx_fit.0.min(m.sel_per_row_scan);
         }
     }
@@ -266,7 +262,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
             columns: None,
             filter: vec![width_range.clone()],
         });
-        time_ms(&mut db, &q, cfg.repeats)?
+        time_ms(&db, &q, cfg.repeats)?
     };
     for k in [1usize, arity / 4, arity / 2, arity] {
         let k = k.max(1);
@@ -275,7 +271,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
             columns: Some((0..k).collect()),
             filter: vec![width_range.clone()],
         });
-        let ms = time_ms(&mut db, &q, cfg.repeats)?;
+        let ms = time_ms(&db, &q, cfg.repeats)?;
         col_points.push((k as f64, (ms / full_ms).clamp(0.05, 2.0)));
     }
     col_points.push((arity as f64, 1.0));
@@ -294,7 +290,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
             table: name.clone(),
             rows: rows_payload,
         });
-        let ms = time_ms(&mut db, &q, 1)?;
+        let ms = time_ms(&db, &q, 1)?;
         ins_samples.push((*rows as f64, ms / batch as f64));
     }
     let m = model.store_mut(store);
@@ -325,7 +321,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
         })
     };
     let upd_queries: Vec<Query> = (0..upd_batch).map(|i| fresh_update(i, 1)).collect();
-    let upd1_ms = time_batch_mean_ms(&mut db, &upd_queries)?;
+    let upd1_ms = time_batch_mean_ms(&db, &upd_queries)?;
     m.upd_row_ms = (upd1_ms - m.sel_point_ms).max(upd1_ms * 0.1);
     // f_#affectedColumns: widen the SET list.
     let mut aff_points = vec![(1.0, 1.0)];
@@ -334,7 +330,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
         let queries: Vec<Query> = (0..upd_batch / 2)
             .map(|i| fresh_update(i.wrapping_mul(3) + k, k))
             .collect();
-        let ms = time_batch_mean_ms(&mut db, &queries)?;
+        let ms = time_batch_mean_ms(&db, &queries)?;
         let upd_part = (ms - m.sel_point_ms).max(ms * 0.1);
         aff_points.push((k as f64, (upd_part / m.upd_row_ms).max(0.1)));
     }
@@ -345,7 +341,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
     // what folding it back in costs. Both feed the online advisor's merge
     // scheduling. The row store has no delta region; its terms stay neutral.
     if store == StoreKind::Column {
-        calibrate_tail(model, &mut db, &sweep_tables, ref_idx, cfg)?;
+        calibrate_tail(model, &db, &sweep_tables, ref_idx, cfg)?;
     }
 
     Ok(())
@@ -356,7 +352,7 @@ fn calibrate_store(model: &mut CostModel, store: StoreKind, cfg: &CalibrationCon
 /// (b) the merge cost per row count.
 fn calibrate_tail(
     model: &mut CostModel,
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     sweep_tables: &[(String, usize)],
     ref_idx: usize,
     cfg: &CalibrationConfig,
@@ -379,7 +375,7 @@ fn calibrate_tail(
         filter: vec![ColRange::ge(kf, Value::Double(0.0))],
         join: None,
     });
-    let fresh_updates = |db: &mut HybridDatabase, from: usize, to: usize| -> Result<()> {
+    let fresh_updates = |db: &HybridDatabase, from: usize, to: usize| -> Result<()> {
         for j in from..to {
             let id = (j * 29 + 3) % ref_rows;
             db.execute(&Query::Update(UpdateQuery {
@@ -437,7 +433,7 @@ fn calibrate_tail(
 /// Fit `(per_table_row, per_match)` from a matched-rows sweep of range
 /// selections on a uniform filter attribute.
 fn fit_range_scan(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     table: &str,
     spec: &TableSpec,
     rows: usize,
@@ -501,7 +497,7 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
     };
     for fact_store in StoreKind::BOTH {
         for dim_store in StoreKind::BOTH {
-            let mut db = HybridDatabase::new();
+            let db = HybridDatabase::new();
             let fname = format!("fact_{}", fact_store.abbrev());
             let dname = format!("dim_{}", dim_store.abbrev());
             let mut fspec = fact_spec.clone();
@@ -523,7 +519,7 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
                 filter: vec![],
                 join: None,
             });
-            let solo_ms = time_ms(&mut db, &solo, cfg.repeats)?;
+            let solo_ms = time_ms(&db, &solo, cfg.repeats)?;
             let joined = Query::Aggregate(AggregateQuery {
                 table: fname.clone(),
                 aggregates: vec![Aggregate {
@@ -539,7 +535,7 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
                     group_by_dim: Some(dspec.grp_col(0)),
                 }),
             });
-            let join_ms = time_ms(&mut db, &joined, cfg.repeats)?;
+            let join_ms = time_ms(&db, &joined, cfg.repeats)?;
             model.join_factor[store_index(fact_store)][store_index(dim_store)] =
                 (join_ms / solo_ms).max(0.5);
             if fact_store == StoreKind::Row {
@@ -554,7 +550,7 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
                 if let Query::Aggregate(a) = &mut joined_big {
                     a.join.as_mut().expect("join present").dim_table = big.name.clone();
                 }
-                let big_ms = time_ms(&mut db, &joined_big, cfg.repeats)?;
+                let big_ms = time_ms(&db, &joined_big, cfg.repeats)?;
                 let slope = ((big_ms - join_ms) / (big_rows - dim_rows) as f64).max(0.0);
                 model.dim_build[store_index(dim_store)] = AdjustmentFn::Linear {
                     slope,
@@ -571,7 +567,7 @@ fn calibrate_join(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> 
 fn calibrate_union_overhead(model: &mut CostModel, cfg: &CalibrationConfig) -> Result<()> {
     let rows = (cfg.base_rows / 2).max(1000);
     let spec = reference_spec("u_plain", rows, cfg);
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema()?, StoreKind::Column)?;
     db.bulk_load("u_plain", spec.rows())?;
     let mut part_spec = reference_spec("u_part", rows, cfg);
@@ -589,13 +585,9 @@ fn calibrate_union_overhead(model: &mut CostModel, cfg: &CalibrationConfig) -> R
     db.bulk_load("u_part", part_spec.rows())?;
     // All rows are in the hot partition now (inserts route hot); rebalance
     // everything into the cold partition so the union is CS + empty RS.
-    hsd_engine::mover::rebalance_horizontal(&mut db, "u_part", &Value::BigInt(rows as i64 * 10))?;
-    let plain = time_ms(&mut db, &sum_query("u_plain", spec.kf_col(0)), cfg.repeats)?;
-    let part = time_ms(
-        &mut db,
-        &sum_query("u_part", part_spec.kf_col(0)),
-        cfg.repeats,
-    )?;
+    hsd_engine::mover::rebalance_horizontal(&db, "u_part", &Value::BigInt(rows as i64 * 10))?;
+    let plain = time_ms(&db, &sum_query("u_plain", spec.kf_col(0)), cfg.repeats)?;
+    let part = time_ms(&db, &sum_query("u_part", part_spec.kf_col(0)), cfg.repeats)?;
     model.union_overhead_ms = (part - plain).max(0.0);
     Ok(())
 }

@@ -69,7 +69,7 @@ impl MaintenanceAction {
     /// [`MergePartition::Cold`] only the cold partition's column-store
     /// fragment (the hot partition is row-store resident and carries no
     /// delta).
-    pub fn apply(&self, db: &mut HybridDatabase) -> Result<usize> {
+    pub fn apply(&self, db: &HybridDatabase) -> Result<usize> {
         match self {
             MaintenanceAction::Merge { table, partition } => {
                 mover::merge_delta_partition(db, table, *partition)
@@ -90,7 +90,7 @@ impl MaintenanceAction {
     /// scheduled merges without a full-table stop-the-world pause.
     pub fn apply_chunked(
         &self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         budget_rows: usize,
     ) -> Result<hsd_storage::MergeProgress> {
         match self {

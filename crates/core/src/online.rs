@@ -126,7 +126,7 @@ pub struct AdaptationRecommendation {
 /// use hsd_storage::StoreKind;
 ///
 /// let spec = TableSpec::paper_wide("w", 1_000, 42);
-/// let mut db = HybridDatabase::new();
+/// let db = HybridDatabase::new();
 /// db.create_single(spec.schema()?, StoreKind::Column)?;
 /// db.bulk_load("w", spec.rows())?;
 /// // Let the advisor be the only merge scheduler.
@@ -143,7 +143,7 @@ pub struct AdaptationRecommendation {
 /// assert!(adaptation.is_none(), "one statement is below every interval");
 /// assert_eq!(online.recorded_statements(), 1);
 /// for action in online.take_maintenance() {
-///     action.apply(&mut db)?; // or apply_chunked(.., budget) for bounded pauses
+///     action.apply(&db)?; // or apply_chunked(.., budget) for bounded pauses
 /// }
 /// # Ok::<(), hsd_types::Error>(())
 /// ```
@@ -280,7 +280,11 @@ impl OnlineAdvisor {
                 None => interval_scans,
             };
             self.scan_rate.insert(name.to_string(), rate);
-            let epoch = db.merge_epoch(name).unwrap_or(0);
+            // One atomic read of (epoch, in-progress): sampling them
+            // separately under the concurrent engine could pair a
+            // pre-handoff epoch with a post-handoff "idle" and mistake a
+            // just-finished job for a stalled one (or vice versa).
+            let (epoch, merging) = db.merge_status(name).unwrap_or((0, false));
             let key = (name.to_string(), partition);
             // A table has exactly one placement, so a tracking entry for
             // the *other* region is left over from a layout that no longer
@@ -299,7 +303,7 @@ impl OnlineAdvisor {
                 // the table-level epoch is column-granular — on a
                 // multi-column table it moves at every per-column handoff,
                 // i.e. possibly several times *during* one scheduled job.
-                if db.merge_in_progress(name).unwrap_or(false) {
+                if merging {
                     // The worker is slicing away; progress is being made.
                     continue;
                 } else if epoch != scheduled.epoch_at_schedule {
@@ -328,7 +332,7 @@ impl OnlineAdvisor {
                     // Queued, waiting for the worker; don't double-count.
                     continue;
                 }
-            } else if db.merge_in_progress(name).unwrap_or(false) {
+            } else if merging {
                 // Someone else (the caller, driving slices directly) is
                 // already merging; accruing rent against it would schedule
                 // a redundant merge the moment it completes.
@@ -456,7 +460,7 @@ impl OnlineAdvisor {
     /// path; the paper notes this "should be applied with care").
     pub fn apply(
         &mut self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         adaptation: &AdaptationRecommendation,
     ) -> Result<Vec<String>> {
         let moved = mover::apply_layout(db, &adaptation.recommendation.layout)?;
@@ -529,7 +533,7 @@ mod tests {
     /// merges disabled, layout re-evaluation pushed out of the way.
     fn maintenance_setup() -> (hsd_engine::HybridDatabase, OnlineAdvisor, TableSpec) {
         let s = spec();
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(s.schema().unwrap(), StoreKind::Column)
             .unwrap();
         db.bulk_load("w", s.rows()).unwrap();
@@ -555,7 +559,7 @@ mod tests {
 
     #[test]
     fn maintenance_scheduled_when_scans_collect_the_benefit() {
-        let (mut db, mut online, s) = maintenance_setup();
+        let (db, mut online, s) = maintenance_setup();
         let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
         let mut scheduled = Vec::new();
         for i in 0..600 {
@@ -580,14 +584,14 @@ mod tests {
             "a scan-heavy stream over a growing tail must schedule a merge"
         );
         assert!(db.delta_tail("w").unwrap() > 0);
-        let merged = scheduled[0].apply(&mut db).unwrap();
+        let merged = scheduled[0].apply(&db).unwrap();
         assert!(merged > 0);
         assert_eq!(db.delta_tail("w").unwrap(), 0);
     }
 
     #[test]
     fn maintenance_not_scheduled_for_write_only_stream() {
-        let (mut db, mut online, s) = maintenance_setup();
+        let (db, mut online, s) = maintenance_setup();
         for i in 0..300 {
             let q = fresh_update(&s, i);
             db.execute(&q).unwrap();
@@ -613,7 +617,7 @@ mod tests {
     fn decayed_rate_reacts_to_phase_change_where_last_interval_freezes() {
         fn merges_scheduled(decay: f64) -> bool {
             let s = spec();
-            let mut db = HybridDatabase::new();
+            let db = HybridDatabase::new();
             db.create_single(s.schema().unwrap(), StoreKind::Column)
                 .unwrap();
             db.bulk_load("w", s.rows()).unwrap();
@@ -665,7 +669,7 @@ mod tests {
     /// flight, and the advisor re-arms once the epoch handoff lands.
     #[test]
     fn scheduled_merge_is_not_double_scheduled_until_the_handoff() {
-        let (mut db, mut online, s) = maintenance_setup();
+        let (db, mut online, s) = maintenance_setup();
         let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
         let mut first = None;
         for i in 0..600 {
@@ -699,7 +703,7 @@ mod tests {
         }
         // Drive the merge through bounded slices; mid-flight checks must
         // still stay quiet.
-        while !action.apply_chunked(&mut db, 64).unwrap().done {
+        while !action.apply_chunked(&db, 64).unwrap().done {
             db.execute(&scan).unwrap();
             online.observe(&db, &scan).unwrap();
             assert!(
@@ -731,7 +735,7 @@ mod tests {
     /// any slice ran — withdraws the recommendation with a Retract action.
     #[test]
     fn collapsed_scan_pressure_retracts_an_unstarted_merge() {
-        let (mut db, mut online, s) = maintenance_setup();
+        let (db, mut online, s) = maintenance_setup();
         let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
         let mut scheduled = false;
         for i in 0..600 {
@@ -781,7 +785,7 @@ mod tests {
     #[test]
     fn online_advisor_detects_workload_shift() {
         let s = spec();
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(s.schema().unwrap(), StoreKind::Row)
             .unwrap();
         db.bulk_load("w", s.rows()).unwrap();
@@ -844,7 +848,7 @@ mod tests {
         );
 
         // Apply it and verify the database moved.
-        let moved = online.apply(&mut db, &adaptation).unwrap();
+        let moved = online.apply(&db, &adaptation).unwrap();
         assert_eq!(moved, vec!["w".to_string()]);
         assert_eq!(
             db.catalog().single_store_of("w").unwrap(),

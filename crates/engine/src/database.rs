@@ -1,11 +1,38 @@
 //! The hybrid database: catalog + physical table data.
+//!
+//! # Concurrency model
+//!
+//! The database is a **shared-nothing collection of table shards**. Each
+//! table's physical data lives in its own [`TableShard`]: an `RwLock`
+//! around the [`TableData`] plus a monotonically increasing *version
+//! counter* published on every write-latch release. All methods take
+//! `&self`; an instance is shared across threads as a plain
+//! `Arc<HybridDatabase>` — there is no global database mutex.
+//!
+//! * **Readers** pin a snapshot with [`TableShard::pin`]: the read latch
+//!   records the shard version and scans the immutable column segments
+//!   without coordinating with other tables. A debug assertion on drop
+//!   verifies the version never moved under a pinned snapshot.
+//! * **Writers** serialize per table with [`TableShard::latch`]: the write
+//!   latch is the only mutation path, and dropping it bumps the version —
+//!   the publish step that makes the mutation visible to new pins.
+//! * **WAL appends happen under the table latch** (`log_record`),
+//!   so each table's log order equals its apply order (recovery replays
+//!   per table; see [`crate::durability`]).
+//!
+//! Lock order (outer → inner): catalog / tables-map / config maps →
+//! table shard → WAL. A shard latch or pin must never be held while
+//! acquiring the catalog or the tables map — catalog reads needed by a
+//! mutation are taken (and released) before the latch.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use hsd_catalog::{Catalog, StorageLayout, TablePlacement, TableStats};
 use hsd_query::Query;
-use hsd_storage::wal::{WalStats, WalWriter};
+use hsd_storage::wal::{SyncPolicy, WalStats, WalSyncHandle, WalWriter};
 use hsd_storage::{StoreKind, Table};
 use hsd_types::{Error, Result, TableId, TableSchema, Value};
 
@@ -14,7 +41,185 @@ use crate::executor;
 use crate::maintenance::MergeConfig;
 use crate::partition::TableData;
 
+/// Acquire a read guard, absorbing poison: a panicking thread never leaves
+/// the database unusable (worker slice panics are already contained, this
+/// covers user threads too).
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquire a write guard, absorbing poison.
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquire a mutex guard, absorbing poison.
+pub(crate) fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Group-commit state for the attached WAL.
+///
+/// Appends take the state mutex briefly (they are memory writes plus an OS
+/// buffered write — microseconds). Device syncs are the expensive part, so
+/// they run **outside** the mutex: the syncing thread checks the writer out
+/// of the cell, releases the lock, syncs, and on completion publishes the
+/// covered log length in `synced`. Every record appended before a sync
+/// started is durable once that sync lands, so concurrent writers that
+/// arrive while a sync is in flight queue on the condvar and are usually
+/// covered by the *next* single sync — N writers pay ~1 fsync, not N.
+#[derive(Debug, Default)]
+struct WalCell {
+    state: Mutex<WalState>,
+    /// Signalled when a group sync completes (writer returned to the cell,
+    /// `synced` advanced) so waiting appenders/syncers re-check.
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct WalState {
+    /// `None` when durability is off — or transiently while a fallback
+    /// group sync has the writer checked out (`syncing` distinguishes the
+    /// two).
+    writer: Option<WalWriter>,
+    /// Detached device-sync half of the writer's backend, when it supports
+    /// syncing concurrently with appends ([`WalWriter::sync_handle`]).
+    /// With a handle, the group leader syncs while *appends keep flowing*
+    /// — that concurrency is what forms batches: every record appended
+    /// during the in-flight sync is covered together by the next one.
+    /// Without one, the leader checks the writer out and appends stall for
+    /// the sync's duration.
+    handle: Option<Box<dyn WalSyncHandle>>,
+    /// Log length after the most recent append: the target a group sync
+    /// covers.
+    appended: u64,
+    /// Log length covered by the most recent completed sync.
+    synced: u64,
+    /// A thread is currently syncing (holding `handle` — or `writer`, in
+    /// the fallback path).
+    syncing: bool,
+}
+
+impl WalCell {
+    /// Lock the state, waiting until the writer is in the cell so `writer`
+    /// reflects attachment (Some = durable, None = in-memory). Only a
+    /// fallback sync (no detachable handle) makes this wait.
+    fn settled(&self) -> MutexGuard<'_, WalState> {
+        let mut st = mutex_lock(&self.state);
+        while st.syncing && st.writer.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st
+    }
+}
+
+/// One table's physical data plus its concurrency state: the per-table
+/// write latch and the published version counter the epoch-snapshot read
+/// protocol pins against.
+#[derive(Debug)]
+pub struct TableShard {
+    data: RwLock<TableData>,
+    /// Bumped on every write-latch release (the publish step). Readers pin
+    /// this at snapshot start; a moved version under a live pin would mean
+    /// the latch protocol was violated (checked by a debug assertion in
+    /// [`TableRead::drop`]).
+    version: AtomicU64,
+}
+
+impl TableShard {
+    fn new(data: TableData) -> Self {
+        TableShard {
+            data: RwLock::new(data),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Pin an epoch snapshot for reading: scans through the returned guard
+    /// see one immutable version of the table, concurrent with pins on the
+    /// same table and with all activity on other tables.
+    pub fn pin(&self) -> TableRead<'_> {
+        let data = read_lock(&self.data);
+        let pinned = self.version.load(Ordering::Acquire);
+        TableRead {
+            data,
+            shard: self,
+            pinned,
+        }
+    }
+
+    /// Acquire the table's write latch: the exclusive mutation path.
+    /// Dropping the guard publishes the write by bumping the version.
+    pub fn latch(&self) -> TableWrite<'_> {
+        let data = write_lock(&self.data);
+        TableWrite { data, shard: self }
+    }
+
+    /// The currently published version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+/// A pinned read snapshot of one table (see [`TableShard::pin`]).
+#[derive(Debug)]
+pub struct TableRead<'a> {
+    data: RwLockReadGuard<'a, TableData>,
+    shard: &'a TableShard,
+    pinned: u64,
+}
+
+impl Deref for TableRead<'_> {
+    type Target = TableData;
+    fn deref(&self) -> &TableData {
+        &self.data
+    }
+}
+
+impl Drop for TableRead<'_> {
+    fn drop(&mut self) {
+        // Epoch-monotonicity check: the published version must not have
+        // moved while this snapshot was pinned — writers go through the
+        // latch, which excludes pins. Debug builds (CI's stress step runs
+        // the suite with debug assertions) verify the protocol held.
+        debug_assert_eq!(
+            self.shard.version.load(Ordering::Acquire),
+            self.pinned,
+            "table version moved under a pinned read snapshot"
+        );
+    }
+}
+
+/// The write latch over one table (see [`TableShard::latch`]).
+#[derive(Debug)]
+pub struct TableWrite<'a> {
+    data: RwLockWriteGuard<'a, TableData>,
+    shard: &'a TableShard,
+}
+
+impl Deref for TableWrite<'_> {
+    type Target = TableData;
+    fn deref(&self) -> &TableData {
+        &self.data
+    }
+}
+
+impl DerefMut for TableWrite<'_> {
+    fn deref_mut(&mut self) -> &mut TableData {
+        &mut self.data
+    }
+}
+
+impl Drop for TableWrite<'_> {
+    fn drop(&mut self) {
+        // Publish: new pins observe the next version.
+        self.shard.version.fetch_add(1, Ordering::Release);
+    }
+}
+
 /// An in-memory hybrid-store database instance.
+///
+/// All methods take `&self`; share an instance across threads as
+/// `Arc<HybridDatabase>` (see the module docs for the latching protocol).
 ///
 /// # Example
 ///
@@ -24,7 +229,7 @@ use crate::partition::TableData;
 /// use hsd_storage::StoreKind;
 /// use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 ///
-/// let mut db = HybridDatabase::new();
+/// let db = HybridDatabase::new();
 /// let schema = TableSchema::new(
 ///     "orders",
 ///     vec![
@@ -48,14 +253,21 @@ use crate::partition::TableData;
 /// ```
 #[derive(Debug, Default)]
 pub struct HybridDatabase {
-    catalog: Catalog,
-    tables: HashMap<TableId, TableData>,
-    merge_config: MergeConfig,
+    catalog: RwLock<Catalog>,
+    /// Per-table shards, keyed by table name so shard resolution never
+    /// touches the catalog lock.
+    tables: RwLock<HashMap<String, Arc<TableShard>>>,
+    merge_config: RwLock<MergeConfig>,
     /// Write-ahead log, when durability is enabled (see
     /// [`crate::durability`]). `None` keeps the engine purely in-memory.
-    wal: Option<WalWriter>,
+    /// One log serves all tables; appends happen under the appending
+    /// table's write latch, so per-table log order equals apply order.
+    /// Syncs are **group-committed**: one fsync covers every record
+    /// appended before it, so concurrent writers coalesce instead of
+    /// paying a serialized device sync each (see [`WalCell`]).
+    wal: WalCell,
     /// Tables quarantined read-only by crash recovery, with reasons.
-    degraded: BTreeMap<String, String>,
+    degraded: RwLock<BTreeMap<String, String>>,
 }
 
 impl HybridDatabase {
@@ -65,15 +277,11 @@ impl HybridDatabase {
     }
 
     /// Create a table with the given placement.
-    pub fn create_table(
-        &mut self,
-        schema: TableSchema,
-        placement: TablePlacement,
-    ) -> Result<TableId> {
+    pub fn create_table(&self, schema: TableSchema, placement: TablePlacement) -> Result<TableId> {
         let schema = Arc::new(schema);
         let data = TableData::new(schema.clone(), &placement)?;
-        let id = self.catalog.register(schema.clone(), placement.clone())?;
-        self.tables.insert(id, data);
+        let id = write_lock(&self.catalog).register(schema.clone(), placement.clone())?;
+        write_lock(&self.tables).insert(schema.name.clone(), Arc::new(TableShard::new(data)));
         self.log_record(&WalRecord::CreateTable {
             schema: (*schema).clone(),
             placement,
@@ -82,20 +290,20 @@ impl HybridDatabase {
     }
 
     /// Create a single-store table (convenience).
-    pub fn create_single(&mut self, schema: TableSchema, store: StoreKind) -> Result<TableId> {
+    pub fn create_single(&self, schema: TableSchema, store: StoreKind) -> Result<TableId> {
         self.create_table(schema, TablePlacement::Single(store))
     }
 
     /// Bulk-load rows into a table (hot partition rules apply). For
     /// column-store targets the dictionaries are compacted afterwards, as a
     /// real bulk load would end with a delta merge.
-    pub fn bulk_load<I>(&mut self, table: &str, rows: I) -> Result<usize>
+    pub fn bulk_load<I>(&self, table: &str, rows: I) -> Result<usize>
     where
         I: IntoIterator<Item = Vec<Value>>,
     {
         self.check_writable(table)?;
-        let id = self.catalog.id_of(table)?;
-        let wal_on = self.wal.is_some();
+        let shard = self.shard(table)?;
+        let wal_on = self.wal_active();
         // The applied rows are collected (only while logging) so a midway
         // failure can still log the prefix that stuck: the engine has no
         // statement rollback, and recovery must reproduce the same prefix.
@@ -103,10 +311,7 @@ impl HybridDatabase {
         let mut failure: Option<Error> = None;
         let mut n = 0;
         {
-            let data = self
-                .tables
-                .get_mut(&id)
-                .ok_or_else(|| Error::UnknownTable(table.into()))?;
+            let mut data = shard.latch();
             for row in rows {
                 match data.insert(&row) {
                     Ok(_) => {
@@ -122,87 +327,77 @@ impl HybridDatabase {
                 }
             }
             if failure.is_none() {
-                compact_tables(data);
+                data.compact_deltas();
             }
-        }
-        if wal_on && !applied.is_empty() {
-            // `load` marks the success path (replay re-compacts); a partial
-            // prefix replays as a plain insert, leaving the tail as-is.
-            self.log_record(&WalRecord::Insert {
-                table: table.to_string(),
-                rows: applied,
-                load: failure.is_none(),
-            })?;
+            if wal_on && !applied.is_empty() {
+                // `load` marks the success path (replay re-compacts); a
+                // partial prefix replays as a plain insert, leaving the
+                // tail as-is. Logged under the latch: commit order ==
+                // apply order.
+                self.log_record(&WalRecord::Insert {
+                    table: table.to_string(),
+                    rows: applied,
+                    load: failure.is_none(),
+                })?;
+            }
         }
         if let Some(e) = failure {
             return Err(e);
         }
-        self.refresh_stats_id(id)?;
+        self.refresh_stats(table)?;
         Ok(n)
     }
 
-    /// The system catalog (read-only).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The system catalog (a read guard; drop it before calling any other
+    /// database method that mutates the catalog).
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        read_lock(&self.catalog)
     }
 
     /// Mutable catalog access (used by the mover and index management).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// Never acquire while holding a table latch or pin.
+    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
+        write_lock(&self.catalog)
     }
 
-    /// Physical data of a table.
-    pub fn table_data(&self, table: &str) -> Result<&TableData> {
-        let id = self.catalog.id_of(table)?;
-        self.tables
-            .get(&id)
+    /// Resolve a table's shard. The returned `Arc` keeps the shard alive
+    /// independent of the tables map; pin or latch it for access.
+    pub fn shard(&self, table: &str) -> Result<Arc<TableShard>> {
+        read_lock(&self.tables)
+            .get(table)
+            .cloned()
             .ok_or_else(|| Error::UnknownTable(table.into()))
     }
 
-    /// Mutable physical data of a table.
-    pub fn table_data_mut(&mut self, table: &str) -> Result<&mut TableData> {
-        let id = self.catalog.id_of(table)?;
-        self.tables
-            .get_mut(&id)
-            .ok_or_else(|| Error::UnknownTable(table.into()))
-    }
-
-    /// Replace a table's physical data and placement annotation (the data
-    /// mover's commit step).
-    pub(crate) fn replace_table(
-        &mut self,
-        table: &str,
-        data: TableData,
-        placement: TablePlacement,
-    ) -> Result<()> {
-        let id = self.catalog.id_of(table)?;
-        self.tables.insert(id, data);
-        self.catalog.set_placement(id, placement)?;
-        self.refresh_stats_id(id)
+    /// Run `f` over a pinned read snapshot of a table.
+    pub fn with_table<R>(&self, table: &str, f: impl FnOnce(&TableData) -> R) -> Result<R> {
+        let shard = self.shard(table)?;
+        let pin = shard.pin();
+        Ok(f(&pin))
     }
 
     /// Total logical rows of a table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.table_data(table)?.row_count())
+        self.with_table(table, TableData::row_count)
     }
 
     /// The engine-level delta-merge fallback policy.
     pub fn merge_config(&self) -> MergeConfig {
-        self.merge_config
+        *read_lock(&self.merge_config)
     }
 
     /// Replace the delta-merge fallback policy (e.g.
     /// [`MergeConfig::disabled`] when an online advisor schedules merges
     /// explicitly, leaving the executor's auto-merge as a safety valve
     /// only).
-    pub fn set_merge_config(&mut self, cfg: MergeConfig) {
-        self.merge_config = cfg;
+    pub fn set_merge_config(&self, cfg: MergeConfig) {
+        *write_lock(&self.merge_config) = cfg;
     }
 
     /// Accumulated dictionary-tail entries of a table's column-store
     /// partitions (0 for row-store-only layouts).
     pub fn delta_tail(&self, table: &str) -> Result<usize> {
-        Ok(self.table_data(table)?.delta_tail())
+        self.with_table(table, TableData::delta_tail)
     }
 
     /// Rows resident in the region a delta merge on `table` would remap:
@@ -211,13 +406,13 @@ impl HybridDatabase {
     /// models should price merges at this count, not
     /// [`HybridDatabase::row_count`].
     pub fn merge_region_rows(&self, table: &str) -> Result<usize> {
-        Ok(self.table_data(table)?.merge_region_rows())
+        self.with_table(table, TableData::merge_region_rows)
     }
 
     /// Whether an incremental delta merge is in flight on a table (always
     /// `false` for row-store-only layouts).
     pub fn merge_in_progress(&self, table: &str) -> Result<bool> {
-        Ok(self.table_data(table)?.merge_in_progress())
+        self.with_table(table, TableData::merge_in_progress)
     }
 
     /// A table's merge epoch: increases at every completed dictionary
@@ -230,83 +425,91 @@ impl HybridDatabase {
     /// [`HybridDatabase::merge_in_progress`] being `false`. 0 for
     /// row-store-only layouts.
     pub fn merge_epoch(&self, table: &str) -> Result<u64> {
-        Ok(self.table_data(table)?.merge_epoch())
+        self.with_table(table, TableData::merge_epoch)
+    }
+
+    /// `(merge_epoch, merge_in_progress)` read under one pinned snapshot —
+    /// the race-free form observers need under concurrency: reading the
+    /// two separately can interleave with a worker slice completing in
+    /// between, pairing a pre-completion epoch with a post-completion
+    /// in-flight flag.
+    pub fn merge_status(&self, table: &str) -> Result<(u64, bool)> {
+        self.with_table(table, |d| (d.merge_epoch(), d.merge_in_progress()))
     }
 
     /// Execute a query against the current layout.
-    pub fn execute(&mut self, query: &Query) -> Result<executor::QueryOutput> {
+    pub fn execute(&self, query: &Query) -> Result<executor::QueryOutput> {
         executor::execute(self, query)
     }
 
     /// Recompute and store basic statistics for a table.
-    pub fn refresh_stats(&mut self, table: &str) -> Result<()> {
-        let id = self.catalog.id_of(table)?;
-        self.refresh_stats_id(id)
-    }
-
-    fn refresh_stats_id(&mut self, id: TableId) -> Result<()> {
-        let data = self
-            .tables
-            .get(&id)
-            .ok_or_else(|| Error::UnknownTable(id.to_string()))?;
-        let stats = collect_stats(data);
-        self.catalog.set_stats(id, stats)
+    pub fn refresh_stats(&self, table: &str) -> Result<()> {
+        let shard = self.shard(table)?;
+        let stats = {
+            let pin = shard.pin();
+            collect_stats(&pin)
+        };
+        let mut catalog = write_lock(&self.catalog);
+        let id = catalog.id_of(table)?;
+        catalog.set_stats(id, stats)
     }
 
     /// Recompute statistics for every table.
-    pub fn refresh_all_stats(&mut self) -> Result<()> {
-        let ids: Vec<TableId> = self.tables.keys().copied().collect();
-        for id in ids {
-            self.refresh_stats_id(id)?;
+    pub fn refresh_all_stats(&self) -> Result<()> {
+        for name in self.table_names() {
+            self.refresh_stats(&name)?;
         }
         Ok(())
     }
 
     /// Create a row-store secondary index on a column of a single-store
     /// row table (and annotate the catalog for the cost model).
-    pub fn create_index(&mut self, table: &str, col: usize) -> Result<()> {
+    pub fn create_index(&self, table: &str, col: usize) -> Result<()> {
         self.check_writable(table)?;
-        let id = self.catalog.id_of(table)?;
-        let data = self
-            .tables
-            .get_mut(&id)
-            .ok_or_else(|| Error::UnknownTable(table.into()))?;
-        match data {
-            TableData::Single(Table::Row(rt)) => rt.create_index(col)?,
-            TableData::Single(Table::Column(_)) => {
-                // The column store's sorted dictionary already acts as an
-                // implicit index; nothing to build.
-            }
-            TableData::Partitioned { hot, cold, .. } => {
-                if let Some(Table::Row(rt)) = hot.as_mut() {
-                    rt.create_index(col)?;
+        let shard = self.shard(table)?;
+        {
+            let mut data = shard.latch();
+            match &mut *data {
+                TableData::Single(Table::Row(rt)) => rt.create_index(col)?,
+                TableData::Single(Table::Column(_)) => {
+                    // The column store's sorted dictionary already acts as
+                    // an implicit index; nothing to build.
                 }
-                match cold {
-                    crate::partition::ColdPart::Single(Table::Row(rt)) => rt.create_index(col)?,
-                    crate::partition::ColdPart::Single(Table::Column(_)) => {}
-                    crate::partition::ColdPart::Vertical(p) => p.create_row_index(col)?,
+                TableData::Partitioned { hot, cold, .. } => {
+                    if let Some(Table::Row(rt)) = hot.as_mut() {
+                        rt.create_index(col)?;
+                    }
+                    match cold {
+                        crate::partition::ColdPart::Single(Table::Row(rt)) => {
+                            rt.create_index(col)?
+                        }
+                        crate::partition::ColdPart::Single(Table::Column(_)) => {}
+                        crate::partition::ColdPart::Vertical(p) => p.create_row_index(col)?,
+                    }
                 }
             }
+            self.log_record(&WalRecord::CreateIndex {
+                table: table.to_string(),
+                column: col,
+            })?;
         }
-        let entry = self.catalog.entry_mut(id)?;
+        let mut catalog = write_lock(&self.catalog);
+        let id = catalog.id_of(table)?;
+        let entry = catalog.entry_mut(id)?;
         if !entry.indexed_columns.contains(&col) {
             entry.indexed_columns.push(col);
         }
-        self.log_record(&WalRecord::CreateIndex {
-            table: table.to_string(),
-            column: col,
-        })?;
         Ok(())
     }
 
     /// Current layout snapshot.
     pub fn current_layout(&self) -> StorageLayout {
-        self.catalog.current_layout()
+        self.catalog().current_layout()
     }
 
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog
+        self.catalog()
             .entries()
             .iter()
             .map(|e| e.schema.name.clone())
@@ -315,87 +518,170 @@ impl HybridDatabase {
 
     /// Total heap bytes across all tables.
     pub fn memory_bytes(&self) -> usize {
-        self.tables.values().map(TableData::memory_bytes).sum()
+        let shards: Vec<Arc<TableShard>> = read_lock(&self.tables).values().cloned().collect();
+        shards.iter().map(|s| s.pin().memory_bytes()).sum()
     }
 
     /// Enable durability: every mutating operation from here on is appended
     /// to `wal` (after its in-memory apply succeeds — the durable append is
     /// the commit point; see [`crate::durability`]).
-    pub fn attach_wal(&mut self, wal: WalWriter) {
-        self.wal = Some(wal);
+    pub fn attach_wal(&self, wal: WalWriter) {
+        let mut st = self.wal.settled();
+        st.appended = wal.len();
+        st.synced = st.appended;
+        st.handle = wal.sync_handle();
+        st.writer = Some(wal);
     }
 
     /// Disable durability, returning the writer (e.g. to inspect or sync
     /// it). Subsequent mutations are no longer logged.
-    pub fn detach_wal(&mut self) -> Option<WalWriter> {
-        self.wal.take()
+    pub fn detach_wal(&self) -> Option<WalWriter> {
+        let mut st = self.wal.settled();
+        st.handle = None;
+        st.writer.take()
     }
 
     /// Whether a WAL is attached.
     pub fn wal_active(&self) -> bool {
-        self.wal.is_some()
+        let st = mutex_lock(&self.wal.state);
+        st.writer.is_some() || st.syncing
     }
 
     /// Counters of the attached WAL writer, if any.
     pub fn wal_stats(&self) -> Option<WalStats> {
-        self.wal.as_ref().map(|w| *w.stats())
+        self.wal.settled().writer.as_ref().map(|w| *w.stats())
     }
 
     /// Bytes appended to the attached WAL so far (0 without a WAL).
     pub fn wal_len(&self) -> u64 {
-        self.wal.as_ref().map_or(0, |w| w.len())
+        self.wal.settled().writer.as_ref().map_or(0, |w| w.len())
     }
 
     /// Force the attached WAL to stable storage regardless of the batching
-    /// policy (no-op without a WAL).
-    pub fn sync_wal(&mut self) -> Result<()> {
-        match &mut self.wal {
-            Some(w) => w.sync().map_err(|e| Error::Io(e.to_string())),
-            None => Ok(()),
-        }
+    /// policy (no-op without a WAL). Participates in group commit: if a
+    /// concurrent sync already covers everything appended, this returns
+    /// without touching the device.
+    pub fn sync_wal(&self) -> Result<()> {
+        let target = mutex_lock(&self.wal.state).appended;
+        self.sync_wal_to(target)
     }
 
     /// Tables quarantined read-only by crash recovery: name → reason.
-    pub fn degraded_tables(&self) -> &BTreeMap<String, String> {
-        &self.degraded
+    pub fn degraded_tables(&self) -> BTreeMap<String, String> {
+        read_lock(&self.degraded).clone()
     }
 
     /// Whether a table is quarantined read-only.
     pub fn is_degraded(&self, table: &str) -> bool {
-        self.degraded.contains_key(table)
+        read_lock(&self.degraded).contains_key(table)
     }
 
     /// Operator override: lift a recovery quarantine, restoring
     /// writability. Returns whether the table was quarantined.
-    pub fn clear_degraded(&mut self, table: &str) -> bool {
-        self.degraded.remove(table).is_some()
+    pub fn clear_degraded(&self, table: &str) -> bool {
+        write_lock(&self.degraded).remove(table).is_some()
     }
 
     /// Quarantine a table read-only (recovery's degraded mode).
-    pub(crate) fn mark_degraded(&mut self, table: &str, reason: &str) {
-        self.degraded.insert(table.to_string(), reason.to_string());
+    pub(crate) fn mark_degraded(&self, table: &str, reason: &str) {
+        write_lock(&self.degraded).insert(table.to_string(), reason.to_string());
     }
 
     /// Reject mutations on quarantined tables.
     pub(crate) fn check_writable(&self, table: &str) -> Result<()> {
-        match self.degraded.get(table) {
+        match read_lock(&self.degraded).get(table) {
             Some(reason) => Err(Error::Degraded(format!("{table}: {reason}"))),
             None => Ok(()),
         }
     }
 
     /// Append one record to the WAL, if durability is enabled. Called
-    /// *after* the in-memory apply succeeded; an append failure is
-    /// surfaced as [`Error::Io`] (the statement is applied in memory but
-    /// not durable — callers treating the WAL as authoritative should
-    /// discard the instance and recover).
-    pub(crate) fn log_record(&mut self, rec: &WalRecord) -> Result<()> {
-        let Some(wal) = &mut self.wal else {
-            return Ok(());
+    /// *after* the in-memory apply succeeded and — for per-table mutations
+    /// — **while still holding the table's write latch**, so the log's
+    /// per-table record order matches the apply order under concurrency.
+    /// An append failure is surfaced as [`Error::Io`] (the statement is
+    /// applied in memory but not durable — callers treating the WAL as
+    /// authoritative should discard the instance and recover).
+    pub(crate) fn log_record(&self, rec: &WalRecord) -> Result<()> {
+        let my_lsn = {
+            let mut st = self.wal.settled();
+            let Some(w) = st.writer.as_mut() else {
+                return Ok(());
+            };
+            if w.sync_policy() != SyncPolicy::Always {
+                // Batched/manual policies sync rarely; let the writer apply
+                // its policy inline — no group commit needed.
+                let len = w
+                    .append(rec.table_tag(), &rec.to_payload())
+                    .map_err(|e| Error::Io(e.to_string()))?;
+                st.appended = len;
+                return Ok(());
+            }
+            let len = w
+                .append_unsynced(rec.table_tag(), &rec.to_payload())
+                .map_err(|e| Error::Io(e.to_string()))?;
+            st.appended = len;
+            len
         };
-        wal.append(rec.table_tag(), &rec.to_payload())
-            .map(|_| ())
-            .map_err(|e| Error::Io(e.to_string()))
+        self.sync_wal_to(my_lsn)
+    }
+
+    /// Group-commit sync: return once the log is durable through `target`.
+    /// If a completed sync already covers it, return immediately; if one is
+    /// in flight, wait for it and re-check; otherwise become the group
+    /// leader — check the writer out, sync outside the lock (covering every
+    /// record appended so far, not just `target`), and publish the result.
+    fn sync_wal_to(&self, target: u64) -> Result<()> {
+        let mut st = mutex_lock(&self.wal.state);
+        loop {
+            if st.synced >= target {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.wal.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            if st.writer.is_none() {
+                // Detached while we waited: nothing left to make durable.
+                return Ok(());
+            }
+            let covers = st.appended;
+            st.syncing = true;
+            let res = if let Some(mut h) = st.handle.take() {
+                // Handle leader: sync the device half while the writer
+                // stays in the cell, so appends keep flowing — the records
+                // they add are what the *next* sync covers as one batch.
+                drop(st);
+                let res = h.sync();
+                st = mutex_lock(&self.wal.state);
+                if st.writer.is_some() {
+                    st.handle = Some(h);
+                }
+                if res.is_ok() {
+                    if let Some(w) = st.writer.as_mut() {
+                        w.note_external_sync();
+                    }
+                }
+                res
+            } else {
+                // Fallback leader: the backend can't sync concurrently
+                // with appends, so check the writer out for the sync.
+                let mut w = st.writer.take().expect("writer checked above");
+                drop(st);
+                let res = w.sync();
+                st = mutex_lock(&self.wal.state);
+                st.writer = Some(w);
+                res
+            };
+            st.syncing = false;
+            if res.is_ok() {
+                st.synced = st.synced.max(covers);
+            }
+            self.wal.cv.notify_all();
+            if let Err(e) = res {
+                return Err(Error::Io(e.to_string()));
+            }
+        }
     }
 }
 
@@ -411,10 +697,6 @@ fn collect_stats(data: &TableData) -> TableStats {
             executor::collect_logical_stats(partitioned)
         }
     }
-}
-
-fn compact_tables(data: &mut TableData) {
-    data.compact_deltas();
 }
 
 #[cfg(test)]
@@ -436,7 +718,7 @@ mod tests {
 
     #[test]
     fn create_and_load() {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(schema("t"), StoreKind::Column).unwrap();
         let n = db
             .bulk_load(
@@ -446,7 +728,7 @@ mod tests {
             .unwrap();
         assert_eq!(n, 50);
         assert_eq!(db.row_count("t").unwrap(), 50);
-        let stats = &db.catalog().entry_by_name("t").unwrap().stats;
+        let stats = db.catalog().entry_by_name("t").unwrap().stats.clone();
         assert_eq!(stats.row_count, 50);
         assert_eq!(stats.columns[0].distinct, 50);
     }
@@ -454,16 +736,18 @@ mod tests {
     #[test]
     fn unknown_table_errors() {
         let db = HybridDatabase::new();
-        assert!(db.table_data("nope").is_err());
+        assert!(db.shard("nope").is_err());
     }
 
     #[test]
     fn index_creation_annotates_catalog() {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(schema("r"), StoreKind::Row).unwrap();
         db.create_index("r", 1).unwrap();
-        let entry = db.catalog().entry_by_name("r").unwrap();
-        assert_eq!(entry.indexed_columns, vec![1]);
+        assert_eq!(
+            db.catalog().entry_by_name("r").unwrap().indexed_columns,
+            vec![1]
+        );
         // column-store index creation is a no-op but records the intent
         db.create_single(schema("c"), StoreKind::Column).unwrap();
         db.create_index("c", 1).unwrap();
@@ -475,7 +759,7 @@ mod tests {
 
     #[test]
     fn memory_accounting() {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(schema("t"), StoreKind::Row).unwrap();
         db.bulk_load(
             "t",
@@ -483,5 +767,20 @@ mod tests {
         )
         .unwrap();
         assert!(db.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn shard_latch_publishes_a_new_version() {
+        let db = HybridDatabase::new();
+        db.create_single(schema("t"), StoreKind::Column).unwrap();
+        let shard = db.shard("t").unwrap();
+        let v0 = shard.version();
+        {
+            let pin = shard.pin();
+            assert_eq!(pin.row_count(), 0);
+        }
+        assert_eq!(shard.version(), v0, "pins never publish");
+        drop(shard.latch());
+        assert_eq!(shard.version(), v0 + 1, "latch release publishes");
     }
 }

@@ -17,6 +17,15 @@
 //! prefix (the engine has no statement rollback; recovery reproduces the
 //! same prefix).
 //!
+//! Under the concurrent engine, every record is appended **while the
+//! writer still holds the mutated table's write latch** (see
+//! [`crate::database`]): the per-table record order in the log equals the
+//! apply order on the table, so single-threaded replay reconstructs
+//! exactly the state any latch-ordered concurrent execution committed.
+//! Cross-table record order is whatever order the (brief) WAL-writer
+//! mutex serialized — immaterial, since records of different tables
+//! commute under replay.
+//!
 //! # Merge records and in-flight merges
 //!
 //! Completed delta merges are logged as [`WalRecord::MergeComplete`] keyed
@@ -475,7 +484,7 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
         scanned_len: scan.scanned_len,
         ..RecoveryReport::default()
     };
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     // Replay with the auto-merge fallback off: the only physical
     // reorganizations during replay are the logged ones. (Merge timing is
     // logically transparent, so this only affects physical shape.)
@@ -524,7 +533,7 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
                     }
                 };
                 let is_merge = matches!(rec, WalRecord::MergeComplete { .. });
-                match apply_record(&mut db, &rec) {
+                match apply_record(&db, &rec) {
                     Ok(()) => {
                         report.records_replayed += 1;
                         if is_merge {
@@ -566,7 +575,7 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
     (db, report)
 }
 
-fn apply_record(db: &mut HybridDatabase, rec: &WalRecord) -> Result<()> {
+fn apply_record(db: &HybridDatabase, rec: &WalRecord) -> Result<()> {
     match rec {
         WalRecord::CreateTable { schema, placement } => {
             db.create_table(schema.clone(), placement.clone())?;
@@ -627,7 +636,7 @@ impl HybridDatabase {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(Error::Io(e.to_string())),
         };
-        let (mut db, report) = replay(&bytes);
+        let (db, report) = replay(&bytes);
         let backend = FileBackend::open_truncated(path, report.recovered_len)
             .map_err(|e| Error::Io(e.to_string()))?;
         db.attach_wal(WalWriter::with_retry(
@@ -746,7 +755,7 @@ mod tests {
     #[test]
     fn logged_statements_replay_to_identical_state() {
         let mem = MemBackend::new();
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.attach_wal(WalWriter::new(Box::new(mem.share()), SyncPolicy::Always));
         db.create_single(schema("t"), StoreKind::Column).unwrap();
         db.bulk_load(
@@ -765,10 +774,10 @@ mod tests {
             rows: vec![vec![Value::BigInt(100), Value::Double(0.25), Value::Null]],
         }))
         .unwrap();
-        mover::merge_delta(&mut db, "t").unwrap();
+        mover::merge_delta(&db, "t").unwrap();
         db.create_index("t", 1).unwrap();
 
-        let (mut rec, report) = HybridDatabase::recover_bytes(&mem.snapshot());
+        let (rec, report) = HybridDatabase::recover_bytes(&mem.snapshot());
         assert!(report.is_clean(), "{report:?}");
         assert!(report.records_replayed >= 5);
         assert_eq!(rec.row_count("t").unwrap(), 41);
@@ -792,7 +801,7 @@ mod tests {
     #[test]
     fn degraded_table_rejects_writes_but_serves_reads() {
         let mem = MemBackend::new();
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.attach_wal(WalWriter::new(Box::new(mem.share()), SyncPolicy::Always));
         db.create_single(schema("t"), StoreKind::Column).unwrap();
         db.bulk_load(
@@ -811,7 +820,7 @@ mod tests {
         let last = scan.frames.last().unwrap().offset as usize;
         image[last + wal::HEADER_LEN] ^= 0xFF;
 
-        let (mut rec, report) = HybridDatabase::recover_bytes(&image);
+        let (rec, report) = HybridDatabase::recover_bytes(&image);
         assert_eq!(report.degraded.len(), 1);
         assert_eq!(report.degraded[0].table, "t");
         assert!(rec.is_degraded("t"));
@@ -852,7 +861,7 @@ mod tests {
         let path = dir.join("resume.wal");
         let _ = std::fs::remove_file(&path);
         {
-            let (mut db, report) = HybridDatabase::recover(&path).unwrap();
+            let (db, report) = HybridDatabase::recover(&path).unwrap();
             assert!(report.is_clean());
             db.create_single(schema("t"), StoreKind::Column).unwrap();
             db.bulk_load(
@@ -872,7 +881,7 @@ mod tests {
             f.write_all(&[0xAB; 7]).unwrap();
         }
         let torn_len = std::fs::metadata(&path).unwrap().len();
-        let (mut db, report) = HybridDatabase::recover(&path).unwrap();
+        let (db, report) = HybridDatabase::recover(&path).unwrap();
         assert_eq!(report.torn_tail, Some(torn_len - 7));
         assert_eq!(db.row_count("t").unwrap(), 8);
         assert!(
@@ -897,7 +906,7 @@ mod tests {
     #[test]
     fn corruption_quarantines_only_the_affected_table() {
         let mem = MemBackend::new();
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.attach_wal(WalWriter::new(Box::new(mem.share()), SyncPolicy::Always));
         db.create_single(schema("a"), StoreKind::Column).unwrap();
         db.create_single(schema("b"), StoreKind::Row).unwrap();
@@ -919,7 +928,7 @@ mod tests {
         let off = last.offset as usize;
         image[off + wal::HEADER_LEN + 1] ^= 0x10;
 
-        let (mut rec, report) = HybridDatabase::recover_bytes(&image);
+        let (rec, report) = HybridDatabase::recover_bytes(&image);
         assert_eq!(report.degraded.len(), 1);
         assert_eq!(report.degraded[0].table, "b");
         assert!(rec.is_degraded("b"));

@@ -106,7 +106,12 @@ impl QueryOutput {
 }
 
 /// Execute any query against the database's current layout.
-pub fn execute(db: &mut HybridDatabase, query: &Query) -> Result<QueryOutput> {
+///
+/// Reads pin an epoch snapshot of the target table's shard and scan
+/// without blocking other tables; writes serialize on the table's write
+/// latch and log to the WAL before the latch is released (see
+/// [`crate::database`] for the locking protocol).
+pub fn execute(db: &HybridDatabase, query: &Query) -> Result<QueryOutput> {
     match query {
         Query::Insert(q) => exec_insert(db, q),
         Query::Update(q) => exec_update(db, q),
@@ -360,15 +365,15 @@ impl Part<'_> {
 // ---------------------------------------------------------------------------
 // Inserts
 
-fn exec_insert(db: &mut HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> {
+fn exec_insert(db: &HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> {
     db.check_writable(&q.table)?;
     let cfg = db.merge_config();
     let wal_on = db.wal_active();
+    let shard = db.shard(&q.table)?;
     let mut applied = 0usize;
     let mut failure = None;
-    let mut merged = false;
     {
-        let data = db.table_data_mut(&q.table)?;
+        let mut data = shard.latch();
         for row in &q.rows {
             match data.insert(row) {
                 Ok(_) => applied += 1,
@@ -378,27 +383,25 @@ fn exec_insert(db: &mut HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> 
                 }
             }
         }
-        if failure.is_none() {
-            merged = crate::maintenance::after_write(data, &cfg);
+        let merged = failure.is_none() && crate::maintenance::after_write(&mut data, &cfg);
+        // Log after the in-memory apply but before the latch releases, so
+        // the table's WAL order matches its apply order; the applied
+        // prefix of a failing multi-row statement is still logged (there
+        // is no rollback), so recovery reproduces the same state.
+        if wal_on && applied > 0 {
+            db.log_record(&crate::durability::WalRecord::Insert {
+                table: q.table.clone(),
+                rows: q.rows[..applied].to_vec(),
+                load: false,
+            })?;
         }
-    }
-    // Log after the in-memory apply: the applied prefix of a failing
-    // multi-row statement is still logged (there is no rollback), so
-    // recovery reproduces the same state.
-    if wal_on && applied > 0 {
-        db.log_record(&crate::durability::WalRecord::Insert {
-            table: q.table.clone(),
-            rows: q.rows[..applied].to_vec(),
-            load: false,
-        })?;
-    }
-    if wal_on && merged {
-        let epoch = db.table_data(&q.table)?.merge_epoch();
-        db.log_record(&crate::durability::WalRecord::MergeComplete {
-            table: q.table.clone(),
-            partition: crate::partition::MergePartition::Whole,
-            merge_epoch: epoch,
-        })?;
+        if wal_on && merged {
+            db.log_record(&crate::durability::WalRecord::MergeComplete {
+                table: q.table.clone(),
+                partition: crate::partition::MergePartition::Whole,
+                merge_epoch: data.merge_epoch(),
+            })?;
+        }
     }
     match failure {
         Some(e) => Err(e),
@@ -409,12 +412,14 @@ fn exec_insert(db: &mut HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> 
 // ---------------------------------------------------------------------------
 // Updates
 
-fn exec_update(db: &mut HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
+fn exec_update(db: &HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
     db.check_writable(&q.table)?;
     let cfg = db.merge_config();
     let wal_on = db.wal_active();
-    let (affected, merged) = {
-        let data = db.table_data_mut(&q.table)?;
+    let shard = db.shard(&q.table)?;
+    let affected = {
+        let mut guard = shard.latch();
+        let data = &mut *guard;
         // Point-update fast path over the PK index.
         let affected = if let Some(key) = pk_point_key(data, &q.filter) {
             update_point(data, &key, &q.sets)?
@@ -449,23 +454,25 @@ fn exec_update(db: &mut HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> 
             }
             affected
         };
-        (affected, crate::maintenance::after_write(data, &cfg))
+        let merged = crate::maintenance::after_write(data, &cfg);
+        // WAL appends stay under the latch: per-table log order == apply
+        // order.
+        if wal_on && affected > 0 {
+            db.log_record(&crate::durability::WalRecord::Update {
+                table: q.table.clone(),
+                sets: q.sets.clone(),
+                filter: q.filter.clone(),
+            })?;
+        }
+        if wal_on && merged {
+            db.log_record(&crate::durability::WalRecord::MergeComplete {
+                table: q.table.clone(),
+                partition: crate::partition::MergePartition::Whole,
+                merge_epoch: data.merge_epoch(),
+            })?;
+        }
+        affected
     };
-    if wal_on && affected > 0 {
-        db.log_record(&crate::durability::WalRecord::Update {
-            table: q.table.clone(),
-            sets: q.sets.clone(),
-            filter: q.filter.clone(),
-        })?;
-    }
-    if wal_on && merged {
-        let epoch = db.table_data(&q.table)?.merge_epoch();
-        db.log_record(&crate::durability::WalRecord::MergeComplete {
-            table: q.table.clone(),
-            partition: crate::partition::MergePartition::Whole,
-            merge_epoch: epoch,
-        })?;
-    }
     Ok(QueryOutput::Affected(affected))
 }
 
@@ -514,8 +521,10 @@ fn update_point(data: &mut TableData, key: &[Value], sets: &[(ColumnIdx, Value)]
 // ---------------------------------------------------------------------------
 // Selects
 
-fn exec_select(db: &mut HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> {
-    let data = db.table_data(&q.table)?;
+fn exec_select(db: &HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> {
+    let shard = db.shard(&q.table)?;
+    let pin = shard.pin();
+    let data = &*pin;
     let cols = q.columns.as_deref();
     // Point-select fast path.
     if let Some(key) = pk_point_key(data, &q.filter) {
@@ -541,8 +550,10 @@ fn exec_select(db: &mut HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> 
 // ---------------------------------------------------------------------------
 // Aggregation (single table)
 
-fn exec_aggregate(db: &mut HybridDatabase, q: &AggregateQuery) -> Result<QueryOutput> {
-    let data = db.table_data(&q.table)?;
+fn exec_aggregate(db: &HybridDatabase, q: &AggregateQuery) -> Result<QueryOutput> {
+    let shard = db.shard(&q.table)?;
+    let pin = shard.pin();
+    let data = &*pin;
     validate_agg_columns(data, q)?;
     let parts = parts_of_pruned(data, &q.filter);
     let scan_part = |part: &Part<'_>| -> Groups {
@@ -943,11 +954,28 @@ fn merge_accs(into: &mut [Acc], from: &[Acc]) {
 // Join aggregation (fact ⋈ dim)
 
 fn exec_join_aggregate(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     q: &AggregateQuery,
     join: &JoinSpec,
 ) -> Result<QueryOutput> {
-    let dim = db.table_data(&join.dim_table)?;
+    // Two-table read: pin both shards, in lexicographic table-name order
+    // so concurrent joins can never deadlock against queued writers
+    // (self-joins share one pin).
+    let fact_shard = db.shard(&q.table)?;
+    let dim_shard = db.shard(&join.dim_table)?;
+    let (fact_pin, dim_pin);
+    if std::sync::Arc::ptr_eq(&fact_shard, &dim_shard) {
+        fact_pin = fact_shard.pin();
+        dim_pin = None;
+    } else if q.table <= join.dim_table {
+        fact_pin = fact_shard.pin();
+        dim_pin = Some(dim_shard.pin());
+    } else {
+        let d = dim_shard.pin();
+        fact_pin = fact_shard.pin();
+        dim_pin = Some(d);
+    }
+    let dim: &TableData = dim_pin.as_deref().unwrap_or(&fact_pin);
     // Build the dim-side hash table: join key -> dense group index. The
     // table is keyed by *borrowed* values (no per-row key clone), group
     // keys are interned once per distinct group (not once per row), and
@@ -1008,7 +1036,7 @@ fn exec_join_aggregate(
             }
         }
     }
-    let fact = db.table_data(&q.table)?;
+    let fact: &TableData = &fact_pin;
     validate_agg_columns(fact, q)?;
     // Dense accumulators per group index, merged into value-keyed groups at
     // the end: the per-row hot loop never hashes a `Value`.
@@ -1296,7 +1324,7 @@ mod tests {
     }
 
     fn db_with(placement: TablePlacement) -> HybridDatabase {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_table(schema(), placement).unwrap();
         db.bulk_load("t", rows(30)).unwrap();
         db
@@ -1336,7 +1364,7 @@ mod tests {
         let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
         let expect: f64 = (0..30).map(|i| i as f64).sum();
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             let out = db.execute(&q).unwrap();
             let aggs = out.aggregates().unwrap();
             assert_eq!(aggs.len(), 1, "{placement:?}");
@@ -1367,11 +1395,11 @@ mod tests {
             join: None,
         });
         let reference = {
-            let mut db = db_with(TablePlacement::Single(StoreKind::Row));
+            let db = db_with(TablePlacement::Single(StoreKind::Row));
             db.execute(&q).unwrap()
         };
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             let out = db.execute(&q).unwrap();
             assert_eq!(out, reference, "{placement:?}");
         }
@@ -1395,7 +1423,7 @@ mod tests {
             filter: vec![ColRange::ge(0, Value::BigInt(5))],
             join: None,
         });
-        let mut db = db_with(TablePlacement::Single(StoreKind::Column));
+        let db = db_with(TablePlacement::Single(StoreKind::Column));
         let dense = db.execute(&q).unwrap();
         set_dense_group_by(false);
         let hashed = db.execute(&q).unwrap();
@@ -1417,7 +1445,7 @@ mod tests {
             join: None,
         });
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             let out = db.execute(&q).unwrap();
             assert_eq!(
                 out.aggregates().unwrap()[0].values[0],
@@ -1445,7 +1473,7 @@ mod tests {
             filter: vec![],
             join: None,
         });
-        let mut db = db_with(TablePlacement::Single(StoreKind::Column));
+        let db = db_with(TablePlacement::Single(StoreKind::Column));
         let out = db.execute(&q).unwrap();
         let row = &out.aggregates().unwrap()[0];
         assert!((row.values[0] - 14.5).abs() < 1e-9);
@@ -1455,7 +1483,7 @@ mod tests {
     #[test]
     fn point_select_finds_row_in_any_partition() {
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             // insert lands in hot partition when horizontal split exists
             db.execute(&Query::Insert(InsertQuery {
                 table: "t".into(),
@@ -1497,7 +1525,7 @@ mod tests {
     #[test]
     fn range_select_unions_partitions() {
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             let out = db
                 .execute(&Query::Select(SelectQuery {
                     table: "t".into(),
@@ -1529,7 +1557,7 @@ mod tests {
         });
         let check = Query::Select(SelectQuery::point("t", 0, Value::BigInt(4)));
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             let out = db.execute(&upd).unwrap();
             assert_eq!(out, QueryOutput::Affected(1), "{placement:?}");
             let rows = db.execute(&check).unwrap();
@@ -1545,7 +1573,7 @@ mod tests {
             filter: vec![ColRange::ge(0, Value::BigInt(25))],
         });
         for placement in all_placements() {
-            let mut db = db_with(placement.clone());
+            let db = db_with(placement.clone());
             let out = db.execute(&upd).unwrap();
             assert_eq!(out, QueryOutput::Affected(5), "{placement:?}");
         }
@@ -1592,7 +1620,7 @@ mod tests {
         let mut reference: Option<QueryOutput> = None;
         for fact_store in StoreKind::BOTH {
             for dim_store in StoreKind::BOTH {
-                let mut db = HybridDatabase::new();
+                let db = HybridDatabase::new();
                 db.create_single(schema(), fact_store).unwrap();
                 db.create_single(dim_schema.clone(), dim_store).unwrap();
                 db.bulk_load("t", fact_fk_rows.clone()).unwrap();
@@ -1620,14 +1648,14 @@ mod tests {
 
     #[test]
     fn aggregate_on_unknown_column_errors() {
-        let mut db = db_with(TablePlacement::Single(StoreKind::Row));
+        let db = db_with(TablePlacement::Single(StoreKind::Row));
         let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 99));
         assert!(db.execute(&q).is_err());
     }
 
     #[test]
     fn logical_stats_cover_partitions() {
-        let mut db = db_with(partitioned_placement());
+        let db = db_with(partitioned_placement());
         // put rows into the hot partition too
         db.execute(&Query::Insert(InsertQuery {
             table: "t".into(),
@@ -1640,7 +1668,8 @@ mod tests {
         }))
         .unwrap();
         db.refresh_stats("t").unwrap();
-        let stats = &db.catalog().entry_by_name("t").unwrap().stats;
+        let catalog = db.catalog();
+        let stats = &catalog.entry_by_name("t").unwrap().stats;
         assert_eq!(stats.row_count, 31);
         assert_eq!(stats.columns[0].max, Some(Value::BigInt(2000)));
         assert_eq!(stats.columns[1].max, Some(Value::Double(123.0)));

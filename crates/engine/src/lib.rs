@@ -32,6 +32,7 @@ pub mod runner;
 pub mod worker;
 
 pub use database::HybridDatabase;
+pub use database::{TableRead, TableShard, TableWrite};
 pub use durability::{DegradedTable, DurabilityConfig, RecoveryReport, WalRecord};
 pub use executor::{GroupRow, QueryOutput};
 pub use maintenance::{MergeConfig, MergeMode};
@@ -39,6 +40,6 @@ pub use partition::{MergePartition, TableData, VerticalPair};
 pub use recorder::StatisticsRecorder;
 pub use runner::{RunReport, WorkloadRunner};
 pub use worker::{
-    lock_database, BackgroundWorker, MaintenanceWorker, MergeJob, MergePacer, PacerConfig,
-    SharedDatabase, SliceReport, WorkerConfig, WorkerHealth, WorkerStats,
+    BackgroundWorker, MaintenanceWorker, MergeJob, MergePacer, PacerConfig, SharedDatabase,
+    SliceReport, WorkerConfig, WorkerHealth, WorkerStats,
 };

@@ -184,7 +184,7 @@ mod tests {
     use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 
     fn column_db() -> HybridDatabase {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(
             TableSchema::new(
                 "t",
@@ -214,7 +214,7 @@ mod tests {
     }
 
     /// Point update writing a fresh (never-seen) value into `col`.
-    fn fresh_update(db: &mut HybridDatabase, id: i64, col: usize, salt: f64) {
+    fn fresh_update(db: &HybridDatabase, id: i64, col: usize, salt: f64) {
         db.execute(&Query::Update(UpdateQuery {
             table: "t".into(),
             sets: vec![(col, Value::Double(10_000.0 + salt))],
@@ -225,30 +225,30 @@ mod tests {
 
     #[test]
     fn always_mode_merges_after_every_write() {
-        let mut db = column_db();
+        let db = column_db();
         db.set_merge_config(MergeConfig::always());
         for i in 0..5 {
-            fresh_update(&mut db, i, 1, i as f64);
+            fresh_update(&db, i, 1, i as f64);
             assert_eq!(db.delta_tail("t").unwrap(), 0);
         }
     }
 
     #[test]
     fn disabled_mode_accumulates_until_explicit_merge() {
-        let mut db = column_db();
+        let db = column_db();
         db.set_merge_config(MergeConfig::disabled());
         for i in 0..20 {
-            fresh_update(&mut db, i, 1, i as f64);
+            fresh_update(&db, i, 1, i as f64);
         }
         assert_eq!(db.delta_tail("t").unwrap(), 20);
-        let merged = mover::merge_delta(&mut db, "t").unwrap();
+        let merged = mover::merge_delta(&db, "t").unwrap();
         assert_eq!(merged, 20);
         assert_eq!(db.delta_tail("t").unwrap(), 0);
     }
 
     #[test]
     fn auto_mode_is_hysteretic_and_selective() {
-        let mut db = column_db();
+        let db = column_db();
         db.set_merge_config(MergeConfig {
             mode: MergeMode::Auto,
             high_fraction: 0.0,
@@ -258,13 +258,13 @@ mod tests {
         });
         // Grow column `a`'s tail to exactly the high watermark: no merge.
         for i in 0..8 {
-            fresh_update(&mut db, i, 1, i as f64);
+            fresh_update(&db, i, 1, i as f64);
         }
         assert_eq!(db.delta_tail("t").unwrap(), 8, "at watermark, not above");
         // One fresh value in column `b` crosses the high watermark. The
         // merge fires, but only column `a` (tail 8 > low watermark 2) is
         // compacted — `b`'s one-entry tail rides along.
-        fresh_update(&mut db, 0, 2, 99.0);
+        fresh_update(&db, 0, 2, 99.0);
         assert_eq!(
             db.delta_tail("t").unwrap(),
             1,
@@ -272,13 +272,13 @@ mod tests {
         );
         // The band below the high watermark absorbs further writes without
         // re-triggering a merge on every statement.
-        fresh_update(&mut db, 1, 2, 100.0);
+        fresh_update(&db, 1, 2, 100.0);
         assert_eq!(db.delta_tail("t").unwrap(), 2);
     }
 
     #[test]
     fn auto_mode_folds_everything_when_tails_are_spread_thin() {
-        let mut db = column_db();
+        let db = column_db();
         db.set_merge_config(MergeConfig {
             mode: MergeMode::Auto,
             high_fraction: 0.0,
@@ -288,10 +288,10 @@ mod tests {
         });
         // Total tail (3) crosses high (2) but each column is below the
         // per-column floor (8): the bounded-growth fallback folds all.
-        fresh_update(&mut db, 0, 1, 1.0);
-        fresh_update(&mut db, 1, 2, 2.0);
+        fresh_update(&db, 0, 1, 1.0);
+        fresh_update(&db, 1, 2, 2.0);
         assert_eq!(db.delta_tail("t").unwrap(), 2);
-        fresh_update(&mut db, 2, 2, 3.0);
+        fresh_update(&db, 2, 2, 3.0);
         assert_eq!(db.delta_tail("t").unwrap(), 0);
     }
 

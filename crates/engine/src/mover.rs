@@ -4,6 +4,13 @@
 //! to move the data into the recommended store"; this module is the engine
 //! half of that — given a [`StorageLayout`], it rebuilds each table whose
 //! placement changed, preserving every logical row.
+//!
+//! Every entry point takes `&HybridDatabase` and serializes against other
+//! writers through the target table's shard latch, never a database-wide
+//! lock: a merge slice on one table runs concurrently with scans and
+//! writes on every other table. WAL records are appended while the latch
+//! is held, so the per-table log order equals the apply order (the
+//! recovery contract of [`crate::durability`]).
 
 use hsd_catalog::{StorageLayout, TablePlacement};
 use hsd_storage::Table;
@@ -14,26 +21,28 @@ use crate::durability::WalRecord;
 use crate::partition::{ColdPart, MergePartition, TableData};
 
 /// Log a completed delta merge on a region (a one-shot fold or the final
-/// slice of an incremental merge). No-op when no WAL is attached.
+/// slice of an incremental merge), reading the epoch from the *latched*
+/// table data so the record is appended in apply order. No-op when no WAL
+/// is attached.
 fn log_merge_complete(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     table: &str,
     partition: MergePartition,
+    data: &TableData,
 ) -> Result<()> {
     if !db.wal_active() {
         return Ok(());
     }
-    let epoch = db.table_data(table)?.merge_epoch();
     db.log_record(&WalRecord::MergeComplete {
         table: table.to_string(),
         partition,
-        merge_epoch: epoch,
+        merge_epoch: data.merge_epoch(),
     })
 }
 
 /// Apply `layout` to the database. Tables whose placement already matches
 /// are left untouched. Returns the names of the tables that were rebuilt.
-pub fn apply_layout(db: &mut HybridDatabase, layout: &StorageLayout) -> Result<Vec<String>> {
+pub fn apply_layout(db: &HybridDatabase, layout: &StorageLayout) -> Result<Vec<String>> {
     let mut moved = Vec::new();
     let names = db.table_names();
     for name in names {
@@ -49,23 +58,36 @@ pub fn apply_layout(db: &mut HybridDatabase, layout: &StorageLayout) -> Result<V
 }
 
 /// Rebuild one table under a new placement, preserving all rows.
-pub fn move_table(db: &mut HybridDatabase, table: &str, target: &TablePlacement) -> Result<()> {
+///
+/// The rebuild happens in place under the table's write latch (readers of
+/// *other* tables are unaffected; readers of this table wait out the
+/// rebuild), and the catalog annotation is updated only after the latch is
+/// released — the mandatory lock order acquires catalog locks strictly
+/// outside shard latches.
+pub fn move_table(db: &HybridDatabase, table: &str, target: &TablePlacement) -> Result<()> {
     db.check_writable(table)?;
     let schema = db.catalog().entry_by_name(table)?.schema.clone();
-    // Drain the existing physical data.
-    let old = std::mem::replace(
-        db.table_data_mut(table)?,
-        TableData::Single(Table::new(schema.clone(), hsd_storage::StoreKind::Row)),
-    );
-    let rows = old.into_rows();
-    let mut fresh = TableData::new(schema, target)?;
-    load_partition_aware(&mut fresh, target, rows)?;
-    compact_after_load(&mut fresh);
-    db.replace_table(table, fresh, target.clone())?;
-    db.log_record(&WalRecord::Move {
-        table: table.to_string(),
-        placement: target.clone(),
-    })?;
+    let shard = db.shard(table)?;
+    {
+        let mut guard = shard.latch();
+        // Drain the existing physical data.
+        let old = std::mem::replace(
+            &mut *guard,
+            TableData::Single(Table::new(schema.clone(), hsd_storage::StoreKind::Row)),
+        );
+        let rows = old.into_rows();
+        let mut fresh = TableData::new(schema, target)?;
+        load_partition_aware(&mut fresh, target, rows)?;
+        compact_after_load(&mut fresh);
+        *guard = fresh;
+        db.log_record(&WalRecord::Move {
+            table: table.to_string(),
+            placement: target.clone(),
+        })?;
+    }
+    let id = db.catalog().id_of(table)?;
+    db.catalog_mut().set_placement(id, target.clone())?;
+    db.refresh_stats(table)?;
     Ok(())
 }
 
@@ -122,11 +144,13 @@ fn compact_after_load(data: &mut TableData) {
 /// modeled merge cost, and applying that action lands here (with the
 /// executor's auto-merge demoted to a fallback via
 /// [`crate::maintenance::MergeConfig`]).
-pub fn merge_delta(db: &mut HybridDatabase, table: &str) -> Result<usize> {
+pub fn merge_delta(db: &HybridDatabase, table: &str) -> Result<usize> {
     db.check_writable(table)?;
-    let folded = db.table_data_mut(table)?.compact_deltas();
+    let shard = db.shard(table)?;
+    let mut data = shard.latch();
+    let folded = data.compact_deltas();
     if folded > 0 {
-        log_merge_complete(db, table, MergePartition::Whole)?;
+        log_merge_complete(db, table, MergePartition::Whole, &data)?;
     }
     Ok(folded)
 }
@@ -136,16 +160,16 @@ pub fn merge_delta(db: &mut HybridDatabase, table: &str) -> Result<usize> {
 /// region for [`MergePartition::Whole`]. A `Cold` job whose table has since
 /// moved back to a single store merges the whole table (the safe superset).
 pub fn merge_delta_partition(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     table: &str,
     partition: MergePartition,
 ) -> Result<usize> {
     db.check_writable(table)?;
-    let folded = db
-        .table_data_mut(table)?
-        .compact_deltas_partition(partition);
+    let shard = db.shard(table)?;
+    let mut data = shard.latch();
+    let folded = data.compact_deltas_partition(partition);
     if folded > 0 {
-        log_merge_complete(db, table, partition)?;
+        log_merge_complete(db, table, partition, &data)?;
     }
     Ok(folded)
 }
@@ -162,14 +186,16 @@ pub fn merge_delta_partition(
 /// [`merge_delta`]: the same total work is spread over many short pauses,
 /// each bounded by the remap-cost budget.
 pub fn merge_delta_step(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     table: &str,
     budget_rows: usize,
 ) -> Result<hsd_storage::MergeProgress> {
     db.check_writable(table)?;
-    let progress = db.table_data_mut(table)?.compact_deltas_step(budget_rows);
+    let shard = db.shard(table)?;
+    let mut data = shard.latch();
+    let progress = data.compact_deltas_step(budget_rows);
     if progress.done && (progress.entries_folded > 0 || progress.rows_remapped > 0) {
-        log_merge_complete(db, table, MergePartition::Whole)?;
+        log_merge_complete(db, table, MergePartition::Whole, &data)?;
     }
     Ok(progress)
 }
@@ -179,20 +205,57 @@ pub fn merge_delta_step(
 /// slices only the cold partition's column-store fragment, never touching
 /// the hot row-store partition the serving loop is writing into.
 pub fn merge_delta_step_partition(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     table: &str,
     partition: MergePartition,
     budget_rows: usize,
 ) -> Result<hsd_storage::MergeProgress> {
     db.check_writable(table)?;
-    let progress = db
-        .table_data_mut(table)?
-        .compact_deltas_step_partition(partition, budget_rows);
+    let shard = db.shard(table)?;
+    let mut data = shard.latch();
+    let progress = data.compact_deltas_step_partition(partition, budget_rows);
     // An incremental merge is logged only at completion: in-flight shadow
     // state is deliberately volatile (recovery discards it losslessly and
     // re-merges from the completion record instead).
     if progress.done && (progress.entries_folded > 0 || progress.rows_remapped > 0) {
-        log_merge_complete(db, table, partition)?;
+        log_merge_complete(db, table, partition, &data)?;
+    }
+    Ok(progress)
+}
+
+/// One merge slice split into a **concurrent plan phase and a brief
+/// install phase** — the maintenance worker's read-path-friendly variant
+/// of [`merge_delta_step_partition`].
+///
+/// Phase 1 computes dictionary rebuild plans ([`hsd_storage::MergePlan`])
+/// under a shared read pin: the sort-heavy half of starting a merge runs
+/// *concurrently with scans* on the same table. Phase 2 takes the
+/// exclusive latch only to adopt the plans (stale ones — a dictionary
+/// handoff completed in between — are discarded and replanned by the
+/// in-latch fallback) and remap one `budget_rows`-bounded slice. The
+/// latch hold time is therefore O(budget), never O(distinct values ·
+/// log) for the sort.
+pub fn merge_slice_concurrent(
+    db: &HybridDatabase,
+    table: &str,
+    partition: MergePartition,
+    budget_rows: usize,
+) -> Result<hsd_storage::MergeProgress> {
+    db.check_writable(table)?;
+    let shard = db.shard(table)?;
+    // Phase 1 (concurrent with scans): plan under a shared read pin.
+    let plans = {
+        let pin = shard.pin();
+        pin.plan_compact_partition(partition)
+    };
+    // Phase 2 (brief): install + one budgeted slice under the latch.
+    let mut data = shard.latch();
+    if !plans.is_empty() {
+        data.install_compact_plans(partition, plans);
+    }
+    let progress = data.compact_deltas_step_partition(partition, budget_rows);
+    if progress.done && (progress.entries_folded > 0 || progress.rows_remapped > 0) {
+        log_merge_complete(db, table, partition, &data)?;
     }
     Ok(progress)
 }
@@ -205,8 +268,10 @@ pub fn merge_delta_step_partition(
 /// advisor withdraws a scheduled merge whose justification evaporated (see
 /// `hsd_core`'s `MaintenanceAction::Retract`), the worker lands here.
 /// Returns how many columns had a merge to cancel.
-pub fn cancel_merge(db: &mut HybridDatabase, table: &str) -> Result<usize> {
-    Ok(db.table_data_mut(table)?.cancel_merge())
+pub fn cancel_merge(db: &HybridDatabase, table: &str) -> Result<usize> {
+    let shard = db.shard(table)?;
+    let cancelled = shard.latch().cancel_merge();
+    Ok(cancelled)
 }
 
 /// Move rows that have aged out of the hot partition into the cold
@@ -214,58 +279,63 @@ pub fn cancel_merge(db: &mut HybridDatabase, table: &str) -> Result<usize> {
 /// partition to the column-store partition"). Rows still satisfying the
 /// hot predicate stay. Returns how many rows were moved.
 pub fn rebalance_horizontal(
-    db: &mut HybridDatabase,
+    db: &HybridDatabase,
     table: &str,
     new_split_value: &Value,
 ) -> Result<usize> {
     db.check_writable(table)?;
-    let data = db.table_data_mut(table)?;
-    let TableData::Partitioned {
-        hot: Some(hot),
-        cold,
-        spec,
-        schema,
-        hot_pure,
-    } = data
-    else {
-        return Err(hsd_types::Error::InvalidOperation(format!(
-            "table {table} has no hot partition to rebalance"
-        )));
-    };
-    let Some(h) = spec.horizontal.as_mut() else {
-        return Err(hsd_types::Error::InvalidOperation(format!(
-            "table {table} has no horizontal spec"
-        )));
-    };
-    // Drain the hot partition and re-split under the new boundary.
-    let drained = std::mem::replace(hot, Table::new(schema.clone(), hsd_storage::StoreKind::Row));
-    let mut moved = 0;
-    for row in drained.into_rows() {
-        if row[h.split_column] >= *new_split_value {
-            hot.insert(&row)?;
-        } else {
-            cold.insert(&row)?;
-            moved += 1;
+    let shard = db.shard(table)?;
+    let (moved, spec) = {
+        let mut guard = shard.latch();
+        let TableData::Partitioned {
+            hot: Some(hot),
+            cold,
+            spec,
+            schema,
+            hot_pure,
+        } = &mut *guard
+        else {
+            return Err(hsd_types::Error::InvalidOperation(format!(
+                "table {table} has no hot partition to rebalance"
+            )));
+        };
+        let Some(h) = spec.horizontal.as_mut() else {
+            return Err(hsd_types::Error::InvalidOperation(format!(
+                "table {table} has no horizontal spec"
+            )));
+        };
+        // Drain the hot partition and re-split under the new boundary.
+        let drained =
+            std::mem::replace(hot, Table::new(schema.clone(), hsd_storage::StoreKind::Row));
+        let mut moved = 0;
+        for row in drained.into_rows() {
+            if row[h.split_column] >= *new_split_value {
+                hot.insert(&row)?;
+            } else {
+                cold.insert(&row)?;
+                moved += 1;
+            }
         }
-    }
-    h.split_value = new_split_value.clone();
-    // The re-split is strict, so the hot partition is pure again.
-    *hot_pure = true;
-    if let ColdPart::Single(Table::Column(ct)) = cold {
-        ct.compact();
-    } else if let ColdPart::Vertical(p) = cold {
-        p.compact_column_fragment();
-    }
-    // Keep the catalog annotation in sync.
-    let spec = spec.clone();
+        h.split_value = new_split_value.clone();
+        // The re-split is strict, so the hot partition is pure again.
+        *hot_pure = true;
+        if let ColdPart::Single(Table::Column(ct)) = cold {
+            ct.compact();
+        } else if let ColdPart::Vertical(p) = cold {
+            p.compact_column_fragment();
+        }
+        db.log_record(&WalRecord::Rebalance {
+            table: table.to_string(),
+            split_value: new_split_value.clone(),
+        })?;
+        (moved, spec.clone())
+    };
+    // Keep the catalog annotation in sync (catalog locks are acquired
+    // strictly outside shard latches).
     let id = db.catalog().id_of(table)?;
     db.catalog_mut()
         .set_placement(id, TablePlacement::Partitioned(spec))?;
     db.refresh_stats(table)?;
-    db.log_record(&WalRecord::Rebalance {
-        table: table.to_string(),
-        split_value: new_split_value.clone(),
-    })?;
     Ok(moved)
 }
 
@@ -290,7 +360,7 @@ mod tests {
     }
 
     fn loaded_db() -> HybridDatabase {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(schema(), StoreKind::Row).unwrap();
         db.bulk_load(
             "t",
@@ -300,7 +370,7 @@ mod tests {
         db
     }
 
-    fn checksum(db: &mut HybridDatabase) -> f64 {
+    fn checksum(db: &HybridDatabase) -> f64 {
         use hsd_query::{AggFunc, AggregateQuery, Query};
         let out = db
             .execute(&Query::Aggregate(AggregateQuery::simple(
@@ -314,26 +384,26 @@ mod tests {
 
     #[test]
     fn move_single_to_single() {
-        let mut db = loaded_db();
-        let before = checksum(&mut db);
+        let db = loaded_db();
+        let before = checksum(&db);
         let mut layout = StorageLayout::new();
         layout.set("t", TablePlacement::Single(StoreKind::Column));
-        let moved = apply_layout(&mut db, &layout).unwrap();
+        let moved = apply_layout(&db, &layout).unwrap();
         assert_eq!(moved, vec!["t".to_string()]);
         assert_eq!(
             db.catalog().single_store_of("t").unwrap(),
             StoreKind::Column
         );
-        assert_eq!(checksum(&mut db), before);
+        assert_eq!(checksum(&db), before);
         assert_eq!(db.row_count("t").unwrap(), 100);
         // applying again is a no-op
-        assert!(apply_layout(&mut db, &layout).unwrap().is_empty());
+        assert!(apply_layout(&db, &layout).unwrap().is_empty());
     }
 
     #[test]
     fn move_to_partitioned_splits_rows() {
-        let mut db = loaded_db();
-        let before = checksum(&mut db);
+        let db = loaded_db();
+        let before = checksum(&db);
         let placement = TablePlacement::Partitioned(PartitionSpec {
             horizontal: Some(HorizontalSpec {
                 split_column: 0,
@@ -343,9 +413,11 @@ mod tests {
         });
         let mut layout = StorageLayout::new();
         layout.set("t", placement);
-        apply_layout(&mut db, &layout).unwrap();
-        assert_eq!(checksum(&mut db), before);
-        match db.table_data("t").unwrap() {
+        apply_layout(&db, &layout).unwrap();
+        assert_eq!(checksum(&db), before);
+        let shard = db.shard("t").unwrap();
+        let pin = shard.pin();
+        match &*pin {
             TableData::Partitioned {
                 hot: Some(h), cold, ..
             } => {
@@ -362,8 +434,8 @@ mod tests {
 
     #[test]
     fn move_back_to_single_restores_all_rows() {
-        let mut db = loaded_db();
-        let before = checksum(&mut db);
+        let db = loaded_db();
+        let before = checksum(&db);
         let mut layout = StorageLayout::new();
         layout.set(
             "t",
@@ -375,17 +447,17 @@ mod tests {
                 vertical: None,
             }),
         );
-        apply_layout(&mut db, &layout).unwrap();
+        apply_layout(&db, &layout).unwrap();
         let mut back = StorageLayout::new();
         back.set("t", TablePlacement::Single(StoreKind::Row));
-        apply_layout(&mut db, &back).unwrap();
+        apply_layout(&db, &back).unwrap();
         assert_eq!(db.row_count("t").unwrap(), 100);
-        assert_eq!(checksum(&mut db), before);
+        assert_eq!(checksum(&db), before);
     }
 
     #[test]
     fn rebalance_moves_aged_rows() {
-        let mut db = loaded_db();
+        let db = loaded_db();
         let mut layout = StorageLayout::new();
         layout.set(
             "t",
@@ -397,11 +469,13 @@ mod tests {
                 vertical: None,
             }),
         );
-        apply_layout(&mut db, &layout).unwrap();
+        apply_layout(&db, &layout).unwrap();
         // age the boundary: only ids >= 95 stay hot
-        let moved = rebalance_horizontal(&mut db, "t", &Value::BigInt(95)).unwrap();
+        let moved = rebalance_horizontal(&db, "t", &Value::BigInt(95)).unwrap();
         assert_eq!(moved, 15);
-        match db.table_data("t").unwrap() {
+        let shard = db.shard("t").unwrap();
+        let pin = shard.pin();
+        match &*pin {
             TableData::Partitioned {
                 hot: Some(h), cold, ..
             } => {
@@ -415,20 +489,20 @@ mod tests {
 
     #[test]
     fn rebalance_rejects_unpartitioned() {
-        let mut db = loaded_db();
-        assert!(rebalance_horizontal(&mut db, "t", &Value::BigInt(5)).is_err());
+        let db = loaded_db();
+        assert!(rebalance_horizontal(&db, "t", &Value::BigInt(5)).is_err());
     }
 
     #[test]
     fn chunked_merge_preserves_results_and_is_resumable() {
         use hsd_query::{Query, UpdateQuery};
         use hsd_storage::ColRange;
-        let mut db = loaded_db();
+        let db = loaded_db();
         let mut layout = StorageLayout::new();
         layout.set("t", TablePlacement::Single(StoreKind::Column));
-        apply_layout(&mut db, &layout).unwrap();
+        apply_layout(&db, &layout).unwrap();
         db.set_merge_config(crate::maintenance::MergeConfig::disabled());
-        let before = checksum(&mut db);
+        let before = checksum(&db);
         for i in 0..30 {
             db.execute(&Query::Update(UpdateQuery {
                 table: "t".into(),
@@ -443,7 +517,7 @@ mod tests {
         let mut slices = 0;
         let mut folded = 0;
         loop {
-            let p = merge_delta_step(&mut db, "t", 16).unwrap();
+            let p = merge_delta_step(&db, "t", 16).unwrap();
             folded += p.entries_folded;
             slices += 1;
             // Mid-merge queries must see consistent data.
@@ -463,7 +537,7 @@ mod tests {
         assert!(slices > 1, "a 16-row budget over 100 rows takes slices");
         assert_eq!(folded, tail);
         assert_eq!(db.delta_tail("t").unwrap(), 0);
-        let after = checksum(&mut db);
+        let after = checksum(&db);
         assert!(
             (after
                 - (before - (0..30).map(|i| i as f64).sum::<f64>()
@@ -471,5 +545,40 @@ mod tests {
             .abs()
                 < 1e-6
         );
+    }
+
+    #[test]
+    fn concurrent_slice_plans_under_pin_and_installs_under_latch() {
+        use hsd_query::{Query, UpdateQuery};
+        use hsd_storage::ColRange;
+        let db = loaded_db();
+        let mut layout = StorageLayout::new();
+        layout.set("t", TablePlacement::Single(StoreKind::Column));
+        apply_layout(&db, &layout).unwrap();
+        db.set_merge_config(crate::maintenance::MergeConfig::disabled());
+        for i in 0..25 {
+            db.execute(&Query::Update(UpdateQuery {
+                table: "t".into(),
+                sets: vec![(1, Value::Double(9000.0 + i as f64))],
+                filter: vec![ColRange::eq(0, Value::BigInt(i))],
+            }))
+            .unwrap();
+        }
+        let tail = db.delta_tail("t").unwrap();
+        assert!(tail >= 25);
+        let mut folded = 0;
+        let mut slices = 0;
+        loop {
+            let p = merge_slice_concurrent(&db, "t", MergePartition::Whole, 16).unwrap();
+            folded += p.entries_folded;
+            slices += 1;
+            if p.done {
+                break;
+            }
+            assert!(slices < 200, "two-phase merge must terminate");
+        }
+        assert_eq!(folded, tail);
+        assert_eq!(db.delta_tail("t").unwrap(), 0);
+        assert!(!db.merge_in_progress("t").unwrap());
     }
 }

@@ -610,6 +610,41 @@ impl TableData {
         }
     }
 
+    /// Compute merge plans for the table's column-store region through
+    /// `&self` — the concurrent-read phase of a two-phase merge slice.
+    /// Every `partition` routes to the same region the step/compact
+    /// entry points touch (the cold fragment for hot/cold layouts; the
+    /// hot partition is row-store resident and never merged).
+    pub fn plan_compact_partition(
+        &self,
+        _partition: MergePartition,
+    ) -> Vec<(usize, hsd_storage::MergePlan)> {
+        match self {
+            TableData::Single(t) => t.plan_delta_merge(),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.plan_delta_merge(),
+                ColdPart::Vertical(p) => p.col_fragment().plan_delta_merge(),
+            },
+        }
+    }
+
+    /// Adopt previously computed merge plans on the column-store region
+    /// (call under the exclusive latch); stale plans are discarded. Returns
+    /// how many installed.
+    pub fn install_compact_plans(
+        &mut self,
+        _partition: MergePartition,
+        plans: Vec<(usize, hsd_storage::MergePlan)>,
+    ) -> usize {
+        match self {
+            TableData::Single(t) => t.install_delta_plans(plans),
+            TableData::Partitioned { cold, .. } => match cold {
+                ColdPart::Single(t) => t.install_delta_plans(plans),
+                ColdPart::Vertical(p) => p.col_fragment_mut().install_delta_plans(plans),
+            },
+        }
+    }
+
     /// Rows resident in the region a delta merge actually remaps: the whole
     /// table for single-store layouts, the cold partition for hot/cold
     /// layouts (the hot partition is row-store resident and never merged).

@@ -232,7 +232,7 @@ mod tests {
     use hsd_types::{ColumnDef, ColumnType, Value};
 
     fn db() -> HybridDatabase {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(
             TableSchema::new(
                 "t",
@@ -366,7 +366,7 @@ mod tests {
     #[test]
     fn observed_tail_growth_tracks_live_dictionaries_not_the_upper_bound() {
         let row_db = db();
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(
             TableSchema::new(
                 "c",
@@ -417,7 +417,7 @@ mod tests {
         assert!(t.observed_tail_rate().unwrap() < 0.1);
         // A merge folds the tail (epoch handoff); the cursor resets instead
         // of producing a negative delta, and fresh growth counts again.
-        crate::mover::merge_delta(&mut db, "c").unwrap();
+        crate::mover::merge_delta(&db, "c").unwrap();
         for i in 0..3 {
             let q = Query::Update(UpdateQuery {
                 table: "c".into(),
@@ -446,7 +446,7 @@ mod tests {
         // most writes land in the hot row partition and grow no tail, so a
         // measured rate there would wrongly price a full-column candidate.
         crate::mover::move_table(
-            &mut db,
+            &db,
             "c",
             &hsd_catalog::TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
                 horizontal: Some(hsd_catalog::HorizontalSpec {

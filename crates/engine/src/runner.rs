@@ -11,7 +11,7 @@ use crate::recorder::StatisticsRecorder;
 
 /// Per-statement hook invoked by [`WorkloadRunner::run_observed`] after
 /// each executed query.
-type AfterEachHook<'a> = &'a mut dyn FnMut(&mut HybridDatabase, &Query) -> Result<()>;
+type AfterEachHook<'a> = &'a mut dyn FnMut(&HybridDatabase, &Query) -> Result<()>;
 
 /// Outcome of running a workload.
 #[derive(Debug, Clone)]
@@ -48,7 +48,7 @@ impl WorkloadRunner {
     }
 
     /// Run every query, returning the timing report.
-    pub fn run(&self, db: &mut HybridDatabase, workload: &Workload) -> Result<RunReport> {
+    pub fn run(&self, db: &HybridDatabase, workload: &Workload) -> Result<RunReport> {
         self.run_inner(db, workload, None, None)
     }
 
@@ -56,7 +56,7 @@ impl WorkloadRunner {
     /// mode's combined execute-and-observe loop).
     pub fn run_recorded(
         &self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         workload: &Workload,
         recorder: &mut StatisticsRecorder,
     ) -> Result<RunReport> {
@@ -70,19 +70,19 @@ impl WorkloadRunner {
     /// the policy's cost) but not toward the per-kind or per-query splits.
     pub fn run_observed<F>(
         &self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         workload: &Workload,
         mut after_each: F,
     ) -> Result<RunReport>
     where
-        F: FnMut(&mut HybridDatabase, &Query) -> Result<()>,
+        F: FnMut(&HybridDatabase, &Query) -> Result<()>,
     {
         self.run_inner(db, workload, None, Some(&mut after_each))
     }
 
     fn run_inner(
         &self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         workload: &Workload,
         mut recorder: Option<&mut StatisticsRecorder>,
         mut after_each: Option<AfterEachHook<'_>>,
@@ -119,7 +119,7 @@ impl WorkloadRunner {
     /// only, since repetition re-executes).
     pub fn time_query(
         &self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         query: &Query,
         repeats: usize,
     ) -> Result<Duration> {
@@ -152,7 +152,7 @@ mod tests {
     use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 
     fn db() -> HybridDatabase {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(
             TableSchema::new(
                 "t",
@@ -190,8 +190,8 @@ mod tests {
 
     #[test]
     fn run_reports_totals() {
-        let mut db = db();
-        let report = WorkloadRunner::new().run(&mut db, &workload()).unwrap();
+        let db = db();
+        let report = WorkloadRunner::new().run(&db, &workload()).unwrap();
         assert_eq!(report.queries, 2);
         assert!(report.total > Duration::ZERO);
         assert!(report.by_kind.contains_key("aggregation"));
@@ -202,20 +202,20 @@ mod tests {
 
     #[test]
     fn per_query_durations() {
-        let mut db = db();
+        let db = db();
         let runner = WorkloadRunner {
             collect_per_query: true,
         };
-        let report = runner.run(&mut db, &workload()).unwrap();
+        let report = runner.run(&db, &workload()).unwrap();
         assert_eq!(report.per_query.unwrap().len(), 2);
     }
 
     #[test]
     fn recorded_run_populates_stats() {
-        let mut db = db();
+        let db = db();
         let mut rec = StatisticsRecorder::new();
         WorkloadRunner::new()
-            .run_recorded(&mut db, &workload(), &mut rec)
+            .run_recorded(&db, &workload(), &mut rec)
             .unwrap();
         assert_eq!(rec.stats().total_statements, 2);
         assert_eq!(rec.stats().table("t").unwrap().inserts, 1);
@@ -224,9 +224,9 @@ mod tests {
 
     #[test]
     fn time_query_returns_median() {
-        let mut db = db();
+        let db = db();
         let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
-        let d = WorkloadRunner::new().time_query(&mut db, &q, 5).unwrap();
+        let d = WorkloadRunner::new().time_query(&db, &q, 5).unwrap();
         assert!(d > Duration::ZERO);
     }
 }

@@ -1,19 +1,31 @@
 //! Background incremental-merge worker: drains advisor-scheduled delta
-//! merges one bounded slice at a time *between* query admissions, so a busy
-//! serving loop keeps its tails shrinking without ever taking the full-table
-//! stop-the-world remap of [`crate::mover::merge_delta`].
+//! merges one bounded slice at a time, so a busy serving loop keeps its
+//! tails shrinking without ever taking the full-table stop-the-world remap
+//! of [`crate::mover::merge_delta`].
 //!
-//! The worker owns a FIFO of [`MergeJob`]s, keyed and deduplicated by
+//! The worker owns a queue of [`MergeJob`]s, keyed and deduplicated by
 //! `(table, partition)` — a cold-fragment merge of a partitioned table and
-//! a whole-table merge are distinct jobs. Each
-//! [`MaintenanceWorker::tick`] advances the front job by one slice through
-//! the resumable shadow-rebuild protocol, routed to the job's region
-//! ([`crate::mover::merge_delta_step_partition`] — a cold-fragment job
-//! never touches the hot row-store partition); queries executed between ticks see
-//! a fully consistent table, writes are mirrored into the shadow behind the
-//! copy cursor, and the dictionary handoff at swap bumps the table's merge
-//! epoch ([`crate::database::HybridDatabase::merge_epoch`]) so observers can
+//! a whole-table merge are distinct jobs. Each tick the worker picks the
+//! job with the highest **accrued-penalty-per-row** score (the table's
+//! dictionary-tail entries per merge-region row — the per-row scan
+//! degradation its delta is inflicting right now), FIFO on ties, so
+//! several tables' merges interleave by urgency instead of arrival order.
+//! The selected job advances by one slice through the resumable
+//! shadow-rebuild protocol, routed to the job's region; queries executed
+//! between ticks see a fully consistent table, writes are mirrored into
+//! the shadow behind the copy cursor, and the dictionary handoff at swap
+//! bumps the table's merge epoch
+//! ([`crate::database::HybridDatabase::merge_epoch`]) so observers can
 //! detect completion without watching every slice.
+//!
+//! Slices run through [`crate::mover::merge_slice_concurrent`]: the
+//! sort-heavy dictionary rebuild is planned under a shared read pin
+//! (concurrent with scans of the same table), and only the budgeted remap
+//! itself holds the table's write latch. Since [`HybridDatabase`] is
+//! internally latched per table, the worker never takes a database-wide
+//! lock — a merge slice on one table runs in parallel with queries on
+//! every other table, and with reads of its own table during the plan
+//! phase.
 //!
 //! The per-slice row budget is set by a [`MergePacer`] that adapts to
 //! observed query latency: feed every served query's latency to
@@ -26,19 +38,19 @@
 //!
 //! Two execution modes share the same worker:
 //!
-//! * **Cooperative** (default, the right mode on a single core): the
-//!   serving loop calls [`MaintenanceWorker::tick`] between statements.
+//! * **Cooperative** (the right mode on a single core): the serving loop
+//!   calls [`MaintenanceWorker::tick`] between statements.
 //! * **Threaded** ([`BackgroundWorker::spawn`] with the same
 //!   [`WorkerConfig`]): a `std::thread` drains slices against an
-//!   `Arc<Mutex<HybridDatabase>>`, interleaving with queries at mutex
-//!   granularity — the multi-core path, where slices run while the
-//!   serving thread is parked between statements. Applications expose the
-//!   mode as a config flag and construct the matching type
-//!   (`bench_background`'s `--threaded` is the reference example).
+//!   `Arc<HybridDatabase>` — the multi-core path. Queries and slices
+//!   interleave at per-table latch granularity: a query on the merging
+//!   table waits at most one budgeted remap, and queries on other tables
+//!   never wait at all.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use hsd_storage::MergeProgress;
@@ -241,8 +253,8 @@ pub struct WorkerConfig {
     pub pacer: PacerConfig,
     /// Fault injection: make the next N slice executions panic before
     /// touching the database. Test-only knob (default 0) for exercising the
-    /// worker's panic containment — a panicking slice must not poison the
-    /// shared database mutex or take the engine down.
+    /// worker's panic containment — a panicking slice must not wedge the
+    /// engine or take it down.
     pub fault_slice_panics: u32,
 }
 
@@ -266,6 +278,39 @@ impl WorkerHealth {
     /// Whether the worker has never had a slice panic.
     pub fn is_healthy(&self) -> bool {
         matches!(self, WorkerHealth::Healthy)
+    }
+}
+
+/// Lock-free health mirror shared between a worker thread and its pollers.
+///
+/// Health polling must never contend with slice execution, so the cell is
+/// a sticky [`AtomicBool`] plus a write-once reason: [`HealthCell::mark`]
+/// publishes the first panic's message before the release store of the
+/// flag, and [`HealthCell::get`]'s acquire load therefore always observes
+/// the reason once it observes the flag. Later marks are ignored — health
+/// is sticky on the *first* failure, exactly like [`WorkerHealth`].
+#[derive(Debug, Default)]
+struct HealthCell {
+    unhealthy: AtomicBool,
+    reason: OnceLock<String>,
+}
+
+impl HealthCell {
+    /// Record a failure (first reason wins; sets the sticky flag).
+    fn mark(&self, reason: &str) {
+        let _ = self.reason.set(reason.to_string());
+        self.unhealthy.store(true, Ordering::Release);
+    }
+
+    /// Current health, without taking any lock.
+    fn get(&self) -> WorkerHealth {
+        if self.unhealthy.load(Ordering::Acquire) {
+            WorkerHealth::Unhealthy {
+                reason: self.reason.get().cloned().unwrap_or_default(),
+            }
+        } else {
+            WorkerHealth::Healthy
+        }
     }
 }
 
@@ -320,7 +365,7 @@ pub struct SliceReport {
 /// use hsd_storage::StoreKind;
 /// use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 ///
-/// let mut db = HybridDatabase::new();
+/// let db = HybridDatabase::new();
 /// db.create_single(
 ///     TableSchema::new(
 ///         "t",
@@ -337,7 +382,7 @@ pub struct SliceReport {
 /// worker.enqueue("t", MergePartition::Whole);
 /// // The serving loop: execute a statement, feed its latency to the
 /// // pacer, let the worker advance one bounded slice.
-/// while worker.tick(&mut db)?.is_some() {
+/// while worker.tick(&db)?.is_some() {
 ///     worker.observe_query_latency(0.05);
 /// }
 /// assert_eq!(db.delta_tail("t")?, 0);
@@ -418,7 +463,7 @@ impl MaintenanceWorker {
     /// in-flight shadow rebuild on the table (the live data stayed
     /// authoritative throughout, so cancellation only discards remap work).
     /// Returns whether anything was retracted.
-    pub fn retract(&mut self, db: &mut HybridDatabase, table: &str) -> Result<bool> {
+    pub fn retract(&mut self, db: &HybridDatabase, table: &str) -> Result<bool> {
         let before = self.queue.len();
         self.queue.retain(|j| j.table != table);
         let dequeued = self.queue.len() < before;
@@ -435,20 +480,45 @@ impl MaintenanceWorker {
         self.pacer.observe_query_latency(ms);
     }
 
-    /// Advance the front job by one remap-budgeted slice. Returns `None`
-    /// when the queue is empty; otherwise the slice report. A job whose
-    /// table no longer exists is dropped (the error is propagated once).
+    /// Pick the queued job with the highest accrued-penalty-per-row score:
+    /// the table's current dictionary-tail entries per merge-region row —
+    /// the per-row scan degradation its unfolded delta inflicts right now,
+    /// which is exactly the rate the advisor's rent-or-buy accrual grows
+    /// at. Ties (and the common single-job queue) fall back to FIFO order.
+    /// A job whose table cannot be scored (dropped/renamed) is selected
+    /// immediately so the tick surfaces its error and retires it.
+    fn select_job(&self, db: &HybridDatabase) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, job) in self.queue.iter().enumerate() {
+            let Ok(tail) = db.delta_tail(&job.table) else {
+                return Some(i);
+            };
+            let rows = db.merge_region_rows(&job.table).unwrap_or(0).max(1);
+            let score = tail as f64 / rows as f64;
+            match best {
+                Some((_, b)) if score <= b => {}
+                _ => best = Some((i, score)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Advance the most urgent job by one remap-budgeted slice (see
+    /// `MaintenanceWorker::select_job` for the priority rule). Returns
+    /// `None` when the queue is empty; otherwise the slice report. A job
+    /// whose table no longer exists is dropped (the error is propagated
+    /// once).
     ///
     /// A slice that **panics** is contained here (never unwound into the
-    /// caller, so a shared `Mutex<HybridDatabase>` is never poisoned): the
-    /// job is dropped, any in-flight shadow rebuild on its table is
-    /// cancelled (live data stayed authoritative — nothing is lost), the
-    /// worker goes [`WorkerHealth::Unhealthy`], and the panic surfaces as
-    /// an ordinary error.
-    pub fn tick(&mut self, db: &mut HybridDatabase) -> Result<Option<SliceReport>> {
-        let Some(job) = self.queue.front().cloned() else {
+    /// caller): the job is dropped, any in-flight shadow rebuild on its
+    /// table is cancelled (live data stayed authoritative — nothing is
+    /// lost), the worker goes [`WorkerHealth::Unhealthy`], and the panic
+    /// surfaces as an ordinary error.
+    pub fn tick(&mut self, db: &HybridDatabase) -> Result<Option<SliceReport>> {
+        let Some(idx) = self.select_job(db) else {
             return Ok(None);
         };
+        let job = self.queue[idx].clone();
         let budget = self.pacer.next_budget();
         let inject_panic = self.fault_slice_panics > 0;
         if inject_panic {
@@ -458,18 +528,18 @@ impl MaintenanceWorker {
             if inject_panic {
                 panic!("injected slice panic (WorkerConfig::fault_slice_panics)");
             }
-            mover::merge_delta_step_partition(db, &job.table, job.partition, budget)
+            mover::merge_slice_concurrent(db, &job.table, job.partition, budget)
         }));
         let progress = match outcome {
             Ok(Ok(p)) => p,
             Ok(Err(e)) => {
                 // The table vanished (moved/rebuilt under a different
                 // name) or is quarantined: the job is moot.
-                self.queue.pop_front();
+                self.queue.remove(idx);
                 return Err(e);
             }
             Err(payload) => {
-                self.queue.pop_front();
+                self.queue.remove(idx);
                 self.stats.slice_panics += 1;
                 let reason = panic_message(payload.as_ref());
                 if self.health.is_healthy() {
@@ -493,7 +563,7 @@ impl MaintenanceWorker {
         self.stats.rows_remapped += progress.rows_remapped as u64;
         self.stats.entries_folded += progress.entries_folded as u64;
         if progress.done {
-            self.queue.pop_front();
+            self.queue.remove(idx);
             self.stats.jobs_completed += 1;
         }
         Ok(Some(SliceReport {
@@ -508,7 +578,7 @@ impl MaintenanceWorker {
     /// beyond its current budget) — the shutdown/drain path. A job whose
     /// table no longer exists is skipped (tick already dropped it); the
     /// rest of the queue still drains.
-    pub fn drain(&mut self, db: &mut HybridDatabase) -> Result<()> {
+    pub fn drain(&mut self, db: &HybridDatabase) -> Result<()> {
         loop {
             match self.tick(db) {
                 Ok(None) => return Ok(()),
@@ -535,23 +605,13 @@ impl MaintenanceWorker {
     }
 }
 
-/// Lock a [`SharedDatabase`], recovering from a poisoned mutex: the worker
-/// contains slice panics before they can poison the lock, but a *user*
-/// thread that panicked while holding the guard still poisons it — and the
-/// data is an ordinary in-memory structure whose mutating entry points
-/// restore their invariants before returning, so the conservative
-/// `PoisonError` default of refusing all further access would turn one dead
-/// thread into a dead database. Every lock site of the engine (and its
-/// benches) goes through this helper.
-pub fn lock_database(db: &SharedDatabase) -> std::sync::MutexGuard<'_, HybridDatabase> {
-    db.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 // ---------------------------------------------------------------------------
 // Threaded mode
 
-/// A database shared between the serving thread and a threaded worker.
-pub type SharedDatabase = Arc<Mutex<HybridDatabase>>;
+/// A database shared between serving threads and a threaded worker. The
+/// [`HybridDatabase`] is internally latched per table, so sharing it is a
+/// plain `Arc` — there is no database-wide lock to take (or to poison).
+pub type SharedDatabase = Arc<HybridDatabase>;
 
 enum Command {
     Enqueue(String, MergePartition),
@@ -565,16 +625,18 @@ enum Command {
 
 /// Handle to a [`MaintenanceWorker`] running on its own `std::thread`
 /// against a [`SharedDatabase`] — the multi-core execution mode. Queries
-/// and merge slices interleave at mutex granularity: the worker takes the
-/// lock for one bounded slice and releases it, so a query waits at most
-/// one slice (the pause the pacer bounds).
+/// and merge slices interleave at per-table latch granularity: the worker
+/// plans each slice under a shared read pin and holds the table's write
+/// latch only for one bounded remap, so a query on the merging table waits
+/// at most one slice (the pause the pacer bounds) and queries on other
+/// tables never wait at all.
 #[derive(Debug)]
 pub struct BackgroundWorker {
     tx: mpsc::Sender<Command>,
     thread: Option<std::thread::JoinHandle<WorkerStats>>,
-    /// Health mirror, updated by the thread after every tick so callers can
-    /// poll without a rendezvous.
-    health: Arc<Mutex<WorkerHealth>>,
+    /// Lock-free health mirror, updated by the thread after every tick so
+    /// callers can poll without contending with slice execution.
+    health: Arc<HealthCell>,
 }
 
 impl BackgroundWorker {
@@ -582,7 +644,7 @@ impl BackgroundWorker {
     /// for commands while its queue is idle.
     pub fn spawn(db: SharedDatabase, cfg: WorkerConfig, poll: Duration) -> Self {
         let (tx, rx) = mpsc::channel::<Command>();
-        let health = Arc::new(Mutex::new(WorkerHealth::Healthy));
+        let health = Arc::new(HealthCell::default());
         let health_tx = health.clone();
         let thread = std::thread::spawn(move || {
             let mut worker = MaintenanceWorker::new(cfg);
@@ -611,8 +673,7 @@ impl BackgroundWorker {
                             worker.enqueue(&t, partition);
                         }
                         Command::Retract(t) => {
-                            let mut db = lock_database(&db);
-                            let _ = worker.retract(&mut db, &t);
+                            let _ = worker.retract(&db, &t);
                         }
                         Command::Latency(ms) => worker.observe_query_latency(ms),
                         Command::Stop { drain } => {
@@ -629,22 +690,14 @@ impl BackgroundWorker {
                     }
                     continue;
                 }
-                // One bounded slice under the lock, then release — and
-                // yield, so a serving thread parked on the (unfair) mutex
-                // actually gets it before the next slice. tick() contains
-                // slice panics internally, so the guard drops normally and
-                // the mutex is never poisoned by merge work.
-                {
-                    let mut guard = lock_database(&db);
-                    let _ = worker.tick(&mut guard);
-                }
-                if !worker.health().is_healthy() {
-                    let mut h = health_tx
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    if h.is_healthy() {
-                        *h = worker.health().clone();
-                    }
+                // One bounded slice, then yield: the slice itself holds the
+                // target table's write latch only for the budgeted remap
+                // (the plan phase runs under a shared pin), and the yield
+                // lets serving threads parked on that latch in before the
+                // next slice. tick() contains slice panics internally.
+                let _ = worker.tick(&db);
+                if let WorkerHealth::Unhealthy { reason } = worker.health() {
+                    health_tx.mark(reason);
                 }
                 std::thread::yield_now();
             }
@@ -657,13 +710,11 @@ impl BackgroundWorker {
     }
 
     /// Poll the worker's health: [`WorkerHealth::Unhealthy`] (sticky) after
-    /// any contained slice panic on the worker thread. The database itself
-    /// stays usable either way.
+    /// any contained slice panic on the worker thread. Lock-free — polling
+    /// never contends with slice execution. The database itself stays
+    /// usable either way.
     pub fn health(&self) -> WorkerHealth {
-        self.health
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+        self.health.get()
     }
 
     /// Enqueue a merge job for the `partition` region of `table`.
@@ -693,18 +744,10 @@ impl BackgroundWorker {
             Some(t) => match t.join() {
                 Ok(stats) => stats,
                 Err(payload) => {
-                    let mut h = self
-                        .health
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    if h.is_healthy() {
-                        *h = WorkerHealth::Unhealthy {
-                            reason: format!(
-                                "worker thread panicked: {}",
-                                panic_message(payload.as_ref())
-                            ),
-                        };
-                    }
+                    self.health.mark(&format!(
+                        "worker thread panicked: {}",
+                        panic_message(payload.as_ref())
+                    ));
                     WorkerStats::default()
                 }
             },
@@ -730,11 +773,16 @@ mod tests {
     use hsd_storage::{ColRange, StoreKind};
     use hsd_types::{ColumnDef, ColumnType, TableSchema, Value};
 
-    fn column_db(rows: i64) -> HybridDatabase {
-        let mut db = HybridDatabase::new();
+    fn column_db_named(name: &str, rows: i64) -> HybridDatabase {
+        let db = HybridDatabase::new();
+        add_column_table(&db, name, rows);
+        db
+    }
+
+    fn add_column_table(db: &HybridDatabase, name: &str, rows: i64) {
         db.create_single(
             TableSchema::new(
-                "t",
+                name,
                 vec![
                     ColumnDef::new("id", ColumnType::BigInt),
                     ColumnDef::new("a", ColumnType::Double),
@@ -747,7 +795,7 @@ mod tests {
         )
         .unwrap();
         db.bulk_load(
-            "t",
+            name,
             (0..rows).map(|i| {
                 vec![
                     Value::BigInt(i),
@@ -758,13 +806,16 @@ mod tests {
         )
         .unwrap();
         db.set_merge_config(MergeConfig::disabled());
-        db
     }
 
-    fn grow_tail(db: &mut HybridDatabase, n: usize) {
+    fn column_db(rows: i64) -> HybridDatabase {
+        column_db_named("t", rows)
+    }
+
+    fn grow_tail_on(db: &HybridDatabase, table: &str, n: usize) {
         for i in 0..n {
             db.execute(&Query::Update(UpdateQuery {
-                table: "t".into(),
+                table: table.into(),
                 sets: vec![(1, Value::Double(50_000.0 + i as f64))],
                 filter: vec![ColRange::eq(0, Value::BigInt(i as i64))],
             }))
@@ -772,7 +823,11 @@ mod tests {
         }
     }
 
-    fn checksum(db: &mut HybridDatabase) -> f64 {
+    fn grow_tail(db: &HybridDatabase, n: usize) {
+        grow_tail_on(db, "t", n);
+    }
+
+    fn checksum(db: &HybridDatabase) -> f64 {
         let out = db
             .execute(&Query::Aggregate(AggregateQuery::simple(
                 "t",
@@ -794,9 +849,9 @@ mod tests {
 
     #[test]
     fn worker_drains_queue_in_bounded_slices_with_consistent_reads() {
-        let mut db = column_db(100);
-        grow_tail(&mut db, 40);
-        let expected = checksum(&mut db);
+        let db = column_db(100);
+        grow_tail(&db, 40);
+        let expected = checksum(&db);
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
             ..WorkerConfig::default()
@@ -807,12 +862,12 @@ mod tests {
             "duplicate jobs are rejected"
         );
         let mut slices = 0;
-        while let Some(report) = worker.tick(&mut db).unwrap() {
+        while let Some(report) = worker.tick(&db).unwrap() {
             slices += 1;
             assert!(report.budget <= 64);
             assert!(report.progress.rows_remapped <= report.budget);
             // Reads between slices stay consistent.
-            assert_eq!(checksum(&mut db), expected);
+            assert_eq!(checksum(&db), expected);
             worker.observe_query_latency(0.01);
             assert!(slices < 10_000, "worker must terminate");
         }
@@ -826,6 +881,50 @@ mod tests {
             s.rows_remapped >= 100,
             "every row was remapped at least once"
         );
+    }
+
+    /// The priority queue orders by accrued-penalty-per-row: with two
+    /// tables queued FIFO in the "wrong" order, the worker slices the one
+    /// whose tail-per-row score is higher first, and only then drains the
+    /// other.
+    #[test]
+    fn worker_prioritizes_highest_penalty_per_row_job() {
+        let db = column_db_named("calm", 4_000);
+        add_column_table(&db, "urgent", 100);
+        grow_tail_on(&db, "calm", 5); // tiny tail over many rows
+        grow_tail_on(&db, "urgent", 40); // big tail over few rows
+        let mut worker = MaintenanceWorker::new(WorkerConfig {
+            pacer: small_pacer(),
+            ..WorkerConfig::default()
+        });
+        // FIFO arrival order is calm first; priority must override it.
+        assert!(worker.enqueue("calm", MergePartition::Whole));
+        assert!(worker.enqueue("urgent", MergePartition::Whole));
+        let first = worker.tick(&db).unwrap().unwrap();
+        assert_eq!(
+            first.table, "urgent",
+            "the higher tail-per-row table is sliced first"
+        );
+        // "urgent" completes before "calm" gets its first slice.
+        let mut urgent_done_at = None;
+        let mut slices = 1;
+        while let Some(report) = worker.tick(&db).unwrap() {
+            slices += 1;
+            if report.table == "calm" {
+                assert!(
+                    urgent_done_at.is_some(),
+                    "calm must not be sliced while urgent is pending"
+                );
+            }
+            if report.table == "urgent" && report.progress.done {
+                urgent_done_at = Some(slices);
+            }
+            assert!(slices < 10_000, "worker must terminate");
+        }
+        assert!(worker.is_idle());
+        assert_eq!(db.delta_tail("urgent").unwrap(), 0);
+        assert_eq!(db.delta_tail("calm").unwrap(), 0);
+        assert_eq!(worker.stats().jobs_completed, 2);
     }
 
     #[test]
@@ -913,36 +1012,36 @@ mod tests {
 
     #[test]
     fn retract_cancels_in_flight_job() {
-        let mut db = column_db(200);
-        grow_tail(&mut db, 30);
-        let expected = checksum(&mut db);
+        let db = column_db(200);
+        grow_tail(&db, 30);
+        let expected = checksum(&db);
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
             ..WorkerConfig::default()
         });
         worker.enqueue("t", MergePartition::Whole);
         // Start the merge but do not finish it.
-        let report = worker.tick(&mut db).unwrap().unwrap();
+        let report = worker.tick(&db).unwrap().unwrap();
         assert!(!report.progress.done);
         assert!(db.merge_in_progress("t").unwrap());
         let epoch = db.merge_epoch("t").unwrap();
-        assert!(worker.retract(&mut db, "t").unwrap());
+        assert!(worker.retract(&db, "t").unwrap());
         assert!(worker.is_idle());
         assert!(!db.merge_in_progress("t").unwrap());
         assert_eq!(db.merge_epoch("t").unwrap(), epoch, "no handoff happened");
         assert!(db.delta_tail("t").unwrap() > 0, "tail kept (merge undone)");
-        assert_eq!(checksum(&mut db), expected, "no data was lost");
+        assert_eq!(checksum(&db), expected, "no data was lost");
         assert_eq!(worker.stats().jobs_retracted, 1);
         // Retracting an unknown job is a no-op.
-        assert!(!worker.retract(&mut db, "t").unwrap());
+        assert!(!worker.retract(&db, "t").unwrap());
     }
 
     #[test]
-    fn threaded_worker_interleaves_with_queries_under_the_lock() {
-        let mut db = column_db(300);
-        grow_tail(&mut db, 60);
-        let expected = checksum(&mut db);
-        let shared: SharedDatabase = Arc::new(Mutex::new(db));
+    fn threaded_worker_interleaves_with_queries_without_a_global_lock() {
+        let db = column_db(300);
+        grow_tail(&db, 60);
+        let expected = checksum(&db);
+        let shared: SharedDatabase = Arc::new(db);
         let worker = BackgroundWorker::spawn(
             shared.clone(),
             WorkerConfig {
@@ -955,29 +1054,25 @@ mod tests {
         // Serve queries from this thread while the worker slices away.
         for _ in 0..50 {
             let start = std::time::Instant::now();
-            let c = {
-                let mut guard = lock_database(&shared);
-                checksum(&mut guard)
-            };
+            let c = checksum(&shared);
             assert_eq!(c, expected);
             worker.observe_query_latency(start.elapsed().as_secs_f64() * 1e3);
         }
         let stats = worker.stop(true);
         assert_eq!(stats.jobs_completed, 1);
         assert_eq!(stats.entries_folded, 60);
-        let mut guard = lock_database(&shared);
-        assert_eq!(guard.delta_tail("t").unwrap(), 0);
-        assert_eq!(checksum(&mut guard), expected);
+        assert_eq!(shared.delta_tail("t").unwrap(), 0);
+        assert_eq!(checksum(&shared), expected);
     }
 
     #[test]
     fn tick_on_unknown_table_drops_the_job() {
-        let mut db = column_db(10);
+        let db = column_db(10);
         let mut worker = MaintenanceWorker::default();
         worker.enqueue("nope", MergePartition::Whole);
-        assert!(worker.tick(&mut db).is_err());
+        assert!(worker.tick(&db).is_err());
         assert!(worker.is_idle(), "the moot job is dropped");
-        assert!(worker.tick(&mut db).unwrap().is_none());
+        assert!(worker.tick(&db).unwrap().is_none());
     }
 
     /// Jobs are keyed by `(table, partition)`: a cold-fragment merge and a
@@ -986,7 +1081,7 @@ mod tests {
     /// table-level and clears both.
     #[test]
     fn jobs_are_keyed_by_table_and_partition() {
-        let mut db = column_db(20);
+        let db = column_db(20);
         let mut worker = MaintenanceWorker::default();
         assert!(worker.enqueue("t", MergePartition::Cold));
         assert!(
@@ -1002,12 +1097,13 @@ mod tests {
         assert!(worker.has_job("t", MergePartition::Whole));
         assert!(!worker.has_job("u", MergePartition::Cold));
         assert!(worker.has_job_for_table("t"));
-        // Ticking drains the jobs in FIFO order, reporting each region.
-        let first = worker.tick(&mut db).unwrap().unwrap();
+        // Equal scores (same table) fall back to FIFO: the cold-fragment
+        // job queued first runs first.
+        let first = worker.tick(&db).unwrap().unwrap();
         assert_eq!(first.table, "t");
         assert_eq!(first.partition, MergePartition::Cold);
         // Retraction removes every remaining job for the table.
-        assert!(worker.retract(&mut db, "t").unwrap());
+        assert!(worker.retract(&db, "t").unwrap());
         assert!(worker.is_idle());
         assert!(!worker.has_job_for_table("t"));
     }
@@ -1082,9 +1178,9 @@ mod tests {
 
     #[test]
     fn slice_panic_is_contained_and_marks_worker_unhealthy() {
-        let mut db = column_db(100);
-        grow_tail(&mut db, 20);
-        let expected = checksum(&mut db);
+        let db = column_db(100);
+        grow_tail(&db, 20);
+        let expected = checksum(&db);
         let mut worker = MaintenanceWorker::new(WorkerConfig {
             pacer: small_pacer(),
             fault_slice_panics: 1,
@@ -1092,29 +1188,29 @@ mod tests {
         worker.enqueue("t", MergePartition::Whole);
         assert!(worker.health().is_healthy());
         // The injected panic surfaces as an error, not an unwind.
-        let err = worker.tick(&mut db).unwrap_err();
+        let err = worker.tick(&db).unwrap_err();
         assert!(err.to_string().contains("panicked"), "{err}");
         assert!(!worker.health().is_healthy());
         assert_eq!(worker.stats().slice_panics, 1);
         assert!(worker.is_idle(), "the panicking job is dropped");
         // The database is fully usable afterwards: reads, writes, and a
         // re-enqueued merge all succeed.
-        assert_eq!(checksum(&mut db), expected);
+        assert_eq!(checksum(&db), expected);
         assert!(!db.merge_in_progress("t").unwrap());
         worker.enqueue("t", MergePartition::Whole);
-        while worker.tick(&mut db).unwrap().is_some() {}
+        while worker.tick(&db).unwrap().is_some() {}
         assert_eq!(db.delta_tail("t").unwrap(), 0);
-        assert_eq!(checksum(&mut db), expected);
+        assert_eq!(checksum(&db), expected);
         // Health stays sticky even after successful slices.
         assert!(!worker.health().is_healthy());
     }
 
     #[test]
-    fn threaded_slice_panic_does_not_poison_the_shared_database() {
-        let mut db = column_db(100);
-        grow_tail(&mut db, 30);
-        let expected = checksum(&mut db);
-        let shared: SharedDatabase = Arc::new(Mutex::new(db));
+    fn threaded_slice_panic_leaves_the_shared_database_usable() {
+        let db = column_db(100);
+        grow_tail(&db, 30);
+        let expected = checksum(&db);
+        let shared: SharedDatabase = Arc::new(db);
         let worker = BackgroundWorker::spawn(
             shared.clone(),
             WorkerConfig {
@@ -1124,7 +1220,8 @@ mod tests {
             Duration::from_millis(1),
         );
         worker.enqueue("t", MergePartition::Whole);
-        // Poll until the panics happened and the health mirror flipped.
+        // Poll until the panics happened and the health mirror flipped —
+        // the lock-free poll itself never blocks on the worker.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while worker.health().is_healthy() {
             assert!(
@@ -1133,34 +1230,14 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(1));
         }
-        // The mutex is not poisoned and the database still answers.
-        {
-            let mut guard = lock_database(&shared);
-            assert_eq!(checksum(&mut guard), expected);
-        }
+        // The database still answers (no global lock existed to poison).
+        assert_eq!(checksum(&shared), expected);
         // The worker thread survived the injected panic: it still
         // processes work and joins cleanly.
         worker.enqueue("t", MergePartition::Whole);
         let stats = worker.stop(true);
         assert_eq!(stats.slice_panics, 1);
-        let mut guard = lock_database(&shared);
-        assert_eq!(guard.delta_tail("t").unwrap(), 0);
-        assert_eq!(checksum(&mut guard), expected);
-    }
-
-    #[test]
-    fn lock_database_recovers_a_mutex_poisoned_by_a_user_thread() {
-        let db = column_db(10);
-        let shared: SharedDatabase = Arc::new(Mutex::new(db));
-        let poisoner = shared.clone();
-        let _ = std::thread::spawn(move || {
-            let _guard = poisoner.lock().unwrap();
-            panic!("user thread dies while holding the lock");
-        })
-        .join();
-        assert!(shared.lock().is_err(), "the mutex really is poisoned");
-        let mut guard = lock_database(&shared);
-        assert_eq!(guard.row_count("t").unwrap(), 10);
-        checksum(&mut guard);
+        assert_eq!(shared.delta_tail("t").unwrap(), 0);
+        assert_eq!(checksum(&shared), expected);
     }
 }

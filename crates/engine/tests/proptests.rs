@@ -27,7 +27,7 @@ fn schema() -> TableSchema {
 }
 
 fn db_with(placement: &TablePlacement) -> HybridDatabase {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(schema(), StoreKind::Row).unwrap();
     db.bulk_load(
         "t",
@@ -41,7 +41,7 @@ fn db_with(placement: &TablePlacement) -> HybridDatabase {
         }),
     )
     .unwrap();
-    mover::move_table(&mut db, "t", placement).unwrap();
+    mover::move_table(&db, "t", placement).unwrap();
     db
 }
 
@@ -149,7 +149,7 @@ proptest! {
         let plans = placements();
         let mut reference: Option<Vec<Option<QueryOutput>>> = None;
         for placement in &plans {
-            let mut db = db_with(placement);
+            let db = db_with(placement);
             let outputs: Vec<Option<QueryOutput>> =
                 queries.iter().map(|q| db.execute(q).ok()).collect();
             match &reference {
@@ -177,19 +177,19 @@ proptest! {
     #[test]
     fn layout_chains_preserve_contents(chain in prop::collection::vec(0usize..3, 1..5)) {
         let plans = placements();
-        let mut db = db_with(&plans[0]);
-        let checksum = |db: &mut HybridDatabase| -> f64 {
+        let db = db_with(&plans[0]);
+        let checksum = |db: &HybridDatabase| -> f64 {
             let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
             match db.execute(&q).unwrap() {
                 QueryOutput::Aggregates(g) => g[0].values[0],
                 other => panic!("unexpected {other:?}"),
             }
         };
-        let before = checksum(&mut db);
+        let before = checksum(&db);
         for idx in chain {
-            mover::move_table(&mut db, "t", &plans[idx]).unwrap();
+            mover::move_table(&db, "t", &plans[idx]).unwrap();
             prop_assert_eq!(db.row_count("t").unwrap(), ROWS as usize);
-            let after = checksum(&mut db);
+            let after = checksum(&db);
             prop_assert!((before - after).abs() < 1e-9);
         }
     }
@@ -199,9 +199,9 @@ proptest! {
 #[test]
 fn catalog_annotation_tracks_moves() {
     let plans = placements();
-    let mut db = db_with(&plans[0]);
+    let db = db_with(&plans[0]);
     for p in &plans {
-        mover::move_table(&mut db, "t", p).unwrap();
+        mover::move_table(&db, "t", p).unwrap();
         assert_eq!(&db.catalog().entry_by_name("t").unwrap().placement, p);
         assert_eq!(db.current_layout().placement("t"), p.clone());
     }

@@ -153,6 +153,41 @@ struct PendingMerge {
     folding: usize,
 }
 
+/// A dictionary rebuild prepared **off the write path**, ready to be
+/// installed as an incremental merge.
+///
+/// [`ColumnData::plan_merge`] computes the sort-heavy half of
+/// [`ColumnData::begin_merge`] — the rebuilt dictionary and the
+/// old-code → new-code remapping — through `&self`, so a maintenance
+/// thread can do that work under a shared read pin while scans proceed.
+/// [`ColumnData::install_merge_plan`] then adopts the plan under the
+/// (brief) exclusive latch, after validating it is not stale.
+///
+/// Staleness is judged by the merge epoch alone: writes between plan and
+/// install only *append* to the dictionary tail, so the planned remapping
+/// stays correct for every code it covers and later-interned codes are
+/// translated lazily (`PendingMerge::translate`), exactly as writes
+/// during an in-flight merge are. Only a dictionary handoff (epoch bump)
+/// or an already-pending merge invalidates the plan.
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    /// The rebuilt, fully sorted dictionary.
+    new_dict: Dictionary,
+    /// `old_code -> new_code` for every code that existed at plan time.
+    remap: Vec<u32>,
+    /// The column's merge epoch the plan was computed against.
+    epoch: u64,
+    /// Tail entries the plan folds (plan-time tail length).
+    folding: usize,
+}
+
+impl MergePlan {
+    /// Tail entries this plan folds when it completes.
+    pub fn folding(&self) -> usize {
+        self.folding
+    }
+}
+
 /// One dictionary-encoded column.
 #[derive(Debug, Clone)]
 pub struct ColumnData {
@@ -314,6 +349,42 @@ impl ColumnData {
             new_codes: self.codes.like(),
             cursor: 0,
             folding: self.dict.tail_len(),
+        });
+        true
+    }
+
+    /// Compute a [`MergePlan`] for this column's dictionary tail through
+    /// `&self` — the concurrent-read half of [`ColumnData::begin_merge`].
+    /// Returns `None` when there is nothing to merge (empty tail) or a
+    /// merge is already in flight.
+    pub fn plan_merge(&self) -> Option<MergePlan> {
+        if self.pending.is_some() {
+            return None;
+        }
+        let (new_dict, remap) = self.dict.rebuild_plan()?;
+        Some(MergePlan {
+            new_dict,
+            remap,
+            epoch: self.epoch,
+            folding: self.dict.tail_len(),
+        })
+    }
+
+    /// Adopt a previously computed [`MergePlan`] as the in-flight
+    /// incremental merge (the install half of [`ColumnData::begin_merge`];
+    /// call under the exclusive latch). Returns `false` — discarding the
+    /// plan — when it is stale: the epoch moved (a dictionary handoff
+    /// completed since planning) or another merge is already pending.
+    pub fn install_merge_plan(&mut self, plan: MergePlan) -> bool {
+        if plan.epoch != self.epoch || self.pending.is_some() {
+            return false;
+        }
+        self.pending = Some(PendingMerge {
+            new_dict: plan.new_dict,
+            remap: plan.remap,
+            new_codes: self.codes.like(),
+            cursor: 0,
+            folding: plan.folding,
         });
         true
     }
@@ -943,6 +1014,30 @@ impl ColumnTable {
             .iter()
             .any(|c| c.merge_in_progress() || c.tail_len() > 0);
         total
+    }
+
+    /// Compute [`MergePlan`]s for every column with a dictionary tail and
+    /// no in-flight merge, through `&self` (the concurrent-read phase of a
+    /// two-phase merge slice). Columns with nothing to fold are skipped.
+    pub fn plan_compact(&self) -> Vec<(ColumnIdx, MergePlan)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, col)| col.plan_merge().map(|p| (i, p)))
+            .collect()
+    }
+
+    /// Adopt previously computed plans as in-flight incremental merges
+    /// (call under the exclusive latch); stale plans are discarded per
+    /// [`ColumnData::install_merge_plan`]. Returns how many installed.
+    pub fn install_plans(&mut self, plans: Vec<(ColumnIdx, MergePlan)>) -> usize {
+        let mut installed = 0;
+        for (i, plan) in plans {
+            if let Some(col) = self.columns.get_mut(i) {
+                installed += col.install_merge_plan(plan) as usize;
+            }
+        }
+        installed
     }
 
     /// Whether any column has an incremental merge in flight.

@@ -69,7 +69,7 @@ pub mod table;
 pub mod wal;
 
 pub use bitpack::{BitPackedVec, BLOCK};
-pub use column_store::{ColumnData, ColumnTable, MergeProgress};
+pub use column_store::{ColumnData, ColumnTable, MergePlan, MergeProgress};
 pub use dictionary::Dictionary;
 pub use predicate::{ColRange, RowSel};
 pub use row_store::RowTable;

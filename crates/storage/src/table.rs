@@ -223,6 +223,24 @@ impl Table {
         }
     }
 
+    /// Compute merge plans for every tailed column through `&self` (empty
+    /// for row-store tables; see [`crate::ColumnTable::plan_compact`]).
+    pub fn plan_delta_merge(&self) -> Vec<(ColumnIdx, crate::MergePlan)> {
+        match self {
+            Table::Row(_) => Vec::new(),
+            Table::Column(t) => t.plan_compact(),
+        }
+    }
+
+    /// Adopt previously computed merge plans (no-op for row-store tables);
+    /// returns how many installed.
+    pub fn install_delta_plans(&mut self, plans: Vec<(ColumnIdx, crate::MergePlan)>) -> usize {
+        match self {
+            Table::Row(_) => 0,
+            Table::Column(t) => t.install_plans(plans),
+        }
+    }
+
     /// Whether an incremental delta merge is in flight (always `false` for
     /// row-store tables).
     pub fn merge_in_progress(&self) -> bool {

@@ -200,6 +200,24 @@ pub trait WalBackend: Send + fmt::Debug {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// A detachable device-sync half, if the backend can sync concurrently
+    /// with appends (a file can: fsync on a duplicated descriptor flushes
+    /// the same inode the append path keeps writing). `None` means syncs
+    /// must serialize with appends through `&mut self`. Group commit uses
+    /// the handle to fsync *outside* the append lock, so one sync covers a
+    /// whole batch of concurrently appended records.
+    fn sync_handle(&self) -> Option<Box<dyn WalSyncHandle>> {
+        None
+    }
+}
+
+/// Device-sync half of a [`WalBackend`], detached via
+/// [`WalBackend::sync_handle`]. A successful [`WalSyncHandle::sync`] makes
+/// every byte appended *before the call started* durable; bytes appended
+/// concurrently may or may not be covered.
+pub trait WalSyncHandle: Send + fmt::Debug {
+    /// Flush the backend's appended bytes to durable storage.
+    fn sync(&mut self) -> io::Result<()>;
 }
 
 /// Real-file backend: appends to a [`File`], syncing with `sync_data`.
@@ -258,6 +276,23 @@ impl WalBackend for FileBackend {
     fn len(&self) -> u64 {
         self.len
     }
+
+    fn sync_handle(&self) -> Option<Box<dyn WalSyncHandle>> {
+        let file = self.file.try_clone().ok()?;
+        Some(Box::new(FileSyncHandle { file }))
+    }
+}
+
+/// `sync_data` on a duplicated descriptor of a [`FileBackend`]'s file.
+#[derive(Debug)]
+struct FileSyncHandle {
+    file: File,
+}
+
+impl WalSyncHandle for FileSyncHandle {
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
 }
 
 /// In-memory backend over shared bytes, so a test harness can snapshot the
@@ -301,6 +336,20 @@ impl WalBackend for MemBackend {
 
     fn len(&self) -> u64 {
         self.bytes.lock().unwrap_or_else(|p| p.into_inner()).len() as u64
+    }
+
+    fn sync_handle(&self) -> Option<Box<dyn WalSyncHandle>> {
+        // Memory is "durable" the moment it is appended.
+        Some(Box::new(NoopSyncHandle))
+    }
+}
+
+#[derive(Debug)]
+struct NoopSyncHandle;
+
+impl WalSyncHandle for NoopSyncHandle {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -490,6 +539,25 @@ impl WalWriter {
     /// record is *committed* (replayable) once this returns `Ok`; it is
     /// *durable* once the next sync per [`SyncPolicy`] lands.
     pub fn append(&mut self, table_tag: u32, payload: &[u8]) -> io::Result<u64> {
+        let len = self.append_unsynced(table_tag, payload)?;
+        match self.sync {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Manual => {}
+        }
+        Ok(len)
+    }
+
+    /// Append one record *without* applying the sync policy: the record is
+    /// committed but its durability is the caller's responsibility. This is
+    /// the building block of cross-thread group commit — one later
+    /// [`WalWriter::sync`] covers every record appended before it, so
+    /// concurrent writers coalesce their fsyncs instead of paying one each.
+    pub fn append_unsynced(&mut self, table_tag: u32, payload: &[u8]) -> io::Result<u64> {
         let frame = encode_frame(table_tag, payload);
         let mut off = 0usize;
         let mut retries = 0u32;
@@ -519,16 +587,28 @@ impl WalWriter {
         self.stats.frame_bytes += frame.len() as u64;
         self.stats.payload_bytes += payload.len() as u64;
         self.unsynced += 1;
-        match self.sync {
-            SyncPolicy::Always => self.sync()?,
-            SyncPolicy::EveryN(n) => {
-                if self.unsynced >= n.max(1) {
-                    self.sync()?;
-                }
-            }
-            SyncPolicy::Manual => {}
-        }
         Ok(self.backend.len())
+    }
+
+    /// The writer's configured sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    /// Detachable device-sync handle, when the backend supports syncing
+    /// concurrently with appends (see [`WalBackend::sync_handle`]).
+    pub fn sync_handle(&self) -> Option<Box<dyn WalSyncHandle>> {
+        self.backend.sync_handle()
+    }
+
+    /// Record that an external [`WalSyncHandle::sync`] completed: count it
+    /// and reset the unsynced-record batch (the handle's sync covered every
+    /// record appended before it started; treating later concurrent appends
+    /// as covered only affects [`SyncPolicy::EveryN`] batch accounting,
+    /// and group commit is used with [`SyncPolicy::Always`]).
+    pub fn note_external_sync(&mut self) {
+        self.stats.syncs += 1;
+        self.unsynced = 0;
     }
 
     /// Sync the backend now (flushes the current fsync batch).

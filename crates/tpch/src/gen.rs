@@ -332,7 +332,7 @@ impl TpchGenerator {
     /// Create all tables in `db` (using `placement_of`) and load the data.
     pub fn load_into(
         &self,
-        db: &mut HybridDatabase,
+        db: &HybridDatabase,
         placement_of: impl Fn(&str) -> TablePlacement,
     ) -> Result<()> {
         for schema in schema::all()? {
@@ -363,7 +363,7 @@ impl TpchGenerator {
     }
 
     /// Load with every table in one store (the RS-only / CS-only baselines).
-    pub fn load_uniform(&self, db: &mut HybridDatabase, store: StoreKind) -> Result<()> {
+    pub fn load_uniform(&self, db: &HybridDatabase, store: StoreKind) -> Result<()> {
         self.load_into(db, |_| TablePlacement::Single(store))
     }
 }
@@ -449,14 +449,15 @@ mod tests {
     #[test]
     fn load_into_database() {
         let g = g();
-        let mut db = HybridDatabase::new();
-        g.load_uniform(&mut db, StoreKind::Column).unwrap();
+        let db = HybridDatabase::new();
+        g.load_uniform(&db, StoreKind::Column).unwrap();
         assert_eq!(db.row_count("region").unwrap(), 5);
         assert_eq!(db.row_count("nation").unwrap(), 25);
         assert_eq!(db.row_count("orders").unwrap(), g.orders());
         assert_eq!(db.row_count("lineitem").unwrap(), g.lineitems());
         // dates are plausible
-        let stats = &db.catalog().entry_by_name("orders").unwrap().stats;
+        let catalog = db.catalog();
+        let stats = &catalog.entry_by_name("orders").unwrap().stats;
         match (&stats.columns[4].min, &stats.columns[4].max) {
             (Some(Value::Date(lo)), Some(Value::Date(hi))) => {
                 assert!(*lo >= DATE_LO && *hi <= DATE_LO + DATE_SPAN as i32);

@@ -14,7 +14,7 @@ use hybrid_store_advisor::prelude::*;
 
 fn main() -> hybrid_store_advisor::types::Result<()> {
     let spec = TableSpec::paper_wide("events", 40_000, 7);
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema()?, StoreKind::Row)?;
     db.bulk_load("events", spec.rows())?;
     // The online advisor is the merge scheduler; the engine keeps no
@@ -51,7 +51,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             println!("unexpected adaptation: {:?}", a.changed_tables);
         }
         for action in online.take_maintenance() {
-            let folded = action.apply(&mut db)?;
+            let folded = action.apply(&db)?;
             merges += 1;
             println!("scheduled merge applied ({folded} tail entries folded)");
         }
@@ -80,7 +80,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     for q in &olap.queries {
         db.execute(q)?;
         for action in online.take_maintenance() {
-            let folded = action.apply(&mut db)?;
+            let folded = action.apply(&db)?;
             merges += 1;
             println!("scheduled merge applied ({folded} tail entries folded)");
         }
@@ -93,7 +93,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             for stmt in &adaptation.recommendation.statements {
                 println!("  {stmt}");
             }
-            let moved = online.apply(&mut db, &adaptation)?;
+            let moved = online.apply(&db, &adaptation)?;
             println!("applied; moved {moved:?}");
             applied = true;
             break;
@@ -102,7 +102,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     if !applied {
         println!("no interval evaluation fired an adaptation; forcing one ...");
         if let Some(adaptation) = online.evaluate(&db)? {
-            let moved = online.apply(&mut db, &adaptation)?;
+            let moved = online.apply(&db, &adaptation)?;
             println!(
                 "applied adaptation of {moved:?} (estimated improvement {:.0} %)",
                 adaptation.improvement * 100.0

@@ -54,11 +54,11 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
             }),
         ),
     ] {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(spec.schema()?, StoreKind::Row)?;
         db.bulk_load("orders", spec.rows())?;
-        mover::move_table(&mut db, "orders", &placement)?;
-        let t = runner.run(&mut db, &workload)?;
+        mover::move_table(&db, "orders", &placement)?;
+        let t = runner.run(&db, &workload)?;
         // Partitioning must be transparent: the same aggregate over all
         // partitions gives the same answer.
         let out = db.execute(&check)?;

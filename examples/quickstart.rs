@@ -18,7 +18,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     // ------------------------------------------------------------------
     let spec = TableSpec::paper_wide("sales", 50_000, 42);
     let schema = spec.schema()?;
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(schema.clone(), StoreKind::Row)?;
     db.bulk_load("sales", spec.rows())?;
     println!("loaded {} rows into the row store", db.row_count("sales")?);
@@ -36,7 +36,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
         },
     );
     let runner = WorkloadRunner::new();
-    let before = runner.run(&mut db, &workload)?;
+    let before = runner.run(&db, &workload)?;
     println!("workload on current layout: {:.1} ms", before.total_ms());
 
     // ------------------------------------------------------------------
@@ -58,12 +58,12 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     //    workload inserts rows, so re-running it needs pristine data) and
     //    measure again.
     // ------------------------------------------------------------------
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema()?, StoreKind::Row)?;
     db.bulk_load("sales", spec.rows())?;
-    let moved = mover::apply_layout(&mut db, &rec.layout)?;
+    let moved = mover::apply_layout(&db, &rec.layout)?;
     println!("moved tables: {moved:?}");
-    let after = runner.run(&mut db, &workload)?;
+    let after = runner.run(&db, &workload)?;
     println!("workload on recommended layout: {:.1} ms", after.total_ms());
     println!(
         "speedup: {:.2}x",

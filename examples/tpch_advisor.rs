@@ -34,8 +34,8 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     // Baselines.
     let mut baseline_stats = None;
     for store in [StoreKind::Row, StoreKind::Column] {
-        let mut db = HybridDatabase::new();
-        g.load_uniform(&mut db, store)?;
+        let db = HybridDatabase::new();
+        g.load_uniform(&db, store)?;
         if baseline_stats.is_none() {
             baseline_stats = Some(
                 db.catalog()
@@ -45,7 +45,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
                     .collect::<std::collections::BTreeMap<_, _>>(),
             );
         }
-        let t = runner.run(&mut db, &workload)?;
+        let t = runner.run(&db, &workload)?;
         println!("all tables in {store}: {:.1} ms", t.total_ms());
     }
 
@@ -59,10 +59,10 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
     println!("{}", report::render(&rec));
 
     // Apply and measure the recommended layout.
-    let mut db = HybridDatabase::new();
-    g.load_uniform(&mut db, StoreKind::Row)?;
-    mover::apply_layout(&mut db, &rec.layout)?;
-    let t = runner.run(&mut db, &workload)?;
+    let db = HybridDatabase::new();
+    g.load_uniform(&db, StoreKind::Row)?;
+    mover::apply_layout(&db, &rec.layout)?;
+    let t = runner.run(&db, &workload)?;
     println!("recommended layout: {:.1} ms", t.total_ms());
     Ok(())
 }

@@ -23,7 +23,7 @@
 //! use hybrid_store_advisor::prelude::*;
 //!
 //! // A hybrid database with a column-store table.
-//! let mut db = HybridDatabase::new();
+//! let db = HybridDatabase::new();
 //! let schema = TableSchema::new(
 //!     "orders",
 //!     vec![
@@ -66,9 +66,9 @@ pub mod prelude {
         MergePartition, OnlineAdvisor, OnlineConfig, Recommendation, StorageAdvisor,
     };
     pub use hsd_engine::{
-        lock_database, mover, BackgroundWorker, DegradedTable, DurabilityConfig, HybridDatabase,
-        MaintenanceWorker, MergeConfig, MergeMode, PacerConfig, RecoveryReport, StatisticsRecorder,
-        WorkerConfig, WorkerHealth, WorkloadRunner,
+        mover, BackgroundWorker, DegradedTable, DurabilityConfig, HybridDatabase,
+        MaintenanceWorker, MergeConfig, MergeMode, PacerConfig, RecoveryReport, SharedDatabase,
+        StatisticsRecorder, WorkerConfig, WorkerHealth, WorkloadRunner,
     };
     pub use hsd_query::{
         AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, MixedWorkloadConfig, Query,

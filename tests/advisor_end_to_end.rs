@@ -42,7 +42,7 @@ fn spec() -> TableSpec {
 }
 
 fn stats_for(spec: &TableSpec) -> BTreeMap<String, TableStats> {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema().unwrap(), StoreKind::Column)
         .unwrap();
     db.bulk_load(&spec.name, spec.rows()).unwrap();
@@ -125,12 +125,12 @@ fn report_renders_and_statements_apply() {
     assert!(!rec.statements.is_empty());
 
     // Applying the recommended layout preserves the data.
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(s.schema().unwrap(), StoreKind::Row)
         .unwrap();
     db.bulk_load("t", s.rows()).unwrap();
     let before = db.row_count("t").unwrap();
-    mover::apply_layout(&mut db, &rec.layout).unwrap();
+    mover::apply_layout(&db, &rec.layout).unwrap();
     assert_eq!(db.row_count("t").unwrap(), before);
     let check = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Count, 0));
     let out = db.execute(&check).unwrap();
@@ -140,7 +140,7 @@ fn report_renders_and_statements_apply() {
 #[test]
 fn online_adaptation_through_facade() {
     let s = spec();
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(s.schema().unwrap(), StoreKind::Row)
         .unwrap();
     db.bulk_load("t", s.rows()).unwrap();
@@ -173,7 +173,7 @@ fn online_adaptation_through_facade() {
     }
     let a = adaptation.expect("analytical burst must trigger adaptation");
     assert_eq!(a.changed_tables, vec!["t".to_string()]);
-    online.apply(&mut db, &a).unwrap();
+    online.apply(&db, &a).unwrap();
     assert_eq!(
         db.catalog().single_store_of("t").unwrap(),
         StoreKind::Column
@@ -186,8 +186,8 @@ fn tpch_recommendation_matches_paper_expectations() {
         generate_workload, schema, TpchGenerator, TpchWorkloadConfig,
     };
     let g = TpchGenerator::new(0.001, 2);
-    let mut db = HybridDatabase::new();
-    g.load_uniform(&mut db, StoreKind::Row).unwrap();
+    let db = HybridDatabase::new();
+    g.load_uniform(&db, StoreKind::Row).unwrap();
     let stats: BTreeMap<String, TableStats> = db
         .catalog()
         .entries()
@@ -245,7 +245,7 @@ fn tpch_recommendation_matches_paper_expectations() {
         .iter()
         .map(|t| (t.clone(), db.row_count(t).unwrap()))
         .collect();
-    mover::apply_layout(&mut db, &rec_p.layout).unwrap();
+    mover::apply_layout(&db, &rec_p.layout).unwrap();
     for (t, n) in counts {
         assert_eq!(
             db.row_count(&t).unwrap(),
@@ -254,7 +254,7 @@ fn tpch_recommendation_matches_paper_expectations() {
         );
     }
     // And the workload still runs.
-    let mut runner_db = db;
+    let runner_db = db;
     for q in w.queries.iter().take(300) {
         runner_db.execute(q).unwrap();
     }

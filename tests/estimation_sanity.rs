@@ -21,7 +21,7 @@ fn calibrated_estimates_track_measured_runtimes() {
     for rows in [10_000usize, 30_000] {
         let spec = wide(rows);
         for store in [StoreKind::Row, StoreKind::Column] {
-            let mut db = HybridDatabase::new();
+            let db = HybridDatabase::new();
             db.create_single(spec.schema().unwrap(), store).unwrap();
             db.bulk_load("t", spec.rows()).unwrap();
             let schemas = vec![Arc::new(spec.schema().unwrap())];
@@ -36,7 +36,7 @@ fn calibrated_estimates_track_measured_runtimes() {
                 [("t".to_string(), store)].into_iter().collect();
             let q = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, spec.kf_col(0)));
             let est = estimate_query(&model, &ctx, &assignment, &q);
-            let run = runner.time_query(&mut db, &q, 5).unwrap().as_secs_f64() * 1e3;
+            let run = runner.time_query(&db, &q, 5).unwrap().as_secs_f64() * 1e3;
             let ratio = est / run;
             assert!(
                 (0.2..=5.0).contains(&ratio),
@@ -53,7 +53,7 @@ fn advisor_is_argmin_of_estimates_with_calibrated_model() {
     let advisor = StorageAdvisor::new(model);
     let spec = wide(20_000);
     let schema = Arc::new(spec.schema().unwrap());
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema().unwrap(), StoreKind::Column)
         .unwrap();
     db.bulk_load("t", spec.rows()).unwrap();

@@ -45,7 +45,7 @@ fn row(id: i64, salt: i64) -> Vec<Value> {
 
 /// Canonical table contents: full scan, sorted by primary key so the probe
 /// is independent of physical layout and merge state.
-fn probe(db: &mut HybridDatabase, table: &str) -> Vec<Vec<Value>> {
+fn probe(db: &HybridDatabase, table: &str) -> Vec<Vec<Value>> {
     let out = db
         .execute(&Query::Select(SelectQuery {
             table: table.into(),
@@ -75,7 +75,7 @@ enum Stmt {
     Move(TablePlacement),
 }
 
-fn apply_stmt(db: &mut HybridDatabase, s: &Stmt) {
+fn apply_stmt(db: &HybridDatabase, s: &Stmt) {
     // Failed statements (e.g. duplicate-key inserts in the random stream)
     // commit nothing and log nothing, so they leave the checkpoint as-is.
     match s {
@@ -141,7 +141,7 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
 fn wal_db() -> (HybridDatabase, MemBackend) {
     let mem = MemBackend::new();
     let image = mem.share();
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.set_merge_config(MergeConfig::disabled());
     db.attach_wal(WalWriter::new(Box::new(mem), SyncPolicy::Always));
     db.create_single(schema("t"), StoreKind::Column).unwrap();
@@ -161,13 +161,13 @@ proptest! {
     fn recovery_equals_committed_prefix_at_every_crash_point(
         stmts in prop::collection::vec(stmt_strategy(), 4..20)
     ) {
-        let (mut db, image) = wal_db();
+        let (db, image) = wal_db();
         // checkpoints[i] = (log length, probe) after the i-th committed
         // statement (index 0 = right after create + bulk load).
-        let mut checkpoints = vec![(image.snapshot().len(), probe(&mut db, "t"))];
+        let mut checkpoints = vec![(image.snapshot().len(), probe(&db, "t"))];
         for s in &stmts {
-            apply_stmt(&mut db, s);
-            checkpoints.push((image.snapshot().len(), probe(&mut db, "t")));
+            apply_stmt(&db, s);
+            checkpoints.push((image.snapshot().len(), probe(&db, "t")));
         }
         let bytes = image.snapshot();
         prop_assert_eq!(checkpoints.last().unwrap().0, bytes.len());
@@ -189,12 +189,12 @@ proptest! {
                 }
             }
             for (cut, torn) in cuts {
-                let (mut rec, report) = HybridDatabase::recover_bytes(&bytes[..cut]);
+                let (rec, report) = HybridDatabase::recover_bytes(&bytes[..cut]);
                 prop_assert_eq!(report.torn_tail.is_some(), torn, "cut at {} of {}", cut, bytes.len());
                 prop_assert_eq!(report.recovered_len, *boundary as u64);
                 prop_assert!(report.degraded.is_empty(), "unexpected degradation: {:?}", report.degraded);
                 prop_assert!(!rec.merge_in_progress("t").unwrap(), "in-flight merge survived recovery");
-                prop_assert_eq!(&probe(&mut rec, "t"), expected, "cut at {} (boundary {})", cut, boundary);
+                prop_assert_eq!(&probe(&rec, "t"), expected, "cut at {} (boundary {})", cut, boundary);
             }
         }
     }
@@ -210,25 +210,25 @@ fn recovery_sweeps_every_byte_offset() {
     // the byte sweep cuts right between them.
     let mem = MemBackend::new();
     let image = mem.share();
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.set_merge_config(MergeConfig::disabled());
     db.attach_wal(WalWriter::new(Box::new(mem), SyncPolicy::Always));
     db.create_single(schema("t"), StoreKind::Column).unwrap();
-    let mut checkpoints = vec![(image.snapshot().len(), probe(&mut db, "t"))];
+    let mut checkpoints = vec![(image.snapshot().len(), probe(&db, "t"))];
     db.bulk_load("t", (0..96).map(|i| row(i, i))).unwrap();
-    checkpoints.push((image.snapshot().len(), probe(&mut db, "t")));
+    checkpoints.push((image.snapshot().len(), probe(&db, "t")));
     for s in [
         Stmt::Insert { id: 200, salt: 3 },
         Stmt::Update { id: 10, salt: 4 },
         Stmt::Merge,
         Stmt::Insert { id: 201, salt: 5 },
     ] {
-        apply_stmt(&mut db, &s);
-        checkpoints.push((image.snapshot().len(), probe(&mut db, "t")));
+        apply_stmt(&db, &s);
+        checkpoints.push((image.snapshot().len(), probe(&db, "t")));
     }
     let bytes = image.snapshot();
     for cut in 0..=bytes.len() {
-        let (mut rec, report) = HybridDatabase::recover_bytes(&bytes[..cut]);
+        let (rec, report) = HybridDatabase::recover_bytes(&bytes[..cut]);
         let (boundary, expected) = checkpoints
             .iter()
             .rev()
@@ -241,7 +241,7 @@ fn recovery_sweeps_every_byte_offset() {
         if boundary == 0 {
             assert!(rec.table_names().is_empty());
         } else {
-            assert_eq!(probe(&mut rec, "t"), expected, "cut {cut}");
+            assert_eq!(probe(&rec, "t"), expected, "cut {cut}");
         }
     }
 }
@@ -255,7 +255,7 @@ fn recovery_sweeps_every_byte_offset() {
 fn interior_corruption_quarantines_only_the_hit_table() {
     let mem = MemBackend::new();
     let image = mem.share();
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.set_merge_config(MergeConfig::disabled());
     db.attach_wal(WalWriter::new(Box::new(mem), SyncPolicy::Always));
     db.create_single(schema("a"), StoreKind::Column).unwrap();
@@ -285,7 +285,7 @@ fn interior_corruption_quarantines_only_the_hit_table() {
         .offset as usize;
     bytes[victim + HEADER_LEN + 2] ^= 0x01;
 
-    let (mut rec, report) = HybridDatabase::recover_bytes(&bytes);
+    let (rec, report) = HybridDatabase::recover_bytes(&bytes);
     assert!(!report.is_clean());
     assert_eq!(report.degraded.len(), 1, "{:?}", report.degraded);
     assert_eq!(report.degraded[0].table, "b");
@@ -298,7 +298,7 @@ fn interior_corruption_quarantines_only_the_hit_table() {
     // `b` serves its committed prefix read-only: bulk load + insert 100
     // replayed, everything at and after the flipped record quarantined.
     assert!(rec.is_degraded("b"));
-    let b_rows = probe(&mut rec, "b");
+    let b_rows = probe(&rec, "b");
     assert_eq!(b_rows.len(), 9);
     let write = rec.execute(&Query::Insert(InsertQuery {
         table: "b".into(),
@@ -311,7 +311,7 @@ fn interior_corruption_quarantines_only_the_hit_table() {
 
     // `a` is untouched: both inserts present, still writable.
     assert!(!rec.is_degraded("a"));
-    assert_eq!(probe(&mut rec, "a").len(), 10);
+    assert_eq!(probe(&rec, "a").len(), 10);
     rec.execute(&Query::Insert(InsertQuery {
         table: "a".into(),
         rows: vec![row(500, 0)],
@@ -342,7 +342,7 @@ fn transient_write_faults_are_retried_without_losing_records() {
             ..FaultPlan::default()
         },
     );
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.set_merge_config(MergeConfig::disabled());
     db.attach_wal(WalWriter::with_retry(
         Box::new(faulty),
@@ -352,16 +352,16 @@ fn transient_write_faults_are_retried_without_losing_records() {
     db.create_single(schema("t"), StoreKind::Column).unwrap();
     db.bulk_load("t", (0..32).map(|i| row(i, i))).unwrap();
     for id in 100..110 {
-        apply_stmt(&mut db, &Stmt::Insert { id, salt: id });
+        apply_stmt(&db, &Stmt::Insert { id, salt: id });
     }
     let stats = db.wal_stats().unwrap();
     assert!(stats.retries >= 3, "retries: {}", stats.retries);
     assert!(stats.records >= 12);
 
     let bytes = image.snapshot();
-    let (mut rec, report) = HybridDatabase::recover_bytes(&bytes);
+    let (rec, report) = HybridDatabase::recover_bytes(&bytes);
     assert!(report.is_clean(), "{report:?}");
-    assert_eq!(probe(&mut rec, "t"), probe(&mut db, "t"));
+    assert_eq!(probe(&rec, "t"), probe(&db, "t"));
 }
 
 /// Simulated media death mid-record: the failed statement surfaces an I/O
@@ -370,9 +370,9 @@ fn transient_write_faults_are_retried_without_losing_records() {
 #[test]
 fn media_death_mid_record_loses_only_the_uncommitted_statement() {
     // First, measure the clean log so the crash can be planted mid-frame.
-    let (mut oracle, oracle_image) = wal_db();
+    let (oracle, oracle_image) = wal_db();
     let boundary = oracle_image.snapshot().len() as u64;
-    apply_stmt(&mut oracle, &Stmt::Insert { id: 200, salt: 1 });
+    apply_stmt(&oracle, &Stmt::Insert { id: 200, salt: 1 });
 
     let mem = MemBackend::new();
     let image = mem.share();
@@ -383,12 +383,12 @@ fn media_death_mid_record_loses_only_the_uncommitted_statement() {
             ..FaultPlan::default()
         },
     );
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.set_merge_config(MergeConfig::disabled());
     db.attach_wal(WalWriter::new(Box::new(faulty), SyncPolicy::Always));
     db.create_single(schema("t"), StoreKind::Column).unwrap();
     db.bulk_load("t", (0..96).map(|i| row(i, i))).unwrap();
-    let expected = probe(&mut db, "t");
+    let expected = probe(&db, "t");
 
     let dead = db.execute(&Query::Insert(InsertQuery {
         table: "t".into(),
@@ -400,10 +400,10 @@ fn media_death_mid_record_loses_only_the_uncommitted_statement() {
     );
 
     let bytes = image.snapshot();
-    let (mut rec, report) = HybridDatabase::recover_bytes(&bytes);
+    let (rec, report) = HybridDatabase::recover_bytes(&bytes);
     assert!(report.torn_tail.is_some());
     assert_eq!(report.recovered_len, boundary);
-    assert_eq!(probe(&mut rec, "t"), expected);
+    assert_eq!(probe(&rec, "t"), expected);
 }
 
 /// File-backed round trip through [`HybridDatabase::open`]: recovery after
@@ -418,29 +418,29 @@ fn file_recovery_truncates_torn_tail_and_resumes_appends() {
 
     let (db, image) = wal_db();
     let expected = {
-        let mut db = db;
-        apply_stmt(&mut db, &Stmt::Insert { id: 300, salt: 9 });
-        probe(&mut db, "t")
+        let db = db;
+        apply_stmt(&db, &Stmt::Insert { id: 300, salt: 9 });
+        probe(&db, "t")
     };
     let mut bytes = image.snapshot();
     let committed = bytes.len();
     bytes.extend_from_slice(&[0xAB; 9]); // torn garbage past the last frame
     std::fs::write(&path, &bytes).unwrap();
 
-    let (mut rec, report) = HybridDatabase::recover(&path).unwrap();
+    let (rec, report) = HybridDatabase::recover(&path).unwrap();
     assert!(report.torn_tail.is_some());
     assert_eq!(report.recovered_len, committed as u64);
     assert_eq!(std::fs::metadata(&path).unwrap().len(), committed as u64);
-    assert_eq!(probe(&mut rec, "t"), expected);
+    assert_eq!(probe(&rec, "t"), expected);
 
     // The reopened database keeps logging: one more statement, reopen
     // again, and the new record is there.
-    apply_stmt(&mut rec, &Stmt::Insert { id: 301, salt: 2 });
-    let after = probe(&mut rec, "t");
+    apply_stmt(&rec, &Stmt::Insert { id: 301, salt: 2 });
+    let after = probe(&rec, "t");
     drop(rec);
-    let (mut rec2, report2) = HybridDatabase::recover(&path).unwrap();
+    let (rec2, report2) = HybridDatabase::recover(&path).unwrap();
     assert!(report2.is_clean(), "{report2:?}");
-    assert_eq!(probe(&mut rec2, "t"), after);
+    assert_eq!(probe(&rec2, "t"), after);
     let _ = std::fs::remove_file(&path);
 }
 
@@ -448,7 +448,7 @@ fn file_recovery_truncates_torn_tail_and_resumes_appends() {
 /// against the codec quietly narrowing half-open ranges.
 #[test]
 fn half_open_range_updates_replay_exactly() {
-    let (mut db, image) = wal_db();
+    let (db, image) = wal_db();
     db.execute(&Query::Update(UpdateQuery {
         table: "t".into(),
         sets: vec![(1, Value::Double(-1.0))],
@@ -459,7 +459,7 @@ fn half_open_range_updates_replay_exactly() {
         )],
     }))
     .unwrap();
-    let (mut rec, report) = HybridDatabase::recover_bytes(&image.snapshot());
+    let (rec, report) = HybridDatabase::recover_bytes(&image.snapshot());
     assert!(report.is_clean());
-    assert_eq!(probe(&mut rec, "t"), probe(&mut db, "t"));
+    assert_eq!(probe(&rec, "t"), probe(&db, "t"));
 }

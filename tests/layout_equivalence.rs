@@ -83,11 +83,11 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
 }
 
 fn build(spec: &TableSpec, placement: &TablePlacement) -> HybridDatabase {
-    let mut db = HybridDatabase::new();
+    let db = HybridDatabase::new();
     db.create_single(spec.schema().unwrap(), StoreKind::Row)
         .unwrap();
     db.bulk_load(&spec.name, spec.rows()).unwrap();
-    mover::move_table(&mut db, &spec.name, placement).unwrap();
+    mover::move_table(&db, &spec.name, placement).unwrap();
     db
 }
 
@@ -97,29 +97,23 @@ fn run_and_snapshot(
     placement: &TablePlacement,
     workload: &Workload,
 ) -> (Vec<QueryOutput>, Vec<Vec<Value>>) {
-    let mut db = build(spec, placement);
+    let db = build(spec, placement);
     let mut outputs = Vec::with_capacity(workload.len());
     for q in &workload.queries {
         outputs.push(db.execute(q).unwrap());
     }
-    let mut rows = db
-        .table_data_mut(&spec.name)
-        .map(|_| ())
-        .ok()
-        .map(|()| {
-            // Move to a single row store to extract rows in a canonical way.
-            mover::move_table(&mut db, &spec.name, &TablePlacement::Single(StoreKind::Row))
-                .unwrap();
-            let data = db.table_data(&spec.name).unwrap();
-            match data {
-                hybrid_store_advisor::engine::TableData::Single(t) => {
-                    t.collect_rows(hybrid_store_advisor::storage::RowSel::All, None)
-                }
-                other => panic!("expected single table after move, got {other:?}"),
-            }
-        })
-        .unwrap();
+    // Move to a single row store to extract rows in a canonical way.
+    mover::move_table(&db, &spec.name, &TablePlacement::Single(StoreKind::Row)).unwrap();
+    let shard = db.shard(&spec.name).unwrap();
+    let pin = shard.pin();
+    let mut rows = match &*pin {
+        hybrid_store_advisor::engine::TableData::Single(t) => {
+            t.collect_rows(hybrid_store_advisor::storage::RowSel::All, None)
+        }
+        other => panic!("expected single table after move, got {other:?}"),
+    };
     rows.sort_by(|a, b| a[0].cmp(&b[0]));
+    drop(pin);
     (outputs, rows)
 }
 
@@ -237,14 +231,14 @@ fn star_join_agrees_across_fact_layouts() {
             }),
         }),
     ] {
-        let mut db = HybridDatabase::new();
+        let db = HybridDatabase::new();
         db.create_single(fact.schema().unwrap(), StoreKind::Row)
             .unwrap();
         db.create_single(dim.schema().unwrap(), StoreKind::Row)
             .unwrap();
         db.bulk_load("fact", fact.rows()).unwrap();
         db.bulk_load("dim", dim.rows()).unwrap();
-        mover::move_table(&mut db, "fact", &placement).unwrap();
+        mover::move_table(&db, "fact", &placement).unwrap();
         let outputs: Vec<QueryOutput> = workload
             .queries
             .iter()
