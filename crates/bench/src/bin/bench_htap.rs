@@ -1,0 +1,393 @@
+//! HTAP scenario matrix: budget-constrained advisor quality and runtime on
+//! the deterministic multi-tenant mixed-workload driver — recorded as
+//! `BENCH_htap.json`.
+//!
+//! Two claims are measured:
+//!
+//! 1. **Decision quality.** On the Zipf-skewed mixed scenario the layout
+//!    chosen by the *budget-constrained* advisor (memory budget below the
+//!    all-row footprint, so the knapsack actually binds) beats both static
+//!    baselines — every table in the row store, every table in the column
+//!    store — by ≥ **1.2×**, both on the cost model's estimates and on
+//!    wall-clock measured through the shared-nothing engine with live
+//!    serving threads and the background maintenance worker merging
+//!    throughout.
+//! 2. **Advisor runtime at scale.** The global selection stays cheap at
+//!    hundreds of tables: the scale section times `recommend_offline` over
+//!    a 200+-table multi-tenant catalog, with and without a binding
+//!    budget, and records both runtimes.
+//!
+//! The scenario stream is replayed from a fixed seed and its FNV digest is
+//! recorded, so any run of this benchmark is reproducible statement for
+//! statement.
+//!
+//! Run with `cargo run --release -p hsd-bench --bin bench_htap`
+//! (`-- --smoke` for the small CI configuration).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hsd_bench::{advisor_model_or_calibrate, ratio_json};
+use hsd_catalog::{StorageLayout, TableStats};
+use hsd_core::StorageAdvisor;
+use hsd_engine::{
+    mover, BackgroundWorker, HybridDatabase, MergeConfig, MergePartition, PacerConfig,
+    SharedDatabase, WorkerConfig,
+};
+use hsd_storage::StoreKind;
+use hsd_tpch::scenario::{
+    generate_scenario, load_tenants, MixedWorkload, Scenario, ScenarioConfig,
+};
+use hsd_tpch::TpchGenerator;
+use hsd_types::{Json, TableSchema};
+
+struct Scale {
+    sf: f64,
+    statements: usize,
+    reps: usize,
+    scale_tenants: usize,
+    scale_statements: usize,
+    smoke: bool,
+}
+
+impl Scale {
+    fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--smoke") {
+            Scale {
+                sf: 0.002,
+                statements: 600,
+                reps: 3,
+                scale_tenants: 26, // 26 × 8 = 208 tables
+                scale_statements: 400,
+                smoke: true,
+            }
+        } else {
+            Scale {
+                sf: 0.01,
+                statements: 6_000,
+                reps: 5,
+                scale_tenants: 26,
+                scale_statements: 1_000,
+                smoke: false,
+            }
+        }
+    }
+}
+
+const TENANTS: usize = 3;
+const SEED: u64 = 0x47A9_0008;
+
+fn scenario_cfg(scale: &Scale) -> ScenarioConfig {
+    ScenarioConfig {
+        scenario: Scenario::ZipfSkew,
+        tenants: TENANTS,
+        statements: scale.statements,
+        olap_fraction: 0.02,
+        zipf_theta: 1.0,
+        seed: SEED,
+    }
+}
+
+/// Schemas and statistics of the multi-tenant catalog, snapshotted from a
+/// throwaway row-store load (bulk load refreshes stats).
+fn catalog_snapshot(
+    g: &TpchGenerator,
+    tenants: usize,
+) -> (
+    HybridDatabase,
+    Vec<Arc<TableSchema>>,
+    BTreeMap<String, TableStats>,
+) {
+    let db = HybridDatabase::new();
+    load_tenants(g, &db, tenants, |_| {
+        hsd_catalog::TablePlacement::Single(StoreKind::Row)
+    })
+    .expect("load tenants");
+    let schemas: Vec<Arc<TableSchema>> = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| e.schema.clone())
+        .collect();
+    let stats: BTreeMap<String, TableStats> = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| (e.schema.name.clone(), e.stats.clone()))
+        .collect();
+    (db, schemas, stats)
+}
+
+/// Execute the scenario stream against a fresh database under `layout`,
+/// through the shared engine: one serving thread per tenant, the
+/// background worker merging throughout. The timed window covers serving
+/// *and* draining the remaining delta tails back to steady state —
+/// deferred column-store maintenance is a real cost of a layout, and
+/// without the drain it would hide on the worker's core and the
+/// comparison would credit write-heavy column placements with free
+/// writes. The load and layout application are excluded from the window.
+fn run_measured(g: &TpchGenerator, wl: &MixedWorkload, layout: Option<&StorageLayout>) -> f64 {
+    let db = HybridDatabase::new();
+    load_tenants(g, &db, wl.tenants, |_| {
+        hsd_catalog::TablePlacement::Single(StoreKind::Row)
+    })
+    .expect("load tenants");
+    if let Some(layout) = layout {
+        // Row-load then move, so horizontal partitions split correctly.
+        mover::apply_layout(&db, layout).expect("apply layout");
+    }
+    // Lower merge watermarks so maintenance actually happens at bench
+    // scale (the default rows/32, floor-4096 trigger would let every tail
+    // of this run ride for free); the same config applies to every layout.
+    db.set_merge_config(MergeConfig {
+        min_tail: 512,
+        min_col_tail: 16,
+        high_fraction: 1.0 / 64.0,
+        ..MergeConfig::default()
+    });
+    let shared: SharedDatabase = Arc::new(db);
+    let worker = Arc::new(BackgroundWorker::spawn(
+        shared.clone(),
+        WorkerConfig {
+            pacer: PacerConfig::default(),
+            ..WorkerConfig::default()
+        },
+        std::time::Duration::from_micros(600),
+    ));
+    // Per-tenant serving threads preserve each tenant's statement order
+    // (inserts land before the updates that target them).
+    let streams: Vec<Vec<hsd_query::Query>> = (0..wl.tenants)
+        .map(|t| {
+            wl.statements
+                .iter()
+                .filter(|s| s.tenant == t)
+                .map(|s| s.query.clone())
+                .collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let handles: Vec<_> = streams
+        .into_iter()
+        .map(|queries| {
+            let db = shared.clone();
+            let worker_q = worker.clone();
+            std::thread::spawn(move || {
+                let mut writes = 0usize;
+                for q in &queries {
+                    db.execute(q).expect("execute");
+                    if matches!(q, hsd_query::Query::Insert(_) | hsd_query::Query::Update(_)) {
+                        writes += 1;
+                        if writes % 8 == 1 {
+                            worker_q.enqueue(q.table(), MergePartition::Whole);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serving thread");
+    }
+    // Drain to steady state inside the timed window: whatever tails the
+    // layout accumulated are merged now, on the clock.
+    let worker = Arc::try_unwrap(worker).expect("threads dropped their handles");
+    for name in shared.table_names() {
+        worker.enqueue(&name, MergePartition::Whole);
+    }
+    worker.stop(true);
+
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = advisor_model_or_calibrate("bench_htap", scale.smoke);
+    let g = TpchGenerator::new(scale.sf, 0x7C);
+    let cfg = scenario_cfg(&scale);
+
+    // --- scenario stream (replayable: same config → same bytes) ----------
+    let wl = generate_scenario(&g, &cfg);
+    assert_eq!(
+        wl.render(),
+        generate_scenario(&g, &cfg).render(),
+        "scenario stream must be deterministic"
+    );
+    eprintln!(
+        "[bench_htap] scenario {} seed {} digest {:016x}: {} statements, {} tenants",
+        wl.scenario.name(),
+        wl.seed,
+        wl.digest(),
+        wl.statements.len(),
+        wl.tenants,
+    );
+
+    // --- budget-constrained recommendation --------------------------------
+    let (stats_db, schemas, stats) = catalog_snapshot(&g, TENANTS);
+    let ctx = hsd_bench::ctx_of(&stats_db);
+    let row_layout =
+        StorageLayout::uniform(schemas.iter().map(|s| s.name.as_str()), StoreKind::Row);
+    let row_footprint = hsd_core::layout_footprint_bytes(&ctx, &row_layout);
+    let budget = 0.85 * row_footprint;
+    let workload = wl.workload();
+    let advisor = StorageAdvisor::new(model).with_budget(budget);
+    let t0 = Instant::now();
+    let rec = advisor
+        .recommend_offline(&schemas, &stats, &workload, true)
+        .expect("recommend");
+    let advisor_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[bench_htap] advisor: est {:.1} ms (RS {:.1}, CS {:.1}), footprint {:.0} of budget {:.0} \
+         (feasible: {}), {:.1} ms to decide",
+        rec.estimated_ms,
+        rec.rs_only_ms,
+        rec.cs_only_ms,
+        rec.footprint_bytes,
+        budget,
+        rec.budget_feasible,
+        advisor_ms,
+    );
+    assert!(
+        rec.footprint_bytes <= budget,
+        "budgeted layout must fit the budget"
+    );
+    eprint!("{}", hsd_core::report::render(&rec));
+
+    // --- measured: advisor layout vs static baselines, interleaved reps ---
+    let mut adv_ms = Vec::new();
+    let mut row_ms = Vec::new();
+    let mut col_ms = Vec::new();
+    let col_layout =
+        StorageLayout::uniform(schemas.iter().map(|s| s.name.as_str()), StoreKind::Column);
+    run_measured(&g, &wl, None); // warmup: page in the generator and allocator
+    for rep in 0..scale.reps {
+        adv_ms.push(run_measured(&g, &wl, Some(&rec.layout)));
+        row_ms.push(run_measured(&g, &wl, None));
+        col_ms.push(run_measured(&g, &wl, Some(&col_layout)));
+        eprintln!(
+            "[bench_htap] rep {rep}: advisor {:.1} ms, all-row {:.1} ms, all-col {:.1} ms",
+            adv_ms[rep], row_ms[rep], col_ms[rep]
+        );
+    }
+    let (adv, row, col) = (median(adv_ms), median(row_ms), median(col_ms));
+
+    // --- advisor runtime at 100s-of-tables scale ---------------------------
+    let scale_g = TpchGenerator::new(0.0002, 0x7D);
+    let scale_cfg = ScenarioConfig {
+        tenants: scale.scale_tenants,
+        statements: scale.scale_statements,
+        seed: SEED ^ 1,
+        ..scenario_cfg(&scale)
+    };
+    let scale_wl = generate_scenario(&scale_g, &scale_cfg).workload();
+    let (scale_db, scale_schemas, scale_stats) = catalog_snapshot(&scale_g, scale.scale_tenants);
+    let scale_ctx = hsd_bench::ctx_of(&scale_db);
+    let scale_row_fp = hsd_core::layout_footprint_bytes(
+        &scale_ctx,
+        &StorageLayout::uniform(
+            scale_schemas.iter().map(|s| s.name.as_str()),
+            StoreKind::Row,
+        ),
+    );
+    let advisor_unbudgeted = StorageAdvisor::new(advisor.model.clone());
+    let t0 = Instant::now();
+    let rec_free = advisor_unbudgeted
+        .recommend_offline(&scale_schemas, &scale_stats, &scale_wl, true)
+        .expect("scale recommend");
+    let scale_free_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let advisor_budgeted =
+        StorageAdvisor::new(advisor.model.clone()).with_budget(0.85 * scale_row_fp);
+    let t0 = Instant::now();
+    let rec_scale = advisor_budgeted
+        .recommend_offline(&scale_schemas, &scale_stats, &scale_wl, true)
+        .expect("scale recommend");
+    let scale_budget_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let n_tables = scale_schemas.len();
+    eprintln!(
+        "[bench_htap] scale: {} tables, advisor {:.1} ms unbudgeted / {:.1} ms budgeted \
+         (footprint {:.0}, feasible {})",
+        n_tables,
+        scale_free_ms,
+        scale_budget_ms,
+        rec_scale.footprint_bytes,
+        rec_scale.budget_feasible,
+    );
+    assert!(n_tables >= 200, "scale section must cover ≥200 tables");
+    drop(rec_free);
+
+    // --- verdict -----------------------------------------------------------
+    let modeled_vs_row = rec.rs_only_ms / rec.estimated_ms;
+    let modeled_vs_col = rec.cs_only_ms / rec.estimated_ms;
+    let measured_vs_row = row / adv;
+    let measured_vs_col = col / adv;
+    let pass = modeled_vs_row >= 1.2
+        && modeled_vs_col >= 1.2
+        && measured_vs_row >= 1.2
+        && measured_vs_col >= 1.2;
+    eprintln!(
+        "[bench_htap] modeled {modeled_vs_row:.2}x/{modeled_vs_col:.2}x vs row/col, \
+         measured {measured_vs_row:.2}x/{measured_vs_col:.2}x -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("htap_scenarios".into())),
+        ("smoke", Json::Bool(scale.smoke)),
+        ("scenario", Json::Str(wl.scenario.name().into())),
+        ("seed", Json::Int(wl.seed as i64)),
+        ("digest", Json::Str(format!("{:016x}", wl.digest()))),
+        ("statements", Json::Int(wl.statements.len() as i64)),
+        ("tenants", Json::Int(wl.tenants as i64)),
+        ("budget_bytes", Json::Num(budget)),
+        ("footprint_bytes", Json::Num(rec.footprint_bytes)),
+        ("budget_feasible", Json::Bool(rec.budget_feasible)),
+        ("advisor_decision_ms", Json::Num(advisor_ms)),
+        (
+            "modeled",
+            Json::obj([
+                ("advisor_ms", Json::Num(rec.estimated_ms)),
+                ("all_row_ms", Json::Num(rec.rs_only_ms)),
+                ("all_col_ms", Json::Num(rec.cs_only_ms)),
+                (
+                    "vs_row_speedup",
+                    ratio_json(rec.rs_only_ms, rec.estimated_ms),
+                ),
+                (
+                    "vs_col_speedup",
+                    ratio_json(rec.cs_only_ms, rec.estimated_ms),
+                ),
+            ]),
+        ),
+        (
+            "measured",
+            Json::obj([
+                ("advisor_ms", Json::Num(adv)),
+                ("all_row_ms", Json::Num(row)),
+                ("all_col_ms", Json::Num(col)),
+                ("vs_row_speedup", ratio_json(row, adv)),
+                ("vs_col_speedup", ratio_json(col, adv)),
+            ]),
+        ),
+        (
+            "advisor_at_scale",
+            Json::obj([
+                ("tables", Json::Int(n_tables as i64)),
+                ("runtime_unbudgeted_ms", Json::Num(scale_free_ms)),
+                ("runtime_budgeted_ms", Json::Num(scale_budget_ms)),
+                ("budget_feasible", Json::Bool(rec_scale.budget_feasible)),
+            ]),
+        ),
+        ("pass", Json::Bool(pass)),
+    ]);
+    std::fs::write("BENCH_htap.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_htap.json");
+    eprintln!("[bench_htap] wrote BENCH_htap.json");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -2,81 +2,15 @@
 //! working directory — the consolidated view CI's `bench-trajectory` job
 //! prints so a reviewer reads one table instead of four JSON blobs.
 //!
-//! For each artifact the summary reports the pass flag and its headline
-//! ratios: explicitly recorded ratio fields (`speedup`, `*_reduction`,
-//! `*_ratio`, `*_amplification`, `*_overhead`) found anywhere in the
-//! document, plus derived best/baseline
-//! throughput ratios for `results`-array benchmarks (`bench_scan`'s
-//! `rows_per_sec` series). Exits non-zero if any artifact records
-//! `pass: false`, so the caller decides whether that gates.
+//! Thin wrapper over [`hsd_bench::summary`]: globs the artifacts, prints
+//! the markdown table, and exits non-zero if any artifact records
+//! `pass: false` or is unreadable, so the caller decides whether that
+//! gates. Missing files and missing keys degrade to `n/a` cells rather
+//! than panics (the logic is unit-tested in the library module).
 //!
 //! Run with `cargo run --release -p hsd-bench --bin bench_summary`.
 
-use hsd_types::Json;
-
-/// Recursively collect `(path, value)` pairs of explicit ratio fields.
-/// `None` marks a ratio recorded without a usable value — a missing/zero
-/// baseline (`"n/a"` markers from the bench bins) or a non-finite number —
-/// which the table renders as `n/a` instead of `inf`/panicking.
-fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f64>)>) {
-    match json {
-        Json::Obj(map) => {
-            for (k, v) in map {
-                let path = if prefix.is_empty() {
-                    k.clone()
-                } else {
-                    format!("{prefix}.{k}")
-                };
-                let ratio_key = k == "speedup"
-                    || k.ends_with("_speedup")
-                    || k.ends_with("_reduction")
-                    || k.ends_with("_ratio")
-                    || k.ends_with("_amplification")
-                    || k.ends_with("_overhead")
-                    || k.ends_with("_scaling");
-                match v {
-                    Json::Num(n) if ratio_key => out.push((path, n.is_finite().then_some(*n))),
-                    Json::Int(n) if ratio_key => out.push((path, Some(*n as f64))),
-                    Json::Str(_) | Json::Null if ratio_key => out.push((path, None)),
-                    _ => collect_ratios(&path, v, out),
-                }
-            }
-        }
-        Json::Arr(items) => {
-            for (i, v) in items.iter().enumerate() {
-                collect_ratios(&format!("{prefix}[{i}]"), v, out);
-            }
-        }
-        _ => {}
-    }
-}
-
-/// Derive best/baseline throughput ratios from `results`-style arrays
-/// (entries with `name` + `rows_per_sec`), grouped by the name's leading
-/// token: `unselective_scalar_get` vs `unselective_block_selvec` etc.
-fn derive_throughput_ratios(json: &Json, out: &mut Vec<(String, Option<f64>)>) {
-    let Some(results) = json.get_opt("results").and_then(|r| r.as_arr().ok()) else {
-        return;
-    };
-    let mut groups: std::collections::BTreeMap<String, (f64, f64)> = Default::default();
-    for entry in results {
-        let (Ok(name), Ok(rps)) = (
-            entry.get("name").and_then(Json::as_str),
-            entry.get("rows_per_sec").and_then(Json::as_f64),
-        ) else {
-            continue;
-        };
-        let group = name.split('_').next().unwrap_or(name).to_string();
-        let slot = groups.entry(group).or_insert((f64::INFINITY, 0.0));
-        slot.0 = slot.0.min(rps);
-        slot.1 = slot.1.max(rps);
-    }
-    for (group, (worst, best)) in groups {
-        if worst.is_finite() && worst > 0.0 && best > worst {
-            out.push((format!("{group} best/baseline"), Some(best / worst)));
-        }
-    }
-}
+use hsd_bench::summary;
 
 fn main() {
     let mut files: Vec<String> = std::fs::read_dir(".")
@@ -90,58 +24,10 @@ fn main() {
         eprintln!("[bench_summary] no BENCH_*.json artifacts found");
         std::process::exit(1);
     }
-    let mut all_pass = true;
-    println!("| artifact | benchmark | pass | speedup ratios |");
-    println!("|---|---|---|---|");
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                println!("| {file} | (unreadable: {e}) | ? | |");
-                all_pass = false;
-                continue;
-            }
-        };
-        let json = match Json::parse(&text) {
-            Ok(j) => j,
-            Err(e) => {
-                println!("| {file} | (unparsable: {e:?}) | ? | |");
-                all_pass = false;
-                continue;
-            }
-        };
-        let benchmark = json
-            .get_opt("benchmark")
-            .and_then(|b| b.as_str().ok())
-            .unwrap_or("?")
-            .to_string();
-        let pass = json.get_opt("pass").and_then(|p| p.as_bool().ok());
-        if pass == Some(false) {
-            all_pass = false;
-        }
-        let mut ratios = Vec::new();
-        collect_ratios("", &json, &mut ratios);
-        derive_throughput_ratios(&json, &mut ratios);
-        let ratio_cell = if ratios.is_empty() {
-            "—".to_string()
-        } else {
-            ratios
-                .iter()
-                .map(|(k, v)| match v {
-                    Some(v) => format!("{k} {v:.2}x"),
-                    None => format!("{k} n/a"),
-                })
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        let pass_cell = match pass {
-            Some(true) => "✅",
-            Some(false) => "❌",
-            None => "—",
-        };
-        println!("| {file} | {benchmark} | {pass_cell} | {ratio_cell} |");
-    }
-    if !all_pass {
+    let rows: Vec<summary::ArtifactRow> =
+        files.iter().map(|f| summary::summarize_path(f)).collect();
+    print!("{}", summary::render_markdown(&rows));
+    if rows.iter().any(summary::ArtifactRow::failing) {
         std::process::exit(1);
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod fig9;
 pub mod scan_workload;
+pub mod summary;
 
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -1,0 +1,256 @@
+//! Library behind the `bench_summary` bin: summarize `BENCH_*.json`
+//! trajectory artifacts into one markdown table.
+//!
+//! Everything degrades to an `n/a`/note row instead of panicking: an
+//! absent file, unparsable JSON, a missing `pass` flag, and ratio keys
+//! recorded as `"n/a"` strings or non-finite numbers all render gracefully
+//! so one broken artifact never takes the whole summary down with it.
+
+use hsd_types::Json;
+
+/// One summarized artifact — one row of the markdown table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRow {
+    /// File name of the artifact.
+    pub file: String,
+    /// The artifact's `benchmark` field, or a placeholder.
+    pub benchmark: String,
+    /// The artifact's `pass` flag; `None` when absent or unreadable.
+    pub pass: Option<bool>,
+    /// Why the row is degraded (unreadable/unparsable), if it is.
+    pub note: Option<String>,
+    /// Headline ratios: `(key path, value)`; `None` value renders `n/a`.
+    pub ratios: Vec<(String, Option<f64>)>,
+}
+
+impl ArtifactRow {
+    /// Whether this row should fail the summary (explicit `pass: false`,
+    /// or a degraded artifact that could not be read at all).
+    pub fn failing(&self) -> bool {
+        self.pass == Some(false) || self.note.is_some()
+    }
+}
+
+/// Recursively collect `(path, value)` pairs of explicit ratio fields.
+/// `None` marks a ratio recorded without a usable value — a missing/zero
+/// baseline (`"n/a"` markers from the bench bins) or a non-finite number —
+/// which the table renders as `n/a` instead of `inf`/panicking.
+pub fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f64>)>) {
+    match json {
+        Json::Obj(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                let ratio_key = k == "speedup"
+                    || k.ends_with("_speedup")
+                    || k.ends_with("_reduction")
+                    || k.ends_with("_ratio")
+                    || k.ends_with("_amplification")
+                    || k.ends_with("_overhead")
+                    || k.ends_with("_scaling");
+                match v {
+                    Json::Num(n) if ratio_key => out.push((path, n.is_finite().then_some(*n))),
+                    Json::Int(n) if ratio_key => out.push((path, Some(*n as f64))),
+                    Json::Str(_) | Json::Null if ratio_key => out.push((path, None)),
+                    _ => collect_ratios(&path, v, out),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_ratios(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Derive best/baseline throughput ratios from `results`-style arrays
+/// (entries with `name` + `rows_per_sec`), grouped by the name's leading
+/// token: `unselective_scalar_get` vs `unselective_block_selvec` etc.
+pub fn derive_throughput_ratios(json: &Json, out: &mut Vec<(String, Option<f64>)>) {
+    let Some(results) = json.get_opt("results").and_then(|r| r.as_arr().ok()) else {
+        return;
+    };
+    let mut groups: std::collections::BTreeMap<String, (f64, f64)> = Default::default();
+    for entry in results {
+        let (Ok(name), Ok(rps)) = (
+            entry.get("name").and_then(Json::as_str),
+            entry.get("rows_per_sec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let group = name.split('_').next().unwrap_or(name).to_string();
+        let slot = groups.entry(group).or_insert((f64::INFINITY, 0.0));
+        slot.0 = slot.0.min(rps);
+        slot.1 = slot.1.max(rps);
+    }
+    for (group, (worst, best)) in groups {
+        if worst.is_finite() && worst > 0.0 && best > worst {
+            out.push((format!("{group} best/baseline"), Some(best / worst)));
+        }
+    }
+}
+
+/// Summarize one artifact's JSON text into a row.
+pub fn summarize_text(file: &str, text: &str) -> ArtifactRow {
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            return ArtifactRow {
+                file: file.into(),
+                benchmark: format!("(unparsable: {e:?})"),
+                pass: None,
+                note: Some(format!("unparsable: {e:?}")),
+                ratios: Vec::new(),
+            }
+        }
+    };
+    let benchmark = json
+        .get_opt("benchmark")
+        .and_then(|b| b.as_str().ok())
+        .unwrap_or("?")
+        .to_string();
+    let pass = json.get_opt("pass").and_then(|p| p.as_bool().ok());
+    let mut ratios = Vec::new();
+    collect_ratios("", &json, &mut ratios);
+    derive_throughput_ratios(&json, &mut ratios);
+    ArtifactRow {
+        file: file.into(),
+        benchmark,
+        pass,
+        note: None,
+        ratios,
+    }
+}
+
+/// Summarize the artifact at `path`. An absent or unreadable file becomes
+/// a degraded note row (`missing: ...`) instead of a panic, so a bench bin
+/// that never ran (e.g. no `BENCH_htap.json` yet) degrades to `n/a`.
+pub fn summarize_path(path: &str) -> ArtifactRow {
+    match std::fs::read_to_string(path) {
+        Ok(text) => summarize_text(path, &text),
+        Err(e) => ArtifactRow {
+            file: path.into(),
+            benchmark: format!("(missing: {e})"),
+            pass: None,
+            note: Some(format!("missing: {e}")),
+            ratios: Vec::new(),
+        },
+    }
+}
+
+/// Render rows as the markdown table the CI job prints.
+pub fn render_markdown(rows: &[ArtifactRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| artifact | benchmark | pass | speedup ratios |\n");
+    out.push_str("|---|---|---|---|\n");
+    for row in rows {
+        let ratio_cell = if row.ratios.is_empty() {
+            "—".to_string()
+        } else {
+            row.ratios
+                .iter()
+                .map(|(k, v)| match v {
+                    Some(v) => format!("{k} {v:.2}x"),
+                    None => format!("{k} n/a"),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let pass_cell = match (row.pass, &row.note) {
+            (_, Some(_)) => "?",
+            (Some(true), _) => "✅",
+            (Some(false), _) => "❌",
+            (None, _) => "—",
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            row.file, row.benchmark, pass_cell, ratio_cell
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_degrades_to_note_row() {
+        let row = summarize_path("/nonexistent/BENCH_htap.json");
+        assert!(row.note.as_deref().unwrap_or("").starts_with("missing"));
+        assert!(row.failing());
+        let table = render_markdown(&[row]);
+        assert!(table.contains("| ? |"), "{table}");
+    }
+
+    #[test]
+    fn unparsable_json_degrades_to_note_row() {
+        let row = summarize_text("BENCH_bad.json", "{not json");
+        assert!(row.note.is_some());
+        assert!(row.failing());
+    }
+
+    #[test]
+    fn missing_keys_render_na_not_panic() {
+        // No benchmark, no pass, a ratio recorded as the "n/a" marker, and
+        // a non-finite ratio: all must land in the table as n/a.
+        let row = summarize_text(
+            "BENCH_x.json",
+            r#"{"htap_speedup": "n/a", "scan_ratio": null}"#,
+        );
+        assert_eq!(row.benchmark, "?");
+        assert_eq!(row.pass, None);
+        assert!(!row.failing());
+        assert_eq!(
+            row.ratios,
+            vec![
+                ("htap_speedup".to_string(), None),
+                ("scan_ratio".to_string(), None)
+            ]
+        );
+        let table = render_markdown(&[row]);
+        assert!(table.contains("htap_speedup n/a"), "{table}");
+    }
+
+    #[test]
+    fn ratios_and_pass_flow_through() {
+        let row = summarize_text(
+            "BENCH_htap.json",
+            r#"{"benchmark": "htap", "pass": true,
+                "measured": {"vs_row_speedup": 1.5, "vs_col_speedup": 2.0},
+                "notes": "no ratio here"}"#,
+        );
+        assert_eq!(row.benchmark, "htap");
+        assert_eq!(row.pass, Some(true));
+        assert!(!row.failing());
+        assert_eq!(row.ratios.len(), 2);
+        assert!(render_markdown(&[row]).contains("1.50x"));
+    }
+
+    #[test]
+    fn explicit_fail_is_failing() {
+        let row = summarize_text("BENCH_y.json", r#"{"benchmark": "y", "pass": false}"#);
+        assert!(row.failing());
+        assert!(render_markdown(&[row]).contains("❌"));
+    }
+
+    #[test]
+    fn derived_throughput_ratios_group_by_leading_token() {
+        let row = summarize_text(
+            "BENCH_scan.json",
+            r#"{"results": [
+                {"name": "unselective_scalar", "rows_per_sec": 100.0},
+                {"name": "unselective_block", "rows_per_sec": 400.0}
+            ]}"#,
+        );
+        assert_eq!(
+            row.ratios,
+            vec![("unselective best/baseline".to_string(), Some(4.0))]
+        );
+    }
+}

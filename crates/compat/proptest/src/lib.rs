@@ -106,6 +106,12 @@ impl Arbitrary for u8 {
     }
 }
 
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.word()
+    }
+}
+
 /// Strategy over `T`'s full domain.
 pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
     strategy::AnyStrategy(std::marker::PhantomData)

@@ -40,6 +40,15 @@ pub struct Recommendation {
     pub rs_only_ms: f64,
     /// Estimated runtime with every table in the column store (ms).
     pub cs_only_ms: f64,
+    /// Modeled in-memory footprint of the recommended layout (bytes).
+    pub footprint_bytes: f64,
+    /// The memory budget the recommendation was selected under, if any
+    /// ([`StorageAdvisor::memory_budget`]).
+    pub budget_bytes: Option<f64>,
+    /// Whether the budget was satisfiable: `false` only when even the
+    /// smallest-footprint placement set exceeds it (the layout then is
+    /// that smallest set).
+    pub budget_feasible: bool,
     /// Per-table details.
     pub tables: Vec<TableRecommendation>,
     /// Data-movement statements implementing the layout.
@@ -74,6 +83,17 @@ pub struct StorageAdvisor {
     /// under-recommending them. Irrelevant when `maintenance_aware` is
     /// off.
     pub fragment_upkeep: bool,
+    /// Optional global memory budget (bytes). `None` keeps the
+    /// unconstrained per-table choice (the greedy path, retained as the
+    /// ablation baseline). `Some(b)` scales the advisor to the paper's
+    /// *global* problem: when the unconstrained layout's modeled footprint
+    /// exceeds `b`, the placement set is re-selected by knapsack-style
+    /// search over every table's `(cost, footprint)` candidates
+    /// ([`crate::budget::select_under_budget`]) so total workload cost is
+    /// minimized *within* the budget. A budget the unconstrained layout
+    /// already satisfies changes nothing — the greedy choice is the
+    /// special case, not a separate mode.
+    pub memory_budget: Option<f64>,
 }
 
 impl StorageAdvisor {
@@ -85,6 +105,15 @@ impl StorageAdvisor {
             exact_search_limit: 12,
             maintenance_aware: true,
             fragment_upkeep: true,
+            memory_budget: None,
+        }
+    }
+
+    /// The same advisor constrained to a global memory budget (bytes).
+    pub fn with_budget(self, budget_bytes: f64) -> Self {
+        StorageAdvisor {
+            memory_budget: Some(budget_bytes),
+            ..self
         }
     }
 
@@ -293,16 +322,11 @@ impl StorageAdvisor {
                         // dimension by the row store — its point-access
                         // fragment — so the candidate side is priced
                         // conservatively rather than ignored.)
-                        let touches = |q: &Query| -> bool {
-                            q.table() == name
-                                || matches!(q, Query::Aggregate(a)
-                                    if a.join.as_ref().is_some_and(|j| j.dim_table == name))
-                        };
                         let share = |layout: &StorageLayout| -> f64 {
                             workload
                                 .queries
                                 .iter()
-                                .filter(|q| touches(q))
+                                .filter(|q| touches(q, &name))
                                 .map(|q| {
                                     crate::estimator::estimate_query_layout(
                                         &self.model,
@@ -332,6 +356,25 @@ impl StorageAdvisor {
                 placement,
             });
         }
+        // --- global memory budget ---------------------------------------
+        // When a budget is set and the unconstrained choice exceeds it,
+        // re-select the placement set by knapsack over every table's
+        // (cost, footprint) candidates. A budget the unconstrained layout
+        // already satisfies leaves it untouched, so the greedy path is the
+        // exact unconstrained special case.
+        let mut budget_feasible = true;
+        let mut footprint_bytes = crate::budget::layout_footprint_bytes(ctx, &layout);
+        if let Some(budget) = self.memory_budget {
+            if footprint_bytes > budget {
+                let selection = self.select_under_budget(ctx, workload, &layout, budget);
+                budget_feasible = selection.feasible;
+                footprint_bytes = selection.layout_footprint;
+                layout = selection.layout;
+                for t in &mut tables {
+                    t.placement = layout.placement(&t.table);
+                }
+            }
+        }
         // Query cost of the recommended layout plus the delta upkeep of
         // every placement that keeps a column-store region, charged at the
         // fragment level for partitioned placements.
@@ -343,10 +386,106 @@ impl StorageAdvisor {
             estimated_ms,
             rs_only_ms,
             cs_only_ms,
+            footprint_bytes,
+            budget_bytes: self.memory_budget,
+            budget_feasible,
             tables,
             statements,
         })
     }
+
+    /// Re-select every table's placement under a binding memory budget.
+    ///
+    /// Candidates per table: the two single stores plus — when the
+    /// unconstrained pass adopted one — its partitioned placement. Each
+    /// candidate's cost is the table's workload share (its own queries
+    /// plus joins using it as the dimension) priced under the layout where
+    /// only this table changes, plus the candidate's delta upkeep; its
+    /// footprint comes from [`crate::budget::placement_footprint_bytes`].
+    /// The knapsack walk ([`crate::budget::select_under_budget`]) then
+    /// picks the cheapest set that fits.
+    fn select_under_budget(
+        &self,
+        ctx: &EstimationCtx,
+        workload: &Workload,
+        chosen: &StorageLayout,
+        budget: f64,
+    ) -> BudgetedLayout {
+        // Per-table query index, so candidate costing touches each query
+        // once per table it involves rather than scanning the whole
+        // workload per candidate (the difference between O(tables ×
+        // queries) and O(join arity × queries) at 100s-of-tables scale).
+        let mut queries_of: BTreeMap<&str, Vec<&Query>> = BTreeMap::new();
+        for q in &workload.queries {
+            for t in q.tables() {
+                queries_of.entry(t).or_default().push(q);
+            }
+        }
+        let empty: Vec<&Query> = Vec::new();
+        let mut candidate_tables = Vec::new();
+        for (name, tctx) in &ctx.tables {
+            let mut placements = vec![
+                TablePlacement::Single(StoreKind::Row),
+                TablePlacement::Single(StoreKind::Column),
+            ];
+            if let TablePlacement::Partitioned(spec) = chosen.placement(name) {
+                placements.push(TablePlacement::Partitioned(spec));
+            }
+            let queries = queries_of.get(name.as_str()).unwrap_or(&empty);
+            let candidates = placements
+                .into_iter()
+                .map(|placement| {
+                    let mut cand_layout = chosen.clone();
+                    cand_layout.set(name.clone(), placement.clone());
+                    let share: f64 = queries
+                        .iter()
+                        .map(|q| {
+                            crate::estimator::estimate_query_layout(
+                                &self.model,
+                                ctx,
+                                &cand_layout,
+                                q,
+                            )
+                        })
+                        .sum();
+                    crate::budget::PlacementCandidate {
+                        cost_ms: share + self.placement_upkeep_ms(ctx, workload, name, &placement),
+                        footprint_bytes: crate::budget::placement_footprint_bytes(tctx, &placement),
+                        placement,
+                    }
+                })
+                .collect();
+            candidate_tables.push(crate::budget::TableCandidates {
+                table: name.clone(),
+                candidates,
+            });
+        }
+        let selection = crate::budget::select_under_budget(&candidate_tables, Some(budget));
+        let mut layout = chosen.clone();
+        for tc in &candidate_tables {
+            let idx = selection.choice[&tc.table];
+            layout.set(tc.table.clone(), tc.candidates[idx].placement.clone());
+        }
+        BudgetedLayout {
+            layout_footprint: selection.total_footprint_bytes,
+            feasible: selection.feasible,
+            layout,
+        }
+    }
+}
+
+/// Result of the budget re-selection step.
+struct BudgetedLayout {
+    layout: StorageLayout,
+    layout_footprint: f64,
+    feasible: bool,
+}
+
+/// Does `q` touch table `name` (as its primary table or join dimension)?
+fn touches(q: &Query, name: &str) -> bool {
+    q.table() == name
+        || matches!(q, Query::Aggregate(a)
+            if a.join.as_ref().is_some_and(|j| j.dim_table == name))
 }
 
 /// Build the estimation context from schemas + stats.
@@ -989,6 +1128,79 @@ mod tests {
         );
         // And the argmin invariant still holds under the charged estimates.
         assert!(rec_aware.estimated_ms <= rec_aware.rs_only_ms.min(rec_aware.cs_only_ms) + 1e-9);
+    }
+
+    /// A budget the unconstrained layout already satisfies changes
+    /// nothing: same layout, same estimate, footprint recorded.
+    #[test]
+    fn loose_budget_is_the_unconstrained_special_case() {
+        let (schemas, stats) = schema_stats();
+        let w = workload(0.3);
+        let unconstrained = StorageAdvisor::new(model())
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
+        assert!(unconstrained.footprint_bytes > 0.0);
+        assert_eq!(unconstrained.budget_bytes, None);
+        let budgeted = StorageAdvisor::new(model())
+            .with_budget(unconstrained.footprint_bytes * 2.0)
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
+        assert_eq!(unconstrained.layout, budgeted.layout);
+        assert_eq!(unconstrained.estimated_ms, budgeted.estimated_ms);
+        assert!(budgeted.budget_feasible);
+    }
+
+    /// A binding budget flips the row-store choice (big uncompressed
+    /// footprint) to the compressed column store even though it models
+    /// slower — and the recommendation reports the degradation honestly.
+    #[test]
+    fn binding_budget_trades_cost_for_footprint() {
+        let (schemas, stats) = schema_stats();
+        let w = workload(0.0); // pure OLTP: greedy wants the row store
+        let unconstrained = StorageAdvisor::new(model())
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
+        assert_eq!(
+            unconstrained.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Row)
+        );
+        let budget = unconstrained.footprint_bytes * 0.5;
+        let budgeted = StorageAdvisor::new(model())
+            .with_budget(budget)
+            .recommend_offline(&schemas, &stats, &w, false)
+            .unwrap();
+        assert_eq!(
+            budgeted.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Column),
+            "the only placement fitting half the row footprint is columnar"
+        );
+        assert!(budgeted.budget_feasible);
+        assert!(
+            budgeted.footprint_bytes <= budget,
+            "footprint {} exceeds budget {budget}",
+            budgeted.footprint_bytes
+        );
+        assert!(
+            budgeted.estimated_ms >= unconstrained.estimated_ms,
+            "a constrained optimum cannot beat the unconstrained one"
+        );
+    }
+
+    /// An unsatisfiable budget still returns the smallest-footprint
+    /// layout, flagged infeasible rather than panicking or lying.
+    #[test]
+    fn infeasible_budget_reports_itself() {
+        let (schemas, stats) = schema_stats();
+        let rec = StorageAdvisor::new(model())
+            .with_budget(1.0)
+            .recommend_offline(&schemas, &stats, &workload(0.0), false)
+            .unwrap();
+        assert!(!rec.budget_feasible);
+        assert_eq!(
+            rec.layout.placement("w"),
+            TablePlacement::Single(StoreKind::Column),
+            "least-infeasible answer is the smallest-footprint placement"
+        );
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! Global budget-constrained placement selection.
+//!
+//! The per-table search in [`crate::advisor`] answers *"which store is
+//! cheapest for this table?"*; the paper's advisor ultimately answers the
+//! **global** question: *given a memory budget across all tables, which
+//! placement **set** minimizes total workload cost?* This module supplies
+//! the two missing pieces:
+//!
+//! 1. a **footprint model** ([`placement_footprint_bytes`]) pricing the
+//!    in-memory bytes of every placement a table can take — uncompressed
+//!    row store, dictionary-compressed bit-packed column store, and the
+//!    hot/cold mixes of partitioned placements — from the same basic
+//!    statistics the cost estimator consumes, and
+//! 2. a **multiple-choice-knapsack selector** ([`select_under_budget`])
+//!    over per-table candidate lists of `(cost, footprint)` pairs: exactly
+//!    one candidate per table, total footprint within the budget, total
+//!    cost minimized.
+//!
+//! The selector is the greedy-over-convex-hull MCKP heuristic: each
+//! table's candidates are reduced to their efficient frontier, the
+//! frontier to its convex hull (so marginal benefit-per-byte decreases
+//! along it), every table starts at its smallest-footprint candidate, and
+//! hull steps are applied globally in decreasing benefit-per-byte order
+//! while they fit. Two properties the advisor relies on, both enforced by
+//! tests below:
+//!
+//! - **Unconstrained ≡ greedy.** With no budget (or one the per-table
+//!   argmin already satisfies) the selection equals the existing
+//!   per-table greedy choice — the greedy path is the special case, not a
+//!   separate code path to keep in sync.
+//! - **Budget is a hard cap.** Whenever the smallest-footprint assignment
+//!   fits at all (`feasible`), the selected set's footprint never exceeds
+//!   the budget.
+
+use std::collections::BTreeMap;
+
+use hsd_catalog::TablePlacement;
+use hsd_storage::StoreKind;
+use hsd_types::ColumnType;
+
+use crate::estimator::{EstimationCtx, TableCtx};
+
+// ---------------------------------------------------------------------------
+// Footprint model
+
+/// Modeled in-memory bytes of one row-store value of `ty` (fixed-width
+/// slots; Varchars are priced at a small-string average since the engine
+/// stores them inline as owned strings).
+fn row_value_bytes(ty: ColumnType) -> f64 {
+    match ty {
+        ColumnType::Integer => 4.0,
+        ColumnType::BigInt => 8.0,
+        ColumnType::Double => 8.0,
+        ColumnType::Decimal => 8.0,
+        ColumnType::Date => 4.0,
+        ColumnType::Boolean => 1.0,
+        ColumnType::Varchar => 24.0,
+    }
+}
+
+/// Modeled row-store bytes per row of the table (sum over all columns).
+pub fn row_bytes_per_row(tctx: &TableCtx) -> f64 {
+    tctx.column_types.iter().map(|&t| row_value_bytes(t)).sum()
+}
+
+/// Modeled column-store bytes per row of column `col`: the bit-packed
+/// dictionary code plus the row's amortized share of the dictionary
+/// itself. Falls back to the column's compression rate when distinct
+/// counts are missing (stats-less tables price like their row encoding
+/// scaled by what compression is known about).
+fn column_value_bytes(tctx: &TableCtx, col: usize, rows: usize) -> f64 {
+    let width = row_value_bytes(tctx.column_types[col]);
+    let stats = match tctx.stats.columns.get(col) {
+        Some(s) => s,
+        None => return width,
+    };
+    if stats.distinct == 0 || rows == 0 {
+        // No distinct count recorded: degrade via the compression rate
+        // (itself 0.0 when unknown, i.e. price like the row store — the
+        // conservative direction for a memory budget).
+        return width * (1.0 - stats.compression_rate).clamp(0.0, 1.0);
+    }
+    let distinct = stats.distinct.min(rows).max(1);
+    let code_bits = (usize::BITS - (distinct - 1).max(1).leading_zeros()) as f64;
+    code_bits / 8.0 + distinct as f64 * width / rows as f64
+}
+
+/// Modeled column-store bytes per row of the table (all columns).
+pub fn column_bytes_per_row(tctx: &TableCtx) -> f64 {
+    let rows = tctx.stats.row_count;
+    (0..tctx.column_types.len())
+        .map(|c| column_value_bytes(tctx, c, rows))
+        .sum()
+}
+
+/// Modeled in-memory footprint (bytes) of `placement` for the table
+/// described by `tctx`. Partitioned placements compose the same hot/cold
+/// selectivity split the cost estimator uses
+/// ([`crate::partition::horizontal_hot_fraction`]): the hot horizontal
+/// region prices at row-store bytes, the cold region at column-store
+/// bytes, and a vertical split routes its `row_cols` (plus the primary
+/// key, which lives in both fragments) to row-store pricing.
+pub fn placement_footprint_bytes(tctx: &TableCtx, placement: &TablePlacement) -> f64 {
+    let rows = tctx.stats.row_count as f64;
+    match placement {
+        TablePlacement::Single(StoreKind::Row) => rows * row_bytes_per_row(tctx),
+        TablePlacement::Single(StoreKind::Column) => rows * column_bytes_per_row(tctx),
+        TablePlacement::Partitioned(spec) => {
+            let hot = crate::partition::horizontal_hot_fraction(&tctx.stats, spec);
+            let cold_per_row = match &spec.vertical {
+                Some(v) => {
+                    let n = tctx.column_types.len();
+                    let in_row = |c: usize| {
+                        v.row_cols.contains(&c) || tctx.pk_columns.contains(&(c as u32 as usize))
+                    };
+                    let row_part: f64 = (0..n)
+                        .filter(|&c| in_row(c))
+                        .map(|c| row_value_bytes(tctx.column_types[c]))
+                        .sum();
+                    // The primary key is materialized in both fragments.
+                    let pk_dup: f64 = tctx
+                        .pk_columns
+                        .iter()
+                        .filter(|&&c| c < n)
+                        .map(|&c| column_value_bytes(tctx, c, tctx.stats.row_count))
+                        .sum();
+                    let col_part: f64 = (0..n)
+                        .filter(|&c| !in_row(c))
+                        .map(|c| column_value_bytes(tctx, c, tctx.stats.row_count))
+                        .sum();
+                    row_part + col_part + pk_dup
+                }
+                None => column_bytes_per_row(tctx),
+            };
+            rows * (hot * row_bytes_per_row(tctx) + (1.0 - hot) * cold_per_row)
+        }
+    }
+}
+
+/// Total modeled footprint of a full layout over every table in `ctx`.
+pub fn layout_footprint_bytes(ctx: &EstimationCtx, layout: &hsd_catalog::StorageLayout) -> f64 {
+    ctx.tables
+        .iter()
+        .map(|(name, tctx)| placement_footprint_bytes(tctx, &layout.placement(name)))
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Multiple-choice knapsack selection
+
+/// One placement a table could take, with its modeled workload cost and
+/// memory footprint.
+#[derive(Debug, Clone)]
+pub struct PlacementCandidate {
+    /// The placement.
+    pub placement: TablePlacement,
+    /// Modeled workload cost (ms) when the table takes this placement —
+    /// query share plus delta upkeep.
+    pub cost_ms: f64,
+    /// Modeled in-memory bytes of this placement.
+    pub footprint_bytes: f64,
+}
+
+/// A table's candidate list (at least one entry).
+#[derive(Debug, Clone)]
+pub struct TableCandidates {
+    /// Table name.
+    pub table: String,
+    /// Candidate placements.
+    pub candidates: Vec<PlacementCandidate>,
+}
+
+/// Outcome of a global selection.
+#[derive(Debug, Clone)]
+pub struct GlobalSelection {
+    /// Chosen candidate index per table.
+    pub choice: BTreeMap<String, usize>,
+    /// Total modeled cost of the selection (ms).
+    pub total_cost_ms: f64,
+    /// Total modeled footprint of the selection (bytes).
+    pub total_footprint_bytes: f64,
+    /// Whether the budget was satisfiable at all: `false` only when even
+    /// the smallest-footprint assignment exceeds it (the selection then
+    /// *is* that smallest assignment — the least-infeasible answer).
+    pub feasible: bool,
+}
+
+/// Index of the per-table greedy choice: minimum cost, ties broken toward
+/// the smaller footprint, then the earlier candidate.
+fn greedy_choice(cands: &[PlacementCandidate]) -> usize {
+    let mut best = 0usize;
+    for (i, c) in cands.iter().enumerate().skip(1) {
+        let b = &cands[best];
+        if c.cost_ms < b.cost_ms
+            || (c.cost_ms == b.cost_ms && c.footprint_bytes < b.footprint_bytes)
+        {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The efficient frontier of a candidate list as candidate indexes:
+/// footprint strictly increasing, cost strictly decreasing, reduced to its
+/// convex hull so the benefit-per-byte of successive steps is
+/// non-increasing (the shape the greedy MCKP walk requires).
+fn convex_frontier(cands: &[PlacementCandidate]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        cands[a]
+            .footprint_bytes
+            .total_cmp(&cands[b].footprint_bytes)
+            .then(cands[a].cost_ms.total_cmp(&cands[b].cost_ms))
+    });
+    // Efficient frontier: drop any candidate dominated by a smaller-or-
+    // equal-footprint candidate of no-worse cost.
+    let mut frontier: Vec<usize> = Vec::new();
+    for i in order {
+        match frontier.last() {
+            Some(&last) if cands[i].cost_ms >= cands[last].cost_ms => continue,
+            _ => frontier.push(i),
+        }
+    }
+    // Convex hull: pop the middle point whenever its step ratio does not
+    // exceed the following step's ratio.
+    let ratio = |a: usize, b: usize| {
+        (cands[a].cost_ms - cands[b].cost_ms)
+            / (cands[b].footprint_bytes - cands[a].footprint_bytes).max(f64::MIN_POSITIVE)
+    };
+    let mut hull: Vec<usize> = Vec::new();
+    for i in frontier {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            if ratio(a, b) <= ratio(b, i) {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+/// Pick one candidate per table minimizing total cost subject to the total
+/// footprint staying within `budget_bytes` (`None` = unconstrained).
+///
+/// The unconstrained path — and any budget the per-table greedy argmin
+/// already satisfies — returns exactly the greedy choice, so the existing
+/// advisor behaviour is the special case of this selector, not a parallel
+/// implementation. A binding budget triggers the knapsack walk described
+/// in the module docs.
+pub fn select_under_budget(
+    tables: &[TableCandidates],
+    budget_bytes: Option<f64>,
+) -> GlobalSelection {
+    let greedy: Vec<usize> = tables
+        .iter()
+        .map(|t| greedy_choice(&t.candidates))
+        .collect();
+    let footprint_of = |choice: &[usize]| -> f64 {
+        tables
+            .iter()
+            .zip(choice)
+            .map(|(t, &i)| t.candidates[i].footprint_bytes)
+            .sum()
+    };
+    let cost_of = |choice: &[usize]| -> f64 {
+        tables
+            .iter()
+            .zip(choice)
+            .map(|(t, &i)| t.candidates[i].cost_ms)
+            .sum()
+    };
+    let finish = |choice: Vec<usize>, feasible: bool| -> GlobalSelection {
+        GlobalSelection {
+            total_cost_ms: cost_of(&choice),
+            total_footprint_bytes: footprint_of(&choice),
+            feasible,
+            choice: tables
+                .iter()
+                .zip(&choice)
+                .map(|(t, &i)| (t.table.clone(), i))
+                .collect(),
+        }
+    };
+    let budget = match budget_bytes {
+        Some(b) if footprint_of(&greedy) > b => b,
+        // No budget, or the per-table argmin already fits: the greedy
+        // choice IS the answer (the regression-guarded special case).
+        _ => return finish(greedy, true),
+    };
+    // Knapsack walk. Start every table at its smallest-footprint hull
+    // candidate and upgrade in global benefit-per-byte order.
+    let hulls: Vec<Vec<usize>> = tables
+        .iter()
+        .map(|t| convex_frontier(&t.candidates))
+        .collect();
+    let mut pos: Vec<usize> = vec![0; tables.len()]; // position on the hull
+    let mut used: f64 = hulls
+        .iter()
+        .zip(tables)
+        .map(|(h, t)| t.candidates[h[0]].footprint_bytes)
+        .sum();
+    if used > budget {
+        let choice: Vec<usize> = hulls.iter().map(|h| h[0]).collect();
+        return finish(choice, false);
+    }
+    // (ratio, table, hull step k): upgrading table from hull[k-1] to
+    // hull[k]. Hull convexity makes per-table ratios non-increasing in k,
+    // so a global descending-ratio order visits each table's steps in
+    // order; a step only applies when its predecessor did.
+    let mut steps: Vec<(f64, usize, usize)> = Vec::new();
+    for (ti, hull) in hulls.iter().enumerate() {
+        for k in 1..hull.len() {
+            let a = &tables[ti].candidates[hull[k - 1]];
+            let b = &tables[ti].candidates[hull[k]];
+            let dfp = b.footprint_bytes - a.footprint_bytes;
+            let dcost = a.cost_ms - b.cost_ms;
+            steps.push((dcost / dfp.max(f64::MIN_POSITIVE), ti, k));
+        }
+    }
+    steps.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    // Multiple passes: a large skipped step must not forever block the
+    // smaller steps ranked below it once budget frees up elsewhere.
+    loop {
+        let mut progressed = false;
+        for &(_, ti, k) in &steps {
+            if pos[ti] != k - 1 {
+                continue;
+            }
+            let a = &tables[ti].candidates[hulls[ti][k - 1]];
+            let b = &tables[ti].candidates[hulls[ti][k]];
+            let dfp = b.footprint_bytes - a.footprint_bytes;
+            if used + dfp <= budget {
+                used += dfp;
+                pos[ti] = k;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let choice: Vec<usize> = hulls.iter().zip(&pos).map(|(h, &p)| h[p]).collect();
+    finish(choice, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsd_catalog::TableStats;
+    use proptest::prelude::*;
+
+    fn cand(cost: f64, fp: f64) -> PlacementCandidate {
+        PlacementCandidate {
+            placement: TablePlacement::Single(StoreKind::Row),
+            cost_ms: cost,
+            footprint_bytes: fp,
+        }
+    }
+
+    fn table(name: &str, cands: Vec<PlacementCandidate>) -> TableCandidates {
+        TableCandidates {
+            table: name.into(),
+            candidates: cands,
+        }
+    }
+
+    #[test]
+    fn unconstrained_picks_per_table_argmin() {
+        let tables = vec![
+            table("a", vec![cand(10.0, 100.0), cand(4.0, 900.0)]),
+            table("b", vec![cand(3.0, 50.0), cand(7.0, 10.0)]),
+        ];
+        let sel = select_under_budget(&tables, None);
+        assert_eq!(sel.choice["a"], 1);
+        assert_eq!(sel.choice["b"], 0);
+        assert!(sel.feasible);
+        assert_eq!(sel.total_cost_ms, 7.0);
+    }
+
+    #[test]
+    fn loose_budget_equals_unconstrained() {
+        let tables = vec![
+            table("a", vec![cand(10.0, 100.0), cand(4.0, 900.0)]),
+            table("b", vec![cand(3.0, 50.0), cand(7.0, 10.0)]),
+        ];
+        let unc = select_under_budget(&tables, None);
+        let loose = select_under_budget(&tables, Some(1e12));
+        assert_eq!(unc.choice, loose.choice);
+    }
+
+    #[test]
+    fn binding_budget_takes_best_ratio_first() {
+        // Both tables would like their expensive-footprint candidate;
+        // budget admits only one. Table a gains 6 ms per 800 bytes
+        // (0.0075/byte), table b gains 5 ms per 100 bytes (0.05/byte): b
+        // upgrades, a stays.
+        let tables = vec![
+            table("a", vec![cand(10.0, 100.0), cand(4.0, 900.0)]),
+            table("b", vec![cand(8.0, 100.0), cand(3.0, 200.0)]),
+        ];
+        let sel = select_under_budget(&tables, Some(400.0));
+        assert_eq!(sel.choice["a"], 0);
+        assert_eq!(sel.choice["b"], 1);
+        assert!(sel.feasible);
+        assert!(sel.total_footprint_bytes <= 400.0);
+        assert_eq!(sel.total_cost_ms, 13.0);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_min_footprint_assignment() {
+        let tables = vec![
+            table("a", vec![cand(10.0, 100.0), cand(4.0, 900.0)]),
+            table("b", vec![cand(3.0, 50.0)]),
+        ];
+        let sel = select_under_budget(&tables, Some(120.0));
+        assert!(!sel.feasible);
+        assert_eq!(sel.choice["a"], 0);
+        assert_eq!(sel.choice["b"], 0);
+        assert_eq!(sel.total_footprint_bytes, 150.0);
+    }
+
+    #[test]
+    fn dominated_candidates_never_selected_under_binding_budget() {
+        // Candidate 1 is dominated (more bytes, more cost than 2).
+        let tables = vec![table(
+            "a",
+            vec![cand(10.0, 100.0), cand(9.0, 500.0), cand(5.0, 300.0)],
+        )];
+        let sel = select_under_budget(&tables, Some(350.0));
+        assert_eq!(sel.choice["a"], 2);
+    }
+
+    #[test]
+    fn footprint_orders_row_above_compressed_column() {
+        // A 10k-row table with well-compressed columns: the dictionary-
+        // coded column store must model smaller than the row store.
+        let mut stats = TableStats::empty(3);
+        stats.row_count = 10_000;
+        for c in &mut stats.columns {
+            c.distinct = 100;
+            c.compression_rate = 0.99;
+        }
+        let tctx = TableCtx {
+            stats,
+            indexed: vec![],
+            column_types: vec![ColumnType::BigInt, ColumnType::Varchar, ColumnType::Double],
+            pk_columns: vec![0],
+            delta_tail: 0,
+            observed_tail_rate: None,
+        };
+        let row = placement_footprint_bytes(&tctx, &TablePlacement::Single(StoreKind::Row));
+        let col = placement_footprint_bytes(&tctx, &TablePlacement::Single(StoreKind::Column));
+        assert!(
+            col < row / 4.0,
+            "compressed column store should be much smaller: {col} vs {row}"
+        );
+        // And a hot/cold split prices between the two pure stores.
+        let spec = hsd_catalog::PartitionSpec {
+            horizontal: Some(hsd_catalog::HorizontalSpec {
+                split_column: 0,
+                split_value: hsd_types::Value::BigInt(9_000),
+            }),
+            vertical: None,
+        };
+        let mut tctx2 = tctx.clone();
+        tctx2.stats.columns[0].min = Some(hsd_types::Value::BigInt(0));
+        tctx2.stats.columns[0].max = Some(hsd_types::Value::BigInt(9_999));
+        let part = placement_footprint_bytes(&tctx2, &TablePlacement::Partitioned(spec));
+        let row2 = placement_footprint_bytes(&tctx2, &TablePlacement::Single(StoreKind::Row));
+        let col2 = placement_footprint_bytes(&tctx2, &TablePlacement::Single(StoreKind::Column));
+        assert!(part > col2 && part < row2, "{col2} < {part} < {row2}");
+    }
+
+    // --- proptests --------------------------------------------------------
+
+    /// Random candidate lists: 1..=4 tables, 1..=4 candidates each, costs
+    /// and footprints drawn from a wide positive range.
+    fn arb_tables() -> impl Strategy<Value = Vec<TableCandidates>> {
+        any::<u64>().prop_map(|seed| {
+            let mut x = seed | 1;
+            let n = (seed % 4 + 1) as usize;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            (0..n)
+                .map(|t| {
+                    let k = (next() % 4 + 1) as usize;
+                    table(
+                        &format!("t{t}"),
+                        (0..k)
+                            .map(|_| {
+                                cand((next() % 10_000) as f64 / 10.0, (next() % 100_000) as f64)
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Regression guard for the refactor: with no budget, the global
+        /// selection is exactly the per-table greedy argmin.
+        #[test]
+        fn unconstrained_equals_greedy(tables in arb_tables()) {
+            let sel = select_under_budget(&tables, None);
+            for t in &tables {
+                let g = greedy_choice(&t.candidates);
+                prop_assert_eq!(sel.choice[&t.table], g);
+            }
+            prop_assert!(sel.feasible);
+        }
+
+        /// The budget is a hard cap whenever it is satisfiable at all.
+        #[test]
+        fn selection_respects_budget(tables in arb_tables(), raw in 0u64..1_000_000) {
+            let min_fp: f64 = tables
+                .iter()
+                .map(|t| {
+                    t.candidates
+                        .iter()
+                        .map(|c| c.footprint_bytes)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum();
+            let budget = raw as f64;
+            let sel = select_under_budget(&tables, Some(budget));
+            if min_fp <= budget {
+                prop_assert!(sel.feasible);
+                prop_assert!(
+                    sel.total_footprint_bytes <= budget + 1e-9,
+                    "footprint {} exceeds budget {}",
+                    sel.total_footprint_bytes,
+                    budget
+                );
+            } else {
+                prop_assert!(!sel.feasible);
+            }
+            // A tighter budget never selects a cheaper set than a looser one.
+            let unc = select_under_budget(&tables, None);
+            prop_assert!(sel.total_cost_ms >= unc.total_cost_ms - 1e-9);
+        }
+    }
+}

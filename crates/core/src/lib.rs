@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod advisor;
+pub mod budget;
 pub mod calibration;
 pub mod cost;
 pub mod estimator;
@@ -38,6 +39,10 @@ pub mod partition;
 pub mod report;
 
 pub use advisor::{Recommendation, StorageAdvisor, TableRecommendation};
+pub use budget::{
+    layout_footprint_bytes, placement_footprint_bytes, select_under_budget, GlobalSelection,
+    PlacementCandidate, TableCandidates,
+};
 pub use calibration::{calibrate, CalibrationConfig};
 pub use cost::{AdjustmentFn, CostModel, StoreModel};
 pub use estimator::{

@@ -73,6 +73,9 @@ mod tests {
                 placement: TablePlacement::Single(StoreKind::Column),
             }],
             statements: vec!["ALTER TABLE t MOVE TO COLUMN STORE;".into()],
+            footprint_bytes: 0.0,
+            budget_bytes: None,
+            budget_feasible: true,
         };
         let text = render(&rec);
         assert!(text.contains("row store   :"));

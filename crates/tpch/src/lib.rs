@@ -10,13 +10,20 @@
 //!   and primary keys;
 //! * [`gen`] — a deterministic dbgen-style generator with the standard
 //!   cardinality ratios at an adjustable scale factor;
-//! * [`workload`] — the mixed workload of the final experiment.
+//! * [`workload`] — the mixed workload of the final experiment;
+//! * [`scenario`] — the deterministic multi-tenant HTAP scenario driver
+//!   (uniform, Zipf-skew, flash-crowd, phase-shift, tenant-churn).
 
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod scenario;
 pub mod schema;
 pub mod workload;
 
 pub use gen::TpchGenerator;
+pub use scenario::{
+    generate_scenario, load_tenants, tenant_table, tenant_tables, MixedStatement, MixedWorkload,
+    Scenario, ScenarioConfig,
+};
 pub use workload::{generate_workload, TpchWorkloadConfig};

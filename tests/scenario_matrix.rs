@@ -1,0 +1,221 @@
+//! The HTAP scenario matrix, end-to-end at smoke scale: every named
+//! scenario (uniform, zipf-skew, flash-crowd, phase-shift, tenant-churn)
+//! is generated deterministically, the budget-constrained advisor picks a
+//! layout for it, and the full statement stream executes under both that
+//! layout and an all-row reference — the logical results must agree
+//! statement for statement. This is the transparency property under
+//! realistic HTAP pressure: skew, bursts, phase shifts, and tenant churn
+//! must never change *what* a query answers, only how fast.
+//!
+//! CI also runs this suite in the threaded debug-assertion stress step
+//! (`RUST_TEST_THREADS=8`), so the five scenarios exercise the shared
+//! engine concurrently.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hybrid_store_advisor::advisor::cost::AdjustmentFn;
+use hybrid_store_advisor::engine::{GroupRow, QueryOutput};
+use hybrid_store_advisor::prelude::*;
+use hybrid_store_advisor::tpch::scenario::{
+    generate_scenario, load_tenants, MixedWorkload, Scenario, ScenarioConfig,
+};
+use hybrid_store_advisor::tpch::TpchGenerator;
+
+/// A cost model with the canonical asymmetries (CS cheaper scans, RS
+/// cheaper writes), as a fully deterministic stand-in for calibration.
+fn model() -> CostModel {
+    let mut m = CostModel::neutral();
+    m.row.f_rows = AdjustmentFn::Linear {
+        slope: 1e-3,
+        intercept: 0.05,
+    };
+    m.column.f_rows = AdjustmentFn::Linear {
+        slope: 1e-4,
+        intercept: 0.05,
+    };
+    m.row.ins_row = AdjustmentFn::Constant(0.002);
+    m.column.ins_row = AdjustmentFn::Constant(0.01);
+    m.row.sel_point_ms = 0.002;
+    m.column.sel_point_ms = 0.008;
+    m.row.upd_row_ms = 0.002;
+    m.column.upd_row_ms = 0.01;
+    m.row.sel_per_row_scan = 2e-5;
+    m.column.sel_per_row_scan = 2e-6;
+    m
+}
+
+/// Aggregation results accumulate in store-specific orders, so floating
+/// sums may differ in the last ulps; everything else must match exactly.
+fn assert_outputs_close(a: &QueryOutput, b: &QueryOutput, ctx: &str) {
+    match (a, b) {
+        (QueryOutput::Aggregates(x), QueryOutput::Aggregates(y)) => {
+            assert_eq!(x.len(), y.len(), "group count diverges: {ctx}");
+            for (
+                GroupRow {
+                    key: ka,
+                    values: va,
+                },
+                GroupRow {
+                    key: kb,
+                    values: vb,
+                },
+            ) in x.iter().zip(y)
+            {
+                assert_eq!(ka, kb, "group keys diverge: {ctx}");
+                assert_eq!(va.len(), vb.len(), "aggregate count diverges: {ctx}");
+                for (p, q) in va.iter().zip(vb) {
+                    let tol = 1e-9 * p.abs().max(q.abs()).max(1.0);
+                    assert!((p - q).abs() <= tol, "{p} vs {q} diverges: {ctx}");
+                }
+            }
+        }
+        _ => assert_eq!(a, b, "outputs diverge: {ctx}"),
+    }
+}
+
+fn smoke_cfg(scenario: Scenario) -> ScenarioConfig {
+    ScenarioConfig {
+        scenario,
+        tenants: 2,
+        statements: 150,
+        olap_fraction: 0.12,
+        zipf_theta: 1.0,
+        seed: 0x3A7_81C5,
+    }
+}
+
+/// Load the multi-tenant catalog all-row and snapshot schemas + stats.
+fn reference_db(
+    g: &TpchGenerator,
+    tenants: usize,
+) -> (
+    HybridDatabase,
+    Vec<Arc<TableSchema>>,
+    BTreeMap<String, TableStats>,
+) {
+    let db = HybridDatabase::new();
+    load_tenants(g, &db, tenants, |_| TablePlacement::Single(StoreKind::Row)).unwrap();
+    let schemas: Vec<Arc<TableSchema>> = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| e.schema.clone())
+        .collect();
+    let stats = db
+        .catalog()
+        .entries()
+        .iter()
+        .map(|e| (e.schema.name.clone(), e.stats.clone()))
+        .collect();
+    (db, schemas, stats)
+}
+
+/// End-to-end: advisor-chosen (budget-constrained) layout vs the all-row
+/// reference, executing the identical stream on both.
+fn run_scenario(scenario: Scenario) {
+    let g = TpchGenerator::new(0.0005, 11);
+    let cfg = smoke_cfg(scenario);
+    let wl: MixedWorkload = generate_scenario(&g, &cfg);
+    assert_eq!(wl.statements.len(), cfg.statements);
+
+    let (reference, schemas, stats) = reference_db(&g, cfg.tenants);
+
+    // Budget three quarters of the all-row footprint, so the knapsack path
+    // is live in at least some scenarios (loose budgets fall back to the
+    // greedy special case — also a valid layout to verify).
+    let ctx = hybrid_store_advisor::advisor::advisor::build_ctx(&schemas, &stats);
+    let row_fp = hybrid_store_advisor::advisor::layout_footprint_bytes(
+        &ctx,
+        &StorageLayout::uniform(schemas.iter().map(|s| s.name.as_str()), StoreKind::Row),
+    );
+    let advisor = StorageAdvisor::new(model()).with_budget(0.75 * row_fp);
+    let rec = advisor
+        .recommend_offline(&schemas, &stats, &wl.workload(), true)
+        .unwrap();
+    assert!(
+        rec.budget_feasible,
+        "{}: budget infeasible",
+        scenario.name()
+    );
+    assert!(
+        rec.footprint_bytes <= 0.75 * row_fp + 1e-6,
+        "{}: footprint exceeds budget",
+        scenario.name()
+    );
+
+    let advised = HybridDatabase::new();
+    load_tenants(&g, &advised, cfg.tenants, |_| {
+        TablePlacement::Single(StoreKind::Row)
+    })
+    .unwrap();
+    mover::apply_layout(&advised, &rec.layout).unwrap();
+
+    for (i, s) in wl.statements.iter().enumerate() {
+        let expect = reference.execute(&s.query).unwrap();
+        let got = advised.execute(&s.query).unwrap();
+        assert_outputs_close(
+            &got,
+            &expect,
+            &format!("{} statement #{i} (tenant {})", scenario.name(), s.tenant),
+        );
+    }
+}
+
+#[test]
+fn uniform_matches_all_row_reference() {
+    run_scenario(Scenario::Uniform);
+}
+
+#[test]
+fn zipf_skew_matches_all_row_reference() {
+    run_scenario(Scenario::ZipfSkew);
+}
+
+#[test]
+fn flash_crowd_matches_all_row_reference() {
+    run_scenario(Scenario::FlashCrowd);
+}
+
+#[test]
+fn phase_shift_matches_all_row_reference() {
+    run_scenario(Scenario::PhaseShift);
+}
+
+#[test]
+fn tenant_churn_matches_all_row_reference() {
+    run_scenario(Scenario::TenantChurn);
+}
+
+#[test]
+fn matrix_streams_are_deterministic_and_seed_sensitive() {
+    let g = TpchGenerator::new(0.0005, 11);
+    for scenario in Scenario::ALL {
+        let cfg = smoke_cfg(scenario);
+        let a = generate_scenario(&g, &cfg);
+        let b = generate_scenario(&g, &cfg);
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "{}: same seed must replay byte-identically",
+            scenario.name()
+        );
+        let c = generate_scenario(
+            &g,
+            &ScenarioConfig {
+                seed: cfg.seed ^ 1,
+                ..cfg
+            },
+        );
+        assert_ne!(
+            a.render(),
+            c.render(),
+            "{}: different seeds must differ",
+            scenario.name()
+        );
+        assert!(
+            a.render().contains(&format!("# seed: {}", cfg.seed)),
+            "stream must document its seed"
+        );
+    }
+}
