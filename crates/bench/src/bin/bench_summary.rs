@@ -8,11 +8,16 @@
 //! gates. Missing files and missing keys degrade to `n/a` cells rather
 //! than panics (the logic is unit-tested in the library module).
 //!
+//! `--check-readme` instead verifies that every committed `BENCH_*.json`
+//! is documented in `README.md` (each artifact name must appear verbatim)
+//! and exits non-zero listing the undocumented ones — the gating CI guard
+//! against the README bench table drifting from the artifacts.
+//!
 //! Run with `cargo run --release -p hsd-bench --bin bench_summary`.
 
 use hsd_bench::summary;
 
-fn main() {
+fn artifact_files() -> Vec<String> {
     let mut files: Vec<String> = std::fs::read_dir(".")
         .expect("read cwd")
         .filter_map(|e| e.ok())
@@ -20,10 +25,33 @@ fn main() {
         .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
         .collect();
     files.sort();
+    files
+}
+
+fn main() {
+    let check_readme = std::env::args().any(|a| a == "--check-readme");
+    let files = artifact_files();
     if files.is_empty() {
         eprintln!("[bench_summary] no BENCH_*.json artifacts found");
         std::process::exit(1);
     }
+
+    if check_readme {
+        let readme = std::fs::read_to_string("README.md").expect("read README.md");
+        let missing = summary::readme_missing_rows(&readme, &files);
+        if missing.is_empty() {
+            println!(
+                "[bench_summary] README.md documents all {} artifacts",
+                files.len()
+            );
+            return;
+        }
+        for m in &missing {
+            eprintln!("[bench_summary] README.md has no row for {m}");
+        }
+        std::process::exit(1);
+    }
+
     let rows: Vec<summary::ArtifactRow> =
         files.iter().map(|f| summary::summarize_path(f)).collect();
     print!("{}", summary::render_markdown(&rows));

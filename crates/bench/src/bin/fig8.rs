@@ -49,6 +49,7 @@ fn main() -> hsd_types::Result<()> {
                     split_value: Value::BigInt(split),
                 }),
                 vertical: None,
+                ..Default::default()
             });
             mover::move_table(&db, "t", &placement)?;
         }

@@ -25,6 +25,7 @@ pub fn run_setting(title: &str, spec: &TableSpec) -> Result<()> {
         vertical: Some(VerticalSpec {
             row_cols: spec.st_cols(),
         }),
+        ..Default::default()
     });
     let mut rows_out = Vec::new();
     for frac in fractions {

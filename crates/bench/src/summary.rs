@@ -143,6 +143,19 @@ pub fn summarize_path(path: &str) -> ArtifactRow {
     }
 }
 
+/// Which committed `BENCH_*.json` artifacts have no row in the README's
+/// bench documentation: returns every artifact name that does not appear
+/// verbatim anywhere in `readme`. Used by `bench_summary --check-readme`
+/// so the README bench table cannot silently drift from the artifacts
+/// actually in the repository.
+pub fn readme_missing_rows(readme: &str, artifacts: &[String]) -> Vec<String> {
+    artifacts
+        .iter()
+        .filter(|a| !readme.contains(a.as_str()))
+        .cloned()
+        .collect()
+}
+
 /// Render rows as the markdown table the CI job prints.
 pub fn render_markdown(rows: &[ArtifactRow]) -> String {
     let mut out = String::new();
@@ -237,6 +250,23 @@ mod tests {
         let row = summarize_text("BENCH_y.json", r#"{"benchmark": "y", "pass": false}"#);
         assert!(row.failing());
         assert!(render_markdown(&[row]).contains("❌"));
+    }
+
+    #[test]
+    fn readme_check_flags_undocumented_artifacts() {
+        let readme = "## Benchmarks\n\
+                      | `BENCH_scan.json` | batched vs scalar |\n\
+                      | `BENCH_tiering.json` | tiered recovery |\n";
+        let artifacts = vec![
+            "BENCH_scan.json".to_string(),
+            "BENCH_tiering.json".to_string(),
+            "BENCH_newthing.json".to_string(),
+        ];
+        assert_eq!(
+            readme_missing_rows(readme, &artifacts),
+            vec!["BENCH_newthing.json".to_string()]
+        );
+        assert!(readme_missing_rows(readme, &artifacts[..2]).is_empty());
     }
 
     #[test]

@@ -36,6 +36,33 @@ pub struct VerticalSpec {
     pub row_cols: Vec<ColumnIdx>,
 }
 
+/// Storage tier of a fragment: where its bytes reside.
+///
+/// Tier is the third placement dimension next to store kind and
+/// partitioning (following hStorage-DB's heterogeneity-aware placement):
+/// the advisor prices memory vs disk residency per fragment and the mover
+/// demotes/promotes fragments the same way it flips stores. Only the
+/// *cold* region of a table can be disk-resident — the hot partition
+/// exists precisely because it absorbs writes, which disk residency would
+/// make pay a full segment rewrite each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Tier {
+    /// Resident in memory (the default; all placements before tiering).
+    #[default]
+    Memory,
+    /// Resident as an immutable on-disk column segment, loaded per scan.
+    Disk,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Tier::Memory => "memory",
+            Tier::Disk => "disk",
+        })
+    }
+}
+
 /// Partitioning of one table.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PartitionSpec {
@@ -44,12 +71,21 @@ pub struct PartitionSpec {
     /// Optional vertical split (applies to the cold partition when a
     /// horizontal split is present, else to the whole table).
     pub vertical: Option<VerticalSpec>,
+    /// Storage tier of the cold partition. `Tier::Disk` demotes the cold
+    /// column fragment to an on-disk segment; with no horizontal split the
+    /// "cold partition" is the whole table, so
+    /// `PartitionSpec { cold_tier: Tier::Disk, ..Default::default() }` is
+    /// the whole-table-on-disk placement. Disk residency composes with a
+    /// horizontal split but not with a vertical one (the vertical pair's
+    /// row fragment serves point reads, which disk residency defeats).
+    pub cold_tier: Tier,
 }
 
 impl PartitionSpec {
-    /// Whether the spec actually partitions anything.
+    /// Whether the spec actually partitions anything (a disk-resident cold
+    /// tier counts: it changes the physical layout even with no split).
     pub fn is_trivial(&self) -> bool {
-        self.horizontal.is_none() && self.vertical.is_none()
+        self.horizontal.is_none() && self.vertical.is_none() && self.cold_tier == Tier::Memory
     }
 }
 
@@ -77,6 +113,9 @@ impl TablePlacement {
                 }
                 if let Some(v) = &spec.vertical {
                     parts.push(format!("vertical split, RS cols {:?}", v.row_cols));
+                }
+                if spec.cold_tier == Tier::Disk {
+                    parts.push("cold tier: disk".to_string());
                 }
                 if parts.is_empty() {
                     "partitioned (trivial)".to_string()
@@ -205,9 +244,20 @@ pub fn placement_to_json(p: &TablePlacement) -> Json {
                     Json::Arr(v.row_cols.iter().map(|&c| Json::Int(c as i64)).collect()),
                 )]),
             };
+            let cold_tier = match spec.cold_tier {
+                // Omitted for memory: layouts written before tiering parse
+                // identically, and tiered layouts parse under old readers'
+                // `get_opt` defaults.
+                Tier::Memory => Json::Null,
+                Tier::Disk => Json::Str("Disk".to_string()),
+            };
             Json::obj([(
                 "Partitioned",
-                Json::obj([("horizontal", horizontal), ("vertical", vertical)]),
+                Json::obj([
+                    ("horizontal", horizontal),
+                    ("vertical", vertical),
+                    ("cold_tier", cold_tier),
+                ]),
             )])
         }
     }
@@ -237,9 +287,20 @@ pub fn placement_from_json(j: &Json) -> JsonResult<TablePlacement> {
                 .collect::<JsonResult<Vec<_>>>()?,
         }),
     };
+    let cold_tier = match spec.get_opt("cold_tier") {
+        None => Tier::Memory,
+        Some(t) => match t.as_str()? {
+            "Memory" => Tier::Memory,
+            "Disk" => Tier::Disk,
+            other => {
+                return Err(hsd_types::JsonError(format!("unknown tier `{other}`")));
+            }
+        },
+    };
     Ok(TablePlacement::Partitioned(PartitionSpec {
         horizontal,
         vertical,
+        cold_tier,
     }))
 }
 
@@ -264,9 +325,14 @@ mod tests {
                 split_column: 0,
                 split_value: Value::Int(5),
             }),
-            vertical: None,
+            ..Default::default()
         };
         assert!(!spec.is_trivial());
+        let disk_only = PartitionSpec {
+            cold_tier: Tier::Disk,
+            ..Default::default()
+        };
+        assert!(!disk_only.is_trivial(), "a disk cold tier changes layout");
     }
 
     #[test]
@@ -281,10 +347,16 @@ mod tests {
             vertical: Some(VerticalSpec {
                 row_cols: vec![1, 3],
             }),
+            ..Default::default()
         });
         let d = part.describe();
         assert!(d.contains("col#2 >= 9"), "{d}");
         assert!(d.contains("[1, 3]"), "{d}");
+        let tiered = TablePlacement::Partitioned(PartitionSpec {
+            cold_tier: Tier::Disk,
+            ..Default::default()
+        });
+        assert!(tiered.describe().contains("disk"), "{}", tiered.describe());
     }
 
     #[test]
@@ -309,18 +381,38 @@ mod tests {
                     split_value: Value::Int(100),
                 }),
                 vertical: Some(VerticalSpec { row_cols: vec![2] }),
+                ..Default::default()
             }),
         );
         l.set("small", TablePlacement::Single(StoreKind::Column));
         l.set(
             "trivial",
+            TablePlacement::Partitioned(PartitionSpec::default()),
+        );
+        l.set(
+            "archive",
             TablePlacement::Partitioned(PartitionSpec {
-                horizontal: None,
-                vertical: None,
+                cold_tier: Tier::Disk,
+                ..Default::default()
             }),
         );
         let json = l.to_json();
         let back = StorageLayout::from_json(&json).unwrap();
         assert_eq!(back, l);
+    }
+
+    #[test]
+    fn pre_tier_layouts_still_parse() {
+        // A layout written before `cold_tier` existed must decode with the
+        // memory default (back-compat for committed artifacts).
+        let legacy = r#"{"placements": {"orders": {"Partitioned": {
+            "horizontal": {"split_column": 0, "split_value": {"Int": 5}},
+            "vertical": null
+        }}}}"#;
+        let l = StorageLayout::from_json(legacy).unwrap();
+        match l.placement("orders") {
+            TablePlacement::Partitioned(spec) => assert_eq!(spec.cold_tier, Tier::Memory),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

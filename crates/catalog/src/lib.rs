@@ -26,7 +26,7 @@ pub mod workload_stats;
 pub use catalog::{Catalog, TableEntry};
 pub use layout::{
     placement_from_json, placement_to_json, HorizontalSpec, PartitionSpec, StorageLayout,
-    TablePlacement, VerticalSpec,
+    TablePlacement, Tier, VerticalSpec,
 };
 pub use stats::{ColumnStats, TableStats};
 pub use workload_stats::{ColumnActivity, ExtendedStats, RangeEnvelope, TableActivity};

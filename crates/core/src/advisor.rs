@@ -42,6 +42,9 @@ pub struct Recommendation {
     pub cs_only_ms: f64,
     /// Modeled in-memory footprint of the recommended layout (bytes).
     pub footprint_bytes: f64,
+    /// Modeled on-disk bytes of the recommended layout (cold fragments
+    /// demoted to the disk tier; zero for all-memory layouts).
+    pub disk_bytes: f64,
     /// The memory budget the recommendation was selected under, if any
     /// ([`StorageAdvisor::memory_budget`]).
     pub budget_bytes: Option<f64>,
@@ -381,12 +384,14 @@ impl StorageAdvisor {
         let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload)
             + self.layout_upkeep_ms(ctx, workload, &layout);
         let statements = migration_statements(schemas, &layout);
+        let disk_bytes = crate::budget::layout_disk_bytes(ctx, &layout);
         Ok(Recommendation {
             layout,
             estimated_ms,
             rs_only_ms,
             cs_only_ms,
             footprint_bytes,
+            disk_bytes,
             budget_bytes: self.memory_budget,
             budget_feasible,
             tables,
@@ -429,6 +434,18 @@ impl StorageAdvisor {
                 TablePlacement::Single(StoreKind::Column),
             ];
             if let TablePlacement::Partitioned(spec) = chosen.placement(name) {
+                // The adopted split, plus its disk-demoted variant: same
+                // hot/cold shape, cold fragment priced out of memory and
+                // into tier surcharges. The knapsack sees demotion as one
+                // more point on the cost/footprint frontier — the relief
+                // valve when even the compressed column store won't fit.
+                // (Vertical cold fragments cannot demote; the engine keeps
+                // them memory-resident.)
+                if spec.vertical.is_none() && spec.cold_tier == hsd_catalog::Tier::Memory {
+                    let mut demoted = spec.clone();
+                    demoted.cold_tier = hsd_catalog::Tier::Disk;
+                    placements.push(TablePlacement::Partitioned(demoted));
+                }
                 placements.push(TablePlacement::Partitioned(spec));
             }
             let queries = queries_of.get(name.as_str()).unwrap_or(&empty);
@@ -451,6 +468,7 @@ impl StorageAdvisor {
                     crate::budget::PlacementCandidate {
                         cost_ms: share + self.placement_upkeep_ms(ctx, workload, name, &placement),
                         footprint_bytes: crate::budget::placement_footprint_bytes(tctx, &placement),
+                        disk_bytes: crate::budget::placement_disk_bytes(tctx, &placement),
                         placement,
                     }
                 })
@@ -749,6 +767,9 @@ fn migration_statements(schemas: &[Arc<TableSchema>], layout: &StorageLayout) ->
                          (REMAINING ATTRIBUTES -> COLUMN STORE, PRIMARY KEY IN BOTH);",
                         cols.join(", ")
                     ));
+                }
+                if spec.cold_tier == hsd_catalog::Tier::Disk {
+                    out.push(format!("ALTER TABLE {name} DEMOTE COLD PARTITION TO DISK;"));
                 }
             }
         }
@@ -1183,6 +1204,55 @@ mod tests {
         assert!(
             budgeted.estimated_ms >= unconstrained.estimated_ms,
             "a constrained optimum cannot beat the unconstrained one"
+        );
+    }
+
+    /// A memory budget below even the compressed column store forces the
+    /// knapsack onto the *disk-demoted* variant of the adopted split: the
+    /// cold fragment's bytes leave the memory account for the disk one,
+    /// the selection becomes feasible, and the recommendation reports the
+    /// disk residency and emits the demotion statement.
+    #[test]
+    fn binding_budget_demotes_cold_fragment_to_disk() {
+        let mut m = model();
+        m.tier = crate::cost::TierModel::default_disk();
+        let (schemas, stats) = schema_stats();
+        let w = insert_scan_workload(&schemas[0], stats["w"].row_count, 160, 10);
+        let unconstrained = StorageAdvisor::new(m.clone())
+            .recommend_offline(&schemas, &stats, &w, true)
+            .unwrap();
+        let spec = match unconstrained.layout.placement("w") {
+            TablePlacement::Partitioned(spec) => spec,
+            other => panic!("expected partitioned placement, got {other:?}"),
+        };
+        assert_eq!(spec.cold_tier, hsd_catalog::Tier::Memory);
+        assert_eq!(unconstrained.disk_bytes, 0.0);
+        // Budget far below every memory-resident placement of "w".
+        let ctx = build_ctx(&schemas, &stats);
+        let col_fp = crate::budget::placement_footprint_bytes(
+            &ctx.tables["w"],
+            &TablePlacement::Single(StoreKind::Column),
+        );
+        let budgeted = StorageAdvisor::new(m)
+            .with_budget(col_fp * 0.01)
+            .recommend_offline(&schemas, &stats, &w, true)
+            .unwrap();
+        match budgeted.layout.placement("w") {
+            TablePlacement::Partitioned(spec) => {
+                assert_eq!(spec.cold_tier, hsd_catalog::Tier::Disk);
+            }
+            other => panic!("expected disk-demoted split, got {other:?}"),
+        }
+        assert!(budgeted.budget_feasible);
+        assert!(budgeted.footprint_bytes <= col_fp * 0.01);
+        assert!(budgeted.disk_bytes > 0.0, "disk residency reported");
+        assert!(
+            budgeted
+                .statements
+                .iter()
+                .any(|s| s.contains("DEMOTE COLD PARTITION TO DISK")),
+            "statements: {:?}",
+            budgeted.statements
         );
     }
 

@@ -34,7 +34,7 @@
 
 use std::collections::BTreeMap;
 
-use hsd_catalog::TablePlacement;
+use hsd_catalog::{TablePlacement, Tier};
 use hsd_storage::StoreKind;
 use hsd_types::ColumnType;
 
@@ -93,6 +93,37 @@ pub fn column_bytes_per_row(tctx: &TableCtx) -> f64 {
         .sum()
 }
 
+/// Modeled bytes per row of the *cold* fragment of `spec` (bit-packed
+/// column encoding; a vertical split routes its `row_cols` plus the
+/// duplicated primary key to row-store pricing).
+fn cold_bytes_per_row(tctx: &TableCtx, spec: &hsd_catalog::PartitionSpec) -> f64 {
+    match &spec.vertical {
+        Some(v) => {
+            let n = tctx.column_types.len();
+            let in_row = |c: usize| {
+                v.row_cols.contains(&c) || tctx.pk_columns.contains(&(c as u32 as usize))
+            };
+            let row_part: f64 = (0..n)
+                .filter(|&c| in_row(c))
+                .map(|c| row_value_bytes(tctx.column_types[c]))
+                .sum();
+            // The primary key is materialized in both fragments.
+            let pk_dup: f64 = tctx
+                .pk_columns
+                .iter()
+                .filter(|&&c| c < n)
+                .map(|&c| column_value_bytes(tctx, c, tctx.stats.row_count))
+                .sum();
+            let col_part: f64 = (0..n)
+                .filter(|&c| !in_row(c))
+                .map(|c| column_value_bytes(tctx, c, tctx.stats.row_count))
+                .sum();
+            row_part + col_part + pk_dup
+        }
+        None => column_bytes_per_row(tctx),
+    }
+}
+
 /// Modeled in-memory footprint (bytes) of `placement` for the table
 /// described by `tctx`. Partitioned placements compose the same hot/cold
 /// selectivity split the cost estimator uses
@@ -100,6 +131,10 @@ pub fn column_bytes_per_row(tctx: &TableCtx) -> f64 {
 /// region prices at row-store bytes, the cold region at column-store
 /// bytes, and a vertical split routes its `row_cols` (plus the primary
 /// key, which lives in both fragments) to row-store pricing.
+///
+/// A cold fragment demoted to [`Tier::Disk`] contributes **nothing**
+/// here — its bytes live in [`placement_disk_bytes`] instead, so a memory
+/// budget constrains only what is actually resident.
 pub fn placement_footprint_bytes(tctx: &TableCtx, placement: &TablePlacement) -> f64 {
     let rows = tctx.stats.row_count as f64;
     match placement {
@@ -107,33 +142,28 @@ pub fn placement_footprint_bytes(tctx: &TableCtx, placement: &TablePlacement) ->
         TablePlacement::Single(StoreKind::Column) => rows * column_bytes_per_row(tctx),
         TablePlacement::Partitioned(spec) => {
             let hot = crate::partition::horizontal_hot_fraction(&tctx.stats, spec);
-            let cold_per_row = match &spec.vertical {
-                Some(v) => {
-                    let n = tctx.column_types.len();
-                    let in_row = |c: usize| {
-                        v.row_cols.contains(&c) || tctx.pk_columns.contains(&(c as u32 as usize))
-                    };
-                    let row_part: f64 = (0..n)
-                        .filter(|&c| in_row(c))
-                        .map(|c| row_value_bytes(tctx.column_types[c]))
-                        .sum();
-                    // The primary key is materialized in both fragments.
-                    let pk_dup: f64 = tctx
-                        .pk_columns
-                        .iter()
-                        .filter(|&&c| c < n)
-                        .map(|&c| column_value_bytes(tctx, c, tctx.stats.row_count))
-                        .sum();
-                    let col_part: f64 = (0..n)
-                        .filter(|&c| !in_row(c))
-                        .map(|c| column_value_bytes(tctx, c, tctx.stats.row_count))
-                        .sum();
-                    row_part + col_part + pk_dup
-                }
-                None => column_bytes_per_row(tctx),
+            let cold_in_memory = match spec.cold_tier {
+                Tier::Memory => (1.0 - hot) * cold_bytes_per_row(tctx, spec),
+                Tier::Disk => 0.0,
             };
-            rows * (hot * row_bytes_per_row(tctx) + (1.0 - hot) * cold_per_row)
+            rows * (hot * row_bytes_per_row(tctx) + cold_in_memory)
         }
+    }
+}
+
+/// Modeled on-disk bytes of `placement`: the cold fragment's bit-packed
+/// size when it is demoted to [`Tier::Disk`], zero for every
+/// memory-resident placement. The disk segment stores the same packed
+/// words as the in-memory column store, so the two sides of the tier
+/// split price a fragment identically — demotion *moves* bytes between
+/// the accounts rather than changing their total.
+pub fn placement_disk_bytes(tctx: &TableCtx, placement: &TablePlacement) -> f64 {
+    match placement {
+        TablePlacement::Partitioned(spec) if spec.cold_tier == Tier::Disk => {
+            let hot = crate::partition::horizontal_hot_fraction(&tctx.stats, spec);
+            tctx.stats.row_count as f64 * (1.0 - hot) * cold_bytes_per_row(tctx, spec)
+        }
+        _ => 0.0,
     }
 }
 
@@ -142,6 +172,14 @@ pub fn layout_footprint_bytes(ctx: &EstimationCtx, layout: &hsd_catalog::Storage
     ctx.tables
         .iter()
         .map(|(name, tctx)| placement_footprint_bytes(tctx, &layout.placement(name)))
+        .sum()
+}
+
+/// Total modeled on-disk bytes of a full layout over every table in `ctx`.
+pub fn layout_disk_bytes(ctx: &EstimationCtx, layout: &hsd_catalog::StorageLayout) -> f64 {
+    ctx.tables
+        .iter()
+        .map(|(name, tctx)| placement_disk_bytes(tctx, &layout.placement(name)))
         .sum()
 }
 
@@ -159,6 +197,9 @@ pub struct PlacementCandidate {
     pub cost_ms: f64,
     /// Modeled in-memory bytes of this placement.
     pub footprint_bytes: f64,
+    /// Modeled on-disk bytes of this placement (non-zero only for
+    /// disk-tier cold fragments; reported, never budget-constrained).
+    pub disk_bytes: f64,
 }
 
 /// A table's candidate list (at least one entry).
@@ -179,6 +220,11 @@ pub struct GlobalSelection {
     pub total_cost_ms: f64,
     /// Total modeled footprint of the selection (bytes).
     pub total_footprint_bytes: f64,
+    /// Total modeled on-disk bytes of the selection. The knapsack never
+    /// constrains this — disk is the *relief valve* the budget squeezes
+    /// cold fragments into — but callers report it so operators can see
+    /// what a memory budget costs in disk footprint.
+    pub total_disk_bytes: f64,
     /// Whether the budget was satisfiable at all: `false` only when even
     /// the smallest-footprint assignment exceeds it (the selection then
     /// *is* that smallest assignment — the least-infeasible answer).
@@ -273,10 +319,18 @@ pub fn select_under_budget(
             .map(|(t, &i)| t.candidates[i].cost_ms)
             .sum()
     };
+    let disk_of = |choice: &[usize]| -> f64 {
+        tables
+            .iter()
+            .zip(choice)
+            .map(|(t, &i)| t.candidates[i].disk_bytes)
+            .sum()
+    };
     let finish = |choice: Vec<usize>, feasible: bool| -> GlobalSelection {
         GlobalSelection {
             total_cost_ms: cost_of(&choice),
             total_footprint_bytes: footprint_of(&choice),
+            total_disk_bytes: disk_of(&choice),
             feasible,
             choice: tables
                 .iter()
@@ -358,6 +412,7 @@ mod tests {
             placement: TablePlacement::Single(StoreKind::Row),
             cost_ms: cost,
             footprint_bytes: fp,
+            disk_bytes: 0.0,
         }
     }
 
@@ -465,6 +520,7 @@ mod tests {
                 split_value: hsd_types::Value::BigInt(9_000),
             }),
             vertical: None,
+            ..Default::default()
         };
         let mut tctx2 = tctx.clone();
         tctx2.stats.columns[0].min = Some(hsd_types::Value::BigInt(0));
@@ -473,6 +529,53 @@ mod tests {
         let row2 = placement_footprint_bytes(&tctx2, &TablePlacement::Single(StoreKind::Row));
         let col2 = placement_footprint_bytes(&tctx2, &TablePlacement::Single(StoreKind::Column));
         assert!(part > col2 && part < row2, "{col2} < {part} < {row2}");
+    }
+
+    #[test]
+    fn disk_tier_moves_cold_bytes_off_the_memory_account() {
+        let mut stats = TableStats::empty(3);
+        stats.row_count = 10_000;
+        for c in &mut stats.columns {
+            c.distinct = 100;
+            c.compression_rate = 0.99;
+        }
+        stats.columns[0].min = Some(hsd_types::Value::BigInt(0));
+        stats.columns[0].max = Some(hsd_types::Value::BigInt(9_999));
+        let tctx = TableCtx {
+            stats,
+            indexed: vec![],
+            column_types: vec![ColumnType::BigInt, ColumnType::Varchar, ColumnType::Double],
+            pk_columns: vec![0],
+            delta_tail: 0,
+            observed_tail_rate: None,
+        };
+        let spec = |tier: Tier| hsd_catalog::PartitionSpec {
+            horizontal: Some(hsd_catalog::HorizontalSpec {
+                split_column: 0,
+                split_value: hsd_types::Value::BigInt(9_000),
+            }),
+            vertical: None,
+            cold_tier: tier,
+        };
+        let mem_p = TablePlacement::Partitioned(spec(Tier::Memory));
+        let disk_p = TablePlacement::Partitioned(spec(Tier::Disk));
+        let mem_fp = placement_footprint_bytes(&tctx, &mem_p);
+        let disk_fp = placement_footprint_bytes(&tctx, &disk_p);
+        let disk_bytes = placement_disk_bytes(&tctx, &disk_p);
+        // Demotion moves the cold fragment's bytes between the accounts
+        // without changing their total.
+        assert!(disk_fp < mem_fp, "{disk_fp} < {mem_fp}");
+        assert!(disk_bytes > 0.0);
+        assert!(
+            (disk_fp + disk_bytes - mem_fp).abs() < 1e-6,
+            "{disk_fp} + {disk_bytes} != {mem_fp}"
+        );
+        // Memory-tier placements have no disk footprint.
+        assert_eq!(placement_disk_bytes(&tctx, &mem_p), 0.0);
+        assert_eq!(
+            placement_disk_bytes(&tctx, &TablePlacement::Single(StoreKind::Column)),
+            0.0
+        );
     }
 
     // --- proptests --------------------------------------------------------

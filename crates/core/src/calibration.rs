@@ -69,6 +69,10 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Result<CostModel> {
     }
     calibrate_join(&mut model, cfg)?;
     calibrate_union_overhead(&mut model, cfg)?;
+    // Disk-tier pricing is not micro-benchmarked (it depends on the deployment
+    // medium far more than on this process); ship the documented defaults so a
+    // calibrated model never treats disk residency as free.
+    model.tier = crate::cost::TierModel::default_disk();
     model.meta = CalibrationMeta {
         base_rows: cfg.base_rows,
         reference_compression: reference_spec("x", cfg.base_rows, cfg)
@@ -580,6 +584,7 @@ fn calibrate_union_overhead(model: &mut CostModel, cfg: &CalibrationConfig) -> R
                 split_value: Value::BigInt(rows as i64 * 10),
             }),
             vertical: None,
+            ..Default::default()
         }),
     )?;
     db.bulk_load("u_part", part_spec.rows())?;

@@ -231,6 +231,60 @@ impl StoreModel {
     }
 }
 
+/// Disk-tier pricing: what persistent-tier residency of a cold partition
+/// adds to each access class, on top of the store-specific costs above.
+///
+/// The engine keeps a demoted cold partition as an on-disk segment and
+/// decodes it per query, so the tier dimension prices three things:
+///
+/// * **scans** pay a decode cost proportional to the segment size
+///   ([`TierModel::scan_mib_ms`]);
+/// * **point reads** that miss the hot partition pay a segment fetch
+///   ([`TierModel::point_ms`]);
+/// * **writes** routed to the cold partition pay the write-through cycle —
+///   load, apply, re-encode, republish — proportional to the segment size
+///   ([`TierModel::rewrite_mib_ms`]).
+///
+/// All three are zero in [`TierModel::neutral`] (disk is free — placement
+/// collapses to the memory-only model) and strictly positive in
+/// [`TierModel::default_disk`], so demotion is only chosen when the
+/// workload's cold-access share is low enough that the saved memory is
+/// worth the slower accesses — the budget trade
+/// [`crate::budget::select_under_budget`] arbitrates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierModel {
+    /// Milliseconds per MiB of cold segment decoded by a scan-type access.
+    pub scan_mib_ms: f64,
+    /// Milliseconds added to a point read that must hit the segment.
+    pub point_ms: f64,
+    /// Milliseconds per MiB for one write-through rewrite of the segment.
+    pub rewrite_mib_ms: f64,
+}
+
+impl TierModel {
+    /// Free disk: tier residency adds nothing (tests; memory-only
+    /// deployments).
+    pub fn neutral() -> Self {
+        TierModel {
+            scan_mib_ms: 0.0,
+            point_ms: 0.0,
+            rewrite_mib_ms: 0.0,
+        }
+    }
+
+    /// Conservative local-flash profile used when no measured tier
+    /// calibration exists: ~170 MiB/s effective segment decode for scans,
+    /// tens of microseconds per point fetch, and a rewrite roughly 3x the
+    /// decode (encode + fsync + rename dominate).
+    pub fn default_disk() -> Self {
+        TierModel {
+            scan_mib_ms: 6.0,
+            point_ms: 0.05,
+            rewrite_mib_ms: 20.0,
+        }
+    }
+}
+
 /// Metadata recorded at calibration time.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CalibrationMeta {
@@ -263,6 +317,8 @@ pub struct CostModel {
     /// Fixed overhead per additional partition in a horizontal union
     /// (partial-aggregate merging).
     pub union_overhead_ms: f64,
+    /// Disk-tier pricing for demoted cold partitions.
+    pub tier: TierModel,
     /// Calibration provenance.
     pub meta: CalibrationMeta,
 }
@@ -284,6 +340,7 @@ impl CostModel {
             join_factor: [[1.0; 2]; 2],
             dim_build: [AdjustmentFn::Constant(0.0), AdjustmentFn::Constant(0.0)],
             union_overhead_ms: 0.0,
+            tier: TierModel::neutral(),
             meta: CalibrationMeta::default(),
         }
     }
@@ -328,6 +385,14 @@ impl CostModel {
             ),
             ("union_overhead_ms", Json::Num(self.union_overhead_ms)),
             (
+                "tier",
+                Json::obj([
+                    ("scan_mib_ms", Json::Num(self.tier.scan_mib_ms)),
+                    ("point_ms", Json::Num(self.tier.point_ms)),
+                    ("rewrite_mib_ms", Json::Num(self.tier.rewrite_mib_ms)),
+                ]),
+            ),
+            (
                 "meta",
                 Json::obj([
                     ("base_rows", Json::Int(self.meta.base_rows as i64)),
@@ -365,12 +430,23 @@ impl CostModel {
             return Err(JsonError("dim_build must have 2 entries".to_string()));
         }
         let meta = root.get("meta")?;
+        // Models written before the tier dimension existed have no "tier"
+        // key; they load with free-disk pricing (the behavior they encoded).
+        let tier = match root.get_opt("tier") {
+            Some(t) => TierModel {
+                scan_mib_ms: t.get("scan_mib_ms")?.as_f64()?,
+                point_ms: t.get("point_ms")?.as_f64()?,
+                rewrite_mib_ms: t.get("rewrite_mib_ms")?.as_f64()?,
+            },
+            None => TierModel::neutral(),
+        };
         Ok(CostModel {
             row: store_model_from_json(root.get("row")?)?,
             column: store_model_from_json(root.get("column")?)?,
             join_factor,
             dim_build: [adjustment_from_json(&db[0])?, adjustment_from_json(&db[1])?],
             union_overhead_ms: root.get("union_overhead_ms")?.as_f64()?,
+            tier,
             meta: CalibrationMeta {
                 base_rows: meta.get("base_rows")?.as_usize()?,
                 reference_compression: meta.get("reference_compression")?.as_f64()?,
@@ -582,6 +658,24 @@ mod tests {
         let json = m.to_json();
         let back = CostModel::from_json(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tier_model_json_round_trip_and_back_compat() {
+        let mut m = CostModel::neutral();
+        m.tier = TierModel::default_disk();
+        let json = m.to_json();
+        let back = CostModel::from_json(&json).unwrap();
+        assert_eq!(back.tier, TierModel::default_disk());
+        // A model serialized before tier pricing existed (no "tier" key)
+        // must parse with the neutral tier — disk residency priced free,
+        // exactly the pre-tier behaviour.
+        let Json::Obj(mut fields) = Json::parse(&json).unwrap() else {
+            panic!("cost model serializes as an object");
+        };
+        assert!(fields.remove("tier").is_some(), "tier object serialized");
+        let old = CostModel::from_json(&Json::Obj(fields).to_string()).unwrap();
+        assert_eq!(old.tier, TierModel::neutral());
     }
 
     #[test]

@@ -557,6 +557,17 @@ fn estimate_partitioned(
 ) -> f64 {
     let table = query.table().to_string();
     let n = tctx.stats.row_count as f64;
+    // Tier surcharge inputs: a disk-resident cold fragment adds decode
+    // bandwidth to scans, fetch latency to point reads, and a segment
+    // rewrite cycle to cold-routed writes (see [`crate::cost::TierModel`]).
+    let disk_cold = spec.cold_tier == hsd_catalog::Tier::Disk;
+    let cold_fraction = 1.0 - hot_fraction;
+    let cold_mib = if disk_cold {
+        n * cold_fraction * crate::budget::column_bytes_per_row(tctx) / (1024.0 * 1024.0)
+    } else {
+        0.0
+    };
+    let tier = &model.tier;
     // Build scaled contexts for the hot and cold parts.
     let scaled = |fraction: f64| -> EstimationCtx {
         let mut c = ctx.clone();
@@ -601,8 +612,16 @@ fn estimate_partitioned(
                 &with_store(store),
                 query,
             );
-            // A point update hits exactly one partition; weight by fraction.
-            hot * hot_fraction + cold * (1.0 - hot_fraction)
+            // A point update hits exactly one partition; weight by
+            // fraction. A cold-routed write against a disk-tier fragment
+            // additionally fetches the segment and rewrites it whole
+            // (write-through re-publication).
+            let disk_write = if disk_cold {
+                cold_fraction * (tier.point_ms + tier.rewrite_mib_ms * cold_mib)
+            } else {
+                0.0
+            };
+            hot * hot_fraction + cold * cold_fraction + disk_write
         }
         Query::Select(q) => {
             let store = select_store(spec, q);
@@ -619,9 +638,18 @@ fn estimate_partitioned(
                 query,
             );
             if is_pk_point(tctx, &q.filter) {
-                hot * hot_fraction + cold * (1.0 - hot_fraction)
+                // A point read lands cold with probability `cold_fraction`
+                // and then pays the segment fetch latency.
+                let disk_point = if disk_cold {
+                    cold_fraction * tier.point_ms
+                } else {
+                    0.0
+                };
+                hot * hot_fraction + cold * cold_fraction + disk_point
             } else {
-                hot + cold + model.union_overhead_ms
+                // A ranged select decodes the whole cold segment
+                // (`cold_mib` is zero for memory-resident cold parts).
+                hot + cold + model.union_overhead_ms + tier.scan_mib_ms * cold_mib
             }
         }
         Query::Aggregate(_) => {
@@ -649,6 +677,7 @@ fn estimate_partitioned(
                 } else {
                     0.0
                 }
+                + tier.scan_mib_ms * cold_mib
         }
     }
 }
@@ -950,6 +979,7 @@ mod tests {
                     split_value: Value::BigInt(9000),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         );
         let partitioned = estimate_query_layout(&m, &c, &layout, &q);
@@ -961,6 +991,67 @@ mod tests {
         let rs = estimate_query_layout(&m, &c, &rs_layout, &q);
         assert!(partitioned > cs, "partition pays RS scan on the hot 10%");
         assert!(partitioned < rs, "but stays far below full row store");
+    }
+
+    /// Disk-tier cold fragments pay the [`crate::cost::TierModel`]
+    /// surcharges: scans a decode-bandwidth term, point reads a
+    /// cold-weighted fetch latency, updates a segment rewrite cycle — and
+    /// a memory-tier twin of the same split pays none of them.
+    #[test]
+    fn disk_tier_surcharges_scans_points_and_updates() {
+        use hsd_query::{SelectQuery, UpdateQuery};
+        let mut m = model();
+        m.tier = crate::cost::TierModel::default_disk();
+        let c = ctx();
+        let layout_with = |tier: hsd_catalog::Tier| {
+            let mut layout = StorageLayout::new();
+            layout.set(
+                "t",
+                TablePlacement::Partitioned(hsd_catalog::PartitionSpec {
+                    horizontal: Some(hsd_catalog::HorizontalSpec {
+                        split_column: 0,
+                        split_value: Value::BigInt(9000),
+                    }),
+                    vertical: None,
+                    cold_tier: tier,
+                }),
+            );
+            layout
+        };
+        let mem = layout_with(hsd_catalog::Tier::Memory);
+        let disk = layout_with(hsd_catalog::Tier::Disk);
+
+        let scan = Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1));
+        let point = Query::Select(SelectQuery::point("t", 0, Value::BigInt(42)));
+        let update = Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(1.0))],
+            filter: vec![hsd_storage::ColRange::eq(0, Value::BigInt(42))],
+        });
+        for q in [&scan, &point, &update] {
+            let on_mem = estimate_query_layout(&m, &c, &mem, q);
+            let on_disk = estimate_query_layout(&m, &c, &disk, q);
+            assert!(
+                on_disk > on_mem,
+                "disk tier must surcharge {q:?}: {on_disk} vs {on_mem}"
+            );
+        }
+        // The rewrite cycle dwarfs a point fetch: the update surcharge must
+        // exceed the point-select surcharge.
+        let upd_delta = estimate_query_layout(&m, &c, &disk, &update)
+            - estimate_query_layout(&m, &c, &mem, &update);
+        let point_delta = estimate_query_layout(&m, &c, &disk, &point)
+            - estimate_query_layout(&m, &c, &mem, &point);
+        assert!(upd_delta > point_delta, "{upd_delta} > {point_delta}");
+        // A neutral tier model prices the two tiers identically (back-compat
+        // for models serialized before tier pricing existed).
+        let neutral = model();
+        for q in [&scan, &point, &update] {
+            assert_eq!(
+                estimate_query_layout(&neutral, &c, &mem, q),
+                estimate_query_layout(&neutral, &c, &disk, q),
+            );
+        }
     }
 
     /// Satellite regression: a table with no [`TableCtx`] used to be priced
@@ -985,6 +1076,7 @@ mod tests {
                     split_value: Value::BigInt(0),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         );
         let partitioned = estimate_query_layout(&m, &c, &layout, &ins);
@@ -1019,6 +1111,7 @@ mod tests {
                     split_value: Value::BigInt(9000),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         );
         let partitioned = estimate_query_layout(&m, &c, &part, &q);
@@ -1079,6 +1172,7 @@ mod tests {
                 split_value: Value::BigInt(9000),
             }),
             vertical: None,
+            ..Default::default()
         });
         let frag = placement_fragment_drivers(&c, &w, "t", &hot_cold).unwrap();
         let hot = crate::partition::horizontal_hot_fraction(
@@ -1104,6 +1198,7 @@ mod tests {
                 split_value: Value::BigInt(9000),
             }),
             vertical: Some(VerticalSpec { row_cols: vec![1] }),
+            ..Default::default()
         });
         let v = placement_fragment_drivers(&c, &w, "t", &vertical).unwrap();
         assert_eq!(v.drivers.tail_growth, 0.0);

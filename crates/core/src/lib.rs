@@ -40,11 +40,11 @@ pub mod report;
 
 pub use advisor::{Recommendation, StorageAdvisor, TableRecommendation};
 pub use budget::{
-    layout_footprint_bytes, placement_footprint_bytes, select_under_budget, GlobalSelection,
-    PlacementCandidate, TableCandidates,
+    layout_disk_bytes, layout_footprint_bytes, placement_disk_bytes, placement_footprint_bytes,
+    select_under_budget, GlobalSelection, PlacementCandidate, TableCandidates,
 };
 pub use calibration::{calibrate, CalibrationConfig};
-pub use cost::{AdjustmentFn, CostModel, StoreModel};
+pub use cost::{AdjustmentFn, CostModel, StoreModel, TierModel};
 pub use estimator::{
     placement_fragment_drivers, EstimationCtx, FragmentDrivers, MaintenanceDrivers, TableCtx,
 };

@@ -99,6 +99,7 @@ pub fn recommend_partition(
     Some(PartitionSpec {
         horizontal,
         vertical,
+        ..Default::default()
     })
 }
 
@@ -328,6 +329,7 @@ mod tests {
                 split_value: Value::BigInt(900),
             }),
             vertical: None,
+            ..Default::default()
         };
         let f = horizontal_hot_fraction(&stats(1000), &spec);
         assert!((f - 99.0 / 999.0).abs() < 1e-9, "got {f}");
@@ -350,6 +352,7 @@ mod tests {
                 split_value: Value::BigInt(900),
             }),
             vertical: None,
+            ..Default::default()
         };
         // Empty stats: the split column exists but min/max are unknown.
         assert_eq!(horizontal_hot_fraction(&TableStats::empty(4), &spec), 0.0);

@@ -32,6 +32,14 @@ pub fn render(rec: &Recommendation) -> String {
             "  improvement vs best single-store baseline: {gain:.1} %"
         );
     }
+    if rec.disk_bytes > 0.0 {
+        let _ = writeln!(
+            out,
+            "  modeled residency: {:.1} MiB memory + {:.1} MiB disk",
+            rec.footprint_bytes / (1024.0 * 1024.0),
+            rec.disk_bytes / (1024.0 * 1024.0)
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(out, "per-table decisions:");
     for t in &rec.tables {
@@ -74,6 +82,7 @@ mod tests {
             }],
             statements: vec!["ALTER TABLE t MOVE TO COLUMN STORE;".into()],
             footprint_bytes: 0.0,
+            disk_bytes: 0.0,
             budget_bytes: None,
             budget_feasible: true,
         };

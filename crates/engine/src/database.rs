@@ -33,7 +33,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLock
 use hsd_catalog::{Catalog, StorageLayout, TablePlacement, TableStats};
 use hsd_query::Query;
 use hsd_storage::wal::{SyncPolicy, WalStats, WalSyncHandle, WalWriter};
-use hsd_storage::{StoreKind, Table};
+use hsd_storage::{SegmentStore, StoreKind, Table};
 use hsd_types::{Error, Result, TableId, TableSchema, Value};
 
 use crate::durability::WalRecord;
@@ -268,12 +268,40 @@ pub struct HybridDatabase {
     wal: WalCell,
     /// Tables quarantined read-only by crash recovery, with reasons.
     degraded: RwLock<BTreeMap<String, String>>,
+    /// Store for demoted cold-partition segments (in-memory unless the
+    /// database was opened against a directory).
+    segments: Arc<SegmentStore>,
+    /// On-disk layout when directory-backed (set by
+    /// [`HybridDatabase::open_dir`]; enables checkpointing).
+    data_dir: RwLock<Option<crate::checkpoint::DataDir>>,
 }
 
 impl HybridDatabase {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The store holding demoted cold-partition segments.
+    pub fn segment_store(&self) -> &Arc<SegmentStore> {
+        &self.segments
+    }
+
+    /// Replace the segment store. Only valid before any fragment has been
+    /// demoted (directory-backed databases install their store right after
+    /// construction).
+    pub(crate) fn set_segment_store(&mut self, store: SegmentStore) {
+        self.segments = Arc::new(store);
+    }
+
+    /// Record the directory layout this database is backed by.
+    pub(crate) fn set_data_dir(&self, layout: crate::checkpoint::DataDir) {
+        *write_lock(&self.data_dir) = Some(layout);
+    }
+
+    /// The directory layout, when directory-backed.
+    pub(crate) fn data_dir(&self) -> Option<crate::checkpoint::DataDir> {
+        read_lock(&self.data_dir).clone()
     }
 
     /// Create a table with the given placement.
@@ -400,6 +428,12 @@ impl HybridDatabase {
         self.with_table(table, TableData::delta_tail)
     }
 
+    /// On-disk segment bytes of a table's demoted cold partition (0 for
+    /// memory-resident layouts).
+    pub fn disk_bytes(&self, table: &str) -> Result<u64> {
+        self.with_table(table, TableData::disk_bytes)
+    }
+
     /// Rows resident in the region a delta merge on `table` would remap:
     /// the whole table for single-store layouts, the cold partition for
     /// hot/cold layouts ([`TableData::merge_region_rows`]). Merge-cost
@@ -447,7 +481,7 @@ impl HybridDatabase {
         let shard = self.shard(table)?;
         let stats = {
             let pin = shard.pin();
-            collect_stats(&pin)
+            collect_stats(&pin, self.segment_store())?
         };
         let mut catalog = write_lock(&self.catalog);
         let id = catalog.id_of(table)?;
@@ -485,6 +519,9 @@ impl HybridDatabase {
                         }
                         crate::partition::ColdPart::Single(Table::Column(_)) => {}
                         crate::partition::ColdPart::Vertical(p) => p.create_row_index(col)?,
+                        // Disk segments are columnar; the dictionary is the
+                        // implicit index, so nothing to build.
+                        crate::partition::ColdPart::DiskColumn(_) => {}
                     }
                 }
             }
@@ -687,14 +724,14 @@ impl HybridDatabase {
 
 /// Collect stats over whatever layout the table currently has, by observing
 /// the logical table (partition-transparent).
-fn collect_stats(data: &TableData) -> TableStats {
+fn collect_stats(data: &TableData, store: &SegmentStore) -> Result<TableStats> {
     match data {
-        TableData::Single(t) => TableStats::collect(t),
+        TableData::Single(t) => Ok(TableStats::collect(t)),
         partitioned => {
             // Partition-aware collection: rebuild logical stats from parts.
             // Cheap approach: materialize nothing; scan via the executor's
             // logical visitors.
-            executor::collect_logical_stats(partitioned)
+            executor::collect_logical_stats(partitioned, store)
         }
     }
 }

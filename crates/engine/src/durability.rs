@@ -149,6 +149,19 @@ pub enum WalRecord {
         /// replay re-merges by region, it does not need to match epochs).
         merge_epoch: u64,
     },
+    /// The table's cold partition was demoted to an on-disk segment. The
+    /// segment itself is a derived cache: replay re-runs the demotion,
+    /// re-encoding it from the replayed logical state.
+    Demote {
+        /// Target table.
+        table: String,
+    },
+    /// The table's cold partition was promoted back to memory residency
+    /// (and its segment deleted).
+    Promote {
+        /// Target table.
+        table: String,
+    },
 }
 
 impl WalRecord {
@@ -161,7 +174,9 @@ impl WalRecord {
             | WalRecord::CreateIndex { table, .. }
             | WalRecord::Move { table, .. }
             | WalRecord::Rebalance { table, .. }
-            | WalRecord::MergeComplete { table, .. } => table,
+            | WalRecord::MergeComplete { table, .. }
+            | WalRecord::Demote { table }
+            | WalRecord::Promote { table } => table,
         }
     }
 
@@ -262,6 +277,14 @@ impl WalRecord {
                 ),
                 ("merge_epoch", Json::Int(*merge_epoch as i64)),
             ]),
+            WalRecord::Demote { table } => Json::obj([
+                ("op", Json::Str("demote".into())),
+                ("table", Json::Str(table.clone())),
+            ]),
+            WalRecord::Promote { table } => Json::obj([
+                ("op", Json::Str("promote".into())),
+                ("table", Json::Str(table.clone())),
+            ]),
         }
     }
 
@@ -314,6 +337,12 @@ impl WalRecord {
                 table: j.get("table")?.as_str()?.to_string(),
                 split_value: j.get("split_value")?.to_value()?,
             }),
+            "demote" => Ok(WalRecord::Demote {
+                table: j.get("table")?.as_str()?.to_string(),
+            }),
+            "promote" => Ok(WalRecord::Promote {
+                table: j.get("table")?.as_str()?.to_string(),
+            }),
             "merge_complete" => Ok(WalRecord::MergeComplete {
                 table: j.get("table")?.as_str()?.to_string(),
                 partition: match j.get("partition")?.as_str()? {
@@ -333,7 +362,7 @@ pub fn table_tag(table: &str) -> u32 {
     wal::crc32(table.as_bytes())
 }
 
-fn schema_to_json(s: &TableSchema) -> Json {
+pub(crate) fn schema_to_json(s: &TableSchema) -> Json {
     Json::obj([
         ("name", Json::Str(s.name.clone())),
         (
@@ -358,7 +387,7 @@ fn schema_to_json(s: &TableSchema) -> Json {
     ])
 }
 
-fn schema_from_json(j: &Json) -> JsonResult<TableSchema> {
+pub(crate) fn schema_from_json(j: &Json) -> JsonResult<TableSchema> {
     let columns = j
         .get("columns")?
         .as_arr()?
@@ -464,6 +493,15 @@ pub struct RecoveryReport {
     pub scanned_len: u64,
     /// Tables quarantined read-only, with reasons.
     pub degraded: Vec<DegradedTable>,
+    /// Sequence number of the checkpoint recovery restored from (`None`
+    /// when recovery fell all the way back to full-log replay).
+    pub checkpoint_seq: Option<u64>,
+    /// WAL frontier of the restored checkpoint: replay started at this
+    /// byte offset (0 for full-log replay).
+    pub checkpoint_wal_len: u64,
+    /// Newer checkpoint files passed over as unreadable or invalid before
+    /// one restored (or before falling back to full replay).
+    pub checkpoints_skipped: usize,
 }
 
 impl RecoveryReport {
@@ -477,14 +515,25 @@ impl RecoveryReport {
 /// Replay a WAL image into a fresh database (the pure core of recovery —
 /// no file handling, no writer attachment). Never panics on damaged input.
 pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
-    let scan = wal::scan_frames(bytes);
+    let db = HybridDatabase::new();
+    let report = replay_into(&db, bytes, 0);
+    (db, report)
+}
+
+/// Replay the WAL suffix at byte offset `start` into `db` (which already
+/// holds the state the prefix produced — an empty database for `start == 0`,
+/// a restored checkpoint otherwise). All reported offsets are absolute.
+pub(crate) fn replay_into(db: &HybridDatabase, bytes: &[u8], start: u64) -> RecoveryReport {
+    // `start` is a frame boundary recorded by a checkpoint; clamp defends
+    // against a log that is somehow shorter than the checkpoint said.
+    let start = start.min(bytes.len() as u64);
+    let scan = wal::scan_frames(&bytes[start as usize..]);
     let mut report = RecoveryReport {
-        torn_tail: scan.torn_tail,
-        recovered_len: scan.recovered_len,
-        scanned_len: scan.scanned_len,
+        torn_tail: scan.torn_tail.map(|off| start + off),
+        recovered_len: start + scan.recovered_len,
+        scanned_len: start + scan.scanned_len,
         ..RecoveryReport::default()
     };
-    let db = HybridDatabase::new();
     // Replay with the auto-merge fallback off: the only physical
     // reorganizations during replay are the logged ones. (Merge timing is
     // logically transparent, so this only affects physical shape.)
@@ -512,7 +561,7 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
             Ev::Corrupt(c) => {
                 quarantined
                     .entry(c.table_tag)
-                    .or_insert_with(|| format!("corrupt WAL record at byte {}", c.offset));
+                    .or_insert_with(|| format!("corrupt WAL record at byte {}", start + c.offset));
             }
             Ev::Frame(f) => {
                 if quarantined.contains_key(&f.table_tag) {
@@ -526,14 +575,14 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
                         // quarantine as corruption.
                         quarantined.insert(
                             f.table_tag,
-                            format!("undecodable WAL record at byte {}: {e}", f.offset),
+                            format!("undecodable WAL record at byte {}: {e}", start + f.offset),
                         );
                         report.records_skipped += 1;
                         continue;
                     }
                 };
                 let is_merge = matches!(rec, WalRecord::MergeComplete { .. });
-                match apply_record(&db, &rec) {
+                match apply_record(db, &rec) {
                     Ok(()) => {
                         report.records_replayed += 1;
                         if is_merge {
@@ -543,7 +592,7 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
                     Err(e) => {
                         quarantined.insert(
                             f.table_tag,
-                            format!("replay failed at byte {}: {e}", f.offset),
+                            format!("replay failed at byte {}: {e}", start + f.offset),
                         );
                         report.records_skipped += 1;
                     }
@@ -572,7 +621,7 @@ pub fn replay(bytes: &[u8]) -> (HybridDatabase, RecoveryReport) {
     // Hand the database back under the default policy; callers that ran a
     // custom merge config before the crash reconfigure after recovery.
     db.set_merge_config(MergeConfig::default());
-    (db, report)
+    report
 }
 
 fn apply_record(db: &HybridDatabase, rec: &WalRecord) -> Result<()> {
@@ -616,6 +665,11 @@ fn apply_record(db: &HybridDatabase, rec: &WalRecord) -> Result<()> {
             mover::merge_delta_partition(db, table, *partition)?;
             Ok(())
         }
+        WalRecord::Demote { table } => {
+            mover::demote_cold(db, table)?;
+            Ok(())
+        }
+        WalRecord::Promote { table } => mover::promote_cold(db, table),
     }
 }
 
@@ -695,6 +749,7 @@ mod tests {
                     split_value: Value::BigInt(7),
                 }),
                 vertical: Some(hsd_catalog::VerticalSpec { row_cols: vec![2] }),
+                ..Default::default()
             }),
         });
         round_trip(WalRecord::Insert {
@@ -732,6 +787,8 @@ mod tests {
             partition: MergePartition::Cold,
             merge_epoch: 9,
         });
+        round_trip(WalRecord::Demote { table: "t".into() });
+        round_trip(WalRecord::Promote { table: "t".into() });
     }
 
     #[test]

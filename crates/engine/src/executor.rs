@@ -20,7 +20,7 @@ use hsd_catalog::TableStats;
 use hsd_query::{
     AggFunc, Aggregate, AggregateQuery, InsertQuery, JoinSpec, Query, SelectQuery, UpdateQuery,
 };
-use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable, SelVec, Table, BLOCK};
+use hsd_storage::{ColRange, ColumnTable, RowSel, RowTable, SegmentStore, SelVec, Table, BLOCK};
 use hsd_types::{ColumnIdx, Error, Result, Value};
 
 use crate::database::HybridDatabase;
@@ -226,10 +226,14 @@ fn finalize_groups(groups: Groups, aggregates: &[Aggregate]) -> Vec<GroupRow> {
 enum Part<'a> {
     Whole(&'a Table),
     Pair(&'a VerticalPair),
+    /// A disk-resident cold partition decoded into memory for the duration
+    /// of one query — the per-query load is the read-path price of the
+    /// disk tier (what the cost model's `TierModel` charges scans with).
+    Loaded(Table),
 }
 
-fn parts_of(data: &TableData) -> Vec<Part<'_>> {
-    parts_of_pruned(data, &[])
+fn parts_of<'a>(data: &'a TableData, store: &SegmentStore) -> Result<Vec<Part<'a>>> {
+    parts_of_pruned(data, store, &[])
 }
 
 /// Partition elimination: when the filter constrains the horizontal split
@@ -237,8 +241,12 @@ fn parts_of(data: &TableData) -> Vec<Part<'_>> {
 /// partition holds only rows below the split value by construction; the hot
 /// partition is prunable only while it stays "pure" (see
 /// [`TableData::hot_is_pure`]).
-fn parts_of_pruned<'a>(data: &'a TableData, filter: &[ColRange]) -> Vec<Part<'a>> {
-    match data {
+fn parts_of_pruned<'a>(
+    data: &'a TableData,
+    store: &SegmentStore,
+    filter: &[ColRange],
+) -> Result<Vec<Part<'a>>> {
+    Ok(match data {
         TableData::Single(t) => vec![Part::Whole(t)],
         TableData::Partitioned { hot, cold, .. } => {
             let (use_cold, use_hot) = pruning(data, filter);
@@ -247,6 +255,9 @@ fn parts_of_pruned<'a>(data: &'a TableData, filter: &[ColRange]) -> Vec<Part<'a>
                 match cold {
                     ColdPart::Single(t) => parts.push(Part::Whole(t)),
                     ColdPart::Vertical(p) => parts.push(Part::Pair(p)),
+                    // Pruned-away disk partitions never touch the store —
+                    // partition elimination saves the segment read itself.
+                    ColdPart::DiskColumn(f) => parts.push(Part::Loaded(f.load(store)?)),
                 }
             }
             if use_hot {
@@ -256,7 +267,7 @@ fn parts_of_pruned<'a>(data: &'a TableData, filter: &[ColRange]) -> Vec<Part<'a>
             }
             parts
         }
-    }
+    })
 }
 
 fn range_overlaps_hot(r: &ColRange, split: &Value) -> bool {
@@ -297,6 +308,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.row_count(),
             Part::Pair(p) => p.row_count(),
+            Part::Loaded(t) => t.row_count(),
         }
     }
 
@@ -304,6 +316,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.filter_rows(ranges),
             Part::Pair(p) => p.filter_rows(ranges),
+            Part::Loaded(t) => t.filter_rows(ranges),
         }
     }
 
@@ -311,6 +324,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.filter_selvec(ranges),
             Part::Pair(p) => p.filter_selvec(ranges),
+            Part::Loaded(t) => t.filter_selvec(ranges),
         }
     }
 
@@ -318,6 +332,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.for_each_numeric_sel(col, sel, f),
             Part::Pair(p) => p.for_each_numeric_sel(col, sel, f),
+            Part::Loaded(t) => t.for_each_numeric_sel(col, sel, f),
         }
     }
 
@@ -337,6 +352,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.point_lookup(key),
             Part::Pair(p) => p.point_lookup(key),
+            Part::Loaded(t) => t.point_lookup(key),
         }
     }
 
@@ -344,6 +360,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.value_at(idx, col),
             Part::Pair(p) => p.value_at(idx, col),
+            Part::Loaded(t) => t.value_at(idx, col),
         }
     }
 
@@ -351,6 +368,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.collect_rows(RowSel::Subset(rows), cols),
             Part::Pair(p) => p.collect_rows(rows, cols),
+            Part::Loaded(t) => t.collect_rows(RowSel::Subset(rows), cols),
         }
     }
 
@@ -358,6 +376,7 @@ impl Part<'_> {
         match self {
             Part::Whole(t) => t.for_each_value(col, sel, f),
             Part::Pair(p) => p.for_each_value(col, sel, f),
+            Part::Loaded(t) => t.for_each_value(col, sel, f),
         }
     }
 }
@@ -370,19 +389,33 @@ fn exec_insert(db: &HybridDatabase, q: &InsertQuery) -> Result<QueryOutput> {
     let cfg = db.merge_config();
     let wal_on = db.wal_active();
     let shard = db.shard(&q.table)?;
-    let mut applied = 0usize;
+    let applied: usize;
     let mut failure = None;
     {
         let mut data = shard.latch();
-        for row in &q.rows {
-            match data.insert(row) {
-                Ok(_) => applied += 1,
-                Err(e) => {
-                    failure = Some(e);
-                    break;
+        // Inserts land in the hot partition when one exists; only a
+        // hot-less layout with a disk-resident cold partition needs the
+        // write-through load.
+        let needs_cold_load =
+            cold_is_disk(&data) && matches!(&*data, TableData::Partitioned { hot: None, .. });
+        let mut apply_rows = |data: &mut TableData| {
+            let mut applied = 0usize;
+            for row in &q.rows {
+                match data.insert(row) {
+                    Ok(_) => applied += 1,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
                 }
             }
-        }
+            applied
+        };
+        applied = if needs_cold_load {
+            data.with_cold_loaded(db.segment_store(), |d| Ok(apply_rows(d)))?
+        } else {
+            apply_rows(&mut data)
+        };
         let merged = failure.is_none() && crate::maintenance::after_write(&mut data, &cfg);
         // Log after the in-memory apply but before the latch releases, so
         // the table's WAL order matches its apply order; the applied
@@ -420,39 +453,22 @@ fn exec_update(db: &HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
     let affected = {
         let mut guard = shard.latch();
         let data = &mut *guard;
-        // Point-update fast path over the PK index.
-        let affected = if let Some(key) = pk_point_key(data, &q.filter) {
-            update_point(data, &key, &q.sets)?
+        let point = pk_point_key(data, &q.filter);
+        // An update that can touch a disk-resident cold partition goes
+        // through write-through: load the segment, apply the normal path,
+        // re-encode and republish. The rewrite is the upkeep cost the
+        // advisor's `TierModel::rewrite_mib_ms` prices.
+        let needs_cold_load = cold_is_disk(data)
+            && match &point {
+                Some(key) => !hot_point_hit(data, key),
+                None => pruning(data, &q.filter).0,
+            };
+        let affected = if needs_cold_load {
+            data.with_cold_loaded(db.segment_store(), |data| {
+                apply_update(data, q, point.as_deref())
+            })?
         } else {
-            let mut affected = 0;
-            let (use_cold, use_hot) = pruning(data, &q.filter);
-            match data {
-                TableData::Single(t) => {
-                    let rows = t.filter_rows(&q.filter);
-                    affected += t.update_rows(&rows, &q.sets)?;
-                }
-                TableData::Partitioned { hot, cold, .. } => {
-                    if use_cold {
-                        match cold {
-                            ColdPart::Single(t) => {
-                                let rows = t.filter_rows(&q.filter);
-                                affected += t.update_rows(&rows, &q.sets)?;
-                            }
-                            ColdPart::Vertical(p) => {
-                                let rows = p.filter_rows(&q.filter);
-                                affected += p.update_rows(&rows, &q.sets)?;
-                            }
-                        }
-                    }
-                    if use_hot {
-                        if let Some(h) = hot {
-                            let rows = h.filter_rows(&q.filter);
-                            affected += h.update_rows(&rows, &q.sets)?;
-                        }
-                    }
-                }
-            }
-            affected
+            apply_update(data, q, point.as_deref())?
         };
         let merged = crate::maintenance::after_write(data, &cfg);
         // WAL appends stay under the latch: per-table log order == apply
@@ -474,6 +490,71 @@ fn exec_update(db: &HybridDatabase, q: &UpdateQuery) -> Result<QueryOutput> {
         affected
     };
     Ok(QueryOutput::Affected(affected))
+}
+
+/// Whether the table's cold partition is disk-resident.
+fn cold_is_disk(data: &TableData) -> bool {
+    matches!(
+        data,
+        TableData::Partitioned {
+            cold: ColdPart::DiskColumn(_),
+            ..
+        }
+    )
+}
+
+/// Whether a point key resolves in the hot partition (no cold access
+/// needed).
+fn hot_point_hit(data: &TableData, key: &[Value]) -> bool {
+    matches!(
+        data,
+        TableData::Partitioned { hot: Some(h), .. } if h.point_lookup(key).is_some()
+    )
+}
+
+/// The layout-dispatched body of an update statement (assumes any disk
+/// cold partition that the statement can touch has been loaded).
+fn apply_update(data: &mut TableData, q: &UpdateQuery, point: Option<&[Value]>) -> Result<usize> {
+    // Point-update fast path over the PK index.
+    if let Some(key) = point {
+        return update_point(data, key, &q.sets);
+    }
+    let mut affected = 0;
+    let (use_cold, use_hot) = pruning(data, &q.filter);
+    match data {
+        TableData::Single(t) => {
+            let rows = t.filter_rows(&q.filter);
+            affected += t.update_rows(&rows, &q.sets)?;
+        }
+        TableData::Partitioned { hot, cold, .. } => {
+            if use_cold {
+                match cold {
+                    ColdPart::Single(t) => {
+                        let rows = t.filter_rows(&q.filter);
+                        affected += t.update_rows(&rows, &q.sets)?;
+                    }
+                    ColdPart::Vertical(p) => {
+                        let rows = p.filter_rows(&q.filter);
+                        affected += p.update_rows(&rows, &q.sets)?;
+                    }
+                    ColdPart::DiskColumn(f) => {
+                        return Err(Error::InvalidOperation(format!(
+                            "update reached disk-resident cold partition of {} \
+                             without write-through load",
+                            f.schema.name
+                        )));
+                    }
+                }
+            }
+            if use_hot {
+                if let Some(h) = hot {
+                    let rows = h.filter_rows(&q.filter);
+                    affected += h.update_rows(&rows, &q.sets)?;
+                }
+            }
+        }
+    }
+    Ok(affected)
 }
 
 /// If the filter is exactly an equality on every primary-key column (and
@@ -513,6 +594,11 @@ fn update_point(data: &mut TableData, key: &[Value], sets: &[(ColumnIdx, Value)]
                     Some(idx) => p.update_rows(&[idx], sets),
                     None => Ok(0),
                 },
+                ColdPart::DiskColumn(f) => Err(Error::InvalidOperation(format!(
+                    "point update reached disk-resident cold partition of {} \
+                     without write-through load",
+                    f.schema.name
+                ))),
             }
         }
     }
@@ -526,16 +612,29 @@ fn exec_select(db: &HybridDatabase, q: &SelectQuery) -> Result<QueryOutput> {
     let pin = shard.pin();
     let data = &*pin;
     let cols = q.columns.as_deref();
-    // Point-select fast path.
+    // Point-select fast path. The hot partition is probed before any part
+    // list is built: the primary key is unique, so a hot hit both answers
+    // the query and — for a disk-resident cold partition — avoids decoding
+    // a segment the row cannot be in.
     if let Some(key) = pk_point_key(data, &q.filter) {
-        for part in parts_of(data) {
+        if let TableData::Partitioned { hot: Some(h), .. } = data {
+            if let Some(idx) = h.point_lookup(&key) {
+                return Ok(QueryOutput::Rows(
+                    h.collect_rows(RowSel::Subset(&[idx]), cols),
+                ));
+            }
+        }
+        // Hot miss: fall through to the (pruned) partition list, so an
+        // equality on the split column still skips a provably disjoint
+        // cold side without loading it.
+        for part in parts_of_pruned(data, db.segment_store(), &q.filter)? {
             if let Some(idx) = part.point_lookup(&key) {
                 return Ok(QueryOutput::Rows(part.collect_rows(&[idx], cols)));
             }
         }
         return Ok(QueryOutput::Rows(Vec::new()));
     }
-    let parts = parts_of_pruned(data, &q.filter);
+    let parts = parts_of_pruned(data, db.segment_store(), &q.filter)?;
     let per_part = scan_parts(&parts, |part| {
         let rows = part.filter_rows(&q.filter);
         part.collect_rows(&rows, cols)
@@ -555,7 +654,7 @@ fn exec_aggregate(db: &HybridDatabase, q: &AggregateQuery) -> Result<QueryOutput
     let pin = shard.pin();
     let data = &*pin;
     validate_agg_columns(data, q)?;
-    let parts = parts_of_pruned(data, &q.filter);
+    let parts = parts_of_pruned(data, db.segment_store(), &q.filter)?;
     let scan_part = |part: &Part<'_>| -> Groups {
         let selection = if q.filter.is_empty() {
             None
@@ -610,10 +709,10 @@ fn aggregate_part(
     match group_by {
         None => aggregate_part_ungrouped(part, selection, aggregates, groups),
         Some(g) => match part {
-            Part::Whole(Table::Column(ct)) => {
+            Part::Whole(Table::Column(ct)) | Part::Loaded(Table::Column(ct)) => {
                 aggregate_column_grouped(ct, selection, aggregates, g, groups)
             }
-            Part::Whole(Table::Row(rt)) => {
+            Part::Whole(Table::Row(rt)) | Part::Loaded(Table::Row(rt)) => {
                 aggregate_row_grouped(rt, selection, aggregates, g, groups)
             }
             Part::Pair(p) => aggregate_pair_grouped(p, selection, aggregates, g, groups),
@@ -649,6 +748,7 @@ fn aggregate_part_ungrouped(
 fn is_numeric_col(part: &Part<'_>, col: ColumnIdx) -> bool {
     let schema = match part {
         Part::Whole(t) => t.schema().clone(),
+        Part::Loaded(t) => t.schema().clone(),
         Part::Pair(p) => {
             return match p.loc(col) {
                 Loc::Row(i) => p.row_fragment().schema().columns[i].ty.is_numeric(),
@@ -984,7 +1084,7 @@ fn exec_join_aggregate(
     // a code-indexed array read instead of a `Value` hash.
     let mut group_keys: Vec<Option<Value>> = Vec::new();
     let mut dim_map: HashMap<&Value, u32> = HashMap::new();
-    let dim_parts = parts_of(dim);
+    let dim_parts = parts_of(dim, db.segment_store())?;
     match join.group_by_dim {
         None => {
             group_keys.push(None);
@@ -997,7 +1097,7 @@ fn exec_join_aggregate(
         Some(g) => {
             let mut group_index: HashMap<&Value, u32> = HashMap::new();
             for part in &dim_parts {
-                if let Part::Whole(Table::Column(ct)) = part {
+                if let Part::Whole(Table::Column(ct)) | Part::Loaded(Table::Column(ct)) = part {
                     // Dictionary path: group index per group *code*; the
                     // per-row loop never hashes a `Value`.
                     let gcol = ct.column(g);
@@ -1040,7 +1140,7 @@ fn exec_join_aggregate(
     validate_agg_columns(fact, q)?;
     // Dense accumulators per group index, merged into value-keyed groups at
     // the end: the per-row hot loop never hashes a `Value`.
-    let parts = parts_of_pruned(fact, &q.filter);
+    let parts = parts_of_pruned(fact, db.segment_store(), &q.filter)?;
     let scan_part = |part: &Part<'_>| -> Vec<Vec<Acc>> {
         let mut accs: Vec<Vec<Acc>> = vec![vec![Acc::new(); q.aggregates.len()]; group_keys.len()];
         let selection = if q.filter.is_empty() {
@@ -1049,7 +1149,7 @@ fn exec_join_aggregate(
             Some(part.filter_selvec(&q.filter))
         };
         match part {
-            Part::Whole(Table::Column(ct)) => {
+            Part::Whole(Table::Column(ct)) | Part::Loaded(Table::Column(ct)) => {
                 join_aggregate_column(ct, selection.as_ref(), q, join, &dim_map, &mut accs)
             }
             Part::Pair(p) => {
@@ -1218,14 +1318,18 @@ fn join_aggregate_generic(
 /// Collect logical statistics over a partitioned table. Distinct counts are
 /// approximated by the per-part maximum (exact union counting would require
 /// materializing cross-part value sets).
-pub(crate) fn collect_logical_stats(data: &TableData) -> TableStats {
+pub(crate) fn collect_logical_stats(data: &TableData, store: &SegmentStore) -> Result<TableStats> {
     let arity = data.schema().arity();
     let rows = data.row_count();
     let mut stats = TableStats::empty(arity);
     stats.row_count = rows;
-    for part in parts_of(data) {
+    for part in parts_of(data, store)? {
         let (part_stats, map): (TableStats, Vec<Option<(usize, usize)>>) = match &part {
             Part::Whole(t) => (
+                TableStats::collect(t),
+                (0..arity).map(|c| Some((0, c))).collect(),
+            ),
+            Part::Loaded(t) => (
                 TableStats::collect(t),
                 (0..arity).map(|c| Some((0, c))).collect(),
             ),
@@ -1285,7 +1389,7 @@ pub(crate) fn collect_logical_stats(data: &TableData) -> TableStats {
             (1.0 - col.distinct as f64 / rows as f64).max(0.0)
         };
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -1337,6 +1441,7 @@ mod tests {
                 split_value: Value::BigInt(1000),
             }),
             vertical: Some(VerticalSpec { row_cols: vec![3] }),
+            ..Default::default()
         })
     }
 
@@ -1350,10 +1455,12 @@ mod tests {
                     split_value: Value::BigInt(20),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
             TablePlacement::Partitioned(PartitionSpec {
                 horizontal: None,
                 vertical: Some(VerticalSpec { row_cols: vec![3] }),
+                ..Default::default()
             }),
             partitioned_placement(),
         ]

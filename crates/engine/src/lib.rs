@@ -19,8 +19,9 @@
 //! bounded slices between query admissions (cooperatively, or on a
 //! `std::thread` behind a config flag).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod database;
 pub mod durability;
 pub mod executor;
@@ -31,6 +32,7 @@ pub mod recorder;
 pub mod runner;
 pub mod worker;
 
+pub use checkpoint::{CheckpointReport, CHECKPOINT_RETAIN, CHECKPOINT_VERSION};
 pub use database::HybridDatabase;
 pub use database::{TableRead, TableShard, TableWrite};
 pub use durability::{DegradedTable, DurabilityConfig, RecoveryReport, WalRecord};

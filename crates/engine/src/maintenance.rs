@@ -135,6 +135,9 @@ fn for_each_columnar(data: &mut TableData, mut f: impl FnMut(&mut ColumnTable)) 
                     f(ct);
                 }
             }
+            // Disk-resident cold partitions are compacted at demotion and
+            // immutable afterwards; maintenance never touches them.
+            ColdPart::DiskColumn(_) => {}
         },
     }
 }

@@ -12,13 +12,20 @@
 //! is held, so the per-table log order equals the apply order (the
 //! recovery contract of [`crate::durability`]).
 
-use hsd_catalog::{StorageLayout, TablePlacement};
-use hsd_storage::Table;
-use hsd_types::{Result, Value};
+use hsd_catalog::{StorageLayout, TablePlacement, Tier};
+use hsd_storage::{encode_segment, SegmentStore, Table};
+use hsd_types::{Error, Result, Value};
 
 use crate::database::HybridDatabase;
 use crate::durability::WalRecord;
-use crate::partition::{ColdPart, MergePartition, TableData};
+use crate::partition::{ColdPart, DiskFragment, MergePartition, TableData};
+
+/// Segment name a table's demoted cold partition is stored under. One
+/// stable name per table: demotion and every write-through republish
+/// overwrite it atomically, so there is no segment garbage to collect.
+pub(crate) fn cold_segment_name(table: &str) -> String {
+    format!("{table}.cold")
+}
 
 /// Log a completed delta merge on a region (a one-shot fold or the final
 /// slice of an incremental merge), reading the epoch from the *latched*
@@ -68,8 +75,19 @@ pub fn move_table(db: &HybridDatabase, table: &str, target: &TablePlacement) -> 
     db.check_writable(table)?;
     let schema = db.catalog().entry_by_name(table)?.schema.clone();
     let shard = db.shard(table)?;
+    let store = db.segment_store().clone();
+    let target_is_disk = matches!(
+        target,
+        TablePlacement::Partitioned(spec) if spec.cold_tier == Tier::Disk
+    );
+    let had_segment;
     {
         let mut guard = shard.latch();
+        // A disk-resident cold partition is promoted back to memory before
+        // the drain (the Move record re-derives everything from the logical
+        // rows, so no separate Promote record is needed — replay's
+        // move_table does the same load).
+        had_segment = promote_in_place(&mut guard, &store)?;
         // Drain the existing physical data.
         let old = std::mem::replace(
             &mut *guard,
@@ -79,15 +97,151 @@ pub fn move_table(db: &HybridDatabase, table: &str, target: &TablePlacement) -> 
         let mut fresh = TableData::new(schema, target)?;
         load_partition_aware(&mut fresh, target, rows)?;
         compact_after_load(&mut fresh);
+        if target_is_disk {
+            demote_in_place(&mut fresh, table, &store)?;
+        }
         *guard = fresh;
         db.log_record(&WalRecord::Move {
             table: table.to_string(),
             placement: target.clone(),
         })?;
     }
+    // The segment file is a derived cache; dropping it outside the latch is
+    // safe (demotion re-published under the same name if the target is
+    // disk-resident too).
+    if had_segment && !target_is_disk {
+        store.remove(&cold_segment_name(table))?;
+    }
     let id = db.catalog().id_of(table)?;
     db.catalog_mut().set_placement(id, target.clone())?;
     db.refresh_stats(table)?;
+    Ok(())
+}
+
+/// If `data`'s cold partition is disk-resident, load it back into memory in
+/// place. Returns whether a segment was loaded (its name stays in the
+/// store; the caller decides whether to drop or overwrite it).
+fn promote_in_place(data: &mut TableData, store: &SegmentStore) -> Result<bool> {
+    let TableData::Partitioned { cold, spec, .. } = data else {
+        return Ok(false);
+    };
+    let ColdPart::DiskColumn(frag) = cold else {
+        return Ok(false);
+    };
+    let loaded = frag.load(store)?;
+    *cold = ColdPart::Single(loaded);
+    spec.cold_tier = Tier::Memory;
+    Ok(true)
+}
+
+/// Demote `data`'s (memory-resident, unsplit, column-store) cold partition
+/// to a segment in place: encode, publish, and swap the stub in. The cold
+/// partition should be compacted first — demotion encodes whatever delta
+/// tail exists, but a folded dictionary packs tighter.
+fn demote_in_place(data: &mut TableData, table: &str, store: &SegmentStore) -> Result<u64> {
+    let TableData::Partitioned { cold, spec, .. } = data else {
+        return Err(Error::InvalidOperation(format!(
+            "table {table} is not partitioned; move it to a partitioned \
+             placement before demoting"
+        )));
+    };
+    match cold {
+        ColdPart::DiskColumn(f) => Ok(f.disk_bytes), // already demoted
+        ColdPart::Vertical(_) => Err(Error::InvalidOperation(format!(
+            "table {table}: a vertically split cold partition cannot be \
+             demoted (its row fragment serves point reads)"
+        ))),
+        ColdPart::Single(Table::Row(_)) => Err(Error::InvalidOperation(format!(
+            "table {table}: cold partition is row-store resident; segments \
+             hold column-store data only"
+        ))),
+        ColdPart::Single(Table::Column(ct)) => {
+            let bytes = encode_segment(ct);
+            let name = cold_segment_name(table);
+            let stub = DiskFragment {
+                schema: ct.schema().clone(),
+                segment: name.clone(),
+                rows: ct.row_count(),
+                disk_bytes: bytes.len() as u64,
+                merge_epoch: ct.merge_epoch(),
+            };
+            store.put(&name, bytes)?;
+            let disk_bytes = stub.disk_bytes;
+            *cold = ColdPart::DiskColumn(stub);
+            spec.cold_tier = Tier::Disk;
+            Ok(disk_bytes)
+        }
+    }
+}
+
+/// Demote `table`'s cold partition to an on-disk segment (the tier
+/// counterpart of a store flip): compact the cold partition, encode it in
+/// the segment format, publish atomically, and keep only a stub resident.
+/// Idempotent — an already-demoted table just reports its segment size.
+/// Returns the encoded segment's size in bytes.
+///
+/// Requires a partitioned layout whose cold partition is an unsplit column
+/// store; vertically split cold partitions are rejected (the advisor never
+/// proposes demoting them — their row fragment exists to serve point reads,
+/// which disk residency would defeat).
+pub fn demote_cold(db: &HybridDatabase, table: &str) -> Result<u64> {
+    db.check_writable(table)?;
+    let shard = db.shard(table)?;
+    let store = db.segment_store().clone();
+    let (disk_bytes, spec) = {
+        let mut guard = shard.latch();
+        if matches!(
+            &*guard,
+            TableData::Partitioned {
+                cold: ColdPart::DiskColumn(_),
+                ..
+            }
+        ) {
+            // Already demoted: no state change, no WAL record.
+            return Ok(guard.disk_bytes());
+        }
+        // Abandon in-flight shadow merges (their state is volatile and
+        // unlogged) and fold the delta tail so the segment packs tight.
+        guard.cancel_merge();
+        guard.compact_deltas();
+        let disk_bytes = demote_in_place(&mut guard, table, &store)?;
+        db.log_record(&WalRecord::Demote {
+            table: table.to_string(),
+        })?;
+        let TableData::Partitioned { spec, .. } = &*guard else {
+            unreachable!("demote_in_place succeeded on a partitioned table");
+        };
+        (disk_bytes, spec.clone())
+    };
+    let id = db.catalog().id_of(table)?;
+    db.catalog_mut()
+        .set_placement(id, TablePlacement::Partitioned(spec))?;
+    Ok(disk_bytes)
+}
+
+/// Promote `table`'s disk-resident cold partition back to memory, deleting
+/// the segment. Idempotent — a memory-resident cold partition is a no-op.
+pub fn promote_cold(db: &HybridDatabase, table: &str) -> Result<()> {
+    db.check_writable(table)?;
+    let shard = db.shard(table)?;
+    let store = db.segment_store().clone();
+    let spec = {
+        let mut guard = shard.latch();
+        if !promote_in_place(&mut guard, &store)? {
+            return Ok(());
+        }
+        db.log_record(&WalRecord::Promote {
+            table: table.to_string(),
+        })?;
+        let TableData::Partitioned { spec, .. } = &*guard else {
+            unreachable!("promote_in_place succeeded on a partitioned table");
+        };
+        spec.clone()
+    };
+    store.remove(&cold_segment_name(table))?;
+    let id = db.catalog().id_of(table)?;
+    db.catalog_mut()
+        .set_placement(id, TablePlacement::Partitioned(spec))?;
     Ok(())
 }
 
@@ -410,6 +564,7 @@ mod tests {
                 split_value: Value::BigInt(90),
             }),
             vertical: Some(VerticalSpec { row_cols: vec![2] }),
+            ..Default::default()
         });
         let mut layout = StorageLayout::new();
         layout.set("t", placement);
@@ -445,6 +600,7 @@ mod tests {
                     split_value: Value::BigInt(50),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         );
         apply_layout(&db, &layout).unwrap();
@@ -467,6 +623,7 @@ mod tests {
                     split_value: Value::BigInt(80),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         );
         apply_layout(&db, &layout).unwrap();
@@ -580,5 +737,153 @@ mod tests {
         assert_eq!(folded, tail);
         assert_eq!(db.delta_tail("t").unwrap(), 0);
         assert!(!db.merge_in_progress("t").unwrap());
+    }
+
+    /// Horizontal hot/cold split at id < 90 (cold gets 90 rows).
+    fn split_placement(cold_tier: Tier) -> TablePlacement {
+        TablePlacement::Partitioned(PartitionSpec {
+            horizontal: Some(HorizontalSpec {
+                split_column: 0,
+                split_value: Value::BigInt(90),
+            }),
+            vertical: None,
+            cold_tier,
+        })
+    }
+
+    fn cold_is_disk(db: &HybridDatabase) -> bool {
+        let shard = db.shard("t").unwrap();
+        let pin = shard.pin();
+        matches!(
+            &*pin,
+            TableData::Partitioned {
+                cold: ColdPart::DiskColumn(_),
+                ..
+            }
+        )
+    }
+
+    #[test]
+    fn demote_promote_cycle_preserves_data() {
+        let db = loaded_db();
+        let before = checksum(&db);
+        let mut layout = StorageLayout::new();
+        layout.set("t", split_placement(Tier::Memory));
+        apply_layout(&db, &layout).unwrap();
+
+        let bytes = demote_cold(&db, "t").unwrap();
+        assert!(bytes > 0);
+        assert!(cold_is_disk(&db));
+        assert_eq!(db.disk_bytes("t").unwrap(), bytes);
+        // Idempotent: a second demotion reports the same size, no rewrite.
+        assert_eq!(demote_cold(&db, "t").unwrap(), bytes);
+        // Catalog reflects the tier.
+        match &db.catalog().entry_by_name("t").unwrap().placement {
+            TablePlacement::Partitioned(spec) => assert_eq!(spec.cold_tier, Tier::Disk),
+            other => panic!("expected partitioned placement, got {other:?}"),
+        }
+        // Queries decode the segment per scan.
+        assert_eq!(checksum(&db), before);
+        assert_eq!(db.row_count("t").unwrap(), 100);
+
+        promote_cold(&db, "t").unwrap();
+        assert!(!cold_is_disk(&db));
+        assert_eq!(db.disk_bytes("t").unwrap(), 0);
+        assert_eq!(checksum(&db), before);
+        // The segment is gone; promoting again is a no-op.
+        assert!(db.segment_store().get(&cold_segment_name("t")).is_err());
+        promote_cold(&db, "t").unwrap();
+    }
+
+    #[test]
+    fn write_through_update_republishes_segment() {
+        use hsd_query::{Query, UpdateQuery};
+        use hsd_storage::ColRange;
+        let db = loaded_db();
+        let mut layout = StorageLayout::new();
+        layout.set("t", split_placement(Tier::Memory));
+        apply_layout(&db, &layout).unwrap();
+        let before = checksum(&db);
+        demote_cold(&db, "t").unwrap();
+        // Point update of a cold row: write-through load, apply, republish.
+        db.execute(&Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(7777.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(3))],
+        }))
+        .unwrap();
+        assert!(cold_is_disk(&db), "table stays demoted after write-through");
+        assert!((checksum(&db) - (before - 3.0 + 7777.0)).abs() < 1e-6);
+        // Hot-partition update leaves the segment untouched.
+        let seg_before = db.disk_bytes("t").unwrap();
+        db.execute(&Query::Update(UpdateQuery {
+            table: "t".into(),
+            sets: vec![(1, Value::Double(8888.0))],
+            filter: vec![ColRange::eq(0, Value::BigInt(95))],
+        }))
+        .unwrap();
+        assert_eq!(db.disk_bytes("t").unwrap(), seg_before);
+    }
+
+    #[test]
+    fn demote_rejects_vertical_and_unpartitioned() {
+        let db = loaded_db();
+        assert!(demote_cold(&db, "t").is_err(), "single table: no cold part");
+        let mut layout = StorageLayout::new();
+        layout.set(
+            "t",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(90),
+                }),
+                vertical: Some(VerticalSpec { row_cols: vec![2] }),
+                ..Default::default()
+            }),
+        );
+        apply_layout(&db, &layout).unwrap();
+        assert!(
+            demote_cold(&db, "t").is_err(),
+            "vertically split cold partitions stay memory-resident"
+        );
+    }
+
+    #[test]
+    fn move_away_from_disk_tier_drops_segment() {
+        let db = loaded_db();
+        let before = checksum(&db);
+        let mut layout = StorageLayout::new();
+        layout.set("t", split_placement(Tier::Disk));
+        apply_layout(&db, &layout).unwrap();
+        assert!(
+            cold_is_disk(&db),
+            "move_table demotes when the spec says so"
+        );
+        assert_eq!(checksum(&db), before);
+
+        // Re-split at a different boundary, still disk: segment rewritten.
+        let mut resplit = StorageLayout::new();
+        resplit.set(
+            "t",
+            TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(50),
+                }),
+                vertical: None,
+                cold_tier: Tier::Disk,
+            }),
+        );
+        apply_layout(&db, &resplit).unwrap();
+        assert!(cold_is_disk(&db));
+        assert_eq!(checksum(&db), before);
+
+        // Move back to a single store: the segment is deleted.
+        let mut back = StorageLayout::new();
+        back.set("t", TablePlacement::Single(StoreKind::Column));
+        apply_layout(&db, &back).unwrap();
+        assert_eq!(checksum(&db), before);
+        assert_eq!(db.row_count("t").unwrap(), 100);
+        assert!(db.segment_store().get(&cold_segment_name("t")).is_err());
     }
 }

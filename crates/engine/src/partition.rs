@@ -3,8 +3,10 @@
 
 use std::sync::Arc;
 
-use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement, VerticalSpec};
-use hsd_storage::{ColRange, RowSel, SelVec, StoreKind, Table};
+use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement, Tier, VerticalSpec};
+use hsd_storage::{
+    decode_segment, encode_segment, ColRange, RowSel, SegmentStore, SelVec, StoreKind, Table,
+};
 use hsd_types::{ColumnIdx, Error, Result, TableSchema, Value};
 
 /// Which physical region of a table a delta merge targets.
@@ -370,6 +372,47 @@ impl VerticalPair {
     }
 }
 
+/// A cold partition that has been demoted to disk: the column-store data
+/// lives in an immutable [`hsd_storage::segment`] file and only this stub
+/// stays resident. Queries load the segment on demand; writes promote it
+/// back to memory first (write-through, see the executor's
+/// `with_cold_loaded`).
+///
+/// The segment is a *derived cache* of WAL + checkpoint state: recovery
+/// re-creates it from the replayed table rather than trusting the file, so
+/// a corrupt segment is an availability problem at query time, never a
+/// recovery-correctness problem.
+#[derive(Debug, Clone)]
+pub struct DiskFragment {
+    /// Schema of the demoted fragment (the full table schema — vertical
+    /// cold fragments are never demoted).
+    pub schema: Arc<TableSchema>,
+    /// Segment name within the engine's [`SegmentStore`].
+    pub segment: String,
+    /// Row count of the demoted fragment (kept resident so planning and
+    /// `row_count` never touch disk).
+    pub rows: usize,
+    /// Encoded segment size in bytes (the disk-footprint the advisor's
+    /// budget accounting charges).
+    pub disk_bytes: u64,
+    /// Merge epoch of the encoded table at demotion time, preserved across
+    /// demote/promote cycles so maintenance bookkeeping stays monotonic.
+    pub merge_epoch: u64,
+}
+
+impl DiskFragment {
+    /// Load the fragment back into an in-memory column table.
+    ///
+    /// Fails with [`Error::Io`] if the segment is
+    /// missing or damaged — callers surface that as an unavailable cold
+    /// partition, not as data loss (recovery can always rebuild it).
+    pub fn load(&self, store: &SegmentStore) -> Result<Table> {
+        let bytes = store.get(&self.segment)?;
+        let table = decode_segment(self.schema.clone(), &bytes)?;
+        Ok(Table::Column(table))
+    }
+}
+
 /// The cold region of a partitioned table.
 #[derive(Debug, Clone)]
 pub enum ColdPart {
@@ -377,6 +420,8 @@ pub enum ColdPart {
     Single(Table),
     /// Vertically split cold partition.
     Vertical(VerticalPair),
+    /// Cold partition demoted to an on-disk column segment.
+    DiskColumn(DiskFragment),
 }
 
 impl ColdPart {
@@ -385,14 +430,21 @@ impl ColdPart {
         match self {
             ColdPart::Single(t) => t.row_count(),
             ColdPart::Vertical(p) => p.row_count(),
+            ColdPart::DiskColumn(f) => f.rows,
         }
     }
 
-    /// Insert a logical row.
+    /// Insert a logical row. Disk-resident cold partitions are immutable;
+    /// the executor's write-through path loads them back to memory before
+    /// any mutation reaches this method.
     pub fn insert(&mut self, row: &[Value]) -> Result<u32> {
         match self {
             ColdPart::Single(t) => t.insert(row),
             ColdPart::Vertical(p) => p.insert(row),
+            ColdPart::DiskColumn(f) => Err(Error::InvalidOperation(format!(
+                "insert into disk-resident cold partition of {} without write-through load",
+                f.schema.name
+            ))),
         }
     }
 }
@@ -431,10 +483,19 @@ impl TableData {
         match placement {
             TablePlacement::Single(store) => Ok(TableData::Single(Table::new(schema, *store))),
             TablePlacement::Partitioned(spec) => {
+                if spec.cold_tier == Tier::Disk && spec.vertical.is_some() {
+                    return Err(Error::InvalidOperation(format!(
+                        "table {}: a vertically split cold partition cannot be disk-resident",
+                        schema.name
+                    )));
+                }
                 let hot = spec
                     .horizontal
                     .as_ref()
                     .map(|_| Table::new(schema.clone(), StoreKind::Row));
+                // A disk cold tier starts as an (empty) in-memory cold
+                // partition; the mover demotes it to a segment once data
+                // exists, and WAL replay re-applies that demotion.
                 let cold = match &spec.vertical {
                     None => ColdPart::Single(Table::new(schema.clone(), StoreKind::Column)),
                     Some(v) => ColdPart::Vertical(VerticalPair::new(&schema, v)?),
@@ -508,6 +569,38 @@ impl TableData {
         }
     }
 
+    /// Collect every logical row (cold first, then hot) without draining —
+    /// the checkpoint writer's snapshot path. A disk-resident cold
+    /// partition is decoded from its segment (the checkpoint embeds the
+    /// data itself; the segment file stays a rebuildable cache).
+    pub fn snapshot_rows(&self, store: &SegmentStore) -> Result<Vec<Vec<Value>>> {
+        fn table_rows(t: &Table, out: &mut Vec<Vec<Value>>) {
+            let cols = t.schema().columns.len();
+            out.extend(
+                (0..t.row_count() as u32)
+                    .map(|r| (0..cols).map(|c| t.value_at(r, c).clone()).collect()),
+            );
+        }
+        let mut rows = Vec::with_capacity(self.row_count());
+        match self {
+            TableData::Single(t) => table_rows(t, &mut rows),
+            TableData::Partitioned { hot, cold, .. } => {
+                match cold {
+                    ColdPart::Single(t) => table_rows(t, &mut rows),
+                    ColdPart::Vertical(p) => {
+                        let all: Vec<u32> = (0..p.row_count() as u32).collect();
+                        rows.extend(p.collect_rows(&all, None));
+                    }
+                    ColdPart::DiskColumn(f) => table_rows(&f.load(store)?, &mut rows),
+                }
+                if let Some(h) = hot {
+                    table_rows(h, &mut rows);
+                }
+            }
+        }
+        Ok(rows)
+    }
+
     /// Collect every logical row (cold first, then hot), draining `self`.
     pub fn into_rows(self) -> Vec<Vec<Value>> {
         match self {
@@ -516,6 +609,12 @@ impl TableData {
                 let mut rows = match cold {
                     ColdPart::Single(t) => t.into_rows(),
                     ColdPart::Vertical(p) => p.into_rows(),
+                    // The mover promotes disk-resident cold partitions back
+                    // to memory before any layout change drains the table.
+                    ColdPart::DiskColumn(f) => panic!(
+                        "draining {} with a disk-resident cold partition (promote first)",
+                        f.schema.name
+                    ),
                 };
                 if let Some(h) = hot {
                     rows.extend(h.into_rows());
@@ -534,9 +633,24 @@ impl TableData {
                 let c = match cold {
                     ColdPart::Single(t) => t.memory_bytes(),
                     ColdPart::Vertical(p) => p.memory_bytes(),
+                    // Only the stub is resident; the data lives on disk.
+                    ColdPart::DiskColumn(_) => std::mem::size_of::<DiskFragment>(),
                 };
                 h + c
             }
+        }
+    }
+
+    /// Bytes of on-disk segment data owned by this table (0 unless the cold
+    /// partition is disk-resident). The disk-footprint counterpart of
+    /// [`TableData::memory_bytes`].
+    pub fn disk_bytes(&self) -> u64 {
+        match self {
+            TableData::Partitioned {
+                cold: ColdPart::DiskColumn(f),
+                ..
+            } => f.disk_bytes,
+            _ => 0,
         }
     }
 
@@ -549,6 +663,8 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.delta_tail(),
                 ColdPart::Vertical(p) => p.col_fragment().delta_tail(),
+                // Segments are compacted at demotion and immutable after.
+                ColdPart::DiskColumn(_) => 0,
             },
         }
     }
@@ -561,6 +677,7 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.compact_delta(),
                 ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta(),
+                ColdPart::DiskColumn(_) => 0,
             },
         }
     }
@@ -574,6 +691,11 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.compact_delta_step(budget_rows),
                 ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta_step(budget_rows),
+                ColdPart::DiskColumn(_) => hsd_storage::MergeProgress {
+                    rows_remapped: 0,
+                    entries_folded: 0,
+                    done: true,
+                },
             },
         }
     }
@@ -588,6 +710,7 @@ impl TableData {
             (MergePartition::Cold, TableData::Partitioned { cold, .. }) => match cold {
                 ColdPart::Single(t) => t.compact_delta(),
                 ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta(),
+                ColdPart::DiskColumn(_) => 0,
             },
             _ => self.compact_deltas(),
         }
@@ -605,6 +728,11 @@ impl TableData {
             (MergePartition::Cold, TableData::Partitioned { cold, .. }) => match cold {
                 ColdPart::Single(t) => t.compact_delta_step(budget_rows),
                 ColdPart::Vertical(p) => p.col_fragment_mut().compact_delta_step(budget_rows),
+                ColdPart::DiskColumn(_) => hsd_storage::MergeProgress {
+                    rows_remapped: 0,
+                    entries_folded: 0,
+                    done: true,
+                },
             },
             _ => self.compact_deltas_step(budget_rows),
         }
@@ -624,6 +752,7 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.plan_delta_merge(),
                 ColdPart::Vertical(p) => p.col_fragment().plan_delta_merge(),
+                ColdPart::DiskColumn(_) => Vec::new(),
             },
         }
     }
@@ -641,6 +770,8 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.install_delta_plans(plans),
                 ColdPart::Vertical(p) => p.col_fragment_mut().install_delta_plans(plans),
+                // Demotion between plan and install makes the plans stale.
+                ColdPart::DiskColumn(_) => 0,
             },
         }
     }
@@ -666,6 +797,7 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.merge_in_progress(),
                 ColdPart::Vertical(p) => p.col_fragment().merge_in_progress(),
+                ColdPart::DiskColumn(_) => false,
             },
         }
     }
@@ -678,8 +810,53 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.merge_epoch(),
                 ColdPart::Vertical(p) => p.col_fragment().merge_epoch(),
+                ColdPart::DiskColumn(f) => f.merge_epoch,
             },
         }
+    }
+
+    /// Run `f` with a disk-resident cold partition temporarily loaded back
+    /// into memory, then re-encode and republish the segment afterwards
+    /// (**write-through**). Tables whose cold partition is memory-resident
+    /// just run `f` — the helper is transparent for them.
+    ///
+    /// The segment is republished even when `f` fails partway: the engine
+    /// has no statement rollback, the WAL records the applied prefix, and
+    /// the segment must reflect the same state replay would reproduce.
+    /// This load → mutate → rewrite cycle is exactly the upkeep cost the
+    /// advisor's tier model charges writes against disk-resident data.
+    pub fn with_cold_loaded<R>(
+        &mut self,
+        store: &SegmentStore,
+        f: impl FnOnce(&mut TableData) -> Result<R>,
+    ) -> Result<R> {
+        let frag = match self {
+            TableData::Partitioned {
+                cold: ColdPart::DiskColumn(fr),
+                ..
+            } => fr.clone(),
+            _ => return f(self),
+        };
+        let loaded = frag.load(store)?;
+        if let TableData::Partitioned { cold, .. } = self {
+            *cold = ColdPart::Single(loaded);
+        }
+        let result = f(self);
+        if let TableData::Partitioned { cold, .. } = self {
+            if let ColdPart::Single(Table::Column(ct)) = cold {
+                let bytes = encode_segment(ct);
+                let stub = DiskFragment {
+                    schema: frag.schema.clone(),
+                    segment: frag.segment.clone(),
+                    rows: ct.row_count(),
+                    disk_bytes: bytes.len() as u64,
+                    merge_epoch: ct.merge_epoch(),
+                };
+                store.put(&frag.segment, bytes)?;
+                *cold = ColdPart::DiskColumn(stub);
+            }
+        }
+        result
     }
 
     /// Abandon any in-flight incremental delta merge on the column-store
@@ -690,6 +867,7 @@ impl TableData {
             TableData::Partitioned { cold, .. } => match cold {
                 ColdPart::Single(t) => t.cancel_delta_merge(),
                 ColdPart::Vertical(p) => p.col_fragment_mut().cancel_delta_merge(),
+                ColdPart::DiskColumn(_) => 0,
             },
         }
     }
@@ -822,6 +1000,7 @@ mod tests {
                 split_value: Value::BigInt(100),
             }),
             vertical: Some(VerticalSpec { row_cols: vec![3] }),
+            ..Default::default()
         };
         let mut td = TableData::new(schema(), &TablePlacement::Partitioned(spec)).unwrap();
         // cold rows loaded directly into the cold partition would need the

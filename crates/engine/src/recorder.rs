@@ -454,6 +454,7 @@ mod tests {
                     split_value: Value::BigInt(40),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         )
         .unwrap();

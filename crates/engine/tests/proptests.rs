@@ -55,6 +55,7 @@ fn placements() -> Vec<TablePlacement> {
                 split_value: Value::BigInt(ROWS * 3 / 4),
             }),
             vertical: Some(VerticalSpec { row_cols: vec![3] }),
+            ..Default::default()
         }),
     ]
 }

@@ -329,6 +329,54 @@ impl BitPackedVec {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// The packed words backing this vector, in layout order.
+    ///
+    /// Together with [`BitPackedVec::width`] and [`BitPackedVec::len`] this
+    /// is the vector's complete serialized form; feed the same three values
+    /// to [`BitPackedVec::from_raw_parts`] to reconstruct it bit-for-bit.
+    /// The segment file format persists code vectors this way.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a vector from its serialized parts (see
+    /// [`BitPackedVec::words`]).
+    ///
+    /// `words` must use the delimiter-aligned layout this module produces:
+    /// `64 / (width + 1)` fields per word, delimiter bits zero, unused top
+    /// bits zero. The derived fields (`per_word`, the division magic) are
+    /// recomputed, so only the three persisted values are needed.
+    ///
+    /// ```
+    /// use hsd_storage::BitPackedVec;
+    /// let v: BitPackedVec = [3u32, 1, 4, 1, 5].iter().copied().collect();
+    /// let rebuilt =
+    ///     BitPackedVec::from_raw_parts(v.words().to_vec(), v.width(), v.len());
+    /// assert_eq!(rebuilt, v);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `width > 32` or `words` is not exactly the number of words
+    /// `len` entries occupy at `width` bits.
+    pub fn from_raw_parts(words: Vec<u64>, width: u8, len: usize) -> Self {
+        assert!(width <= 32, "code width above 32 bits");
+        let expect_words = if width == 0 {
+            0
+        } else {
+            len.div_ceil(fields_per_word(width))
+        };
+        assert_eq!(
+            words.len(),
+            expect_words,
+            "word count does not match width {width} / len {len}"
+        );
+        let mut v = BitPackedVec::new();
+        v.set_width(width);
+        v.words = words;
+        v.len = len;
+        v
+    }
+
     /// Decode the run `[start, start + out.len())` into `out` using
     /// word-level unpacking.
     ///

@@ -730,6 +730,41 @@ impl ColumnData {
     pub fn heap_bytes(&self) -> usize {
         self.codes.heap_bytes() + self.dict.heap_bytes()
     }
+
+    /// The bit-packed code vector, or `None` for the plain ablation
+    /// encoding. The segment writer serializes packed columns zero-copy
+    /// through this accessor.
+    pub fn packed_codes(&self) -> Option<&BitPackedVec> {
+        match &self.codes {
+            CodeVec::Packed(v) => Some(v),
+            CodeVec::Plain(_) => None,
+        }
+    }
+
+    /// Rebuild a column from its persisted parts: a restored dictionary
+    /// ([`Dictionary::from_regions`]), the bit-packed code vector
+    /// ([`BitPackedVec::from_raw_parts`]), and the merge epoch the column
+    /// had when it was serialized. No merge is in flight on the restored
+    /// column (in-flight shadow state is never persisted — it is
+    /// reconstructible and cancellation is lossless).
+    ///
+    /// # Panics
+    /// Panics if any code is out of range for the dictionary.
+    pub fn from_parts(dict: Dictionary, codes: BitPackedVec, epoch: u64) -> Self {
+        for code in codes.iter() {
+            assert!(
+                (code as usize) < dict.len(),
+                "restored code {code} out of dictionary range {}",
+                dict.len()
+            );
+        }
+        ColumnData {
+            dict,
+            codes: CodeVec::Packed(codes),
+            pending: None,
+            epoch,
+        }
+    }
 }
 
 /// A column-oriented table.
@@ -1109,6 +1144,49 @@ impl ColumnTable {
     /// Drain this table into its rows (used by the data mover).
     pub fn into_rows(self) -> Vec<Vec<Value>> {
         (0..self.rows as u32).map(|i| self.row(i)).collect()
+    }
+
+    /// Rebuild a table from restored columns (the segment decode path).
+    ///
+    /// The columns must all have the same row count and there must be one
+    /// per schema attribute. The primary-key index is not persisted; it is
+    /// reconstructed here by decoding the PK columns.
+    pub fn from_parts(schema: Arc<TableSchema>, columns: Vec<ColumnData>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(Error::InvalidOperation(format!(
+                "segment for {} has {} columns, schema expects {}",
+                schema.name,
+                columns.len(),
+                schema.arity()
+            )));
+        }
+        let rows = columns.first().map_or(0, ColumnData::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(Error::InvalidOperation(format!(
+                "segment for {} has ragged column lengths",
+                schema.name
+            )));
+        }
+        let mut pk = HashMap::with_capacity(rows);
+        for idx in 0..rows {
+            let key: PkKey = schema
+                .primary_key
+                .iter()
+                .map(|&c| columns[c].value_at(idx).clone())
+                .collect();
+            if pk.insert(key, idx as u32).is_some() {
+                return Err(Error::DuplicateKey(format!(
+                    "{}: restored segment repeats a primary key at row {idx}",
+                    schema.name
+                )));
+            }
+        }
+        Ok(ColumnTable {
+            schema,
+            columns,
+            pk,
+            rows,
+        })
     }
 }
 

@@ -45,6 +45,30 @@ impl Dictionary {
         }
     }
 
+    /// Rebuild a dictionary from its two persisted regions — the restore
+    /// half of serializing [`Dictionary::values`] together with
+    /// [`Dictionary::sorted_len`]. `sorted` must already be in sorted order
+    /// (it is persisted exactly as this module maintains it); `tail` keeps
+    /// its arrival order so every code decodes to the same value it was
+    /// assigned to. The tail lookup index is reconstructed here.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `sorted` is not sorted.
+    pub fn from_regions(sorted: Vec<Value>, tail: Vec<Value>) -> Self {
+        debug_assert!(sorted.is_sorted(), "persisted sorted region out of order");
+        let base = sorted.len() as u32;
+        let tail_lookup = tail
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), base + i as u32))
+            .collect();
+        Dictionary {
+            sorted,
+            tail,
+            tail_lookup,
+        }
+    }
+
     /// Total number of distinct values (sorted + tail).
     pub fn len(&self) -> usize {
         self.sorted.len() + self.tail.len()

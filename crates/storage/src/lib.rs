@@ -57,13 +57,14 @@
 //! `CodeVec::Plain` encoding toggle); `hsd-bench`'s `bench_scan` binary
 //! records the batched-vs-scalar throughput in `BENCH_scan.json`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitpack;
 pub mod column_store;
 pub mod dictionary;
 pub mod predicate;
 pub mod row_store;
+pub mod segment;
 pub mod selvec;
 pub mod table;
 pub mod wal;
@@ -73,6 +74,7 @@ pub use column_store::{ColumnData, ColumnTable, MergePlan, MergeProgress};
 pub use dictionary::Dictionary;
 pub use predicate::{ColRange, RowSel};
 pub use row_store::RowTable;
+pub use segment::{decode_segment, encode_segment, SegmentStore};
 pub use selvec::SelVec;
 pub use table::{PkKey, StoreKind, Table};
 pub use wal::{

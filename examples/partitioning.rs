@@ -51,6 +51,7 @@ fn main() -> hybrid_store_advisor::types::Result<()> {
                 vertical: Some(VerticalSpec {
                     row_cols: spec.st_cols(),
                 }),
+                ..Default::default()
             }),
         ),
     ] {

@@ -59,7 +59,7 @@ pub use hsd_types as types;
 pub mod prelude {
     pub use hsd_catalog::{
         ExtendedStats, HorizontalSpec, PartitionSpec, StorageLayout, TablePlacement, TableStats,
-        VerticalSpec,
+        Tier, VerticalSpec,
     };
     pub use hsd_core::{
         calibrate, AdaptationRecommendation, CalibrationConfig, CostModel, MaintenanceAction,

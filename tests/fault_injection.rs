@@ -73,6 +73,8 @@ enum Stmt {
     Update { id: i64, salt: i64 },
     Merge,
     Move(TablePlacement),
+    Demote,
+    Promote,
 }
 
 fn apply_stmt(db: &HybridDatabase, s: &Stmt) {
@@ -98,6 +100,15 @@ fn apply_stmt(db: &HybridDatabase, s: &Stmt) {
         Stmt::Move(placement) => {
             mover::move_table(db, "t", placement).unwrap();
         }
+        // Demotion is only legal for horizontally-partitioned tables without
+        // a vertical split; in the random stream the placement may be
+        // anything, so tolerate the rejection (it logs nothing).
+        Stmt::Demote => {
+            let _ = mover::demote_cold(db, "t");
+        }
+        Stmt::Promote => {
+            let _ = mover::promote_cold(db, "t");
+        }
     }
 }
 
@@ -111,28 +122,46 @@ fn update_stmt() -> impl Strategy<Value = Stmt> {
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let merge = (0u32..1).prop_map(|_| Stmt::Merge);
-    let mv = (0u32..3).prop_map(|i| {
+    let mv = (0u32..4).prop_map(|i| {
         Stmt::Move(match i {
             0 => TablePlacement::Single(StoreKind::Column),
             1 => TablePlacement::Single(StoreKind::Row),
-            _ => TablePlacement::Partitioned(PartitionSpec {
+            2 => TablePlacement::Partitioned(PartitionSpec {
                 horizontal: Some(HorizontalSpec {
                     split_column: 0,
                     split_value: Value::BigInt(48),
                 }),
                 vertical: Some(VerticalSpec { row_cols: vec![2] }),
+                ..Default::default()
+            }),
+            // Straight into a disk-resident cold partition: the move itself
+            // writes a segment, so cuts can land inside its WAL frame.
+            _ => TablePlacement::Partitioned(PartitionSpec {
+                horizontal: Some(HorizontalSpec {
+                    split_column: 0,
+                    split_value: Value::BigInt(48),
+                }),
+                vertical: None,
+                cold_tier: Tier::Disk,
             }),
         })
     });
-    // Writes dominate; merges and placement moves are sprinkled in so the
-    // log mixes data records with physical-reorganization records.
+    let demote = (0u32..1).prop_map(|_| Stmt::Demote);
+    let promote = (0u32..1).prop_map(|_| Stmt::Promote);
+    // Writes dominate; merges, placement moves, and tier transitions are
+    // sprinkled in so the log mixes data records with
+    // physical-reorganization records.
     prop_oneof![
         insert_stmt(),
         insert_stmt(),
+        insert_stmt(),
+        update_stmt(),
         update_stmt(),
         update_stmt(),
         merge,
-        mv
+        mv,
+        demote,
+        promote
     ]
 }
 
@@ -442,6 +471,155 @@ fn file_recovery_truncates_torn_tail_and_resumes_appends() {
     assert!(report2.is_clean(), "{report2:?}");
     assert_eq!(probe(&rec2, "t"), after);
     let _ = std::fs::remove_file(&path);
+}
+
+/// Horizontal split of the crash-test table, cold partition on the given
+/// tier.
+fn split_at_48(cold_tier: Tier) -> TablePlacement {
+    TablePlacement::Partitioned(PartitionSpec {
+        horizontal: Some(HorizontalSpec {
+            split_column: 0,
+            split_value: Value::BigInt(48),
+        }),
+        vertical: None,
+        cold_tier,
+    })
+}
+
+fn cold_tier_of(db: &HybridDatabase, table: &str) -> Tier {
+    match &db.catalog().entry_by_name(table).unwrap().placement {
+        TablePlacement::Partitioned(spec) => spec.cold_tier,
+        other => panic!("expected partitioned placement, got {other:?}"),
+    }
+}
+
+/// Byte-level sweep across a demotion record: every cut strictly inside the
+/// `Demote` frame recovers the pre-demotion (memory-resident) placement and
+/// the full table contents; the complete image replays the demotion and
+/// comes back with the cold partition disk-resident.
+#[test]
+fn cut_inside_demotion_record_recovers_pre_demotion_state() {
+    let (db, image) = wal_db();
+    mover::move_table(&db, "t", &split_at_48(Tier::Memory)).unwrap();
+    let expected = probe(&db, "t");
+    let boundary = image.snapshot().len();
+    assert!(mover::demote_cold(&db, "t").unwrap() > 0);
+    let full = image.snapshot();
+    assert!(full.len() > boundary, "demotion must append a WAL record");
+
+    for cut in boundary..full.len() {
+        let (rec, report) = HybridDatabase::recover_bytes(&full[..cut]);
+        assert_eq!(report.recovered_len, boundary as u64, "cut {cut}");
+        assert_eq!(report.torn_tail.is_some(), cut != boundary, "cut {cut}");
+        assert!(
+            report.degraded.is_empty(),
+            "cut {cut}: {:?}",
+            report.degraded
+        );
+        assert_eq!(cold_tier_of(&rec, "t"), Tier::Memory, "cut {cut}");
+        assert_eq!(probe(&rec, "t"), expected, "cut {cut}");
+    }
+
+    let (rec, report) = HybridDatabase::recover_bytes(&full);
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(cold_tier_of(&rec, "t"), Tier::Disk);
+    assert_eq!(probe(&rec, "t"), expected);
+}
+
+/// Damaged checkpoint images: a torn or bit-flipped newest checkpoint must
+/// fall back to the previous image (paying a longer WAL replay), and with
+/// every image damaged recovery degrades to full-log replay — in all cases
+/// reproducing the live database exactly. The newer image holds a
+/// disk-tier placement, so restore also exercises segment re-publication.
+#[test]
+fn damaged_checkpoints_fall_back_to_previous_image_then_full_replay() {
+    let dir = std::env::temp_dir().join(format!("hsd_cp_damage_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || DurabilityConfig {
+        sync: SyncPolicy::Always,
+        retry: RetryPolicy::default(),
+    };
+    let (db, _) = HybridDatabase::open_dir(&dir, cfg()).unwrap();
+    db.set_merge_config(MergeConfig::disabled());
+    db.create_single(schema("t"), StoreKind::Column).unwrap();
+    db.bulk_load("t", (0..96).map(|i| row(i, i))).unwrap();
+    for id in 100..120 {
+        apply_stmt(&db, &Stmt::Insert { id, salt: id });
+    }
+    let cp1 = db.checkpoint().unwrap();
+    // Demote the cold partition between the two checkpoints so the newer
+    // image captures a disk-tier placement.
+    mover::move_table(&db, "t", &split_at_48(Tier::Disk)).unwrap();
+    for id in 120..140 {
+        apply_stmt(&db, &Stmt::Insert { id, salt: id });
+    }
+    let cp2 = db.checkpoint().unwrap();
+    for id in 140..150 {
+        apply_stmt(&db, &Stmt::Insert { id, salt: id });
+    }
+    db.sync_wal().unwrap();
+    let expected = probe(&db, "t");
+    drop(db);
+
+    let newest = dir
+        .join("checkpoints")
+        .join(format!("checkpoint_{:06}", cp2.seq));
+    let older = dir
+        .join("checkpoints")
+        .join(format!("checkpoint_{:06}", cp1.seq));
+    let pristine_newest = std::fs::read(&newest).unwrap();
+    let pristine_older = std::fs::read(&older).unwrap();
+
+    // Clean baseline: the newest image restores and only the suffix
+    // written after it replays.
+    let clean_replayed = {
+        let (rec, report) = HybridDatabase::open_dir(&dir, cfg()).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(cp2.seq));
+        assert_eq!(report.checkpoints_skipped, 0);
+        assert_eq!(cold_tier_of(&rec, "t"), Tier::Disk);
+        assert_eq!(probe(&rec, "t"), expected);
+        report.records_replayed
+    };
+
+    // Torn (several truncation lengths) and bit-flipped newest image:
+    // recovery skips it, restores the previous checkpoint, and pays a
+    // longer replay — yet lands on the same state.
+    let mut flipped = pristine_newest.clone();
+    flipped[pristine_newest.len() / 3] ^= 0x40;
+    let damaged = [
+        pristine_newest[..0].to_vec(),
+        pristine_newest[..7].to_vec(),
+        pristine_newest[..pristine_newest.len() / 2].to_vec(),
+        pristine_newest[..pristine_newest.len() - 1].to_vec(),
+        flipped,
+    ];
+    for bytes in &damaged {
+        std::fs::write(&newest, bytes).unwrap();
+        let (rec, report) = HybridDatabase::open_dir(&dir, cfg()).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(cp1.seq), "len {}", bytes.len());
+        assert_eq!(report.checkpoints_skipped, 1, "len {}", bytes.len());
+        assert!(
+            report.records_replayed > clean_replayed,
+            "fallback must replay a longer suffix ({} vs {})",
+            report.records_replayed,
+            clean_replayed
+        );
+        assert_eq!(cold_tier_of(&rec, "t"), Tier::Disk);
+        assert_eq!(probe(&rec, "t"), expected, "len {}", bytes.len());
+    }
+
+    // Both images damaged: full-log replay from byte zero.
+    std::fs::write(&newest, &pristine_newest[..pristine_newest.len() / 2]).unwrap();
+    std::fs::write(&older, &pristine_older[..pristine_older.len() / 2]).unwrap();
+    let (rec, report) = HybridDatabase::open_dir(&dir, cfg()).unwrap();
+    assert_eq!(report.checkpoint_seq, None);
+    assert_eq!(report.checkpoints_skipped, 2);
+    assert_eq!(report.checkpoint_wal_len, 0);
+    assert!(report.records_replayed > clean_replayed);
+    assert_eq!(cold_tier_of(&rec, "t"), Tier::Disk);
+    assert_eq!(probe(&rec, "t"), expected);
+    drop(rec);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Statements that ranged over unbounded predicates replay too — guard

@@ -56,6 +56,7 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
                     split_value: Value::BigInt(n * 9 / 10),
                 }),
                 vertical: None,
+                ..Default::default()
             }),
         ),
         (
@@ -65,6 +66,7 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
                 vertical: Some(VerticalSpec {
                     row_cols: spec.st_cols(),
                 }),
+                ..Default::default()
             }),
         ),
         (
@@ -77,6 +79,7 @@ fn placements(spec: &TableSpec) -> Vec<(&'static str, TablePlacement)> {
                 vertical: Some(VerticalSpec {
                     row_cols: spec.st_cols(),
                 }),
+                ..Default::default()
             }),
         ),
     ]
@@ -229,6 +232,7 @@ fn star_join_agrees_across_fact_layouts() {
             vertical: Some(VerticalSpec {
                 row_cols: fact.st_cols(),
             }),
+            ..Default::default()
         }),
     ] {
         let db = HybridDatabase::new();
