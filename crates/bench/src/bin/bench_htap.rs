@@ -294,14 +294,14 @@ fn main() {
             StoreKind::Row,
         ),
     );
-    let advisor_unbudgeted = StorageAdvisor::new(advisor.model.clone());
+    let advisor_unbudgeted = StorageAdvisor::with_handle(advisor.model.clone());
     let t0 = Instant::now();
     let rec_free = advisor_unbudgeted
         .recommend_offline(&scale_schemas, &scale_stats, &scale_wl, true)
         .expect("scale recommend");
     let scale_free_ms = t0.elapsed().as_secs_f64() * 1e3;
     let advisor_budgeted =
-        StorageAdvisor::new(advisor.model.clone()).with_budget(0.85 * scale_row_fp);
+        StorageAdvisor::with_handle(advisor.model.clone()).with_budget(0.85 * scale_row_fp);
     let t0 = Instant::now();
     let rec_scale = advisor_budgeted
         .recommend_offline(&scale_schemas, &scale_stats, &scale_wl, true)

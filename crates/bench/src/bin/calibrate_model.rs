@@ -1,4 +1,4 @@
-//! Produce the reference `cost_model.json` calibration artifact.
+//! Produce (or schema-check) the reference `cost_model.json` artifact.
 //!
 //! The committed artifact pins the calibrated constants of one known
 //! machine so later PRs can diff the cost model's shape after engine
@@ -8,10 +8,54 @@
 //! Run with `cargo run --release -p hsd-bench --bin calibrate_model`
 //! (`-- --full` for the full-size calibration; default is the quick
 //! configuration so regeneration stays cheap).
+//!
+//! `-- --check` does not calibrate: it compares the committed artifact's
+//! key paths against the current [`hsd_core::CostModel`] schema and exits
+//! non-zero on any difference. Back-compat defaults make *loading* an old
+//! artifact legal, which is exactly why the committed reference needs this
+//! loud check — a field added to the struct but absent from the artifact
+//! would otherwise ride along as a silent default forever.
 
-use hsd_core::{calibrate, CalibrationConfig};
+use hsd_core::{calibrate, CalibrationConfig, CostModel};
+
+fn check() -> ! {
+    let artifact = match std::fs::read_to_string("cost_model.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[calibrate_model] cannot read cost_model.json: {e}");
+            std::process::exit(1);
+        }
+    };
+    let diff = match CostModel::schema_diff(&artifact) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[calibrate_model] cost_model.json does not parse: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    for path in &diff.missing {
+        eprintln!("[calibrate_model] MISSING from artifact (would load as silent default): {path}");
+    }
+    for path in &diff.unknown {
+        eprintln!("[calibrate_model] UNKNOWN to current schema (stale artifact field): {path}");
+    }
+    if diff.is_clean() {
+        eprintln!("[calibrate_model] cost_model.json matches the current schema");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "[calibrate_model] schema drift: {} missing, {} unknown — regenerate with \
+         `cargo run --release -p hsd-bench --bin calibrate_model` (or patch neutral values)",
+        diff.missing.len(),
+        diff.unknown.len()
+    );
+    std::process::exit(1);
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+    }
     let full = std::env::args().any(|a| a == "--full");
     let cfg = if full {
         CalibrationConfig::default()

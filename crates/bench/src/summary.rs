@@ -21,6 +21,9 @@ pub struct ArtifactRow {
     pub note: Option<String>,
     /// Headline ratios: `(key path, value)`; `None` value renders `n/a`.
     pub ratios: Vec<(String, Option<f64>)>,
+    /// Modeled-vs-measured drift gauges: `(key path, value)`; `None`
+    /// renders `n/a`. Populated by artifacts of self-calibration runs.
+    pub drifts: Vec<(String, Option<f64>)>,
 }
 
 impl ArtifactRow {
@@ -68,6 +71,38 @@ pub fn collect_ratios(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f
     }
 }
 
+/// Recursively collect `(path, value)` pairs of drift-gauge fields — keys
+/// named `drift` or ending in `_drift` (e.g. `static_model_drift`). Drift
+/// is the decayed mean `|ln(measured/predicted)|` of the cost model, so it
+/// renders as a plain number, not a `…x` ratio. Degrades like
+/// [`collect_ratios`]: non-finite or non-numeric values become `None`.
+pub fn collect_drifts(prefix: &str, json: &Json, out: &mut Vec<(String, Option<f64>)>) {
+    match json {
+        Json::Obj(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                let drift_key = k == "drift" || k.ends_with("_drift");
+                match v {
+                    Json::Num(n) if drift_key => out.push((path, n.is_finite().then_some(*n))),
+                    Json::Int(n) if drift_key => out.push((path, Some(*n as f64))),
+                    Json::Str(_) | Json::Null if drift_key => out.push((path, None)),
+                    _ => collect_drifts(&path, v, out),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_drifts(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Derive best/baseline throughput ratios from `results`-style arrays
 /// (entries with `name` + `rows_per_sec`), grouped by the name's leading
 /// token: `unselective_scalar_get` vs `unselective_block_selvec` etc.
@@ -106,6 +141,7 @@ pub fn summarize_text(file: &str, text: &str) -> ArtifactRow {
                 pass: None,
                 note: Some(format!("unparsable: {e:?}")),
                 ratios: Vec::new(),
+                drifts: Vec::new(),
             }
         }
     };
@@ -118,12 +154,15 @@ pub fn summarize_text(file: &str, text: &str) -> ArtifactRow {
     let mut ratios = Vec::new();
     collect_ratios("", &json, &mut ratios);
     derive_throughput_ratios(&json, &mut ratios);
+    let mut drifts = Vec::new();
+    collect_drifts("", &json, &mut drifts);
     ArtifactRow {
         file: file.into(),
         benchmark,
         pass,
         note: None,
         ratios,
+        drifts,
     }
 }
 
@@ -139,6 +178,7 @@ pub fn summarize_path(path: &str) -> ArtifactRow {
             pass: None,
             note: Some(format!("missing: {e}")),
             ratios: Vec::new(),
+            drifts: Vec::new(),
         },
     }
 }
@@ -159,8 +199,8 @@ pub fn readme_missing_rows(readme: &str, artifacts: &[String]) -> Vec<String> {
 /// Render rows as the markdown table the CI job prints.
 pub fn render_markdown(rows: &[ArtifactRow]) -> String {
     let mut out = String::new();
-    out.push_str("| artifact | benchmark | pass | speedup ratios |\n");
-    out.push_str("|---|---|---|---|\n");
+    out.push_str("| artifact | benchmark | pass | speedup ratios | drift gauge |\n");
+    out.push_str("|---|---|---|---|---|\n");
     for row in rows {
         let ratio_cell = if row.ratios.is_empty() {
             "—".to_string()
@@ -174,6 +214,18 @@ pub fn render_markdown(rows: &[ArtifactRow]) -> String {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
+        let drift_cell = if row.drifts.is_empty() {
+            "—".to_string()
+        } else {
+            row.drifts
+                .iter()
+                .map(|(k, v)| match v {
+                    Some(v) => format!("{k} {v:.3}"),
+                    None => format!("{k} n/a"),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         let pass_cell = match (row.pass, &row.note) {
             (_, Some(_)) => "?",
             (Some(true), _) => "✅",
@@ -181,8 +233,8 @@ pub fn render_markdown(rows: &[ArtifactRow]) -> String {
             (None, _) => "—",
         };
         out.push_str(&format!(
-            "| {} | {} | {} | {} |\n",
-            row.file, row.benchmark, pass_cell, ratio_cell
+            "| {} | {} | {} | {} | {} |\n",
+            row.file, row.benchmark, pass_cell, ratio_cell, drift_cell
         ));
     }
     out
@@ -243,6 +295,34 @@ mod tests {
         assert!(!row.failing());
         assert_eq!(row.ratios.len(), 2);
         assert!(render_markdown(&[row]).contains("1.50x"));
+    }
+
+    #[test]
+    fn drift_gauges_get_their_own_column() {
+        let row = summarize_text(
+            "BENCH_adaptive.json",
+            r#"{"benchmark": "adaptive_costmodel", "pass": true,
+                "adaptive_speedup": 2.5,
+                "static_model_drift": 1.261,
+                "self_calibrating_drift": 0.108,
+                "arms": [{"arm": "static", "drift": 1.261}]}"#,
+        );
+        assert_eq!(
+            row.ratios,
+            vec![("adaptive_speedup".to_string(), Some(2.5))]
+        );
+        assert_eq!(
+            row.drifts,
+            vec![
+                ("arms[0].drift".to_string(), Some(1.261)),
+                ("self_calibrating_drift".to_string(), Some(0.108)),
+                ("static_model_drift".to_string(), Some(1.261)),
+            ]
+        );
+        let table = render_markdown(&[row]);
+        assert!(table.contains("| drift gauge |"), "{table}");
+        assert!(table.contains("self_calibrating_drift 0.108"), "{table}");
+        assert!(table.contains("adaptive_speedup 2.50x"), "{table}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use hsd_query::{Query, Workload};
 use hsd_storage::StoreKind;
 use hsd_types::{Result, TableSchema};
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, ModelHandle};
 use crate::estimator::{
     estimate_query, estimate_workload, estimate_workload_layout, EstimationCtx, TableCtx,
 };
@@ -61,8 +61,13 @@ pub struct Recommendation {
 /// The advisor: a calibrated cost model plus heuristic thresholds.
 #[derive(Debug, Clone)]
 pub struct StorageAdvisor {
-    /// Calibrated cost model.
-    pub model: CostModel,
+    /// Calibrated cost model, behind a versioned refittable handle: every
+    /// pricing pass takes one [`ModelHandle::snapshot`] at entry, so an
+    /// online re-fit ([`crate::calibration::online::OnlineCalibrator`])
+    /// published mid-pass can never mix coefficient versions within a
+    /// single estimate. Cloning the advisor shares the handle — a re-fit
+    /// reaches every clone's next pass.
+    pub model: ModelHandle,
     /// Partitioning thresholds.
     pub partition_cfg: PartitionAdvisorConfig,
     /// Maximum table count for exhaustive store-combination search; larger
@@ -100,8 +105,15 @@ pub struct StorageAdvisor {
 }
 
 impl StorageAdvisor {
-    /// Advisor with default heuristics.
+    /// Advisor with default heuristics. The model is wrapped in a fresh
+    /// [`ModelHandle`]; use [`StorageAdvisor::with_handle`] to share an
+    /// existing one (so online re-fits reach this advisor too).
     pub fn new(model: CostModel) -> Self {
+        Self::with_handle(ModelHandle::new(model))
+    }
+
+    /// Advisor sharing an existing versioned model handle.
+    pub fn with_handle(model: ModelHandle) -> Self {
         StorageAdvisor {
             model,
             partition_cfg: PartitionAdvisorConfig::default(),
@@ -204,12 +216,13 @@ impl StorageAdvisor {
         if !self.maintenance_aware {
             return BTreeMap::new();
         }
+        let model = self.model.snapshot();
         crate::estimator::workload_maintenance_drivers(ctx, workload)
             .into_iter()
             .map(|(table, drivers)| {
                 let rows = ctx.tables.get(&table).map_or(0, |t| t.stats.row_count);
                 let cost =
-                    crate::maintenance::estimate_maintenance(&self.model, rows, drivers).total_ms();
+                    crate::maintenance::estimate_maintenance(&model, rows, drivers).total_ms();
                 (table, cost)
             })
             .collect()
@@ -237,10 +250,11 @@ impl StorageAdvisor {
             TablePlacement::Partitioned(_) if !self.fragment_upkeep => &full_table,
             other => other,
         };
+        let model = self.model.snapshot();
         crate::estimator::placement_fragment_drivers(ctx, workload, table, effective).map_or(
             0.0,
             |fragment| {
-                crate::maintenance::estimate_placement_maintenance(&self.model, fragment).total_ms()
+                crate::maintenance::estimate_placement_maintenance(&model, fragment).total_ms()
             },
         )
     }
@@ -269,8 +283,11 @@ impl StorageAdvisor {
         enable_partitioning: bool,
     ) -> Result<Recommendation> {
         // --- table level -------------------------------------------------
+        // One snapshot for the whole recommendation pass: a concurrent
+        // re-fit can land mid-pass without mixing coefficient versions.
+        let model = self.model.snapshot();
         let upkeep = self.upkeep_costs(ctx, workload);
-        let search = TableLevelSearch::new(&self.model, ctx, workload, &upkeep);
+        let search = TableLevelSearch::new(&model, ctx, workload, &upkeep);
         let assignment = search.solve(self.exact_search_limit);
         // --- baselines ---------------------------------------------------
         let names: Vec<&str> = ctx.tables.keys().map(String::as_str).collect();
@@ -282,9 +299,9 @@ impl StorageAdvisor {
             .iter()
             .map(|n| (n.to_string(), StoreKind::Column))
             .collect();
-        let rs_only_ms = estimate_workload(&self.model, ctx, &rs_only, workload);
+        let rs_only_ms = estimate_workload(&model, ctx, &rs_only, workload);
         let cs_only_ms =
-            estimate_workload(&self.model, ctx, &cs_only, workload) + upkeep.values().sum::<f64>();
+            estimate_workload(&model, ctx, &cs_only, workload) + upkeep.values().sum::<f64>();
         // --- partitioning ------------------------------------------------
         // The heuristic proposes a partition spec; the spec is then priced
         // as a first-class placement candidate — the table's workload share
@@ -331,12 +348,7 @@ impl StorageAdvisor {
                                 .iter()
                                 .filter(|q| touches(q, &name))
                                 .map(|q| {
-                                    crate::estimator::estimate_query_layout(
-                                        &self.model,
-                                        ctx,
-                                        layout,
-                                        q,
-                                    )
+                                    crate::estimator::estimate_query_layout(&model, ctx, layout, q)
                                 })
                                 .sum()
                         };
@@ -381,7 +393,7 @@ impl StorageAdvisor {
         // Query cost of the recommended layout plus the delta upkeep of
         // every placement that keeps a column-store region, charged at the
         // fragment level for partitioned placements.
-        let estimated_ms = estimate_workload_layout(&self.model, ctx, &layout, workload)
+        let estimated_ms = estimate_workload_layout(&model, ctx, &layout, workload)
             + self.layout_upkeep_ms(ctx, workload, &layout);
         let statements = migration_statements(schemas, &layout);
         let disk_bytes = crate::budget::layout_disk_bytes(ctx, &layout);
@@ -427,6 +439,7 @@ impl StorageAdvisor {
             }
         }
         let empty: Vec<&Query> = Vec::new();
+        let model = self.model.snapshot();
         let mut candidate_tables = Vec::new();
         for (name, tctx) in &ctx.tables {
             let mut placements = vec![
@@ -457,12 +470,7 @@ impl StorageAdvisor {
                     let share: f64 = queries
                         .iter()
                         .map(|q| {
-                            crate::estimator::estimate_query_layout(
-                                &self.model,
-                                ctx,
-                                &cand_layout,
-                                q,
-                            )
+                            crate::estimator::estimate_query_layout(&model, ctx, &cand_layout, q)
                         })
                         .sum();
                     crate::budget::PlacementCandidate {

@@ -8,6 +8,8 @@
 //! for every query type on both stores, and fits the adjustment functions
 //! (least squares for linear terms, interpolation for piecewise terms).
 
+pub mod online;
+
 use std::time::Instant;
 
 use hsd_catalog::{HorizontalSpec, PartitionSpec, TablePlacement};
@@ -79,6 +81,8 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Result<CostModel> {
             .kf_compression(cfg.base_rows),
         table_arity: reference_spec("x", cfg.base_rows, cfg).arity(),
         repeats: cfg.repeats,
+        // Fresh calibration: no online re-fits have amended this model yet.
+        ..CalibrationMeta::default()
     };
     Ok(model)
 }

@@ -1,0 +1,758 @@
+//! Online self-calibration: continuous re-fitting of the cost model from
+//! observed predicted-vs-measured residuals.
+//!
+//! The offline mode ([`crate::calibration::calibrate`]) fits the model once,
+//! against synthetic tables, on whatever hardware happened to run it. The
+//! paper's online working mode keeps *statistics* fresh but leaves the model
+//! frozen — so a model calibrated on different hardware, or before a phase
+//! change shifted the workload into operating regions the micro-benchmarks
+//! never exercised, silently misprices every placement decision downstream.
+//!
+//! This module closes that loop. Each executed query yields one
+//! [`hsd_engine::TimingSample`] pairing the model's prediction with the
+//! measured wall clock; the [`OnlineCalibrator`] buckets the log-ratio
+//! residuals `ln(measured / predicted)` by **coefficient family** (the group
+//! of model terms that dominated the prediction), maintains an exponentially
+//! decayed fit per family, and on request re-fits the drifted families
+//! through a [`ModelHandle`] — shape-preserving multiplicative steps,
+//! clamped per re-fit so one noisy interval can never whipsaw the model.
+//!
+//! Two read-only signals ride on the same sample stream:
+//!
+//! * the **drift gauge** ([`OnlineCalibrator::gauge`]): the decayed mean
+//!   absolute log residual, overall and per family — "how wrong is the
+//!   model right now", the operator-facing health metric;
+//! * the **phase detector** ([`OnlineCalibrator::take_phase_shift`]): a
+//!   fast/slow EMA pair over the workload's scan share that fires when the
+//!   workload regime shifts faster than the slow average can follow — the
+//!   re-planning trigger that does not wait for coefficients to drift.
+
+use std::collections::BTreeMap;
+
+use hsd_engine::{MergeSliceSample, OpClass, TimingSample};
+use hsd_storage::StoreKind;
+
+use crate::cost::{AdjustmentFn, CostModel, ModelHandle};
+
+/// Residuals are clamped to `±LN_CLAMP` before entering a fit: a single
+/// pathological sample (scheduler stall, cold cache) is evidence of *some*
+/// drift, not of a 100x one.
+const LN_CLAMP: f64 = 5.0;
+
+/// Settings of the [`OnlineCalibrator`].
+#[derive(Debug, Clone)]
+pub struct OnlineCalibratorConfig {
+    /// Per-sample decay of each family's sufficient statistics (`0.98`
+    /// halves a sample's weight after ~34 successors): recent residuals
+    /// dominate, stale hardware conditions age out.
+    pub decay: f64,
+    /// Maximum multiplicative step per family per re-fit; the applied
+    /// factor is clamped to `[1/max_step, max_step]`. Persistent drift
+    /// converges over a few re-fits; noise cannot overshoot.
+    pub max_step: f64,
+    /// Minimum raw samples a family must collect since its last re-fit
+    /// before it is eligible again.
+    pub min_samples: usize,
+    /// Dead-band on the mean log residual: families within
+    /// `exp(±deadband)` of perfect are left alone (re-fitting into noise
+    /// churns model versions for nothing).
+    pub deadband: f64,
+    /// Column-store scans whose tail fraction is at least this are
+    /// attributed to the [`CoefFamily::Tail`] family instead of
+    /// [`CoefFamily::Scan`] — separating "the scan term is wrong" from
+    /// "the tail-degradation term is wrong".
+    pub tail_min_frac: f64,
+    /// Phase-change detector settings.
+    pub phase: PhaseConfig,
+}
+
+impl Default for OnlineCalibratorConfig {
+    fn default() -> Self {
+        OnlineCalibratorConfig {
+            decay: 0.98,
+            max_step: 2.0,
+            min_samples: 24,
+            deadband: 0.05f64.ln_1p(), // ln(1.05): within 5 % is "calibrated"
+            tail_min_frac: 0.02,
+            phase: PhaseConfig::default(),
+        }
+    }
+}
+
+/// Settings of the workload phase-change detector: a fast/slow EMA pair
+/// over the per-statement scan share (the same exponential-decay predictor
+/// shape [`crate::online::OnlineConfig::scan_rate_decay`] uses for merge
+/// accrual, applied to regime detection).
+#[derive(Debug, Clone)]
+pub struct PhaseConfig {
+    /// Weight of the newest statement in the fast EMA (the "now" estimate).
+    pub fast: f64,
+    /// Weight of the newest statement in the slow EMA (the "recent past").
+    pub slow: f64,
+    /// Fire when `|fast − slow|` exceeds this scan-share gap.
+    pub threshold: f64,
+    /// Statements observed before the detector may fire (both EMAs seed
+    /// from the first sample, so early gaps are startup noise).
+    pub min_samples: u64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            fast: 0.25,
+            slow: 0.03,
+            threshold: 0.25,
+            min_samples: 64,
+        }
+    }
+}
+
+/// A group of cost-model coefficients re-fit as one unit. Mirrors
+/// [`OpClass`]: each observed sample's residual is attributed to the family
+/// whose terms dominated its prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CoefFamily {
+    /// Unfiltered scan-type reads: the store's `f_rows` function.
+    Scan(StoreKind),
+    /// Filtered/joined reads: the store's locate terms
+    /// (`sel_per_row_scan`, `sel_per_row_indexed`, `sel_per_match`).
+    FilteredScan(StoreKind),
+    /// Primary-key point lookups: the store's `sel_point_ms`.
+    Point(StoreKind),
+    /// Inserts: the store's `ins_row` function.
+    Insert(StoreKind),
+    /// Updates: the store's `upd_row_ms`.
+    Update(StoreKind),
+    /// Tail-degraded column scans: the excess of `f_tail` above 1.
+    Tail,
+    /// Delta-merge slices: the column store's `merge_ms` function.
+    Merge,
+}
+
+impl CoefFamily {
+    /// Stable snake_case label (report keys, bench JSON).
+    pub fn label(&self) -> String {
+        fn store(s: StoreKind) -> &'static str {
+            match s {
+                StoreKind::Row => "row",
+                StoreKind::Column => "column",
+            }
+        }
+        match self {
+            CoefFamily::Scan(s) => format!("scan_{}", store(*s)),
+            CoefFamily::FilteredScan(s) => format!("filtered_scan_{}", store(*s)),
+            CoefFamily::Point(s) => format!("point_{}", store(*s)),
+            CoefFamily::Insert(s) => format!("insert_{}", store(*s)),
+            CoefFamily::Update(s) => format!("update_{}", store(*s)),
+            CoefFamily::Tail => "tail".to_string(),
+            CoefFamily::Merge => "merge".to_string(),
+        }
+    }
+}
+
+/// Exponentially decayed sufficient statistics of one family's log
+/// residuals.
+#[derive(Debug, Clone, Copy, Default)]
+struct DecayedFit {
+    /// Total decayed weight.
+    w: f64,
+    /// Decayed sum of residuals (signed: the bias the re-fit corrects).
+    sy: f64,
+    /// Decayed sum of absolute residuals (the drift gauge's numerator).
+    s_abs: f64,
+    /// Raw samples since the family's last re-fit.
+    n: u64,
+}
+
+impl DecayedFit {
+    fn observe(&mut self, decay: f64, y: f64) {
+        self.w *= decay;
+        self.sy *= decay;
+        self.s_abs *= decay;
+        self.w += 1.0;
+        self.sy += y;
+        self.s_abs += y.abs();
+        self.n += 1;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.w > 0.0 {
+            self.sy / self.w
+        } else {
+            0.0
+        }
+    }
+
+    fn drift(&self) -> f64 {
+        if self.w > 0.0 {
+            self.s_abs / self.w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One family's entry in the [`DriftGauge`].
+#[derive(Debug, Clone)]
+pub struct FamilyDrift {
+    /// The coefficient family.
+    pub family: CoefFamily,
+    /// Decayed mean absolute log residual (`0.69` ≈ off by 2x).
+    pub drift: f64,
+    /// Decayed mean *signed* log residual: positive means the model
+    /// under-predicts (measured slower than modeled).
+    pub bias: f64,
+    /// Raw samples since the family's last re-fit.
+    pub samples: u64,
+}
+
+/// The modeled-vs-measured drift gauge: how far current predictions are
+/// from current measurements, per coefficient family and overall.
+#[derive(Debug, Clone, Default)]
+pub struct DriftGauge {
+    /// Weight-averaged mean absolute log residual across all families.
+    /// `0.0` = perfectly calibrated; `ln(2) ≈ 0.69` = typically off by 2x.
+    pub overall: f64,
+    /// Per-family breakdown, sorted by family.
+    pub families: Vec<FamilyDrift>,
+}
+
+/// What one [`OnlineCalibrator::refit_into`] call changed.
+#[derive(Debug, Clone)]
+pub struct RefitReport {
+    /// The model version the re-fit published.
+    pub version: u64,
+    /// Overall drift gauge immediately before the re-fit (the signal
+    /// strength that justified it).
+    pub drift_before: f64,
+    /// Families adjusted, with the multiplicative factor applied to each.
+    pub adjusted: Vec<(CoefFamily, f64)>,
+    /// Set when the merge family was *bootstrapped* rather than scaled:
+    /// the model had no measurable merge cost (neutral/zero `merge_ms`),
+    /// so it was seeded as a fresh linear fit with this slope (ms per
+    /// remapped row).
+    pub bootstrapped_merge_ms_per_row: Option<f64>,
+}
+
+/// Fast/slow EMA pair over the scan share of the observed statement
+/// stream; fires on a regime shift.
+#[derive(Debug, Clone)]
+struct PhaseDetector {
+    cfg: PhaseConfig,
+    fast: f64,
+    slow: f64,
+    samples: u64,
+    fired: bool,
+}
+
+impl PhaseDetector {
+    fn new(cfg: PhaseConfig) -> Self {
+        PhaseDetector {
+            cfg,
+            fast: 0.0,
+            slow: 0.0,
+            samples: 0,
+            fired: false,
+        }
+    }
+
+    fn observe(&mut self, is_scan: bool) {
+        let x = if is_scan { 1.0 } else { 0.0 };
+        if self.samples == 0 {
+            self.fast = x;
+            self.slow = x;
+        } else {
+            self.fast += self.cfg.fast * (x - self.fast);
+            self.slow += self.cfg.slow * (x - self.slow);
+        }
+        self.samples += 1;
+        if self.samples >= self.cfg.min_samples
+            && (self.fast - self.slow).abs() > self.cfg.threshold
+        {
+            self.fired = true;
+        }
+    }
+
+    fn take(&mut self) -> bool {
+        if self.fired {
+            self.fired = false;
+            // Accept the new regime as the baseline, so the detector
+            // re-arms for the *next* shift instead of refiring on this one.
+            self.slow = self.fast;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The online calibrator: ingests observed timing samples, tracks drift per
+/// coefficient family, and re-fits drifted families through a
+/// [`ModelHandle`].
+#[derive(Debug)]
+pub struct OnlineCalibrator {
+    cfg: OnlineCalibratorConfig,
+    fits: BTreeMap<CoefFamily, DecayedFit>,
+    phase: PhaseDetector,
+    /// Decayed merge-slice totals used only to *bootstrap* `merge_ms` when
+    /// the model prices merges at ~0 (a log ratio is undefined there).
+    merge_boot_ms: f64,
+    merge_boot_rows: f64,
+    merge_boot_n: u64,
+}
+
+impl OnlineCalibrator {
+    /// Calibrator with the given settings.
+    pub fn new(cfg: OnlineCalibratorConfig) -> Self {
+        let phase = PhaseDetector::new(cfg.phase.clone());
+        OnlineCalibrator {
+            cfg,
+            fits: BTreeMap::new(),
+            phase,
+            merge_boot_ms: 0.0,
+            merge_boot_rows: 0.0,
+            merge_boot_n: 0,
+        }
+    }
+
+    /// Ingest one observed query timing. Feeds the family fit the sample's
+    /// residual and the phase detector its operator class.
+    pub fn ingest(&mut self, s: &TimingSample) {
+        self.phase
+            .observe(matches!(s.op, OpClass::Scan | OpClass::FilteredScan));
+        if s.predicted_ms <= 0.0 || s.measured_ms <= 0.0 {
+            // No ratio to learn from (an unpriced path or a sub-resolution
+            // measurement); the sample still moved the phase detector.
+            return;
+        }
+        let family = self.classify(s);
+        let y = (s.measured_ms / s.predicted_ms)
+            .ln()
+            .clamp(-LN_CLAMP, LN_CLAMP);
+        self.fits
+            .entry(family)
+            .or_default()
+            .observe(self.cfg.decay, y);
+    }
+
+    /// Ingest one merge slice's measured cost, paired with the model's
+    /// prediction for remapping that many rows. A near-zero prediction
+    /// (neutral model) feeds the bootstrap accumulator instead of a ratio
+    /// fit.
+    pub fn ingest_merge(&mut self, s: &MergeSliceSample, predicted_ms: f64) {
+        let measured_ms = s.elapsed_ns as f64 / 1e6;
+        if s.rows_remapped == 0 {
+            return;
+        }
+        if predicted_ms > 1e-9 && measured_ms > 0.0 {
+            let y = (measured_ms / predicted_ms).ln().clamp(-LN_CLAMP, LN_CLAMP);
+            self.fits
+                .entry(CoefFamily::Merge)
+                .or_default()
+                .observe(self.cfg.decay, y);
+        } else if measured_ms > 0.0 {
+            self.merge_boot_ms = self.merge_boot_ms * self.cfg.decay + measured_ms;
+            self.merge_boot_rows = self.merge_boot_rows * self.cfg.decay + s.rows_remapped as f64;
+            self.merge_boot_n += 1;
+        }
+    }
+
+    /// Which family a timing sample's residual calibrates.
+    fn classify(&self, s: &TimingSample) -> CoefFamily {
+        // Partitioned scans are served by the column fragments; the recorder
+        // already reports `store == Column` for them.
+        match s.op {
+            OpClass::Scan => {
+                let frac = s.tail as f64 / s.rows.max(1) as f64;
+                if s.store == StoreKind::Column && frac >= self.cfg.tail_min_frac {
+                    CoefFamily::Tail
+                } else {
+                    CoefFamily::Scan(s.store)
+                }
+            }
+            OpClass::FilteredScan => CoefFamily::FilteredScan(s.store),
+            OpClass::Point => CoefFamily::Point(s.store),
+            OpClass::Insert => CoefFamily::Insert(s.store),
+            OpClass::Update => CoefFamily::Update(s.store),
+        }
+    }
+
+    /// The current drift gauge.
+    pub fn gauge(&self) -> DriftGauge {
+        let mut families = Vec::with_capacity(self.fits.len());
+        let (mut w_total, mut abs_total) = (0.0, 0.0);
+        for (family, fit) in &self.fits {
+            w_total += fit.w;
+            abs_total += fit.s_abs;
+            families.push(FamilyDrift {
+                family: *family,
+                drift: fit.drift(),
+                bias: fit.mean(),
+                samples: fit.n,
+            });
+        }
+        DriftGauge {
+            overall: if w_total > 0.0 {
+                abs_total / w_total
+            } else {
+                0.0
+            },
+            families,
+        }
+    }
+
+    /// Whether a workload phase change fired since the last call. Consuming
+    /// the signal re-baselines the detector on the new regime.
+    pub fn take_phase_shift(&mut self) -> bool {
+        self.phase.take()
+    }
+
+    /// Discard all accumulated residual evidence: family fits, the merge
+    /// bootstrap accumulator, and the phase detector's baselines. The
+    /// gauge reads `0` afterwards. Operators call this (via
+    /// [`crate::OnlineAdvisor::reset_drift_gauge`]) after an intervention
+    /// the old residuals would misattribute — an offline recalibration, a
+    /// hardware change, or clearing a noisy-neighbor episode.
+    pub fn reset(&mut self) {
+        self.fits.clear();
+        self.phase = PhaseDetector::new(self.cfg.phase.clone());
+        self.merge_boot_ms = 0.0;
+        self.merge_boot_rows = 0.0;
+        self.merge_boot_n = 0;
+    }
+
+    /// Re-fit every eligible drifted family into `handle`, publishing one
+    /// amended model version. Returns `None` when no family is outside the
+    /// dead-band with enough samples — the model is left untouched (no
+    /// version churn).
+    ///
+    /// Each adjusted family's statistics reset afterwards: the next
+    /// residuals measure the *new* coefficients, so persistent drift larger
+    /// than [`OnlineCalibratorConfig::max_step`] converges over successive
+    /// re-fits instead of compounding stale evidence.
+    pub fn refit_into(&mut self, handle: &ModelHandle) -> Option<RefitReport> {
+        let mut adjusted: Vec<(CoefFamily, f64)> = Vec::new();
+        for (family, fit) in &self.fits {
+            if fit.n < self.cfg.min_samples as u64 {
+                continue;
+            }
+            let mean = fit.mean();
+            if mean.abs() <= self.cfg.deadband {
+                continue;
+            }
+            let factor = mean.exp().clamp(1.0 / self.cfg.max_step, self.cfg.max_step);
+            adjusted.push((*family, factor));
+        }
+        let bootstrap =
+            if self.merge_boot_n >= self.cfg.min_samples as u64 && self.merge_boot_rows > 0.0 {
+                Some(self.merge_boot_ms / self.merge_boot_rows)
+            } else {
+                None
+            };
+        if adjusted.is_empty() && bootstrap.is_none() {
+            return None;
+        }
+        let drift_before = self.gauge().overall;
+        let version = handle.refit(|m| {
+            for (family, factor) in &adjusted {
+                apply_family_factor(m, *family, *factor);
+            }
+            if let Some(ms_per_row) = bootstrap {
+                m.column.merge_ms = AdjustmentFn::Linear {
+                    slope: ms_per_row,
+                    intercept: 0.0,
+                };
+            }
+            m.meta.drift = drift_before;
+        });
+        for (family, _) in &adjusted {
+            self.fits.insert(*family, DecayedFit::default());
+        }
+        if bootstrap.is_some() {
+            self.merge_boot_ms = 0.0;
+            self.merge_boot_rows = 0.0;
+            self.merge_boot_n = 0;
+        }
+        Some(RefitReport {
+            version,
+            drift_before,
+            adjusted,
+            bootstrapped_merge_ms_per_row: bootstrap,
+        })
+    }
+}
+
+/// Apply one family's multiplicative correction to the model —
+/// shape-preserving: fitted curves keep their form, only their scale moves.
+fn apply_family_factor(m: &mut CostModel, family: CoefFamily, k: f64) {
+    match family {
+        CoefFamily::Scan(s) => {
+            let sm = m.store_mut(s);
+            sm.f_rows = sm.f_rows.scaled(k);
+        }
+        CoefFamily::FilteredScan(s) => {
+            let sm = m.store_mut(s);
+            sm.sel_per_row_scan *= k;
+            sm.sel_per_row_indexed *= k;
+            sm.sel_per_match *= k;
+        }
+        CoefFamily::Point(s) => m.store_mut(s).sel_point_ms *= k,
+        CoefFamily::Insert(s) => {
+            let sm = m.store_mut(s);
+            sm.ins_row = sm.ins_row.scaled(k);
+        }
+        CoefFamily::Update(s) => m.store_mut(s).upd_row_ms *= k,
+        // f_tail is normalized to 1 at an empty tail; scale only its excess
+        // so the normalization (and the "a tail never helps" clamp floor)
+        // survives the re-fit.
+        CoefFamily::Tail => m.column.f_tail = scaled_excess(&m.column.f_tail, k),
+        CoefFamily::Merge => m.column.merge_ms = m.column.merge_ms.scaled(k),
+    }
+}
+
+/// `1 + (f(x) − 1)·k`: scale a factor-above-one function's excess while
+/// preserving its value-1 normalization point.
+fn scaled_excess(f: &AdjustmentFn, k: f64) -> AdjustmentFn {
+    match f {
+        AdjustmentFn::Constant(c) => AdjustmentFn::Constant(1.0 + (c - 1.0) * k),
+        AdjustmentFn::Linear { slope, intercept } => AdjustmentFn::Linear {
+            slope: slope * k,
+            intercept: 1.0 + (intercept - 1.0) * k,
+        },
+        AdjustmentFn::Piecewise { points } => AdjustmentFn::Piecewise {
+            points: points
+                .iter()
+                .map(|&(x, y)| (x, 1.0 + (y - 1.0) * k))
+                .collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        op: OpClass,
+        store: StoreKind,
+        tail: usize,
+        predicted_ms: f64,
+        measured_ms: f64,
+    ) -> TimingSample {
+        TimingSample {
+            table: "t".into(),
+            store,
+            partitioned: false,
+            disk_cold: false,
+            op,
+            rows: 10_000,
+            tail,
+            predicted_ms,
+            measured_ms,
+        }
+    }
+
+    #[test]
+    fn refit_corrects_a_perturbed_scan_coefficient() {
+        let mut model = CostModel::neutral();
+        // True hardware: 1 ms per 1k rows. Stale model: 8x too optimistic.
+        model.row.f_rows = AdjustmentFn::Linear {
+            slope: 1e-3 / 8.0,
+            intercept: 0.0,
+        };
+        let handle = ModelHandle::new(model);
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        // Converges over successive clamped re-fits (max_step = 2 ⇒ three
+        // doublings close an 8x gap).
+        for round in 0..4 {
+            for _ in 0..64 {
+                let predicted = handle.snapshot().row.f_rows.eval(10_000.0);
+                cal.ingest(&sample(
+                    OpClass::Scan,
+                    StoreKind::Row,
+                    0,
+                    predicted,
+                    10.0, // measured truth
+                ));
+            }
+            let report = cal.refit_into(&handle);
+            if round < 3 {
+                let report = report.expect("drifted family must re-fit");
+                assert!(report.drift_before > 0.0);
+            }
+        }
+        let fitted = handle.snapshot().row.f_rows.eval(10_000.0);
+        assert!(
+            (fitted - 10.0).abs() / 10.0 < 0.05,
+            "fitted {fitted} ms should be within 5 % of the measured 10 ms"
+        );
+        assert_eq!(handle.snapshot().meta.refits, 3);
+        assert!(handle.version() >= 3);
+    }
+
+    #[test]
+    fn drift_gauge_drops_after_a_refit() {
+        let handle = ModelHandle::new({
+            let mut m = CostModel::neutral();
+            m.row.sel_point_ms = 0.001; // truth: 0.004 (4x off)
+            m
+        });
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        for _ in 0..64 {
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, 0.001, 0.004));
+        }
+        let before = cal.gauge().overall;
+        assert!(before > 1.0, "4x misprediction gauges ≈ ln 4 ≈ 1.39");
+        cal.refit_into(&handle).expect("must re-fit");
+        // Post-refit samples measure the corrected coefficient.
+        let corrected = handle.snapshot().row.sel_point_ms;
+        for _ in 0..64 {
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, corrected, 0.004));
+        }
+        let after = cal.gauge().overall;
+        assert!(
+            after < before / 1.5,
+            "gauge must drop once predictions track measurements \
+             (before {before}, after {after})"
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_the_gauge_and_discards_evidence() {
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        for _ in 0..64 {
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, 0.001, 0.004));
+        }
+        assert!(cal.gauge().overall > 1.0);
+        cal.reset();
+        let gauge = cal.gauge();
+        assert_eq!(gauge.overall, 0.0);
+        assert!(gauge.families.is_empty(), "family fits discarded");
+        // The discarded evidence must not seed a later re-fit.
+        let handle = ModelHandle::new(CostModel::neutral());
+        assert!(cal.refit_into(&handle).is_none());
+        assert_eq!(handle.version(), 0);
+    }
+
+    #[test]
+    fn deadband_and_min_samples_suppress_noise_refits() {
+        let handle = ModelHandle::new(CostModel::neutral());
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        // Well-calibrated samples: within the dead-band, no re-fit.
+        for _ in 0..100 {
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, 1.0, 1.02));
+        }
+        assert!(cal.refit_into(&handle).is_none());
+        assert_eq!(handle.version(), 0);
+        // Strong drift but too few samples: still no re-fit.
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        for _ in 0..5 {
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, 1.0, 4.0));
+        }
+        assert!(cal.refit_into(&handle).is_none());
+        assert_eq!(handle.snapshot().meta.refits, 0);
+    }
+
+    #[test]
+    fn tail_and_scan_residuals_are_attributed_separately() {
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        // Clean column scan: Scan(Column) family.
+        cal.ingest(&sample(OpClass::Scan, StoreKind::Column, 0, 1.0, 2.0));
+        // Tail-degraded column scan (tail 5 % of rows): Tail family.
+        cal.ingest(&sample(OpClass::Scan, StoreKind::Column, 500, 1.0, 2.0));
+        let gauge = cal.gauge();
+        let fams: Vec<CoefFamily> = gauge.families.iter().map(|f| f.family).collect();
+        assert!(fams.contains(&CoefFamily::Scan(StoreKind::Column)));
+        assert!(fams.contains(&CoefFamily::Tail));
+    }
+
+    #[test]
+    fn tail_refit_preserves_the_empty_tail_normalization() {
+        let mut m = CostModel::neutral();
+        m.column.f_tail = AdjustmentFn::Piecewise {
+            points: vec![(0.0, 1.0), (0.1, 1.5)],
+        };
+        apply_family_factor(&mut m, CoefFamily::Tail, 2.0);
+        assert!((m.column.f_tail.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.column.f_tail.eval(0.1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_bootstrap_seeds_a_linear_fit_when_the_model_prices_merges_free() {
+        let handle = ModelHandle::new(CostModel::neutral());
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        // 1000 rows per slice at 2 ms each: 0.002 ms/row.
+        for _ in 0..32 {
+            cal.ingest_merge(
+                &MergeSliceSample {
+                    table: "t".into(),
+                    rows_remapped: 1000,
+                    elapsed_ns: 2_000_000,
+                },
+                handle.snapshot().column.merge_ms.eval(1000.0),
+            );
+        }
+        let report = cal.refit_into(&handle).expect("bootstrap must fire");
+        let slope = report
+            .bootstrapped_merge_ms_per_row
+            .expect("seeded, not scaled");
+        assert!((slope - 0.002).abs() < 1e-9);
+        assert!(handle.snapshot().column.merge_ms.eval(1000.0) > 0.0);
+        // With a priced model, further slices scale instead of bootstrap.
+        for _ in 0..32 {
+            cal.ingest_merge(
+                &MergeSliceSample {
+                    table: "t".into(),
+                    rows_remapped: 1000,
+                    elapsed_ns: 8_000_000, // hardware got 4x slower
+                },
+                handle.snapshot().column.merge_ms.eval(1000.0),
+            );
+        }
+        let report = cal.refit_into(&handle).expect("scaled re-fit");
+        assert!(report.bootstrapped_merge_ms_per_row.is_none());
+        assert!(report
+            .adjusted
+            .iter()
+            .any(|(f, k)| *f == CoefFamily::Merge && *k > 1.5));
+    }
+
+    #[test]
+    fn phase_detector_fires_on_a_regime_shift_then_rebaselines() {
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        // Steady OLTP phase: point lookups only — no shift.
+        for _ in 0..200 {
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, 0.0, 0.0));
+        }
+        assert!(!cal.take_phase_shift(), "steady regime must not fire");
+        // The workload flips analytical.
+        for _ in 0..50 {
+            cal.ingest(&sample(OpClass::Scan, StoreKind::Row, 0, 0.0, 0.0));
+        }
+        assert!(cal.take_phase_shift(), "scan-share jump must fire");
+        // Consuming the signal re-baselines: the same regime continuing
+        // does not refire.
+        for _ in 0..50 {
+            cal.ingest(&sample(OpClass::Scan, StoreKind::Row, 0, 0.0, 0.0));
+        }
+        assert!(!cal.take_phase_shift(), "no refire within the new regime");
+    }
+
+    #[test]
+    fn refit_steps_are_clamped() {
+        let handle = ModelHandle::new({
+            let mut m = CostModel::neutral();
+            m.row.sel_point_ms = 0.001;
+            m
+        });
+        let mut cal = OnlineCalibrator::new(OnlineCalibratorConfig::default());
+        for _ in 0..64 {
+            // 100x misprediction; one step may only close 2x of it.
+            cal.ingest(&sample(OpClass::Point, StoreKind::Row, 0, 0.001, 0.1));
+        }
+        let report = cal.refit_into(&handle).unwrap();
+        let (_, factor) = report.adjusted[0];
+        assert!((factor - 2.0).abs() < 1e-12, "clamped to max_step");
+        assert!((handle.snapshot().row.sel_point_ms - 0.002).abs() < 1e-12);
+    }
+}

@@ -6,6 +6,9 @@
 //! (`Costs = BaseSUMCosts^RS · c^RS_NoGroupBy · c^RS_Double ·
 //! f^RS_#rows(1000) · f^RS_compression(0.7)`).
 
+use std::collections::BTreeSet;
+use std::sync::{Arc, RwLock};
+
 use hsd_query::AggFunc;
 use hsd_storage::StoreKind;
 use hsd_types::{ColumnType, Json, JsonError, JsonResult};
@@ -62,6 +65,24 @@ impl AdjustmentFn {
                 }
                 points[points.len() - 1].1
             }
+        }
+    }
+
+    /// The same function with every output multiplied by `factor` — the
+    /// shape-preserving step the online calibrator applies when a
+    /// coefficient family's measured/modeled ratio drifts: the fitted
+    /// curve keeps its form (constant stays constant, a piecewise profile
+    /// keeps its knees), only its scale moves.
+    pub fn scaled(&self, factor: f64) -> Self {
+        match self {
+            AdjustmentFn::Constant(c) => AdjustmentFn::Constant(c * factor),
+            AdjustmentFn::Linear { slope, intercept } => AdjustmentFn::Linear {
+                slope: slope * factor,
+                intercept: intercept * factor,
+            },
+            AdjustmentFn::Piecewise { points } => AdjustmentFn::Piecewise {
+                points: points.iter().map(|&(x, y)| (x, y * factor)).collect(),
+            },
         }
     }
 
@@ -297,6 +318,14 @@ pub struct CalibrationMeta {
     pub table_arity: usize,
     /// Timing repeats per micro-benchmark.
     pub repeats: usize,
+    /// How many online re-fits ([`ModelHandle::refit`]) have amended this
+    /// model since its one-shot calibration. `0` for a freshly calibrated
+    /// (or pre-self-calibration) artifact.
+    pub refits: u64,
+    /// Overall modeled-vs-measured drift gauge at the last re-fit (mean
+    /// absolute log error; `0.0` when never refit). Provenance only — the
+    /// live gauge belongs to the calibrator, not the artifact.
+    pub drift: f64,
 }
 
 /// The complete calibrated cost model.
@@ -402,6 +431,8 @@ impl CostModel {
                     ),
                     ("table_arity", Json::Int(self.meta.table_arity as i64)),
                     ("repeats", Json::Int(self.meta.repeats as i64)),
+                    ("refits", Json::Int(self.meta.refits as i64)),
+                    ("drift", Json::Num(self.meta.drift)),
                 ]),
             ),
         ])
@@ -452,7 +483,178 @@ impl CostModel {
                 reference_compression: meta.get("reference_compression")?.as_f64()?,
                 table_arity: meta.get("table_arity")?.as_usize()?,
                 repeats: meta.get("repeats")?.as_usize()?,
+                // Pre-self-calibration artifacts carry no refit provenance;
+                // they load as never-refit models (the behavior they encoded).
+                refits: match meta.get_opt("refits") {
+                    Some(v) => v.as_usize()? as u64,
+                    None => 0,
+                },
+                drift: match meta.get_opt("drift") {
+                    Some(v) => v.as_f64()?,
+                    None => 0.0,
+                },
             },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned model handle (the self-calibrating pipeline's shared artifact)
+
+/// Versioned, shared, refittable handle to a [`CostModel`].
+///
+/// Before the self-calibrating pipeline, every advisor path owned its own
+/// `CostModel` snapshot, so a re-fit would have had to rebuild the advisor.
+/// The handle replaces the owned snapshot: cloning it shares the same
+/// underlying model, [`ModelHandle::snapshot`] yields a cheap immutable
+/// `Arc` view for one pricing pass, and [`ModelHandle::refit`] publishes an
+/// amended model atomically while bumping the version counter — readers
+/// mid-estimate keep pricing against the snapshot they took, and the next
+/// pass picks up the re-fitted coefficients.
+#[derive(Debug, Clone)]
+pub struct ModelHandle {
+    inner: Arc<RwLock<VersionedModel>>,
+}
+
+#[derive(Debug)]
+struct VersionedModel {
+    model: Arc<CostModel>,
+    version: u64,
+}
+
+impl ModelHandle {
+    /// Wrap a model at version 0.
+    pub fn new(model: CostModel) -> Self {
+        ModelHandle {
+            inner: Arc::new(RwLock::new(VersionedModel {
+                model: Arc::new(model),
+                version: 0,
+            })),
+        }
+    }
+
+    /// An immutable snapshot of the current model. Pricing passes take one
+    /// snapshot at entry so a concurrent re-fit can never mix coefficient
+    /// versions within a single estimate.
+    pub fn snapshot(&self) -> Arc<CostModel> {
+        self.read().model.clone()
+    }
+
+    /// Version counter: 0 at construction, bumped by every
+    /// [`ModelHandle::refit`] / [`ModelHandle::replace`].
+    pub fn version(&self) -> u64 {
+        self.read().version
+    }
+
+    /// Re-fit the model in place: `adjust` mutates a private copy, which is
+    /// then published atomically with a bumped version (and a bumped
+    /// [`CalibrationMeta::refits`] provenance counter). Returns the new
+    /// version.
+    pub fn refit(&self, adjust: impl FnOnce(&mut CostModel)) -> u64 {
+        let mut guard = self.write();
+        let mut model = (*guard.model).clone();
+        adjust(&mut model);
+        model.meta.refits += 1;
+        guard.model = Arc::new(model);
+        guard.version += 1;
+        guard.version
+    }
+
+    /// Replace the model wholesale (e.g. a fresh offline calibration).
+    /// Returns the new version.
+    pub fn replace(&self, model: CostModel) -> u64 {
+        let mut guard = self.write();
+        guard.model = Arc::new(model);
+        guard.version += 1;
+        guard.version
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, VersionedModel> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, VersionedModel> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema self-check (committed cost_model.json vs the current CostModel)
+
+/// Result of [`CostModel::schema_diff`]: how a serialized artifact's key
+/// paths differ from the current [`CostModel`] schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchemaDiff {
+    /// Key paths the current schema has but the artifact lacks. These are
+    /// exactly the fields that would load as silent defaults — the drift
+    /// the check exists to fail loudly on.
+    pub missing: Vec<String>,
+    /// Key paths the artifact has but the current schema does not (a field
+    /// was removed or renamed; the artifact is stale).
+    pub unknown: Vec<String>,
+}
+
+impl SchemaDiff {
+    /// No differences: the artifact matches the current schema exactly.
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.unknown.is_empty()
+    }
+}
+
+/// Collect the dotted key paths of a serialized model. An adjustment
+/// function serializes as a single-variant object (`{"Constant": ...}` /
+/// `{"Linear": ...}` / `{"Piecewise": ...}`); the variant is a fitted
+/// *value*, not schema, so the path stops at the field holding it.
+fn collect_key_paths(prefix: &str, j: &Json, out: &mut BTreeSet<String>) {
+    let Json::Obj(map) = j else {
+        if !prefix.is_empty() {
+            out.insert(prefix.to_string());
+        }
+        return;
+    };
+    let is_adjustment = map.len() == 1
+        && map
+            .keys()
+            .all(|k| matches!(k.as_str(), "Constant" | "Linear" | "Piecewise"));
+    if is_adjustment && !prefix.is_empty() {
+        out.insert(prefix.to_string());
+        return;
+    }
+    for (k, v) in map {
+        let path = if prefix.is_empty() {
+            k.clone()
+        } else {
+            format!("{prefix}.{k}")
+        };
+        collect_key_paths(&path, v, out);
+    }
+}
+
+impl CostModel {
+    /// The canonical key paths of the current `CostModel` JSON schema,
+    /// derived from a neutral model's own serialization — so the check can
+    /// never drift from the struct the way a hand-maintained key list
+    /// would.
+    pub fn schema_key_paths() -> BTreeSet<String> {
+        let json = Json::parse(&CostModel::neutral().to_json()).expect("own serialization parses");
+        let mut out = BTreeSet::new();
+        collect_key_paths("", &json, &mut out);
+        out
+    }
+
+    /// Compare a serialized artifact (e.g. the committed `cost_model.json`)
+    /// against the current schema. Back-compat defaults make *loading* an
+    /// old artifact legal; this check is deliberately strict so the
+    /// **committed** reference artifact cannot silently rely on them —
+    /// `calibrate_model --check` fails CI on any difference.
+    pub fn schema_diff(artifact: &str) -> JsonResult<SchemaDiff> {
+        let json = Json::parse(artifact)?;
+        let mut have = BTreeSet::new();
+        collect_key_paths("", &json, &mut have);
+        let want = CostModel::schema_key_paths();
+        Ok(SchemaDiff {
+            missing: want.difference(&have).cloned().collect(),
+            unknown: have.difference(&want).cloned().collect(),
         })
     }
 }
@@ -684,5 +886,149 @@ mod tests {
         assert_eq!(m.store(StoreKind::Row), &m.row);
         assert_eq!(m.store(StoreKind::Column), &m.column);
         assert_eq!(m.join_factor_of(StoreKind::Row, StoreKind::Column), 1.0);
+    }
+
+    /// Price a small scan+point workload — the "does an old artifact price
+    /// identically" probe of the back-compat tests.
+    fn probe_estimates(m: &CostModel) -> Vec<f64> {
+        use crate::estimator::{EstimationCtx, TableCtx};
+        use hsd_query::{AggFunc, AggregateQuery, Query, SelectQuery};
+        use hsd_storage::ColRange;
+        use hsd_types::Value;
+
+        let mut ctx = EstimationCtx::new();
+        ctx.insert(
+            "t",
+            TableCtx {
+                stats: hsd_catalog::TableStats {
+                    row_count: 10_000,
+                    columns: vec![
+                        hsd_catalog::ColumnStats {
+                            distinct: 10_000,
+                            min: Some(Value::BigInt(0)),
+                            max: Some(Value::BigInt(9_999)),
+                            compression_rate: 0.0,
+                        },
+                        hsd_catalog::ColumnStats {
+                            distinct: 100,
+                            min: Some(Value::Double(0.0)),
+                            max: Some(Value::Double(100.0)),
+                            compression_rate: 0.7,
+                        },
+                    ],
+                },
+                indexed: vec![],
+                column_types: vec![ColumnType::BigInt, ColumnType::Double],
+                pk_columns: vec![0],
+                delta_tail: 500,
+                observed_tail_rate: None,
+            },
+        );
+        let queries = [
+            Query::Aggregate(AggregateQuery::simple("t", AggFunc::Sum, 1)),
+            Query::Select(SelectQuery {
+                table: "t".into(),
+                columns: Some(vec![1]),
+                filter: vec![ColRange::eq(0, Value::BigInt(7))],
+            }),
+        ];
+        let mut out = Vec::new();
+        for store in [StoreKind::Row, StoreKind::Column] {
+            let assign: std::collections::BTreeMap<String, StoreKind> =
+                [("t".to_string(), store)].into();
+            for q in &queries {
+                out.push(crate::estimator::estimate_query(m, &ctx, &assign, q));
+            }
+        }
+        out
+    }
+
+    /// Pre-tier AND pre-drift artifacts (written before the `tier` object
+    /// and the `meta.refits`/`meta.drift` provenance keys existed) must
+    /// deserialize with neutral defaults and price identically to the same
+    /// model serialized today.
+    #[test]
+    fn pre_tier_and_pre_drift_artifacts_load_and_price_identically() {
+        let mut m = CostModel::neutral();
+        m.row.f_rows = AdjustmentFn::Linear {
+            slope: 1e-3,
+            intercept: 0.1,
+        };
+        m.column.f_rows = AdjustmentFn::Linear {
+            slope: 1e-4,
+            intercept: 0.2,
+        };
+        m.column.f_tail = AdjustmentFn::Linear {
+            slope: 10.0,
+            intercept: 1.0,
+        };
+        m.row.sel_point_ms = 0.002;
+        m.column.sel_point_ms = 0.01;
+        let Json::Obj(mut fields) = Json::parse(&m.to_json()).unwrap() else {
+            panic!("cost model serializes as an object");
+        };
+        // Strip everything a pre-tier, pre-drift writer never emitted.
+        assert!(fields.remove("tier").is_some());
+        let Some(Json::Obj(meta)) = fields.get_mut("meta") else {
+            panic!("meta object serialized");
+        };
+        assert!(meta.remove("refits").is_some());
+        assert!(meta.remove("drift").is_some());
+        let old = CostModel::from_json(&Json::Obj(fields).to_string()).unwrap();
+        assert_eq!(old.tier, TierModel::neutral());
+        assert_eq!(old.meta.refits, 0);
+        assert_eq!(old.meta.drift, 0.0);
+        assert_eq!(
+            probe_estimates(&old),
+            probe_estimates(&m),
+            "neutral defaults must not change a single estimate"
+        );
+    }
+
+    #[test]
+    fn model_handle_versions_refits_and_shares_across_clones() {
+        let handle = ModelHandle::new(CostModel::neutral());
+        assert_eq!(handle.version(), 0);
+        let before = handle.snapshot();
+        let shared = handle.clone();
+        let v = handle.refit(|m| m.row.sel_point_ms = 0.5);
+        assert_eq!(v, 1);
+        // The pre-refit snapshot is immutable; new snapshots (including via
+        // the clone) see the published re-fit and its provenance bump.
+        assert_eq!(before.row.sel_point_ms, 0.0);
+        assert_eq!(shared.snapshot().row.sel_point_ms, 0.5);
+        assert_eq!(shared.version(), 1);
+        assert_eq!(shared.snapshot().meta.refits, 1);
+        let mut fresh = CostModel::neutral();
+        fresh.column.sel_point_ms = 0.9;
+        assert_eq!(handle.replace(fresh), 2);
+        assert_eq!(shared.snapshot().column.sel_point_ms, 0.9);
+        assert_eq!(shared.snapshot().meta.refits, 0, "replace is wholesale");
+    }
+
+    #[test]
+    fn schema_diff_is_clean_for_current_serialization() {
+        let diff = CostModel::schema_diff(&CostModel::neutral().to_json()).unwrap();
+        assert!(diff.is_clean(), "{diff:?}");
+        // The fitted adjustment variant is a value, not schema: swapping a
+        // Constant for a Piecewise must not register as a difference.
+        let mut m = CostModel::neutral();
+        m.column.f_tail = AdjustmentFn::Piecewise {
+            points: vec![(0.0, 1.0), (0.5, 3.0)],
+        };
+        assert!(CostModel::schema_diff(&m.to_json()).unwrap().is_clean());
+    }
+
+    #[test]
+    fn schema_diff_flags_missing_and_unknown_keys() {
+        let Json::Obj(mut fields) = Json::parse(&CostModel::neutral().to_json()).unwrap() else {
+            panic!("cost model serializes as an object");
+        };
+        fields.remove("tier");
+        fields.insert("bogus_extra".to_string(), Json::Num(1.0));
+        let diff = CostModel::schema_diff(&Json::Obj(fields).to_string()).unwrap();
+        assert!(diff.missing.iter().any(|p| p.starts_with("tier")));
+        assert_eq!(diff.unknown, vec!["bogus_extra".to_string()]);
+        assert!(!diff.is_clean());
     }
 }

@@ -43,8 +43,12 @@ pub use budget::{
     layout_disk_bytes, layout_footprint_bytes, placement_disk_bytes, placement_footprint_bytes,
     select_under_budget, GlobalSelection, PlacementCandidate, TableCandidates,
 };
+pub use calibration::online::{
+    CoefFamily, DriftGauge, FamilyDrift, OnlineCalibrator, OnlineCalibratorConfig, PhaseConfig,
+    RefitReport,
+};
 pub use calibration::{calibrate, CalibrationConfig};
-pub use cost::{AdjustmentFn, CostModel, StoreModel, TierModel};
+pub use cost::{AdjustmentFn, CostModel, ModelHandle, SchemaDiff, StoreModel, TierModel};
 pub use estimator::{
     placement_fragment_drivers, EstimationCtx, FragmentDrivers, MaintenanceDrivers, TableCtx,
 };

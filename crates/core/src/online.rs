@@ -21,6 +21,9 @@ use hsd_query::{Query, Workload};
 use hsd_types::Result;
 
 use crate::advisor::{Recommendation, StorageAdvisor};
+use crate::calibration::online::{
+    DriftGauge, OnlineCalibrator, OnlineCalibratorConfig, RefitReport,
+};
 use crate::maintenance::{evaluate_merge, MaintenanceAction, MergePartition};
 
 /// Settings of the online advisor.
@@ -70,6 +73,24 @@ pub struct OnlineConfig {
     /// the merge cost are gone, so a queued job should be dropped rather
     /// than interrupt a now-write-only stream. `0.0` disables retraction.
     pub retract_rate_fraction: f64,
+    /// Whether the advisor re-fits its cost model online from observed
+    /// predicted-vs-measured residuals ([`OnlineAdvisor::observe_timed`])
+    /// and re-plans on drift or workload phase changes. When `false` the
+    /// calibrator still ingests samples — the drift gauge stays readable,
+    /// the static-model ablation the paper-style comparisons need — but
+    /// the model is never amended and drift never forces a re-plan.
+    pub self_calibrating: bool,
+    /// Run the calibration tick (drain samples, maybe re-fit, check the
+    /// phase detector) after this many recorded statements.
+    pub calibration_interval: usize,
+    /// Overall drift-gauge level (mean absolute log residual) at which a
+    /// completed re-fit also forces an immediate layout re-evaluation
+    /// instead of waiting for the evaluation interval: the model the
+    /// current layout was planned with has been shown this wrong, so the
+    /// plan itself is suspect. `0.35` ≈ predictions typically off 1.4x.
+    pub drift_replan_threshold: f64,
+    /// Settings of the online calibrator.
+    pub calibrator: OnlineCalibratorConfig,
 }
 
 impl Default for OnlineConfig {
@@ -85,6 +106,10 @@ impl Default for OnlineConfig {
             merge_min_tail: 128,
             scan_rate_decay: 0.5,
             retract_rate_fraction: 0.1,
+            self_calibrating: true,
+            calibration_interval: 64,
+            drift_replan_threshold: 0.35,
+            calibrator: OnlineCalibratorConfig::default(),
         }
     }
 }
@@ -177,11 +202,18 @@ pub struct OnlineAdvisor {
     /// epoch reads the cold fragment's dictionary handoffs) or when the
     /// advisor retracts the recommendation.
     scheduled_merges: BTreeMap<(String, MergePartition), ScheduledMerge>,
+    /// The self-calibration loop: residual fits per coefficient family,
+    /// drift gauge, phase detector. Always fed (the gauge must be readable
+    /// in the static ablation); only re-fits when
+    /// [`OnlineConfig::self_calibrating`] is set.
+    calibrator: OnlineCalibrator,
+    since_last_calibration: usize,
 }
 
 impl OnlineAdvisor {
     /// New online advisor around a calibrated storage advisor.
     pub fn new(advisor: StorageAdvisor, cfg: OnlineConfig) -> Self {
+        let calibrator = OnlineCalibrator::new(cfg.calibrator.clone());
         OnlineAdvisor {
             advisor,
             cfg,
@@ -194,6 +226,8 @@ impl OnlineAdvisor {
             merge_penalty_accrued: BTreeMap::new(),
             pending_maintenance: Vec::new(),
             scheduled_merges: BTreeMap::new(),
+            calibrator,
+            since_last_calibration: 0,
         }
     }
 
@@ -209,6 +243,106 @@ impl OnlineAdvisor {
         query: &Query,
     ) -> Result<Option<AdaptationRecommendation>> {
         self.recorder.record(db, query);
+        self.after_record(db, query)
+    }
+
+    /// Observe one *timed* query: everything [`OnlineAdvisor::observe`]
+    /// does, plus a predicted-vs-measured residual sample for the
+    /// self-calibration loop. The prediction is computed here — against the
+    /// database's **current** layout and live per-table state (row counts,
+    /// dictionary tails, observed tail rates) — so the residual isolates
+    /// coefficient error from context error as far as the live catalog
+    /// allows.
+    ///
+    /// At calibration-interval boundaries the buffered samples are drained
+    /// into the calibrator; with [`OnlineConfig::self_calibrating`] set,
+    /// drifted coefficient families are re-fit through the shared
+    /// [`crate::cost::ModelHandle`], and a re-fit that corrected
+    /// above-threshold drift — or a detected workload phase change —
+    /// forces an immediate layout re-evaluation instead of waiting out the
+    /// evaluation interval.
+    pub fn observe_timed(
+        &mut self,
+        db: &HybridDatabase,
+        query: &Query,
+        measured_ms: f64,
+    ) -> Result<Option<AdaptationRecommendation>> {
+        let predicted_ms = self.predict_ms(db, query);
+        self.recorder
+            .record_timed(db, query, predicted_ms, measured_ms);
+        self.after_record(db, query)
+    }
+
+    /// The model's prediction (ms) for `query` under the database's current
+    /// layout and live table state. This is the "predicted" half of the
+    /// residual channel; it deliberately prices the *live* dictionary tail
+    /// (unlike the placement search, which zeroes it) because the measured
+    /// execution paid that tail.
+    pub fn predict_ms(&self, db: &HybridDatabase, query: &Query) -> f64 {
+        let schemas: Vec<_> = db
+            .catalog()
+            .entries()
+            .iter()
+            .map(|e| e.schema.clone())
+            .collect();
+        let stats = db
+            .catalog()
+            .entries()
+            .iter()
+            .map(|e| (e.schema.name.clone(), e.stats.clone()))
+            .collect();
+        let mut ctx = crate::advisor::build_ctx(&schemas, &stats);
+        crate::advisor::apply_observed_tail_rates(&mut ctx, self.recorder.stats());
+        for entry in db.catalog().entries() {
+            if let Some(t) = ctx.tables.get_mut(&entry.schema.name) {
+                t.indexed = entry.indexed_columns.clone();
+                t.delta_tail = db.delta_tail(&entry.schema.name).unwrap_or(0);
+            }
+        }
+        crate::estimator::estimate_query_layout(
+            &self.advisor.model.snapshot(),
+            &ctx,
+            &db.current_layout(),
+            query,
+        )
+    }
+
+    /// Forward one background merge slice's measured cost into the residual
+    /// channel (the `merge_ms` coefficient family). Callers driving an
+    /// `hsd_engine::MaintenanceWorker` feed its per-slice reports here.
+    pub fn observe_merge_slice(&mut self, table: &str, rows_remapped: usize, elapsed_ns: u64) {
+        self.recorder
+            .observe_merge_slice(table, rows_remapped, elapsed_ns);
+    }
+
+    /// The live modeled-vs-measured drift gauge.
+    pub fn drift_gauge(&self) -> DriftGauge {
+        self.calibrator.gauge()
+    }
+
+    /// Version of the shared cost model (bumped by every online re-fit).
+    pub fn model_version(&self) -> u64 {
+        self.advisor.model.version()
+    }
+
+    /// Zero the drift gauge: discard every accumulated residual (family
+    /// fits, merge bootstrap, phase baselines) without touching the model.
+    /// For operator interventions the old evidence would misattribute —
+    /// e.g. right after swapping in a freshly calibrated model, or after
+    /// a known hardware/noise episode ends.
+    pub fn reset_drift_gauge(&mut self) {
+        self.calibrator.reset();
+    }
+
+    /// Shared post-record bookkeeping: the estimation window, the
+    /// maintenance tick, the calibration tick, and the evaluation tick (in
+    /// that order — a drift re-fit or phase shift may force the evaluation
+    /// early).
+    fn after_record(
+        &mut self,
+        db: &HybridDatabase,
+        query: &Query,
+    ) -> Result<Option<AdaptationRecommendation>> {
         if self.window.len() == self.cfg.window_capacity {
             self.window.remove(0);
         }
@@ -220,12 +354,45 @@ impl OnlineAdvisor {
             self.since_last_maintenance = 0;
             self.schedule_maintenance(db);
         }
+        self.since_last_calibration += 1;
+        let mut force_replan = false;
+        if self.since_last_calibration >= self.cfg.calibration_interval {
+            self.since_last_calibration = 0;
+            force_replan = self.calibration_tick();
+        }
         self.since_last_eval += 1;
-        if self.since_last_eval < self.cfg.evaluation_interval {
+        if !force_replan && self.since_last_eval < self.cfg.evaluation_interval {
             return Ok(None);
         }
         self.since_last_eval = 0;
         self.evaluate(db)
+    }
+
+    /// Drain the recorder's buffered residual samples into the calibrator
+    /// and — when self-calibration is enabled — re-fit drifted coefficient
+    /// families. Returns whether an immediate re-plan is warranted: a
+    /// re-fit that corrected above-threshold drift (the current layout was
+    /// planned with a model this wrong) or a workload phase change.
+    fn calibration_tick(&mut self) -> bool {
+        let merge_model = self.advisor.model.snapshot();
+        for s in self.recorder.take_timing_samples() {
+            self.calibrator.ingest(&s);
+        }
+        for s in self.recorder.take_merge_slice_samples() {
+            let predicted = merge_model.column.merge_ms.eval(s.rows_remapped as f64);
+            self.calibrator.ingest_merge(&s, predicted);
+        }
+        if !self.cfg.self_calibrating {
+            // Static ablation: gauge stays readable, model stays frozen,
+            // and a phase shift is observed but never acted on.
+            return false;
+        }
+        let refit: Option<RefitReport> = self.calibrator.refit_into(&self.advisor.model);
+        let drifted = refit
+            .as_ref()
+            .is_some_and(|r| r.drift_before >= self.cfg.drift_replan_threshold);
+        let phase_shift = self.calibrator.take_phase_shift();
+        drifted || phase_shift
     }
 
     /// Evaluate the merge trade-off for every table carrying a delta tail,
@@ -352,7 +519,7 @@ impl OnlineAdvisor {
             // layouts, not the full table (a full-table row count would
             // over-state the merge cost and starve cold-fragment merges).
             let rows = db.merge_region_rows(name).unwrap_or(0);
-            let decision = evaluate_merge(&self.advisor.model, rows, tail, rate);
+            let decision = evaluate_merge(&self.advisor.model.snapshot(), rows, tail, rate);
             let accrued = self
                 .merge_penalty_accrued
                 .entry(name.to_string())
@@ -425,7 +592,7 @@ impl OnlineAdvisor {
         // layouts were charged — fragment-level for partitioned placements
         // — so improvements compare like with like.
         let current_ms = crate::estimator::estimate_workload_layout(
-            &self.advisor.model,
+            &self.advisor.model.snapshot(),
             &ctx,
             &current_layout,
             &window,
@@ -469,6 +636,7 @@ impl OnlineAdvisor {
         self.window.clear();
         self.since_last_eval = 0;
         self.since_last_maintenance = 0;
+        self.since_last_calibration = 0;
         self.scan_snapshot.clear();
         self.scan_rate.clear();
         self.merge_penalty_accrued.clear();
@@ -780,6 +948,60 @@ mod tests {
             online.observe(&db, &q).unwrap();
             assert!(online.take_maintenance().is_empty());
         }
+    }
+
+    /// A model 8x too optimistic about row scans, corrected online from
+    /// observed residuals — but only when the `self_calibrating` toggle is
+    /// on. The static ablation must keep the model frozen while still
+    /// exposing the (large) drift gauge.
+    #[test]
+    fn observe_timed_refits_a_stale_model_only_when_self_calibrating() {
+        fn run(self_calibrating: bool) -> (u64, f64, f64) {
+            let s = spec();
+            let db = HybridDatabase::new();
+            db.create_single(s.schema().unwrap(), StoreKind::Row)
+                .unwrap();
+            db.bulk_load("w", s.rows()).unwrap();
+            let stale = model(); // predicts ~2 ms for the 2k-row scan
+            let cfg = OnlineConfig {
+                evaluation_interval: usize::MAX,
+                enable_maintenance: false,
+                calibration_interval: 32,
+                self_calibrating,
+                ..Default::default()
+            };
+            let mut online = OnlineAdvisor::new(StorageAdvisor::new(stale), cfg);
+            let scan = Query::Aggregate(AggregateQuery::simple("w", AggFunc::Sum, s.kf_col(0)));
+            let truth_ms = 8.0 * online.predict_ms(&db, &scan);
+            for _ in 0..256 {
+                online.observe_timed(&db, &scan, truth_ms).unwrap();
+            }
+            (
+                online.model_version(),
+                online.drift_gauge().overall,
+                online.predict_ms(&db, &scan),
+            )
+        }
+        let (versions, drift, predicted) = run(true);
+        assert!(
+            versions >= 3,
+            "an 8x gap needs (and gets) several clamped re-fits, saw {versions}"
+        );
+        assert!(
+            drift < 0.3,
+            "post-convergence residuals are small, gauge {drift}"
+        );
+        let (static_versions, static_drift, static_predicted) = run(false);
+        assert_eq!(static_versions, 0, "static ablation never amends the model");
+        assert!(
+            static_drift > 1.5,
+            "static gauge must expose the ~ln 8 ≈ 2.1 misprediction, saw {static_drift}"
+        );
+        assert!(
+            predicted > 3.0 * static_predicted,
+            "calibrated predictions moved toward the measured truth \
+             ({predicted} vs frozen {static_predicted})"
+        );
     }
 
     #[test]

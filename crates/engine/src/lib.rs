@@ -39,7 +39,7 @@ pub use durability::{DegradedTable, DurabilityConfig, RecoveryReport, WalRecord}
 pub use executor::{GroupRow, QueryOutput};
 pub use maintenance::{MergeConfig, MergeMode};
 pub use partition::{MergePartition, TableData, VerticalPair};
-pub use recorder::StatisticsRecorder;
+pub use recorder::{MergeSliceSample, OpClass, StatisticsRecorder, TimingSample};
 pub use runner::{RunReport, WorkloadRunner};
 pub use worker::{
     BackgroundWorker, MaintenanceWorker, MergeJob, MergePacer, PacerConfig, SharedDatabase,

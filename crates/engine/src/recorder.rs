@@ -3,12 +3,79 @@
 
 use std::collections::BTreeMap;
 
-use hsd_catalog::{ExtendedStats, TablePlacement};
+use hsd_catalog::{ExtendedStats, TablePlacement, Tier};
 use hsd_query::{Query, SelectQuery, UpdateQuery};
 use hsd_storage::StoreKind;
 use hsd_types::TableSchema;
 
 use crate::database::HybridDatabase;
+
+/// Operator class a [`TimingSample`] belongs to. Mirrors the estimator's
+/// cost formulas, so each class maps onto one family of model coefficients
+/// the online calibrator can re-fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Unfiltered, join-free aggregate: a full scan of the aggregated
+    /// columns (the `f_rows`/`f_tail` families).
+    Scan,
+    /// Filtered or joined read: scan plus locate/probe terms.
+    FilteredScan,
+    /// Primary-key point select (the `sel_point_ms` family).
+    Point,
+    /// Row insert (the `ins_row` family).
+    Insert,
+    /// Predicate update (locate + `upd_row_ms` families).
+    Update,
+}
+
+/// One predicted-vs-measured observation: a query's wall-clock execution
+/// time tagged with everything the online calibrator needs to reproduce the
+/// model's prediction for it (table, placement, operator class, live row
+/// count and dictionary tail at execution time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSample {
+    /// Queried table.
+    pub table: String,
+    /// Store the query executed against (`Column` for partitioned layouts,
+    /// whose scans are served by the column fragments).
+    pub store: StoreKind,
+    /// Whether the table was under a partitioned placement.
+    pub partitioned: bool,
+    /// Whether the placement's cold partition is disk-resident (the
+    /// `TierModel` surcharge applies).
+    pub disk_cold: bool,
+    /// Operator class (selects the coefficient family).
+    pub op: OpClass,
+    /// Live row count at execution time.
+    pub rows: usize,
+    /// Live dictionary-tail size at execution time.
+    pub tail: usize,
+    /// The cost model's prediction for this query under the layout it
+    /// executed on, in milliseconds. Computed by the caller (the recorder
+    /// has no model); `measured / predicted` is the residual the online
+    /// calibrator re-fits from.
+    pub predicted_ms: f64,
+    /// Measured wall-clock execution time in milliseconds.
+    pub measured_ms: f64,
+}
+
+/// One merge slice's measured cost: rows remapped and wall-clock spent, the
+/// observation the `merge_ms` coefficient family is re-fit from (and the
+/// calibration groundwork a wall-clock merge pacer needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeSliceSample {
+    /// Merged table.
+    pub table: String,
+    /// Rows remapped by the slice.
+    pub rows_remapped: usize,
+    /// Wall-clock nanoseconds the slice took.
+    pub elapsed_ns: u64,
+}
+
+/// Bound on buffered timing/merge samples per observation interval; beyond
+/// it new samples are dropped (the calibrator drains far more often than
+/// this fills, and a decayed fit prefers fresh samples anyway).
+const TIMING_CAP: usize = 4096;
 
 /// Records per-table / per-attribute activity ("Record extended statistics"
 /// in Figure 5 of the paper).
@@ -20,6 +87,10 @@ pub struct StatisticsRecorder {
     /// merge folded the old tail, so growth restarts from zero instead of
     /// producing a bogus negative delta.
     tail_cursor: BTreeMap<String, (u64, usize)>,
+    /// Buffered observed-timing samples (drained by the online calibrator).
+    timing: Vec<TimingSample>,
+    /// Buffered per-merge-slice timings (drained by the online calibrator).
+    merge_slices: Vec<MergeSliceSample>,
 }
 
 impl StatisticsRecorder {
@@ -42,6 +113,74 @@ impl StatisticsRecorder {
     pub fn reset(&mut self) {
         self.stats = ExtendedStats::new();
         self.tail_cursor.clear();
+        self.timing.clear();
+        self.merge_slices.clear();
+    }
+
+    /// Record one query *with* its measured wall-clock execution time: the
+    /// usual extended statistics plus an observed-timing sample tagged by
+    /// table, placement, and operator class. The sample is what the online
+    /// calibrator pairs against the model's prediction — the same
+    /// generalization of the PR 4 observed-tail-rate pattern, applied to
+    /// latency instead of dictionary growth.
+    pub fn record_timed(
+        &mut self,
+        db: &HybridDatabase,
+        query: &Query,
+        predicted_ms: f64,
+        measured_ms: f64,
+    ) {
+        self.record(db, query);
+        if self.timing.len() >= TIMING_CAP {
+            return;
+        }
+        let table = query.table();
+        let (store, partitioned, disk_cold) = match db.catalog().entry_by_name(table) {
+            Ok(e) => match &e.placement {
+                TablePlacement::Single(s) => (*s, false, false),
+                // Partitioned scans are served by the column fragments; the
+                // cold tier decides whether the TierModel surcharge applies.
+                TablePlacement::Partitioned(spec) => {
+                    (StoreKind::Column, true, spec.cold_tier == Tier::Disk)
+                }
+            },
+            Err(_) => return,
+        };
+        let op = classify(db, query);
+        self.timing.push(TimingSample {
+            table: table.to_string(),
+            store,
+            partitioned,
+            disk_cold,
+            op,
+            rows: db.row_count(table).unwrap_or(0),
+            tail: db.delta_tail(table).unwrap_or(0),
+            predicted_ms,
+            measured_ms,
+        });
+    }
+
+    /// Record one merge slice's measured cost (rows remapped over wall-clock
+    /// nanoseconds) — the observation channel for the `merge_ms` family.
+    pub fn observe_merge_slice(&mut self, table: &str, rows_remapped: usize, elapsed_ns: u64) {
+        if rows_remapped == 0 || self.merge_slices.len() >= TIMING_CAP {
+            return;
+        }
+        self.merge_slices.push(MergeSliceSample {
+            table: table.to_string(),
+            rows_remapped,
+            elapsed_ns,
+        });
+    }
+
+    /// Drain the buffered observed-timing samples.
+    pub fn take_timing_samples(&mut self) -> Vec<TimingSample> {
+        std::mem::take(&mut self.timing)
+    }
+
+    /// Drain the buffered per-merge-slice timings.
+    pub fn take_merge_slice_samples(&mut self) -> Vec<MergeSliceSample> {
+        std::mem::take(&mut self.merge_slices)
     }
 
     /// Record one query. The database is consulted for schema arity and for
@@ -208,6 +347,42 @@ impl StatisticsRecorder {
                 for c in &mut t.columns {
                     c.select_projs += 1;
                 }
+            }
+        }
+    }
+}
+
+/// Map a query onto the coefficient family its measured time calibrates.
+/// Mirrors the estimator's case analysis: an unfiltered, join-free
+/// aggregate is a pure scan; a select whose filter is exactly an equality
+/// on every primary-key column is a point lookup; everything else that
+/// reads is a filtered scan.
+fn classify(db: &HybridDatabase, query: &Query) -> OpClass {
+    match query {
+        Query::Insert(_) => OpClass::Insert,
+        Query::Update(_) => OpClass::Update,
+        Query::Aggregate(q) => {
+            if q.filter.is_empty() && q.join.is_none() {
+                OpClass::Scan
+            } else {
+                OpClass::FilteredScan
+            }
+        }
+        Query::Select(q) => {
+            let pk: Vec<usize> = schema_of(db, &q.table)
+                .map(|s| s.primary_key.clone())
+                .unwrap_or_default();
+            let is_point = !pk.is_empty()
+                && q.filter.len() == pk.len()
+                && pk.iter().all(|c| {
+                    q.filter
+                        .iter()
+                        .any(|r| r.column == *c && r.as_eq().is_some())
+                });
+            if is_point {
+                OpClass::Point
+            } else {
+                OpClass::FilteredScan
             }
         }
     }

@@ -332,6 +332,12 @@ pub struct WorkerStats {
     pub slices: u64,
     /// Code-vector entries remapped across all slices.
     pub rows_remapped: u64,
+    /// Wall-clock nanoseconds spent inside completed slices (the measured
+    /// side of the `merge_ms` calibration channel; with
+    /// [`WorkerStats::rows_remapped`] it yields the worker's observed
+    /// ns-per-remapped-row — the quantity a wall-clock merge pacer and the
+    /// online calibrator both need).
+    pub slice_ns: u64,
     /// Dictionary-tail entries folded by completed merges.
     pub entries_folded: u64,
     /// Jobs driven to completion.
@@ -343,6 +349,18 @@ pub struct WorkerStats {
     pub slice_panics: u64,
 }
 
+impl WorkerStats {
+    /// Observed wall-clock nanoseconds per remapped row across all
+    /// completed slices (`None` before any row was remapped).
+    pub fn ns_per_row(&self) -> Option<f64> {
+        if self.rows_remapped == 0 {
+            None
+        } else {
+            Some(self.slice_ns as f64 / self.rows_remapped as f64)
+        }
+    }
+}
+
 /// Outcome of one worker tick that ran a slice.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SliceReport {
@@ -352,6 +370,11 @@ pub struct SliceReport {
     pub partition: MergePartition,
     /// Remap budget the pacer granted the slice.
     pub budget: usize,
+    /// Wall-clock nanoseconds the slice took (plan + budgeted remap).
+    /// Paired with `progress.rows_remapped` this is one observation for
+    /// the online calibrator's `merge_ms` family
+    /// (`hsd_core::OnlineAdvisor::observe_merge_slice`).
+    pub elapsed_ns: u64,
     /// Progress reported by the storage layer.
     pub progress: MergeProgress,
 }
@@ -524,12 +547,14 @@ impl MaintenanceWorker {
         if inject_panic {
             self.fault_slice_panics -= 1;
         }
+        let slice_start = std::time::Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected slice panic (WorkerConfig::fault_slice_panics)");
             }
             mover::merge_slice_concurrent(db, &job.table, job.partition, budget)
         }));
+        let elapsed_ns = slice_start.elapsed().as_nanos() as u64;
         let progress = match outcome {
             Ok(Ok(p)) => p,
             Ok(Err(e)) => {
@@ -561,6 +586,7 @@ impl MaintenanceWorker {
         };
         self.stats.slices += 1;
         self.stats.rows_remapped += progress.rows_remapped as u64;
+        self.stats.slice_ns += elapsed_ns;
         self.stats.entries_folded += progress.entries_folded as u64;
         if progress.done {
             self.queue.remove(idx);
@@ -570,6 +596,7 @@ impl MaintenanceWorker {
             table: job.table,
             partition: job.partition,
             budget,
+            elapsed_ns,
             progress,
         }))
     }
@@ -866,6 +893,7 @@ mod tests {
             slices += 1;
             assert!(report.budget <= 64);
             assert!(report.progress.rows_remapped <= report.budget);
+            assert!(report.elapsed_ns > 0, "every slice is wall-clock timed");
             // Reads between slices stay consistent.
             assert_eq!(checksum(&db), expected);
             worker.observe_query_latency(0.01);
@@ -881,6 +909,12 @@ mod tests {
             s.rows_remapped >= 100,
             "every row was remapped at least once"
         );
+        assert!(s.slice_ns > 0, "slice wall-clock accumulates");
+        assert!(
+            s.ns_per_row().unwrap() > 0.0,
+            "observed merge throughput is derivable"
+        );
+        assert_eq!(WorkerStats::default().ns_per_row(), None);
     }
 
     /// The priority queue orders by accrued-penalty-per-row: with two
